@@ -1,0 +1,29 @@
+//! # xsdf-baselines
+//!
+//! From-scratch re-implementations of the two XML disambiguation methods
+//! the paper compares against (Section 4.3.2):
+//!
+//! * **RPD** — *Root Path Disambiguation* (Tagarelli et al., reference
+//!   \[50\]): each node's context is its root path; per-path sense selection
+//!   uses gloss-based and edge-based similarity between every sense of the
+//!   node's label and all senses of the other labels on the same path.
+//! * **VSD** — *Versatile Structural Disambiguation* (Mandreoli et al.,
+//!   reference \[29\]): a Gaussian decay function over tree distance assigns
+//!   edge weights; nodes reachable through *crossable* edges (weight above
+//!   a threshold) form the context; the target label is compared to
+//!   candidate senses with an edge-based measure, weighted by the decay.
+//!
+//! Both implement the common [`Disambiguator`] trait, as does the
+//! [`XsdfDisambiguator`] adapter over the core framework, so the evaluation
+//! harness can run all three interchangeably (Figure 9 of the paper).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod common;
+pub mod rpd;
+pub mod vsd;
+
+pub use common::{Assignments, Disambiguator, XsdfDisambiguator};
+pub use rpd::Rpd;
+pub use vsd::Vsd;

@@ -1,0 +1,308 @@
+//! RPD — Root Path Disambiguation (Tagarelli et al. \[50\], also \[49\]).
+//!
+//! The context of an XML node is the *root path*: the sequence of nodes
+//! from the document root down to the node (Section 2.2.1 of the paper).
+//! Disambiguation is performed per path: every sense of the node's label is
+//! compared against all senses of the other labels occurring on the same
+//! path, using a gloss-based and an edge-based semantic similarity measure
+//! (the originals use Banerjee–Pedersen \[6\] and Wu–Palmer \[59\]); the sense
+//! with the maximum accumulated similarity wins.
+//!
+//! Context is a plain *bag of words*: all path labels count the same
+//! regardless of their distance from the node (exactly the limitation the
+//! paper's Motivation 3 calls out).
+
+use semnet::{ConceptId, SemanticNetwork};
+use semsim::{CombinedSimilarity, SimilarityWeights};
+use xmltree::navigate::root_path;
+use xmltree::{NodeKind, XmlTree};
+use xsdf::senses::{disambiguation_candidates, SenseCandidates};
+use xsdf::SenseChoice;
+
+use crate::common::{Assignments, Disambiguator};
+
+/// The RPD baseline. The original operates on **structure only** (element
+/// and attribute tag labels) — the paper's Table 4 marks "Disambiguates
+/// XML structure and content" with an x for RPD — so the faithful default
+/// skips value-token nodes. [`Rpd::with_content`] opts into an extended
+/// variant that applies the same procedure to tokens.
+pub struct Rpd {
+    /// Weight of the gloss-based measure (the edge-based measure gets the
+    /// complement). The original combines both; equal halves by default.
+    pub gloss_weight: f64,
+    /// Also disambiguate value-token nodes (an extension beyond \[50\]).
+    pub include_values: bool,
+}
+
+impl Default for Rpd {
+    fn default() -> Self {
+        Self {
+            gloss_weight: 0.5,
+            include_values: false,
+        }
+    }
+}
+
+impl Rpd {
+    /// The faithful, structure-only RPD of reference \[50\].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The extended variant that also processes value tokens.
+    pub fn with_content() -> Self {
+        Self {
+            include_values: true,
+            ..Self::default()
+        }
+    }
+
+    fn similarity_measure(&self) -> CombinedSimilarity {
+        let g = self.gloss_weight.clamp(0.0, 1.0);
+        let weights =
+            SimilarityWeights::new(1.0 - g, 0.0, g).unwrap_or_else(SimilarityWeights::gloss_only);
+        CombinedSimilarity::new(weights)
+    }
+
+    /// Flattens a node's candidates to a list of scoreable choices.
+    fn choices(sn: &SemanticNetwork, tree: &XmlTree, node: xmltree::NodeId) -> Vec<SenseChoice> {
+        match disambiguation_candidates(sn, tree.label(node), tree.node(node).kind) {
+            SenseCandidates::Unknown => Vec::new(),
+            SenseCandidates::Single(senses) => {
+                senses.into_iter().map(SenseChoice::Single).collect()
+            }
+            SenseCandidates::Compound { first, second } => {
+                if first.is_empty() {
+                    second.into_iter().map(SenseChoice::Single).collect()
+                } else if second.is_empty() {
+                    first.into_iter().map(SenseChoice::Single).collect()
+                } else {
+                    first
+                        .iter()
+                        .flat_map(|&a| second.iter().map(move |&b| SenseChoice::Pair(a, b)))
+                        .collect()
+                }
+            }
+        }
+    }
+
+    fn choice_sim(
+        sim: &CombinedSimilarity,
+        sn: &SemanticNetwork,
+        choice: SenseChoice,
+        other: ConceptId,
+    ) -> f64 {
+        match choice {
+            SenseChoice::Single(c) => sim.similarity(sn, c, other),
+            SenseChoice::Pair(a, b) => {
+                (sim.similarity(sn, a, other) + sim.similarity(sn, b, other)) / 2.0
+            }
+        }
+    }
+
+    /// Disambiguates one node from its root-path context.
+    fn assign_node(
+        &self,
+        sn: &SemanticNetwork,
+        tree: &XmlTree,
+        sim: &CombinedSimilarity,
+        node: xmltree::NodeId,
+    ) -> Option<SenseChoice> {
+        if !self.include_values && tree.node(node).kind == NodeKind::ValueToken {
+            return None;
+        }
+        let candidates = Self::choices(sn, tree, node);
+        if candidates.is_empty() {
+            return None;
+        }
+        // Context: every *other* label on the node's root path. For value
+        // tokens the path naturally ends at the token, so the containing
+        // tags provide the context.
+        let path = root_path(tree, node);
+        let context_senses: Vec<Vec<ConceptId>> = path
+            .iter()
+            .filter(|&&p| p != node)
+            .map(
+                |&p| match disambiguation_candidates(sn, tree.label(p), tree.node(p).kind) {
+                    SenseCandidates::Unknown => Vec::new(),
+                    SenseCandidates::Single(senses) => senses,
+                    SenseCandidates::Compound { mut first, second } => {
+                        first.extend(second);
+                        first
+                    }
+                },
+            )
+            .filter(|senses| !senses.is_empty())
+            .collect();
+
+        // Score each candidate: sum over path labels of the best similarity
+        // to any sense of that label (bag-of-words: no distance weighting).
+        let mut best: Option<(SenseChoice, f64)> = None;
+        for &choice in &candidates {
+            let score: f64 = context_senses
+                .iter()
+                .map(|senses| {
+                    senses
+                        .iter()
+                        .map(|&s| Self::choice_sim(sim, sn, choice, s))
+                        .fold(0.0f64, f64::max)
+                })
+                .sum();
+            if best.as_ref().is_none_or(|&(_, b)| score > b) {
+                best = Some((choice, score));
+            }
+        }
+        best.map(|(choice, score)| {
+            // With no informative context every candidate scores 0; RPD
+            // then falls back to the first (most frequent) sense, as the
+            // original does for single-node paths.
+            if score > 0.0 || candidates.len() == 1 {
+                choice
+            } else {
+                candidates[0]
+            }
+        })
+    }
+}
+
+impl Disambiguator for Rpd {
+    fn name(&self) -> &'static str {
+        "RPD"
+    }
+
+    fn disambiguate(&self, sn: &SemanticNetwork, tree: &XmlTree) -> Assignments {
+        let sim = self.similarity_measure();
+        let mut out = Assignments::new();
+        for node in tree.preorder() {
+            if let Some(choice) = self.assign_node(sn, tree, &sim, node) {
+                out.insert(node, choice);
+            }
+        }
+        out
+    }
+
+    fn disambiguate_targets(
+        &self,
+        sn: &SemanticNetwork,
+        tree: &XmlTree,
+        targets: &[xmltree::NodeId],
+    ) -> Assignments {
+        let sim = self.similarity_measure();
+        let mut out = Assignments::new();
+        for &node in targets {
+            if let Some(choice) = self.assign_node(sn, tree, &sim, node) {
+                out.insert(node, choice);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semnet::mini_wordnet;
+    use xmltree::tree::TreeBuilder;
+    use xsdf::LingTokenizer;
+
+    fn tree(xml: &str) -> XmlTree {
+        let doc = xmltree::parse(xml).unwrap();
+        TreeBuilder::with_tokenizer(LingTokenizer::new(mini_wordnet()))
+            .build(&doc)
+            .unwrap()
+            .tree
+    }
+
+    fn key_of(sn: &SemanticNetwork, choice: &SenseChoice) -> String {
+        match choice {
+            SenseChoice::Single(c) => sn.concept(*c).key.clone(),
+            SenseChoice::Pair(a, b) => {
+                format!("{}+{}", sn.concept(*a).key, sn.concept(*b).key)
+            }
+        }
+    }
+
+    #[test]
+    fn root_path_context_disambiguates_nested_labels() {
+        // Path films/picture/cast: "cast" sees picture+films above it.
+        let sn = mini_wordnet();
+        let t = tree("<films><picture><cast/></picture></films>");
+        let cast = t.preorder().find(|&n| t.label(n) == "cast").unwrap();
+        let out = Rpd::new().disambiguate(sn, &t);
+        assert_eq!(key_of(sn, &out[&cast]), "cast.actors");
+    }
+
+    #[test]
+    fn assigns_every_known_structural_node() {
+        let sn = mini_wordnet();
+        let t = tree("<films><picture><cast><star>Kelly</star></cast></picture></films>");
+        let out = Rpd::with_content().disambiguate(sn, &t);
+        // RPD has no selection phase: all nodes with senses get assigned
+        // (the paper's Motivation 1 criticism); with_content extends this
+        // to tokens.
+        for node in t.preorder() {
+            let has = !Rpd::choices(sn, &t, node).is_empty();
+            assert_eq!(out.contains_key(&node), has, "label {}", t.label(node));
+        }
+        // The faithful default skips the "kelly" token (Table 4's last row).
+        let faithful = Rpd::new().disambiguate(sn, &t);
+        let kelly = t.preorder().find(|&n| t.label(n) == "kelly").unwrap();
+        assert!(!faithful.contains_key(&kelly));
+        let cast = t.preorder().find(|&n| t.label(n) == "cast").unwrap();
+        assert!(faithful.contains_key(&cast));
+    }
+
+    #[test]
+    fn sibling_context_is_invisible_to_rpd() {
+        // The root path of "star" is films/star — the informative sibling
+        // "cast" is NOT on it. This is the partial-context weakness the
+        // paper exploits (Motivation 2): RPD can only use films above it.
+        let sn = mini_wordnet();
+        let t = tree("<films><cast/><star/></films>");
+        let star = t.preorder().find(|&n| t.label(n) == "star").unwrap();
+        let out = Rpd::new().disambiguate(sn, &t);
+        // Whatever it picks, the decision was made from {films} only; we
+        // assert it still yields *some* sense (graceful degradation).
+        assert!(out.contains_key(&star));
+    }
+
+    #[test]
+    fn structure_only_mode_skips_values() {
+        let sn = mini_wordnet();
+        let t = tree("<cast><star>Kelly</star></cast>");
+        let out = Rpd::new().disambiguate(sn, &t);
+        let kelly = t.preorder().find(|&n| t.label(n) == "kelly").unwrap();
+        assert!(!out.contains_key(&kelly));
+        assert!(Rpd::with_content()
+            .disambiguate(sn, &t)
+            .contains_key(&kelly));
+    }
+
+    #[test]
+    fn single_node_falls_back_to_first_sense() {
+        let sn = mini_wordnet();
+        let t = tree("<star/>");
+        let out = Rpd::new().disambiguate(sn, &t);
+        let choice = out[&t.root()];
+        // First sense = most frequent = star.celestial in MiniWordNet.
+        assert_eq!(key_of(sn, &choice), "star.celestial");
+    }
+
+    #[test]
+    fn gloss_weight_is_tunable() {
+        let sn = mini_wordnet();
+        let t = tree("<films><picture><cast/></picture></films>");
+        let edge_only = Rpd {
+            gloss_weight: 0.0,
+            ..Rpd::new()
+        };
+        let gloss_only = Rpd {
+            gloss_weight: 1.0,
+            ..Rpd::new()
+        };
+        // Both run to completion; assignments may differ.
+        let a = edge_only.disambiguate(sn, &t);
+        let b = gloss_only.disambiguate(sn, &t);
+        assert_eq!(a.len(), b.len());
+    }
+}

@@ -1,0 +1,114 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! * **selection** — Motivation 1's claim that disambiguating everything
+//!   is "time consuming and sometimes needless": timing the pipeline with
+//!   threshold 0 (all nodes) vs the automatic threshold (ambiguous nodes
+//!   only).
+//! * **context model** — the sphere context vs the baselines' root-path
+//!   and Gaussian-decay contexts.
+//! * **similarity** — the combined measure of Definition 9 vs each single
+//!   measure.
+//! * **radius** — the cost of growing the sphere.
+
+use baselines::{Disambiguator, Rpd, Vsd};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use xsdf::{ThresholdPolicy, Xsdf, XsdfConfig};
+
+fn test_tree() -> (&'static semnet::SemanticNetwork, xmltree::XmlTree) {
+    let sn = semnet::mini_wordnet();
+    let doc = corpus::gen::generate_document(sn, corpus::DatasetId::Amazon, 0, 1);
+    (sn, doc.tree)
+}
+
+fn ablation_selection(c: &mut Criterion) {
+    let (sn, tree) = test_tree();
+    let mut group = c.benchmark_group("ablation_selection");
+    group.sample_size(20);
+    group.bench_function("all_nodes_thresh0", |b| {
+        let xsdf = Xsdf::new(sn, XsdfConfig::default());
+        b.iter(|| black_box(xsdf.disambiguate_tree(&tree)))
+    });
+    group.bench_function("ambiguous_only_auto", |b| {
+        let xsdf = Xsdf::new(
+            sn,
+            XsdfConfig {
+                threshold: ThresholdPolicy::Auto,
+                ..XsdfConfig::default()
+            },
+        );
+        b.iter(|| black_box(xsdf.disambiguate_tree(&tree)))
+    });
+    group.finish();
+}
+
+fn ablation_context_models(c: &mut Criterion) {
+    let (sn, tree) = test_tree();
+    let mut group = c.benchmark_group("ablation_context_models");
+    group.sample_size(20);
+    group.bench_function("sphere_xsdf", |b| {
+        let xsdf = Xsdf::new(sn, XsdfConfig::optimal_flat());
+        b.iter(|| black_box(xsdf.disambiguate_tree(&tree)))
+    });
+    group.bench_function("root_path_rpd", |b| {
+        let rpd = Rpd::with_content();
+        b.iter(|| black_box(rpd.disambiguate(sn, &tree)))
+    });
+    group.bench_function("gaussian_decay_vsd", |b| {
+        let vsd = Vsd::with_content();
+        b.iter(|| black_box(vsd.disambiguate(sn, &tree)))
+    });
+    group.finish();
+}
+
+fn ablation_similarity(c: &mut Criterion) {
+    let (sn, tree) = test_tree();
+    let mut group = c.benchmark_group("ablation_similarity");
+    group.sample_size(20);
+    for (name, weights) in [
+        ("edge_only", semsim::SimilarityWeights::edge_only()),
+        ("node_only", semsim::SimilarityWeights::node_only()),
+        ("gloss_only", semsim::SimilarityWeights::gloss_only()),
+        ("combined_def9", semsim::SimilarityWeights::equal()),
+    ] {
+        group.bench_function(name, |b| {
+            let xsdf = Xsdf::new(
+                sn,
+                XsdfConfig {
+                    similarity: weights,
+                    ..XsdfConfig::default()
+                },
+            );
+            b.iter(|| black_box(xsdf.disambiguate_tree(&tree)))
+        });
+    }
+    group.finish();
+}
+
+fn ablation_radius(c: &mut Criterion) {
+    let (sn, tree) = test_tree();
+    let mut group = c.benchmark_group("ablation_radius");
+    group.sample_size(20);
+    for radius in [1u32, 2, 3] {
+        group.bench_function(format!("r{radius}"), |b| {
+            let xsdf = Xsdf::new(
+                sn,
+                XsdfConfig {
+                    radius,
+                    ..XsdfConfig::default()
+                },
+            );
+            b.iter(|| black_box(xsdf.disambiguate_tree(&tree)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_selection,
+    ablation_context_models,
+    ablation_similarity,
+    ablation_radius
+);
+criterion_main!(benches);

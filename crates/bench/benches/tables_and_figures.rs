@@ -1,0 +1,74 @@
+//! One Criterion benchmark per table/figure of the paper, timing the full
+//! regeneration of each artifact on a reduced corpus (1 document per
+//! dataset; the `exp_*` binaries regenerate the full-corpus numbers).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eval::experiments::{fig8, fig9, table1, table2, table3, table4};
+use std::hint::black_box;
+
+fn bench_corpus() -> (&'static semnet::SemanticNetwork, corpus::Corpus) {
+    let sn = semnet::mini_wordnet();
+    let corpus = corpus::Corpus::generate_small(sn, 2015, 1);
+    (sn, corpus)
+}
+
+fn table1_grouping(c: &mut Criterion) {
+    let (sn, corpus) = bench_corpus();
+    c.bench_function("table1_grouping", |b| {
+        b.iter(|| black_box(table1::run(sn, &corpus)))
+    });
+}
+
+fn table2_ambiguity_correlation(c: &mut Criterion) {
+    let (sn, corpus) = bench_corpus();
+    let mut group = c.benchmark_group("table2_ambiguity_correlation");
+    group.sample_size(10);
+    group.bench_function("all_tests", |b| {
+        b.iter(|| black_box(table2::run(sn, &corpus, 8)))
+    });
+    group.finish();
+}
+
+fn table3_corpus_stats(c: &mut Criterion) {
+    let (sn, corpus) = bench_corpus();
+    c.bench_function("table3_corpus_stats", |b| {
+        b.iter(|| black_box(table3::run(sn, &corpus)))
+    });
+}
+
+fn table4_qualitative(c: &mut Criterion) {
+    c.bench_function("table4_qualitative", |b| {
+        b.iter(|| black_box(table4::render()))
+    });
+}
+
+fn fig8_configurations(c: &mut Criterion) {
+    let (sn, corpus) = bench_corpus();
+    let mut group = c.benchmark_group("fig8_configurations");
+    group.sample_size(10);
+    group.bench_function("full_sweep", |b| {
+        b.iter(|| black_box(fig8::run(sn, &corpus, 6)))
+    });
+    group.finish();
+}
+
+fn fig9_comparative(c: &mut Criterion) {
+    let (sn, corpus) = bench_corpus();
+    let mut group = c.benchmark_group("fig9_comparative");
+    group.sample_size(10);
+    group.bench_function("three_methods", |b| {
+        b.iter(|| black_box(fig9::run(sn, &corpus, 6)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    table1_grouping,
+    table2_ambiguity_correlation,
+    table3_corpus_stats,
+    table4_qualitative,
+    fig8_configurations,
+    fig9_comparative
+);
+criterion_main!(benches);

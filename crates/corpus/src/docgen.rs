@@ -1,0 +1,369 @@
+//! Gold-annotating document construction.
+//!
+//! [`DocGen`] wraps [`xmltree::Document`] building and records the
+//! *intended sense* of every element tag, attribute tag, and text token it
+//! emits. [`DocGen::finish`] then builds the pre-processed rooted ordered
+//! labeled tree (with the same [`xsdf::LingTokenizer`] the pipeline uses)
+//! and aligns the recorded senses onto tree [`NodeId`]s, yielding an
+//! [`AnnotatedDocument`] whose gold standard is keyed exactly like the
+//! disambiguators' outputs.
+
+use std::collections::HashMap;
+
+use semnet::SemanticNetwork;
+use xmltree::tree::TreeBuilder;
+use xmltree::{DocNodeId, Document, NodeId, XmlTree};
+use xsdf::LingTokenizer;
+
+use crate::spec::DatasetId;
+
+/// The intended sense of one node: a concept key, or a pair of keys for an
+/// unmatched compound label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GoldSense {
+    /// One concept key (e.g. `"kelly.grace"`).
+    Single(String),
+    /// A pair of keys for a compound label (e.g. `star picture`).
+    Pair(String, String),
+}
+
+impl GoldSense {
+    /// Renders the gold sense the same way [`xsdf::SenseChoice`] keys are
+    /// rendered (`a+b` for pairs).
+    pub fn key(&self) -> String {
+        match self {
+            Self::Single(k) => k.clone(),
+            Self::Pair(a, b) => format!("{a}+{b}"),
+        }
+    }
+
+    /// Convenience constructor.
+    pub fn single(key: &str) -> Self {
+        Self::Single(key.to_string())
+    }
+}
+
+/// A generated document with its pre-processed tree and gold senses.
+#[derive(Debug, Clone)]
+pub struct AnnotatedDocument {
+    /// Which dataset produced it.
+    pub dataset: DatasetId,
+    /// The raw document (serializable back to XML).
+    pub doc: Document,
+    /// The pre-processed rooted ordered labeled tree.
+    pub tree: XmlTree,
+    /// Intended sense per tree node (nodes without lexical content, e.g.
+    /// numbers, are absent).
+    pub gold: HashMap<NodeId, GoldSense>,
+}
+
+impl AnnotatedDocument {
+    /// Number of gold-annotated nodes.
+    pub fn gold_count(&self) -> usize {
+        self.gold.len()
+    }
+}
+
+/// One queued text value: `(words, golds)` where each word may carry a
+/// gold key. Words the pre-processor drops (stop words) must carry `None`.
+type TextSpec = Vec<(String, Option<String>)>;
+
+/// Builds a [`Document`] while recording gold senses.
+pub struct DocGen<'sn> {
+    sn: &'sn SemanticNetwork,
+    doc: Document,
+    elem_gold: HashMap<DocNodeId, GoldSense>,
+    attr_gold: HashMap<(DocNodeId, usize), GoldSense>,
+    text_gold: HashMap<DocNodeId, TextSpec>,
+    attr_text_gold: HashMap<(DocNodeId, usize), TextSpec>,
+}
+
+impl<'sn> DocGen<'sn> {
+    /// Starts a document whose root element has the given tag and gold.
+    pub fn new(
+        sn: &'sn SemanticNetwork,
+        root_tag: &str,
+        root_gold: Option<GoldSense>,
+    ) -> (Self, DocNodeId) {
+        let mut doc = Document::new();
+        let root = doc.add_element(None, root_tag);
+        let mut gen = Self {
+            sn,
+            doc,
+            elem_gold: HashMap::new(),
+            attr_gold: HashMap::new(),
+            text_gold: HashMap::new(),
+            attr_text_gold: HashMap::new(),
+        };
+        if let Some(g) = root_gold {
+            gen.elem_gold.insert(root, g);
+        }
+        (gen, root)
+    }
+
+    /// Adds an element with an optional gold sense for its tag.
+    pub fn elem(&mut self, parent: DocNodeId, tag: &str, gold: Option<GoldSense>) -> DocNodeId {
+        let e = self.doc.add_element(Some(parent), tag);
+        if let Some(g) = gold {
+            self.elem_gold.insert(e, g);
+        }
+        e
+    }
+
+    /// Adds an attribute with an optional gold sense for its name and gold
+    /// keys per value word.
+    pub fn attr(
+        &mut self,
+        element: DocNodeId,
+        name: &str,
+        name_gold: Option<GoldSense>,
+        value_words: &[(&str, Option<&str>)],
+    ) {
+        let idx = self.doc.attributes(element).len();
+        let value: String = value_words
+            .iter()
+            .map(|(w, _)| *w)
+            .collect::<Vec<_>>()
+            .join(" ");
+        self.doc
+            .add_attribute(element, name, value)
+            .expect("unique attribute names");
+        if let Some(g) = name_gold {
+            self.attr_gold.insert((element, idx), g);
+        }
+        self.attr_text_gold.insert(
+            (element, idx),
+            value_words
+                .iter()
+                .map(|(w, g)| (w.to_string(), g.map(str::to_string)))
+                .collect(),
+        );
+    }
+
+    /// Adds a text value under `parent`, one `(word, gold)` pair per word.
+    pub fn text(&mut self, parent: DocNodeId, words: &[(&str, Option<&str>)]) -> DocNodeId {
+        let value: String = words.iter().map(|(w, _)| *w).collect::<Vec<_>>().join(" ");
+        let t = self.doc.add_text(parent, value);
+        self.text_gold.insert(
+            t,
+            words
+                .iter()
+                .map(|(w, g)| (w.to_string(), g.map(str::to_string)))
+                .collect(),
+        );
+        t
+    }
+
+    /// Shorthand: an element containing a single text value.
+    pub fn leaf(
+        &mut self,
+        parent: DocNodeId,
+        tag: &str,
+        tag_gold: Option<GoldSense>,
+        words: &[(&str, Option<&str>)],
+    ) -> DocNodeId {
+        let e = self.elem(parent, tag, tag_gold);
+        self.text(e, words);
+        e
+    }
+
+    /// Shorthand: a leaf with a plain (unannotated) value such as a number.
+    pub fn plain_leaf(
+        &mut self,
+        parent: DocNodeId,
+        tag: &str,
+        tag_gold: Option<GoldSense>,
+        value: &str,
+    ) {
+        let e = self.elem(parent, tag, tag_gold);
+        let words: Vec<(String, Option<String>)> = value
+            .split_whitespace()
+            .map(|w| (w.to_string(), None))
+            .collect();
+        let t = self.doc.add_text(e, value);
+        self.text_gold.insert(t, words);
+    }
+
+    /// Finalizes: builds the pre-processed tree and aligns gold senses to
+    /// tree node ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a gold-annotated word is dropped by pre-processing (the
+    /// generators must mark stop words with `None`), or if a single word
+    /// expands to several tokens (generator vocabulary must avoid
+    /// hyphenated words).
+    pub fn finish(self, dataset: DatasetId) -> AnnotatedDocument {
+        let result = TreeBuilder::with_tokenizer(LingTokenizer::new(self.sn))
+            .build(&self.doc)
+            .expect("generated documents always have a root");
+        let mut gold: HashMap<NodeId, GoldSense> = HashMap::new();
+        for (doc_node, g) in &self.elem_gold {
+            let node = result.element_nodes[doc_node];
+            gold.insert(node, g.clone());
+        }
+        for (key, g) in &self.attr_gold {
+            let node = result.attribute_nodes[key];
+            gold.insert(node, g.clone());
+        }
+        // Token alignment: re-run the value tokenizer per word to know
+        // which words survived pre-processing, then zip with the emitted
+        // token nodes in order.
+        let tokenizer = LingTokenizer::new(self.sn);
+        let align =
+            |words: &TextSpec, token_nodes: &[NodeId], gold: &mut HashMap<NodeId, GoldSense>| {
+                use xmltree::tree::ValueTokenizer;
+                let mut cursor = 0usize;
+                for (word, word_gold) in words {
+                    let produced = tokenizer.tokenize_value(word);
+                    match produced.len() {
+                        0 => {
+                            assert!(
+                                word_gold.is_none(),
+                                "gold-annotated word {word:?} was dropped by pre-processing"
+                            );
+                        }
+                        1 => {
+                            let node = token_nodes[cursor];
+                            cursor += 1;
+                            if let Some(g) = word_gold {
+                                gold.insert(node, GoldSense::Single(g.clone()));
+                            }
+                        }
+                        n => panic!("word {word:?} split into {n} tokens; avoid in generators"),
+                    }
+                }
+                assert_eq!(cursor, token_nodes.len(), "token alignment mismatch");
+            };
+        for (doc_node, words) in &self.text_gold {
+            if let Some(tokens) = result.token_nodes.get(doc_node) {
+                align(words, tokens, &mut gold);
+            }
+        }
+        for (key, words) in &self.attr_text_gold {
+            if let Some(tokens) = result.attr_token_nodes.get(key) {
+                align(words, tokens, &mut gold);
+            }
+        }
+        AnnotatedDocument {
+            dataset,
+            doc: self.doc,
+            tree: result.tree,
+            gold,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semnet::mini_wordnet;
+
+    #[test]
+    fn gold_aligns_to_tree_nodes() {
+        let sn = mini_wordnet();
+        let (mut g, root) = DocGen::new(sn, "films", Some(GoldSense::single("film.movie")));
+        let picture = g.elem(root, "picture", Some(GoldSense::single("film.movie")));
+        g.attr(
+            picture,
+            "title",
+            Some(GoldSense::single("title.work")),
+            &[
+                ("Rear", Some("rear_window.film")),
+                ("Window", Some("window.n")),
+            ],
+        );
+        let cast = g.elem(picture, "cast", Some(GoldSense::single("cast.actors")));
+        g.leaf(
+            cast,
+            "star",
+            Some(GoldSense::single("star.performer")),
+            &[("Kelly", Some("kelly.grace"))],
+        );
+        let annotated = g.finish(DatasetId::Imdb);
+
+        let t = &annotated.tree;
+        // films → label "film" after stemming; gold attached to that node.
+        let film_node = t.root();
+        assert_eq!(annotated.gold[&film_node], GoldSense::single("film.movie"));
+        // The kelly token node carries its gold.
+        let kelly = t.preorder().find(|&n| t.label(n) == "kelly").unwrap();
+        assert_eq!(annotated.gold[&kelly], GoldSense::single("kelly.grace"));
+        // The title attribute node and its tokens.
+        let title = t.preorder().find(|&n| t.label(n) == "title").unwrap();
+        assert_eq!(annotated.gold[&title], GoldSense::single("title.work"));
+        assert_eq!(annotated.gold_count(), 8);
+    }
+
+    #[test]
+    fn stop_words_must_not_carry_gold() {
+        let sn = mini_wordnet();
+        let (mut g, root) = DocGen::new(sn, "plot", None);
+        // "the" is a stop word; with None gold this aligns fine.
+        g.text(
+            root,
+            &[("the", None), ("photographer", Some("photographer.n"))],
+        );
+        let annotated = g.finish(DatasetId::Imdb);
+        assert_eq!(annotated.gold_count(), 1);
+        let t = &annotated.tree;
+        // Only the surviving token became a node.
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.label(xmltree::NodeId(1)), "photographer");
+    }
+
+    #[test]
+    #[should_panic(expected = "dropped by pre-processing")]
+    fn gold_on_stop_word_panics() {
+        let sn = mini_wordnet();
+        let (mut g, root) = DocGen::new(sn, "plot", None);
+        g.text(root, &[("the", Some("state.condition"))]);
+        let _ = g.finish(DatasetId::Imdb);
+    }
+
+    #[test]
+    fn pair_gold_for_compounds() {
+        let sn = mini_wordnet();
+        let (mut g, root) = DocGen::new(sn, "films", None);
+        g.elem(
+            root,
+            "star_picture",
+            Some(GoldSense::Pair(
+                "star.performer".into(),
+                "film.movie".into(),
+            )),
+        );
+        let annotated = g.finish(DatasetId::Imdb);
+        let t = &annotated.tree;
+        let node = t
+            .preorder()
+            .find(|&n| t.label(n) == "star picture")
+            .unwrap();
+        assert_eq!(annotated.gold[&node].key(), "star.performer+film.movie");
+    }
+
+    #[test]
+    fn plain_leaf_has_no_token_gold() {
+        let sn = mini_wordnet();
+        let (mut g, root) = DocGen::new(sn, "movie", None);
+        g.plain_leaf(
+            root,
+            "year",
+            Some(GoldSense::single("year.calendar")),
+            "1954",
+        );
+        let annotated = g.finish(DatasetId::Imdb);
+        // year tag annotated; the numeric token is not.
+        assert_eq!(annotated.gold_count(), 1);
+    }
+
+    #[test]
+    fn document_serializes_back_to_xml() {
+        let sn = mini_wordnet();
+        let (mut g, root) = DocGen::new(sn, "cast", Some(GoldSense::single("cast.actors")));
+        g.leaf(root, "star", None, &[("Stewart", Some("stewart.james"))]);
+        let annotated = g.finish(DatasetId::Imdb);
+        let xml = xmltree::serialize::to_string_compact(&annotated.doc);
+        assert_eq!(xml, "<cast><star>Stewart</star></cast>");
+    }
+}

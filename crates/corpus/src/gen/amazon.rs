@@ -1,0 +1,192 @@
+//! Dataset 2 — Amazon product files (`amazon_product.dtd`, Group 2).
+//!
+//! Flat, repetitive product records whose tag vocabulary is the most
+//! polysemous of the corpus (*stock*, *weight*, *model*, *brand*, *title*,
+//! *feature*, *order*, …): high ambiguity with poor structure.
+
+use rand::Rng;
+use semnet::SemanticNetwork;
+
+use crate::docgen::{AnnotatedDocument, DocGen, GoldSense};
+use crate::gen::vocab;
+use crate::spec::DatasetId;
+
+fn g(key: &str) -> Option<GoldSense> {
+    Some(GoldSense::single(key))
+}
+
+pub(crate) fn generate<R: Rng>(sn: &SemanticNetwork, rng: &mut R) -> AnnotatedDocument {
+    let (mut gen, root) = DocGen::new(sn, "products", g("product.merchandise"));
+    let num_products = rng.gen_range(3..=3);
+    for product_no in 0..num_products {
+        // Repeated record tags are one annotation decision: the first two
+        // products' tags carry gold, the third record only contributes
+        // token gold (and identical disambiguation contexts for every
+        // method).
+        let tg = |key: &str| if product_no < 2 { g(key) } else { None };
+        let item = vocab::pick(rng, vocab::PRODUCTS).to_owned();
+        let product = gen.elem(root, "product", tg("product.merchandise"));
+        gen.attr(product, "category", tg("category.n"), &{
+            let cat = vocab::pick(rng, vocab::CATEGORIES).to_owned();
+            vec![(cat.0, Some(cat.1))]
+        });
+
+        gen.leaf(
+            product,
+            "title",
+            tg("title.work"),
+            &[(item.0, Some(item.1))],
+        );
+        gen.leaf(
+            product,
+            "brand",
+            tg("brand.trademark"),
+            &[(vocab::unknown_name(rng), None)],
+        );
+        gen.plain_leaf(
+            product,
+            "price",
+            tg("price.amount"),
+            &format!("{}", rng.gen_range(10..500)),
+        );
+        gen.plain_leaf(
+            product,
+            "list_price",
+            tg("list_price.n"),
+            &format!("{}", rng.gen_range(10..600)),
+        );
+        gen.plain_leaf(
+            product,
+            "weight",
+            tg("weight.heaviness"),
+            &format!("{}", rng.gen_range(1..40)),
+        );
+        gen.plain_leaf(
+            product,
+            "stock",
+            tg("stock.inventory"),
+            &format!("{}", rng.gen_range(0..90)),
+        );
+        gen.plain_leaf(
+            product,
+            "model",
+            tg("model.version"),
+            &format!("X{}", rng.gen_range(10..99)),
+        );
+        let color = vocab::pick(rng, vocab::COLORS).to_owned();
+        gen.leaf(product, "color", tg("color.n"), &[(color.0, Some(color.1))]);
+        gen.plain_leaf(
+            product,
+            "rating",
+            tg("rating.score"),
+            &format!("{}", rng.gen_range(1..=5)),
+        );
+
+        // Review: free text of high-polysemy commerce words.
+        let review_words = {
+            let n = rng.gen_range(2..=3);
+            vocab::pick_distinct(rng, vocab::COMMERCE_WORDS, n)
+        };
+        let mut review: Vec<(&str, Option<&str>)> = vec![("the", None)];
+        for (i, (word, key)) in review_words.iter().enumerate() {
+            review.push((word, Some(key)));
+            if i == 0 {
+                review.push((vocab::unknown_name(rng), None));
+                review.push(("and", None));
+            }
+        }
+        review.push((vocab::unknown_name(rng), None));
+        gen.leaf(product, "review", tg("review.critique"), &review);
+
+        // Description: the product word plus more commerce vocabulary.
+        let desc_words = {
+            let n = rng.gen_range(1..=2);
+            vocab::pick_distinct(rng, vocab::COMMERCE_WORDS, n)
+        };
+        let mut description: Vec<(&str, Option<&str>)> =
+            vec![(item.0, Some(item.1)), ("with", None)];
+        for (word, key) in &desc_words {
+            description.push((word, Some(key)));
+        }
+        gen.leaf(
+            product,
+            "description",
+            tg("description.account"),
+            &description,
+        );
+
+        // A feature bullet (value mostly brand-speak the lexicon lacks).
+        let f = vocab::pick(rng, vocab::COMMERCE_WORDS).to_owned();
+        gen.leaf(
+            product,
+            "feature",
+            tg("feature.characteristic"),
+            &[(vocab::unknown_name(rng), None), (f.0, Some(f.1))],
+        );
+        gen.leaf(product, "shipping", tg("shipping.transport"), &{
+            let d = ("delivery", "delivery.goods");
+            vec![(d.0, Some(d.1))]
+        });
+    }
+    gen.finish(DatasetId::Amazon)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use semnet::mini_wordnet;
+
+    #[test]
+    fn flat_product_records() {
+        let sn = mini_wordnet();
+        let mut rng = StdRng::seed_from_u64(2);
+        let doc = generate(sn, &mut rng);
+        let t = &doc.tree;
+        assert_eq!(t.label(t.root()), "product");
+        // Products root → "products" stems to "product".
+        assert!(t.max_depth() <= 4, "Amazon records are shallow");
+        for label in [
+            "title", "brand", "price", "stock", "weight", "model", "review",
+        ] {
+            assert!(t.preorder().any(|n| t.label(n) == label), "missing {label}");
+        }
+    }
+
+    #[test]
+    fn tag_vocabulary_is_highly_polysemous() {
+        let sn = mini_wordnet();
+        let mut rng = StdRng::seed_from_u64(4);
+        let doc = generate(sn, &mut rng);
+        let t = &doc.tree;
+        let mut polysemy_sum = 0usize;
+        let mut count = 0usize;
+        for n in t.preorder() {
+            if t.node(n).kind == xmltree::NodeKind::Element {
+                polysemy_sum += sn.polysemy(t.label(n));
+                count += 1;
+            }
+        }
+        let avg = polysemy_sum as f64 / count as f64;
+        assert!(
+            avg >= 2.5,
+            "Group 2 tags should be polysemous on average, got {avg:.2}"
+        );
+    }
+
+    #[test]
+    fn size_near_target() {
+        let sn = mini_wordnet();
+        let mut total = 0;
+        for seed in 0..6 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            total += generate(sn, &mut rng).tree.len();
+        }
+        let avg = total as f64 / 6.0;
+        assert!(
+            (70.0..=160.0).contains(&avg),
+            "avg {avg} vs Table 3 target 113"
+        );
+    }
+}

@@ -1,0 +1,96 @@
+//! Dataset 5 — Niagara bibliography (`bib.dtd`, Group 3).
+
+use rand::Rng;
+use semnet::SemanticNetwork;
+
+use crate::docgen::{AnnotatedDocument, DocGen, GoldSense};
+use crate::gen::vocab;
+use crate::spec::DatasetId;
+
+fn g(key: &str) -> Option<GoldSense> {
+    Some(GoldSense::single(key))
+}
+
+pub(crate) fn generate<R: Rng>(sn: &SemanticNetwork, rng: &mut R) -> AnnotatedDocument {
+    let (mut gen, root) = DocGen::new(sn, "bib", g("bibliography.n"));
+    let num_books = rng.gen_range(2..=2);
+    for _ in 0..num_books {
+        let book = gen.elem(root, "book", g("book.publication"));
+        let words = vocab::pick_distinct(rng, vocab::BOOK_WORDS, 2);
+        let mut title: Vec<(&str, Option<&str>)> = Vec::new();
+        for (i, (word, key)) in words.iter().enumerate() {
+            title.push((word, if i == 0 { Some(key) } else { None }));
+        }
+        gen.leaf(book, "title", g("title.work"), &title);
+        gen.leaf(
+            book,
+            "author",
+            g("writer.n"),
+            &[(vocab::unknown_name(rng), None)],
+        );
+        gen.leaf(
+            book,
+            "publisher",
+            g("publisher.company"),
+            &[(vocab::unknown_name(rng), None)],
+        );
+        gen.plain_leaf(
+            book,
+            "year",
+            g("year.calendar"),
+            &format!("{}", rng.gen_range(1970..2015)),
+        );
+        gen.plain_leaf(
+            book,
+            "price",
+            g("price.amount"),
+            &format!("{}", rng.gen_range(15..120)),
+        );
+    }
+    if rng.gen_bool(0.6) {
+        let article = gen.elem(root, "article", g("article.text"));
+        let w = vocab::pick(rng, vocab::DB_WORDS).to_owned();
+        gen.leaf(article, "title", g("title.work"), &[(w.0, Some(w.1))]);
+        gen.leaf(
+            article,
+            "author",
+            g("writer.n"),
+            &[(vocab::unknown_name(rng), None)],
+        );
+        gen.leaf(
+            article,
+            "journal",
+            g("journal.periodical"),
+            &[("information", None), ("systems", None)],
+        );
+    }
+    gen.finish(DatasetId::Bib)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use semnet::mini_wordnet;
+
+    #[test]
+    fn bib_shape_and_size() {
+        let sn = mini_wordnet();
+        let mut total = 0;
+        for seed in 0..5 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let doc = generate(sn, &mut rng);
+            let t = &doc.tree;
+            assert_eq!(t.label(t.root()), "bib");
+            assert!(t.preorder().any(|n| t.label(n) == "book"));
+            assert!(t.preorder().any(|n| t.label(n) == "publisher"));
+            total += t.len();
+        }
+        let avg = total as f64 / 5.0;
+        assert!(
+            (18.0..=38.0).contains(&avg),
+            "avg {avg} vs Table 3 target 26.5"
+        );
+    }
+}

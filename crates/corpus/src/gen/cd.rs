@@ -1,0 +1,100 @@
+//! Dataset 6 — W3Schools CD catalog (`cd_catalog.dtd`, Group 4).
+
+use rand::Rng;
+use semnet::SemanticNetwork;
+
+use crate::docgen::{AnnotatedDocument, DocGen, GoldSense};
+use crate::gen::vocab;
+use crate::spec::DatasetId;
+
+fn g(key: &str) -> Option<GoldSense> {
+    Some(GoldSense::single(key))
+}
+
+pub(crate) fn generate<R: Rng>(sn: &SemanticNetwork, rng: &mut R) -> AnnotatedDocument {
+    let (mut gen, root) = DocGen::new(sn, "catalog", g("catalog.list"));
+    let num_cds = rng.gen_range(1..=2);
+    for _ in 0..num_cds {
+        let cd = gen.elem(root, "cd", g("cd.disc"));
+        let title = vocab::pick(rng, vocab::CD_TITLES).to_owned();
+        gen.leaf(cd, "title", g("title.work"), &[(title.0, Some(title.1))]);
+        gen.leaf(
+            cd,
+            "artist",
+            g("artist.n"),
+            &[(vocab::unknown_name(rng), None)],
+        );
+        let country = vocab::pick(rng, vocab::COUNTRIES).to_owned();
+        gen.leaf(
+            cd,
+            "country",
+            g("country.nation"),
+            &[(country.0, Some(country.1))],
+        );
+        gen.leaf(
+            cd,
+            "company",
+            g("company.firm"),
+            &[(vocab::unknown_name(rng), None)],
+        );
+        gen.plain_leaf(
+            cd,
+            "price",
+            g("price.amount"),
+            &format!("{}", rng.gen_range(8..25)),
+        );
+        gen.plain_leaf(
+            cd,
+            "year",
+            g("year.calendar"),
+            &format!("{}", rng.gen_range(1970..2000)),
+        );
+        if rng.gen_bool(0.5) {
+            gen.plain_leaf(
+                cd,
+                "track",
+                g("track.song"),
+                &format!("{}", rng.gen_range(2..14)),
+            );
+        }
+    }
+    gen.finish(DatasetId::CdCatalog)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use semnet::mini_wordnet;
+
+    #[test]
+    fn cd_catalog_shape() {
+        let sn = mini_wordnet();
+        let mut rng = StdRng::seed_from_u64(6);
+        let doc = generate(sn, &mut rng);
+        let t = &doc.tree;
+        assert_eq!(t.label(t.root()), "catalog");
+        for label in [
+            "cd", "title", "artist", "country", "company", "price", "year",
+        ] {
+            assert!(t.preorder().any(|n| t.label(n) == label), "missing {label}");
+        }
+        assert!(t.max_depth() <= 3, "flat catalog records");
+    }
+
+    #[test]
+    fn size_near_target() {
+        let sn = mini_wordnet();
+        let mut total = 0;
+        for seed in 0..6 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            total += generate(sn, &mut rng).tree.len();
+        }
+        let avg = total as f64 / 6.0;
+        assert!(
+            (11.0..=26.0).contains(&avg),
+            "avg {avg} vs Table 3 target 16.5"
+        );
+    }
+}

@@ -1,0 +1,116 @@
+//! Dataset 10 — Niagara club membership records (`club.dtd`, Group 4).
+
+use rand::Rng;
+use semnet::SemanticNetwork;
+
+use crate::docgen::{AnnotatedDocument, DocGen, GoldSense};
+use crate::gen::vocab;
+use crate::spec::DatasetId;
+
+fn g(key: &str) -> Option<GoldSense> {
+    Some(GoldSense::single(key))
+}
+
+pub(crate) fn generate<R: Rng>(sn: &SemanticNetwork, rng: &mut R) -> AnnotatedDocument {
+    let (mut gen, root) = DocGen::new(sn, "club", g("club.association"));
+    gen.leaf(
+        root,
+        "president",
+        g("president.organization"),
+        &[(vocab::unknown_name(rng), None)],
+    );
+    if rng.gen_bool(0.6) {
+        gen.leaf(
+            root,
+            "treasurer",
+            g("treasurer.n"),
+            &[(vocab::unknown_name(rng), None)],
+        );
+    }
+    let num_members = rng.gen_range(1..=2);
+    for _ in 0..num_members {
+        let member = gen.elem(root, "member", g("member.person"));
+        gen.leaf(
+            member,
+            "name",
+            g("name.label"),
+            &[(vocab::unknown_name(rng), None)],
+        );
+        gen.plain_leaf(
+            member,
+            "age",
+            g("age.duration"),
+            &format!("{}", rng.gen_range(18..80)),
+        );
+        gen.plain_leaf(
+            member,
+            "phone",
+            g("phone.telephone"),
+            &format!("{}", rng.gen_range(1000000..9999999)),
+        );
+        if rng.gen_bool(0.5) {
+            gen.leaf(
+                member,
+                "interest",
+                g("interest.hobby"),
+                &[(match rng.gen_range(0..3) {
+                    0 => ("music", Some("music.n")),
+                    1 => ("poetry", Some("verse.poetry")),
+                    _ => ("garden", Some("garden.n")),
+                })],
+            );
+        }
+    }
+    gen.leaf(
+        root,
+        "meeting",
+        g("meeting.gathering"),
+        &[("Tuesday", None)],
+    );
+    gen.finish(DatasetId::Club)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use semnet::mini_wordnet;
+
+    #[test]
+    fn club_shape() {
+        let sn = mini_wordnet();
+        let mut rng = StdRng::seed_from_u64(16);
+        let doc = generate(sn, &mut rng);
+        let t = &doc.tree;
+        assert_eq!(t.label(t.root()), "club");
+        for label in ["president", "member", "name", "age", "phone", "meeting"] {
+            assert!(t.preorder().any(|n| t.label(n) == label), "missing {label}");
+        }
+    }
+
+    #[test]
+    fn member_gold_is_person_sense() {
+        let sn = mini_wordnet();
+        let mut rng = StdRng::seed_from_u64(17);
+        let doc = generate(sn, &mut rng);
+        let t = &doc.tree;
+        let member = t.preorder().find(|&n| t.label(n) == "member").unwrap();
+        assert_eq!(doc.gold[&member], GoldSense::single("member.person"));
+    }
+
+    #[test]
+    fn size_near_target() {
+        let sn = mini_wordnet();
+        let mut total = 0;
+        for seed in 0..6 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            total += generate(sn, &mut rng).tree.len();
+        }
+        let avg = total as f64 / 6.0;
+        assert!(
+            (10.0..=24.0).contains(&avg),
+            "avg {avg} vs Table 3 target 15.5"
+        );
+    }
+}

@@ -1,0 +1,79 @@
+//! Dataset 7 — W3Schools breakfast menu (`food_menu.dtd`, Group 4).
+
+use rand::Rng;
+use semnet::SemanticNetwork;
+
+use crate::docgen::{AnnotatedDocument, DocGen, GoldSense};
+use crate::gen::vocab;
+use crate::spec::DatasetId;
+
+fn g(key: &str) -> Option<GoldSense> {
+    Some(GoldSense::single(key))
+}
+
+pub(crate) fn generate<R: Rng>(sn: &SemanticNetwork, rng: &mut R) -> AnnotatedDocument {
+    let (mut gen, root) = DocGen::new(sn, "menu", g("menu.list"));
+    let num_foods = rng.gen_range(1..=2);
+    for _ in 0..num_foods {
+        let dish = vocab::pick(rng, vocab::DISHES).to_owned();
+        let food = gen.elem(root, "food", g("food.substance"));
+        gen.leaf(food, "name", g("name.label"), &[(dish.0, Some(dish.1))]);
+        gen.plain_leaf(
+            food,
+            "price",
+            g("price.amount"),
+            &format!("{}", rng.gen_range(4..15)),
+        );
+        let ingredients = {
+            let n = 1;
+            vocab::pick_distinct(rng, vocab::INGREDIENTS, n)
+        };
+        let mut description: Vec<(&str, Option<&str>)> =
+            vec![(dish.0, Some(dish.1)), ("with", None)];
+        for (word, key) in &ingredients {
+            description.push((word, Some(key)));
+        }
+        gen.leaf(food, "description", g("description.account"), &description);
+        gen.plain_leaf(
+            food,
+            "calories",
+            g("calorie.n"),
+            &format!("{}", rng.gen_range(150..900)),
+        );
+    }
+    gen.finish(DatasetId::FoodMenu)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use semnet::mini_wordnet;
+
+    #[test]
+    fn menu_shape() {
+        let sn = mini_wordnet();
+        let mut rng = StdRng::seed_from_u64(7);
+        let doc = generate(sn, &mut rng);
+        let t = &doc.tree;
+        assert_eq!(t.label(t.root()), "menu");
+        for label in ["food", "name", "price", "description"] {
+            assert!(t.preorder().any(|n| t.label(n) == label), "missing {label}");
+        }
+        // "calories" normalizes via morphy to "calorie".
+        assert!(t
+            .preorder()
+            .any(|n| t.label(n) == "calorie" || t.label(n) == "calories"));
+    }
+
+    #[test]
+    fn descriptions_carry_ingredient_gold() {
+        let sn = mini_wordnet();
+        let mut rng = StdRng::seed_from_u64(12);
+        let doc = generate(sn, &mut rng);
+        let ingredient_keys: Vec<String> = doc.gold.values().map(|g| g.key()).collect();
+        assert!(ingredient_keys.iter().any(|k| k.contains('.')));
+        assert!(doc.gold_count() >= 6);
+    }
+}

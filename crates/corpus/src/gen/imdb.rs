@@ -1,0 +1,134 @@
+//! Dataset 4 — IMDB movie records (`movies.dtd`, Group 3). The dataset of
+//! the paper's Figure 1.
+
+use rand::Rng;
+use semnet::SemanticNetwork;
+
+use crate::docgen::{AnnotatedDocument, DocGen, GoldSense};
+use crate::gen::vocab;
+use crate::spec::DatasetId;
+
+fn g(key: &str) -> Option<GoldSense> {
+    Some(GoldSense::single(key))
+}
+
+pub(crate) fn generate<R: Rng>(sn: &SemanticNetwork, rng: &mut R) -> AnnotatedDocument {
+    let (mut gen, root) = DocGen::new(sn, "movies", g("film.movie"));
+    let movie = gen.elem(root, "movie", g("film.movie"));
+    gen.attr(
+        movie,
+        "year",
+        g("year.calendar"),
+        &[(
+            match rng.gen_range(0..4) {
+                0 => "1954",
+                1 => "1958",
+                2 => "1960",
+                _ => "1946",
+            },
+            None,
+        )],
+    );
+    // Title: one or two evocative words.
+    let title_word = match rng.gen_range(0..4) {
+        0 => ("window", Some("window.n")),
+        1 => ("vertigo", Some("vertigo.film")),
+        2 => ("storm", Some("storm.weather")),
+        _ => ("night", Some("night.period")),
+    };
+    gen.leaf(
+        movie,
+        "title",
+        g("title.work"),
+        &[("the", None), title_word],
+    );
+    let director = vocab::pick(rng, vocab::DIRECTORS).to_owned();
+    gen.leaf(
+        movie,
+        "director",
+        g("director.film"),
+        &[(director.0, Some(director.1))],
+    );
+    let genre = vocab::pick(rng, vocab::GENRES).to_owned();
+    gen.leaf(movie, "genre", g("genre.kind"), &[(genre.0, Some(genre.1))]);
+    let cast = gen.elem(movie, "cast", g("cast.actors"));
+    for (star, key) in vocab::pick_distinct(rng, vocab::MOVIE_STARS, 2) {
+        gen.leaf(cast, "star", g("star.performer"), &[(star, Some(key))]);
+    }
+    if rng.gen_bool(0.5) {
+        gen.leaf(
+            movie,
+            "plot",
+            g("plot.story"),
+            &[
+                ("a", None),
+                ("photographer", Some("photographer.n")),
+                ("spies", None),
+                ("on", None),
+                ("his", None),
+                ("neighbors", Some("neighbor.n")),
+            ],
+        );
+    }
+    gen.finish(DatasetId::Imdb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use semnet::mini_wordnet;
+
+    #[test]
+    fn figure1_shape() {
+        let sn = mini_wordnet();
+        let mut rng = StdRng::seed_from_u64(0);
+        let doc = generate(sn, &mut rng);
+        let t = &doc.tree;
+        // "movies" stems to "movi"? No: "movies" → unknown, stem "movi"
+        // unknown → kept as "movies"... the lexicon has "movie" so the stem
+        // fallback tries porter("movies") = "movi" which is NOT "movie".
+        // Hence the root label is whatever pre-processing decided; assert
+        // the cast/star structure instead.
+        for label in ["movie", "cast", "star", "director", "genre", "title"] {
+            assert!(t.preorder().any(|n| t.label(n) == label), "missing {label}");
+        }
+        let size = t.len();
+        assert!(
+            (12..=25).contains(&size),
+            "size {size} vs Table 3 target 15.5"
+        );
+    }
+
+    #[test]
+    fn stars_have_person_gold() {
+        let sn = mini_wordnet();
+        let mut rng = StdRng::seed_from_u64(8);
+        let doc = generate(sn, &mut rng);
+        let star_golds: Vec<String> = doc
+            .gold
+            .iter()
+            .filter(|(n, _)| {
+                doc.tree.parent(**n).map(|p| doc.tree.label(p) == "star") == Some(true)
+            })
+            .map(|(_, g)| g.key())
+            .collect();
+        assert_eq!(star_golds.len(), 2);
+        for k in &star_golds {
+            assert!(
+                [
+                    "kelly.grace",
+                    "stewart.james",
+                    "grant.cary",
+                    "bergman.ingrid",
+                    "bogart.humphrey",
+                    "hepburn.audrey",
+                    "monroe.marilyn"
+                ]
+                .contains(&k.as_str()),
+                "unexpected star gold {k}"
+            );
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! The ten dataset generators (Table 3 of the paper).
+//!
+//! Every generator is deterministic in its `(dataset, doc_index, seed)`
+//! inputs, emits documents from the dataset's DTD vocabulary, and attaches
+//! gold senses to every token whose word exists in the reference network
+//! (names invented for realism — authors, brands, people — stay
+//! unannotated, exactly like out-of-vocabulary words in the real corpus).
+
+pub mod amazon;
+pub mod bib;
+pub mod cd;
+pub mod club;
+pub mod food;
+pub mod imdb;
+pub mod personnel;
+pub mod plants;
+pub mod shakespeare;
+pub mod sigmod;
+pub mod vocab;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use semnet::SemanticNetwork;
+
+use crate::docgen::AnnotatedDocument;
+use crate::spec::DatasetId;
+
+/// Generates document `index` of a dataset (0-based), deterministically
+/// derived from `seed`.
+pub fn generate_document(
+    sn: &SemanticNetwork,
+    dataset: DatasetId,
+    index: usize,
+    seed: u64,
+) -> AnnotatedDocument {
+    let mut rng = StdRng::seed_from_u64(
+        seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((dataset.number() as u64) << 32)
+            .wrapping_add(index as u64),
+    );
+    match dataset {
+        DatasetId::Shakespeare => shakespeare::generate(sn, &mut rng),
+        DatasetId::Amazon => amazon::generate(sn, &mut rng),
+        DatasetId::Sigmod => sigmod::generate(sn, &mut rng),
+        DatasetId::Imdb => imdb::generate(sn, &mut rng),
+        DatasetId::Bib => bib::generate(sn, &mut rng),
+        DatasetId::CdCatalog => cd::generate(sn, &mut rng),
+        DatasetId::FoodMenu => food::generate(sn, &mut rng),
+        DatasetId::PlantCatalog => plants::generate(sn, &mut rng),
+        DatasetId::Personnel => personnel::generate(sn, &mut rng),
+        DatasetId::Club => club::generate(sn, &mut rng),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::docgen::GoldSense;
+    use semnet::mini_wordnet;
+    use xsdf::senses::candidates_for_label;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let sn = mini_wordnet();
+        for &ds in &DatasetId::ALL {
+            let a = generate_document(sn, ds, 0, 42);
+            let b = generate_document(sn, ds, 0, 42);
+            assert_eq!(a.tree.len(), b.tree.len(), "{ds}");
+            assert_eq!(a.gold.len(), b.gold.len(), "{ds}");
+            let c = generate_document(sn, ds, 1, 42);
+            // Different index gives a different document (usually size or
+            // content); at minimum, gold concepts can differ. Just assert
+            // the generator doesn't panic and produces nodes.
+            assert!(c.tree.len() > 3, "{ds}");
+        }
+    }
+
+    #[test]
+    fn every_dataset_produces_gold() {
+        let sn = mini_wordnet();
+        for &ds in &DatasetId::ALL {
+            let doc = generate_document(sn, ds, 0, 7);
+            assert!(
+                doc.gold_count() >= 5,
+                "{ds} produced only {} gold nodes",
+                doc.gold_count()
+            );
+        }
+    }
+
+    #[test]
+    fn gold_senses_are_reachable_candidates() {
+        // Invariant: for every gold node, the gold concept key is among the
+        // label's candidate senses — otherwise no method could ever be
+        // scored correct on it.
+        let sn = mini_wordnet();
+        for &ds in &DatasetId::ALL {
+            for idx in 0..2 {
+                let doc = generate_document(sn, ds, idx, 11);
+                for (&node, gold) in &doc.gold {
+                    let label = doc.tree.label(node);
+                    let keys: Vec<String> = match candidates_for_label(sn, label) {
+                        xsdf::SenseCandidates::Unknown => Vec::new(),
+                        xsdf::SenseCandidates::Single(senses) => {
+                            senses.iter().map(|&c| sn.concept(c).key.clone()).collect()
+                        }
+                        xsdf::SenseCandidates::Compound { first, second } => first
+                            .iter()
+                            .flat_map(|&a| {
+                                second.iter().map(move |&b| {
+                                    format!("{}+{}", sn.concept(a).key, sn.concept(b).key)
+                                })
+                            })
+                            .collect(),
+                    };
+                    let gold_key = gold.key();
+                    assert!(
+                        keys.contains(&gold_key),
+                        "{ds}: node {label:?} gold {gold_key:?} not among candidates {keys:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn node_counts_near_table3_targets() {
+        let sn = mini_wordnet();
+        for &ds in &DatasetId::ALL {
+            let spec = ds.spec();
+            let mut total = 0usize;
+            for idx in 0..spec.num_docs {
+                total += generate_document(sn, ds, idx, 3).tree.len();
+            }
+            let avg = total as f64 / spec.num_docs as f64;
+            let target = spec.target_nodes_per_doc;
+            assert!(
+                (avg - target).abs() / target < 0.45,
+                "{ds}: avg nodes {avg:.1} too far from Table 3 target {target:.1}"
+            );
+        }
+    }
+
+    #[test]
+    fn documents_parse_back_from_xml() {
+        let sn = mini_wordnet();
+        for &ds in &DatasetId::ALL {
+            let doc = generate_document(sn, ds, 0, 5);
+            let xml = xmltree::serialize::to_string_pretty(&doc.doc);
+            let reparsed = xmltree::parse(&xml).unwrap_or_else(|e| panic!("{ds}: {e}"));
+            assert_eq!(reparsed.element_count(), doc.doc.element_count(), "{ds}");
+        }
+    }
+
+    #[test]
+    fn root_labels_match_grammars() {
+        let sn = mini_wordnet();
+        let expect = [
+            (DatasetId::Shakespeare, "play"),
+            (DatasetId::Sigmod, "proceedings"),
+            (DatasetId::Personnel, "personnel"),
+            (DatasetId::Club, "club"),
+            (DatasetId::FoodMenu, "menu"),
+        ];
+        for (ds, root) in expect {
+            let doc = generate_document(sn, ds, 0, 1);
+            assert_eq!(doc.tree.label(doc.tree.root()), root, "{ds}");
+        }
+    }
+
+    #[test]
+    fn personnel_contains_the_papers_state_example() {
+        // Section 4.2's Doc 9 example: child node "state" under "address".
+        let sn = mini_wordnet();
+        let doc = generate_document(sn, DatasetId::Personnel, 0, 1);
+        let t = &doc.tree;
+        let state = t
+            .preorder()
+            .find(|&n| t.label(n) == "state")
+            .expect("state node");
+        let parent = t.parent(state).unwrap();
+        assert_eq!(t.label(parent), "address");
+        assert_eq!(doc.gold[&state], GoldSense::single("state.province"));
+    }
+}

@@ -1,0 +1,96 @@
+//! Dataset 8 — W3Schools plant catalog (`plant_catalog.dtd`, Group 4).
+
+use rand::Rng;
+use semnet::SemanticNetwork;
+
+use crate::docgen::{AnnotatedDocument, DocGen, GoldSense};
+use crate::gen::vocab;
+use crate::spec::DatasetId;
+
+fn g(key: &str) -> Option<GoldSense> {
+    Some(GoldSense::single(key))
+}
+
+pub(crate) fn generate<R: Rng>(sn: &SemanticNetwork, rng: &mut R) -> AnnotatedDocument {
+    let (mut gen, root) = DocGen::new(sn, "catalog", g("catalog.list"));
+    let num_plants = rng.gen_range(1..=1);
+    for _ in 0..num_plants {
+        let plant = gen.elem(root, "plant", g("plant.organism"));
+        let species = vocab::pick(rng, vocab::PLANTS).to_owned();
+        gen.leaf(
+            plant,
+            "common",
+            g("common_name.n"),
+            &[(species.0, Some(species.1))],
+        );
+        gen.leaf(
+            plant,
+            "botanical",
+            g("botanical.a"),
+            &[(vocab::unknown_name(rng), None)],
+        );
+        gen.plain_leaf(
+            plant,
+            "zone",
+            g("zone.climate"),
+            &format!("{}", rng.gen_range(3..9)),
+        );
+        let light = vocab::pick(rng, vocab::LIGHT_CONDITIONS).to_owned();
+        gen.leaf(
+            plant,
+            "light",
+            g("light.radiation"),
+            &[(light.0, Some(light.1))],
+        );
+        gen.plain_leaf(
+            plant,
+            "price",
+            g("price.amount"),
+            &format!("{}", rng.gen_range(2..12)),
+        );
+        if rng.gen_bool(0.6) {
+            gen.leaf(
+                plant,
+                "availability",
+                g("availability.n"),
+                &[("spring", Some("spring.season"))],
+            );
+        }
+    }
+    gen.finish(DatasetId::PlantCatalog)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use semnet::mini_wordnet;
+
+    #[test]
+    fn plant_catalog_shape() {
+        let sn = mini_wordnet();
+        let mut rng = StdRng::seed_from_u64(13);
+        let doc = generate(sn, &mut rng);
+        let t = &doc.tree;
+        assert_eq!(t.label(t.root()), "catalog");
+        for label in ["plant", "common", "botanical", "zone", "light", "price"] {
+            assert!(t.preorder().any(|n| t.label(n) == label), "missing {label}");
+        }
+        let size = t.len();
+        assert!(
+            (8..=18).contains(&size),
+            "size {size} vs Table 3 target 11.7"
+        );
+    }
+
+    #[test]
+    fn light_leaf_disambiguates_radiation() {
+        let sn = mini_wordnet();
+        let mut rng = StdRng::seed_from_u64(21);
+        let doc = generate(sn, &mut rng);
+        let t = &doc.tree;
+        let light = t.preorder().find(|&n| t.label(n) == "light").unwrap();
+        assert_eq!(doc.gold[&light], GoldSense::single("light.radiation"));
+    }
+}

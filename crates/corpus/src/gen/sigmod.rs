@@ -1,0 +1,103 @@
+//! Dataset 3 — SIGMOD Record proceedings (`ProceedingsPage.dtd`, Group 3).
+
+use rand::Rng;
+use semnet::SemanticNetwork;
+
+use crate::docgen::{AnnotatedDocument, DocGen, GoldSense};
+use crate::gen::vocab;
+use crate::spec::DatasetId;
+
+fn g(key: &str) -> Option<GoldSense> {
+    Some(GoldSense::single(key))
+}
+
+pub(crate) fn generate<R: Rng>(sn: &SemanticNetwork, rng: &mut R) -> AnnotatedDocument {
+    let (mut gen, root) = DocGen::new(sn, "proceedings", g("proceedings.record"));
+    gen.leaf(
+        root,
+        "conference",
+        g("conference.meeting"),
+        &[("database", None), ("conference", None)],
+    );
+    let num_sections = rng.gen_range(1..=1);
+    for _ in 0..num_sections {
+        let section = gen.elem(root, "section", g("section.division"));
+        let sw = vocab::pick(rng, vocab::DB_WORDS).to_owned();
+        gen.leaf(
+            section,
+            "title",
+            g("title.work"),
+            &[(sw.0, Some(sw.1)), ("research", None)],
+        );
+        let num_articles = rng.gen_range(2..=2);
+        for _ in 0..num_articles {
+            let article = gen.elem(section, "article", g("article.text"));
+            let words = vocab::pick_distinct(rng, vocab::DB_WORDS, 2);
+            let mut title: Vec<(&str, Option<&str>)> = vec![("on", None)];
+            for (word, key) in &words {
+                title.push((word, Some(key)));
+            }
+            gen.leaf(article, "title", g("title.work"), &title);
+            for _ in 0..rng.gen_range(1..=2) {
+                gen.leaf(
+                    article,
+                    "author",
+                    g("writer.n"),
+                    &[(vocab::unknown_name(rng), None)],
+                );
+            }
+            gen.plain_leaf(
+                article,
+                "volume",
+                g("volume.series"),
+                &format!("{}", rng.gen_range(10..40)),
+            );
+            gen.plain_leaf(
+                article,
+                "number",
+                g("issue.periodical"),
+                &format!("{}", rng.gen_range(1..4)),
+            );
+            let start = rng.gen_range(1..300);
+            gen.plain_leaf(article, "page", g("page.sheet"), &format!("{start}"));
+        }
+    }
+    gen.finish(DatasetId::Sigmod)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use semnet::mini_wordnet;
+
+    #[test]
+    fn proceedings_shape() {
+        let sn = mini_wordnet();
+        let mut rng = StdRng::seed_from_u64(9);
+        let doc = generate(sn, &mut rng);
+        let t = &doc.tree;
+        assert_eq!(t.label(t.root()), "proceedings");
+        for label in [
+            "section", "article", "title", "author", "volume", "number", "page",
+        ] {
+            assert!(t.preorder().any(|n| t.label(n) == label), "missing {label}");
+        }
+        let size = t.len();
+        assert!(
+            (25..=55).contains(&size),
+            "size {size} vs Table 3 target 39"
+        );
+    }
+
+    #[test]
+    fn article_titles_carry_db_gold() {
+        let sn = mini_wordnet();
+        let mut rng = StdRng::seed_from_u64(5);
+        let doc = generate(sn, &mut rng);
+        let gold_keys: Vec<String> = doc.gold.values().map(|g| g.key()).collect();
+        assert!(gold_keys.iter().any(|k| k == "article.text"));
+        assert!(gold_keys.iter().any(|k| k == "title.work"));
+    }
+}

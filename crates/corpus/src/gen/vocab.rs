@@ -1,0 +1,400 @@
+//! Shared vocabulary pools: `(word, gold concept key)` pairs whose words
+//! all resolve in MiniWordNet, plus invented out-of-vocabulary names that
+//! deliberately stay unannotated (like real-world proper nouns absent from
+//! WordNet).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A vocabulary entry: the surface word and its intended concept key.
+pub type Entry = (&'static str, &'static str);
+
+/// Picks a random entry from a pool.
+pub fn pick<'a, R: Rng>(rng: &mut R, pool: &'a [Entry]) -> &'a Entry {
+    pool.choose(rng).expect("non-empty pool")
+}
+
+/// Picks `n` distinct entries (or fewer if the pool is smaller).
+pub fn pick_distinct<R: Rng>(rng: &mut R, pool: &[Entry], n: usize) -> Vec<Entry> {
+    let mut pool: Vec<Entry> = pool.to_vec();
+    pool.shuffle(rng);
+    pool.truncate(n);
+    pool
+}
+
+/// Invented proper names with no senses in the network (unannotated).
+pub static UNKNOWN_NAMES: &[&str] = &[
+    "Durand",
+    "Nakamura",
+    "Olsson",
+    "Petrov",
+    "Marchetti",
+    "Okafor",
+    "Lindqvist",
+    "Costa",
+    "Haddad",
+    "Novak",
+    "Bergstrom",
+    "Tanaka",
+    "Moreau",
+    "Silva",
+    "Kovacs",
+    "Armand",
+];
+
+/// Picks an invented name.
+pub fn unknown_name<R: Rng>(rng: &mut R) -> &'static str {
+    UNKNOWN_NAMES[rng.gen_range(0..UNKNOWN_NAMES.len())]
+}
+
+/// Elizabethan content words for Shakespeare line text (high polysemy,
+/// Group 1's ambiguity driver).
+pub static ELIZABETHAN: &[Entry] = &[
+    ("love", "love.emotion"),
+    ("death", "death.event"),
+    ("king", "king.monarch"),
+    ("queen", "queen.monarch"),
+    ("crown", "crown.monarchy"),
+    ("ghost", "ghost.spirit"),
+    ("sword", "sword.n"),
+    ("blood", "blood.fluid"),
+    ("heart", "heart.courage"),
+    ("night", "night.period"),
+    ("honor", "honor.respect"),
+    ("murder", "murder.n"),
+    ("poison", "poison.substance"),
+    ("revenge", "revenge.n"),
+    ("fate", "fate.n"),
+    ("storm", "storm.weather"),
+    ("grave", "grave.burial"),
+    ("madness", "madness.insanity"),
+    ("battle", "battle.fight"),
+    ("war", "war.n"),
+    ("throne", "throne.power"),
+    ("kingdom", "kingdom.realm"),
+    ("castle", "castle.building"),
+    ("dagger", "dagger.knife"),
+    ("witch", "witch.n"),
+    ("prophecy", "prophecy.n"),
+    ("soul", "soul.spirit"),
+    ("friend", "friend.n"),
+    ("enemy", "enemy.n"),
+    ("father", "father.n"),
+    ("mother", "mother.n"),
+    ("daughter", "daughter.n"),
+    ("son", "son.n"),
+    ("brother", "brother.n"),
+];
+
+/// Thematic sub-pools for line text: a line stays within one theme, so
+/// the immediate (radius-1) context of each word is maximally coherent
+/// while farther rings mix themes — producing the paper's observation that
+/// small spheres suit rich ambiguous data (Section 4.3.1).
+pub static THEMES: &[&[Entry]] = &[
+    // Royal court.
+    &[
+        ("king", "king.monarch"),
+        ("queen", "queen.monarch"),
+        ("crown", "crown.monarchy"),
+        ("throne", "throne.power"),
+        ("kingdom", "kingdom.realm"),
+        ("castle", "castle.building"),
+        ("prince", "prince.n"),
+        ("duke", "duke.n"),
+        ("lord", "lord.noble"),
+        ("lady", "lady.noble"),
+    ],
+    // War.
+    &[
+        ("battle", "battle.fight"),
+        ("war", "war.n"),
+        ("sword", "sword.n"),
+        ("dagger", "dagger.knife"),
+        ("blood", "blood.fluid"),
+        ("soldier", "soldier.n"),
+        ("enemy", "enemy.military"),
+        ("captain", "captain.n"),
+        ("honor", "honor.respect"),
+    ],
+    // Love and kinship.
+    &[
+        ("love", "love.emotion"),
+        ("heart", "heart.courage"),
+        ("friend", "friend.n"),
+        ("father", "father.n"),
+        ("mother", "mother.n"),
+        ("daughter", "daughter.n"),
+        ("son", "son.n"),
+        ("brother", "brother.n"),
+        ("soul", "soul.spirit"),
+    ],
+    // Night and doom.
+    &[
+        ("death", "death.event"),
+        ("night", "night.period"),
+        ("ghost", "ghost.spirit"),
+        ("grave", "grave.burial"),
+        ("murder", "murder.n"),
+        ("poison", "poison.substance"),
+        ("revenge", "revenge.n"),
+        ("fate", "fate.n"),
+        ("storm", "storm.weather"),
+        ("madness", "madness.insanity"),
+        ("witch", "witch.n"),
+        ("prophecy", "prophecy.n"),
+    ],
+];
+
+/// Dramatis personae role words.
+pub static PERSONAE: &[Entry] = &[
+    ("king", "king.monarch"),
+    ("queen", "queen.monarch"),
+    ("prince", "prince.n"),
+    ("duke", "duke.n"),
+    ("lord", "lord.noble"),
+    ("lady", "lady.noble"),
+    ("ghost", "ghost.spirit"),
+    ("messenger", "messenger.n"),
+    ("servant", "servant.n"),
+    ("soldier", "soldier.n"),
+    ("captain", "captain.n"),
+    ("fool", "fool.jester"),
+    ("witch", "witch.n"),
+];
+
+/// Famous movie people: `(surname, concept key)`.
+pub static MOVIE_STARS: &[Entry] = &[
+    ("Kelly", "kelly.grace"),
+    ("Stewart", "stewart.james"),
+    ("Grant", "grant.cary"),
+    ("Bergman", "bergman.ingrid"),
+    ("Bogart", "bogart.humphrey"),
+    ("Hepburn", "hepburn.audrey"),
+    ("Monroe", "monroe.marilyn"),
+];
+
+/// Famous directors.
+pub static DIRECTORS: &[Entry] = &[
+    ("Hitchcock", "hitchcock.alfred"),
+    ("Welles", "welles.orson"),
+    ("Kubrick", "kubrick.stanley"),
+    ("Ford", "ford.john"),
+    ("Wilder", "wilder.billy"),
+];
+
+/// Movie genres.
+pub static GENRES: &[Entry] = &[
+    ("mystery", "mystery.story"),
+    ("western", "western.genre"),
+    ("comedy", "comedy.genre"),
+    ("thriller", "thriller.n"),
+    ("romance", "romance.story"),
+    ("horror", "horror.genre"),
+    ("drama", "drama.play"),
+];
+
+/// Products sold by the retail generator: concrete nouns.
+pub static PRODUCTS: &[Entry] = &[
+    ("camera", "camera.n"),
+    ("guitar", "guitar.n"),
+    ("piano", "piano.instrument"),
+    ("phone", "phone.telephone"),
+    ("sword", "sword.n"),
+    ("curtain", "curtain.n"),
+    ("costume", "costume.n"),
+];
+
+/// Product categories.
+pub static CATEGORIES: &[Entry] = &[
+    ("music", "music.n"),
+    ("equipment", "equipment.n"),
+    ("clothing", "clothing.n"),
+    ("food", "food.substance"),
+    ("furniture", "furniture.n"),
+];
+
+/// Product colors (the polysemous color words).
+pub static COLORS: &[Entry] = &[
+    ("rose", "rose.color"),
+    ("violet", "violet.color"),
+    ("coffee", "coffee.color"),
+];
+
+/// Review/description words (high-polysemy commerce vocabulary, the
+/// Group 2 ambiguity driver).
+pub static COMMERCE_WORDS: &[Entry] = &[
+    ("product", "product.merchandise"),
+    ("delivery", "delivery.goods"),
+    ("price", "price.amount"),
+    ("stock", "stock.inventory"),
+    ("weight", "weight.heaviness"),
+    ("model", "model.version"),
+    ("brand", "brand.trademark"),
+    ("package", "package.parcel"),
+    ("store", "store.shop"),
+    ("market", "market.place"),
+    ("discount", "discount.reduction"),
+    ("warranty", "warranty.n"),
+    ("customer", "customer.n"),
+    ("seller", "seller.n"),
+    ("gift", "gift.present"),
+    ("order", "order.purchase"),
+    ("return", "return.goods"),
+    ("quality", "quality.n"),
+];
+
+/// Database-flavored title words for SIGMOD articles.
+pub static DB_WORDS: &[Entry] = &[
+    ("database", "database.n"),
+    ("query", "query.n"),
+    ("index", "index.list"),
+    ("record", "record.document"),
+    ("information", "information.n"),
+    ("knowledge", "cognition.n"),
+    ("data", "information.n"),
+    ("processing", "process.n"),
+];
+
+/// Book-title words for the bib dataset.
+pub static BOOK_WORDS: &[Entry] = &[
+    ("database", "database.n"),
+    ("history", "history.study"),
+    ("poetry", "verse.poetry"),
+    ("music", "music.n"),
+    ("botany", "botany.n"),
+    ("information", "information.n"),
+    ("knowledge", "cognition.n"),
+];
+
+/// CD title words.
+pub static CD_TITLES: &[Entry] = &[
+    ("blues", "blues.music"),
+    ("soul", "soul.music"),
+    ("rock", "rock.music"),
+    ("jazz", "jazz.music"),
+    ("folk", "folk.music"),
+];
+
+/// Countries for the CD catalog.
+pub static COUNTRIES: &[Entry] = &[
+    ("Norway", "norway.n"),
+    ("USA", "america.n"),
+    ("England", "england.n"),
+    ("France", "france.n"),
+    ("Italy", "italy.n"),
+    ("Scotland", "scotland.n"),
+];
+
+/// Breakfast dishes.
+pub static DISHES: &[Entry] = &[
+    ("waffle", "waffle.food"),
+    ("pancake", "pancake.n"),
+    ("toast", "toast.bread"),
+    ("omelet", "omelet.n"),
+    ("salad", "salad.n"),
+    ("soup", "soup.n"),
+    ("pie", "pie.n"),
+];
+
+/// Menu description ingredients.
+pub static INGREDIENTS: &[Entry] = &[
+    ("egg", "egg.food"),
+    ("cream", "cream.dairy"),
+    ("syrup", "syrup.n"),
+    ("berry", "berry.fruit"),
+    ("honey", "honey.food"),
+    ("butter", "butter.n"),
+    ("sugar", "sugar.food"),
+    ("milk", "milk.drink"),
+    ("coffee", "coffee.drink"),
+    ("juice", "juice.drink"),
+    ("bacon", "bacon.n"),
+    ("bread", "bread.food"),
+];
+
+/// Garden plants for the plant catalog.
+pub static PLANTS: &[Entry] = &[
+    ("rose", "rose.flower"),
+    ("violet", "violet.flower"),
+    ("tulip", "tulip.n"),
+    ("daisy", "daisy.n"),
+    ("fern", "fern.n"),
+    ("lily", "lily.flower"),
+    ("orchid", "orchid.n"),
+    ("iris", "iris.flower"),
+    ("columbine", "columbine.flower"),
+    ("anemone", "anemone.flower"),
+    ("marigold", "marigold.n"),
+    ("primrose", "primrose.n"),
+];
+
+/// Light conditions for the plant catalog.
+pub static LIGHT_CONDITIONS: &[Entry] = &[
+    ("shade", "shade.shadow"),
+    ("sun", "sun.light"),
+    ("sunlight", "sun.light"),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semnet::mini_wordnet;
+
+    /// Every pool entry's word must resolve to senses including its gold
+    /// key in MiniWordNet (otherwise gold alignment would be impossible).
+    #[test]
+    fn all_pool_entries_resolve() {
+        let sn = mini_wordnet();
+        let pools: &[(&str, &[Entry])] = &[
+            ("ELIZABETHAN", ELIZABETHAN),
+            ("PERSONAE", PERSONAE),
+            ("MOVIE_STARS", MOVIE_STARS),
+            ("DIRECTORS", DIRECTORS),
+            ("GENRES", GENRES),
+            ("PRODUCTS", PRODUCTS),
+            ("CATEGORIES", CATEGORIES),
+            ("COLORS", COLORS),
+            ("COMMERCE_WORDS", COMMERCE_WORDS),
+            ("DB_WORDS", DB_WORDS),
+            ("BOOK_WORDS", BOOK_WORDS),
+            ("CD_TITLES", CD_TITLES),
+            ("COUNTRIES", COUNTRIES),
+            ("DISHES", DISHES),
+            ("INGREDIENTS", INGREDIENTS),
+            ("PLANTS", PLANTS),
+            ("LIGHT_CONDITIONS", LIGHT_CONDITIONS),
+        ];
+        for (pool_name, pool) in pools {
+            for (word, key) in *pool {
+                let senses = sn.senses_normalized(word, lingproc::porter_stem);
+                assert!(!senses.is_empty(), "{pool_name}: {word:?} has no senses");
+                let keys: Vec<&str> = senses.iter().map(|&c| sn.concept(c).key.as_str()).collect();
+                assert!(
+                    keys.contains(key),
+                    "{pool_name}: {word:?} gold {key:?} not among senses {keys:?}"
+                );
+            }
+        }
+    }
+
+    /// Unknown names must really be unknown (no accidental senses).
+    #[test]
+    fn unknown_names_are_unknown() {
+        let sn = mini_wordnet();
+        for name in UNKNOWN_NAMES {
+            let senses = sn.senses_normalized(name, lingproc::porter_stem);
+            assert!(senses.is_empty(), "{name:?} unexpectedly has senses");
+        }
+    }
+
+    #[test]
+    fn pick_distinct_returns_distinct() {
+        let mut rng = rand::rngs::mock::StepRng::new(0, 13);
+        let picked = pick_distinct(&mut rng, ELIZABETHAN, 5);
+        assert_eq!(picked.len(), 5);
+        let mut words: Vec<&str> = picked.iter().map(|e| e.0).collect();
+        words.sort_unstable();
+        words.dedup();
+        assert_eq!(words.len(), 5);
+    }
+}

@@ -1,0 +1,36 @@
+//! # xsdf-corpus
+//!
+//! Deterministic synthetic generators for the evaluation corpus of
+//! *Resolving XML Semantic Ambiguity* (EDBT 2015, Section 4.1, Table 3).
+//!
+//! The paper evaluates on 10 datasets drawn from public XML sources
+//! (Shakespeare plays, Amazon product feeds, SIGMOD Record, IMDB, the
+//! Niagara collection, W3Schools samples), organized into four groups by
+//! average node ambiguity × structural richness (Table 1). Those sources
+//! are partly dead-linked and not redistributable, so this crate generates
+//! documents **from the same DTD vocabularies with the same structural
+//! statistics**, using seeded RNG for reproducibility.
+//!
+//! Crucially, the generators know the *intended sense* of every label and
+//! text token they emit, producing a complete gold standard
+//! ([`AnnotatedDocument::gold`]) — stricter than the paper's 1000
+//! hand-annotated nodes.
+//!
+//! The [`annotators`] module simulates the paper's five human raters for
+//! the Table 2 ambiguity-correlation experiment: raters judge ambiguity
+//! *contextually* (a polysemous label whose context makes one sense
+//! obvious is rated unambiguous), while `Amb_Deg` judges *lexically* —
+//! the divergence the paper reports on Groups 2–4.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod annotators;
+pub mod docgen;
+pub mod gen;
+pub mod spec;
+pub mod suite;
+
+pub use docgen::{AnnotatedDocument, DocGen, GoldSense};
+pub use spec::{DatasetId, DatasetSpec, Group};
+pub use suite::Corpus;

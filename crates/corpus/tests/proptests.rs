@@ -1,0 +1,80 @@
+//! Property-based tests for the corpus generators and the rater panel:
+//! determinism, gold validity, and rating invariants across random seeds.
+
+use proptest::prelude::*;
+use xsdf_corpus::annotators::{perceived_ambiguity, rate_tree, PANEL_SIZE};
+use xsdf_corpus::gen::generate_document;
+use xsdf_corpus::DatasetId;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any (dataset, index, seed) triple generates deterministically, with
+    /// a consistent tree and gold keys that resolve in the network.
+    #[test]
+    fn generation_is_total_and_deterministic(
+        ds_idx in 0usize..10,
+        doc_idx in 0usize..4,
+        seed in 0u64..1000,
+    ) {
+        let sn = semnet::mini_wordnet();
+        let ds = DatasetId::ALL[ds_idx];
+        let a = generate_document(sn, ds, doc_idx, seed);
+        let b = generate_document(sn, ds, doc_idx, seed);
+        prop_assert_eq!(a.tree.len(), b.tree.len());
+        prop_assert!(a.tree.check_consistency().is_ok());
+        prop_assert!(a.gold_count() >= 3);
+        for (&node, gold) in &a.gold {
+            prop_assert!(node.index() < a.tree.len());
+            // Every single gold key resolves to a concept.
+            match gold {
+                xsdf_corpus::GoldSense::Single(k) => {
+                    prop_assert!(sn.by_key(k).is_some(), "unknown gold {k}");
+                }
+                xsdf_corpus::GoldSense::Pair(x, y) => {
+                    prop_assert!(sn.by_key(x).is_some() && sn.by_key(y).is_some());
+                }
+            }
+        }
+        // The document serializes and reparses.
+        let xml = xmltree::serialize::to_string_pretty(&a.doc);
+        prop_assert!(xmltree::parse(&xml).is_ok());
+    }
+
+    /// Ratings are deterministic in the seed, bounded to 0..=4, and the
+    /// perceived-ambiguity core is bounded to \[0, 1\].
+    #[test]
+    fn ratings_bounded_and_deterministic(ds_idx in 0usize..10, seed in 0u64..500) {
+        let sn = semnet::mini_wordnet();
+        let doc = generate_document(sn, DatasetId::ALL[ds_idx], 0, seed);
+        let a = rate_tree(sn, &doc.tree, seed);
+        let b = rate_tree(sn, &doc.tree, seed);
+        prop_assert_eq!(a.len(), doc.tree.len());
+        for (ra, rb) in a.iter().zip(&b) {
+            prop_assert_eq!(ra.ratings, rb.ratings);
+            prop_assert_eq!(ra.ratings.len(), PANEL_SIZE);
+            for &r in &ra.ratings {
+                prop_assert!(r <= 4);
+            }
+        }
+        for node in doc.tree.preorder() {
+            let p = perceived_ambiguity(sn, &doc.tree, node);
+            prop_assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    /// Monosemous and unknown labels are always rated unambiguous by the
+    /// deterministic core (Assumption 4's human counterpart).
+    #[test]
+    fn monosemous_perceived_zero(ds_idx in 0usize..10, seed in 0u64..200) {
+        let sn = semnet::mini_wordnet();
+        let doc = generate_document(sn, DatasetId::ALL[ds_idx], 0, seed);
+        for node in doc.tree.preorder() {
+            let senses =
+                sn.senses_normalized(doc.tree.label(node), lingproc::porter_stem).len();
+            if senses <= 1 {
+                prop_assert_eq!(perceived_ambiguity(sn, &doc.tree, node), 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Diagnostic: per-dataset error listing for XSDF vs RPD.
+
+use baselines::{Disambiguator, Rpd, XsdfDisambiguator};
+use corpus::{Corpus, DatasetId};
+use xsdf_eval::experiments::{choice_key, optimal_for};
+
+fn main() {
+    let sn = semnet::mini_wordnet();
+    let corpus = Corpus::generate(sn, 2015);
+    let samples = corpus.sample_targets(13);
+    let rpd = Rpd::new();
+    for &ds in &DatasetId::ALL {
+        let mut xsdf_wrong = Vec::new();
+        let mut rpd_wrong = Vec::new();
+        let mut total = 0;
+        for (doc_idx, targets) in &samples {
+            let doc = &corpus.documents()[*doc_idx];
+            if doc.dataset != ds {
+                continue;
+            }
+            let xsdf = XsdfDisambiguator::new(optimal_for(ds.spec().group));
+            let xa = xsdf.disambiguate_targets(sn, &doc.tree, targets);
+            let ra = rpd.disambiguate_targets(sn, &doc.tree, targets);
+            for &n in targets {
+                total += 1;
+                let gold = doc.gold[&n].key();
+                let label = doc.tree.label(n);
+                match xa.get(&n) {
+                    Some(&c) if choice_key(sn, c) == gold => {}
+                    Some(&c) => {
+                        xsdf_wrong.push(format!("{label}: {} (gold {gold})", choice_key(sn, c)))
+                    }
+                    None => xsdf_wrong.push(format!("{label}: ABSTAIN (gold {gold})")),
+                }
+                match ra.get(&n) {
+                    Some(&c) if choice_key(sn, c) == gold => {}
+                    Some(&c) => {
+                        rpd_wrong.push(format!("{label}: {} (gold {gold})", choice_key(sn, c)))
+                    }
+                    None => rpd_wrong.push(format!("{label}: ABSTAIN (gold {gold})")),
+                }
+            }
+        }
+        println!(
+            "=== {ds} ({total} targets): XSDF {} wrong, RPD {} wrong",
+            xsdf_wrong.len(),
+            rpd_wrong.len()
+        );
+        let mut counts = std::collections::HashMap::new();
+        for e in &xsdf_wrong {
+            *counts.entry(e.clone()).or_insert(0) += 1;
+        }
+        let mut v: Vec<_> = counts.into_iter().collect();
+        v.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+        for (e, c) in v.iter().take(8) {
+            println!("  X {c}x {e}");
+        }
+        let mut counts = std::collections::HashMap::new();
+        for e in &rpd_wrong {
+            *counts.entry(e.clone()).or_insert(0) += 1;
+        }
+        let mut v: Vec<_> = counts.into_iter().collect();
+        v.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+        for (e, c) in v.iter().take(5) {
+            println!("  R {c}x {e}");
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Diagnostic: per-candidate concept-score breakdown for one label in a
+//! generated document. Usage: `diag_probe <dataset-number> <label> [radius]`
+
+use corpus::{Corpus, DatasetId};
+use semsim::CombinedSimilarity;
+use xsdf::concept_based::ConceptContext;
+use xsdf::senses::{disambiguation_candidates, SenseCandidates};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let ds_no: usize = args[1].parse().unwrap();
+    let label = &args[2];
+    let radius: u32 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(3);
+    let ds = DatasetId::ALL[ds_no - 1];
+    let sn = semnet::mini_wordnet();
+    let corpus = Corpus::generate_small(sn, 2015, 2);
+    let doc = corpus.dataset(ds).next().unwrap();
+    let t = &doc.tree;
+    let node = t
+        .preorder()
+        .find(|&n| t.label(n) == *label)
+        .expect("label present");
+    println!("dataset {ds}, node {label:?}, radius {radius}");
+    println!("sphere context labels:");
+    for (n, d) in xsdf::sphere::xml_sphere(t, node, radius) {
+        println!(
+            "  d={d} {:?} ({} senses)",
+            t.label(n),
+            sn.polysemy(t.label(n))
+        );
+    }
+    let ctx = ConceptContext::build(sn, t, node, radius);
+    let sim = CombinedSimilarity::default();
+    match disambiguation_candidates(sn, label, t.node(node).kind) {
+        SenseCandidates::Single(senses) => {
+            for s in senses {
+                println!(
+                    "{}: {:.4}",
+                    sn.concept(s).key,
+                    ctx.score_single(sn, &sim, s)
+                );
+            }
+        }
+        other => println!("{other:?}"),
+    }
+    // Pairwise detail against each distinct context label's best sense.
+    let mut labels: Vec<String> = xsdf::sphere::xml_sphere(t, node, radius)
+        .into_iter()
+        .map(|(n, _)| t.label(n).to_string())
+        .collect();
+    labels.sort();
+    labels.dedup();
+    if let SenseCandidates::Single(senses) = disambiguation_candidates(sn, label, t.node(node).kind)
+    {
+        for s in senses.iter().take(4) {
+            println!("--- {}", sn.concept(*s).key);
+            for l in &labels {
+                if let SenseCandidates::Single(cands) =
+                    disambiguation_candidates(sn, l, xmltree::NodeKind::Element)
+                {
+                    let (best, bk) = cands
+                        .iter()
+                        .map(|&c| (sim.similarity(sn, *s, c), sn.concept(c).key.clone()))
+                        .max_by(|a, b| a.0.total_cmp(&b.0))
+                        .unwrap();
+                    println!(
+                        "   vs {l:12} best {bk:24} {best:.3} (wp {:.3} lin {:.3} gl {:.3})",
+                        semsim::wu_palmer(sn, *s, sn.by_key(&bk).unwrap()),
+                        semsim::lin(sn, *s, sn.by_key(&bk).unwrap()),
+                        semsim::extended_gloss_overlap(sn, *s, sn.by_key(&bk).unwrap())
+                    );
+                }
+            }
+        }
+    }
+}

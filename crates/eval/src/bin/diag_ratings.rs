@@ -1,0 +1,40 @@
+//! Diagnostic: (label, senses, human rating, Amb_Deg) pairs for one dataset.
+
+use corpus::annotators::{perceived_ambiguity, rate_tree};
+use corpus::{Corpus, DatasetId};
+use xsdf::ambiguity::ambiguity_degree;
+use xsdf::AmbiguityWeights;
+
+fn main() {
+    let ds_no: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    let ds = DatasetId::ALL[ds_no - 1];
+    let sn = semnet::mini_wordnet();
+    let corpus = Corpus::generate(sn, 2015);
+    let samples = corpus.sample_targets(13);
+    let mut rows = Vec::new();
+    for (doc_idx, targets) in samples.iter() {
+        let doc = &corpus.documents()[*doc_idx];
+        if doc.dataset != ds {
+            continue;
+        }
+        let ratings = rate_tree(sn, &doc.tree, corpus.seed() ^ (*doc_idx as u64));
+        for &node in targets {
+            let label = doc.tree.label(node).to_string();
+            let senses = sn.senses_normalized(&label, lingproc::porter_stem).len();
+            if senses < 2 {
+                continue;
+            }
+            let rating = ratings.iter().find(|r| r.node == node).unwrap().mean();
+            let amb = ambiguity_degree(sn, &doc.tree, node, AmbiguityWeights::equal());
+            let perc = perceived_ambiguity(sn, &doc.tree, node);
+            rows.push((label, senses, rating, amb, perc));
+        }
+    }
+    rows.sort_by(|a, b| b.3.total_cmp(&a.3));
+    for (label, senses, rating, amb, perc) in rows.iter().take(40) {
+        println!("{label:12} senses={senses:2} human={rating:.2} perc={perc:.2} amb={amb:.3}");
+    }
+}

@@ -1,0 +1,36 @@
+//! Runs every experiment in sequence (the full paper reproduction).
+
+use xsdf_eval::experiments::{
+    fig8, fig9, table1, table2, table3, table4, DEFAULT_SEED, TARGETS_PER_DOC,
+};
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SEED);
+    let sn = semnet::mini_wordnet();
+    let corpus = corpus::Corpus::generate(sn, seed);
+    println!(
+        "XSDF full reproduction (seed {seed}, {} documents, {} gold nodes)\n",
+        corpus.documents().len(),
+        corpus.total_gold()
+    );
+
+    println!("== Table 1 ==\n{}", table1::run(sn, &corpus).render());
+    println!(
+        "== Table 2 ==\n{}",
+        table2::run(sn, &corpus, TARGETS_PER_DOC).render()
+    );
+    println!("== Table 3 ==\n{}", table3::run(sn, &corpus).render());
+    println!("== Table 4 ==\n{}", table4::render());
+    println!(
+        "== Figure 8 ==\n{}",
+        fig8::run(sn, &corpus, TARGETS_PER_DOC).render()
+    );
+    println!(
+        "== Figure 9 ==\n{}",
+        fig9::run(sn, &corpus, TARGETS_PER_DOC).render()
+    );
+    println!("(future-work experiments: run exp_distance, exp_tuning, exp_ablation)");
+}

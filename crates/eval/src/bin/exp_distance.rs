@@ -1,0 +1,69 @@
+//! Future-work experiment: alternative tree node distance functions
+//! (Section 5 of the paper — "we are currently investigating different XML
+//! tree node distance functions (including edge weights, density,
+//! direction)"). Compares corpus-wide quality of the edge-count distance
+//! against directional and density-scaled policies.
+
+use baselines::XsdfDisambiguator;
+use corpus::{Corpus, Group};
+use xsdf::{DistancePolicy, XsdfConfig};
+use xsdf_eval::experiments::{score_document, DEFAULT_SEED, TARGETS_PER_DOC};
+use xsdf_eval::metrics::PrfScores;
+use xsdf_eval::report::{fmt3, Table};
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SEED);
+    let sn = semnet::mini_wordnet();
+    let corpus = Corpus::generate(sn, seed);
+    let samples = corpus.sample_targets(TARGETS_PER_DOC);
+
+    let policies: [(&str, DistancePolicy); 4] = [
+        ("edge count (paper)", DistancePolicy::EdgeCount),
+        (
+            "directional up-cheap",
+            DistancePolicy::Directional { up: 0.5, down: 1.0 },
+        ),
+        (
+            "directional down-cheap",
+            DistancePolicy::Directional { up: 1.0, down: 0.5 },
+        ),
+        (
+            "density-scaled a=1",
+            DistancePolicy::DensityScaled { alpha: 1.0 },
+        ),
+    ];
+
+    println!("Distance-function experiment (seed {seed}) — f-value per group\n");
+    let mut t = Table::new([
+        "Policy", "Group 1", "Group 2", "Group 3", "Group 4", "overall",
+    ]);
+    for (name, policy) in policies {
+        let mut per_group = [PrfScores::default(); 4];
+        let mut overall = PrfScores::default();
+        for (doc_idx, targets) in &samples {
+            let doc = &corpus.documents()[*doc_idx];
+            let group = doc.dataset.spec().group;
+            let config = XsdfConfig {
+                distance: policy,
+                ..XsdfConfig::default()
+            };
+            let method = XsdfDisambiguator::new(config);
+            let s = score_document(sn, &method, doc, targets);
+            per_group[group.number() - 1].merge(s);
+            overall.merge(s);
+        }
+        t.row([
+            name.to_string(),
+            fmt3(per_group[0].f_value()),
+            fmt3(per_group[1].f_value()),
+            fmt3(per_group[2].f_value()),
+            fmt3(per_group[3].f_value()),
+            fmt3(overall.f_value()),
+        ]);
+    }
+    println!("{}", t.render());
+    let _ = Group::ALL; // imported for readers; groups enumerated above
+}

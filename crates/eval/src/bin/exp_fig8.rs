@@ -1,0 +1,22 @@
+//! Regenerates Figure 8: f-value per group × radius × process.
+
+use xsdf_eval::experiments::{fig8, DEFAULT_SEED, TARGETS_PER_DOC};
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SEED);
+    let sn = semnet::mini_wordnet();
+    let corpus = corpus::Corpus::generate(sn, seed);
+    let result = fig8::run(sn, &corpus, TARGETS_PER_DOC);
+    println!("Figure 8 — f-value by group, sphere radius d, and process (seed {seed})\n");
+    println!("{}", result.render());
+    for group in 1..=4 {
+        println!(
+            "Group {group}: best radius (concept-based) = {}",
+            result.best_radius(group, "concept")
+        );
+    }
+    xsdf_eval::experiments::dump_json("fig8", &result);
+}

@@ -1,0 +1,28 @@
+//! Regenerates Figure 9: XSDF vs RPD vs VSD per group.
+
+use xsdf_eval::experiments::{fig9, DEFAULT_SEED, TARGETS_PER_DOC};
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SEED);
+    let sn = semnet::mini_wordnet();
+    let corpus = corpus::Corpus::generate(sn, seed);
+    let result = fig9::run(sn, &corpus, TARGETS_PER_DOC);
+    println!("Figure 9 — XSDF (optimal params) vs RPD vs VSD (seed {seed})\n");
+    println!("{}", result.render());
+    for group in 1..=4 {
+        let x = result.f(group, "XSDF");
+        let r = result.f(group, "RPD");
+        let v = result.f(group, "VSD");
+        let best_baseline = r.max(v);
+        let delta = if best_baseline > 0.0 {
+            100.0 * (x - best_baseline) / best_baseline
+        } else {
+            0.0
+        };
+        println!("Group {group}: XSDF vs best baseline: {delta:+.1}%");
+    }
+    xsdf_eval::experiments::dump_json("fig9", &result);
+}

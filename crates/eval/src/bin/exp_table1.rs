@@ -1,0 +1,16 @@
+//! Regenerates Table 1: the corpus groups by ambiguity × structure.
+
+use xsdf_eval::experiments::{table1, DEFAULT_SEED};
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SEED);
+    let sn = semnet::mini_wordnet();
+    let corpus = corpus::Corpus::generate(sn, seed);
+    let result = table1::run(sn, &corpus);
+    println!("Table 1 — groups by avg node ambiguity x structure (seed {seed})\n");
+    println!("{}", result.render());
+    xsdf_eval::experiments::dump_json("table1", &result);
+}

@@ -1,0 +1,21 @@
+//! Regenerates Table 2: human-vs-system ambiguity correlation.
+
+use xsdf_eval::experiments::{table2, DEFAULT_SEED, TARGETS_PER_DOC};
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SEED);
+    let sn = semnet::mini_wordnet();
+    let corpus = corpus::Corpus::generate(sn, seed);
+    let result = table2::run(sn, &corpus, TARGETS_PER_DOC);
+    println!("Table 2 — Pearson correlation: simulated human panel vs Amb_Deg (seed {seed})\n");
+    println!("{}", result.render());
+    println!("Group 1 (Test #1): {:+.3}", result.group1_correlation());
+    println!(
+        "Group 4 mean (Test #1): {:+.3}",
+        result.group4_mean_correlation()
+    );
+    xsdf_eval::experiments::dump_json("table2", &result);
+}

@@ -1,0 +1,16 @@
+//! Regenerates Table 3: characteristics of the generated corpus.
+
+use xsdf_eval::experiments::{table3, DEFAULT_SEED};
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SEED);
+    let sn = semnet::mini_wordnet();
+    let corpus = corpus::Corpus::generate(sn, seed);
+    let result = table3::run(sn, &corpus);
+    println!("Table 3 — corpus characteristics (seed {seed})\n");
+    println!("{}", result.render());
+    xsdf_eval::experiments::dump_json("table3", &result);
+}

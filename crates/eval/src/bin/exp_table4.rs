@@ -1,0 +1,9 @@
+//! Regenerates Table 4: qualitative comparison of RPD, VSD, and XSDF.
+
+use xsdf_eval::experiments::table4;
+
+fn main() {
+    println!("Table 4 — qualitative feature comparison\n");
+    println!("{}", table4::render());
+    xsdf_eval::experiments::dump_json("table4", &table4::rows());
+}

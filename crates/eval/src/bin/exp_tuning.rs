@@ -1,0 +1,56 @@
+//! Future-work experiment: automatic parameter fine-tuning (Section 5 /
+//! Section 3.3 of the paper). Grid-searches the configuration space per
+//! group on a tuning split (even-indexed documents), then validates the
+//! winner on the held-out split (odd-indexed documents).
+
+use corpus::{Corpus, Group};
+use xmltree::NodeId;
+use xsdf_eval::experiments::{DEFAULT_SEED, TARGETS_PER_DOC};
+use xsdf_eval::report::{fmt3, Table};
+use xsdf_eval::tuning::{config_of, evaluate_config, grid_search, Grid};
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SEED);
+    let sn = semnet::mini_wordnet();
+    let corpus = Corpus::generate(sn, seed);
+    let samples = corpus.sample_targets(TARGETS_PER_DOC);
+
+    println!("Parameter tuning by grid search (seed {seed})\n");
+    let mut t = Table::new([
+        "Group",
+        "Best configuration (tuning split)",
+        "f tuning",
+        "f held-out",
+    ]);
+    for &group in &Group::ALL {
+        let mut tuning: Vec<(&corpus::AnnotatedDocument, &[NodeId])> = Vec::new();
+        let mut heldout: Vec<(&corpus::AnnotatedDocument, &[NodeId])> = Vec::new();
+        for (i, (doc_idx, targets)) in samples.iter().enumerate() {
+            let doc = &corpus.documents()[*doc_idx];
+            if doc.dataset.spec().group != group {
+                continue;
+            }
+            if i % 2 == 0 {
+                tuning.push((doc, targets));
+            } else {
+                heldout.push((doc, targets));
+            }
+        }
+        let result = grid_search(sn, &tuning, &Grid::default());
+        let winner = result.winner();
+        let validated = evaluate_config(sn, &heldout, config_of(winner));
+        t.row([
+            format!("Group {}", group.number()),
+            winner.description.clone(),
+            fmt3(winner.f_value),
+            fmt3(validated.f_value()),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "(paper reference optima: d=1 concept-based for Group 1, d=3 concept-based for Groups 2-4)"
+    );
+}

@@ -1,0 +1,415 @@
+//! A from-scratch implementation of the Porter stemming algorithm.
+//!
+//! Follows M.F. Porter, *An algorithm for suffix stripping*, Program 14(3),
+//! 1980 — the classic five-step suffix-stripping procedure used by the
+//! paper's linguistic pre-processing stage. Input is expected to be a
+//! lowercase ASCII word; non-alphabetic inputs are returned unchanged.
+
+/// Stems an English word with the Porter algorithm.
+///
+/// ```
+/// use xsdf_lingproc::porter_stem;
+/// assert_eq!(porter_stem("caresses"), "caress");
+/// assert_eq!(porter_stem("ponies"), "poni");
+/// assert_eq!(porter_stem("relational"), "relat");
+/// assert_eq!(porter_stem("directing"), "direct");
+/// ```
+pub fn porter_stem(word: &str) -> String {
+    if word.len() <= 2 || !word.bytes().all(|b| b.is_ascii_lowercase()) {
+        return word.to_string();
+    }
+    let mut w: Vec<u8> = word.bytes().collect();
+    step_1a(&mut w);
+    step_1b(&mut w);
+    step_1c(&mut w);
+    step_2(&mut w);
+    step_3(&mut w);
+    step_4(&mut w);
+    step_5a(&mut w);
+    step_5b(&mut w);
+    String::from_utf8(w).expect("ascii")
+}
+
+/// Is `w[i]` a consonant, per Porter's definition (y is a consonant when
+/// preceded by a vowel or at position 0)?
+fn is_consonant(w: &[u8], i: usize) -> bool {
+    match w[i] {
+        b'a' | b'e' | b'i' | b'o' | b'u' => false,
+        b'y' => i == 0 || !is_consonant(w, i - 1),
+        _ => true,
+    }
+}
+
+/// Porter's measure *m* of the stem `w[..len]`: the number of VC sequences
+/// in the form `[C](VC)^m[V]`.
+fn measure(w: &[u8], len: usize) -> usize {
+    let mut m = 0;
+    let mut i = 0;
+    // Skip initial consonants.
+    while i < len && is_consonant(w, i) {
+        i += 1;
+    }
+    loop {
+        // Skip vowels.
+        while i < len && !is_consonant(w, i) {
+            i += 1;
+        }
+        if i >= len {
+            return m;
+        }
+        m += 1;
+        // Skip consonants.
+        while i < len && is_consonant(w, i) {
+            i += 1;
+        }
+        if i >= len {
+            return m;
+        }
+    }
+}
+
+/// Does the stem `w[..len]` contain a vowel?
+fn has_vowel(w: &[u8], len: usize) -> bool {
+    (0..len).any(|i| !is_consonant(w, i))
+}
+
+/// Does the stem end in a double consonant?
+fn ends_double_consonant(w: &[u8]) -> bool {
+    let n = w.len();
+    n >= 2 && w[n - 1] == w[n - 2] && is_consonant(w, n - 1)
+}
+
+/// Does the stem `w[..len]` end consonant-vowel-consonant, where the final
+/// consonant is not w, x or y?
+fn ends_cvc(w: &[u8], len: usize) -> bool {
+    if len < 3 {
+        return false;
+    }
+    is_consonant(w, len - 3)
+        && !is_consonant(w, len - 2)
+        && is_consonant(w, len - 1)
+        && !matches!(w[len - 1], b'w' | b'x' | b'y')
+}
+
+fn ends_with(w: &[u8], suffix: &str) -> bool {
+    w.ends_with(suffix.as_bytes())
+}
+
+/// If the word ends with `suffix` and the remaining stem has measure > `min_m`,
+/// replace the suffix with `replacement` and return true.
+fn replace_if_m(w: &mut Vec<u8>, suffix: &str, replacement: &str, min_m: usize) -> bool {
+    if !ends_with(w, suffix) {
+        return false;
+    }
+    let stem_len = w.len() - suffix.len();
+    if measure(w, stem_len) > min_m {
+        w.truncate(stem_len);
+        w.extend_from_slice(replacement.as_bytes());
+        true
+    } else {
+        // Suffix matched but the condition failed: the rule list for this
+        // step still stops here (longest-match semantics).
+        true
+    }
+}
+
+fn step_1a(w: &mut Vec<u8>) {
+    if ends_with(w, "sses") {
+        w.truncate(w.len() - 2); // sses → ss
+    } else if ends_with(w, "ies") {
+        w.truncate(w.len() - 2); // ies → i
+    } else if ends_with(w, "ss") {
+        // ss → ss (no change)
+    } else if ends_with(w, "s") {
+        w.truncate(w.len() - 1); // s →
+    }
+}
+
+fn step_1b(w: &mut Vec<u8>) {
+    if ends_with(w, "eed") {
+        if measure(w, w.len() - 3) > 0 {
+            w.truncate(w.len() - 1); // eed → ee
+        }
+        return;
+    }
+    let stripped = if ends_with(w, "ing") && has_vowel(w, w.len() - 3) {
+        w.truncate(w.len() - 3);
+        true
+    } else if ends_with(w, "ed") && has_vowel(w, w.len() - 2) {
+        w.truncate(w.len() - 2);
+        true
+    } else {
+        false
+    };
+    if stripped {
+        if ends_with(w, "at") || ends_with(w, "bl") || ends_with(w, "iz") {
+            w.push(b'e'); // conflat(ed) → conflate
+        } else if ends_double_consonant(w) && !matches!(w[w.len() - 1], b'l' | b's' | b'z') {
+            w.truncate(w.len() - 1); // hopp(ing) → hop
+        } else if measure(w, w.len()) == 1 && ends_cvc(w, w.len()) {
+            w.push(b'e'); // fil(ing) → file
+        }
+    }
+}
+
+fn step_1c(w: &mut [u8]) {
+    let n = w.len();
+    if n >= 2 && w[n - 1] == b'y' && has_vowel(w, n - 1) {
+        w[n - 1] = b'i'; // happy → happi
+    }
+}
+
+fn step_2(w: &mut Vec<u8>) {
+    // Longest-match on the penultimate letter, per Porter's published table.
+    const RULES: &[(&str, &str)] = &[
+        ("ational", "ate"),
+        ("tional", "tion"),
+        ("enci", "ence"),
+        ("anci", "ance"),
+        ("izer", "ize"),
+        ("abli", "able"),
+        ("alli", "al"),
+        ("entli", "ent"),
+        ("eli", "e"),
+        ("ousli", "ous"),
+        ("ization", "ize"),
+        ("ation", "ate"),
+        ("ator", "ate"),
+        ("alism", "al"),
+        ("iveness", "ive"),
+        ("fulness", "ful"),
+        ("ousness", "ous"),
+        ("aliti", "al"),
+        ("iviti", "ive"),
+        ("biliti", "ble"),
+    ];
+    apply_rule_list(w, RULES, 0);
+}
+
+fn step_3(w: &mut Vec<u8>) {
+    const RULES: &[(&str, &str)] = &[
+        ("icate", "ic"),
+        ("ative", ""),
+        ("alize", "al"),
+        ("iciti", "ic"),
+        ("ical", "ic"),
+        ("ful", ""),
+        ("ness", ""),
+    ];
+    apply_rule_list(w, RULES, 0);
+}
+
+fn step_4(w: &mut Vec<u8>) {
+    const RULES: &[&str] = &[
+        "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement", "ment", "ent", "ou",
+        "ism", "ate", "iti", "ous", "ive", "ize",
+    ];
+    // Longest match first.
+    let mut candidates: Vec<&str> = RULES.to_vec();
+    candidates.sort_by_key(|s| std::cmp::Reverse(s.len()));
+    for suffix in candidates {
+        if ends_with(w, suffix) {
+            let stem_len = w.len() - suffix.len();
+            // Special condition for -ion: stem must end in s or t.
+            if suffix == "ent" && ends_with(&w[..w.len()], "ion") {
+                // handled below by the dedicated ion rule
+            }
+            if measure(w, stem_len) > 1 {
+                w.truncate(stem_len);
+            }
+            return;
+        }
+    }
+    // (m>1 and (*S or *T)) ION →
+    if ends_with(w, "ion") {
+        let stem_len = w.len() - 3;
+        if stem_len > 0 && matches!(w[stem_len - 1], b's' | b't') && measure(w, stem_len) > 1 {
+            w.truncate(stem_len);
+        }
+    }
+}
+
+fn step_5a(w: &mut Vec<u8>) {
+    if ends_with(w, "e") {
+        let stem_len = w.len() - 1;
+        let m = measure(w, stem_len);
+        if m > 1 || (m == 1 && !ends_cvc(w, stem_len)) {
+            w.truncate(stem_len);
+        }
+    }
+}
+
+fn step_5b(w: &mut Vec<u8>) {
+    if measure(w, w.len()) > 1 && ends_double_consonant(w) && w[w.len() - 1] == b'l' {
+        w.truncate(w.len() - 1);
+    }
+}
+
+fn apply_rule_list(w: &mut Vec<u8>, rules: &[(&str, &str)], min_m: usize) {
+    let mut candidates: Vec<&(&str, &str)> = rules.iter().collect();
+    candidates.sort_by_key(|(s, _)| std::cmp::Reverse(s.len()));
+    for (suffix, replacement) in candidates {
+        if ends_with(w, suffix) {
+            replace_if_m(w, suffix, replacement, min_m);
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Classic examples from Porter's paper and the canonical test set.
+    #[test]
+    fn porter_paper_examples() {
+        let cases = [
+            ("caresses", "caress"),
+            ("ponies", "poni"),
+            ("ties", "ti"),
+            ("caress", "caress"),
+            ("cats", "cat"),
+            ("feed", "feed"),
+            ("agreed", "agre"),
+            ("plastered", "plaster"),
+            ("bled", "bled"),
+            ("motoring", "motor"),
+            ("sing", "sing"),
+            ("conflated", "conflat"),
+            ("troubled", "troubl"),
+            ("sized", "size"),
+            ("hopping", "hop"),
+            ("tanned", "tan"),
+            ("falling", "fall"),
+            ("hissing", "hiss"),
+            ("fizzed", "fizz"),
+            ("failing", "fail"),
+            ("filing", "file"),
+            ("happy", "happi"),
+            ("sky", "sky"),
+            ("relational", "relat"),
+            ("conditional", "condit"),
+            ("rational", "ration"),
+            ("valenci", "valenc"),
+            ("hesitanci", "hesit"),
+            ("digitizer", "digit"),
+            ("conformabli", "conform"),
+            ("radicalli", "radic"),
+            ("differentli", "differ"),
+            ("vileli", "vile"),
+            ("analogousli", "analog"),
+            ("vietnamization", "vietnam"),
+            ("predication", "predic"),
+            ("operator", "oper"),
+            ("feudalism", "feudal"),
+            ("decisiveness", "decis"),
+            ("hopefulness", "hope"),
+            ("callousness", "callous"),
+            ("formaliti", "formal"),
+            ("sensitiviti", "sensit"),
+            ("sensibiliti", "sensibl"),
+            ("triplicate", "triplic"),
+            ("formative", "form"),
+            ("formalize", "formal"),
+            ("electriciti", "electr"),
+            ("electrical", "electr"),
+            ("hopeful", "hope"),
+            ("goodness", "good"),
+            ("revival", "reviv"),
+            ("allowance", "allow"),
+            ("inference", "infer"),
+            ("airliner", "airlin"),
+            ("gyroscopic", "gyroscop"),
+            ("adjustable", "adjust"),
+            ("defensible", "defens"),
+            ("irritant", "irrit"),
+            ("replacement", "replac"),
+            ("adjustment", "adjust"),
+            ("dependent", "depend"),
+            ("adoption", "adopt"),
+            ("homologou", "homolog"),
+            ("communism", "commun"),
+            ("activate", "activ"),
+            ("angulariti", "angular"),
+            ("homologous", "homolog"),
+            ("effective", "effect"),
+            ("bowdlerize", "bowdler"),
+            ("probate", "probat"),
+            ("rate", "rate"),
+            ("cease", "ceas"),
+            ("controll", "control"),
+            ("roll", "roll"),
+        ];
+        for (input, expected) in cases {
+            assert_eq!(porter_stem(input), expected, "porter_stem({input:?})");
+        }
+    }
+
+    #[test]
+    fn domain_vocabulary() {
+        // Words from the evaluation corpus that must normalize predictably.
+        assert_eq!(porter_stem("movies"), "movi");
+        assert_eq!(porter_stem("pictures"), "pictur");
+        assert_eq!(porter_stem("actors"), "actor");
+        assert_eq!(porter_stem("directed"), "direct");
+        assert_eq!(porter_stem("directing"), "direct");
+        assert_eq!(porter_stem("plays"), "plai");
+        assert_eq!(porter_stem("stars"), "star");
+        assert_eq!(porter_stem("casting"), "cast");
+    }
+
+    #[test]
+    fn short_words_untouched() {
+        assert_eq!(porter_stem("a"), "a");
+        assert_eq!(porter_stem("is"), "is");
+        assert_eq!(porter_stem("by"), "by");
+    }
+
+    #[test]
+    fn non_alpha_untouched() {
+        assert_eq!(porter_stem("1954"), "1954");
+        assert_eq!(porter_stem("mp3"), "mp3");
+        assert_eq!(porter_stem("Kelly"), "Kelly"); // uppercase → unchanged
+        assert_eq!(porter_stem("café"), "café"); // non-ascii → unchanged
+    }
+
+    #[test]
+    fn idempotent_on_common_words() {
+        for w in ["cat", "star", "direct", "movi", "plot", "actor", "genr"] {
+            assert_eq!(porter_stem(&porter_stem(w)), porter_stem(w));
+        }
+    }
+
+    #[test]
+    fn measure_examples() {
+        // From Porter's paper: tr=0, ee=0 (as stems: "tr", "ee", "tree", "y", "by" m=0;
+        // "trouble", "oats", "trees", "ivy" m=1; "troubles", "private" m=2).
+        let m = |s: &str| measure(s.as_bytes(), s.len());
+        assert_eq!(m("tr"), 0);
+        assert_eq!(m("ee"), 0);
+        assert_eq!(m("tree"), 0);
+        assert_eq!(m("by"), 0);
+        assert_eq!(m("trouble"), 1);
+        assert_eq!(m("oats"), 1);
+        assert_eq!(m("trees"), 1);
+        assert_eq!(m("ivy"), 1);
+        assert_eq!(m("troubles"), 2);
+        assert_eq!(m("private"), 2);
+        assert_eq!(m("oaten"), 2);
+    }
+
+    #[test]
+    fn cvc_rules() {
+        assert!(ends_cvc(b"hop", 3));
+        assert!(!ends_cvc(b"box", 3)); // ends in x
+        assert!(!ends_cvc(b"low", 3)); // ends in w
+        assert!(!ends_cvc(b"ee", 2)); // too short
+    }
+
+    #[test]
+    fn y_as_vowel() {
+        // 'y' after consonant acts as vowel: "syzygy" has vowels.
+        assert!(has_vowel(b"sky", 3));
+        assert!(!has_vowel(b"shh", 3));
+    }
+}

@@ -1,0 +1,196 @@
+//! English stop-word list used by the pre-processing pipeline.
+//!
+//! The list is the classic Van Rijsbergen-style IR stop list restricted to
+//! the function words that actually appear in XML tag names and short text
+//! values (articles, prepositions, conjunctions, pronouns, auxiliaries).
+//! Lookup is a binary search over a sorted static table.
+
+/// Sorted stop-word table. Keep sorted — [`is_stop_word`] binary-searches it
+/// (enforced by a test).
+static STOP_WORDS: &[&str] = &[
+    "a",
+    "about",
+    "above",
+    "after",
+    "again",
+    "against",
+    "all",
+    "am",
+    "an",
+    "and",
+    "any",
+    "are",
+    "as",
+    "at",
+    "be",
+    "because",
+    "been",
+    "before",
+    "being",
+    "below",
+    "between",
+    "both",
+    "but",
+    "by",
+    "can",
+    "could",
+    "did",
+    "do",
+    "does",
+    "doing",
+    "down",
+    "during",
+    "each",
+    "few",
+    "for",
+    "from",
+    "further",
+    "had",
+    "has",
+    "have",
+    "having",
+    "he",
+    "her",
+    "here",
+    "hers",
+    "herself",
+    "him",
+    "himself",
+    "his",
+    "how",
+    "i",
+    "if",
+    "in",
+    "into",
+    "is",
+    "it",
+    "its",
+    "itself",
+    "just",
+    "me",
+    "more",
+    "most",
+    "my",
+    "myself",
+    "no",
+    "nor",
+    "not",
+    "now",
+    "of",
+    "off",
+    "on",
+    "once",
+    "only",
+    "or",
+    "other",
+    "our",
+    "ours",
+    "ourselves",
+    "out",
+    "over",
+    "own",
+    "per",
+    "same",
+    "she",
+    "should",
+    "so",
+    "some",
+    "such",
+    "than",
+    "that",
+    "the",
+    "their",
+    "theirs",
+    "them",
+    "themselves",
+    "then",
+    "there",
+    "these",
+    "they",
+    "this",
+    "those",
+    "through",
+    "to",
+    "too",
+    "under",
+    "until",
+    "up",
+    "upon",
+    "very",
+    "was",
+    "we",
+    "were",
+    "what",
+    "when",
+    "where",
+    "which",
+    "while",
+    "who",
+    "whom",
+    "why",
+    "will",
+    "with",
+    "would",
+    "you",
+    "your",
+    "yours",
+    "yourself",
+    "yourselves",
+];
+
+/// Returns `true` if `word` (expected lowercase) is an English stop word.
+///
+/// ```
+/// use xsdf_lingproc::is_stop_word;
+/// assert!(is_stop_word("the"));
+/// assert!(is_stop_word("by"));
+/// assert!(!is_stop_word("cast"));
+/// ```
+pub fn is_stop_word(word: &str) -> bool {
+    STOP_WORDS.binary_search(&word).is_ok()
+}
+
+/// The number of stop words in the table (exposed for diagnostics).
+pub fn stop_word_count() -> usize {
+    STOP_WORDS.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_sorted_and_deduped() {
+        let mut sorted = STOP_WORDS.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted, STOP_WORDS, "STOP_WORDS must be sorted and unique");
+    }
+
+    #[test]
+    fn common_function_words() {
+        for w in ["a", "the", "of", "by", "and", "with", "is", "on"] {
+            assert!(is_stop_word(w), "{w} should be a stop word");
+        }
+    }
+
+    #[test]
+    fn content_words_pass() {
+        for w in [
+            "cast", "star", "picture", "state", "address", "director", "name",
+        ] {
+            assert!(!is_stop_word(w), "{w} should not be a stop word");
+        }
+    }
+
+    #[test]
+    fn case_sensitive_lowercase_contract() {
+        // Callers must lowercase first; "The" is not in the table.
+        assert!(!is_stop_word("The"));
+    }
+
+    #[test]
+    fn count_reasonable() {
+        assert!(stop_word_count() > 100);
+    }
+}

@@ -1,0 +1,202 @@
+//! Tokenization of XML tag names and text values.
+//!
+//! The paper distinguishes three inputs (Section 3.2): single-word tag
+//! names, compound tag names (`Directed_By`, `FirstName`), and text values
+//! (sentences). [`split_identifier`] handles the first two; [`tokenize_text`]
+//! handles the third.
+
+/// Splits an XML identifier (tag or attribute name) into its constituent
+/// words.
+///
+/// Delimiters are underscores, hyphens, dots, colons and whitespace;
+/// additionally lower→upper case transitions (`FirstName`), acronym
+/// boundaries (`XMLTree` → `XML`, `Tree`) and letter/digit boundaries
+/// (`track2` → `track`, `2`) start a new token. Tokens are lowercased.
+///
+/// ```
+/// use xsdf_lingproc::split_identifier;
+/// assert_eq!(split_identifier("Directed_By"), vec!["directed", "by"]);
+/// assert_eq!(split_identifier("FirstName"), vec!["first", "name"]);
+/// assert_eq!(split_identifier("XMLSchema"), vec!["xml", "schema"]);
+/// ```
+pub fn split_identifier(name: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    let chars: Vec<char> = name.chars().collect();
+    for (i, &c) in chars.iter().enumerate() {
+        if c == '_' || c == '-' || c == '.' || c == ':' || c.is_whitespace() {
+            flush(&mut tokens, &mut current);
+            continue;
+        }
+        let boundary = if current.is_empty() {
+            false
+        } else {
+            let prev = chars[i - 1];
+            // lower→Upper (fooBar), digit↔letter, or Upper followed by lower
+            // after an acronym run (XMLTree → XML | Tree).
+            (prev.is_lowercase() && c.is_uppercase())
+                || (prev.is_ascii_digit() != c.is_ascii_digit()
+                    && (prev.is_ascii_digit() || c.is_ascii_digit()))
+                || (prev.is_uppercase()
+                    && c.is_uppercase()
+                    && chars.get(i + 1).is_some_and(|n| n.is_lowercase()))
+        };
+        if boundary {
+            flush(&mut tokens, &mut current);
+        }
+        current.extend(c.to_lowercase());
+    }
+    flush(&mut tokens, &mut current);
+    tokens
+}
+
+fn flush(tokens: &mut Vec<String>, current: &mut String) {
+    if !current.is_empty() {
+        tokens.push(std::mem::take(current));
+    }
+}
+
+/// Tokenizes free text: splits on anything that is not a letter, digit or
+/// apostrophe, lowercases, and drops possessive `'s` suffixes and empty
+/// tokens. Hyphenated words are split (`wheelchair-bound` → two tokens).
+///
+/// ```
+/// use xsdf_lingproc::tokenize_text;
+/// assert_eq!(
+///     tokenize_text("A wheelchair-bound photographer's camera."),
+///     vec!["a", "wheelchair", "bound", "photographer", "camera"],
+/// );
+/// ```
+pub fn tokenize_text(text: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    for c in text.chars() {
+        if c.is_alphanumeric() || c == '\'' {
+            current.extend(c.to_lowercase());
+        } else {
+            push_text_token(&mut tokens, &mut current);
+        }
+    }
+    push_text_token(&mut tokens, &mut current);
+    tokens
+}
+
+fn push_text_token(tokens: &mut Vec<String>, current: &mut String) {
+    if current.is_empty() {
+        return;
+    }
+    let mut tok = std::mem::take(current);
+    if let Some(stripped) = tok.strip_suffix("'s") {
+        tok = stripped.to_string();
+    }
+    let tok: String = tok.chars().filter(|&c| c != '\'').collect();
+    if !tok.is_empty() {
+        tokens.push(tok);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn underscore_compound() {
+        assert_eq!(split_identifier("directed_by"), ["directed", "by"]);
+        assert_eq!(split_identifier("Directed_By"), ["directed", "by"]);
+    }
+
+    #[test]
+    fn camel_case_compound() {
+        assert_eq!(split_identifier("FirstName"), ["first", "name"]);
+        assert_eq!(split_identifier("lastName"), ["last", "name"]);
+    }
+
+    #[test]
+    fn acronym_boundaries() {
+        assert_eq!(split_identifier("XMLSchema"), ["xml", "schema"]);
+        assert_eq!(split_identifier("parseXML"), ["parse", "xml"]);
+        assert_eq!(split_identifier("HTTPServer"), ["http", "server"]);
+    }
+
+    #[test]
+    fn digits_split() {
+        assert_eq!(split_identifier("track2"), ["track", "2"]);
+        assert_eq!(split_identifier("mp3Player"), ["mp", "3", "player"]);
+    }
+
+    #[test]
+    fn hyphen_and_dot() {
+        assert_eq!(split_identifier("food-menu"), ["food", "menu"]);
+        assert_eq!(split_identifier("a.b"), ["a", "b"]);
+        assert_eq!(split_identifier("ns:tag"), ["ns", "tag"]);
+    }
+
+    #[test]
+    fn single_word_unchanged() {
+        assert_eq!(split_identifier("cast"), ["cast"]);
+        assert_eq!(split_identifier("Picture"), ["picture"]);
+    }
+
+    #[test]
+    fn empty_and_delimiters_only() {
+        assert!(split_identifier("").is_empty());
+        assert!(split_identifier("___").is_empty());
+        assert!(split_identifier("-").is_empty());
+    }
+
+    #[test]
+    fn all_caps_is_one_token() {
+        assert_eq!(split_identifier("DVD"), ["dvd"]);
+        assert_eq!(split_identifier("ISBN"), ["isbn"]);
+    }
+
+    #[test]
+    fn text_basic() {
+        assert_eq!(
+            tokenize_text("A wheelchair bound photographer spies on his neighbors"),
+            [
+                "a",
+                "wheelchair",
+                "bound",
+                "photographer",
+                "spies",
+                "on",
+                "his",
+                "neighbors"
+            ]
+        );
+    }
+
+    #[test]
+    fn text_punctuation_stripped() {
+        assert_eq!(
+            tokenize_text("Hello, world! (really)"),
+            ["hello", "world", "really"]
+        );
+    }
+
+    #[test]
+    fn text_possessives() {
+        assert_eq!(tokenize_text("Hitchcock's movies"), ["hitchcock", "movies"]);
+        assert_eq!(tokenize_text("don't"), ["dont"]);
+    }
+
+    #[test]
+    fn text_numbers_kept() {
+        assert_eq!(
+            tokenize_text("released in 1954"),
+            ["released", "in", "1954"]
+        );
+    }
+
+    #[test]
+    fn text_unicode() {
+        assert_eq!(tokenize_text("café naïve"), ["café", "naïve"]);
+    }
+
+    #[test]
+    fn text_empty() {
+        assert!(tokenize_text("").is_empty());
+        assert!(tokenize_text("  ... !!!").is_empty());
+    }
+}

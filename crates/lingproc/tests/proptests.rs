@@ -1,0 +1,87 @@
+//! Property-based tests for tokenization and stemming.
+
+use proptest::prelude::*;
+use xsdf_lingproc::{is_stop_word, porter_stem, split_identifier, tokenize_text, Preprocessor};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The stemmer never panics and never grows a word.
+    #[test]
+    fn stem_never_grows(word in "[a-z]{1,20}") {
+        let stem = porter_stem(&word);
+        prop_assert!(stem.len() <= word.len());
+        prop_assert!(!stem.is_empty());
+    }
+
+    /// Stemming is idempotent in the overwhelming common case the pipeline
+    /// relies on: we check it exactly for stems the algorithm produces from
+    /// plural/gerund forms (full idempotence is not guaranteed by Porter,
+    /// e.g. -ational chains, so we restrict to one representative family).
+    #[test]
+    fn stem_of_plural_is_stem_of_singular(word in "[bcdfgmprt][aeiou][bcdfgmprt]{1,3}") {
+        let plural = format!("{word}s");
+        prop_assert_eq!(porter_stem(&plural), porter_stem(&word));
+    }
+
+    /// The stemmer passes through anything containing non-lowercase chars.
+    #[test]
+    fn stem_ignores_non_lowercase(word in "[A-Z0-9]{1,10}") {
+        prop_assert_eq!(porter_stem(&word), word);
+    }
+
+    /// Identifier splitting produces lowercase, delimiter-free tokens whose
+    /// letters appear in the input, in order.
+    #[test]
+    fn split_tokens_are_clean(name in "[A-Za-z0-9_\\-\\.]{0,30}") {
+        let tokens = split_identifier(&name);
+        let lower = name.to_lowercase();
+        let mut cursor = 0usize;
+        for tok in &tokens {
+            prop_assert!(!tok.is_empty());
+            prop_assert!(tok.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+            // Tokens occur in order within the lowercased input.
+            let found = lower[cursor..].find(tok.as_str());
+            prop_assert!(found.is_some(), "token {tok:?} not found in {lower:?}");
+            cursor += found.unwrap() + tok.len();
+        }
+    }
+
+    /// split_identifier is invariant under case-insensitive inputs that have
+    /// no internal case structure.
+    #[test]
+    fn split_lowercase_roundtrip(name in "[a-z]{1,15}(_[a-z]{1,15}){0,3}") {
+        let tokens = split_identifier(&name);
+        prop_assert_eq!(tokens.join("_"), name);
+    }
+
+    /// Text tokenization yields lowercase tokens and never panics.
+    #[test]
+    fn tokenize_text_clean(text in "\\PC{0,120}") {
+        for tok in tokenize_text(&text) {
+            prop_assert!(!tok.is_empty());
+            prop_assert!(!tok.chars().any(char::is_whitespace));
+            prop_assert_eq!(tok.to_lowercase(), tok.clone());
+        }
+    }
+
+    /// With stop-word removal on, no produced token is a stop word.
+    #[test]
+    fn pipeline_removes_stop_words(text in "([a-z]{1,8} ){0,10}") {
+        let p = Preprocessor::new();
+        let none = |_: &str| false;
+        for tok in p.process_text_value(&text, &none) {
+            prop_assert!(!is_stop_word(&tok), "stop word {tok:?} survived");
+        }
+    }
+
+    /// Tag-name processing never panics and the display form is non-empty
+    /// whenever a label is produced.
+    #[test]
+    fn tag_processing_total(name in "\\PC{0,40}") {
+        let p = Preprocessor::new();
+        if let Some(label) = p.process_tag_name(&name, &|_| false) {
+            prop_assert!(!label.display().is_empty());
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! Prints summary statistics of the built-in MiniWordNet semantic network.
+//!
+//! Run with: `cargo run -p xsdf-semnet --example network_stats`
+
+fn main() {
+    let sn = xsdf_semnet::mini_wordnet();
+    println!("MiniWordNet statistics");
+    println!("  concepts (synsets): {}", sn.len());
+    println!("  vocabulary words:   {}", sn.vocabulary_size());
+    println!("  typed edges:        {}", sn.all_edges().count());
+    println!("  max taxonomy depth: {}", sn.max_depth());
+    println!(
+        "  max polysemy:       {} (the word \"head\", as in WordNet 2.1)",
+        sn.max_polysemy()
+    );
+    println!("  total corpus freq:  {}", sn.total_frequency());
+    for word in [
+        "state", "star", "cast", "picture", "play", "line", "kelly", "stewart",
+    ] {
+        println!("  senses({word:?}) = {}", sn.polysemy(word));
+    }
+}

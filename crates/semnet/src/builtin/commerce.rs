@@ -1,0 +1,634 @@
+//! The retail / e-commerce domain: vocabulary of the Amazon-product
+//! dataset (product, price, brand, rating, review, stock, shipping, …).
+//! Glosses share "sale", "goods", "customer" and "merchandise" so gloss
+//! overlap binds the domain.
+
+use crate::builder::NetworkBuilder;
+use crate::model::RelationKind;
+
+pub(super) fn register(b: &mut NetworkBuilder) {
+    // ---- product, price, and friends ----------------------------------------
+    b.noun(
+        "product.merchandise",
+        &["product", "merchandise", "ware"],
+        "commodities offered for sale to customers; goods of a particular brand",
+        25,
+        "commodity.n",
+    );
+    b.noun(
+        "product.math",
+        &["product", "mathematical product"],
+        "the quantity obtained by multiplying two numbers together",
+        5,
+        "definite_quantity.n",
+    );
+    b.noun(
+        "product.result",
+        &["product", "result", "outcome"],
+        "a consequence or result of some process; the product of hard work",
+        8,
+        "happening.n",
+    );
+    b.noun(
+        "price.amount",
+        &["price", "terms", "damage"],
+        "the amount of money that a customer must pay to purchase goods or a service",
+        35,
+        "monetary_value.n",
+    );
+    b.noun(
+        "price.cost-figurative",
+        &["price", "cost", "toll"],
+        "the loss or sacrifice that something costs; the price of fame",
+        8,
+        "state.condition",
+    );
+    b.verb(
+        "price.v",
+        &["price"],
+        "determine or set the amount of money asked for goods offered for sale",
+        5,
+        "act.deed",
+    );
+    b.noun(
+        "list_price.n",
+        &["list price", "listprice"],
+        "the price of merchandise as published in a catalog or list, before any discount",
+        3,
+        "price.amount",
+    );
+    b.noun(
+        "discount.reduction",
+        &["discount", "price reduction", "deduction"],
+        "an amount subtracted from the usual price of merchandise offered for sale",
+        8,
+        "monetary_value.n",
+    );
+    b.verb(
+        "discount.v",
+        &["discount", "dismiss"],
+        "give little importance to; bar from attention",
+        4,
+        "act.deed",
+    );
+    b.noun(
+        "sale.event",
+        &["sale", "sales event"],
+        "an occasion when a store sells goods at reduced prices",
+        10,
+        "social_event.n",
+    );
+    b.noun(
+        "sale.transaction",
+        &["sale"],
+        "the general activity of selling goods or merchandise to customers",
+        15,
+        "activity.n",
+    );
+    b.noun(
+        "tax.n",
+        &["tax", "taxation", "revenue enhancement"],
+        "a charge of money imposed by a government on sales, income or property",
+        18,
+        "monetary_value.n",
+    );
+
+    // ---- brand ---------------------------------------------------------------
+    b.noun(
+        "brand.trademark",
+        &["brand", "brand name", "make"],
+        "the name given by a maker to identify its goods or merchandise for sale",
+        12,
+        "name.label",
+    );
+    b.noun(
+        "brand.kind",
+        &["brand"],
+        "a particular kind or variety of something; a strange brand of humor",
+        5,
+        "class.category",
+    );
+    b.noun(
+        "brand.mark",
+        &["brand"],
+        "an identifying mark burned on the hide of livestock",
+        3,
+        "signal.n",
+    );
+    b.noun(
+        "brand.sword",
+        &["brand"],
+        "a literary word for a sword used in battle",
+        1,
+        "weapon.n",
+    );
+
+    // ---- evaluation ------------------------------------------------------------
+    b.noun(
+        "rating.score",
+        &["rating", "evaluation", "valuation"],
+        "an appraisal of the value or quality of goods, as a customer rating of a product",
+        10,
+        "cognition.n",
+    );
+    b.noun(
+        "rating.rank",
+        &["rating"],
+        "the rank of an enlisted sailor in a navy",
+        2,
+        "state.condition",
+    );
+    b.noun(
+        "rating.credit",
+        &["rating", "credit rating"],
+        "an estimate of the ability of a person or business to pay money owed",
+        3,
+        "cognition.n",
+    );
+    b.noun(
+        "review.critique",
+        &["review", "critique", "criticism"],
+        "an essay evaluating a product, book, play or motion picture for customers or readers",
+        12,
+        "writing.written",
+    );
+    b.noun(
+        "review.survey",
+        &["review", "reappraisal"],
+        "a new examination or general survey of a subject or situation",
+        8,
+        "cognition.n",
+    );
+    b.noun(
+        "review.military",
+        &["review", "parade"],
+        "a formal ceremonial inspection of troops",
+        2,
+        "social_event.n",
+    );
+    b.verb(
+        "review.v",
+        &["review", "go over"],
+        "appraise critically or look at again",
+        10,
+        "act.deed",
+    );
+
+    // ---- physical properties of goods ------------------------------------------
+    b.noun(
+        "weight.heaviness",
+        &["weight", "heaviness"],
+        "the vertical force exerted by a mass; how heavy goods are for shipping",
+        18,
+        "fundamental_quantity.n",
+    );
+    b.noun(
+        "weight.importance",
+        &["weight"],
+        "the relative importance granted to something; his opinion carries weight",
+        8,
+        "attribute.n",
+    );
+    b.noun(
+        "weight.barbell",
+        &["weight", "free weight", "exercising weight"],
+        "a heavy object lifted for exercise or athletic competition",
+        4,
+        "equipment.n",
+    );
+    b.noun("weight.statistics", &["weight", "weighting"], "a coefficient assigned to an element to represent its relative importance in a calculation", 3, "number.n");
+    b.noun(
+        "dimension.measure",
+        &["dimension"],
+        "the magnitude of something in a particular direction, as the dimensions of a package",
+        8,
+        "measure.n",
+    );
+    b.noun(
+        "dimension.aspect",
+        &["dimension", "facet"],
+        "one of the elements or aspects contributing to a whole",
+        5,
+        "attribute.n",
+    );
+    b.noun(
+        "size.n",
+        &["size"],
+        "the physical magnitude or extent of something; how big goods are",
+        20,
+        "attribute.n",
+    );
+
+    // ---- stock ------------------------------------------------------------------
+    b.noun(
+        "stock.inventory",
+        &["stock", "inventory"],
+        "the merchandise that a store or business keeps on hand for sale",
+        10,
+        "commodity.n",
+    );
+    b.noun(
+        "stock.shares",
+        &["stock"],
+        "the capital of a company divided into shares held by investors",
+        12,
+        "asset.n",
+    );
+    b.noun(
+        "stock.livestock",
+        &["stock", "livestock", "farm animal"],
+        "any animals kept for use or profit on a farm",
+        6,
+        "animal.n",
+    );
+    b.noun(
+        "stock.broth",
+        &["stock", "broth"],
+        "a liquid in which meat and vegetables are simmered, used as a basis for soup or sauce",
+        4,
+        "food.substance",
+    );
+    b.noun(
+        "stock.gun",
+        &["stock", "gunstock"],
+        "the wooden handle or support of a rifle",
+        2,
+        "part.relation",
+    );
+    b.noun(
+        "stock.lineage",
+        &["stock", "ancestry", "origin"],
+        "the descendants of one individual; of sturdy farming stock",
+        4,
+        "kin.n",
+    );
+
+    // ---- catalog, order fulfilment ----------------------------------------------
+    b.noun("catalog.list", &["catalog", "catalogue"], "a complete list of things, such as goods for sale or plants offered by a nursery, usually arranged systematically", 8, "document.n");
+    b.verb(
+        "catalog.v",
+        &["catalog", "catalogue"],
+        "make an itemized list of goods or holdings",
+        3,
+        "act.deed",
+    );
+    b.noun(
+        "item.object",
+        &["item"],
+        "an individual article or unit of merchandise, especially one in a list or collection",
+        12,
+        "whole.n",
+    );
+    b.noun(
+        "item.list-entry",
+        &["item", "point"],
+        "a distinct entry in a list or an account",
+        6,
+        "part.relation",
+    );
+    b.noun(
+        "shipping.transport",
+        &["shipping", "transport", "transportation"],
+        "the commercial activity of transporting goods to customers",
+        6,
+        "activity.n",
+    );
+    b.noun(
+        "shipping.ships",
+        &["shipping"],
+        "the ships of a nation considered collectively",
+        2,
+        "collection.n",
+    );
+    b.noun(
+        "delivery.goods",
+        &["delivery", "bringing"],
+        "the act of delivering goods or mail to a customer's address",
+        8,
+        "action.n",
+    );
+    b.noun(
+        "delivery.birth",
+        &["delivery", "obstetrical delivery"],
+        "the act of giving birth to a child",
+        5,
+        "action.n",
+    );
+    b.noun(
+        "delivery.speech",
+        &["delivery", "manner of speaking"],
+        "a speaker's manner of delivering a speech",
+        3,
+        "attribute.n",
+    );
+    b.noun(
+        "delivery.pitch",
+        &["delivery", "pitch"],
+        "the act of throwing a baseball by a pitcher to a batter",
+        2,
+        "action.n",
+    );
+    b.noun(
+        "package.parcel",
+        &["package", "parcel", "bundle"],
+        "a wrapped container in which goods are shipped to customers",
+        8,
+        "container.n",
+    );
+    b.noun(
+        "package.software",
+        &["package", "software package"],
+        "merchandise consisting of a computer program offered for sale",
+        3,
+        "product.merchandise",
+    );
+    b.noun(
+        "package.deal",
+        &["package", "package deal"],
+        "a group of things offered for sale as a unit",
+        3,
+        "commodity.n",
+    );
+    b.noun(
+        "warranty.n",
+        &["warranty", "guarantee", "warrant"],
+        "a written promise that the maker will repair or replace goods that prove defective",
+        4,
+        "statement.n",
+    );
+    b.noun(
+        "return.goods",
+        &["return"],
+        "the act of giving purchased goods back to the store for a refund",
+        4,
+        "action.n",
+    );
+    b.noun(
+        "return.profit",
+        &["return", "yield", "takings"],
+        "the income or profit arising from a transaction or investment",
+        6,
+        "monetary_value.n",
+    );
+
+    // ---- features and models ------------------------------------------------------
+    b.noun(
+        "feature.characteristic",
+        &["feature", "characteristic"],
+        "a prominent attribute or aspect of a product or thing",
+        12,
+        "attribute.n",
+    );
+    b.noun(
+        "feature.film",
+        &["feature", "feature film"],
+        "the full-length motion picture that is the main attraction of a showing",
+        4,
+        "film.movie",
+    );
+    b.noun(
+        "feature.face",
+        &["feature", "lineament"],
+        "a distinct part of a face such as the nose or eyes",
+        5,
+        "body_part.n",
+    );
+    b.noun(
+        "model.version",
+        &["model", "version"],
+        "a particular type or design of a product made by a maker, as this year's model",
+        10,
+        "class.category",
+    );
+    b.noun(
+        "model.fashion",
+        &["model", "fashion model", "mannequin"],
+        "a person employed to wear clothing or pose for photographs to display merchandise",
+        5,
+        "worker.n",
+    );
+    b.noun(
+        "model.representation",
+        &["model", "simulation"],
+        "a simplified representation of something, used for analysis or display",
+        8,
+        "picture.image",
+    );
+    b.noun(
+        "model.example",
+        &["model", "exemplar", "good example"],
+        "something to be imitated; a model of good behavior",
+        6,
+        "content.cognition",
+    );
+    b.verb(
+        "model.v",
+        &["model", "pose", "simulate"],
+        "display clothing as a model does, or construct a representation of",
+        4,
+        "act.deed",
+    );
+
+    // ---- people & places of commerce ----------------------------------------------
+    b.noun(
+        "seller.n",
+        &["seller", "vendor", "marketer"],
+        "a person or business that offers goods or merchandise for sale to customers",
+        8,
+        "worker.n",
+    );
+    b.noun(
+        "customer.n",
+        &["customer", "client", "buyer"],
+        "a person who purchases goods or services from a seller or store",
+        15,
+        "person.n",
+    );
+    b.noun(
+        "store.shop",
+        &["store", "shop"],
+        "a building or room where goods and merchandise are offered for sale to customers",
+        20,
+        "building.n",
+    );
+    b.noun(
+        "store.supply",
+        &["store", "stash", "hoard"],
+        "a supply of something kept available for future use",
+        5,
+        "collection.n",
+    );
+    b.noun(
+        "market.place",
+        &["market", "marketplace", "mart"],
+        "the physical place where goods are bought and sold",
+        12,
+        "building.n",
+    );
+    b.noun(
+        "market.demand",
+        &["market"],
+        "the body of customers and the demand for particular goods",
+        10,
+        "group.n",
+    );
+    b.noun(
+        "market.activity",
+        &["market", "securities market"],
+        "the trading of stocks and securities as an activity",
+        6,
+        "activity.n",
+    );
+    b.noun(
+        "company.firm",
+        &["company", "firm", "business"],
+        "an institution created to conduct business and sell goods or services",
+        40,
+        "institution.n",
+    );
+    b.noun(
+        "company.companionship",
+        &["company", "companionship", "fellowship"],
+        "the pleasant state of being with someone; he enjoys her company",
+        10,
+        "social_relation.n",
+    );
+    b.noun(
+        "company.troupe",
+        &["company"],
+        "a troupe of actors or dancers who perform together on stage",
+        4,
+        "troupe.n",
+    );
+    b.noun(
+        "company.military",
+        &["company"],
+        "a military unit of soldiers, usually commanded by a captain",
+        5,
+        "unit.organization",
+    );
+    b.noun(
+        "company.guests",
+        &["company"],
+        "guests visiting one's home collectively; we are expecting company",
+        4,
+        "gathering.n",
+    );
+    b.noun(
+        "gift.present",
+        &["gift", "present"],
+        "something given to someone as a present without payment",
+        10,
+        "possession.n",
+    );
+    b.noun(
+        "gift.talent",
+        &["gift", "talent", "endowment"],
+        "a natural ability or talent",
+        6,
+        "ability.n",
+    );
+    b.noun(
+        "inventory.list",
+        &["inventory", "stock list"],
+        "a detailed list of all the goods and merchandise in stock",
+        4,
+        "document.n",
+    );
+    b.noun(
+        "description.account",
+        &["description", "verbal description"],
+        "a statement that tells what a product, person or thing is like",
+        12,
+        "statement.n",
+    );
+    b.noun(
+        "description.sort",
+        &["description"],
+        "sort or variety; condiments of every description",
+        3,
+        "class.category",
+    );
+    b.noun(
+        "availability.n",
+        &["availability", "handiness"],
+        "the quality of being at hand and obtainable when needed, as goods in stock",
+        4,
+        "attribute.n",
+    );
+    b.adjective(
+        "available.a",
+        &["available", "in stock"],
+        "obtainable and ready for use or purchase",
+        12,
+    );
+    b.noun(
+        "condition.stipulation",
+        &["condition", "stipulation", "term"],
+        "a statement of what is required as part of an agreement of sale",
+        8,
+        "statement.n",
+    );
+    b.noun(
+        "quantity.ordered",
+        &["quantity"],
+        "how many units of an item a customer orders",
+        6,
+        "measure.n",
+    );
+    b.noun(
+        "category.n",
+        &["category"],
+        "a general class or division into which goods or concepts are sorted",
+        10,
+        "class.category",
+    );
+
+    // Attribute links: the price, brand and weight of merchandise — the
+    // WordNet-style attribute edges that bind the retail domain.
+    b.relate("price.amount", RelationKind::Attribute, "commodity.n");
+    b.relate(
+        "price.amount",
+        RelationKind::Attribute,
+        "product.merchandise",
+    );
+    b.relate("price.amount", RelationKind::Attribute, "catalog.list");
+    b.relate("price.amount", RelationKind::Attribute, "menu.list");
+    b.relate(
+        "brand.trademark",
+        RelationKind::Attribute,
+        "product.merchandise",
+    );
+    b.relate(
+        "weight.heaviness",
+        RelationKind::Attribute,
+        "product.merchandise",
+    );
+    b.relate("stock.inventory", RelationKind::Attribute, "store.shop");
+    b.relate(
+        "rating.score",
+        RelationKind::Attribute,
+        "product.merchandise",
+    );
+    b.relate(
+        "review.critique",
+        RelationKind::Attribute,
+        "product.merchandise",
+    );
+    b.relate(
+        "description.account",
+        RelationKind::Attribute,
+        "product.merchandise",
+    );
+    b.relate(
+        "model.version",
+        RelationKind::Attribute,
+        "product.merchandise",
+    );
+    b.relate(
+        "feature.characteristic",
+        RelationKind::Attribute,
+        "product.merchandise",
+    );
+    b.relate("item.object", RelationKind::PartOf, "catalog.list");
+}

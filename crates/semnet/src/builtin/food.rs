@@ -1,0 +1,514 @@
+//! The food-service domain: vocabulary of the W3Schools breakfast-menu
+//! dataset (menu, food, name, price, description, calories, …) and the
+//! dishes it lists. Glosses share "food", "dish", "breakfast" and "served"
+//! so gloss overlap binds the domain.
+
+use crate::builder::NetworkBuilder;
+
+pub(super) fn register(b: &mut NetworkBuilder) {
+    b.noun(
+        "menu.list",
+        &["menu", "bill of fare", "card"],
+        "a list of the dishes and food that may be ordered in a restaurant, with their prices",
+        8,
+        "document.n",
+    );
+    b.noun(
+        "menu.computer",
+        &["menu", "computer menu"],
+        "a list of options displayed on a computer screen from which a user selects",
+        4,
+        "document.n",
+    );
+    b.noun(
+        "menu.fare",
+        &["menu"],
+        "the dishes making up a meal considered together",
+        3,
+        "food.substance",
+    );
+    b.noun(
+        "dish.container",
+        &["dish"],
+        "a shallow open container for holding or serving food",
+        10,
+        "container.n",
+    );
+    b.noun(
+        "dish.food",
+        &["dish"],
+        "a particular item of prepared food served as part of a meal",
+        12,
+        "food.substance",
+    );
+    b.noun(
+        "dish.antenna",
+        &["dish", "dish antenna", "satellite dish"],
+        "a directional antenna shaped like a shallow bowl",
+        2,
+        "device.n",
+    );
+    b.noun(
+        "dish.person",
+        &["dish", "smasher", "knockout"],
+        "an informal word for a very attractive person",
+        1,
+        "person.n",
+    );
+    b.noun(
+        "meal.occasion",
+        &["meal", "repast"],
+        "an occasion when food is prepared and eaten, as breakfast or dinner",
+        20,
+        "social_event.n",
+    );
+    b.noun(
+        "meal.flour",
+        &["meal"],
+        "coarsely ground grain used in cooking",
+        3,
+        "food.substance",
+    );
+    b.noun(
+        "breakfast.n",
+        &["breakfast"],
+        "the first meal of the day, usually served in the morning with coffee or juice",
+        12,
+        "meal.occasion",
+    );
+    b.noun(
+        "lunch.n",
+        &["lunch", "luncheon"],
+        "a meal of food eaten at midday",
+        10,
+        "meal.occasion",
+    );
+    b.noun(
+        "dinner.n",
+        &["dinner"],
+        "the main meal of the day, served in the evening or at midday",
+        15,
+        "meal.occasion",
+    );
+    b.noun(
+        "restaurant.n",
+        &["restaurant", "eatery", "eating place"],
+        "a building where meals and dishes are prepared and served to customers",
+        12,
+        "building.n",
+    );
+    b.noun(
+        "course.meal",
+        &["course"],
+        "one part of a meal served in sequence, as a main course from the menu",
+        6,
+        "food.substance",
+    );
+    b.noun(
+        "course.direction",
+        &["course", "trend"],
+        "the general direction along which something moves",
+        8,
+        "cognition.n",
+    );
+    b.noun(
+        "calorie.n",
+        &["calorie", "kilocalorie"],
+        "the unit of heat used to express the energy that food supplies to the body",
+        5,
+        "unit_of_measurement.n",
+    );
+    b.noun(
+        "ingredient.food",
+        &["ingredient", "fixings"],
+        "a food substance that is combined with others in preparing a dish",
+        6,
+        "food.substance",
+    );
+    b.noun(
+        "ingredient.component",
+        &["ingredient", "element", "factor"],
+        "an abstract part or aspect of something; a component of success",
+        5,
+        "part.relation",
+    );
+    b.noun(
+        "serving.portion",
+        &["serving", "portion", "helping"],
+        "an individual quantity of food served on a dish to one person",
+        4,
+        "food.substance",
+    );
+    b.noun(
+        "recipe.n",
+        &["recipe", "formula"],
+        "the written directions for preparing a dish from its ingredients",
+        5,
+        "order.command",
+    );
+    b.noun("waffle.food", &["waffle"], "a crisp pancake with a pattern of deep squares, baked in a waffle iron and served at breakfast", 3, "dish.food");
+    b.verb(
+        "waffle.v",
+        &["waffle", "hedge"],
+        "be vague and avoid committing oneself",
+        2,
+        "communicate.v",
+    );
+    b.noun(
+        "pancake.n",
+        &["pancake", "flapjack", "hotcake"],
+        "a flat cake of thin batter fried on both sides and served hot at breakfast",
+        4,
+        "dish.food",
+    );
+    b.noun(
+        "toast.bread",
+        &["toast"],
+        "slices of bread browned with dry heat, served warm at breakfast",
+        5,
+        "dish.food",
+    );
+    b.noun(
+        "toast.tribute",
+        &["toast", "pledge"],
+        "the act of raising a glass and drinking in honor of a person",
+        3,
+        "act.deed",
+    );
+    b.noun(
+        "toast.person",
+        &["toast"],
+        "a celebrated person who receives much admiration, as the toast of the town",
+        1,
+        "person.n",
+    );
+    b.verb(
+        "toast.v",
+        &["toast", "drink to"],
+        "propose a toast to someone or brown bread with heat",
+        3,
+        "act.deed",
+    );
+    b.noun(
+        "egg.food",
+        &["egg", "eggs"],
+        "the oval object laid by a hen, cooked and eaten as food at breakfast",
+        10,
+        "food.substance",
+    );
+    b.noun(
+        "egg.biology",
+        &["egg", "ovum"],
+        "the reproductive cell produced by a female organism",
+        5,
+        "natural_object.n",
+    );
+    b.noun(
+        "bread.food",
+        &["bread", "breadstuff", "staff of life"],
+        "a food made from flour dough that is baked, often served with meals",
+        15,
+        "food.substance",
+    );
+    b.noun(
+        "bread.money",
+        &["bread", "dough"],
+        "a slang word for money",
+        2,
+        "possession.n",
+    );
+    b.noun(
+        "butter.n",
+        &["butter"],
+        "an edible yellow fat churned from cream, spread on bread or toast",
+        8,
+        "food.substance",
+    );
+    b.noun(
+        "cream.dairy",
+        &["cream"],
+        "the thick fatty part of milk, used in cooking and with coffee",
+        8,
+        "food.substance",
+    );
+    b.noun(
+        "cream.cosmetic",
+        &["cream", "ointment", "emollient"],
+        "a thick cosmetic preparation applied to the skin",
+        3,
+        "substance.n",
+    );
+    b.noun(
+        "cream.best",
+        &["cream", "pick"],
+        "the best and choicest part of a group, as the cream of the crop",
+        2,
+        "part.relation",
+    );
+    b.noun(
+        "milk.drink",
+        &["milk"],
+        "the white nutritious liquid produced by cows and drunk as a beverage or poured on cereal",
+        15,
+        "beverage.n",
+    );
+    b.noun(
+        "milk.plant",
+        &["milk", "latex"],
+        "the milky juice or sap of certain plants",
+        2,
+        "fluid.n",
+    );
+    b.verb(
+        "milk.v",
+        &["milk", "exploit"],
+        "draw milk from an animal or exploit something to the fullest",
+        3,
+        "act.deed",
+    );
+    b.noun(
+        "coffee.drink",
+        &["coffee", "java"],
+        "a dark beverage brewed from roasted ground beans, drunk hot at breakfast",
+        12,
+        "beverage.n",
+    );
+    b.noun(
+        "coffee.bean",
+        &["coffee", "coffee bean"],
+        "the seeds of the coffee plant that are roasted and ground for brewing",
+        3,
+        "seed.n",
+    );
+    b.noun(
+        "coffee.color",
+        &["coffee", "chocolate"],
+        "a medium brown color like that of the roasted bean drink",
+        1,
+        "color.n",
+    );
+    b.noun(
+        "tea.drink",
+        &["tea"],
+        "a hot beverage made by steeping dried leaves in boiling water",
+        10,
+        "beverage.n",
+    );
+    b.noun(
+        "tea.meal",
+        &["tea", "afternoon tea", "teatime"],
+        "a light afternoon meal of sandwiches and cake served with tea",
+        3,
+        "meal.occasion",
+    );
+    b.noun(
+        "tea.plant",
+        &["tea", "tea leaf"],
+        "the dried leaves of the tea shrub used for brewing",
+        2,
+        "plant_part.n",
+    );
+    b.noun(
+        "juice.drink",
+        &["juice"],
+        "the liquid squeezed from fruit, as orange juice served at breakfast",
+        8,
+        "beverage.n",
+    );
+    b.noun(
+        "juice.electricity",
+        &["juice"],
+        "a slang word for electric current or energy",
+        1,
+        "process.n",
+    );
+    b.noun(
+        "syrup.n",
+        &["syrup", "sirup"],
+        "a thick sweet liquid such as maple syrup poured over waffles and pancakes",
+        4,
+        "food.substance",
+    );
+    b.noun(
+        "honey.food",
+        &["honey"],
+        "the sweet yellow fluid made by bees, spread on toast or stirred into tea",
+        5,
+        "food.substance",
+    );
+    b.noun(
+        "honey.person",
+        &["honey", "dear", "sweetheart"],
+        "an affectionate name for a beloved person",
+        4,
+        "person.n",
+    );
+    b.noun(
+        "sugar.food",
+        &["sugar", "refined sugar"],
+        "a sweet white crystalline substance added to food and beverages",
+        8,
+        "food.substance",
+    );
+    b.noun(
+        "sugar.person",
+        &["sugar", "sweetie"],
+        "an affectionate term of address for a person",
+        1,
+        "person.n",
+    );
+    b.noun(
+        "berry.fruit",
+        &["berry"],
+        "a small juicy fruit such as a strawberry or blueberry served with waffles",
+        5,
+        "fruit.food",
+    );
+    b.noun(
+        "fruit.food",
+        &["fruit"],
+        "the sweet ripened plant part containing seeds, eaten as food",
+        15,
+        "plant_part.n",
+    );
+    b.noun(
+        "fruit.result",
+        &["fruit"],
+        "the consequence or result of effort, as the fruit of hard labor",
+        4,
+        "happening.n",
+    );
+    b.noun(
+        "strawberry.n",
+        &["strawberry"],
+        "a sweet red berry with seeds on its surface, served with cream or on waffles",
+        4,
+        "berry.fruit",
+    );
+    b.noun(
+        "blueberry.n",
+        &["blueberry"],
+        "a small round blue berry eaten fresh or baked in pancakes",
+        3,
+        "berry.fruit",
+    );
+    b.noun(
+        "cereal.breakfast",
+        &["cereal", "breakfast cereal"],
+        "a breakfast food made from processed grain, served with milk",
+        5,
+        "dish.food",
+    );
+    b.noun(
+        "cereal.grass",
+        &["cereal", "grain"],
+        "a grass such as wheat whose seeds are used as food",
+        4,
+        "plant.organism",
+    );
+    b.noun(
+        "bacon.n",
+        &["bacon"],
+        "cured meat from the back and sides of a pig, fried and served at breakfast",
+        5,
+        "food.substance",
+    );
+    b.noun(
+        "sausage.n",
+        &["sausage"],
+        "minced seasoned meat stuffed into a casing, served fried at breakfast",
+        4,
+        "food.substance",
+    );
+    b.noun(
+        "omelet.n",
+        &["omelet", "omelette"],
+        "a dish of beaten eggs cooked in a pan and folded over a filling",
+        3,
+        "dish.food",
+    );
+    b.noun(
+        "cake.baked",
+        &["cake"],
+        "a sweet baked food made from flour, sugar, eggs and butter",
+        8,
+        "dish.food",
+    );
+    b.noun(
+        "cake.block",
+        &["cake", "bar"],
+        "a small flat compressed block of something, as a cake of soap",
+        2,
+        "whole.n",
+    );
+    b.noun(
+        "pie.n",
+        &["pie"],
+        "a dish of fruit or meat baked in a pastry crust",
+        6,
+        "dish.food",
+    );
+    b.noun(
+        "sauce.n",
+        &["sauce"],
+        "a flavored liquid dressing poured over a dish of food",
+        5,
+        "food.substance",
+    );
+    b.noun(
+        "soup.n",
+        &["soup"],
+        "a liquid dish made by simmering meat or vegetables in stock",
+        6,
+        "dish.food",
+    );
+    b.noun(
+        "salad.n",
+        &["salad"],
+        "a dish of raw vegetables or fruit served with a dressing",
+        6,
+        "dish.food",
+    );
+    b.noun(
+        "dessert.n",
+        &["dessert", "sweet", "afters"],
+        "the sweet course served at the end of a meal",
+        5,
+        "course.meal",
+    );
+    b.noun(
+        "chef.n",
+        &["chef", "cook"],
+        "a professional who prepares and cooks dishes in a restaurant",
+        6,
+        "professional.n",
+    );
+    b.noun(
+        "waiter.n",
+        &["waiter", "server"],
+        "a person who serves dishes from the menu to customers at tables",
+        4,
+        "worker.n",
+    );
+    b.noun(
+        "flavor.n",
+        &["flavor", "flavour", "savor"],
+        "the distinctive taste of a food or dish",
+        5,
+        "attribute.n",
+    );
+    b.noun(
+        "taste.sense",
+        &["taste", "gustation"],
+        "the sense that perceives the flavor of food in the mouth",
+        5,
+        "ability.n",
+    );
+    b.noun(
+        "taste.preference",
+        &["taste", "preference", "liking"],
+        "a strong liking or personal preference; a taste for adventure",
+        6,
+        "feeling.n",
+    );
+}

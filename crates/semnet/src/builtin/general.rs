@@ -1,0 +1,812 @@
+//! General English vocabulary: common polysemous words beyond the ten
+//! datasets' tag vocabularies (animals, body parts, weather, everyday
+//! objects) plus the named Shakespeare plays and characters the Group 1
+//! corpus may mention. None of these words carries corpus gold, so they
+//! enrich realism (sense inventories, gloss texture, taxonomy coverage)
+//! without shifting the calibrated experiments.
+
+use crate::builder::NetworkBuilder;
+use crate::model::RelationKind;
+
+pub(super) fn register(b: &mut NetworkBuilder) {
+    // ---- Animals ------------------------------------------------------------
+    b.noun(
+        "dog.animal",
+        &["dog", "domestic dog", "canine"],
+        "a domesticated animal kept by people as a companion or to work",
+        45,
+        "animal.n",
+    );
+    b.noun(
+        "dog.fellow",
+        &["dog"],
+        "an informal word for a fellow, as in a lucky dog",
+        3,
+        "person.n",
+    );
+    b.verb(
+        "dog.v",
+        &["dog", "hound"],
+        "pursue or follow someone persistently",
+        3,
+        "act.deed",
+    );
+    b.noun(
+        "cat.animal",
+        &["cat", "domestic cat", "feline"],
+        "a small domesticated animal with soft fur kept as a pet",
+        30,
+        "animal.n",
+    );
+    b.noun(
+        "cat.whip",
+        &["cat", "cat-o-nine-tails"],
+        "a whip with nine knotted cords formerly used for flogging",
+        1,
+        "implement.n",
+    );
+    b.noun(
+        "horse.animal",
+        &["horse", "equus"],
+        "a large hoofed animal domesticated for riding and pulling loads",
+        35,
+        "animal.n",
+    );
+    b.noun(
+        "horse.gym",
+        &["horse", "vaulting horse"],
+        "the padded gymnastic apparatus that athletes vault over",
+        2,
+        "equipment.n",
+    );
+    b.noun(
+        "horse.chess",
+        &["horse", "knight piece"],
+        "an informal name for the knight piece in chess",
+        1,
+        "game_piece.n",
+    );
+    b.noun(
+        "lion.animal",
+        &["lion"],
+        "a large tawny wild animal of the cat family that hunts in prides",
+        12,
+        "animal.n",
+    );
+    b.noun(
+        "lion.celebrity",
+        &["lion", "social lion"],
+        "a celebrity who is lionized and much sought after socially",
+        1,
+        "person.n",
+    );
+    b.noun(
+        "bear.animal",
+        &["bear"],
+        "a massive wild animal with shaggy fur and short tail",
+        15,
+        "animal.n",
+    );
+    b.noun(
+        "bear.investor",
+        &["bear"],
+        "an investor who expects prices in the market to fall",
+        2,
+        "person.n",
+    );
+    b.verb(
+        "bear.v",
+        &["bear", "carry"],
+        "support a weight or carry something; endure",
+        20,
+        "act.deed",
+    );
+    b.noun(
+        "bird.animal",
+        &["bird"],
+        "a warm-blooded egg-laying animal with feathers and wings",
+        28,
+        "animal.n",
+    );
+    b.noun(
+        "bird.person",
+        &["bird", "chick"],
+        "an informal word for a young woman",
+        2,
+        "person.n",
+    );
+    b.noun(
+        "fish.animal",
+        &["fish"],
+        "a cold-blooded animal that lives and breathes in water",
+        25,
+        "animal.n",
+    );
+    b.noun(
+        "fish.food",
+        &["fish"],
+        "the flesh of fish served as a dish of food",
+        10,
+        "food.substance",
+    );
+    b.verb(
+        "fish.v",
+        &["fish", "angle"],
+        "catch or try to catch fish with a line or net",
+        8,
+        "act.deed",
+    );
+    b.noun(
+        "mouse.animal",
+        &["mouse"],
+        "a small gray animal with a long tail that lives in houses and fields",
+        10,
+        "animal.n",
+    );
+    b.noun(
+        "mouse.computer",
+        &["mouse", "computer mouse"],
+        "a hand-held device that controls a pointer on a computer screen",
+        5,
+        "device.n",
+    );
+    b.noun(
+        "wolf.animal",
+        &["wolf"],
+        "a wild animal resembling a large dog that hunts in packs",
+        10,
+        "animal.n",
+    );
+    b.noun(
+        "wolf.person",
+        &["wolf", "philanderer"],
+        "a man who pursues women aggressively",
+        1,
+        "person.n",
+    );
+    b.noun(
+        "serpent.n",
+        &["serpent", "snake"],
+        "a limbless scaled animal with a long body, often a symbol of treachery",
+        8,
+        "animal.n",
+    );
+    b.noun(
+        "raven.n",
+        &["raven"],
+        "a large black bird of ill omen with a croaking cry",
+        4,
+        "animal.n",
+    );
+    b.noun(
+        "owl.n",
+        &["owl"],
+        "a nocturnal bird of prey with a large head and hooting cry",
+        4,
+        "animal.n",
+    );
+
+    // ---- Body parts -----------------------------------------------------------
+    b.noun(
+        "hand.body",
+        &["hand", "manus"],
+        "the extremity of the arm used for grasping",
+        60,
+        "body_part.n",
+    );
+    b.noun(
+        "hand.worker",
+        &["hand", "hired hand"],
+        "a hired worker, as a farm hand",
+        5,
+        "worker.n",
+    );
+    b.noun(
+        "hand.cards",
+        &["hand", "deal"],
+        "the cards held by one player in a card game",
+        4,
+        "collection.n",
+    );
+    b.noun(
+        "hand.clock",
+        &["hand"],
+        "the rotating pointer on the face of a clock",
+        3,
+        "part.relation",
+    );
+    b.noun(
+        "hand.help",
+        &["hand", "helping hand"],
+        "physical assistance, as to give someone a hand",
+        4,
+        "action.n",
+    );
+    b.noun(
+        "eye.body",
+        &["eye", "oculus"],
+        "the organ of sight in the head",
+        50,
+        "organ.body",
+    );
+    b.noun(
+        "eye.needle",
+        &["eye"],
+        "the small hole in a needle that the thread passes through",
+        2,
+        "part.relation",
+    );
+    b.noun(
+        "eye.storm",
+        &["eye", "center of the storm"],
+        "the calm area at the center of a storm",
+        2,
+        "point.location",
+    );
+    b.noun(
+        "face.body",
+        &["face", "visage", "countenance"],
+        "the front of the human head from forehead to chin",
+        55,
+        "body_part.n",
+    );
+    b.noun(
+        "face.surface",
+        &["face"],
+        "the side or surface of an object that is presented to view, as the face of a cliff",
+        8,
+        "part.relation",
+    );
+    b.noun(
+        "face.dignity",
+        &["face"],
+        "the status and respect a person maintains; to lose face",
+        4,
+        "state.condition",
+    );
+    b.verb(
+        "face.v",
+        &["face", "confront"],
+        "turn toward or deal with something directly",
+        15,
+        "act.deed",
+    );
+    b.noun(
+        "arm.body",
+        &["arm"],
+        "the limb of the human body from shoulder to hand",
+        40,
+        "body_part.n",
+    );
+    b.noun(
+        "arm.chair",
+        &["arm", "armrest"],
+        "the side support of a chair on which a sitter rests an arm",
+        2,
+        "part.relation",
+    );
+    b.noun(
+        "foot.body",
+        &["foot", "pes"],
+        "the lower extremity of the leg on which a person stands",
+        40,
+        "body_part.n",
+    );
+    b.noun(
+        "foot.measure",
+        &["foot", "ft"],
+        "a unit of length equal to twelve inches",
+        12,
+        "unit_of_measurement.n",
+    );
+    b.noun(
+        "foot.verse",
+        &["foot", "metrical foot"],
+        "a group of syllables forming a metrical unit of verse",
+        2,
+        "part.relation",
+    );
+    b.noun(
+        "tongue.body",
+        &["tongue", "lingua"],
+        "the movable organ in the mouth used for tasting and speech",
+        12,
+        "organ.body",
+    );
+    b.noun(
+        "tongue.language",
+        &["tongue", "natural language"],
+        "a human language, as one's mother tongue",
+        5,
+        "communication.n",
+    );
+
+    // ---- Weather and nature -----------------------------------------------------
+    b.noun(
+        "rain.weather",
+        &["rain", "rainfall"],
+        "water falling in drops from clouds in the sky",
+        20,
+        "happening.n",
+    );
+    b.verb(
+        "rain.v",
+        &["rain", "rain down"],
+        "fall from clouds as drops of water",
+        8,
+        "act.deed",
+    );
+    b.noun(
+        "snow.weather",
+        &["snow", "snowfall"],
+        "frozen white flakes of water falling from winter clouds",
+        12,
+        "happening.n",
+    );
+    b.noun(
+        "wind.weather",
+        &["wind", "air current"],
+        "air moving across the surface of the earth, as in a storm",
+        22,
+        "happening.n",
+    );
+    b.verb(
+        "wind.v",
+        &["wind", "twist", "coil"],
+        "wrap or coil something around a center",
+        6,
+        "act.deed",
+    );
+    b.noun(
+        "cloud.weather",
+        &["cloud"],
+        "a visible mass of water droplets suspended in the sky",
+        15,
+        "natural_object.n",
+    );
+    b.noun(
+        "cloud.swarm",
+        &["cloud"],
+        "a moving mass of things in the air, as a cloud of insects",
+        2,
+        "group.n",
+    );
+    b.noun(
+        "moon.n",
+        &["moon"],
+        "the natural satellite that shines in the night sky",
+        18,
+        "celestial_body.n",
+    );
+    b.noun(
+        "earth.planet",
+        &["earth", "the earth", "globe"],
+        "the planet on which we live",
+        25,
+        "celestial_body.n",
+    );
+    b.noun(
+        "earth.soil",
+        &["earth", "ground"],
+        "the loose soft material on the ground in which plants grow",
+        10,
+        "material.n",
+    );
+    b.noun(
+        "fire.combustion",
+        &["fire", "flame burning"],
+        "the burning process producing light and heat",
+        30,
+        "process.n",
+    );
+    b.noun(
+        "fire.event",
+        &["fire", "conflagration"],
+        "a destructive event of burning, as a house fire",
+        8,
+        "happening.n",
+    );
+    b.noun(
+        "fire.gunfire",
+        &["fire", "firing"],
+        "the discharge of weapons in battle",
+        5,
+        "action.n",
+    );
+    b.noun(
+        "air.gas",
+        &["air", "atmosphere"],
+        "the mixture of gases surrounding the earth that organisms breathe",
+        30,
+        "substance.n",
+    );
+    b.noun(
+        "air.manner",
+        &["air", "aura", "atmosphere of feeling"],
+        "a distinctive but intangible quality about a person or place",
+        5,
+        "attribute.n",
+    );
+    b.noun(
+        "air.tune",
+        &["air", "melody", "tune"],
+        "a succession of notes forming a distinctive musical phrase",
+        3,
+        "music.n",
+    );
+    b.noun(
+        "sea_storm.wave",
+        &["wave", "moving ridge"],
+        "a ridge of water moving across the surface of the sea",
+        12,
+        "happening.n",
+    );
+    b.noun(
+        "wave.gesture",
+        &["wave", "waving"],
+        "the gesture of moving the hand to and fro in greeting",
+        4,
+        "action.n",
+    );
+    b.noun(
+        "wave.physics",
+        &["wave", "undulation"],
+        "a periodic disturbance that transfers energy through a medium",
+        6,
+        "process.n",
+    );
+
+    // ---- Everyday objects ----------------------------------------------------------
+    b.noun(
+        "table.furniture",
+        &["table"],
+        "a piece of furniture with a flat top supported by legs",
+        35,
+        "furniture.n",
+    );
+    b.noun(
+        "table.data",
+        &["table", "tabular array"],
+        "a set of data arranged in rows and columns in a document",
+        10,
+        "document.n",
+    );
+    b.verb(
+        "table.v",
+        &["table", "postpone"],
+        "hold a proposal back for later consideration",
+        2,
+        "act.deed",
+    );
+    b.noun(
+        "chair.furniture",
+        &["chair"],
+        "a seat for one person, with a back and four legs",
+        25,
+        "furniture.n",
+    );
+    b.noun(
+        "chair.person",
+        &["chair", "chairperson"],
+        "the officer who presides over a meeting",
+        6,
+        "leader.n",
+    );
+    b.noun(
+        "door.n",
+        &["door"],
+        "a swinging barrier by which an entry to a building or room is closed",
+        30,
+        "structure.construction",
+    );
+    b.noun(
+        "key.lock",
+        &["key"],
+        "a shaped metal device that opens a lock",
+        18,
+        "device.n",
+    );
+    b.noun(
+        "key.answer",
+        &["key"],
+        "the list of answers or the crucial means to a solution, as the key to the problem",
+        6,
+        "cognition.n",
+    );
+    b.noun(
+        "key.music",
+        &["key", "tonality"],
+        "the system of notes around a tonic on which a piece of music is based",
+        4,
+        "music.n",
+    );
+    b.noun(
+        "key.keyboard",
+        &["key"],
+        "a button on a keyboard or piano pressed by a finger",
+        5,
+        "part.relation",
+    );
+    b.noun(
+        "glass.material",
+        &["glass"],
+        "the hard brittle transparent material made from sand, used in windows",
+        18,
+        "material.n",
+    );
+    b.noun(
+        "glass.container",
+        &["glass", "drinking glass"],
+        "a container made of glass for drinking a beverage",
+        10,
+        "container.n",
+    );
+    b.noun(
+        "glass.mirror",
+        &["glass", "looking glass"],
+        "an old word for a mirror",
+        2,
+        "device.n",
+    );
+    b.noun(
+        "iron.metal",
+        &["iron", "fe"],
+        "a heavy silvery metal used to make steel for swords and tools",
+        12,
+        "material.n",
+    );
+    b.noun(
+        "iron.appliance",
+        &["iron", "smoothing iron"],
+        "the heated appliance pressed over clothing to smooth it",
+        4,
+        "device.n",
+    );
+    b.noun(
+        "iron.golf",
+        &["iron"],
+        "a golf club with a metal head",
+        2,
+        "implement.n",
+    );
+    b.noun(
+        "ship.n",
+        &["ship", "vessel"],
+        "a large vehicle that carries people and goods over the sea",
+        25,
+        "vehicle.n",
+    );
+    b.noun(
+        "boat.n",
+        &["boat"],
+        "a small vehicle for traveling on water",
+        15,
+        "vehicle.n",
+    );
+    b.noun(
+        "crown_jewel.gem",
+        &["jewel", "gem", "precious stone"],
+        "a precious stone cut and polished for a crown or ring",
+        8,
+        "natural_object.n",
+    );
+    b.noun(
+        "ring.jewelry",
+        &["ring"],
+        "a circular band of precious metal worn on the finger",
+        12,
+        "clothing.n",
+    );
+    b.noun(
+        "ring.sound",
+        &["ring", "ringing"],
+        "the clear resonant sound of a bell or a telephone",
+        6,
+        "happening.n",
+    );
+    b.noun(
+        "ring.boxing",
+        &["ring", "boxing ring"],
+        "the square platform on which boxers fight",
+        3,
+        "structure.construction",
+    );
+    b.noun(
+        "ring.gang",
+        &["ring", "gang"],
+        "an association of criminals operating together",
+        2,
+        "organization.n",
+    );
+    b.noun(
+        "bell.n",
+        &["bell"],
+        "a hollow metal device that makes a ringing sound when struck",
+        10,
+        "device.n",
+    );
+    b.noun(
+        "candle.n",
+        &["candle", "taper"],
+        "a stick of wax with a wick burned to give light at night",
+        6,
+        "device.n",
+    );
+    b.noun(
+        "mirror.n",
+        &["mirror"],
+        "a polished surface of glass that reflects an image",
+        8,
+        "device.n",
+    );
+    b.noun(
+        "letter_box.gate",
+        &["gate"],
+        "a movable barrier in a wall or fence of a castle or garden",
+        10,
+        "structure.construction",
+    );
+    b.noun(
+        "tower.n",
+        &["tower"],
+        "a tall narrow structure rising above a castle or church",
+        10,
+        "structure.construction",
+    );
+    b.noun(
+        "bridge.structure",
+        &["bridge", "span"],
+        "a structure carrying a road across a river or valley",
+        15,
+        "structure.construction",
+    );
+    b.noun(
+        "bridge.card-game",
+        &["bridge"],
+        "a card game for four players in two partnerships",
+        3,
+        "game.activity",
+    );
+    b.noun(
+        "bridge.nose",
+        &["bridge"],
+        "the upper bony part of the nose",
+        2,
+        "body_part.n",
+    );
+    b.noun(
+        "bridge.ship",
+        &["bridge"],
+        "the platform from which a captain controls a ship",
+        2,
+        "structure.construction",
+    );
+
+    // ---- Time units ---------------------------------------------------------------
+    b.noun(
+        "hour.n",
+        &["hour", "hr"],
+        "a period of time equal to sixty minutes",
+        40,
+        "time_unit.n",
+    );
+    b.noun(
+        "minute.time",
+        &["minute", "min"],
+        "a unit of time equal to sixty seconds",
+        30,
+        "time_unit.n",
+    );
+    b.noun(
+        "minute.moment",
+        &["minute", "moment", "instant"],
+        "a very brief period of time; wait a minute",
+        10,
+        "time_period.n",
+    );
+    b.noun(
+        "second.time",
+        &["second", "sec"],
+        "the basic unit of time, a sixtieth of a minute",
+        25,
+        "time_unit.n",
+    );
+    b.noun(
+        "second.supporter",
+        &["second"],
+        "the assistant who supports a fighter in a duel or boxing match",
+        1,
+        "person.n",
+    );
+    b.noun(
+        "week.n",
+        &["week", "hebdomad"],
+        "a period of seven days",
+        35,
+        "time_period.n",
+    );
+    b.noun(
+        "month.n",
+        &["month", "calendar month"],
+        "one of the twelve divisions of a calendar year",
+        35,
+        "time_period.n",
+    );
+    b.noun(
+        "morning.n",
+        &["morning", "morn", "forenoon"],
+        "the early part of the day from sunrise to noon",
+        25,
+        "time_period.n",
+    );
+    b.noun(
+        "evening.n",
+        &["evening", "eve", "eventide"],
+        "the latter part of the day between afternoon and night",
+        20,
+        "time_period.n",
+    );
+
+    // ---- Named Shakespeare plays and roles (Group 1 color) ---------------------------
+    b.instance("hamlet.play", &["hamlet"], "Hamlet, Shakespeare's tragedy of the prince of Denmark who avenges his father's murder by a poisoned ghost-haunted court", 4, "tragedy.drama");
+    b.noun(
+        "hamlet.village",
+        &["hamlet"],
+        "a small village without its own church",
+        2,
+        "village.n",
+    );
+    b.instance("macbeth.play", &["macbeth"], "Macbeth, Shakespeare's tragedy of a Scottish captain whose ambition and a witches' prophecy drive him to murder his king", 3, "tragedy.drama");
+    b.instance(
+        "othello.play",
+        &["othello"],
+        "Othello, Shakespeare's tragedy of a general destroyed by jealousy and a false friend",
+        3,
+        "tragedy.drama",
+    );
+    b.instance("lear.play", &["lear", "king lear"], "King Lear, Shakespeare's tragedy of an old king who divides his kingdom between his daughters", 3, "tragedy.drama");
+    b.instance(
+        "tempest.play",
+        &["tempest", "the tempest"],
+        "The Tempest, Shakespeare's play of a magician duke shipwrecked on an island by a storm",
+        2,
+        "play.drama",
+    );
+    b.noun(
+        "tempest.storm",
+        &["tempest"],
+        "a violent windstorm, often at sea",
+        3,
+        "storm.weather",
+    );
+    b.instance(
+        "romeo.character",
+        &["romeo"],
+        "Romeo, the young lover of Juliet in Shakespeare's tragedy of Verona",
+        3,
+        "character.role",
+    );
+    b.instance(
+        "juliet.character",
+        &["juliet"],
+        "Juliet, the young daughter of the house of Capulet who loves Romeo",
+        3,
+        "character.role",
+    );
+    b.instance(
+        "falstaff.character",
+        &["falstaff"],
+        "Falstaff, Shakespeare's fat comic knight who drinks and jests with princes",
+        2,
+        "character.role",
+    );
+    b.instance(
+        "ophelia.character",
+        &["ophelia"],
+        "Ophelia, the noble daughter driven to madness in Hamlet",
+        2,
+        "character.role",
+    );
+    b.relate("hamlet.play", RelationKind::HasPart, "act.play-division");
+    b.relate("macbeth.play", RelationKind::HasPart, "act.play-division");
+}

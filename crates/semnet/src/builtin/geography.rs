@@ -1,0 +1,302 @@
+//! Geographic and address vocabulary: the `personnel`/`club` datasets'
+//! address blocks (street, city, state, zip, country) and the places the
+//! movie and commerce corpora mention.
+
+use crate::builder::NetworkBuilder;
+use crate::model::RelationKind;
+
+pub(super) fn register(b: &mut NetworkBuilder) {
+    b.noun("country.nation", &["country", "nation", "state", "land"], "the territory occupied by a nation; a politically organized body of people under one government", 130, "district.n");
+    b.noun(
+        "country.rural",
+        &["country", "countryside", "rural area"],
+        "an area outside of cities and towns where people farm the land",
+        30,
+        "area.n",
+    );
+    b.noun(
+        "city.n",
+        &["city", "metropolis", "urban center"],
+        "a large and densely populated urban area, incorporated as a municipality",
+        110,
+        "district.n",
+    );
+    b.noun(
+        "town.n",
+        &["town"],
+        "an urban area with fixed boundaries, smaller than a city",
+        60,
+        "district.n",
+    );
+    b.noun(
+        "village.n",
+        &["village", "hamlet"],
+        "a community of people smaller than a town, in a rural area",
+        28,
+        "district.n",
+    );
+    b.noun(
+        "street.n",
+        &["street"],
+        "a thoroughfare with buildings on one or both sides, usually in a town or city",
+        75,
+        "thoroughfare.n",
+    );
+    b.noun(
+        "thoroughfare.n",
+        &["thoroughfare"],
+        "a public road from one place to another",
+        10,
+        "road.n",
+    );
+    b.noun(
+        "road.n",
+        &["road", "route"],
+        "an open way for travel or transportation between places",
+        85,
+        "artifact.n",
+    );
+    b.noun(
+        "avenue.street",
+        &["avenue", "boulevard"],
+        "a wide street or thoroughfare, often lined with trees",
+        15,
+        "street.n",
+    );
+    b.noun(
+        "avenue.means",
+        &["avenue"],
+        "a line of approach; a way of reaching or achieving something",
+        8,
+        "means.n",
+    );
+    b.noun(
+        "means.n",
+        &["means", "way"],
+        "how a result is obtained or an end is achieved",
+        40,
+        "act.deed",
+    );
+    b.noun("address.location", &["address"], "the place where a person or organization can be found or communicated with; written directions for finding a location", 50, "point.location");
+    b.noun(
+        "address.speech",
+        &["address", "speech"],
+        "a formal spoken communication delivered to an audience",
+        30,
+        "speech.communication",
+    );
+    b.noun(
+        "address.computer",
+        &["address", "computer address", "url"],
+        "a sign or code that identifies where information is stored in a computer network",
+        12,
+        "signal.n",
+    );
+    b.verb(
+        "address.v",
+        &["address", "speak to"],
+        "speak to someone formally or direct a communication at",
+        20,
+        "communicate.v",
+    );
+    b.noun(
+        "zip.code",
+        &["zip", "zip code", "postcode", "postal code"],
+        "a code of letters and digits added to a postal address to aid the sorting of mail",
+        8,
+        "signal.n",
+    );
+    b.verb(
+        "zip.v",
+        &["zip", "speed"],
+        "move very fast with energy",
+        5,
+        "act.deed",
+    );
+    b.noun(
+        "zip.energy",
+        &["zip", "energy", "vigor"],
+        "forceful liveliness and vigorous exertion",
+        4,
+        "trait.n",
+    );
+    b.noun(
+        "continent.n",
+        &["continent"],
+        "one of the large landmasses of the earth",
+        20,
+        "region.n",
+    );
+    b.noun(
+        "island.n",
+        &["island"],
+        "a land mass surrounded by water, smaller than a continent",
+        25,
+        "region.n",
+    );
+    b.noun(
+        "mountain.n",
+        &["mountain", "mount"],
+        "a land mass that projects well above its surroundings, higher than a hill",
+        35,
+        "natural_object.n",
+    );
+    b.noun(
+        "river.n",
+        &["river"],
+        "a large natural stream of water flowing toward the sea",
+        40,
+        "stream.n",
+    );
+    b.noun(
+        "stream.n",
+        &["stream", "watercourse"],
+        "a natural body of running water flowing on the earth",
+        22,
+        "natural_object.n",
+    );
+    b.noun(
+        "sea.n",
+        &["sea"],
+        "a division of an ocean; a large body of salt water",
+        45,
+        "natural_object.n",
+    );
+    b.noun(
+        "capital.city",
+        &["capital", "capital city"],
+        "the city from which a country or region is governed",
+        25,
+        "city.n",
+    );
+    b.noun(
+        "capital.money",
+        &["capital", "working capital"],
+        "wealth in the form of money or assets available for producing more wealth",
+        30,
+        "asset.n",
+    );
+    b.noun(
+        "capital.letter",
+        &["capital", "capital letter", "uppercase"],
+        "one of the large alphabetic letters used at the beginning of sentences and names",
+        6,
+        "character.letter",
+    );
+    b.noun(
+        "character.letter",
+        &["character", "letter", "grapheme"],
+        "a written symbol used to represent speech in an alphabet",
+        18,
+        "written_communication.n",
+    );
+
+    // Named places used by the corpora.
+    b.instance(
+        "monaco.n",
+        &["monaco"],
+        "Monaco, the tiny principality on the Mediterranean coast ruled by a prince",
+        3,
+        "country.nation",
+    );
+    b.instance(
+        "america.n",
+        &["america", "usa", "united states"],
+        "the United States of America, a nation in North America",
+        40,
+        "country.nation",
+    );
+    b.instance(
+        "england.n",
+        &["england"],
+        "England, a country that is part of the United Kingdom",
+        25,
+        "country.nation",
+    );
+    b.instance(
+        "france.n",
+        &["france"],
+        "France, a republic in Western Europe",
+        22,
+        "country.nation",
+    );
+    b.instance(
+        "scotland.n",
+        &["scotland"],
+        "Scotland, a country in the north of the island of Great Britain",
+        12,
+        "country.nation",
+    );
+    b.instance(
+        "denmark.n",
+        &["denmark"],
+        "Denmark, a kingdom in Northern Europe on the Jutland peninsula",
+        8,
+        "country.nation",
+    );
+    b.instance(
+        "italy.n",
+        &["italy"],
+        "Italy, a republic in southern Europe shaped like a boot",
+        18,
+        "country.nation",
+    );
+    b.instance(
+        "norway.n",
+        &["norway"],
+        "Norway, a kingdom in Northern Europe on the Scandinavian peninsula",
+        8,
+        "country.nation",
+    );
+    b.instance("hollywood.n", &["hollywood"], "Hollywood, the district of Los Angeles where the American motion picture industry is centered", 8, "district.n");
+    b.instance(
+        "rome.n",
+        &["rome"],
+        "Rome, the capital of Italy and ancient seat of an empire",
+        15,
+        "capital.city",
+    );
+    b.instance(
+        "london.n",
+        &["london"],
+        "London, the capital of England on the Thames river",
+        20,
+        "capital.city",
+    );
+    b.instance(
+        "paris.city",
+        &["paris"],
+        "Paris, the capital of France on the Seine river",
+        18,
+        "capital.city",
+    );
+    b.instance(
+        "paris.trojan",
+        &["paris"],
+        "Paris, the prince of Troy whose abduction of Helen began the Trojan war",
+        2,
+        "prince.n",
+    );
+    b.noun(
+        "prince.n",
+        &["prince"],
+        "a male member of a royal family other than the king",
+        14,
+        "royalty.n",
+    );
+    b.relate("princess.n", RelationKind::Antonym, "prince.n");
+    b.instance(
+        "venice.n",
+        &["venice"],
+        "Venice, the Italian city built on islands and canals",
+        6,
+        "city.n",
+    );
+    b.instance(
+        "verona.n",
+        &["verona"],
+        "Verona, the Italian city where Romeo and Juliet is set",
+        3,
+        "city.n",
+    );
+}

@@ -1,0 +1,201 @@
+//! **MiniWordNet**: the built-in reference semantic network.
+//!
+//! The paper disambiguates against WordNet 2.1. Princeton's database files
+//! cannot be redistributed inside this crate, so MiniWordNet re-creates, by
+//! hand, the part of WordNet the evaluation actually touches:
+//!
+//! * a WordNet-style **upper ontology** (entity → physical entity /
+//!   abstraction → …) giving every concept a taxonomy depth and a lowest
+//!   common subsumer (needed by edge- and node-based similarity),
+//! * the **domain vocabularies** of the ten evaluation datasets
+//!   (Table 3 of the paper): films, theater/Shakespeare, retail products,
+//!   bibliographic records, music catalogs, food menus, plant catalogs,
+//!   personnel records, and clubs,
+//! * the **polysemy anchors** the paper's examples rely on: *head* with 33
+//!   senses (WordNet 2.1's maximum polysemy, used to normalize Proposition
+//!   1), *state* with 8 senses (the `personnel` example of Section 4.2),
+//!   *star*, *cast*, *picture*, *play*, *line*, and the ambiguous proper
+//!   names *Kelly* (Grace / Gene / Emmett) and *Stewart* (James / Jackie /
+//!   Martha) from Figure 1,
+//! * Brown-corpus-style **concept frequencies** (Figure 2) so the weighted
+//!   network `S̄N` supports information-content similarity,
+//! * glosses written with deliberate lexical overlap inside each domain so
+//!   gloss-based (Lesk-style) similarity is informative.
+
+mod commerce;
+mod food;
+mod general;
+mod geography;
+mod movies;
+mod music;
+mod organization;
+mod people;
+mod plants;
+mod polysemy;
+mod publishing;
+mod theater;
+mod upper;
+
+use std::sync::OnceLock;
+
+use crate::builder::NetworkBuilder;
+use crate::network::SemanticNetwork;
+
+/// Builds a fresh copy of the MiniWordNet network.
+///
+/// Most callers should use [`mini_wordnet`], which caches a shared
+/// instance.
+pub fn build_mini_wordnet() -> SemanticNetwork {
+    let mut b = NetworkBuilder::new();
+    upper::register(&mut b);
+    people::register(&mut b);
+    geography::register(&mut b);
+    polysemy::register(&mut b);
+    movies::register(&mut b);
+    theater::register(&mut b);
+    theater::register_extra_senses(&mut b);
+    commerce::register(&mut b);
+    publishing::register(&mut b);
+    music::register(&mut b);
+    food::register(&mut b);
+    plants::register(&mut b);
+    organization::register(&mut b);
+    general::register(&mut b);
+    b.build()
+        .expect("MiniWordNet must be internally consistent")
+}
+
+/// The shared MiniWordNet instance (built once, on first use).
+pub fn mini_wordnet() -> &'static SemanticNetwork {
+    static NET: OnceLock<SemanticNetwork> = OnceLock::new();
+    NET.get_or_init(build_mini_wordnet)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_successfully() {
+        let sn = mini_wordnet();
+        assert!(
+            sn.len() > 400,
+            "expected a substantial network, got {}",
+            sn.len()
+        );
+    }
+
+    #[test]
+    fn head_has_maximum_polysemy_33() {
+        // Proposition 1: Max(senses(SN)) = 33 in WordNet 2.1, for "head".
+        let sn = mini_wordnet();
+        assert_eq!(sn.polysemy("head"), 33);
+        assert_eq!(sn.max_polysemy(), 33);
+    }
+
+    #[test]
+    fn state_has_8_senses() {
+        // Section 4.2: "word 'state' has 8 different meanings".
+        let sn = mini_wordnet();
+        assert_eq!(sn.polysemy("state"), 8);
+    }
+
+    #[test]
+    fn figure1_vocabulary_present() {
+        let sn = mini_wordnet();
+        for word in [
+            "kelly", "stewart", "star", "cast", "picture", "film", "director", "plot", "genre",
+        ] {
+            assert!(sn.has_word(word), "missing {word:?}");
+        }
+        assert_eq!(sn.polysemy("kelly"), 3, "Kelly: Grace, Gene, Emmett");
+        assert_eq!(sn.polysemy("stewart"), 3);
+        assert!(sn.polysemy("star") >= 5);
+        assert!(sn.polysemy("cast") >= 5);
+    }
+
+    #[test]
+    fn every_concept_reaches_a_root() {
+        // The taxonomy must be connected enough for LCS-based similarity:
+        // every noun concept has a finite depth.
+        let sn = mini_wordnet();
+        let orphans: Vec<_> = sn
+            .all_concepts()
+            .filter(|&c| sn.depth(c) == u32::MAX && sn.concept(c).pos == crate::PartOfSpeech::Noun)
+            .map(|c| sn.concept(c).key.clone())
+            .collect();
+        assert!(orphans.is_empty(), "orphan noun concepts: {orphans:?}");
+    }
+
+    #[test]
+    fn glosses_are_nonempty() {
+        let sn = mini_wordnet();
+        for c in sn.all_concepts() {
+            assert!(
+                !sn.concept(c).gloss.trim().is_empty(),
+                "empty gloss on {}",
+                sn.concept(c).key
+            );
+        }
+    }
+
+    #[test]
+    fn frequencies_are_plausible() {
+        let sn = mini_wordnet();
+        assert!(sn.total_frequency() > 1000);
+        // First sense of "state" should be a frequent one.
+        let first = sn.senses("state")[0];
+        assert!(sn.frequency(first) >= 20);
+    }
+
+    #[test]
+    fn text_format_roundtrip_of_full_network() {
+        let sn = build_mini_wordnet();
+        let text = crate::format::to_text(&sn);
+        let sn2 = crate::format::from_text(&text).unwrap();
+        assert_eq!(sn.len(), sn2.len());
+        assert_eq!(sn.max_polysemy(), sn2.max_polysemy());
+        assert_eq!(sn.total_frequency(), sn2.total_frequency());
+        for id in sn.all_concepts() {
+            let key = &sn.concept(id).key;
+            let id2 = sn2.by_key(key).unwrap();
+            assert_eq!(
+                sn.edges(id).len(),
+                sn2.edges(id2).len(),
+                "edge count differs on {key}"
+            );
+            assert_eq!(sn.depth(id), sn2.depth(id2), "depth differs on {key}");
+        }
+    }
+
+    #[test]
+    fn domain_vocabularies_covered() {
+        let sn = mini_wordnet();
+        // One probe word per evaluation dataset.
+        let probes = [
+            ("play", "Shakespeare"),
+            ("product", "Amazon"),
+            ("proceedings", "SIGMOD"),
+            ("movie", "IMDB"),
+            ("publisher", "Niagara bib"),
+            ("artist", "CD catalog"),
+            ("menu", "food menu"),
+            ("botanical", "plant catalog"),
+            ("personnel", "personnel"),
+            ("club", "club"),
+        ];
+        for (word, dataset) in probes {
+            assert!(
+                sn.has_word(word),
+                "dataset {dataset} probe word {word:?} missing"
+            );
+        }
+    }
+
+    #[test]
+    fn shared_instance_is_cached() {
+        let a: *const SemanticNetwork = mini_wordnet();
+        let b: *const SemanticNetwork = mini_wordnet();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,521 @@
+//! The motion-picture domain: the IMDB dataset's tag vocabulary (movie,
+//! picture, cast, star, genre, plot, …) and the Figure 1 example document.
+//! Glosses deliberately share the phrases "motion picture", "film" and
+//! "actor" so gloss-overlap similarity binds the domain together.
+
+use crate::builder::NetworkBuilder;
+use crate::model::RelationKind;
+
+pub(super) fn register(b: &mut NetworkBuilder) {
+    // ---- The film itself --------------------------------------------------
+    b.noun("film.movie", &["movie", "film", "picture", "motion picture", "moving picture", "flick", "pic"], "a form of entertainment that enacts a story performed by a cast of actors, a director and a camera; a motion picture shown in a theater", 45, "show.n");
+    b.relate("film.movie", RelationKind::HasPart, "cast.actors");
+    b.relate("film.movie", RelationKind::HasPart, "scene.film");
+    b.relate("film.movie", RelationKind::HasPart, "plot.story");
+    b.noun(
+        "show.n",
+        &["show"],
+        "a social event involving a public performance or entertainment presented to an audience",
+        30,
+        "social_event.n",
+    );
+    b.noun(
+        "social_event.n",
+        &["social event"],
+        "an event characteristic of persons forming groups",
+        15,
+        "event.n",
+    );
+    b.noun("film.photographic", &["film", "photographic film"], "a light-sensitive strip of cellulose coated with emulsion used in a camera to take photographs", 8, "artifact.n");
+    b.noun(
+        "film.coating",
+        &["film", "thin film"],
+        "a thin coating or layer covering a surface",
+        5,
+        "covering.artifact",
+    );
+    b.verb(
+        "film.v",
+        &["film", "shoot"],
+        "record a scene or performance on photographic film with a movie camera",
+        6,
+        "create.v",
+    );
+
+    // ---- picture: the remaining senses -------------------------------------
+    b.noun(
+        "picture.image",
+        &["picture", "image", "icon"],
+        "a visual representation of a person, object or scene, as a painting or drawing",
+        35,
+        "work_of_art.n",
+    );
+    b.noun(
+        "picture.photograph",
+        &["picture", "photograph", "photo", "exposure"],
+        "a picture of a person or scene recorded by a camera on light-sensitive film",
+        25,
+        "picture.image",
+    );
+    b.noun(
+        "picture.mental",
+        &["picture", "mental picture", "impression"],
+        "a clear and telling mental image of something imagined",
+        10,
+        "content.cognition",
+    );
+    b.noun("picture.situation", &["picture"], "the state of affairs; a situation treated as an observable scene, as in the overall picture", 6, "situation.n");
+    b.noun(
+        "picture.tv",
+        &["picture", "video"],
+        "the visible part of a television transmission on a screen",
+        5,
+        "signal.n",
+    );
+    b.verb(
+        "picture.v",
+        &["picture", "visualize", "envision"],
+        "imagine or form a mental image of something",
+        8,
+        "act.deed",
+    );
+
+    // ---- star: the remaining senses (celestial lives here too) --------------
+    b.noun(
+        "star.celestial",
+        &["star"],
+        "a celestial body of hot gases, the light of which is visible in the night sky",
+        28,
+        "celestial_body.n",
+    );
+    b.noun(
+        "star.performer",
+        &["star", "principal", "lead"],
+        "an actor who plays a principal role in a motion picture or play",
+        15,
+        "actor.n",
+    );
+    b.noun(
+        "star.celebrity",
+        &["star", "celebrity"],
+        "a famous and widely known person, as a star of screen or sport",
+        12,
+        "person.n",
+    );
+    b.noun(
+        "star.shape",
+        &["star"],
+        "a plane figure with five or more points radiating from a center",
+        8,
+        "shape.n",
+    );
+    b.noun(
+        "star.asterisk",
+        &["star", "asterisk"],
+        "a star-shaped character * used in printed text",
+        3,
+        "character.letter",
+    );
+    b.verb(
+        "star.v-feature",
+        &["star", "feature"],
+        "be the star or principal performer in a motion picture or show",
+        6,
+        "perform.v",
+    );
+    b.verb(
+        "star.v-mark",
+        &["star", "asterisk"],
+        "mark a text item with a star or asterisk",
+        2,
+        "act.deed",
+    );
+
+    // ---- cast --------------------------------------------------------------
+    b.noun(
+        "cast.actors",
+        &[
+            "cast",
+            "cast of characters",
+            "dramatis personae",
+            "personae",
+        ],
+        "the group of actors selected to perform together in a motion picture or play",
+        10,
+        "gathering.n",
+    );
+    b.relate("cast.actors", RelationKind::HasMember, "actor.n");
+    b.relate("cast.actors", RelationKind::HasMember, "star.performer");
+    b.noun(
+        "cast.throw",
+        &["cast", "throw"],
+        "the act of throwing something, as the cast of dice or of a fishing line",
+        6,
+        "action.n",
+    );
+    b.noun(
+        "cast.mold",
+        &["cast", "mold", "mould"],
+        "a container into which liquid material is poured to make an object of a given shape",
+        5,
+        "container.n",
+    );
+    b.noun(
+        "cast.plaster",
+        &["cast", "plaster cast"],
+        "a rigid bandage of plaster that immobilizes a broken bone while it heals",
+        4,
+        "device.n",
+    );
+    b.noun(
+        "cast.appearance",
+        &["cast", "shade", "tinge"],
+        "a slight shade of a color or quality in the appearance of something",
+        3,
+        "attribute.n",
+    );
+    b.verb(
+        "cast.v-throw",
+        &["cast", "hurl"],
+        "throw something forcefully, as to cast a stone or a fishing line",
+        8,
+        "act.deed",
+    );
+    b.verb(
+        "cast.v-assign",
+        &["cast"],
+        "select an actor to play a role in a motion picture or play",
+        5,
+        "act.deed",
+    );
+    b.verb(
+        "cast.v-shed",
+        &["cast", "shed", "molt"],
+        "cast off hair, skin or feathers periodically",
+        3,
+        "act.deed",
+    );
+
+    // ---- plot --------------------------------------------------------------
+    b.noun("plot.story", &["plot", "story line", "storyline"], "the plan or main story of a narrative work such as a motion picture, play or novel, enacted by the characters the actors play", 14, "content.cognition");
+    b.noun(
+        "plot.scheme",
+        &["plot", "conspiracy", "intrigue"],
+        "a secret scheme or plan to do something, especially something unlawful",
+        8,
+        "content.cognition",
+    );
+    b.noun(
+        "plot.land",
+        &["plot", "plot of ground", "patch"],
+        "a small area of ground set aside for a purpose such as a garden",
+        6,
+        "area.n",
+    );
+    b.noun(
+        "plot.chart",
+        &["plot", "graph"],
+        "a drawing showing the relation between variable quantities measured along axes",
+        4,
+        "picture.image",
+    );
+    b.verb(
+        "plot.v",
+        &["plot", "scheme"],
+        "plan something secretly or mark a chart or graph",
+        5,
+        "act.deed",
+    );
+
+    // ---- genres -------------------------------------------------------------
+    b.noun(
+        "genre.kind",
+        &["genre"],
+        "a kind or style of art, literature or motion picture sharing conventions",
+        8,
+        "class.category",
+    );
+    b.noun(
+        "mystery.story",
+        &["mystery", "mystery story", "whodunit"],
+        "a genre of story or motion picture about a crime solved by detection",
+        6,
+        "genre.kind",
+    );
+    b.noun(
+        "mystery.puzzle",
+        &["mystery", "enigma", "secret"],
+        "something that baffles understanding and cannot be explained",
+        8,
+        "cognition.n",
+    );
+    b.noun(
+        "western.genre",
+        &["western"],
+        "a genre of motion picture about frontier life and cowboys in the American West",
+        4,
+        "genre.kind",
+    );
+    b.adjective(
+        "western.adj",
+        &["western"],
+        "of or located in the west or characteristic of the west",
+        10,
+    );
+    b.noun(
+        "comedy.genre",
+        &["comedy"],
+        "a genre of light and humorous drama or motion picture with a happy ending",
+        8,
+        "genre.kind",
+    );
+    b.noun(
+        "comedy.humor",
+        &["comedy", "fun"],
+        "a comic incident or series of incidents; humorous entertainment",
+        5,
+        "activity.n",
+    );
+    b.noun(
+        "drama.play",
+        &["drama", "dramatic play"],
+        "a work intended for performance by actors on a stage; serious plays as a genre",
+        12,
+        "genre.kind",
+    );
+    b.noun(
+        "drama.excitement",
+        &["drama"],
+        "an episode of turmoil or heightened emotion in real life",
+        4,
+        "situation.n",
+    );
+    b.noun(
+        "thriller.n",
+        &["thriller"],
+        "a genre of suspenseful story or motion picture designed to excite",
+        4,
+        "genre.kind",
+    );
+    b.noun(
+        "romance.story",
+        &["romance", "love story"],
+        "a genre of story or motion picture dealing with love",
+        5,
+        "genre.kind",
+    );
+    b.noun(
+        "romance.affair",
+        &["romance", "love affair"],
+        "a relationship between two lovers",
+        6,
+        "social_relation.n",
+    );
+    b.noun(
+        "horror.genre",
+        &["horror", "horror movie"],
+        "a genre of story or motion picture intended to frighten",
+        4,
+        "genre.kind",
+    );
+    b.noun(
+        "horror.fear",
+        &["horror", "fright"],
+        "intense and profound fear or repugnance",
+        6,
+        "emotion.n",
+    );
+
+    // ---- supporting vocabulary ----------------------------------------------
+    b.noun(
+        "scene.film",
+        &["scene", "shot"],
+        "a consecutive series of pictures in a motion picture constituting a unit of action",
+        8,
+        "part.relation",
+    );
+    b.noun(
+        "screen.display",
+        &["screen", "silver screen"],
+        "the white surface onto which a motion picture is projected; a display surface",
+        10,
+        "device.n",
+    );
+    b.noun(
+        "screen.industry",
+        &["screen", "the screen"],
+        "the motion picture industry considered collectively",
+        4,
+        "occupation.n",
+    );
+    b.noun(
+        "screen.partition",
+        &["screen", "partition"],
+        "a vertical structure that divides or conceals an area",
+        5,
+        "structure.construction",
+    );
+    b.verb(
+        "screen.v",
+        &["screen", "test"],
+        "examine methodically or project a film for viewing",
+        4,
+        "act.deed",
+    );
+    b.noun(
+        "theater.building",
+        &["theater", "theatre", "house", "playhouse"],
+        "a building where plays and motion pictures are performed or shown to an audience",
+        15,
+        "building.n",
+    );
+    b.noun(
+        "theater.art",
+        &["theater", "theatre", "dramaturgy", "dramatic art"],
+        "the art of writing and producing plays for the stage",
+        8,
+        "communication.n",
+    );
+    b.noun(
+        "cinema.n",
+        &["cinema", "movie theater", "picture palace"],
+        "a theater where motion pictures are shown",
+        6,
+        "theater.building",
+    );
+    b.noun(
+        "audience.spectators",
+        &["audience"],
+        "the group of people gathered to watch a performance such as a play or motion picture",
+        12,
+        "gathering.n",
+    );
+    b.noun(
+        "audience.hearing",
+        &["audience", "hearing"],
+        "a formal meeting or conference for hearing views, as an audience with the queen",
+        4,
+        "social_event.n",
+    );
+    b.noun(
+        "studio.workplace",
+        &["studio"],
+        "a workplace where motion pictures or broadcasts are made or an artist works",
+        7,
+        "building.n",
+    );
+    b.noun(
+        "studio.company",
+        &["studio", "film studio"],
+        "the organization that produces motion pictures",
+        4,
+        "organization.n",
+    );
+    b.noun(
+        "camera.n",
+        &["camera"],
+        "equipment for taking photographs or recording motion pictures",
+        14,
+        "equipment.n",
+    );
+    b.noun(
+        "award.n",
+        &["award", "prize", "trophy"],
+        "something given in recognition of achievement, as an award for the best motion picture",
+        10,
+        "possession.n",
+    );
+    b.instance(
+        "oscar.n",
+        &["oscar", "academy award"],
+        "the Academy Award statuette given annually for achievements in motion pictures",
+        3,
+        "award.n",
+    );
+    b.noun(
+        "running_time.n",
+        &["running time", "runtime", "duration"],
+        "the length of time a motion picture or performance lasts",
+        4,
+        "time_period.n",
+    );
+    b.noun(
+        "sequel.n",
+        &["sequel", "continuation"],
+        "a motion picture or novel that continues the story of an earlier one",
+        3,
+        "work.product",
+    );
+    b.noun(
+        "character.role",
+        &["character", "fictional character", "persona"],
+        "an imaginary person represented in a work of fiction such as a play or motion picture",
+        12,
+        "content.cognition",
+    );
+    b.noun(
+        "hero.n",
+        &["hero"],
+        "the principal character in a play, novel or motion picture",
+        10,
+        "character.role",
+    );
+    b.noun(
+        "villain.n",
+        &["villain", "baddie"],
+        "the wicked character in a story who opposes the hero",
+        5,
+        "character.role",
+    );
+    b.noun(
+        "wheelchair.n",
+        &["wheelchair"],
+        "a movable chair mounted on large wheels for a disabled person",
+        3,
+        "vehicle.n",
+    );
+    b.noun(
+        "window.n",
+        &["window"],
+        "an opening in a wall framed to admit light or air, usually fitted with glass",
+        25,
+        "structure.construction",
+    );
+    b.noun(
+        "rear.back",
+        &["rear", "back", "rear end"],
+        "the side or part of something located at the back, away from the front",
+        10,
+        "part.relation",
+    );
+    b.verb(
+        "rear.v",
+        &["rear", "raise", "bring up"],
+        "bring up and care for a child until fully grown",
+        8,
+        "act.deed",
+    );
+
+    // Named films referenced by the corpus.
+    b.instance("rear_window.film", &["rear window"], "Rear Window, the 1954 Hitchcock motion picture in which a wheelchair-bound photographer spies on his neighbors, starring James Stewart and Grace Kelly", 2, "film.movie");
+    b.instance(
+        "psycho.film",
+        &["psycho"],
+        "Psycho, the Hitchcock suspense motion picture about a motel murder",
+        2,
+        "film.movie",
+    );
+    b.instance(
+        "vertigo.film",
+        &["vertigo"],
+        "Vertigo, the Hitchcock motion picture starring James Stewart about obsession",
+        2,
+        "film.movie",
+    );
+    b.relate("film.movie", RelationKind::HasPart, "title.work");
+    b.relate("album.record", RelationKind::HasPart, "title.work");
+    b.relate("cd.disc", RelationKind::HasPart, "title.work");
+    b.relate("play.drama", RelationKind::HasPart, "title.work");
+    b.relate("rear_window.film", RelationKind::HasMember, "stewart.james");
+    b.relate("rear_window.film", RelationKind::HasMember, "kelly.grace");
+}

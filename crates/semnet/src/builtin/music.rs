@@ -1,0 +1,427 @@
+//! The recorded-music domain: vocabulary of the W3Schools CD-catalog
+//! dataset (cd, title, artist, country, company, price, year, track, …).
+//! Glosses share "music", "album" and "recording" so gloss overlap binds
+//! the domain.
+
+use crate::builder::NetworkBuilder;
+
+pub(super) fn register(b: &mut NetworkBuilder) {
+    b.noun(
+        "cd.disc",
+        &["cd", "compact disc", "compact disk"],
+        "a digital disc on which music recordings are stored and sold as an album",
+        8,
+        "recording.medium",
+    );
+    b.noun(
+        "recording.medium",
+        &["recording"],
+        "a storage medium such as a disc or tape on which sound or music has been recorded",
+        6,
+        "device.n",
+    );
+    b.noun(
+        "recording.sound",
+        &["recording", "sound recording", "audio recording"],
+        "a signal that is the sound of a music performance stored on a medium",
+        5,
+        "signal.n",
+    );
+    b.noun(
+        "album.record",
+        &["album", "record album"],
+        "one or more recordings of music issued together as a single collection",
+        8,
+        "recording.medium",
+    );
+    b.noun(
+        "album.book",
+        &["album"],
+        "a book of blank pages to hold a collection of photographs or stamps",
+        4,
+        "book.publication",
+    );
+    b.noun(
+        "record.phonograph",
+        &["record", "phonograph record", "disk", "platter"],
+        "the vinyl disc on which music recordings were formerly sold; an album of music",
+        6,
+        "recording.medium",
+    );
+    b.noun(
+        "song.n",
+        &["song", "vocal"],
+        "a short piece of music with words that is sung; a track on an album",
+        18,
+        "music.n",
+    );
+    b.noun(
+        "track.song",
+        &["track", "cut"],
+        "one of the individual songs or pieces of music recorded on an album or cd",
+        6,
+        "music.n",
+    );
+    b.relate(
+        "track.song",
+        crate::model::RelationKind::PartOf,
+        "album.record",
+    );
+    b.relate("track.song", crate::model::RelationKind::PartOf, "cd.disc");
+    b.noun(
+        "track.path",
+        &["track", "trail", "path"],
+        "a path or rough road beaten by the feet of people or animals",
+        10,
+        "road.n",
+    );
+    b.noun(
+        "track.race",
+        &["track", "racetrack", "running track"],
+        "the course laid out for running or racing",
+        5,
+        "road.n",
+    );
+    b.noun(
+        "track.rail",
+        &["track", "rail", "railroad track"],
+        "the parallel steel rails on which a train runs",
+        6,
+        "road.n",
+    );
+    b.noun(
+        "track.mark",
+        &["track", "trail", "spoor"],
+        "the marks or footprints left by an animal or person passing",
+        4,
+        "signal.n",
+    );
+    b.noun(
+        "track.course",
+        &["track", "course of study"],
+        "a course of study chosen by a student",
+        3,
+        "activity.n",
+    );
+    b.verb(
+        "track.v",
+        &["track", "trail", "tail"],
+        "follow the traces or footprints of; observe the path of",
+        5,
+        "act.deed",
+    );
+    b.noun(
+        "band.musicians",
+        &["band", "musical group", "musical ensemble"],
+        "a group of musicians who play music together, especially popular music",
+        12,
+        "organization.n",
+    );
+    b.noun(
+        "band.strip",
+        &["band", "stripe", "strip"],
+        "a thin flat strip of material used for binding or as decoration",
+        6,
+        "artifact.n",
+    );
+    b.noun(
+        "band.frequency",
+        &["band", "frequency band", "waveband"],
+        "a range of radio frequencies between two limits",
+        3,
+        "measure.n",
+    );
+    b.noun(
+        "band.ring",
+        &["band", "ring"],
+        "a strip of metal worn around the finger, as a wedding band",
+        4,
+        "clothing.n",
+    );
+    b.noun(
+        "rock.stone",
+        &["rock", "stone"],
+        "a hard lump of mineral matter; material consisting of the earth's crust",
+        25,
+        "natural_object.n",
+    );
+    b.noun(
+        "rock.music",
+        &["rock", "rock music", "rock and roll"],
+        "a genre of popular music with a strong beat played by a band with electric guitars",
+        8,
+        "music_genre.n",
+    );
+    b.noun(
+        "music_genre.n",
+        &["music genre", "musical genre", "musical style"],
+        "an expressive style or genre of music",
+        5,
+        "genre.kind",
+    );
+    b.verb(
+        "rock.v",
+        &["rock", "sway"],
+        "move back and forth gently, as to rock a baby",
+        6,
+        "act.deed",
+    );
+    b.noun(
+        "pop.music",
+        &["pop", "pop music", "popular music"],
+        "a genre of music of general appeal sold in large numbers of recordings",
+        6,
+        "music_genre.n",
+    );
+    b.noun(
+        "pop.father",
+        &["pop", "dad", "papa"],
+        "an informal word for one's father",
+        5,
+        "father.n",
+    );
+    b.noun(
+        "pop.sound",
+        &["pop", "popping"],
+        "a sharp explosive sound, as of a cork being drawn",
+        3,
+        "happening.n",
+    );
+    b.noun(
+        "pop.soda",
+        &["pop", "soda", "soda pop"],
+        "a sweet carbonated drink",
+        4,
+        "beverage.n",
+    );
+    b.noun(
+        "jazz.music",
+        &["jazz"],
+        "a genre of American music with improvisation and syncopated rhythms played by bands",
+        6,
+        "music_genre.n",
+    );
+    b.noun(
+        "jazz.talk",
+        &["jazz", "malarkey"],
+        "empty or insincere talk",
+        1,
+        "speech.communication",
+    );
+    b.noun(
+        "country.music",
+        &["country", "country music", "country and western"],
+        "a genre of popular music from the rural American south played with guitars and fiddles",
+        5,
+        "music_genre.n",
+    );
+    b.noun(
+        "folk.music",
+        &["folk", "folk music", "ethnic music"],
+        "the traditional music handed down among the common people of a region",
+        4,
+        "music_genre.n",
+    );
+    b.noun(
+        "folk.people",
+        &["folk", "folks", "common people"],
+        "people in general or of a particular region",
+        8,
+        "group.n",
+    );
+    b.noun(
+        "blues.music",
+        &["blues", "blue"],
+        "a genre of melancholy music that grew from African American work songs",
+        4,
+        "music_genre.n",
+    );
+    b.noun(
+        "blues.feeling",
+        &["blues", "megrims"],
+        "a state of depressed and gloomy feeling",
+        2,
+        "feeling.n",
+    );
+    b.noun(
+        "soul.music",
+        &["soul", "soul music"],
+        "a genre of African American music with gospel feeling and rhythm and blues style",
+        3,
+        "music_genre.n",
+    );
+    b.noun(
+        "soul.spirit",
+        &["soul", "psyche", "spirit"],
+        "the immaterial part of a person; the seat of feeling and will",
+        12,
+        "psychological_feature.n",
+    );
+    b.noun(
+        "single.record",
+        &["single"],
+        "a recording of music released with one main song rather than an album",
+        3,
+        "recording.medium",
+    );
+    b.noun(
+        "single.baseball",
+        &["single", "base hit"],
+        "a hit in baseball that allows the batter to reach first base",
+        2,
+        "action.n",
+    );
+    b.adjective(
+        "single.one",
+        &["single", "individual", "sole"],
+        "being a single entity; existing alone, one only",
+        15,
+    );
+    b.noun(
+        "label.record-company",
+        &["label", "recording label", "record company"],
+        "the company under whose brand a music recording is issued and sold",
+        4,
+        "company.firm",
+    );
+    b.noun(
+        "label.tag",
+        &["label"],
+        "an identifying slip of paper or cloth attached to an object giving its name",
+        8,
+        "signal.n",
+    );
+    b.noun(
+        "label.term",
+        &["label"],
+        "a brief descriptive term applied to a person or group, often unfairly",
+        4,
+        "name.label",
+    );
+    b.verb(
+        "label.v",
+        &["label", "tag", "mark"],
+        "attach a label to something or assign a term to it",
+        6,
+        "act.deed",
+    );
+    b.noun(
+        "concert.n",
+        &["concert"],
+        "a performance of music by musicians or a band before an audience",
+        10,
+        "performance.n",
+    );
+    b.noun(
+        "hit.song",
+        &["hit", "smash", "smash hit"],
+        "a recording of music or a show that sells many copies and is very successful",
+        4,
+        "happening.n",
+    );
+    b.noun(
+        "hit.blow",
+        &["hit", "hitting", "striking"],
+        "the act of hitting one thing with another",
+        8,
+        "action.n",
+    );
+    b.noun(
+        "guitar.n",
+        &["guitar"],
+        "a stringed musical instrument played by plucking, used in rock and country bands",
+        8,
+        "musical_instrument.n",
+    );
+    b.noun(
+        "musical_instrument.n",
+        &["musical instrument", "instrument"],
+        "a device for producing musical sounds",
+        8,
+        "device.n",
+    );
+    b.noun(
+        "piano.instrument",
+        &["piano", "pianoforte"],
+        "a large keyboard musical instrument with hammered strings",
+        8,
+        "musical_instrument.n",
+    );
+    b.noun(
+        "piano.softly",
+        &["piano"],
+        "a musical direction meaning to play softly",
+        1,
+        "order.command",
+    );
+    b.noun(
+        "voice.singing",
+        &["voice"],
+        "the sound made with vocal organs when singing music; a singer's musical instrument",
+        10,
+        "ability.n",
+    );
+    b.noun(
+        "voice.opinion",
+        &["voice"],
+        "the right to express an opinion; a voice in the decision",
+        5,
+        "communication.n",
+    );
+    b.noun(
+        "studio_album.n",
+        &["studio album"],
+        "an album of music recorded in a recording studio rather than at a concert",
+        1,
+        "album.record",
+    );
+    b.noun(
+        "chart.music",
+        &["chart", "the charts"],
+        "the weekly listing of the best selling music recordings",
+        3,
+        "document.n",
+    );
+    b.noun(
+        "chart.map",
+        &["chart"],
+        "a map or visual display of information, as a mariner's chart",
+        5,
+        "picture.image",
+    );
+    b.noun(
+        "lyrics.n",
+        &["lyrics", "lyric", "words"],
+        "the words that are sung with a piece of music; the text of a song",
+        4,
+        "text.n",
+    );
+    b.noun(
+        "beat.rhythm",
+        &["beat", "rhythm", "musical rhythm"],
+        "the basic recurrent rhythmical unit in a piece of music",
+        5,
+        "attribute.n",
+    );
+    b.noun(
+        "beat.route",
+        &["beat", "round"],
+        "a regular route patrolled by a police officer or followed by a reporter",
+        3,
+        "road.n",
+    );
+    b.verb(
+        "beat.v",
+        &["beat", "defeat"],
+        "win a victory over an opponent or strike repeatedly",
+        12,
+        "act.deed",
+    );
+    b.noun(
+        "beverage.n",
+        &["beverage", "drink", "potable"],
+        "any liquid suitable for drinking",
+        12,
+        "food.substance",
+    );
+}

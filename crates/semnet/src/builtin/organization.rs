@@ -1,0 +1,410 @@
+//! The personnel / club domain: vocabulary of the Niagara `personnel` and
+//! `club` datasets (person, name, family, given, email, url, office, phone,
+//! salary, club, member, president, treasurer, meeting, …). Glosses share
+//! "club", "member", "employee" and "organization" so gloss overlap binds
+//! the domain. The compound concepts `first name` / `last name` exercise
+//! the pre-processor's single-concept compound matching (Section 3.2).
+
+use crate::builder::NetworkBuilder;
+
+pub(super) fn register(b: &mut NetworkBuilder) {
+    // ---- names ------------------------------------------------------------------
+    b.noun(
+        "given_name.n",
+        &["given name", "first name", "forename", "given"],
+        "the name bestowed on a person at birth that precedes the family name",
+        10,
+        "name.label",
+    );
+    b.noun(
+        "surname.n",
+        &["surname", "family name", "last name", "cognomen"],
+        "the name shared by the members of a family, inherited down the family line",
+        10,
+        "name.label",
+    );
+    b.noun(
+        "middle_name.n",
+        &["middle name"],
+        "a name placed between a person's first name and family name",
+        2,
+        "name.label",
+    );
+    b.noun(
+        "nickname.n",
+        &["nickname", "moniker", "sobriquet"],
+        "an informal familiar name for a person, used instead of the given name",
+        3,
+        "name.label",
+    );
+
+    // ---- employment ----------------------------------------------------------------
+    b.noun(
+        "personnel.staff",
+        &["personnel", "staff", "employees"],
+        "the group of people employed by an organization or company",
+        8,
+        "social_group.n",
+    );
+    b.noun(
+        "personnel.department",
+        &["personnel", "personnel department", "personnel office"],
+        "the department of an organization that manages its employees",
+        3,
+        "office.agency",
+    );
+    b.noun(
+        "employee.n",
+        &["employee"],
+        "a worker who is hired by an organization or company to perform a job for a salary",
+        15,
+        "worker.n",
+    );
+    b.noun(
+        "employer.n",
+        &["employer"],
+        "an organization or person that hires employees and pays their salary",
+        6,
+        "person.n",
+    );
+    b.noun(
+        "manager.sports",
+        &["manager", "coach"],
+        "a person in charge of training and directing a sports team",
+        5,
+        "leader.n",
+    );
+    b.noun(
+        "supervisor.n",
+        &["supervisor", "boss"],
+        "an employee who oversees and directs the work of other employees",
+        8,
+        "leader.n",
+    );
+    b.noun(
+        "secretary.assistant",
+        &["secretary", "assistant"],
+        "an employee who handles correspondence and clerical work for an organization",
+        8,
+        "worker.n",
+    );
+    b.noun(
+        "secretary.official",
+        &["secretary", "secretary of state"],
+        "a government official who heads a department of state",
+        4,
+        "leader.n",
+    );
+    b.noun(
+        "secretary.desk",
+        &["secretary", "writing desk"],
+        "a desk with a hinged writing surface and drawers",
+        1,
+        "furniture.n",
+    );
+    b.noun(
+        "salary.n",
+        &["salary", "wage", "pay", "earnings"],
+        "the fixed amount of money paid regularly to an employee for work",
+        15,
+        "monetary_value.n",
+    );
+    b.noun(
+        "bonus.n",
+        &["bonus", "incentive"],
+        "an additional payment to an employee beyond the salary as a reward",
+        4,
+        "monetary_value.n",
+    );
+    b.noun(
+        "position.job",
+        &["position", "post", "situation"],
+        "a job in an organization for which a person is employed",
+        12,
+        "occupation.n",
+    );
+    b.noun(
+        "position.place",
+        &["position", "placement"],
+        "the spatial arrangement or location of something",
+        10,
+        "point.location",
+    );
+    b.noun(
+        "position.opinion",
+        &["position", "stance", "posture"],
+        "a rationalized mental attitude or opinion on an issue",
+        6,
+        "cognition.n",
+    );
+    b.noun(
+        "department.division",
+        &["department", "section"],
+        "a specialized division of an organization, company or university",
+        15,
+        "unit.organization",
+    );
+    b.noun(
+        "resume.document",
+        &["resume", "curriculum vitae", "cv"],
+        "a short document describing an employee's qualifications and work record",
+        3,
+        "document.n",
+    );
+    b.noun(
+        "contract.agreement",
+        &["contract", "agreement"],
+        "a binding written agreement between an employee and an employer or between companies",
+        10,
+        "document.n",
+    );
+    b.noun(
+        "contract.bridge",
+        &["contract", "declaration"],
+        "the highest bid that wins the auction in the card game of bridge",
+        1,
+        "statement.n",
+    );
+
+    // ---- contact details -------------------------------------------------------------
+    b.noun(
+        "email.message",
+        &["email", "e-mail", "electronic mail"],
+        "a message sent electronically between computers over a network",
+        10,
+        "message.n",
+    );
+    b.noun(
+        "email.system",
+        &["email", "email system"],
+        "the system of sending messages electronically between computer addresses",
+        4,
+        "instrumentality.n",
+    );
+    b.noun(
+        "phone.telephone",
+        &["phone", "telephone", "telephone set"],
+        "the electronic device used to talk to a person at another address over a line",
+        15,
+        "device.n",
+    );
+    b.noun(
+        "phone.sound",
+        &["phone", "speech sound"],
+        "an individual sound unit of spoken speech",
+        1,
+        "language_unit.n",
+    );
+    b.verb(
+        "phone.v",
+        &["phone", "call", "telephone"],
+        "get or try to get into communication with someone by telephone",
+        10,
+        "communicate.v",
+    );
+    b.noun(
+        "website.n",
+        &["website", "web site", "site"],
+        "a computer connected to the internet that maintains a series of web pages",
+        6,
+        "instrumentality.n",
+    );
+    b.noun(
+        "fax.n",
+        &["fax", "facsimile"],
+        "a copy of a document transmitted electronically over a telephone line",
+        3,
+        "document.n",
+    );
+    b.noun(
+        "mail.letters",
+        &["mail", "post"],
+        "the letters and packages that are transported and delivered by the postal service",
+        10,
+        "collection.n",
+    );
+    b.noun(
+        "mail.armor",
+        &["mail", "chain mail"],
+        "flexible armor made of interlinked metal rings",
+        1,
+        "clothing.n",
+    );
+
+    // ---- club -----------------------------------------------------------------------
+    b.noun(
+        "club.association",
+        &["club", "social club", "society", "guild"],
+        "an organization of members who meet periodically because of a shared interest or activity",
+        12,
+        "organization.n",
+    );
+    b.noun(
+        "club.nightclub",
+        &["club", "nightclub", "night club"],
+        "a spot for social entertainment open at night where members drink and dance",
+        5,
+        "building.n",
+    );
+    b.noun(
+        "club.golf",
+        &["club", "golf club"],
+        "the implement with a long shaft used to hit the ball in golf",
+        4,
+        "implement.n",
+    );
+    b.noun(
+        "club.weapon",
+        &["club", "cudgel"],
+        "a stout heavy stick used as a weapon",
+        3,
+        "weapon.n",
+    );
+    b.noun(
+        "club.card",
+        &["club"],
+        "a playing card in the suit marked with black clover leaves",
+        2,
+        "game_piece.n",
+    );
+    b.verb(
+        "club.v",
+        &["club"],
+        "strike with a heavy stick or gather together in a club",
+        2,
+        "act.deed",
+    );
+    b.noun(
+        "president.organization",
+        &["president", "chairman", "chairwoman"],
+        "the officer who presides over the meetings of a club or organization",
+        10,
+        "leader.n",
+    );
+    b.noun(
+        "president.nation",
+        &["president", "head of state"],
+        "the chief executive who leads the government of a republic",
+        15,
+        "leader.n",
+    );
+    b.noun(
+        "treasurer.n",
+        &["treasurer", "financial officer"],
+        "the officer of a club or organization responsible for its money",
+        3,
+        "leader.n",
+    );
+    b.noun(
+        "committee.n",
+        &["committee", "commission"],
+        "a group of members appointed by an organization to consider some matter",
+        8,
+        "organization.n",
+    );
+    b.noun(
+        "meeting.gathering",
+        &["meeting", "group meeting"],
+        "a formally arranged gathering of the members of a club or organization",
+        12,
+        "social_event.n",
+    );
+    b.noun(
+        "meeting.encounter",
+        &["meeting", "encounter"],
+        "an unplanned casual coming together of people",
+        5,
+        "social_event.n",
+    );
+    b.noun(
+        "membership.state",
+        &["membership"],
+        "the state of being a member of a club or organization",
+        4,
+        "state.condition",
+    );
+    b.noun(
+        "membership.body",
+        &["membership", "rank and file"],
+        "the body of members of an organization considered together",
+        3,
+        "social_group.n",
+    );
+    b.noun(
+        "dues.n",
+        &["dues", "membership fee"],
+        "the periodic payment a member owes to a club or organization",
+        2,
+        "monetary_value.n",
+    );
+    b.noun(
+        "founder.person",
+        &["founder", "beginner", "founding father"],
+        "the person who establishes and founds an organization or club",
+        4,
+        "person.n",
+    );
+    b.noun(
+        "volunteer.n",
+        &["volunteer", "unpaid worker"],
+        "a member who performs work for an organization without salary",
+        4,
+        "worker.n",
+    );
+    b.noun(
+        "event.club",
+        &["event", "function", "occasion"],
+        "a planned social occasion organized by a club for its members",
+        8,
+        "social_event.n",
+    );
+    b.noun(
+        "agenda.n",
+        &["agenda", "docket", "schedule"],
+        "the list of matters to be taken up at a meeting of an organization",
+        4,
+        "document.n",
+    );
+    b.noun(
+        "minutes.record",
+        &["minutes", "proceedings record"],
+        "the written record of what was said at a meeting of an organization",
+        2,
+        "record.document",
+    );
+    b.noun(
+        "chapter_club.n",
+        &["local chapter"],
+        "the local branch of a larger club or society",
+        1,
+        "organization.n",
+    );
+    b.noun(
+        "hobby.n",
+        &["hobby", "avocation", "sideline"],
+        "an auxiliary activity pursued for pleasure by club members outside their occupation",
+        5,
+        "interest.hobby",
+    );
+    b.noun(
+        "sport_team.n",
+        &["team", "squad"],
+        "a cooperative group of members organized to compete in a sport",
+        10,
+        "unit.organization",
+    );
+    b.noun(
+        "league.sports",
+        &["league"],
+        "an association of sports teams or clubs that organizes matches",
+        4,
+        "organization.n",
+    );
+    b.noun(
+        "league.distance",
+        &["league"],
+        "an obsolete unit of distance of about three miles",
+        1,
+        "unit_of_measurement.n",
+    );
+}

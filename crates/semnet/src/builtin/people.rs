@@ -1,0 +1,459 @@
+//! Person roles and the ambiguous named individuals of the paper's
+//! Figure 1: *Kelly* (Grace, the actress and Princess of Monaco; Gene, the
+//! dancer; Emmett, the circus clown) and *Stewart* (James, the actor;
+//! Jackie, the racing driver; Martha, the homemaker celebrity), plus the
+//! directors and performers the movie corpus mentions.
+
+use crate::builder::NetworkBuilder;
+use crate::model::RelationKind;
+
+pub(super) fn register(b: &mut NetworkBuilder) {
+    // ---- Performer roles --------------------------------------------------
+    b.noun(
+        "actor.n",
+        &["actor", "histrion", "thespian", "role player"],
+        "a theatrical performer who acts a role in the cast of a play or motion picture",
+        48,
+        "performer.n",
+    );
+    b.noun(
+        "actress.n",
+        &["actress"],
+        "a female actor who performs a role in the cast of a play or motion picture",
+        22,
+        "actor.n",
+    );
+    b.noun(
+        "dancer.n",
+        &["dancer", "professional dancer"],
+        "a performer who dances professionally on the stage",
+        15,
+        "performer.n",
+    );
+    b.noun(
+        "singer.n",
+        &["singer", "vocalist"],
+        "a person who sings music, especially professionally",
+        28,
+        "musician.n",
+    );
+    b.noun(
+        "musician.n",
+        &["musician"],
+        "an artist who plays or composes music as a profession",
+        32,
+        "artist.n",
+    );
+    b.noun(
+        "clown.n",
+        &["clown", "buffoon"],
+        "a performer in a circus who does silly things to make people laugh",
+        8,
+        "performer.n",
+    );
+    b.noun(
+        "comedian.n",
+        &["comedian", "comic"],
+        "a professional performer who tells jokes and performs comical acts",
+        10,
+        "performer.n",
+    );
+    b.noun(
+        "athlete.n",
+        &["athlete", "jock"],
+        "a person trained to compete in sports",
+        25,
+        "person.n",
+    );
+    b.noun(
+        "racing_driver.n",
+        &["racing driver", "race driver"],
+        "an athlete who drives racing cars in motor sport competition",
+        4,
+        "athlete.n",
+    );
+
+    // ---- Film-making roles -----------------------------------------------
+    b.noun(
+        "director.film",
+        &["director", "film director", "filmmaker"],
+        "the person who directs the making of a film or motion picture",
+        30,
+        "creator.n",
+    );
+    b.noun(
+        "director.manager",
+        &["director", "manager"],
+        "a person who directs and controls the affairs of a business or institution",
+        35,
+        "leader.n",
+    );
+    b.noun(
+        "director.conductor",
+        &["director", "conductor", "music director"],
+        "the person who leads a musical group or orchestra",
+        6,
+        "musician.n",
+    );
+    b.noun(
+        "producer.film",
+        &["producer"],
+        "someone who finds the money and organizes the making of a film or show",
+        12,
+        "person.n",
+    );
+    b.noun(
+        "photographer.n",
+        &["photographer", "lensman"],
+        "a person who takes photographs with a camera professionally",
+        14,
+        "artist.n",
+    );
+    b.noun(
+        "royalty.n",
+        &["royalty", "royal family"],
+        "royal persons collectively; members of a royal family",
+        10,
+        "person.n",
+    );
+    b.noun(
+        "princess.n",
+        &["princess"],
+        "a female member of a royal family other than the queen",
+        12,
+        "royalty.n",
+    );
+
+    // ---- The ambiguous surnames of Figure 1 --------------------------------
+    b.instance("kelly.grace", &["kelly", "grace kelly", "grace"], "Grace Kelly, the American actress who starred in Rear Window and became Princess of Monaco", 6, "actress.n");
+    b.relate("kelly.grace", RelationKind::InstanceHypernym, "princess.n");
+    b.instance(
+        "kelly.gene",
+        &["kelly", "gene kelly", "gene"],
+        "Gene Kelly, the American dancer and actor famous for musical films",
+        4,
+        "dancer.n",
+    );
+    b.instance(
+        "kelly.emmett",
+        &["kelly", "emmett kelly"],
+        "Emmett Kelly, the American circus clown famous as the sad hobo Weary Willie",
+        2,
+        "clown.n",
+    );
+
+    b.instance(
+        "stewart.james",
+        &["stewart", "james stewart", "jimmy stewart", "james"],
+        "James Stewart, the American actor who starred in the Hitchcock motion picture Rear Window",
+        6,
+        "actor.n",
+    );
+    b.instance(
+        "stewart.jackie",
+        &["stewart", "jackie stewart"],
+        "Jackie Stewart, the Scottish racing driver and three-time world champion",
+        3,
+        "racing_driver.n",
+    );
+    b.instance(
+        "stewart.martha",
+        &["stewart", "martha stewart", "martha"],
+        "Martha Stewart, the American businesswoman and television homemaker celebrity",
+        3,
+        "entertainer.n",
+    );
+
+    // ---- Directors and stars the movie corpus mentions ----------------------
+    b.instance("hitchcock.alfred", &["hitchcock", "alfred hitchcock", "alfred"], "Alfred Hitchcock, the English film director famous for suspense motion pictures such as Rear Window and Psycho", 7, "director.film");
+    b.instance(
+        "welles.orson",
+        &["welles", "orson welles", "orson"],
+        "Orson Welles, the American film director and actor who made Citizen Kane",
+        4,
+        "director.film",
+    );
+    b.instance(
+        "kubrick.stanley",
+        &["kubrick", "stanley kubrick", "stanley"],
+        "Stanley Kubrick, the American film director of 2001 A Space Odyssey",
+        3,
+        "director.film",
+    );
+    b.instance(
+        "ford.john",
+        &["ford", "john ford"],
+        "John Ford, the American film director famous for western motion pictures",
+        3,
+        "director.film",
+    );
+    b.instance(
+        "wilder.billy",
+        &["wilder", "billy wilder", "billy"],
+        "Billy Wilder, the Austrian-born American film director of comedies and dramas",
+        3,
+        "director.film",
+    );
+    b.instance(
+        "grant.cary",
+        &["grant", "cary grant", "cary"],
+        "Cary Grant, the English-born American actor and leading man of classic motion pictures",
+        5,
+        "actor.n",
+    );
+    b.noun(
+        "grant.money",
+        &["grant", "subsidy"],
+        "a sum of money given by a government or organization for a particular purpose",
+        18,
+        "monetary_value.n",
+    );
+    b.verb(
+        "grant.v",
+        &["grant", "allow"],
+        "let have; give permission or a right formally",
+        25,
+        "give.v",
+    );
+    b.instance(
+        "bergman.ingrid",
+        &["bergman", "ingrid bergman", "ingrid"],
+        "Ingrid Bergman, the Swedish actress who starred in Casablanca and Notorious",
+        4,
+        "actress.n",
+    );
+    b.instance(
+        "bogart.humphrey",
+        &["bogart", "humphrey bogart", "humphrey"],
+        "Humphrey Bogart, the American actor who starred in Casablanca and The Maltese Falcon",
+        4,
+        "actor.n",
+    );
+    b.instance(
+        "hepburn.audrey",
+        &["hepburn", "audrey hepburn", "audrey"],
+        "Audrey Hepburn, the Belgian-born actress who starred in Roman Holiday",
+        4,
+        "actress.n",
+    );
+    b.instance(
+        "monroe.marilyn",
+        &["monroe", "marilyn monroe", "marilyn"],
+        "Marilyn Monroe, the American actress and film star of the 1950s",
+        4,
+        "actress.n",
+    );
+    b.instance("shakespeare.william", &["shakespeare", "william shakespeare", "william"], "William Shakespeare, the English poet and dramatist who wrote tragedies, comedies and histories for the stage", 9, "dramatist.n");
+    b.noun(
+        "dramatist.n",
+        &["dramatist", "playwright"],
+        "a writer who composes plays and other works for the theater",
+        8,
+        "writer.n",
+    );
+    b.noun(
+        "poet.n",
+        &["poet"],
+        "a writer who composes verse and poems",
+        14,
+        "writer.n",
+    );
+    b.relate(
+        "shakespeare.william",
+        RelationKind::InstanceHypernym,
+        "poet.n",
+    );
+
+    // ---- Verbs used by roles above ------------------------------------------
+    b.verb(
+        "give.v",
+        &["give"],
+        "transfer possession of something to someone",
+        120,
+        "act.deed",
+    );
+    b.verb(
+        "perform.v",
+        &["perform", "execute", "do"],
+        "carry out an action or piece of work; give a performance on stage",
+        60,
+        "act.deed",
+    );
+    b.verb(
+        "create.v",
+        &["create", "make"],
+        "bring into existence; produce through artistic effort",
+        75,
+        "act.deed",
+    );
+    b.verb(
+        "communicate.v",
+        &["communicate", "convey"],
+        "transmit information, thoughts, or feelings to someone",
+        40,
+        "act.deed",
+    );
+
+    // ---- Family and relationship nouns (personnel, club, Shakespeare) ------
+    b.noun(
+        "relative.n",
+        &["relative", "relation"],
+        "a person related by blood or marriage to another",
+        30,
+        "person.n",
+    );
+    b.noun(
+        "parent.n",
+        &["parent"],
+        "a father or mother; one who begets or raises a child",
+        55,
+        "relative.n",
+    );
+    b.noun(
+        "father.n",
+        &["father", "male parent", "dad"],
+        "a male parent of a child",
+        90,
+        "parent.n",
+    );
+    b.noun(
+        "mother.n",
+        &["mother", "female parent", "mom"],
+        "a female parent of a child",
+        95,
+        "parent.n",
+    );
+    b.noun(
+        "son.n",
+        &["son", "boy"],
+        "a male human offspring; a person's male child",
+        70,
+        "relative.n",
+    );
+    b.noun(
+        "daughter.n",
+        &["daughter", "girl"],
+        "a female human offspring; a person's female child",
+        65,
+        "relative.n",
+    );
+    b.noun(
+        "brother.n",
+        &["brother"],
+        "a male with the same parents as someone else",
+        60,
+        "relative.n",
+    );
+    b.noun(
+        "sister.n",
+        &["sister"],
+        "a female with the same parents as someone else",
+        55,
+        "relative.n",
+    );
+    b.noun(
+        "husband.n",
+        &["husband", "hubby"],
+        "a married man; a woman's partner in marriage",
+        45,
+        "relative.n",
+    );
+    b.noun(
+        "wife.n",
+        &["wife"],
+        "a married woman; a man's partner in marriage",
+        55,
+        "relative.n",
+    );
+    b.noun(
+        "uncle.n",
+        &["uncle"],
+        "the brother of your father or mother",
+        20,
+        "relative.n",
+    );
+    b.noun(
+        "cousin.n",
+        &["cousin"],
+        "the child of your aunt or uncle",
+        18,
+        "relative.n",
+    );
+    b.noun(
+        "friend.n",
+        &["friend"],
+        "a person you know well and regard with affection and trust",
+        85,
+        "person.n",
+    );
+    b.noun(
+        "neighbor.n",
+        &["neighbor", "neighbour"],
+        "a person who lives or is located near another",
+        30,
+        "person.n",
+    );
+    b.noun(
+        "enemy.n",
+        &["enemy", "foe"],
+        "a personal opponent who feels hatred toward you",
+        25,
+        "person.n",
+    );
+    b.noun(
+        "guest.n",
+        &["guest", "visitor"],
+        "a visitor to whom hospitality is extended",
+        22,
+        "person.n",
+    );
+    b.noun(
+        "servant.n",
+        &["servant", "retainer"],
+        "a person working in the service of another, especially in a household",
+        28,
+        "worker.n",
+    );
+    b.noun(
+        "messenger.n",
+        &["messenger", "courier"],
+        "a person who carries a message or is employed to deliver messages",
+        12,
+        "worker.n",
+    );
+    b.noun(
+        "soldier.n",
+        &["soldier"],
+        "an enlisted person who serves in an army in battle",
+        48,
+        "person.n",
+    );
+    b.noun(
+        "officer.military",
+        &["officer", "military officer"],
+        "a soldier who holds a position of authority in the armed forces",
+        30,
+        "soldier.n",
+    );
+    b.noun(
+        "captain.n",
+        &["captain"],
+        "an officer who commands a military unit or a ship",
+        25,
+        "officer.military",
+    );
+    b.noun(
+        "spy.person",
+        &["spy", "undercover agent"],
+        "a secret agent employed to watch others and obtain secret information",
+        10,
+        "person.n",
+    );
+    b.verb(
+        "spy.v",
+        &["spy", "sight"],
+        "watch secretly, as a detective does; catch sight of",
+        8,
+        "act.deed",
+    );
+}

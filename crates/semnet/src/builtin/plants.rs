@@ -1,0 +1,678 @@
+//! The horticulture domain: vocabulary of the W3Schools plant-catalog
+//! dataset (plant, common, botanical, zone, light, price, availability, …)
+//! and the garden plants it lists. Glosses share "plant", "flower", "grow"
+//! and "garden" so gloss overlap binds the domain.
+
+use crate::builder::NetworkBuilder;
+
+pub(super) fn register(b: &mut NetworkBuilder) {
+    // ---- plant: the remaining senses (organism lives in upper.rs) -------------
+    b.noun(
+        "plant.factory",
+        &["plant", "works", "industrial plant"],
+        "a building or factory where an industrial process takes place",
+        15,
+        "building.n",
+    );
+    b.noun(
+        "plant.spy",
+        &["plant"],
+        "a person placed secretly in a group to spy on or influence its members",
+        2,
+        "person.n",
+    );
+    b.verb(
+        "plant.v",
+        &["plant", "set"],
+        "put a seed, bulb or young plant in the ground so that it will grow in a garden",
+        8,
+        "act.deed",
+    );
+
+    // ---- plant anatomy ----------------------------------------------------------
+    b.noun(
+        "plant_part.n",
+        &["plant part", "plant structure"],
+        "any part of a plant or fungus",
+        5,
+        "natural_object.n",
+    );
+    b.noun(
+        "flower.bloom",
+        &["flower", "bloom", "blossom"],
+        "the colorful reproductive part of a plant; a plant grown in a garden for its blooms",
+        18,
+        "plant_part.n",
+    );
+    b.noun(
+        "flower.plant",
+        &["flower"],
+        "a plant cultivated in a garden for its blooms or blossoms",
+        10,
+        "plant.organism",
+    );
+    b.noun(
+        "flower.best",
+        &["flower", "prime", "peak"],
+        "the period of greatest vigor or prosperity, as the flower of youth",
+        2,
+        "time_period.n",
+    );
+    b.noun(
+        "seed.n",
+        &["seed"],
+        "the small hard part of a plant from which a new plant can grow when planted in soil",
+        8,
+        "plant_part.n",
+    );
+    b.noun(
+        "seed.player",
+        &["seed", "seeded player"],
+        "a ranked player scheduled in a tournament draw",
+        2,
+        "athlete.n",
+    );
+    b.noun(
+        "root.plant",
+        &["root"],
+        "the underground part of a plant that absorbs water and nourishment from the soil",
+        10,
+        "plant_part.n",
+    );
+    b.noun(
+        "root.origin",
+        &["root", "origin", "source"],
+        "the place or thing from which something develops, as the root of the problem",
+        8,
+        "point.idea",
+    );
+    b.noun(
+        "root.math",
+        &["root"],
+        "a number that when multiplied by itself gives a specified quantity",
+        3,
+        "number.n",
+    );
+    b.noun(
+        "root.word",
+        &["root", "root word", "base"],
+        "the form of a word after removing all affixes",
+        2,
+        "word.n",
+    );
+    b.noun(
+        "leaf.plant",
+        &["leaf", "leafage", "foliage"],
+        "the flat green part of a plant that grows from a stem and makes food by light",
+        12,
+        "plant_part.n",
+    );
+    b.noun(
+        "leaf.page",
+        &["leaf", "folio"],
+        "a sheet of any written or printed material, as a leaf of a book",
+        3,
+        "part.relation",
+    );
+    b.noun(
+        "stem.plant",
+        &["stem", "stalk"],
+        "the slender part of a plant that bears the leaves and flowers above the soil",
+        6,
+        "plant_part.n",
+    );
+    b.noun(
+        "stem.word",
+        &["stem", "word stem"],
+        "the base part of a word to which affixes are attached",
+        2,
+        "word.n",
+    );
+    b.noun(
+        "stem.glass",
+        &["stem"],
+        "the slender upright support of a wine glass",
+        1,
+        "part.relation",
+    );
+    b.noun(
+        "bulb.plant",
+        &["bulb"],
+        "the rounded underground storage part from which plants such as tulips grow in spring",
+        4,
+        "plant_part.n",
+    );
+    b.noun(
+        "bulb.light",
+        &["bulb", "light bulb", "lightbulb"],
+        "the glass lamp that gives light when electricity passes through it",
+        5,
+        "light.lamp",
+    );
+    b.noun(
+        "branch.tree",
+        &["branch", "limb", "bough"],
+        "the woody division growing from the trunk of a tree plant",
+        8,
+        "plant_part.n",
+    );
+    b.noun(
+        "branch.division",
+        &["branch", "subdivision", "arm"],
+        "a division of an organization such as a company or of a field of study",
+        8,
+        "unit.organization",
+    );
+    b.noun(
+        "branch.stream",
+        &["branch", "fork"],
+        "a stream or road that divides from the main one",
+        3,
+        "stream.n",
+    );
+
+    // ---- kinds of garden plants ---------------------------------------------------
+    b.noun(
+        "tree.plant",
+        &["tree"],
+        "a tall perennial woody plant with a single trunk, branches and leaves",
+        30,
+        "plant.organism",
+    );
+    b.noun(
+        "tree.diagram",
+        &["tree", "tree diagram"],
+        "a figure that branches from a single root node, used to show structure",
+        4,
+        "picture.image",
+    );
+    b.noun(
+        "shrub.n",
+        &["shrub", "bush"],
+        "a low woody perennial plant with several stems growing in a garden or the wild",
+        6,
+        "plant.organism",
+    );
+    b.noun(
+        "herb.plant",
+        &["herb", "herbaceous plant"],
+        "a plant with a soft stem that dies down after flowering, often grown in gardens",
+        5,
+        "plant.organism",
+    );
+    b.noun(
+        "herb.seasoning",
+        &["herb"],
+        "an aromatic plant part used to season a dish of food",
+        4,
+        "ingredient.food",
+    );
+    b.noun(
+        "grass.plant",
+        &["grass"],
+        "a green plant with narrow leaves that covers lawns and meadows",
+        12,
+        "plant.organism",
+    );
+    b.noun(
+        "fern.n",
+        &["fern"],
+        "a flowerless green plant with feathery fronds that grows in moist shade",
+        3,
+        "plant.organism",
+    );
+    b.noun(
+        "moss.n",
+        &["moss"],
+        "a tiny green plant that grows in dense mats in moist shady ground",
+        3,
+        "plant.organism",
+    );
+    b.noun(
+        "rose.flower",
+        &["rose"],
+        "a prickly garden shrub bearing fragrant flowers in many colors",
+        10,
+        "shrub.n",
+    );
+    b.noun(
+        "rose.color",
+        &["rose", "rosiness"],
+        "a light pink color like that of a rose flower",
+        3,
+        "color.n",
+    );
+    b.noun(
+        "rose.wine",
+        &["rose", "blush wine", "pink wine"],
+        "a pink wine made from red grapes",
+        1,
+        "beverage.n",
+    );
+    b.noun(
+        "violet.flower",
+        &["violet"],
+        "a small low garden plant bearing purple or white flowers in spring",
+        4,
+        "flower.plant",
+    );
+    b.noun(
+        "violet.color",
+        &["violet", "purple"],
+        "a color between blue and red; the color of a violet flower",
+        3,
+        "color.n",
+    );
+    b.noun(
+        "lily.flower",
+        &["lily"],
+        "a garden plant growing from a bulb with large trumpet-shaped flowers",
+        4,
+        "flower.plant",
+    );
+    b.noun(
+        "daisy.n",
+        &["daisy"],
+        "a garden flower with white petals around a yellow center",
+        3,
+        "flower.plant",
+    );
+    b.noun(
+        "tulip.n",
+        &["tulip"],
+        "a spring garden flower growing from a bulb with cup-shaped blooms",
+        3,
+        "flower.plant",
+    );
+    b.noun(
+        "orchid.n",
+        &["orchid"],
+        "a plant with showy exotic flowers, often grown in pots in partial shade",
+        3,
+        "flower.plant",
+    );
+    b.noun(
+        "iris.flower",
+        &["iris", "flag"],
+        "a garden plant with sword-shaped leaves and large flowers growing from a bulb",
+        3,
+        "flower.plant",
+    );
+    b.noun(
+        "iris.eye",
+        &["iris"],
+        "the colored ring of muscle around the pupil of the eye",
+        3,
+        "body_part.n",
+    );
+    b.noun(
+        "sunflower.n",
+        &["sunflower"],
+        "a tall plant with a very large yellow flower head that turns toward the sun's light",
+        3,
+        "flower.plant",
+    );
+    b.noun(
+        "ivy.n",
+        &["ivy"],
+        "a woody climbing evergreen plant that covers walls in shade",
+        3,
+        "plant.organism",
+    );
+    b.noun(
+        "columbine.flower",
+        &["columbine", "aquilegia"],
+        "a hardy perennial garden plant with spurred flowers that tolerates shade",
+        2,
+        "flower.plant",
+    );
+    b.noun(
+        "anemone.flower",
+        &["anemone", "windflower"],
+        "a perennial garden plant with showy flowers that grows in light shade",
+        2,
+        "flower.plant",
+    );
+    b.noun(
+        "marigold.n",
+        &["marigold"],
+        "a garden plant with bright yellow or orange flowers that loves full sun light",
+        2,
+        "flower.plant",
+    );
+    b.noun(
+        "buttercup.n",
+        &["buttercup", "crowfoot"],
+        "a wild plant with bright shiny yellow cup-shaped flowers",
+        2,
+        "flower.plant",
+    );
+    b.noun(
+        "primrose.n",
+        &["primrose"],
+        "a low perennial plant bearing pale yellow spring flowers in partial shade",
+        2,
+        "flower.plant",
+    );
+    b.noun(
+        "gentian.n",
+        &["gentian"],
+        "a mountain plant with intense blue trumpet flowers for a sunny garden",
+        1,
+        "flower.plant",
+    );
+
+    // ---- growing conditions (the catalog's attribute tags) --------------------------
+    b.noun(
+        "zone.area",
+        &["zone"],
+        "an area or region distinguished from adjacent parts by a distinctive feature",
+        10,
+        "area.n",
+    );
+    b.noun(
+        "zone.climate",
+        &["zone", "climate zone", "hardiness zone"],
+        "a geographic band defined by climate where certain plants are hardy enough to grow",
+        4,
+        "region.n",
+    );
+    b.noun(
+        "zone.sports",
+        &["zone", "zone defense"],
+        "a defensive formation in which players guard areas rather than opponents",
+        2,
+        "action.n",
+    );
+    b.verb(
+        "zone.v",
+        &["zone", "district"],
+        "regulate land use by dividing an area into zones",
+        2,
+        "act.deed",
+    );
+    b.noun(
+        "shade.shadow",
+        &["shade", "shadiness"],
+        "the partial darkness where the sun's light is blocked, in which some plants grow best",
+        8,
+        "state.condition",
+    );
+    b.noun(
+        "shade.lamp",
+        &["shade", "lampshade"],
+        "the screen fitted over a lamp to soften its light",
+        3,
+        "covering.artifact",
+    );
+    b.noun(
+        "shade.nuance",
+        &["shade", "nuance", "subtlety"],
+        "a subtle difference in meaning or degree",
+        4,
+        "attribute.n",
+    );
+    b.noun(
+        "shade.color",
+        &["shade", "tint", "tone"],
+        "a quality of a color produced by mixing with black, as a shade of green",
+        5,
+        "color.n",
+    );
+    b.noun(
+        "soil.ground",
+        &["soil", "dirt", "ground"],
+        "the top layer of the earth in which plants root and grow in a garden",
+        10,
+        "material.n",
+    );
+    b.noun(
+        "soil.stain",
+        &["soil", "grime", "filth"],
+        "the state of being unclean or dirty",
+        2,
+        "state.condition",
+    );
+    b.noun(
+        "water.liquid",
+        &["water"],
+        "the clear liquid that plants absorb through roots and all organisms need to grow",
+        40,
+        "fluid.n",
+    );
+    b.noun(
+        "water.body",
+        &["water", "body of water"],
+        "the part of the earth's surface covered by seas and lakes",
+        15,
+        "natural_object.n",
+    );
+    b.verb(
+        "water.v",
+        &["water", "irrigate"],
+        "provide a plant or garden with water so it can grow",
+        6,
+        "act.deed",
+    );
+    b.noun(
+        "sun.light",
+        &["sun", "sunlight", "sunshine", "full sun"],
+        "the bright light and warmth that the sun gives, which garden plants need to grow",
+        12,
+        "light.radiation",
+    );
+    b.noun(
+        "garden.n",
+        &["garden"],
+        "a plot of ground where flowers, shrubs or vegetables are cultivated and grow",
+        12,
+        "plot.land",
+    );
+    b.verb(
+        "garden.v",
+        &["garden"],
+        "work in a garden cultivating plants and flowers",
+        3,
+        "act.deed",
+    );
+    b.noun(
+        "pot.container",
+        &["pot", "flowerpot"],
+        "a container in which a plant is grown with soil",
+        6,
+        "container.n",
+    );
+    b.noun(
+        "pot.cooking",
+        &["pot", "cooking pot"],
+        "a deep metal vessel used for cooking food",
+        5,
+        "container.n",
+    );
+    b.noun(
+        "pot.money",
+        &["pot", "jackpot", "kitty"],
+        "the cumulative amount of money bet in a game",
+        2,
+        "possession.n",
+    );
+    b.noun(
+        "nursery.plants",
+        &["nursery", "garden nursery"],
+        "a place where young plants and shrubs are grown for sale or transplanting",
+        3,
+        "building.n",
+    );
+    b.noun(
+        "nursery.room",
+        &["nursery"],
+        "a room in a house set apart for a baby or young children",
+        3,
+        "structure.construction",
+    );
+    b.noun(
+        "bloom.flower",
+        &["bloom", "blossom", "flowering"],
+        "the period or state of a plant producing flowers",
+        4,
+        "time_period.n",
+    );
+    b.verb(
+        "bloom.v",
+        &["bloom", "blossom", "flower"],
+        "produce flowers, as a plant does in spring",
+        4,
+        "act.deed",
+    );
+    b.adjective(
+        "hardy.a",
+        &["hardy", "stalwart", "sturdy"],
+        "able to survive under unfavorable growing conditions, as a hardy garden plant",
+        3,
+    );
+    b.adjective(
+        "annual.plant",
+        &["annual", "one-year"],
+        "of a plant: completing its life cycle within a single growing season",
+        3,
+    );
+    b.noun(
+        "annual.publication",
+        &["annual", "yearly publication", "yearbook"],
+        "a publication that appears once a year",
+        2,
+        "publication.n",
+    );
+    b.adjective(
+        "perennial.a",
+        &["perennial"],
+        "of a plant: living and growing for several years",
+        3,
+    );
+    b.adjective(
+        "botanical.a",
+        &["botanical", "botanic"],
+        "of or relating to plants or the scientific study of plants",
+        3,
+    );
+    b.noun(
+        "botanical_name.n",
+        &["botanical name", "scientific name", "latin name"],
+        "the formal latin name by which botanists identify a plant species",
+        2,
+        "name.label",
+    );
+    b.noun("common_name.n", &["common name", "common", "vernacular name"], "the everyday name by which a plant is commonly known in a garden catalog, as opposed to its botanical name", 2, "name.label");
+    b.noun(
+        "botany.n",
+        &["botany", "phytology"],
+        "the branch of biology that studies plants and how they grow",
+        3,
+        "cognition.n",
+    );
+    b.noun(
+        "species.n",
+        &["species"],
+        "the taxonomic group of organisms below a genus whose members can interbreed",
+        8,
+        "group.n",
+    );
+    b.noun(
+        "genus.n",
+        &["genus"],
+        "the taxonomic group of related species of plants or animals",
+        4,
+        "group.n",
+    );
+    b.noun(
+        "bee.n",
+        &["bee"],
+        "a winged insect that collects nectar and pollen from flowers",
+        6,
+        "animal.n",
+    );
+    b.noun(
+        "butterfly.insect",
+        &["butterfly"],
+        "an insect with large colorful wings that visits garden flowers",
+        4,
+        "animal.n",
+    );
+    b.noun(
+        "butterfly.stroke",
+        &["butterfly", "butterfly stroke"],
+        "a swimming stroke with both arms lifted together",
+        1,
+        "action.n",
+    );
+    b.noun(
+        "spring.season",
+        &["spring", "springtime"],
+        "the season of growth when plants bloom after winter",
+        12,
+        "season.n",
+    );
+    b.noun(
+        "spring.device",
+        &["spring"],
+        "a coiled metal device that returns to shape after being compressed",
+        4,
+        "device.n",
+    );
+    b.noun(
+        "spring.water",
+        &["spring", "fountain", "natural spring"],
+        "a natural flow of ground water emerging from the earth",
+        4,
+        "stream.n",
+    );
+    b.verb(
+        "spring.v",
+        &["spring", "leap", "bound"],
+        "move forward by leaps and bounds",
+        4,
+        "act.deed",
+    );
+    b.noun(
+        "season.n",
+        &["season"],
+        "one of the four natural divisions of the year: spring, summer, fall and winter",
+        15,
+        "time_period.n",
+    );
+    b.noun(
+        "summer.n",
+        &["summer", "summertime"],
+        "the warmest season of the year, when garden plants grow strongly",
+        12,
+        "season.n",
+    );
+    b.noun(
+        "winter.n",
+        &["winter", "wintertime"],
+        "the coldest season of the year, when most plants stop growing",
+        12,
+        "season.n",
+    );
+    b.noun(
+        "fall.season",
+        &["fall", "autumn"],
+        "the season between summer and winter when leaves fall",
+        8,
+        "season.n",
+    );
+    b.noun(
+        "fall.drop",
+        &["fall", "spill", "tumble"],
+        "the sudden event of losing balance and dropping downward",
+        6,
+        "happening.n",
+    );
+    b.verb(
+        "fall.v",
+        &["fall", "descend"],
+        "move downward under the force of gravity",
+        15,
+        "act.deed",
+    );
+}

@@ -1,0 +1,850 @@
+//! The high-polysemy anchor words.
+//!
+//! *head* carries exactly 33 senses — the maximum polysemy of WordNet 2.1
+//! that normalizes the paper's Proposition 1 — and *state* exactly 8 (the
+//! Section 4.2 `personnel` example). The remaining entries are the shared
+//! polysemous words (line, light, order, title, …) that give the evaluation
+//! corpus its lexical ambiguity.
+
+use crate::builder::NetworkBuilder;
+
+pub(super) fn register(b: &mut NetworkBuilder) {
+    register_head(b);
+    register_state(b);
+    register_line(b);
+    register_misc(b);
+}
+
+/// 30 noun senses + 3 verb senses = 33, matching `Max(senses(SN))` of
+/// WordNet 2.1.
+fn register_head(b: &mut NetworkBuilder) {
+    b.noun(
+        "head.body",
+        &["head", "caput"],
+        "the upper part of the human body that contains the face, brain, eyes, ears, and mouth",
+        95,
+        "body_part.n",
+    );
+    b.noun(
+        "head.leader",
+        &["head", "chief", "top dog"],
+        "a person who is in charge of or leads an organization",
+        40,
+        "leader.n",
+    );
+    b.noun(
+        "head.mind",
+        &["head", "mind", "brain"],
+        "that which is responsible for your thoughts and feelings; the seat of intellect",
+        30,
+        "cognition.n",
+    );
+    b.noun(
+        "head.front",
+        &["head"],
+        "the front position or most forward part of something, as of a line or procession",
+        18,
+        "point.location",
+    );
+    b.noun(
+        "head.top",
+        &["head"],
+        "the upper or highest part of anything, as of a page or the stairs",
+        15,
+        "part.relation",
+    );
+    b.noun(
+        "head.principal",
+        &["head", "school principal", "head teacher"],
+        "the educator who has executive authority for a school",
+        8,
+        "leader.n",
+    );
+    b.noun(
+        "head.foam",
+        &["head"],
+        "the froth that forms on top of beer when it is poured",
+        3,
+        "substance.n",
+    );
+    b.noun(
+        "head.source",
+        &["head", "fountainhead", "headspring"],
+        "the source of a river; the place where a stream begins",
+        4,
+        "natural_object.n",
+    );
+    b.noun(
+        "head.tool",
+        &["head"],
+        "the striking part of a tool, as the metal part of a hammer",
+        5,
+        "part.relation",
+    );
+    b.noun(
+        "head.toilet",
+        &["head"],
+        "a toilet on board a boat or ship",
+        2,
+        "structure.construction",
+    );
+    b.noun(
+        "head.user",
+        &["head", "drug user"],
+        "a person who is addicted to drugs",
+        2,
+        "person.n",
+    );
+    b.noun(
+        "head.pressure",
+        &["head"],
+        "the pressure exerted by a fluid as measured by its height above a reference level",
+        3,
+        "measure.n",
+    );
+    b.noun(
+        "head.coin",
+        &["head"],
+        "the obverse side of a coin that bears the image of a face",
+        4,
+        "signal.n",
+    );
+    b.noun(
+        "head.drum",
+        &["head", "drumhead"],
+        "the membrane stretched across the open end of a drum that is struck to make sound",
+        2,
+        "part.relation",
+    );
+    b.noun(
+        "head.tape",
+        &["head", "read-write head"],
+        "the electromagnetic device that reads or writes data on a magnetic tape or disk",
+        3,
+        "device.n",
+    );
+    b.noun("head.plant", &["head", "capitulum"], "the compact rounded mass of leaves or flowers at the top of a plant stem, as a head of lettuce", 4, "part.relation");
+    b.noun(
+        "head.bone",
+        &["head"],
+        "the rounded end of a bone that fits into a joint",
+        2,
+        "body_part.n",
+    );
+    b.noun(
+        "head.grammar",
+        &["head", "head word"],
+        "the word in a phrase that determines its grammatical category",
+        2,
+        "word.n",
+    );
+    b.noun(
+        "head.heading",
+        &["head", "heading", "header"],
+        "a line of text at the top of a passage indicating what it is about",
+        6,
+        "text.n",
+    );
+    b.noun(
+        "head.count",
+        &["head"],
+        "an individual person or animal counted as a unit, as in counting heads of cattle",
+        5,
+        "unit_of_measurement.n",
+    );
+    b.noun(
+        "head.crisis",
+        &["head"],
+        "the critical or decisive point at which a situation comes to a climax",
+        4,
+        "situation.n",
+    );
+    b.noun(
+        "head.boil",
+        &["head"],
+        "the white tip of a boil or pimple where pus collects",
+        1,
+        "body_part.n",
+    );
+    b.noun(
+        "head.table",
+        &["head"],
+        "the seat of honor at the end of a table where the host presides",
+        2,
+        "point.location",
+    );
+    b.noun(
+        "head.course",
+        &["head", "heading", "bearing"],
+        "the direction or course in which a ship or aircraft is pointing",
+        3,
+        "cognition.n",
+    );
+    b.noun(
+        "head.office",
+        &["head", "headship"],
+        "the position or office of being the leader of a group",
+        4,
+        "occupation.n",
+    );
+    b.noun(
+        "head.club",
+        &["head", "clubhead"],
+        "the striking surface of a golf club at the end of the shaft",
+        1,
+        "part.relation",
+    );
+    b.noun(
+        "head.nail",
+        &["head"],
+        "the flattened end of a nail, pin or screw that is struck",
+        2,
+        "part.relation",
+    );
+    b.noun(
+        "head.land",
+        &["head", "headland", "promontory"],
+        "a natural elevation of land projecting into a body of water",
+        2,
+        "natural_object.n",
+    );
+    b.noun(
+        "head.steam",
+        &["head", "head of steam"],
+        "a momentum of progress built up as pressure in an engine builds",
+        2,
+        "process.n",
+    );
+    b.noun(
+        "head.margin",
+        &["head"],
+        "the length of a horse's head used as a margin of victory in racing",
+        1,
+        "measure.n",
+    );
+    b.verb(
+        "head.v-lead",
+        &["head", "lead"],
+        "be in charge of or travel in front of a group",
+        20,
+        "act.deed",
+    );
+    b.verb(
+        "head.v-direct",
+        &["head", "direct"],
+        "travel or proceed toward a certain place",
+        15,
+        "act.deed",
+    );
+    b.verb(
+        "head.v-top",
+        &["head"],
+        "be at the top or the first position of a list or ranking",
+        5,
+        "act.deed",
+    );
+}
+
+/// The remaining 6 senses of *state* beyond `state.condition` (upper.rs)
+/// and `country.nation` (geography.rs): exactly 8 in total, matching the
+/// WordNet count the paper quotes for the `personnel` example.
+fn register_state(b: &mut NetworkBuilder) {
+    b.noun("state.province", &["state", "province"], "the territory occupied by one of the constituent administrative districts of a nation, as a state of the United States", 60, "district.n");
+    b.noun(
+        "state.government",
+        &["state", "the state"],
+        "the group of people comprising the government of a sovereign nation",
+        25,
+        "organization.n",
+    );
+    b.noun(
+        "state.matter",
+        &["state", "state of matter", "phase"],
+        "the three traditional states of matter are solid, liquid and gas",
+        8,
+        "attribute.n",
+    );
+    b.noun(
+        "state.agitation",
+        &["state", "tizzy"],
+        "a state of depression or agitation; he was in such a state you could not reason with him",
+        4,
+        "feeling.n",
+    );
+    b.noun(
+        "state.department",
+        &["state", "department of state", "state department"],
+        "the federal department that sets and maintains foreign policy",
+        5,
+        "institution.n",
+    );
+    b.noun(
+        "state.territory",
+        &["state", "nation land"],
+        "the territory occupied by a nation; the land of one's birth",
+        15,
+        "district.n",
+    );
+}
+
+/// Twelve senses of *line*.
+fn register_line(b: &mut NetworkBuilder) {
+    b.noun(
+        "line.text",
+        &["line"],
+        "a single row of written words or text, as a line of a poem or of dialogue in a play",
+        35,
+        "text.n",
+    );
+    b.noun(
+        "line.queue",
+        &["line", "waiting line", "queue"],
+        "a formation of people or things standing or waiting one behind another",
+        25,
+        "gathering.n",
+    );
+    b.noun(
+        "line.cord",
+        &["line"],
+        "a length of cord, rope or cable used for a particular purpose",
+        12,
+        "artifact.n",
+    );
+    b.noun(
+        "line.phone",
+        &["line", "telephone line", "phone line"],
+        "a telephone connection carrying a voice circuit between points",
+        10,
+        "instrumentality.n",
+    );
+    b.noun(
+        "line.product",
+        &["line", "product line", "line of products"],
+        "a particular kind of product or merchandise offered by a company",
+        8,
+        "commodity.n",
+    );
+    b.noun(
+        "line.boundary",
+        &["line", "dividing line", "demarcation"],
+        "a conceptual boundary or separation between two things",
+        14,
+        "relation.n",
+    );
+    b.noun(
+        "line.geometry",
+        &["line"],
+        "a length without breadth or thickness in geometry; the track of a moving point",
+        10,
+        "shape.n",
+    );
+    b.noun(
+        "line.lineage",
+        &["line", "lineage", "descent", "bloodline"],
+        "the descendants of one individual; a family line of descent",
+        7,
+        "kin.n",
+    );
+    b.noun(
+        "line.railway",
+        &["line", "railway line", "rail line"],
+        "the road consisting of railway track over which trains travel",
+        6,
+        "road.n",
+    );
+    b.noun(
+        "line.conduit",
+        &["line", "pipeline"],
+        "a pipe used to transport liquids or gases over a distance",
+        4,
+        "instrumentality.n",
+    );
+    b.noun(
+        "line.mark",
+        &["line"],
+        "a mark that is long relative to its width, drawn on a surface",
+        16,
+        "signal.n",
+    );
+    b.verb(
+        "line.v",
+        &["line"],
+        "be in or form a line along something; cover the inside of",
+        8,
+        "act.deed",
+    );
+}
+
+fn register_misc(b: &mut NetworkBuilder) {
+    // light — 8 senses.
+    b.noun("light.radiation", &["light", "visible light", "visible radiation"], "electromagnetic radiation that can produce a visual sensation; the brightness that lets plants grow and eyes see", 60, "process.n");
+    b.noun(
+        "light.lamp",
+        &["light", "light source", "lamp"],
+        "any device serving as a source of illumination",
+        25,
+        "device.n",
+    );
+    b.noun(
+        "light.daylight",
+        &["light", "daylight"],
+        "the period of the day when the sun gives light",
+        15,
+        "time_period.n",
+    );
+    b.noun(
+        "light.aspect",
+        &["light"],
+        "a particular perspective or aspect of a situation; seen in a good light",
+        8,
+        "attribute.n",
+    );
+    b.noun(
+        "light.flame",
+        &["light", "flame"],
+        "a flame or something used to start a fire, as a light for a cigarette",
+        4,
+        "process.n",
+    );
+    b.adjective(
+        "light.not-heavy",
+        &["light", "lightweight"],
+        "of comparatively little physical weight or density",
+        30,
+    );
+    b.adjective(
+        "light.pale",
+        &["light", "pale"],
+        "of a color: having a relatively small amount of coloring agent; not dark",
+        18,
+    );
+    b.verb(
+        "light.v",
+        &["light", "ignite"],
+        "cause to start burning or begin to give off light",
+        12,
+        "act.deed",
+    );
+
+    // order — 6 senses.
+    b.noun(
+        "order.command",
+        &["order", "command", "directive"],
+        "an authoritative instruction or command to do something",
+        30,
+        "statement.n",
+    );
+    b.noun(
+        "order.purchase",
+        &["order", "purchase order"],
+        "a commercial request to purchase, ship or deliver goods",
+        20,
+        "request.n",
+    );
+    b.noun(
+        "order.sequence",
+        &["order", "ordering", "arrangement"],
+        "the arrangement of things following one after another in sequence",
+        25,
+        "relation.n",
+    );
+    b.noun(
+        "order.taxonomy",
+        &["order"],
+        "the biological taxonomic group ranking between class and family",
+        6,
+        "group.n",
+    );
+    b.noun(
+        "order.society",
+        &["order", "monastic order"],
+        "a group of persons living under a religious rule or united by a common purpose",
+        8,
+        "organization.n",
+    );
+    b.verb(
+        "order.v",
+        &["order", "tell"],
+        "give instructions to someone or request that something be made or delivered",
+        28,
+        "communicate.v",
+    );
+
+    // letter (message sense; character.letter lives in geography.rs).
+    b.noun(
+        "letter.message",
+        &["letter", "missive"],
+        "a written message addressed to a person or organization and usually sent by mail",
+        40,
+        "document.n",
+    );
+
+    // note — 4 senses.
+    b.noun(
+        "note.music",
+        &["note", "musical note", "tone"],
+        "a notation representing the pitch and duration of a musical sound",
+        15,
+        "music.n",
+    );
+    b.noun(
+        "note.written",
+        &["note", "short letter", "annotation"],
+        "a brief written record or a short informal written message",
+        18,
+        "writing.written",
+    );
+    b.noun(
+        "note.money",
+        &["note", "banknote", "bill"],
+        "a piece of paper money issued by a bank",
+        10,
+        "possession.n",
+    );
+    b.verb(
+        "note.v",
+        &["note", "observe", "remark"],
+        "make mention of or notice something",
+        14,
+        "communicate.v",
+    );
+
+    // year — 3 senses.
+    b.noun("year.calendar", &["year", "calendar year", "twelvemonth"], "the period of time of 365 days during which the earth completes one revolution around the sun", 160, "time_period.n");
+    b.noun(
+        "year.academic",
+        &["year", "school year", "academic year"],
+        "the period of time each year when a school or university holds classes",
+        12,
+        "time_period.n",
+    );
+    b.noun(
+        "year.age",
+        &["year", "years"],
+        "the time of life measured in years; a person's age expressed in years lived",
+        20,
+        "time_period.n",
+    );
+
+    // day — 3 senses.
+    b.noun(
+        "day.period",
+        &["day", "twenty-four hours"],
+        "the period of 24 hours during which the earth makes a complete rotation",
+        120,
+        "time_unit.n",
+    );
+    b.noun(
+        "day.daytime",
+        &["day", "daytime"],
+        "the time between sunrise and sunset when there is daylight",
+        35,
+        "time_period.n",
+    );
+    b.noun(
+        "day.era",
+        &["day"],
+        "an era of existence or influence; in the day of the dinosaurs",
+        10,
+        "time_period.n",
+    );
+
+    // title — 5 senses.
+    b.noun(
+        "title.work",
+        &["title"],
+        "the name given to a creative work such as a book, play, film or piece of music",
+        25,
+        "name.label",
+    );
+    b.noun(
+        "title.right",
+        &["title", "legal title", "deed"],
+        "the legal document establishing a right of ownership of property",
+        8,
+        "document.n",
+    );
+    b.noun(
+        "title.championship",
+        &["title", "championship"],
+        "the status of being a champion in a sport competition",
+        6,
+        "state.condition",
+    );
+    b.noun(
+        "title.honorific",
+        &["title", "form of address"],
+        "an identifying appellation signifying rank, office or profession, as Doctor or Lord",
+        10,
+        "name.label",
+    );
+    b.noun(
+        "title.caption",
+        &["title", "caption", "subtitle"],
+        "brief text appearing on a screen to explain or translate what is shown",
+        4,
+        "text.n",
+    );
+
+    // name — two more senses beyond name.label (upper.rs).
+    b.noun(
+        "name.reputation",
+        &["name", "reputation"],
+        "the state of being held in high esteem; a good name",
+        12,
+        "state.condition",
+    );
+    b.verb(
+        "name.v",
+        &["name", "call", "nominate"],
+        "assign a specified designation to; mention and identify by name",
+        30,
+        "communicate.v",
+    );
+
+    // point — beyond point.location (upper.rs).
+    b.noun(
+        "point.idea",
+        &["point"],
+        "a brief version of the essential meaning of something; the point of an argument",
+        20,
+        "content.cognition",
+    );
+    b.noun(
+        "point.score",
+        &["point"],
+        "the unit of counting in games and sports scoring",
+        15,
+        "unit_of_measurement.n",
+    );
+    b.noun(
+        "point.punctuation",
+        &["point", "period", "full stop"],
+        "a punctuation mark placed at the end of a declarative sentence",
+        5,
+        "character.letter",
+    );
+
+    // member — 3 senses.
+    b.noun(
+        "member.person",
+        &["member", "fellow member"],
+        "a person who belongs to a group or organization such as a club",
+        35,
+        "person.n",
+    );
+    b.noun(
+        "member.limb",
+        &["member", "limb", "extremity"],
+        "an external body part such as an arm or leg that projects from the body",
+        8,
+        "body_part.n",
+    );
+    b.noun(
+        "member.part",
+        &["member"],
+        "anything that belongs to a set or class or is a part of a whole",
+        10,
+        "part.relation",
+    );
+
+    // age — 3 senses.
+    b.noun(
+        "age.duration",
+        &["age"],
+        "how long something has existed; the length of time a person has lived",
+        45,
+        "attribute.n",
+    );
+    b.noun(
+        "age.era",
+        &["age", "historic period", "era"],
+        "an era of history having some distinctive feature, as the age of steam",
+        18,
+        "time_period.n",
+    );
+    b.verb(
+        "age.v",
+        &["age", "mature"],
+        "grow old or cause to grow old or more mature",
+        10,
+        "act.deed",
+    );
+
+    // office — 3 senses.
+    b.noun(
+        "office.room",
+        &["office", "business office"],
+        "a room or building where professional or clerical work is done",
+        30,
+        "building.n",
+    );
+    b.noun(
+        "office.position",
+        &["office", "post", "berth"],
+        "a position of responsibility or authority to which one is appointed",
+        15,
+        "occupation.n",
+    );
+    b.noun(
+        "office.agency",
+        &["office", "agency", "bureau"],
+        "an administrative unit of government that provides a service",
+        10,
+        "unit.organization",
+    );
+
+    // link — 4 senses.
+    b.noun(
+        "link.connection",
+        &["link", "connection", "connexion"],
+        "the means of connection between things; a connecting shape or relation",
+        15,
+        "relation.n",
+    );
+    b.noun(
+        "link.chain",
+        &["link", "chain link"],
+        "one of the rings or loops forming a chain",
+        4,
+        "part.relation",
+    );
+    b.noun("link.hyperlink", &["link", "hyperlink", "url"], "a reference in an electronic document that lets a user jump to another document or address on a network", 8, "written_communication.n");
+    b.verb(
+        "link.v",
+        &["link", "connect", "tie"],
+        "connect or fasten or put together two or more things",
+        12,
+        "act.deed",
+    );
+
+    // family — 5 senses.
+    b.noun(
+        "family.unit",
+        &["family", "household", "family unit"],
+        "the primary social group of parents and their children living together",
+        85,
+        "kin.n",
+    );
+    b.noun(
+        "family.lineage",
+        &["family", "family line", "folk"],
+        "people descended from a common ancestor; the family name is passed down the line",
+        20,
+        "kin.n",
+    );
+    b.noun(
+        "family.taxonomy",
+        &["family"],
+        "the biological taxonomic group ranking between genus and order",
+        8,
+        "group.n",
+    );
+    b.noun(
+        "family.crime",
+        &["family", "crime syndicate", "mob"],
+        "a loose affiliation of criminals in charge of organized illegal activities",
+        3,
+        "organization.n",
+    );
+    b.noun(
+        "family.children",
+        &["family"],
+        "a person's children regarded collectively; they decided to start a family",
+        12,
+        "kin.n",
+    );
+
+    // common — 3 senses.
+    b.adjective(
+        "common.ordinary",
+        &["common", "ordinary"],
+        "occurring or encountered often; of the most familiar kind, as a common name for a plant",
+        35,
+    );
+    b.adjective(
+        "common.shared",
+        &["common", "mutual"],
+        "belonging to or shared by two or more parties in common",
+        20,
+    );
+    b.noun(
+        "common.land",
+        &["common", "commons", "green"],
+        "a piece of open public land in a town or village",
+        5,
+        "area.n",
+    );
+
+    // class — 3 senses.
+    b.noun(
+        "class.category",
+        &["class", "category", "type"],
+        "a collection of things sharing a common attribute",
+        40,
+        "collection.n",
+    );
+    b.noun(
+        "class.students",
+        &["class", "course", "form"],
+        "a body of students who are taught together or graduate together",
+        25,
+        "gathering.n",
+    );
+    b.noun(
+        "class.social",
+        &["class", "social class", "stratum"],
+        "people having the same social or economic status",
+        18,
+        "social_group.n",
+    );
+
+    // part — performance role (beyond part.relation).
+    b.noun(
+        "part.role",
+        &["part", "role", "character"],
+        "an actor's portrayal of someone in a play or film; she played the part well",
+        20,
+        "act.deed",
+    );
+
+    // bill — 3 senses (commerce/food overlap).
+    b.noun(
+        "bill.invoice",
+        &["bill", "invoice", "account"],
+        "an itemized statement of money owed for goods or services",
+        15,
+        "statement.n",
+    );
+    b.noun(
+        "bill.law",
+        &["bill", "measure"],
+        "a statute in draft form before it becomes law",
+        10,
+        "document.n",
+    );
+    b.noun(
+        "bill.beak",
+        &["bill", "beak"],
+        "the horny projecting mouth of a bird",
+        4,
+        "body_part.n",
+    );
+
+    // interest — 3 senses (club/bib overlap).
+    b.noun(
+        "interest.curiosity",
+        &["interest", "involvement"],
+        "a sense of concern with and curiosity about someone or something",
+        25,
+        "feeling.n",
+    );
+    b.noun(
+        "interest.money",
+        &["interest"],
+        "a fixed charge for borrowing money, usually a percentage of the amount borrowed",
+        15,
+        "monetary_value.n",
+    );
+    b.noun("interest.hobby", &["interest", "pastime", "pursuit"], "a diversion that occupies one's time and thoughts pleasantly, as the hobbies of club members", 10, "activity.n");
+}

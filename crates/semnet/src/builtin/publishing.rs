@@ -1,0 +1,468 @@
+//! The bibliographic / publishing domain: vocabulary of the SIGMOD-Record
+//! proceedings dataset and the Niagara `bib` dataset (proceedings, article,
+//! author, volume, issue, page, journal, publisher, …). Glosses share
+//! "journal", "published" and "article" so gloss overlap binds the domain.
+
+use crate::builder::NetworkBuilder;
+use crate::model::RelationKind;
+
+pub(super) fn register(b: &mut NetworkBuilder) {
+    // ---- containers of scholarly writing -------------------------------------
+    b.noun(
+        "proceedings.record",
+        &["proceedings", "minutes", "transactions"],
+        "the published record of the papers presented at a conference or learned society meeting",
+        4,
+        "publication.n",
+    );
+    b.noun(
+        "proceedings.legal",
+        &["proceedings", "legal proceeding"],
+        "the conduct of a lawsuit or other legal process",
+        3,
+        "activity.n",
+    );
+    b.noun("conference.meeting", &["conference"], "a prearranged meeting where researchers present papers and confer, often publishing proceedings", 10, "social_event.n");
+    b.noun(
+        "conference.league",
+        &["conference", "league"],
+        "an association of sports teams that compete with each other",
+        4,
+        "organization.n",
+    );
+    b.noun(
+        "journal.periodical",
+        &["journal"],
+        "a scholarly periodical in which researchers' articles are published",
+        10,
+        "publication.n",
+    );
+    b.noun(
+        "journal.diary",
+        &["journal", "diary"],
+        "a daily written record of personal experiences and observations",
+        6,
+        "writing.written",
+    );
+    b.noun(
+        "journal.bearing",
+        &["journal"],
+        "the part of a rotating shaft that turns in a bearing",
+        1,
+        "part.relation",
+    );
+    b.noun(
+        "magazine.periodical",
+        &["magazine", "mag"],
+        "a periodical publication with articles and pictures for general readers",
+        10,
+        "publication.n",
+    );
+    b.noun(
+        "magazine.gun",
+        &["magazine", "cartridge holder"],
+        "the metal compartment that feeds cartridges into a gun",
+        2,
+        "container.n",
+    );
+    b.noun(
+        "book.publication",
+        &["book", "volume"],
+        "a written work of some length published as bound pages; a book by an author",
+        55,
+        "publication.n",
+    );
+    b.noun(
+        "book.ledger",
+        &["book", "ledger", "account book"],
+        "a record in which commercial accounts are entered; cooking the books",
+        4,
+        "document.n",
+    );
+    b.verb(
+        "book.v",
+        &["book", "reserve"],
+        "arrange for and reserve something in advance",
+        8,
+        "act.deed",
+    );
+    b.noun(
+        "newspaper.n",
+        &["newspaper", "paper", "gazette"],
+        "a daily or weekly publication printed on cheap paper and containing news articles",
+        20,
+        "publication.n",
+    );
+
+    // ---- the units inside -----------------------------------------------------
+    b.noun(
+        "article.text",
+        &["article", "piece"],
+        "a nonfictional piece of writing published as part of a journal, magazine or newspaper",
+        15,
+        "writing.written",
+    );
+    b.noun(
+        "article.grammar",
+        &["article"],
+        "a determiner such as the or a that may indicate definiteness",
+        3,
+        "word.n",
+    );
+    b.noun(
+        "article.item",
+        &["article"],
+        "one of a class of objects; an article of clothing",
+        8,
+        "whole.n",
+    );
+    b.noun(
+        "article.clause",
+        &["article", "clause"],
+        "a distinct section of a legal document or treaty",
+        4,
+        "document.n",
+    );
+    b.noun(
+        "paper.material",
+        &["paper"],
+        "a thin material made of cellulose pulp used for writing and printing",
+        25,
+        "material.n",
+    );
+    b.noun("paper.essay", &["paper", "research paper", "scientific paper"], "a scholarly article reporting research results, presented at a conference or published in a journal", 12, "article.text");
+    b.noun(
+        "paper.exam",
+        &["paper", "examination paper"],
+        "the written questions of a school examination",
+        3,
+        "document.n",
+    );
+    b.noun(
+        "abstract.summary",
+        &["abstract", "precis", "synopsis"],
+        "a short summary at the head of a published article stating its main results",
+        5,
+        "statement.n",
+    );
+    b.adjective(
+        "abstract.a",
+        &["abstract", "theoretical"],
+        "existing only in the mind; not concrete",
+        10,
+    );
+    b.noun(
+        "volume.book",
+        &["volume"],
+        "one of a sequence of bound books; a physical book as an object",
+        10,
+        "book.publication",
+    );
+    b.noun(
+        "volume.series",
+        &["volume"],
+        "the consecutively numbered set of issues of a journal published during a year",
+        6,
+        "collection.n",
+    );
+    b.noun(
+        "volume.loudness",
+        &["volume", "loudness"],
+        "the intensity or magnitude of sound",
+        8,
+        "attribute.n",
+    );
+    b.noun(
+        "volume.space",
+        &["volume"],
+        "the amount of three-dimensional space occupied by an object",
+        10,
+        "measure.n",
+    );
+    b.noun(
+        "issue.periodical",
+        &["issue", "number"],
+        "one of a series of periodical publications of a journal or magazine",
+        8,
+        "publication.n",
+    );
+    b.noun(
+        "issue.problem",
+        &["issue", "matter", "topic"],
+        "an important question or problem that is under discussion",
+        15,
+        "content.cognition",
+    );
+    b.noun(
+        "issue.offspring",
+        &["issue", "progeny", "offspring"],
+        "the immediate descendants of a person in legal usage",
+        3,
+        "relative.n",
+    );
+    b.verb(
+        "issue.v",
+        &["issue", "publish", "release"],
+        "prepare and distribute a publication or statement officially",
+        8,
+        "act.deed",
+    );
+    b.noun(
+        "page.sheet",
+        &["page"],
+        "one side of a sheet of paper in a book, journal or other publication",
+        20,
+        "part.relation",
+    );
+    b.noun(
+        "page.boy",
+        &["page", "pageboy"],
+        "a youth who was formerly the personal attendant of a knight or noble",
+        3,
+        "child.n",
+    );
+    b.noun(
+        "page.web",
+        &["page", "web page", "webpage"],
+        "a document of text and images accessible on the world wide web at an address",
+        8,
+        "document.n",
+    );
+    b.verb(
+        "page.v",
+        &["page", "summon"],
+        "call out somebody's name over a public address system",
+        2,
+        "communicate.v",
+    );
+    b.noun(
+        "chapter.division",
+        &["chapter"],
+        "a major division of a published book, usually numbered",
+        10,
+        "part.relation",
+    );
+    b.noun(
+        "chapter.branch",
+        &["chapter"],
+        "a local branch of a society or club",
+        3,
+        "organization.n",
+    );
+
+    // ---- people of publishing ---------------------------------------------------
+    b.noun("editor.person", &["editor", "editor in chief"], "the person who supervises and corrects the articles published in a journal, newspaper or book", 8, "professional.n");
+    b.noun(
+        "editor.software",
+        &["editor", "editor program", "text editor"],
+        "a computer program for creating and modifying text files",
+        3,
+        "device.n",
+    );
+    b.noun(
+        "publisher.company",
+        &["publisher", "publishing house", "publishing firm"],
+        "a firm in the business of publishing books, journals or newspapers",
+        6,
+        "company.firm",
+    );
+    b.noun(
+        "publisher.person",
+        &["publisher"],
+        "the proprietor of a newspaper or the person who heads a publishing business",
+        4,
+        "professional.n",
+    );
+    b.noun(
+        "reader.person",
+        &["reader"],
+        "a person who reads published writing such as books and articles",
+        10,
+        "person.n",
+    );
+    b.noun(
+        "critic.n",
+        &["critic", "reviewer"],
+        "a professional whose reviews of books, plays and motion pictures are published",
+        5,
+        "professional.n",
+    );
+
+    // ---- records and references ----------------------------------------------------
+    b.noun(
+        "record.document",
+        &["record", "written record", "written account"],
+        "a document preserving an account of facts or events",
+        15,
+        "document.n",
+    );
+    b.noun(
+        "record.best",
+        &["record"],
+        "the best performance ever attested, as a world record in sport",
+        8,
+        "attribute.n",
+    );
+    b.noun(
+        "record.criminal",
+        &["record", "criminal record"],
+        "the list of a person's past crimes known to the law",
+        4,
+        "document.n",
+    );
+    b.noun(
+        "record.history",
+        &["record", "track record"],
+        "the sum of a person's known achievements; an impressive record",
+        5,
+        "cognition.n",
+    );
+    b.verb(
+        "record.v",
+        &["record", "register", "enter"],
+        "set down in a permanent written or recorded form",
+        12,
+        "act.deed",
+    );
+    b.noun("reference.citation", &["reference", "citation", "quotation"], "a short note in a published article directing the reader to another publication as a source", 6, "writing.written");
+    b.noun(
+        "reference.mention",
+        &["reference", "mention"],
+        "a brief remark that calls attention to something",
+        5,
+        "statement.n",
+    );
+    b.noun(
+        "reference.book",
+        &["reference", "reference book", "reference work"],
+        "a book such as a dictionary consulted for authoritative information",
+        4,
+        "book.publication",
+    );
+    b.noun(
+        "index.list",
+        &["index"],
+        "an alphabetical listing of names and subjects with page numbers at the back of a book",
+        5,
+        "document.n",
+    );
+    b.noun(
+        "index.number",
+        &["index", "index number"],
+        "a number indicating a measured level relative to a standard",
+        4,
+        "number.n",
+    );
+    b.noun(
+        "index.finger",
+        &["index", "index finger", "forefinger"],
+        "the finger next to the thumb",
+        3,
+        "body_part.n",
+    );
+    b.noun(
+        "bibliography.n",
+        &["bibliography", "bib"],
+        "a list of the published books and articles referred to in a scholarly work",
+        3,
+        "document.n",
+    );
+    b.noun(
+        "number.issue-of",
+        &["number"],
+        "the individual issue of a periodical publication identified by a numeral",
+        3,
+        "publication.n",
+    );
+    b.noun(
+        "edition.n",
+        &["edition"],
+        "the form in which a published text is issued, as a revised edition of a book",
+        5,
+        "work.product",
+    );
+    b.noun(
+        "copyright.n",
+        &["copyright", "right of first publication"],
+        "the exclusive legal right to publish and sell a written work",
+        3,
+        "possession.n",
+    );
+    b.noun(
+        "manuscript.n",
+        &["manuscript", "ms"],
+        "the author's written or typed text of an article or book before it is published",
+        3,
+        "document.n",
+    );
+    b.noun(
+        "section.division",
+        &["section", "subdivision"],
+        "one of the distinct parts into which a document, article or proceedings is divided",
+        10,
+        "part.relation",
+    );
+    b.noun(
+        "section.district",
+        &["section"],
+        "a distinct region or part of a town or territory",
+        5,
+        "district.n",
+    );
+    b.noun(
+        "database.n",
+        &["database"],
+        "an organized collection of data records stored in a computer system",
+        6,
+        "collection.n",
+    );
+    b.noun(
+        "query.n",
+        &["query", "inquiry"],
+        "a question posed to a database or person to retrieve information",
+        4,
+        "request.n",
+    );
+    b.noun(
+        "price_list.n",
+        &["price list"],
+        "the published list of the prices of goods offered for sale",
+        1,
+        "document.n",
+    );
+
+    // Natural part-whole links: a published work has a title, an author,
+    // pages, and (for periodicals) volumes and issues. These are the
+    // WordNet-style meronymy edges that bind the bibliographic domain.
+    for whole in [
+        "book.publication",
+        "article.text",
+        "journal.periodical",
+        "proceedings.record",
+        "magazine.periodical",
+    ] {
+        b.relate(whole, RelationKind::HasPart, "title.work");
+    }
+    b.relate("book.publication", RelationKind::HasPart, "page.sheet");
+    b.relate(
+        "book.publication",
+        RelationKind::HasPart,
+        "chapter.division",
+    );
+    b.relate("article.text", RelationKind::HasPart, "page.sheet");
+    b.relate("article.text", RelationKind::HasPart, "abstract.summary");
+    b.relate("article.text", RelationKind::PartOf, "journal.periodical");
+    b.relate("article.text", RelationKind::PartOf, "proceedings.record");
+    b.relate("issue.periodical", RelationKind::PartOf, "volume.series");
+    b.relate("volume.series", RelationKind::PartOf, "journal.periodical");
+    b.relate(
+        "section.division",
+        RelationKind::PartOf,
+        "proceedings.record",
+    );
+    b.relate(
+        "proceedings.record",
+        RelationKind::PartOf,
+        "conference.meeting",
+    );
+}

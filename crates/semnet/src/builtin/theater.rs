@@ -1,0 +1,1192 @@
+//! The theater / drama domain: vocabulary of the Shakespeare dataset
+//! (play, act, scene, speech, speaker, line, stage direction, …) plus the
+//! Elizabethan content words the plays' text values use (king, queen,
+//! crown, ghost, sword, love, death, …). Glosses share the words "play",
+//! "stage" and "drama" so gloss overlap ties the domain together.
+
+use crate::builder::NetworkBuilder;
+
+pub(super) fn register(b: &mut NetworkBuilder) {
+    // ---- play: the anchor word of the dataset -------------------------------
+    b.noun("play.drama", &["play", "drama", "dramatic work", "stage play"], "a dramatic work written for performance by a cast of actors on a stage, as a play by Shakespeare", 20, "work.product");
+    b.relate(
+        "play.drama",
+        crate::model::RelationKind::HasPart,
+        "act.play-division",
+    );
+    b.relate(
+        "play.drama",
+        crate::model::RelationKind::HasPart,
+        "cast.actors",
+    );
+    b.relate(
+        "act.play-division",
+        crate::model::RelationKind::HasPart,
+        "scene.play-division",
+    );
+    b.relate(
+        "scene.play-division",
+        crate::model::RelationKind::HasPart,
+        "speech.communication",
+    );
+    b.relate(
+        "speech.communication",
+        crate::model::RelationKind::HasPart,
+        "line.text",
+    );
+    b.relate(
+        "play.drama",
+        crate::model::RelationKind::HasPart,
+        "line.text",
+    );
+    b.relate("line.text", crate::model::RelationKind::PartOf, "poem.n");
+    b.noun(
+        "play.children",
+        &["play", "child's play", "fun"],
+        "the activity of children engaging in games for enjoyment",
+        15,
+        "activity.n",
+    );
+    b.noun(
+        "play.maneuver",
+        &["play"],
+        "a planned maneuver or move in a game or sport",
+        8,
+        "action.n",
+    );
+    b.noun(
+        "play.gambling",
+        &["play", "gambling", "wagering"],
+        "the act of playing for stakes in the hope of winning",
+        4,
+        "activity.n",
+    );
+    b.noun(
+        "play.slack",
+        &["play", "slack"],
+        "the small movement or looseness available to a mechanical part",
+        3,
+        "attribute.n",
+    );
+    b.noun(
+        "play.performance",
+        &["play", "playing"],
+        "the performance of a part or role in a drama or piece of music",
+        6,
+        "act.deed",
+    );
+    b.verb(
+        "play.v-game",
+        &["play"],
+        "participate in games or a sport or engage in recreation",
+        30,
+        "act.deed",
+    );
+    b.verb(
+        "play.v-music",
+        &["play"],
+        "perform music on an instrument",
+        18,
+        "perform.v",
+    );
+    b.verb(
+        "play.v-act",
+        &["play", "act"],
+        "perform a role or part on the stage or in a motion picture",
+        12,
+        "perform.v",
+    );
+    b.verb(
+        "play.v-pretend",
+        &["play", "toy"],
+        "behave in a playful or trifling way; engage in make-believe",
+        8,
+        "act.deed",
+    );
+
+    // ---- act ----------------------------------------------------------------
+    b.noun("act.play-division", &["act"], "one of the principal divisions of a theatrical play or opera, made of scenes performed by actors on the stage", 10, "part.relation");
+    b.noun(
+        "act.law",
+        &["act", "enactment", "statute"],
+        "a legislative document that has been made law",
+        12,
+        "document.n",
+    );
+    b.noun(
+        "act.routine",
+        &["act", "routine", "number", "turn"],
+        "a short theatrical performance that is part of a longer show",
+        5,
+        "performance.n",
+    );
+    b.verb(
+        "act.v-behave",
+        &["act", "behave", "do"],
+        "behave in a certain manner or conduct oneself",
+        25,
+        "act.deed",
+    );
+    b.verb(
+        "act.v-perform",
+        &["act", "represent"],
+        "play a theatrical role; pretend to have certain qualities",
+        10,
+        "perform.v",
+    );
+    // (act.deed in the upper ontology supplies the sixth sense of "act".)
+
+    // ---- scene (film sense lives in movies.rs) --------------------------------
+    b.noun("scene.play-division", &["scene"], "a subdivision of an act of a theatrical play in which actors speak their lines on a fixed setting of the stage", 9, "part.relation");
+    b.noun(
+        "scene.place",
+        &["scene", "scene of action"],
+        "the place where some action or event occurs, as the scene of the crime",
+        10,
+        "point.location",
+    );
+    b.noun(
+        "scene.view",
+        &["scene", "view", "vista"],
+        "the visual percept of a region; a beautiful scene",
+        8,
+        "cognition.n",
+    );
+    b.noun(
+        "scene.tantrum",
+        &["scene", "fit of temper"],
+        "a display of bad temper in public; she made a scene",
+        3,
+        "act.deed",
+    );
+
+    // ---- performance & stage vocabulary ---------------------------------------
+    b.noun(
+        "performance.n",
+        &["performance", "public presentation"],
+        "a dramatic or musical entertainment presented before an audience on a stage",
+        14,
+        "show.n",
+    );
+    b.noun(
+        "stage.platform",
+        &["stage"],
+        "the raised platform in a theater on which actors perform a play",
+        12,
+        "structure.construction",
+    );
+    b.noun(
+        "stage.phase",
+        &["stage", "phase", "degree"],
+        "a distinct period or step in a process of development",
+        15,
+        "state.condition",
+    );
+    b.noun(
+        "stage.profession",
+        &["stage", "the stage"],
+        "the profession of acting in the theater",
+        4,
+        "occupation.n",
+    );
+    b.noun(
+        "stage.coach",
+        &["stage", "stagecoach"],
+        "a horse-drawn carriage that carried passengers on a regular route",
+        3,
+        "vehicle.n",
+    );
+    b.verb(
+        "stage.v",
+        &["stage", "present", "produce"],
+        "put a play on the stage; organize and carry out an event",
+        6,
+        "perform.v",
+    );
+    b.noun("stage_direction.n", &["stage direction", "stagedir"], "an instruction written into the script of a play directing the actors' movements on the stage", 3, "order.command");
+    b.noun(
+        "prologue.n",
+        &["prologue", "prolog"],
+        "the introductory lines spoken to the audience before a play begins",
+        3,
+        "speech.communication",
+    );
+    b.noun(
+        "epilogue.n",
+        &["epilogue", "epilog"],
+        "the concluding lines addressed to the audience at the end of a play",
+        2,
+        "speech.communication",
+    );
+    b.noun(
+        "speaker.person",
+        &["speaker", "talker", "utterer"],
+        "a person who speaks lines or delivers a speech, as the speaker of a line in a play",
+        10,
+        "person.n",
+    );
+    b.noun(
+        "speaker.device",
+        &["speaker", "loudspeaker"],
+        "a device that converts electrical signals to audible sound",
+        6,
+        "device.n",
+    );
+    b.noun(
+        "speaker.presiding",
+        &["speaker", "the speaker"],
+        "the presiding officer of a legislative assembly",
+        4,
+        "leader.n",
+    );
+    b.noun(
+        "speech.faculty",
+        &["speech", "speech faculty"],
+        "the human faculty of uttering articulate sounds",
+        8,
+        "ability.n",
+    );
+    b.noun(
+        "dialogue.n",
+        &["dialogue", "dialog"],
+        "the lines of conversation spoken between characters in a play or motion picture",
+        8,
+        "speech.communication",
+    );
+    b.noun(
+        "monologue.n",
+        &["monologue", "soliloquy"],
+        "a long speech by one actor alone on the stage in a play",
+        3,
+        "speech.communication",
+    );
+    b.noun(
+        "verse.line",
+        &["verse", "verse line"],
+        "a single line of metrical writing in a poem or play",
+        5,
+        "line.text",
+    );
+    b.noun(
+        "verse.poetry",
+        &["verse", "poetry", "rhyme"],
+        "literature in metrical form; the writing of poems",
+        6,
+        "writing.written",
+    );
+    b.noun(
+        "poem.n",
+        &["poem", "verse form"],
+        "a composition in verse written by a poet",
+        10,
+        "writing.written",
+    );
+    b.noun(
+        "sonnet.n",
+        &["sonnet"],
+        "a fourteen-line verse poem with a fixed rhyme scheme, as the sonnets of Shakespeare",
+        3,
+        "poem.n",
+    );
+    b.noun(
+        "tragedy.drama",
+        &["tragedy"],
+        "a serious play with an unhappy ending in which the protagonist is brought down",
+        6,
+        "drama.play",
+    );
+    b.noun(
+        "tragedy.event",
+        &["tragedy", "calamity", "disaster"],
+        "an event resulting in great loss and misfortune",
+        8,
+        "happening.n",
+    );
+    b.noun(
+        "history.record",
+        &["history", "account", "chronicle"],
+        "a written record of past events; a play dramatizing historical events",
+        18,
+        "writing.written",
+    );
+    b.noun(
+        "history.study",
+        &["history"],
+        "the discipline that studies and records past events",
+        10,
+        "cognition.n",
+    );
+    b.noun(
+        "history.past",
+        &["history", "the past"],
+        "the aggregate of past events considered as a whole",
+        12,
+        "time_period.n",
+    );
+    b.noun(
+        "troupe.n",
+        &["troupe", "company of actors"],
+        "a company of theatrical performers who travel and act together on stage",
+        3,
+        "organization.n",
+    );
+    b.noun(
+        "rehearsal.n",
+        &["rehearsal", "practice session"],
+        "a practice session in preparation for a public performance of a play",
+        3,
+        "activity.n",
+    );
+    b.noun(
+        "costume.n",
+        &["costume"],
+        "the clothing worn by an actor to portray a character on stage",
+        4,
+        "clothing.n",
+    );
+    b.noun(
+        "curtain.n",
+        &["curtain", "drape"],
+        "the hanging cloth that screens the stage from the audience in a theater",
+        4,
+        "furniture.n",
+    );
+    b.noun(
+        "playbill.n",
+        &["playbill", "program"],
+        "a printed sheet listing the cast and acts of a theatrical performance",
+        2,
+        "document.n",
+    );
+    b.noun(
+        "induction.opening",
+        &["induction", "induct"],
+        "a formal opening scene that frames an old play",
+        2,
+        "part.relation",
+    );
+
+    // ---- house (the Shakespeare corpus uses it both ways) ---------------------
+    b.noun(
+        "house.dwelling",
+        &["house", "dwelling", "home"],
+        "a building in which a family lives",
+        120,
+        "building.n",
+    );
+    b.noun(
+        "house.family",
+        &["house", "royal house", "dynasty"],
+        "an aristocratic family line or royal dynasty, as the house of York",
+        8,
+        "family.lineage",
+    );
+    // (theater.building carries the "house" playhouse sense in movies.rs.)
+
+    // ---- Elizabethan content words --------------------------------------------
+    b.noun(
+        "king.monarch",
+        &["king", "male monarch"],
+        "a male sovereign ruler of a kingdom",
+        40,
+        "royalty.n",
+    );
+    b.noun(
+        "king.chess",
+        &["king"],
+        "the most important chess piece, which must be protected from checkmate",
+        4,
+        "game_piece.n",
+    );
+    b.noun(
+        "king.card",
+        &["king"],
+        "a playing card bearing the picture of a king",
+        3,
+        "game_piece.n",
+    );
+    b.noun(
+        "game_piece.n",
+        &["game piece", "piece", "man"],
+        "a counter or figure moved in playing a board game or card game",
+        5,
+        "game_equipment.n",
+    );
+    b.noun(
+        "game_equipment.n",
+        &["game equipment"],
+        "equipment designed for playing a game",
+        4,
+        "equipment.n",
+    );
+    b.noun(
+        "queen.monarch",
+        &["queen", "female monarch"],
+        "a female sovereign ruler of a kingdom, or the wife of a king",
+        30,
+        "royalty.n",
+    );
+    b.noun(
+        "queen.chess",
+        &["queen"],
+        "the most powerful chess piece, able to move any distance",
+        3,
+        "game_piece.n",
+    );
+    b.noun(
+        "queen.card",
+        &["queen"],
+        "a playing card bearing the picture of a queen",
+        2,
+        "game_piece.n",
+    );
+    b.noun(
+        "queen.bee",
+        &["queen", "queen bee"],
+        "the fertile female bee that lays all the eggs in a hive",
+        3,
+        "animal.n",
+    );
+    b.noun(
+        "lord.noble",
+        &["lord", "noble", "nobleman"],
+        "a man of noble rank in a kingdom",
+        18,
+        "royalty.n",
+    );
+    b.noun(
+        "lord.master",
+        &["lord", "master", "overlord"],
+        "a person who has general authority over others",
+        10,
+        "leader.n",
+    );
+    b.noun(
+        "lady.noble",
+        &["lady", "noblewoman", "peeress"],
+        "a woman of noble rank or refinement in a kingdom",
+        15,
+        "royalty.n",
+    );
+    b.noun(
+        "lady.woman",
+        &["lady"],
+        "a polite name for any woman",
+        25,
+        "woman.female",
+    );
+    b.noun(
+        "duke.n",
+        &["duke"],
+        "a nobleman of the highest hereditary rank below a prince",
+        8,
+        "royalty.n",
+    );
+    b.noun(
+        "crown.headgear",
+        &["crown", "diadem"],
+        "the ornamental jeweled headdress worn by a king or queen as a symbol of sovereignty",
+        8,
+        "clothing.n",
+    );
+    b.noun(
+        "crown.monarchy",
+        &["crown", "the crown"],
+        "the sovereign power of a monarchy; the authority of a king",
+        6,
+        "state.government",
+    );
+    b.noun(
+        "crown.top",
+        &["crown", "peak", "summit"],
+        "the top or highest part of something, as of the head or a hill",
+        5,
+        "part.relation",
+    );
+    b.noun(
+        "crown.coin",
+        &["crown"],
+        "an old British coin worth five shillings",
+        2,
+        "possession.n",
+    );
+    b.noun(
+        "throne.seat",
+        &["throne"],
+        "the ornate ceremonial chair of a king or queen",
+        5,
+        "furniture.n",
+    );
+    b.noun(
+        "throne.power",
+        &["throne", "sovereignty"],
+        "the position and power of a sovereign ruler",
+        4,
+        "occupation.n",
+    );
+    b.noun(
+        "kingdom.realm",
+        &["kingdom", "realm"],
+        "the domain and territory ruled by a king or queen",
+        10,
+        "district.n",
+    );
+    b.noun(
+        "kingdom.taxonomy",
+        &["kingdom"],
+        "the highest taxonomic group into which organisms are classified",
+        4,
+        "group.n",
+    );
+    b.noun("castle.building", &["castle"], "a large fortified building with towers and walls where a king or queen held court with the lords and ladies of the kingdom", 8, "building.n");
+    b.noun(
+        "castle.chess",
+        &["castle", "rook"],
+        "the chess piece that can move any distance along ranks and files",
+        1,
+        "game_piece.n",
+    );
+    b.noun(
+        "ghost.spirit",
+        &["ghost", "specter", "apparition", "shade"],
+        "the visible disembodied spirit of a dead person that haunts a place",
+        8,
+        "character.role",
+    );
+    b.noun(
+        "ghost.writer",
+        &["ghost", "ghostwriter"],
+        "a writer who gives the credit of authorship to someone else",
+        2,
+        "writer.n",
+    );
+    b.noun(
+        "ghost.trace",
+        &["ghost", "trace", "glimmer"],
+        "a barely discernible trace or suggestion of something",
+        3,
+        "indication.n",
+    );
+    b.noun(
+        "sword.n",
+        &["sword", "blade", "steel"],
+        "a hand weapon with a long metal blade and a hilt, used in battle or a duel",
+        12,
+        "weapon.n",
+    );
+    b.noun(
+        "dagger.knife",
+        &["dagger", "sticker"],
+        "a short knife with a pointed blade used as a weapon for stabbing",
+        5,
+        "weapon.n",
+    );
+    b.noun(
+        "dagger.mark",
+        &["dagger", "obelisk"],
+        "a printed character used to mark a reference in text",
+        1,
+        "character.letter",
+    );
+    b.noun(
+        "battle.fight",
+        &["battle", "conflict", "engagement"],
+        "a hostile fight between armies in a war",
+        20,
+        "action.n",
+    );
+    b.noun(
+        "battle.struggle",
+        &["battle", "struggle"],
+        "an energetic attempt to achieve something against opposition",
+        8,
+        "activity.n",
+    );
+    b.noun(
+        "war.n",
+        &["war", "warfare"],
+        "the waging of an armed conflict against an enemy nation",
+        30,
+        "action.n",
+    );
+    b.noun(
+        "duel.n",
+        &["duel", "affaire d'honneur"],
+        "a prearranged fight with deadly weapons between two people to settle a quarrel of honor",
+        3,
+        "action.n",
+    );
+    b.noun(
+        "love.emotion",
+        &["love", "passion"],
+        "a strong positive emotion of deep affection for a person",
+        45,
+        "emotion.n",
+    );
+    b.noun(
+        "love.person",
+        &["love", "beloved", "dearest", "darling"],
+        "a beloved person; the object of one's love",
+        12,
+        "person.n",
+    );
+    b.noun(
+        "love.score",
+        &["love"],
+        "a score of zero in tennis",
+        2,
+        "point.score",
+    );
+    b.verb(
+        "love.v",
+        &["love", "adore"],
+        "have a great affection for a person or thing",
+        35,
+        "act.deed",
+    );
+    b.noun(
+        "death.event",
+        &["death", "decease", "dying"],
+        "the event of a life ending; the permanent end of a person",
+        30,
+        "happening.n",
+    );
+    b.noun(
+        "death.state",
+        &["death"],
+        "the state of being no longer alive after life has ended",
+        12,
+        "state.condition",
+    );
+    b.noun(
+        "death.personified",
+        &["death", "the grim reaper"],
+        "the personification of death as a hooded figure with a scythe",
+        3,
+        "character.role",
+    );
+    b.noun(
+        "night.period",
+        &["night", "nighttime", "dark"],
+        "the time between sunset and sunrise when it is dark outside",
+        40,
+        "time_period.n",
+    );
+    b.noun(
+        "night.darkness",
+        &["night"],
+        "the darkness of night as a condition; a figure cloaked in night",
+        8,
+        "state.condition",
+    );
+    b.noun(
+        "heart.organ",
+        &["heart", "pump", "ticker"],
+        "the hollow muscular organ that pumps blood through the body",
+        30,
+        "organ.body",
+    );
+    b.noun(
+        "heart.courage",
+        &["heart", "mettle", "spirit", "courage"],
+        "the courage to carry on; he lost heart",
+        10,
+        "trait.n",
+    );
+    b.noun(
+        "heart.center",
+        &["heart", "center", "middle"],
+        "the central or innermost area of something, as the heart of the city",
+        12,
+        "point.location",
+    );
+    b.noun(
+        "heart.card",
+        &["heart"],
+        "a playing card in the suit marked with red hearts",
+        3,
+        "game_piece.n",
+    );
+    b.noun(
+        "blood.fluid",
+        &["blood"],
+        "the red fluid pumped by the heart through the body of a person or animal",
+        25,
+        "fluid.n",
+    );
+    b.noun(
+        "blood.kinship",
+        &["blood", "descent", "blood line"],
+        "the descent of persons from a common ancestor; ties of blood",
+        6,
+        "kin.n",
+    );
+    b.noun(
+        "honor.respect",
+        &["honor", "honour", "laurels"],
+        "the state of being respected and esteemed for worthy conduct",
+        12,
+        "state.condition",
+    );
+    b.noun(
+        "honor.woman",
+        &["honor", "purity"],
+        "a woman's virtue or chastity in older usage",
+        2,
+        "trait.n",
+    );
+    b.verb(
+        "honor.v",
+        &["honor", "honour", "reward"],
+        "bestow respect or an award upon a person",
+        8,
+        "act.deed",
+    );
+    b.noun(
+        "murder.n",
+        &["murder", "slaying", "execution"],
+        "the unlawful premeditated killing of a person",
+        15,
+        "action.n",
+    );
+    b.verb(
+        "murder.v",
+        &["murder", "slay"],
+        "kill a person unlawfully and with premeditation",
+        10,
+        "act.deed",
+    );
+    b.noun(
+        "poison.substance",
+        &["poison", "toxin", "venom"],
+        "a substance that causes injury, illness or death of an organism",
+        8,
+        "chemical.n",
+    );
+    b.verb(
+        "poison.v",
+        &["poison"],
+        "administer poison to a person or spoil with poison",
+        5,
+        "act.deed",
+    );
+    b.noun(
+        "revenge.n",
+        &["revenge", "vengeance", "retribution"],
+        "action taken in return for an injury or offense",
+        8,
+        "action.n",
+    );
+    b.noun(
+        "madness.insanity",
+        &["madness", "lunacy", "insanity"],
+        "the quality of being rash and foolish; mental derangement",
+        6,
+        "state.condition",
+    );
+    b.noun(
+        "madness.fury",
+        &["madness", "rabidity"],
+        "a feeling of intense anger or fury",
+        3,
+        "emotion.n",
+    );
+    b.noun(
+        "witch.n",
+        &["witch", "enchantress"],
+        "a woman believed to practice magic and sorcery",
+        6,
+        "person.n",
+    );
+    b.noun(
+        "prophecy.n",
+        &["prophecy", "prediction", "divination"],
+        "a prediction uttered under divine inspiration of what will happen",
+        4,
+        "statement.n",
+    );
+    b.noun(
+        "fate.n",
+        &["fate", "destiny", "doom"],
+        "the supposed force that predetermines events; an inevitable ending",
+        10,
+        "cognition.n",
+    );
+    b.noun(
+        "storm.weather",
+        &["storm", "tempest"],
+        "a violent weather condition with winds and rain or snow",
+        15,
+        "happening.n",
+    );
+    b.noun(
+        "storm.outburst",
+        &["storm"],
+        "a violent commotion or emotional disturbance, as a storm of protest",
+        4,
+        "happening.n",
+    );
+    b.noun(
+        "exile.state",
+        &["exile", "banishment"],
+        "the state of being expelled from one's native country",
+        4,
+        "state.condition",
+    );
+    b.noun(
+        "exile.person",
+        &["exile", "expatriate"],
+        "a person banished and voluntarily absent from their country",
+        3,
+        "person.n",
+    );
+    b.verb(
+        "banish.v",
+        &["banish", "exile", "expel"],
+        "expel a person from their country as a punishment",
+        4,
+        "act.deed",
+    );
+    b.noun(
+        "grave.burial",
+        &["grave", "tomb"],
+        "a place for the burial of a dead body, marked by a stone",
+        8,
+        "point.location",
+    );
+    b.adjective(
+        "grave.serious",
+        &["grave", "solemn", "weighty"],
+        "dignified, serious and somber in character",
+        6,
+    );
+    b.noun(
+        "fool.jester",
+        &["fool", "jester", "motley fool"],
+        "a professional clown formerly kept by a king or noble for entertainment",
+        4,
+        "clown.n",
+    );
+    b.noun(
+        "fool.person",
+        &["fool", "simpleton"],
+        "a person who lacks good judgment",
+        10,
+        "person.n",
+    );
+    b.noun(
+        "banquet.n",
+        &["banquet", "feast"],
+        "a ceremonial dinner party for many guests in a great hall",
+        5,
+        "social_event.n",
+    );
+    b.noun(
+        "masque.n",
+        &["masque", "mask"],
+        "a courtly dramatic entertainment with masks, music and dancing",
+        2,
+        "performance.n",
+    );
+}
+
+/// Additional senses of the common Elizabethan words — WordNet gives these
+/// everyday words many readings (heart 10, crown 12, blood 5, …), which is
+/// precisely what makes the Shakespeare collection the paper's
+/// high-ambiguity group. Registered separately for readability.
+pub(super) fn register_extra_senses(b: &mut NetworkBuilder) {
+    b.noun(
+        "heart.essence",
+        &["heart", "essence", "gist"],
+        "the choicest or most vital part of some idea or experience; the heart of the matter",
+        6,
+        "content.cognition",
+    );
+    b.noun(
+        "night.evening",
+        &["night", "evening"],
+        "the period spent out at an entertainment in the evening, as a night at the opera",
+        6,
+        "time_period.n",
+    );
+    b.noun(
+        "blood.temperament",
+        &["blood"],
+        "temperament or disposition, as in hot blood",
+        3,
+        "trait.n",
+    );
+    b.noun(
+        "blood.people",
+        &["blood", "new blood"],
+        "people viewed as members bringing fresh qualities to a group",
+        2,
+        "social_group.n",
+    );
+    b.noun(
+        "grave.accent",
+        &["grave", "grave accent"],
+        "a mark placed above a vowel to indicate pronunciation",
+        1,
+        "character.letter",
+    );
+    b.verb(
+        "grave.v",
+        &["grave", "engrave", "inscribe"],
+        "carve or cut words or a design into a surface",
+        2,
+        "create.v",
+    );
+    b.noun(
+        "storm.assault",
+        &["storm", "violent assault"],
+        "a direct and violent military assault on a stronghold",
+        2,
+        "battle.fight",
+    );
+    b.verb(
+        "storm.v",
+        &["storm", "rage"],
+        "attack by storm or behave violently, as if in a great rage",
+        3,
+        "act.deed",
+    );
+    b.noun(
+        "soul.person",
+        &["soul"],
+        "a single human being; not a soul was in sight",
+        5,
+        "person.n",
+    );
+    b.noun(
+        "soul.essence",
+        &["soul", "soulfulness"],
+        "deep feeling or emotional intensity; the essential quality of something",
+        3,
+        "feeling.n",
+    );
+    b.noun(
+        "fate.outcome",
+        &["fate", "destiny"],
+        "the ultimate outcome that befalls a person; his fate was sealed",
+        5,
+        "happening.n",
+    );
+    b.noun(
+        "fates.goddesses",
+        &["fate", "the fates"],
+        "the three goddesses of destiny who spin and cut the thread of life",
+        1,
+        "character.role",
+    );
+    b.noun(
+        "crown.tooth",
+        &["crown"],
+        "the part of a tooth above the gum, or an artificial cap that replaces it",
+        2,
+        "body_part.n",
+    );
+    b.noun(
+        "crown.wreath",
+        &["crown", "laurel wreath", "garland"],
+        "a wreath worn on the head as a mark of victory or honor",
+        2,
+        "clothing.n",
+    );
+    b.noun(
+        "king.magnate",
+        &["king", "magnate", "baron"],
+        "a very wealthy man with control of a business, as an oil king",
+        3,
+        "leader.n",
+    );
+    b.noun(
+        "kingdom.domain",
+        &["kingdom", "land", "domain"],
+        "a domain in which something is dominant, as the kingdom of the imagination",
+        3,
+        "cognition.n",
+    );
+    b.noun(
+        "castle.mansion",
+        &["castle", "palace"],
+        "a large and stately mansion or residence",
+        3,
+        "building.n",
+    );
+    b.noun(
+        "witch.hag",
+        &["witch", "hag", "crone"],
+        "an ugly and unpleasant old woman",
+        2,
+        "woman.female",
+    );
+    b.noun(
+        "prophecy.vocation",
+        &["prophecy", "prophesying"],
+        "the act or vocation of speaking as a prophet",
+        1,
+        "communication.n",
+    );
+    b.noun(
+        "war.struggle",
+        &["war", "crusade", "campaign"],
+        "a concerted organized struggle against something, as a war on poverty",
+        6,
+        "activity.n",
+    );
+    b.noun(
+        "friend.supporter",
+        &["friend", "supporter", "patron"],
+        "a person who backs or supports a cause or institution, as a friend of the arts",
+        5,
+        "person.n",
+    );
+    b.noun(
+        "friend.quaker",
+        &["friend", "quaker"],
+        "a member of the Religious Society of Friends",
+        1,
+        "person.n",
+    );
+    b.noun(
+        "enemy.military",
+        &["enemy", "the enemy"],
+        "the opposing military force in a war",
+        5,
+        "unit.organization",
+    );
+    b.noun(
+        "father.founder",
+        &["father", "founding father", "founder"],
+        "a person who founds or establishes some institution, as the father of the nation",
+        4,
+        "person.n",
+    );
+    b.noun(
+        "father.priest",
+        &["father", "padre"],
+        "a title used to address a priest",
+        3,
+        "person.n",
+    );
+    b.noun(
+        "mother.superior",
+        &["mother", "mother superior", "abbess"],
+        "the head nun of a religious community of women",
+        1,
+        "leader.n",
+    );
+    b.noun(
+        "mother.origin",
+        &["mother"],
+        "a source or origin from which something springs, as necessity is the mother of invention",
+        2,
+        "point.idea",
+    );
+    b.noun(
+        "brother.monk",
+        &["brother", "monk", "friar"],
+        "a male member of a religious order",
+        2,
+        "person.n",
+    );
+    b.noun(
+        "brother.comrade",
+        &["brother", "comrade"],
+        "a male person sharing a common bond or cause with others",
+        3,
+        "person.n",
+    );
+    b.noun(
+        "soldier.ant",
+        &["soldier", "soldier ant"],
+        "a worker ant with a large head that defends the colony",
+        1,
+        "animal.n",
+    );
+    b.noun(
+        "captain.sports",
+        &["captain"],
+        "the leader of a sports team",
+        3,
+        "athlete.n",
+    );
+    b.noun(
+        "love.sweetheart-address",
+        &["love", "dear"],
+        "an affectionate term of address for a beloved person",
+        3,
+        "word.n",
+    );
+    b.noun(
+        "sword.figurative",
+        &["sword", "blade of war"],
+        "the use of armed force as an instrument of power, as living by the sword",
+        1,
+        "ability.n",
+    );
+    b.noun(
+        "queen.regnant",
+        &["queen"],
+        "something personified as the finest of its kind, as the rose is the queen of flowers",
+        1,
+        "quality.n",
+    );
+    b.noun(
+        "daughter.product",
+        &["daughter"],
+        "a thing regarded as descended from something else, as a daughter language",
+        1,
+        "abstraction.n",
+    );
+    b.noun(
+        "son.native",
+        &["son", "native son"],
+        "a man regarded as the product of a place or movement, as a favorite son of the city",
+        2,
+        "person.n",
+    );
+    b.noun(
+        "honor.award",
+        &["honor", "honour", "accolade"],
+        "a tangible symbol of respect awarded for achievement",
+        3,
+        "award.n",
+    );
+    b.noun(
+        "revenge.sports",
+        &["revenge"],
+        "a win over an opponent who beat you in a previous contest",
+        1,
+        "happening.n",
+    );
+    b.noun(
+        "poison.influence",
+        &["poison"],
+        "anything that corrupts or destroys, as the poison of jealousy",
+        2,
+        "cognition.n",
+    );
+    b.verb(
+        "murder.v-mangle",
+        &["murder", "mangle", "butcher"],
+        "spoil something by poor performance, as to murder a song",
+        1,
+        "act.deed",
+    );
+    b.noun(
+        "messenger.biology",
+        &["messenger", "messenger molecule"],
+        "a molecule that carries information between cells",
+        1,
+        "chemical.n",
+    );
+    b.noun(
+        "servant.figurative",
+        &["servant"],
+        "a person or thing in the service of something, as a servant of the truth",
+        2,
+        "person.n",
+    );
+}

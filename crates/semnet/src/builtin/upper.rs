@@ -1,0 +1,937 @@
+//! The upper ontology: the WordNet-style scaffold every domain concept
+//! hangs from. Keys follow a `word.discriminator` convention; frequencies
+//! approximate Brown-corpus counts (common everyday concepts high, abstract
+//! scaffold concepts moderate).
+
+use crate::builder::NetworkBuilder;
+use crate::model::PartOfSpeech;
+
+pub(super) fn register(b: &mut NetworkBuilder) {
+    // ---- The root -------------------------------------------------------
+    b.concept(
+        "entity.n",
+        &["entity"],
+        "that which is perceived or known or inferred to have its own distinct existence",
+        120,
+        PartOfSpeech::Noun,
+    );
+
+    // ---- Physical side --------------------------------------------------
+    b.noun(
+        "physical_entity.n",
+        &["physical entity"],
+        "an entity that has physical existence",
+        80,
+        "entity.n",
+    );
+    b.noun(
+        "object.n",
+        &["object", "physical object"],
+        "a tangible and visible entity that can cast a shadow",
+        160,
+        "physical_entity.n",
+    );
+    b.noun(
+        "whole.n",
+        &["whole", "unit"],
+        "an assemblage of parts that is regarded as a single entity",
+        90,
+        "object.n",
+    );
+    b.noun(
+        "natural_object.n",
+        &["natural object"],
+        "an object occurring naturally, not made by man",
+        30,
+        "whole.n",
+    );
+    b.noun(
+        "celestial_body.n",
+        &["celestial body", "heavenly body"],
+        "a natural object visible in the sky outside the earth's atmosphere",
+        18,
+        "natural_object.n",
+    );
+    b.noun(
+        "body_part.n",
+        &["body part"],
+        "any part of an organism such as an organ or extremity",
+        60,
+        "natural_object.n",
+    );
+    b.noun(
+        "organ.body",
+        &["organ"],
+        "a fully differentiated structural and functional part of an organism's body",
+        40,
+        "body_part.n",
+    );
+
+    // Living things.
+    b.noun(
+        "living_thing.n",
+        &["living thing", "animate thing"],
+        "a living or once-living organism",
+        70,
+        "whole.n",
+    );
+    b.noun(
+        "organism.n",
+        &["organism", "being"],
+        "a living thing that has the ability to act or function independently",
+        110,
+        "living_thing.n",
+    );
+    b.noun(
+        "person.n",
+        &["person", "individual", "human", "somebody"],
+        "a human being regarded as an individual",
+        520,
+        "organism.n",
+    );
+    b.noun(
+        "animal.n",
+        &["animal", "creature", "beast"],
+        "a living organism that feeds on organic matter and can move about",
+        140,
+        "organism.n",
+    );
+    b.noun(
+        "plant.organism",
+        &["plant", "flora"],
+        "a living organism lacking the power of locomotion, such as a tree or flower",
+        90,
+        "organism.n",
+    );
+    b.noun(
+        "microorganism.n",
+        &["microorganism"],
+        "any organism of microscopic size",
+        8,
+        "organism.n",
+    );
+
+    // Artifacts.
+    b.noun(
+        "artifact.n",
+        &["artifact", "artefact"],
+        "a man-made object taken as a whole",
+        130,
+        "whole.n",
+    );
+    b.noun(
+        "instrumentality.n",
+        &["instrumentality", "instrumentation"],
+        "an artifact that is instrumental in accomplishing some end",
+        70,
+        "artifact.n",
+    );
+    b.noun(
+        "device.n",
+        &["device"],
+        "an instrumentality invented for a particular purpose",
+        85,
+        "instrumentality.n",
+    );
+    b.noun(
+        "container.n",
+        &["container"],
+        "an instrumentality that contains or can contain something",
+        45,
+        "instrumentality.n",
+    );
+    b.noun(
+        "vehicle.n",
+        &["vehicle"],
+        "a conveyance that transports people or objects",
+        55,
+        "instrumentality.n",
+    );
+    b.noun(
+        "equipment.n",
+        &["equipment"],
+        "an instrumentality needed for an undertaking or to perform a service",
+        40,
+        "instrumentality.n",
+    );
+    b.noun(
+        "implement.n",
+        &["implement", "tool"],
+        "instrumentation used as a tool in doing work",
+        42,
+        "instrumentality.n",
+    );
+    b.noun(
+        "furniture.n",
+        &["furniture", "furnishing"],
+        "furnishings that make a room ready for occupancy",
+        35,
+        "instrumentality.n",
+    );
+    b.noun(
+        "structure.construction",
+        &["structure", "construction"],
+        "a thing constructed; a complex artifact built from parts",
+        65,
+        "artifact.n",
+    );
+    b.noun(
+        "building.n",
+        &["building", "edifice"],
+        "a structure that has a roof and walls and stands permanently in one place",
+        95,
+        "structure.construction",
+    );
+    b.noun(
+        "creation.artifact",
+        &["creation"],
+        "an artifact that has been brought into existence by someone",
+        25,
+        "artifact.n",
+    );
+    b.noun(
+        "product.creation",
+        &["product", "production"],
+        "an artifact that has been created by someone or some process",
+        75,
+        "creation.artifact",
+    );
+    b.noun(
+        "work_of_art.n",
+        &["work of art"],
+        "art created by an artist, such as a painting or sculpture",
+        18,
+        "creation.artifact",
+    );
+    b.noun(
+        "covering.artifact",
+        &["covering"],
+        "an artifact that covers something else",
+        22,
+        "artifact.n",
+    );
+    b.noun(
+        "clothing.n",
+        &["clothing", "apparel", "garment"],
+        "a covering designed to be worn on a person's body",
+        60,
+        "covering.artifact",
+    );
+    b.noun(
+        "commodity.n",
+        &["commodity", "goods"],
+        "articles of commerce; things produced for sale",
+        30,
+        "artifact.n",
+    );
+    b.noun(
+        "weapon.n",
+        &["weapon", "arm"],
+        "any instrument used in fighting or hunting to inflict harm",
+        38,
+        "instrumentality.n",
+    );
+
+    // Locations.
+    b.noun(
+        "location.n",
+        &["location"],
+        "a point or extent in space where something is situated",
+        150,
+        "physical_entity.n",
+    );
+    b.noun(
+        "region.n",
+        &["region"],
+        "a large indefinite location on the surface of the Earth",
+        85,
+        "location.n",
+    );
+    b.noun(
+        "area.n",
+        &["area"],
+        "a particular geographical region of indefinite boundary",
+        95,
+        "region.n",
+    );
+    b.noun(
+        "district.n",
+        &["district", "territory"],
+        "a region marked off for administrative or other purposes",
+        48,
+        "region.n",
+    );
+    b.noun(
+        "point.location",
+        &["point", "spot"],
+        "the precise location of something in space",
+        55,
+        "location.n",
+    );
+
+    // Substances.
+    b.noun(
+        "substance.n",
+        &["substance", "matter"],
+        "the real physical matter of which a thing consists",
+        70,
+        "physical_entity.n",
+    );
+    b.noun(
+        "material.n",
+        &["material", "stuff"],
+        "the tangible substance that goes into the makeup of a thing",
+        60,
+        "substance.n",
+    );
+    b.noun(
+        "food.substance",
+        &["food", "nutrient"],
+        "any substance that can be metabolized by an organism to give energy and build tissue",
+        160,
+        "substance.n",
+    );
+    b.noun(
+        "fluid.n",
+        &["fluid", "liquid"],
+        "a substance that flows and has no fixed shape",
+        35,
+        "substance.n",
+    );
+    b.noun(
+        "chemical.n",
+        &["chemical", "chemical substance"],
+        "material produced by or used in a reaction involving changes in atoms or molecules",
+        20,
+        "material.n",
+    );
+
+    // ---- Abstract side --------------------------------------------------
+    b.noun(
+        "abstraction.n",
+        &["abstraction", "abstract entity"],
+        "a general concept formed by extracting common features from specific examples",
+        60,
+        "entity.n",
+    );
+
+    // Attributes.
+    b.noun(
+        "attribute.n",
+        &["attribute", "property"],
+        "an abstraction belonging to or characteristic of an entity",
+        70,
+        "abstraction.n",
+    );
+    b.noun(
+        "quality.n",
+        &["quality", "character"],
+        "an essential and distinguishing attribute of something or someone",
+        65,
+        "attribute.n",
+    );
+    b.noun(
+        "trait.n",
+        &["trait"],
+        "a distinguishing quality of your personal nature",
+        28,
+        "attribute.n",
+    );
+    b.noun(
+        "shape.n",
+        &["shape", "form"],
+        "the spatial arrangement of something as distinct from its substance",
+        75,
+        "attribute.n",
+    );
+    b.noun(
+        "color.n",
+        &["color", "colour", "coloring"],
+        "a visual attribute of things that results from the light they emit, transmit or reflect",
+        90,
+        "attribute.n",
+    );
+
+    // Measures.
+    b.noun(
+        "measure.n",
+        &["measure", "quantity", "amount"],
+        "how much there is or how many there are of something that you can quantify",
+        80,
+        "abstraction.n",
+    );
+    b.noun(
+        "unit_of_measurement.n",
+        &["unit of measurement", "unit"],
+        "any division of quantity accepted as a standard of measurement or exchange",
+        40,
+        "measure.n",
+    );
+    b.noun(
+        "monetary_value.n",
+        &["monetary value", "cost"],
+        "the amount of money needed to purchase something, expressed in a currency",
+        55,
+        "measure.n",
+    );
+    b.noun(
+        "time_period.n",
+        &["time period", "period", "period of time"],
+        "an amount of time during which something happens",
+        100,
+        "measure.n",
+    );
+    b.noun(
+        "time_unit.n",
+        &["time unit", "unit of time"],
+        "a unit for measuring time periods",
+        45,
+        "time_period.n",
+    );
+    b.noun(
+        "fundamental_quantity.n",
+        &["fundamental quantity"],
+        "one of the four quantities that are the basis of systems of measurement",
+        12,
+        "measure.n",
+    );
+    b.noun(
+        "definite_quantity.n",
+        &["definite quantity"],
+        "a specific measure of amount",
+        25,
+        "measure.n",
+    );
+    b.noun(
+        "number.n",
+        &["number", "figure"],
+        "a definite quantity counted or measured",
+        120,
+        "definite_quantity.n",
+    );
+
+    // Relations.
+    b.noun(
+        "relation.n",
+        &["relation"],
+        "an abstraction belonging to or characteristic of two entities or parts together",
+        40,
+        "abstraction.n",
+    );
+    b.noun(
+        "social_relation.n",
+        &["social relation"],
+        "a relation between living organisms, especially between people",
+        30,
+        "relation.n",
+    );
+    b.noun(
+        "part.relation",
+        &["part", "portion", "component"],
+        "something determined in relation to something that includes it",
+        85,
+        "relation.n",
+    );
+    b.noun(
+        "possession.n",
+        &["possession", "ownership"],
+        "anything owned or possessed; the relation of an owner to the thing owned",
+        45,
+        "relation.n",
+    );
+    b.noun(
+        "asset.n",
+        &["asset"],
+        "a useful or valuable possession or quality",
+        22,
+        "possession.n",
+    );
+
+    // Communication.
+    b.noun(
+        "communication.n",
+        &["communication"],
+        "something that is communicated by or to or between people or groups",
+        75,
+        "social_relation.n",
+    );
+    b.noun(
+        "message.n",
+        &["message", "content", "subject matter"],
+        "what a communication that is about something is chiefly about",
+        60,
+        "communication.n",
+    );
+    b.noun(
+        "statement.n",
+        &["statement"],
+        "a message that is stated or declared in spoken or written words",
+        55,
+        "message.n",
+    );
+    b.noun(
+        "request.n",
+        &["request", "petition"],
+        "a formal message asking for something",
+        25,
+        "message.n",
+    );
+    b.noun(
+        "written_communication.n",
+        &["written communication", "written language"],
+        "communication by means of written symbols",
+        35,
+        "communication.n",
+    );
+    b.noun(
+        "writing.written",
+        &["writing", "written material", "piece of writing"],
+        "the work of a writer; anything expressed in letters of the alphabet",
+        50,
+        "written_communication.n",
+    );
+    b.noun(
+        "document.n",
+        &["document", "written document", "papers"],
+        "writing that provides information, especially of an official nature",
+        70,
+        "writing.written",
+    );
+    b.noun(
+        "text.n",
+        &["text", "textual matter"],
+        "the words of something written",
+        45,
+        "writing.written",
+    );
+    b.noun(
+        "signal.n",
+        &["signal", "sign"],
+        "any nonverbal action or gesture that encodes a message",
+        40,
+        "communication.n",
+    );
+    b.noun(
+        "indication.n",
+        &["indication"],
+        "something that serves to indicate or suggest",
+        20,
+        "communication.n",
+    );
+    b.noun(
+        "language_unit.n",
+        &["language unit", "linguistic unit"],
+        "one of the natural units into which language can be analyzed",
+        30,
+        "part.relation",
+    );
+    b.noun(
+        "word.n",
+        &["word"],
+        "a unit of language that native speakers can identify",
+        130,
+        "language_unit.n",
+    );
+    b.noun(
+        "auditory_communication.n",
+        &["auditory communication"],
+        "communication that relies on hearing",
+        20,
+        "communication.n",
+    );
+    b.noun(
+        "speech.communication",
+        &["speech", "spoken communication", "spoken language"],
+        "communication by word of mouth",
+        65,
+        "auditory_communication.n",
+    );
+    b.noun(
+        "music.n",
+        &["music"],
+        "an artistic form of auditory communication incorporating instrumental or vocal tones",
+        85,
+        "auditory_communication.n",
+    );
+    b.noun(
+        "publication.n",
+        &["publication"],
+        "a copy of a printed work offered for distribution to the public",
+        40,
+        "work.product",
+    );
+    b.noun(
+        "print_media.n",
+        &["print media"],
+        "a medium that disseminates printed matter",
+        15,
+        "instrumentality.n",
+    );
+
+    // Groups.
+    b.noun(
+        "group.n",
+        &["group", "grouping"],
+        "any number of entities, members, considered as a unit",
+        110,
+        "abstraction.n",
+    );
+    b.noun(
+        "social_group.n",
+        &["social group"],
+        "people sharing some social relation",
+        60,
+        "group.n",
+    );
+    b.noun(
+        "organization.n",
+        &["organization", "organisation"],
+        "a group of people who work together in an organized and purposeful way",
+        95,
+        "social_group.n",
+    );
+    b.noun(
+        "institution.n",
+        &["institution", "establishment"],
+        "an organization founded and united for a specific purpose",
+        50,
+        "organization.n",
+    );
+    b.noun(
+        "unit.organization",
+        &["unit", "social unit"],
+        "an organization regarded as part of a larger social group",
+        35,
+        "organization.n",
+    );
+    b.noun(
+        "gathering.n",
+        &["gathering", "assemblage"],
+        "a group of persons gathered together for a common purpose",
+        30,
+        "social_group.n",
+    );
+    b.noun(
+        "collection.n",
+        &["collection", "aggregation"],
+        "several things grouped together or considered as a whole",
+        55,
+        "group.n",
+    );
+    b.noun(
+        "kin.n",
+        &["kin", "kin group", "kindred"],
+        "a group of people related by blood or marriage",
+        25,
+        "social_group.n",
+    );
+
+    // Psychological features, events, acts.
+    b.noun(
+        "psychological_feature.n",
+        &["psychological feature"],
+        "a feature of the mental life of a living organism",
+        35,
+        "abstraction.n",
+    );
+    b.noun(
+        "cognition.n",
+        &["cognition", "knowledge"],
+        "the psychological result of perception and learning and reasoning",
+        70,
+        "psychological_feature.n",
+    );
+    b.noun(
+        "content.cognition",
+        &["content", "mental object", "idea"],
+        "the sum or range of what has been perceived, discovered, or learned",
+        55,
+        "cognition.n",
+    );
+    b.noun(
+        "information.n",
+        &["information", "info", "data"],
+        "knowledge acquired through study or experience or instruction",
+        95,
+        "cognition.n",
+    );
+    b.noun(
+        "ability.n",
+        &["ability", "power"],
+        "the quality of being able to perform; possession of the qualities required",
+        45,
+        "cognition.n",
+    );
+    b.noun(
+        "event.n",
+        &["event"],
+        "something that happens at a given place and time",
+        90,
+        "psychological_feature.n",
+    );
+    b.noun(
+        "act.deed",
+        &["act", "deed", "human action"],
+        "something that people do or cause to happen",
+        140,
+        "event.n",
+    );
+    b.noun(
+        "action.n",
+        &["action"],
+        "an act by a person, done by design or purpose",
+        100,
+        "act.deed",
+    );
+    b.noun(
+        "activity.n",
+        &["activity"],
+        "any specific behavior or pursuit in which a person engages",
+        85,
+        "act.deed",
+    );
+    b.noun(
+        "work.activity",
+        &["work"],
+        "activity directed toward making or doing something",
+        150,
+        "activity.n",
+    );
+    b.noun(
+        "occupation.n",
+        &["occupation", "business", "job", "line of work"],
+        "the principal activity in your life that you do to earn money",
+        90,
+        "activity.n",
+    );
+    b.noun(
+        "profession.n",
+        &["profession"],
+        "an occupation requiring special education",
+        30,
+        "occupation.n",
+    );
+    b.noun(
+        "game.activity",
+        &["game"],
+        "a contest with rules to determine a winner",
+        80,
+        "activity.n",
+    );
+    b.noun(
+        "sport.n",
+        &["sport", "athletics"],
+        "an active diversion requiring physical exertion and competition",
+        55,
+        "game.activity",
+    );
+    b.noun(
+        "happening.n",
+        &["happening", "occurrence", "natural event"],
+        "an event that happens without being caused by people",
+        35,
+        "event.n",
+    );
+    b.noun(
+        "motivation.n",
+        &["motivation", "motive"],
+        "the psychological feature that arouses an organism to action",
+        18,
+        "psychological_feature.n",
+    );
+    b.noun(
+        "feeling.n",
+        &["feeling"],
+        "the experiencing of affective and emotional states",
+        60,
+        "psychological_feature.n",
+    );
+    b.noun(
+        "emotion.n",
+        &["emotion"],
+        "any strong feeling such as love, joy, or anger",
+        45,
+        "feeling.n",
+    );
+
+    // States and conditions.
+    b.noun(
+        "state.condition",
+        &["state", "condition", "status"],
+        "the way something is with respect to its main attributes; a mode of being",
+        95,
+        "attribute.n",
+    );
+    b.noun(
+        "situation.n",
+        &["situation", "state of affairs"],
+        "the general state of things; the combination of circumstances at a given time",
+        50,
+        "state.condition",
+    );
+    b.noun(
+        "process.n",
+        &["process", "procedure"],
+        "a sustained phenomenon marked by gradual changes through a series of states",
+        65,
+        "physical_entity.n",
+    );
+
+    // Work as a product (creation) distinct from work as activity.
+    b.noun(
+        "work.product",
+        &["work", "piece of work"],
+        "a product produced or accomplished through the effort of a creator",
+        60,
+        "product.creation",
+    );
+
+    // People roles used broadly across domains.
+    b.noun(
+        "worker.n",
+        &["worker"],
+        "a person who works at a specific occupation or job",
+        75,
+        "person.n",
+    );
+    b.noun(
+        "professional.n",
+        &["professional"],
+        "a person engaged in one of the learned professions",
+        35,
+        "person.n",
+    );
+    b.noun(
+        "leader.n",
+        &["leader"],
+        "a person who rules, guides, or directs others",
+        70,
+        "person.n",
+    );
+    b.noun(
+        "expert.n",
+        &["expert", "specialist"],
+        "a person with special knowledge who performs skillfully",
+        30,
+        "person.n",
+    );
+    b.noun(
+        "performer.n",
+        &["performer", "performing artist"],
+        "an entertainer who performs a dramatic, musical, or athletic work for an audience",
+        40,
+        "person.n",
+    );
+    b.noun(
+        "entertainer.n",
+        &["entertainer"],
+        "a person who tries to please or amuse an audience",
+        25,
+        "person.n",
+    );
+    b.relate(
+        "performer.n",
+        crate::model::RelationKind::Hypernym,
+        "entertainer.n",
+    );
+    b.noun(
+        "creator.n",
+        &["creator", "maker"],
+        "a person who grows or makes or invents things",
+        35,
+        "person.n",
+    );
+    b.noun(
+        "artist.n",
+        &["artist", "creative person"],
+        "a creator whose work shows sensitivity and imagination in art",
+        45,
+        "creator.n",
+    );
+    b.noun(
+        "communicator.n",
+        &["communicator"],
+        "a person who communicates with others",
+        20,
+        "person.n",
+    );
+    b.noun(
+        "writer.n",
+        &["writer", "author"],
+        "a communicator who writes books, stories, or articles as an occupation",
+        55,
+        "communicator.n",
+    );
+    b.noun(
+        "traveler.n",
+        &["traveler", "traveller"],
+        "a person who changes location on a journey",
+        25,
+        "person.n",
+    );
+    b.noun(
+        "adult.n",
+        &["adult", "grownup"],
+        "a fully developed person from maturity onward",
+        50,
+        "person.n",
+    );
+    b.noun(
+        "male.person",
+        &["male", "male person"],
+        "a person who belongs to the sex that cannot have babies",
+        60,
+        "person.n",
+    );
+    b.noun(
+        "female.person",
+        &["female", "female person"],
+        "a person who belongs to the sex that can have babies",
+        60,
+        "person.n",
+    );
+    b.noun(
+        "man.male",
+        &["man", "adult male"],
+        "an adult male person",
+        320,
+        "male.person",
+    );
+    b.relate("man.male", crate::model::RelationKind::Hypernym, "adult.n");
+    b.noun(
+        "woman.female",
+        &["woman", "adult female"],
+        "an adult female person",
+        280,
+        "female.person",
+    );
+    b.relate(
+        "woman.female",
+        crate::model::RelationKind::Hypernym,
+        "adult.n",
+    );
+    b.noun(
+        "child.n",
+        &["child", "kid", "youngster"],
+        "a young person of either sex, not yet an adult",
+        160,
+        "person.n",
+    );
+
+    // Names — heavily used by personnel/club/bib datasets.
+    b.noun(
+        "name.label",
+        &["name"],
+        "a language unit by which a person or thing is known and called",
+        180,
+        "language_unit.n",
+    );
+    b.noun("time.n", &["time"], "the continuum of experience in which events pass from the future through the present to the past", 170, "abstraction.n");
+    b.noun(
+        "date.day",
+        &["date", "day of the month"],
+        "the specified day of the month on which an event occurs",
+        60,
+        "time.n",
+    );
+}

@@ -1,0 +1,243 @@
+//! A line-oriented text format for semantic networks, so users can export a
+//! real WordNet (or any other knowledge base) and load it in place of the
+//! built-in MiniWordNet.
+//!
+//! ```text
+//! # comment
+//! concept <key> | <pos> | <freq> | lemma1, lemma2 | <gloss>
+//! rel <from-key> <relation> <to-key>
+//! ```
+//!
+//! Relations use the names of [`RelationKind::name`]; inverse edges must
+//! not be listed (they are inserted automatically on load).
+
+use crate::builder::{BuildError, NetworkBuilder};
+use crate::model::{PartOfSpeech, RelationKind};
+use crate::network::SemanticNetwork;
+
+/// Errors raised when reading the text format.
+#[derive(Debug)]
+pub enum FormatError {
+    /// A syntactic problem at the given 1-based line.
+    Syntax {
+        /// Line number.
+        line: usize,
+        /// Explanation.
+        message: String,
+    },
+    /// The parsed network failed validation.
+    Build(BuildError),
+}
+
+impl std::fmt::Display for FormatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Syntax { line, message } => write!(f, "line {line}: {message}"),
+            Self::Build(e) => write!(f, "invalid network: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FormatError {}
+
+/// Serializes a network to the text format. Only the canonical direction of
+/// each symmetric pair is written (the one with the smaller source id, and
+/// for is-a/part-of/member-of the upward/outward direction).
+pub fn to_text(sn: &SemanticNetwork) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    writeln!(out, "# xsdf semantic network: {} concepts", sn.len()).unwrap();
+    for id in sn.all_concepts() {
+        let c = sn.concept(id);
+        writeln!(
+            out,
+            "concept {} | {} | {} | {} | {}",
+            c.key,
+            c.pos.code(),
+            c.frequency,
+            c.lemmas.join(", "),
+            c.gloss.replace('\n', " "),
+        )
+        .unwrap();
+    }
+    for id in sn.all_concepts() {
+        for &(kind, to) in sn.edges(id) {
+            if is_canonical(kind, id.0, to.0) {
+                writeln!(
+                    out,
+                    "rel {} {} {}",
+                    sn.concept(id).key,
+                    kind.name(),
+                    sn.concept(to).key
+                )
+                .unwrap();
+            }
+        }
+    }
+    out
+}
+
+/// Picks one direction of each edge pair for serialization.
+fn is_canonical(kind: RelationKind, from: u32, to: u32) -> bool {
+    match kind {
+        // Directed pairs: write the "source" direction only.
+        RelationKind::Hypernym
+        | RelationKind::InstanceHypernym
+        | RelationKind::PartOf
+        | RelationKind::MemberOf
+        | RelationKind::Attribute
+        | RelationKind::DerivedFrom => true,
+        RelationKind::Hyponym
+        | RelationKind::InstanceHyponym
+        | RelationKind::HasPart
+        | RelationKind::HasMember => false,
+        // Symmetric kinds: write the smaller-id direction.
+        RelationKind::Antonym | RelationKind::SimilarTo => from < to,
+    }
+}
+
+/// Parses the text format into a semantic network.
+pub fn from_text(text: &str) -> Result<SemanticNetwork, FormatError> {
+    let mut builder = NetworkBuilder::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("concept ") {
+            let parts: Vec<&str> = rest.splitn(5, '|').map(str::trim).collect();
+            if parts.len() != 5 {
+                return Err(FormatError::Syntax {
+                    line: line_no,
+                    message: "expected `concept key | pos | freq | lemmas | gloss`".into(),
+                });
+            }
+            let pos = parts[1]
+                .chars()
+                .next()
+                .and_then(PartOfSpeech::from_code)
+                .ok_or_else(|| FormatError::Syntax {
+                    line: line_no,
+                    message: format!("bad part of speech {:?}", parts[1]),
+                })?;
+            let freq: u32 = parts[2].parse().map_err(|_| FormatError::Syntax {
+                line: line_no,
+                message: format!("bad frequency {:?}", parts[2]),
+            })?;
+            let lemmas: Vec<&str> = parts[3]
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .collect();
+            builder.concept(parts[0], &lemmas, parts[4], freq, pos);
+        } else if let Some(rest) = line.strip_prefix("rel ") {
+            let parts: Vec<&str> = rest.split_whitespace().collect();
+            if parts.len() != 3 {
+                return Err(FormatError::Syntax {
+                    line: line_no,
+                    message: "expected `rel from relation to`".into(),
+                });
+            }
+            let kind = RelationKind::from_name(parts[1]).ok_or_else(|| FormatError::Syntax {
+                line: line_no,
+                message: format!("unknown relation {:?}", parts[1]),
+            })?;
+            builder.relate(parts[0], kind, parts[2]);
+        } else {
+            return Err(FormatError::Syntax {
+                line: line_no,
+                message: format!("unrecognized directive: {line:?}"),
+            });
+        }
+    }
+    builder.build().map_err(FormatError::Build)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ConceptId;
+
+    const SAMPLE: &str = "\
+# tiny network
+concept entity.n | n | 100 | entity | that which exists
+concept person.n | n | 50 | person, individual | a human being
+concept actor.n | n | 10 | actor, histrion | a theatrical performer
+rel person.n isa entity.n
+rel actor.n isa person.n
+";
+
+    #[test]
+    fn parse_sample() {
+        let sn = from_text(SAMPLE).unwrap();
+        assert_eq!(sn.len(), 3);
+        assert_eq!(sn.senses("individual").len(), 1);
+        let actor = sn.by_key("actor.n").unwrap();
+        assert_eq!(sn.depth(actor), 2);
+        assert_eq!(sn.concept(actor).gloss, "a theatrical performer");
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let sn = from_text(SAMPLE).unwrap();
+        let text = to_text(&sn);
+        let sn2 = from_text(&text).unwrap();
+        assert_eq!(sn.len(), sn2.len());
+        for id in sn.all_concepts() {
+            let c1 = sn.concept(id);
+            let id2 = sn2.by_key(&c1.key).unwrap();
+            let c2 = sn2.concept(id2);
+            assert_eq!(c1.lemmas, c2.lemmas);
+            assert_eq!(c1.gloss, c2.gloss);
+            assert_eq!(c1.frequency, c2.frequency);
+            assert_eq!(c1.pos, c2.pos);
+            assert_eq!(sn.edges(id).len(), sn2.edges(id2).len());
+        }
+    }
+
+    #[test]
+    fn bad_pos_rejected() {
+        let err = from_text("concept a | z | 1 | a | gloss").unwrap_err();
+        assert!(matches!(err, FormatError::Syntax { line: 1, .. }));
+    }
+
+    #[test]
+    fn bad_freq_rejected() {
+        let err = from_text("concept a | n | many | a | gloss").unwrap_err();
+        assert!(matches!(err, FormatError::Syntax { .. }));
+    }
+
+    #[test]
+    fn unknown_relation_rejected() {
+        let err = from_text("concept a | n | 1 | a | g\nconcept b | n | 1 | b | g\nrel a loves b")
+            .unwrap_err();
+        assert!(matches!(err, FormatError::Syntax { line: 3, .. }));
+    }
+
+    #[test]
+    fn dangling_relation_is_build_error() {
+        let err = from_text("concept a | n | 1 | a | g\nrel a isa ghost").unwrap_err();
+        assert!(matches!(err, FormatError::Build(_)));
+    }
+
+    #[test]
+    fn unrecognized_directive_rejected() {
+        let err = from_text("banana split").unwrap_err();
+        assert!(matches!(err, FormatError::Syntax { line: 1, .. }));
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let sn = from_text("\n# hi\n\nconcept a | n | 1 | a | g\n").unwrap();
+        assert_eq!(sn.len(), 1);
+        assert_eq!(sn.concept(ConceptId(0)).key, "a");
+    }
+
+    #[test]
+    fn gloss_may_contain_pipes_free_text() {
+        // splitn(5) means the gloss keeps everything after the 4th pipe.
+        let sn = from_text("concept a | n | 1 | a | gloss with | pipe").unwrap();
+        assert_eq!(sn.concept(ConceptId(0)).gloss, "gloss with | pipe");
+    }
+}

@@ -1,0 +1,294 @@
+//! Graph queries over a semantic network: subsumption, lowest common
+//! subsumer, shortest paths, and the semantic sphere neighborhoods used by
+//! context-based disambiguation (Section 3.5.2 of the paper).
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::model::{ConceptId, RelationKind};
+use crate::network::SemanticNetwork;
+
+/// All is-a ancestors of a concept with their minimal hypernym-path
+/// distances, including the concept itself at distance 0.
+pub fn ancestors_with_distance(sn: &SemanticNetwork, c: ConceptId) -> HashMap<ConceptId, u32> {
+    let mut out = HashMap::new();
+    let mut queue = VecDeque::new();
+    out.insert(c, 0);
+    queue.push_back((c, 0u32));
+    while let Some((node, d)) = queue.pop_front() {
+        for parent in sn.hypernyms(node) {
+            if let std::collections::hash_map::Entry::Vacant(e) = out.entry(parent) {
+                e.insert(d + 1);
+                queue.push_back((parent, d + 1));
+            }
+        }
+    }
+    out
+}
+
+/// The lowest common subsumer (LCS) of two concepts: the shared is-a
+/// ancestor with maximal taxonomy depth. `None` when the concepts share no
+/// ancestor (different taxonomy roots).
+pub fn lowest_common_subsumer(
+    sn: &SemanticNetwork,
+    a: ConceptId,
+    b: ConceptId,
+) -> Option<ConceptId> {
+    let anc_a = ancestors_with_distance(sn, a);
+    let anc_b = ancestors_with_distance(sn, b);
+    anc_a
+        .keys()
+        .filter(|c| anc_b.contains_key(c))
+        .copied()
+        .max_by_key(|&c| (sn.depth(c), std::cmp::Reverse(c)))
+}
+
+/// Length (in edges) of the shortest is-a path between two concepts going
+/// through their LCS, the path length used by edge-based similarity.
+pub fn taxonomy_path_length(sn: &SemanticNetwork, a: ConceptId, b: ConceptId) -> Option<u32> {
+    let anc_a = ancestors_with_distance(sn, a);
+    let anc_b = ancestors_with_distance(sn, b);
+    anc_a
+        .iter()
+        .filter_map(|(c, da)| anc_b.get(c).map(|db| da + db))
+        .min()
+}
+
+/// `true` if `ancestor` subsumes `c` (is an is-a ancestor of it, or equal).
+pub fn subsumes(sn: &SemanticNetwork, ancestor: ConceptId, c: ConceptId) -> bool {
+    ancestors_with_distance(sn, c).contains_key(&ancestor)
+}
+
+/// Which relation kinds a semantic sphere traversal may cross.
+///
+/// The paper builds concept spheres "using the different kinds of semantic
+/// relations connecting semantic concepts (e.g., hypernyms, hyponyms,
+/// meronyms, holonyms)" — i.e. all typed links. [`RelationFilter`] makes
+/// the set explicit and lets ablations restrict it.
+#[derive(Debug, Clone)]
+pub enum RelationFilter {
+    /// Cross every relation kind.
+    All,
+    /// Cross only the listed kinds.
+    Only(Vec<RelationKind>),
+}
+
+impl RelationFilter {
+    fn allows(&self, kind: RelationKind) -> bool {
+        match self {
+            Self::All => true,
+            Self::Only(kinds) => kinds.contains(&kind),
+        }
+    }
+}
+
+/// The semantic ring `R_d(c)`: concepts at exactly `d` crossable links from
+/// `c` (the semantic-network counterpart of the paper's Definition 4).
+pub fn concept_ring(
+    sn: &SemanticNetwork,
+    center: ConceptId,
+    d: u32,
+    filter: &RelationFilter,
+) -> Vec<ConceptId> {
+    concept_sphere(sn, center, d, filter)
+        .into_iter()
+        .filter(|&(_, dist)| dist == d)
+        .map(|(c, _)| c)
+        .collect()
+}
+
+/// The semantic sphere `S_d(c)`: concepts within `d` crossable links of
+/// `c`, excluding the center, with their distances (the semantic-network
+/// counterpart of Definition 5, used by Definition 10).
+pub fn concept_sphere(
+    sn: &SemanticNetwork,
+    center: ConceptId,
+    d: u32,
+    filter: &RelationFilter,
+) -> Vec<(ConceptId, u32)> {
+    let mut seen: HashMap<ConceptId, u32> = HashMap::new();
+    let mut queue = VecDeque::new();
+    seen.insert(center, 0);
+    queue.push_back((center, 0u32));
+    let mut out = Vec::new();
+    while let Some((node, dist)) = queue.pop_front() {
+        if dist >= d {
+            continue;
+        }
+        for &(kind, next) in sn.edges(node) {
+            if filter.allows(kind) && !seen.contains_key(&next) {
+                seen.insert(next, dist + 1);
+                out.push((next, dist + 1));
+                queue.push_back((next, dist + 1));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetworkBuilder;
+    use crate::model::PartOfSpeech;
+
+    /// entity → { person → actor → { star, clown }, object → vehicle }.
+    fn taxonomy() -> SemanticNetwork {
+        let mut b = NetworkBuilder::new();
+        b.concept("entity", &["entity"], "", 1, PartOfSpeech::Noun);
+        b.noun("person", &["person"], "", 1, "entity");
+        b.noun("object", &["object"], "", 1, "entity");
+        b.noun("actor", &["actor"], "", 1, "person");
+        b.noun("star", &["star"], "", 1, "actor");
+        b.noun("clown", &["clown"], "", 1, "actor");
+        b.noun("vehicle", &["vehicle"], "", 1, "object");
+        b.relate("star", RelationKind::MemberOf, "cast");
+        b.concept(
+            "cast",
+            &["cast"],
+            "the actors of a show",
+            1,
+            PartOfSpeech::Noun,
+        );
+        b.relate("cast", RelationKind::Hypernym, "entity");
+        b.build().unwrap()
+    }
+
+    fn id(sn: &SemanticNetwork, key: &str) -> ConceptId {
+        sn.by_key(key).unwrap()
+    }
+
+    #[test]
+    fn ancestors_include_self_at_zero() {
+        let sn = taxonomy();
+        let star = id(&sn, "star");
+        let anc = ancestors_with_distance(&sn, star);
+        assert_eq!(anc[&star], 0);
+        assert_eq!(anc[&id(&sn, "actor")], 1);
+        assert_eq!(anc[&id(&sn, "entity")], 3);
+    }
+
+    #[test]
+    fn lcs_of_siblings_is_parent() {
+        let sn = taxonomy();
+        let lcs = lowest_common_subsumer(&sn, id(&sn, "star"), id(&sn, "clown")).unwrap();
+        assert_eq!(sn.concept(lcs).key, "actor");
+    }
+
+    #[test]
+    fn lcs_across_branches_is_root() {
+        let sn = taxonomy();
+        let lcs = lowest_common_subsumer(&sn, id(&sn, "star"), id(&sn, "vehicle")).unwrap();
+        assert_eq!(sn.concept(lcs).key, "entity");
+    }
+
+    #[test]
+    fn lcs_with_self_is_self() {
+        let sn = taxonomy();
+        let star = id(&sn, "star");
+        assert_eq!(lowest_common_subsumer(&sn, star, star), Some(star));
+    }
+
+    #[test]
+    fn lcs_of_ancestor_pair_is_the_ancestor() {
+        let sn = taxonomy();
+        let lcs = lowest_common_subsumer(&sn, id(&sn, "star"), id(&sn, "person")).unwrap();
+        assert_eq!(sn.concept(lcs).key, "person");
+    }
+
+    #[test]
+    fn path_length_via_lcs() {
+        let sn = taxonomy();
+        // star → actor → person ← … clown: star-actor-clown = 2.
+        assert_eq!(
+            taxonomy_path_length(&sn, id(&sn, "star"), id(&sn, "clown")),
+            Some(2)
+        );
+        // star to vehicle: 3 up + 2 down = 5.
+        assert_eq!(
+            taxonomy_path_length(&sn, id(&sn, "star"), id(&sn, "vehicle")),
+            Some(5)
+        );
+        assert_eq!(
+            taxonomy_path_length(&sn, id(&sn, "star"), id(&sn, "star")),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn subsumption() {
+        let sn = taxonomy();
+        assert!(subsumes(&sn, id(&sn, "person"), id(&sn, "star")));
+        assert!(!subsumes(&sn, id(&sn, "star"), id(&sn, "person")));
+        assert!(subsumes(&sn, id(&sn, "star"), id(&sn, "star")));
+    }
+
+    #[test]
+    fn sphere_crosses_all_relations_by_default() {
+        let sn = taxonomy();
+        let star = id(&sn, "star");
+        let s1: Vec<_> = concept_sphere(&sn, star, 1, &RelationFilter::All)
+            .into_iter()
+            .map(|(c, _)| sn.concept(c).key.clone())
+            .collect();
+        // actor (hypernym) and cast (member-of).
+        assert!(s1.contains(&"actor".to_string()));
+        assert!(s1.contains(&"cast".to_string()));
+        assert_eq!(s1.len(), 2);
+    }
+
+    #[test]
+    fn sphere_respects_filter() {
+        let sn = taxonomy();
+        let star = id(&sn, "star");
+        let filter = RelationFilter::Only(vec![RelationKind::Hypernym, RelationKind::Hyponym]);
+        let s1: Vec<_> = concept_sphere(&sn, star, 1, &filter)
+            .into_iter()
+            .map(|(c, _)| sn.concept(c).key.clone())
+            .collect();
+        assert_eq!(s1, ["actor"]);
+    }
+
+    #[test]
+    fn sphere_distances_are_bfs_layers() {
+        let sn = taxonomy();
+        let star = id(&sn, "star");
+        let sphere = concept_sphere(&sn, star, 2, &RelationFilter::All);
+        let dist: HashMap<_, _> = sphere
+            .iter()
+            .map(|&(c, d)| (sn.concept(c).key.clone(), d))
+            .collect();
+        assert_eq!(dist["actor"], 1);
+        assert_eq!(dist["cast"], 1);
+        assert_eq!(dist["person"], 2);
+        assert_eq!(dist["clown"], 2);
+        // entity reachable at 2 via cast.
+        assert_eq!(dist["entity"], 2);
+    }
+
+    #[test]
+    fn ring_is_sphere_layer() {
+        let sn = taxonomy();
+        let star = id(&sn, "star");
+        let ring2 = concept_ring(&sn, star, 2, &RelationFilter::All);
+        let sphere = concept_sphere(&sn, star, 2, &RelationFilter::All);
+        let expected: Vec<_> = sphere
+            .into_iter()
+            .filter(|&(_, d)| d == 2)
+            .map(|(c, _)| c)
+            .collect();
+        assert_eq!(ring2, expected);
+    }
+
+    #[test]
+    fn disconnected_concepts_have_no_lcs() {
+        let mut b = NetworkBuilder::new();
+        b.concept("a", &["a"], "", 1, PartOfSpeech::Noun);
+        b.concept("b", &["b"], "", 1, PartOfSpeech::Noun);
+        let sn = b.build().unwrap();
+        assert_eq!(
+            lowest_common_subsumer(&sn, ConceptId(0), ConceptId(1)),
+            None
+        );
+        assert_eq!(taxonomy_path_length(&sn, ConceptId(0), ConceptId(1)), None);
+    }
+}

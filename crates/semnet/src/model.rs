@@ -1,0 +1,261 @@
+//! Core data types of the semantic network (Definition 2).
+
+use std::fmt;
+
+/// Index of a concept (synset) within a [`crate::SemanticNetwork`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConceptId(pub u32);
+
+impl ConceptId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Part of speech of a synset. The evaluation corpus is overwhelmingly
+/// nominal, but verb/adjective senses contribute to polysemy counts
+/// (Proposition 1 counts *all* senses of a word).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PartOfSpeech {
+    /// Noun synset.
+    #[default]
+    Noun,
+    /// Verb synset.
+    Verb,
+    /// Adjective synset.
+    Adjective,
+    /// Adverb synset.
+    Adverb,
+}
+
+impl PartOfSpeech {
+    /// One-letter code used by the text format (`n`, `v`, `a`, `r`).
+    pub fn code(self) -> char {
+        match self {
+            Self::Noun => 'n',
+            Self::Verb => 'v',
+            Self::Adjective => 'a',
+            Self::Adverb => 'r',
+        }
+    }
+
+    /// Parses a one-letter code.
+    pub fn from_code(c: char) -> Option<Self> {
+        match c {
+            'n' => Some(Self::Noun),
+            'v' => Some(Self::Verb),
+            'a' => Some(Self::Adjective),
+            'r' => Some(Self::Adverb),
+            _ => None,
+        }
+    }
+}
+
+/// The semantic relations `R` of Definition 2. Synonymy is not an edge kind:
+/// synonymous words live inside one concept (its lemma set), exactly as in
+/// the paper ("the synonymous words/expressions being integrated in the
+/// concepts themselves").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RelationKind {
+    /// Is-A: the target is a generalization of the source (WordNet hypernym).
+    Hypernym,
+    /// Inverse of [`RelationKind::Hypernym`].
+    Hyponym,
+    /// Instance-of: a named individual of a class (e.g. *Grace Kelly*
+    /// instance-of *actress*).
+    InstanceHypernym,
+    /// Inverse of [`RelationKind::InstanceHypernym`].
+    InstanceHyponym,
+    /// Part-Of: the source is a part of the target (WordNet part meronym,
+    /// read source→whole).
+    PartOf,
+    /// Has-Part: inverse of [`RelationKind::PartOf`].
+    HasPart,
+    /// Member-Of: the source is a member of the target group.
+    MemberOf,
+    /// Has-Member: inverse of [`RelationKind::MemberOf`].
+    HasMember,
+    /// Antonymy between concepts.
+    Antonym,
+    /// Similarity between adjective concepts.
+    SimilarTo,
+    /// A noun for which the adjective expresses a value (WordNet attribute).
+    Attribute,
+    /// Morphological derivation between concepts of different POS.
+    DerivedFrom,
+}
+
+impl RelationKind {
+    /// The inverse relation; inserting an edge automatically inserts its
+    /// inverse so traversals can treat the graph as symmetric.
+    pub fn inverse(self) -> Self {
+        match self {
+            Self::Hypernym => Self::Hyponym,
+            Self::Hyponym => Self::Hypernym,
+            Self::InstanceHypernym => Self::InstanceHyponym,
+            Self::InstanceHyponym => Self::InstanceHypernym,
+            Self::PartOf => Self::HasPart,
+            Self::HasPart => Self::PartOf,
+            Self::MemberOf => Self::HasMember,
+            Self::HasMember => Self::MemberOf,
+            Self::Antonym => Self::Antonym,
+            Self::SimilarTo => Self::SimilarTo,
+            Self::Attribute => Self::Attribute,
+            Self::DerivedFrom => Self::DerivedFrom,
+        }
+    }
+
+    /// `true` for the two upward is-a kinds (hypernymy and instance
+    /// hypernymy), which define taxonomy depth and subsumption.
+    pub fn is_upward(self) -> bool {
+        matches!(self, Self::Hypernym | Self::InstanceHypernym)
+    }
+
+    /// Stable name used by the text format.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Hypernym => "isa",
+            Self::Hyponym => "has-kind",
+            Self::InstanceHypernym => "instance-of",
+            Self::InstanceHyponym => "has-instance",
+            Self::PartOf => "part-of",
+            Self::HasPart => "has-part",
+            Self::MemberOf => "member-of",
+            Self::HasMember => "has-member",
+            Self::Antonym => "antonym",
+            Self::SimilarTo => "similar-to",
+            Self::Attribute => "attribute",
+            Self::DerivedFrom => "derived-from",
+        }
+    }
+
+    /// Parses a name produced by [`RelationKind::name`].
+    pub fn from_name(s: &str) -> Option<Self> {
+        Some(match s {
+            "isa" => Self::Hypernym,
+            "has-kind" => Self::Hyponym,
+            "instance-of" => Self::InstanceHypernym,
+            "has-instance" => Self::InstanceHyponym,
+            "part-of" => Self::PartOf,
+            "has-part" => Self::HasPart,
+            "member-of" => Self::MemberOf,
+            "has-member" => Self::HasMember,
+            "antonym" => Self::Antonym,
+            "similar-to" => Self::SimilarTo,
+            "attribute" => Self::Attribute,
+            "derived-from" => Self::DerivedFrom,
+            _ => return None,
+        })
+    }
+
+    /// All relation kinds (for exhaustive iteration in tests/loaders).
+    pub const ALL: [RelationKind; 12] = [
+        Self::Hypernym,
+        Self::Hyponym,
+        Self::InstanceHypernym,
+        Self::InstanceHyponym,
+        Self::PartOf,
+        Self::HasPart,
+        Self::MemberOf,
+        Self::HasMember,
+        Self::Antonym,
+        Self::SimilarTo,
+        Self::Attribute,
+        Self::DerivedFrom,
+    ];
+}
+
+impl fmt::Display for RelationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A concept (synset): a unique word sense shared by its synonym lemmas.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Concept {
+    /// Stable, human-readable key, e.g. `"star.performer"`.
+    pub key: String,
+    /// Synonym lemmas (`c.syn` in the paper), lowercase; multi-word lemmas
+    /// use single spaces.
+    pub lemmas: Vec<String>,
+    /// The gloss `c.gloss`: a textual definition.
+    pub gloss: String,
+    /// Corpus frequency for the weighted network `S̄N` (Brown-corpus-style
+    /// counts in the paper's Figure 2).
+    pub frequency: u32,
+    /// Part of speech.
+    pub pos: PartOfSpeech,
+}
+
+impl Concept {
+    /// The concept's primary label `c.ℓ` (its first lemma).
+    pub fn label(&self) -> &str {
+        self.lemmas.first().map(String::as_str).unwrap_or(&self.key)
+    }
+}
+
+/// A typed edge between two concepts (`E ⊆ C × C` with `g: E → R`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Edge {
+    /// Source concept.
+    pub from: ConceptId,
+    /// Relation label.
+    pub kind: RelationKind,
+    /// Target concept.
+    pub to: ConceptId,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inverse_is_involutive() {
+        for kind in RelationKind::ALL {
+            assert_eq!(kind.inverse().inverse(), kind);
+        }
+    }
+
+    #[test]
+    fn names_roundtrip() {
+        for kind in RelationKind::ALL {
+            assert_eq!(RelationKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(RelationKind::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn pos_codes_roundtrip() {
+        for pos in [
+            PartOfSpeech::Noun,
+            PartOfSpeech::Verb,
+            PartOfSpeech::Adjective,
+            PartOfSpeech::Adverb,
+        ] {
+            assert_eq!(PartOfSpeech::from_code(pos.code()), Some(pos));
+        }
+        assert_eq!(PartOfSpeech::from_code('x'), None);
+    }
+
+    #[test]
+    fn upward_kinds() {
+        assert!(RelationKind::Hypernym.is_upward());
+        assert!(RelationKind::InstanceHypernym.is_upward());
+        assert!(!RelationKind::Hyponym.is_upward());
+        assert!(!RelationKind::PartOf.is_upward());
+    }
+
+    #[test]
+    fn concept_label_is_first_lemma() {
+        let c = Concept {
+            key: "star.performer".into(),
+            lemmas: vec!["star".into(), "principal".into()],
+            gloss: "an actor who plays a principal role".into(),
+            frequency: 10,
+            pos: PartOfSpeech::Noun,
+        };
+        assert_eq!(c.label(), "star");
+    }
+}

@@ -1,0 +1,334 @@
+//! Importer for the Princeton WordNet database format (`data.noun`,
+//! `data.verb`, `data.adj`, `data.adv` — the "WNDB" format of
+//! `wndb(5WN)`), so the framework can run against the real WordNet the
+//! paper used instead of the built-in MiniWordNet.
+//!
+//! Only the fields XSDF consumes are read: synset offsets, part of
+//! speech, lemmas, inter-synset pointers, and glosses. Sense frequencies
+//! (the weighted network `S̄N`) can be supplied separately via
+//! [`WndbImporter::set_frequency`] (WordNet ships them in `cntlist`),
+//! defaulting to 1.
+//!
+//! ```text
+//! 02084442 05 n 03 dog 0 domestic_dog 0 Canis_familiaris 0 022 @ 02083346 n 0000 ... | a member of the genus Canis
+//! ^offset     ^pos ^lemma count            ^pointers: symbol offset pos src/tgt     ^gloss
+//! ```
+
+use std::collections::HashMap;
+
+use crate::builder::NetworkBuilder;
+use crate::model::{PartOfSpeech, RelationKind};
+use crate::network::SemanticNetwork;
+
+/// Errors raised while reading WNDB data.
+#[derive(Debug)]
+pub enum WndbError {
+    /// A malformed data line (1-based line number and explanation).
+    Syntax {
+        /// Line number within the supplied text.
+        line: usize,
+        /// Explanation.
+        message: String,
+    },
+    /// The assembled network failed validation.
+    Build(crate::builder::BuildError),
+}
+
+impl std::fmt::Display for WndbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Syntax { line, message } => write!(f, "wndb line {line}: {message}"),
+            Self::Build(e) => write!(f, "wndb network invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WndbError {}
+
+/// Maps a WNDB pointer symbol to the relation kinds this crate models.
+/// Unmapped symbols (antonym-of-satellite exotica, domain links, …) are
+/// skipped rather than failing the import.
+fn relation_of(symbol: &str) -> Option<RelationKind> {
+    Some(match symbol {
+        "@" => RelationKind::Hypernym,
+        "@i" => RelationKind::InstanceHypernym,
+        "~" => RelationKind::Hyponym,
+        "~i" => RelationKind::InstanceHyponym,
+        "#p" => RelationKind::PartOf,
+        "%p" => RelationKind::HasPart,
+        "#m" => RelationKind::MemberOf,
+        "%m" => RelationKind::HasMember,
+        "!" => RelationKind::Antonym,
+        "&" => RelationKind::SimilarTo,
+        "=" => RelationKind::Attribute,
+        "+" => RelationKind::DerivedFrom,
+        _ => return None,
+    })
+}
+
+/// One parsed synset line.
+#[derive(Debug, Clone)]
+struct RawSynset {
+    offset: u64,
+    pos: PartOfSpeech,
+    lemmas: Vec<String>,
+    pointers: Vec<(RelationKind, u64, PartOfSpeech)>,
+    gloss: String,
+}
+
+/// Parses the data lines of one WNDB file (header lines starting with two
+/// spaces are skipped, as in the real files).
+fn parse_data(text: &str, pos: PartOfSpeech, out: &mut Vec<RawSynset>) -> Result<(), WndbError> {
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        if raw.starts_with("  ") || raw.trim().is_empty() {
+            continue; // license header / blanks
+        }
+        let (head, gloss) = match raw.split_once('|') {
+            Some((h, g)) => (h, g.trim().to_string()),
+            None => (raw, String::new()),
+        };
+        let fields: Vec<&str> = head.split_whitespace().collect();
+        let err = |message: String| WndbError::Syntax {
+            line: line_no,
+            message,
+        };
+        if fields.len() < 4 {
+            return Err(err("truncated synset line".into()));
+        }
+        let offset: u64 = fields[0]
+            .parse()
+            .map_err(|_| err(format!("bad offset {:?}", fields[0])))?;
+        // fields[1] = lex filenum, fields[2] = ss_type, fields[3] = w_cnt (hex).
+        let w_cnt = usize::from_str_radix(fields[3], 16)
+            .map_err(|_| err(format!("bad word count {:?}", fields[3])))?;
+        let mut idx = 4;
+        let mut lemmas = Vec::with_capacity(w_cnt);
+        for _ in 0..w_cnt {
+            let lemma = fields
+                .get(idx)
+                .ok_or_else(|| err("missing lemma".into()))?
+                .replace('_', " ")
+                .to_lowercase();
+            // Strip adjective syntax markers like "(a)".
+            let lemma = lemma.split('(').next().unwrap_or(&lemma).trim().to_string();
+            lemmas.push(lemma);
+            idx += 2; // lemma + lex_id
+        }
+        let p_cnt: usize = fields
+            .get(idx)
+            .ok_or_else(|| err("missing pointer count".into()))?
+            .parse()
+            .map_err(|_| err("bad pointer count".into()))?;
+        idx += 1;
+        let mut pointers = Vec::with_capacity(p_cnt);
+        for _ in 0..p_cnt {
+            let symbol = *fields
+                .get(idx)
+                .ok_or_else(|| err("missing pointer symbol".into()))?;
+            let target: u64 = fields
+                .get(idx + 1)
+                .ok_or_else(|| err("missing pointer offset".into()))?
+                .parse()
+                .map_err(|_| err("bad pointer offset".into()))?;
+            let target_pos = fields
+                .get(idx + 2)
+                .and_then(|c| c.chars().next())
+                .and_then(|c| PartOfSpeech::from_code(if c == 's' { 'a' } else { c }))
+                .ok_or_else(|| err("bad pointer pos".into()))?;
+            if let Some(kind) = relation_of(symbol) {
+                pointers.push((kind, target, target_pos));
+            }
+            idx += 4; // symbol, offset, pos, source/target
+        }
+        out.push(RawSynset {
+            offset,
+            pos,
+            lemmas,
+            pointers,
+            gloss,
+        });
+    }
+    Ok(())
+}
+
+/// Accumulates WNDB data files and assembles a [`SemanticNetwork`].
+#[derive(Debug, Default)]
+pub struct WndbImporter {
+    synsets: Vec<RawSynset>,
+    frequencies: HashMap<(u64, char), u32>,
+}
+
+impl WndbImporter {
+    /// An empty importer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds the contents of one `data.<pos>` file.
+    pub fn add_data(&mut self, text: &str, pos: PartOfSpeech) -> Result<&mut Self, WndbError> {
+        parse_data(text, pos, &mut self.synsets)?;
+        Ok(self)
+    }
+
+    /// Sets the corpus frequency of a synset (from `cntlist`-style data).
+    pub fn set_frequency(&mut self, offset: u64, pos: PartOfSpeech, frequency: u32) -> &mut Self {
+        self.frequencies.insert((offset, pos.code()), frequency);
+        self
+    }
+
+    /// Number of synsets parsed so far.
+    pub fn len(&self) -> usize {
+        self.synsets.len()
+    }
+
+    /// `true` if nothing was parsed.
+    pub fn is_empty(&self) -> bool {
+        self.synsets.is_empty()
+    }
+
+    /// Assembles the semantic network. Pointers to synsets that were not
+    /// loaded (e.g. verbs referenced from a nouns-only import) are skipped.
+    pub fn build(self) -> Result<SemanticNetwork, WndbError> {
+        let mut keys: HashMap<(u64, char), String> = HashMap::new();
+        for s in &self.synsets {
+            let key = format!("{}-{:08}", s.pos.code(), s.offset);
+            keys.insert((s.offset, s.pos.code()), key);
+        }
+        let mut b = NetworkBuilder::new();
+        for s in &self.synsets {
+            let key = &keys[&(s.offset, s.pos.code())];
+            let lemmas: Vec<&str> = s.lemmas.iter().map(String::as_str).collect();
+            let gloss = if s.gloss.is_empty() {
+                "(no gloss)"
+            } else {
+                &s.gloss
+            };
+            let freq = self
+                .frequencies
+                .get(&(s.offset, s.pos.code()))
+                .copied()
+                .unwrap_or(1);
+            b.concept(key, &lemmas, gloss, freq, s.pos);
+        }
+        for s in &self.synsets {
+            let from = &keys[&(s.offset, s.pos.code())];
+            for (kind, target, target_pos) in &s.pointers {
+                // Only record the canonical direction; the builder inserts
+                // inverses automatically, and WNDB lists both directions.
+                let canonical = matches!(
+                    kind,
+                    RelationKind::Hypernym
+                        | RelationKind::InstanceHypernym
+                        | RelationKind::PartOf
+                        | RelationKind::MemberOf
+                        | RelationKind::Antonym
+                        | RelationKind::SimilarTo
+                        | RelationKind::Attribute
+                        | RelationKind::DerivedFrom
+                );
+                if !canonical {
+                    continue;
+                }
+                if let Some(to) = keys.get(&(*target, target_pos.code())) {
+                    b.relate(from, *kind, to);
+                }
+            }
+        }
+        b.build().map_err(WndbError::Build)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A miniature, hand-written slice of WordNet's data.noun: entity →
+    /// physical entity → object; dog under object; plus a part link.
+    const NOUN_FIXTURE: &str = "  1 This is a header line and must be skipped.
+00001740 03 n 01 entity 0 001 ~ 00001930 n 0000 | that which is perceived to have its own distinct existence
+00001930 03 n 02 physical_entity 0 phys 1 002 @ 00001740 n 0000 ~ 00002452 n 0000 | an entity that has physical existence
+00002452 03 n 01 object 0 002 @ 00001930 n 0000 %p 00002684 n 0000 | a tangible and visible entity
+00002684 05 n 02 dog 0 domestic_dog 1 002 @ 00002452 n 0000 #p 00002452 n 0000 | a member of the genus Canis
+";
+
+    #[test]
+    fn parses_the_fixture() {
+        let mut importer = WndbImporter::new();
+        importer.add_data(NOUN_FIXTURE, PartOfSpeech::Noun).unwrap();
+        assert_eq!(importer.len(), 4);
+        let sn = importer.build().unwrap();
+        assert_eq!(sn.len(), 4);
+        // Multi-word lemma with underscores resolved.
+        assert!(sn.has_word("physical entity"));
+        assert!(sn.has_word("domestic dog"));
+        // Taxonomy depths follow the hypernym chain.
+        let dog = sn.by_key("n-00002684").unwrap();
+        assert_eq!(sn.depth(dog), 3);
+        // Glosses survive.
+        assert!(sn.concept(dog).gloss.contains("genus Canis"));
+    }
+
+    #[test]
+    fn part_links_imported() {
+        let mut importer = WndbImporter::new();
+        importer.add_data(NOUN_FIXTURE, PartOfSpeech::Noun).unwrap();
+        let sn = importer.build().unwrap();
+        let dog = sn.by_key("n-00002684").unwrap();
+        let object = sn.by_key("n-00002452").unwrap();
+        let wholes: Vec<_> = sn.related(dog, RelationKind::PartOf).collect();
+        assert_eq!(wholes, vec![object]);
+    }
+
+    #[test]
+    fn frequencies_apply() {
+        let mut importer = WndbImporter::new();
+        importer.add_data(NOUN_FIXTURE, PartOfSpeech::Noun).unwrap();
+        importer.set_frequency(0x0, PartOfSpeech::Noun, 0); // no-op key
+        importer.set_frequency(2684, PartOfSpeech::Noun, 42);
+        let sn = importer.build().unwrap();
+        let dog = sn.by_key("n-00002684").unwrap();
+        assert_eq!(sn.frequency(dog), 42);
+    }
+
+    #[test]
+    fn dangling_pointers_skipped() {
+        let text = "00000001 03 n 01 widget 0 001 @ 99999999 n 0000 | a thing\n";
+        let mut importer = WndbImporter::new();
+        importer.add_data(text, PartOfSpeech::Noun).unwrap();
+        let sn = importer.build().unwrap();
+        assert_eq!(sn.len(), 1);
+        assert_eq!(sn.edges(sn.by_key("n-00000001").unwrap()).len(), 0);
+    }
+
+    #[test]
+    fn malformed_lines_error_with_position() {
+        let mut importer = WndbImporter::new();
+        let err = importer
+            .add_data("not a synset line\n", PartOfSpeech::Noun)
+            .unwrap_err();
+        match err {
+            WndbError::Syntax { line, .. } => assert_eq!(line, 1),
+            other => panic!("{other}"),
+        }
+    }
+
+    #[test]
+    fn adjective_markers_stripped() {
+        let text = "00003000 00 a 01 light(a) 0 000 | of little weight\n";
+        let mut importer = WndbImporter::new();
+        importer.add_data(text, PartOfSpeech::Adjective).unwrap();
+        let sn = importer.build().unwrap();
+        assert!(sn.has_word("light"));
+    }
+
+    #[test]
+    fn imported_network_drives_the_text_format() {
+        let mut importer = WndbImporter::new();
+        importer.add_data(NOUN_FIXTURE, PartOfSpeech::Noun).unwrap();
+        let sn = importer.build().unwrap();
+        let text = crate::format::to_text(&sn);
+        let reloaded = crate::format::from_text(&text).unwrap();
+        assert_eq!(sn.len(), reloaded.len());
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based tests for the semantic network: builder validation,
+//! format round-trips, and graph-query invariants.
+
+use proptest::prelude::*;
+use xsdf_semnet::graph::{
+    ancestors_with_distance, concept_sphere, lowest_common_subsumer, taxonomy_path_length,
+    RelationFilter,
+};
+use xsdf_semnet::{mini_wordnet, ConceptId, NetworkBuilder, PartOfSpeech, RelationKind};
+
+/// Strategy: a random small taxonomy (forest of is-a trees).
+fn arb_taxonomy() -> impl Strategy<Value = xsdf_semnet::SemanticNetwork> {
+    // parents[i] < i or none → acyclic by construction.
+    proptest::collection::vec(proptest::option::of(0usize..50), 1..40).prop_map(|parents| {
+        let mut b = NetworkBuilder::new();
+        for (i, parent) in parents.iter().enumerate() {
+            b.concept(
+                &format!("c{i}"),
+                &[&format!("w{i}"), &format!("shared{}", i % 5)],
+                &format!("gloss for concept number {i} in the random taxonomy"),
+                (i as u32 % 17) + 1,
+                PartOfSpeech::Noun,
+            );
+            if let Some(p) = parent {
+                let p = p % (i.max(1));
+                if p < i {
+                    b.relate(&format!("c{i}"), RelationKind::Hypernym, &format!("c{p}"));
+                }
+            }
+        }
+        b.build().expect("acyclic by construction")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Format round-trip preserves every concept and edge.
+    #[test]
+    fn format_roundtrip(sn in arb_taxonomy()) {
+        let text = xsdf_semnet::format::to_text(&sn);
+        let sn2 = xsdf_semnet::format::from_text(&text).unwrap();
+        prop_assert_eq!(sn.len(), sn2.len());
+        prop_assert_eq!(sn.total_frequency(), sn2.total_frequency());
+        for id in sn.all_concepts() {
+            let key = &sn.concept(id).key;
+            let id2 = sn2.by_key(key).unwrap();
+            prop_assert_eq!(sn.depth(id), sn2.depth(id2));
+            prop_assert_eq!(sn.edges(id).len(), sn2.edges(id2).len());
+        }
+    }
+
+    /// Depth equals the minimal hypernym distance to a root.
+    #[test]
+    fn depth_is_min_ancestor_distance(sn in arb_taxonomy()) {
+        for id in sn.all_concepts() {
+            let anc = ancestors_with_distance(&sn, id);
+            let min_root = anc
+                .iter()
+                .filter(|(c, _)| sn.hypernyms(**c).next().is_none())
+                .map(|(_, d)| *d)
+                .min();
+            prop_assert_eq!(Some(sn.depth(id)), min_root);
+        }
+    }
+
+    /// The LCS subsumes both arguments and is the deepest such ancestor.
+    #[test]
+    fn lcs_is_deepest_common_ancestor(sn in arb_taxonomy()) {
+        let nodes: Vec<ConceptId> = sn.all_concepts().collect();
+        for &a in nodes.iter().take(6) {
+            for &b in nodes.iter().rev().take(6) {
+                if let Some(lcs) = lowest_common_subsumer(&sn, a, b) {
+                    let anc_a = ancestors_with_distance(&sn, a);
+                    let anc_b = ancestors_with_distance(&sn, b);
+                    prop_assert!(anc_a.contains_key(&lcs));
+                    prop_assert!(anc_b.contains_key(&lcs));
+                    for c in anc_a.keys().filter(|c| anc_b.contains_key(c)) {
+                        prop_assert!(sn.depth(*c) <= sn.depth(lcs));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Taxonomy path length is symmetric and satisfies identity.
+    #[test]
+    fn path_length_symmetric(sn in arb_taxonomy()) {
+        let nodes: Vec<ConceptId> = sn.all_concepts().collect();
+        for &a in nodes.iter().take(6) {
+            prop_assert_eq!(taxonomy_path_length(&sn, a, a), Some(0));
+            for &b in nodes.iter().rev().take(6) {
+                prop_assert_eq!(
+                    taxonomy_path_length(&sn, a, b),
+                    taxonomy_path_length(&sn, b, a)
+                );
+            }
+        }
+    }
+
+    /// Concept spheres grow monotonically with the radius and never include
+    /// the center.
+    #[test]
+    fn concept_sphere_monotone(sn in arb_taxonomy(), r in 1u32..4) {
+        let center = ConceptId(0);
+        let small = concept_sphere(&sn, center, r, &RelationFilter::All);
+        let big = concept_sphere(&sn, center, r + 1, &RelationFilter::All);
+        prop_assert!(big.len() >= small.len());
+        prop_assert!(small.iter().all(|&(c, _)| c != center));
+        // Distances respect the radius.
+        prop_assert!(small.iter().all(|&(_, d)| d >= 1 && d <= r));
+    }
+
+    /// Cumulative frequencies dominate own frequencies and IC is finite.
+    #[test]
+    fn cumulative_frequency_dominates(sn in arb_taxonomy()) {
+        for id in sn.all_concepts() {
+            prop_assert!(sn.cumulative_frequency(id) >= sn.frequency(id) as u64);
+            let ic = sn.information_content(id);
+            prop_assert!(ic.is_finite() && ic >= 0.0);
+        }
+    }
+}
+
+/// Word-sense lookups on the real MiniWordNet are first-sense-ordered.
+#[test]
+fn builtin_senses_sorted_by_frequency() {
+    let sn = mini_wordnet();
+    for word in ["state", "star", "cast", "line", "play", "title", "head"] {
+        let senses = sn.senses(word);
+        for pair in senses.windows(2) {
+            assert!(
+                sn.frequency(pair[0]) >= sn.frequency(pair[1]),
+                "{word}: sense order not frequency-sorted"
+            );
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! The combined similarity measure of Definition 9:
+//!
+//! ```text
+//! Sim(c1, c2, S̄N) = w_Edge·Sim_Edge + w_Node·Sim_Node + w_Gloss·Sim_Gloss
+//! ```
+//!
+//! with `w_Edge + w_Node + w_Gloss = 1` and all weights non-negative. The
+//! paper's experiments use equal weights (1/3 each, footnote 12).
+
+use semnet::{ConceptId, SemanticNetwork};
+
+use crate::edge::wu_palmer;
+use crate::gloss::extended_gloss_overlap;
+use crate::node::lin;
+
+/// Weights of the three constituent measures. Constructed through
+/// [`SimilarityWeights::new`], which normalizes to sum 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimilarityWeights {
+    /// Weight of the edge-based (Wu–Palmer) measure.
+    pub edge: f64,
+    /// Weight of the node-based (Lin) measure.
+    pub node: f64,
+    /// Weight of the gloss-based (extended gloss overlap) measure.
+    pub gloss: f64,
+}
+
+impl SimilarityWeights {
+    /// Creates a weight triple, normalizing so the weights sum to 1.
+    ///
+    /// Returns `None` if any weight is negative, non-finite, or all are 0.
+    pub fn new(edge: f64, node: f64, gloss: f64) -> Option<Self> {
+        if !(edge.is_finite() && node.is_finite() && gloss.is_finite()) {
+            return None;
+        }
+        if edge < 0.0 || node < 0.0 || gloss < 0.0 {
+            return None;
+        }
+        let sum = edge + node + gloss;
+        if sum <= 0.0 {
+            return None;
+        }
+        Some(Self {
+            edge: edge / sum,
+            node: node / sum,
+            gloss: gloss / sum,
+        })
+    }
+
+    /// The paper's experimental setting: equal thirds (footnote 12).
+    pub fn equal() -> Self {
+        Self {
+            edge: 1.0 / 3.0,
+            node: 1.0 / 3.0,
+            gloss: 1.0 / 3.0,
+        }
+    }
+
+    /// Only the edge-based measure (an RPD/VSD-style configuration).
+    pub fn edge_only() -> Self {
+        Self {
+            edge: 1.0,
+            node: 0.0,
+            gloss: 0.0,
+        }
+    }
+
+    /// Only the node-based measure.
+    pub fn node_only() -> Self {
+        Self {
+            edge: 0.0,
+            node: 1.0,
+            gloss: 0.0,
+        }
+    }
+
+    /// Only the gloss-based measure.
+    pub fn gloss_only() -> Self {
+        Self {
+            edge: 0.0,
+            node: 0.0,
+            gloss: 1.0,
+        }
+    }
+}
+
+impl Default for SimilarityWeights {
+    fn default() -> Self {
+        Self::equal()
+    }
+}
+
+/// The combined, weighted semantic similarity of Definition 9, with a
+/// small per-pair memo cache (sense-pair similarities are re-queried many
+/// times during disambiguation of a document).
+#[derive(Debug, Clone)]
+pub struct CombinedSimilarity {
+    weights: SimilarityWeights,
+    cache: std::cell::RefCell<std::collections::HashMap<(ConceptId, ConceptId), f64>>,
+}
+
+impl CombinedSimilarity {
+    /// A combined measure with the given weights.
+    pub fn new(weights: SimilarityWeights) -> Self {
+        Self {
+            weights,
+            cache: std::cell::RefCell::new(std::collections::HashMap::new()),
+        }
+    }
+
+    /// The configured weights.
+    pub fn weights(&self) -> SimilarityWeights {
+        self.weights
+    }
+
+    /// `Sim(c1, c2, S̄N) ∈ \[0, 1\]`.
+    pub fn similarity(&self, sn: &SemanticNetwork, a: ConceptId, b: ConceptId) -> f64 {
+        let key = if a <= b { (a, b) } else { (b, a) };
+        if let Some(&v) = self.cache.borrow().get(&key) {
+            return v;
+        }
+        let w = self.weights;
+        let mut score = 0.0;
+        if w.edge > 0.0 {
+            score += w.edge * wu_palmer(sn, a, b);
+        }
+        if w.node > 0.0 {
+            score += w.node * lin(sn, a, b);
+        }
+        if w.gloss > 0.0 {
+            score += w.gloss * extended_gloss_overlap(sn, a, b);
+        }
+        let score = score.clamp(0.0, 1.0);
+        self.cache.borrow_mut().insert(key, score);
+        score
+    }
+
+    /// Number of cached pair similarities (diagnostics).
+    pub fn cache_len(&self) -> usize {
+        self.cache.borrow().len()
+    }
+}
+
+impl Default for CombinedSimilarity {
+    fn default() -> Self {
+        Self::new(SimilarityWeights::equal())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semnet::mini_wordnet;
+
+    fn id(key: &str) -> ConceptId {
+        mini_wordnet().by_key(key).unwrap()
+    }
+
+    #[test]
+    fn weights_normalize() {
+        let w = SimilarityWeights::new(2.0, 1.0, 1.0).unwrap();
+        assert!((w.edge - 0.5).abs() < 1e-12);
+        assert!((w.edge + w.node + w.gloss - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_weights_rejected() {
+        assert!(SimilarityWeights::new(-1.0, 1.0, 1.0).is_none());
+        assert!(SimilarityWeights::new(0.0, 0.0, 0.0).is_none());
+        assert!(SimilarityWeights::new(f64::NAN, 1.0, 1.0).is_none());
+        assert!(SimilarityWeights::new(f64::INFINITY, 1.0, 1.0).is_none());
+    }
+
+    #[test]
+    fn equal_weights_sum_to_one() {
+        let w = SimilarityWeights::equal();
+        assert!((w.edge + w.node + w.gloss - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn combined_is_convex_combination() {
+        let sn = mini_wordnet();
+        let (a, b) = (id("cast.actors"), id("star.performer"));
+        let e = wu_palmer(sn, a, b);
+        let n = crate::node::lin(sn, a, b);
+        let g = crate::gloss::extended_gloss_overlap(sn, a, b);
+        let sim = CombinedSimilarity::default().similarity(sn, a, b);
+        let lo = e.min(n).min(g);
+        let hi = e.max(n).max(g);
+        assert!(
+            sim >= lo - 1e-9 && sim <= hi + 1e-9,
+            "{sim} not within [{lo}, {hi}]"
+        );
+    }
+
+    #[test]
+    fn single_measure_configs_match_measures() {
+        let sn = mini_wordnet();
+        let (a, b) = (id("kelly.grace"), id("stewart.james"));
+        let edge_only = CombinedSimilarity::new(SimilarityWeights::edge_only());
+        assert!((edge_only.similarity(sn, a, b) - wu_palmer(sn, a, b)).abs() < 1e-12);
+        let node_only = CombinedSimilarity::new(SimilarityWeights::node_only());
+        assert!((node_only.similarity(sn, a, b) - crate::node::lin(sn, a, b)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cache_hit_returns_same_value() {
+        let sn = mini_wordnet();
+        let sim = CombinedSimilarity::default();
+        let (a, b) = (id("cast.actors"), id("film.movie"));
+        let v1 = sim.similarity(sn, a, b);
+        let v2 = sim.similarity(sn, b, a); // symmetric key
+        assert_eq!(v1, v2);
+        assert_eq!(sim.cache_len(), 1);
+    }
+
+    #[test]
+    fn identity_is_one() {
+        let sn = mini_wordnet();
+        let sim = CombinedSimilarity::default();
+        assert!((sim.similarity(sn, id("actor.n"), id("actor.n")) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,234 @@
+//! Gloss-based similarity: a normalized extension of Banerjee & Pedersen's
+//! *extended gloss overlaps* (2003), the paper's `Sim_Gloss`.
+//!
+//! The extended gloss of a concept is its own gloss plus the glosses of its
+//! directly related concepts (hypernyms, hyponyms, meronyms, …). The score
+//! accumulates squared lengths of maximal common word phrases between the
+//! two extended glosses (so an n-word shared phrase counts n², rewarding
+//! longer overlaps), then normalizes by the score each gloss achieves
+//! against itself, yielding `\[0, 1\]`.
+
+use std::collections::HashSet;
+
+use lingproc::{is_stop_word, tokenize_text};
+use semnet::{ConceptId, SemanticNetwork};
+
+/// Builds the extended-gloss token sequence of a concept: its gloss, its
+/// lemmas, and the glosses of direct neighbors, tokenized with stop words
+/// removed. Neighbors in `exclude` contribute nothing — see
+/// [`extended_gloss_overlap`] for why shared neighbors are dropped.
+fn extended_gloss_tokens(
+    sn: &SemanticNetwork,
+    c: ConceptId,
+    exclude: &HashSet<ConceptId>,
+) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let concept = sn.concept(c);
+    for lemma in &concept.lemmas {
+        tokens.extend(tokenize_text(lemma));
+    }
+    tokens.extend(tokenize_text(&concept.gloss));
+    for &(_, neighbor) in sn.edges(c) {
+        if !exclude.contains(&neighbor) {
+            tokens.extend(tokenize_text(&sn.concept(neighbor).gloss));
+        }
+    }
+    tokens.retain(|t| !is_stop_word(t));
+    // Stemming makes "actors"/"actor" and "plays"/"play" overlap, exactly
+    // the morphology-blindness fix the linguistic pre-processing stage
+    // applies everywhere else in the pipeline.
+    tokens
+        .iter_mut()
+        .for_each(|t| *t = lingproc::porter_stem(t));
+    tokens
+}
+
+/// The neighbors shared by both concepts (excluding the concepts
+/// themselves). Two sibling senses share their hypernym: comparing the
+/// parent's gloss against itself would score `|gloss|²` for *any* sibling
+/// pair, drowning the lexical signal. That common-ancestry evidence is
+/// already what the edge- and node-based measures quantify, so the gloss
+/// measure drops it and stays purely lexical.
+fn shared_neighbors(sn: &SemanticNetwork, a: ConceptId, b: ConceptId) -> HashSet<ConceptId> {
+    let na: HashSet<ConceptId> = sn.edges(a).iter().map(|&(_, c)| c).collect();
+    sn.edges(b)
+        .iter()
+        .map(|&(_, c)| c)
+        .filter(|c| na.contains(c) && *c != a && *c != b)
+        .collect()
+}
+
+/// Greedy phrase-overlap score of Banerjee–Pedersen: repeatedly find the
+/// longest common contiguous word sequence, add its squared length, remove
+/// it from both sides, until no overlap of length ≥ 1 remains.
+fn overlap_score(a: &[String], b: &[String]) -> f64 {
+    // Dynamic programming for the longest common substring (of words).
+    // Repeating until exhaustion is O(n³)-ish in the worst case but glosses
+    // are short (tens of tokens), so this stays cheap.
+    let mut a: Vec<Option<&str>> = a.iter().map(|s| Some(s.as_str())).collect();
+    let mut b: Vec<Option<&str>> = b.iter().map(|s| Some(s.as_str())).collect();
+    let mut score = 0.0;
+    loop {
+        let (len, ai, bi) = longest_common_run(&a, &b);
+        if len == 0 {
+            return score;
+        }
+        score += (len * len) as f64;
+        for k in 0..len {
+            a[ai + k] = None;
+            b[bi + k] = None;
+        }
+    }
+}
+
+/// Longest common contiguous run of non-erased tokens; returns
+/// `(length, start_a, start_b)`.
+fn longest_common_run(a: &[Option<&str>], b: &[Option<&str>]) -> (usize, usize, usize) {
+    let mut best = (0usize, 0usize, 0usize);
+    let mut prev = vec![0usize; b.len() + 1];
+    for (i, ta) in a.iter().enumerate() {
+        let mut cur = vec![0usize; b.len() + 1];
+        if ta.is_some() {
+            for (j, tb) in b.iter().enumerate() {
+                if tb.is_some() && ta == tb {
+                    cur[j + 1] = prev[j] + 1;
+                    if cur[j + 1] > best.0 {
+                        best = (cur[j + 1], i + 1 - cur[j + 1], j + 1 - cur[j + 1]);
+                    }
+                }
+            }
+        }
+        prev = cur;
+    }
+    best
+}
+
+/// Saturation constant of the gloss-overlap normalization: a raw
+/// Banerjee–Pedersen overlap equal to `GLOSS_SATURATION` maps to 0.5.
+/// Sixteen corresponds to one shared 4-word phrase — strong lexical
+/// evidence — while a single accidental shared word (raw score 1) maps to
+/// ≈ 0.06.
+pub const GLOSS_SATURATION: f64 = 16.0;
+
+/// Normalized extended gloss overlap similarity in `\[0, 1\]`:
+///
+/// ```text
+/// sim(c1, c2) = overlap(g1, g2) / (overlap(g1, g2) + K)
+/// ```
+///
+/// where `g` is the extended gloss and `K` is [`GLOSS_SATURATION`]. The
+/// raw Banerjee–Pedersen overlap is an unbounded sum of squared phrase
+/// lengths; this saturating map is the "normalized extension" the paper
+/// applies for Definition 9 — it is strictly monotone in the raw score
+/// (preserving every ordering the original measure produces) and
+/// asymptotically reaches 1.
+pub fn extended_gloss_overlap(sn: &SemanticNetwork, a: ConceptId, b: ConceptId) -> f64 {
+    if a == b {
+        return 1.0;
+    }
+    let shared = shared_neighbors(sn, a, b);
+    let ga = extended_gloss_tokens(sn, a, &shared);
+    let gb = extended_gloss_tokens(sn, b, &shared);
+    if ga.is_empty() || gb.is_empty() {
+        return 0.0;
+    }
+    let cross = overlap_score(&ga, &gb);
+    cross / (cross + GLOSS_SATURATION)
+}
+
+/// Fast pre-check used by callers that want to skip the quadratic phrase
+/// matching when the glosses share no content word at all.
+pub fn glosses_share_any_word(sn: &SemanticNetwork, a: ConceptId, b: ConceptId) -> bool {
+    let shared = shared_neighbors(sn, a, b);
+    let ga: HashSet<String> = extended_gloss_tokens(sn, a, &shared).into_iter().collect();
+    extended_gloss_tokens(sn, b, &shared)
+        .iter()
+        .any(|t| ga.contains(t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semnet::mini_wordnet;
+
+    fn id(key: &str) -> ConceptId {
+        mini_wordnet().by_key(key).unwrap()
+    }
+
+    fn s(x: &str) -> String {
+        x.to_string()
+    }
+
+    #[test]
+    fn overlap_counts_squared_phrases() {
+        let a = vec![s("motion"), s("picture"), s("shown"), s("theater")];
+        let b = vec![s("motion"), s("picture"), s("industry")];
+        // "motion picture" is a 2-word phrase → 4.
+        assert_eq!(overlap_score(&a, &b), 4.0);
+    }
+
+    #[test]
+    fn overlap_greedy_removes_used_tokens() {
+        let a = vec![s("star"), s("star")];
+        let b = vec![s("star")];
+        // Single "star" matches once only.
+        assert_eq!(overlap_score(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn longer_phrases_beat_scattered_words() {
+        let a = vec![s("a"), s("b"), s("c")];
+        let b_phrase = vec![s("a"), s("b"), s("c")];
+        let b_scattered = vec![s("a"), s("x"), s("b"), s("y"), s("c")];
+        assert!(overlap_score(&a, &b_phrase) > overlap_score(&a, &b_scattered));
+    }
+
+    #[test]
+    fn identity_is_one() {
+        let sn = mini_wordnet();
+        assert_eq!(
+            extended_gloss_overlap(sn, id("cast.actors"), id("cast.actors")),
+            1.0
+        );
+    }
+
+    #[test]
+    fn bounded_and_symmetric() {
+        let sn = mini_wordnet();
+        let keys = ["cast.actors", "star.performer", "film.movie", "waffle.food"];
+        for ka in keys {
+            for kb in keys {
+                let v = extended_gloss_overlap(sn, id(ka), id(kb));
+                assert!((0.0..=1.0).contains(&v), "gloss({ka},{kb}) = {v}");
+                let r = extended_gloss_overlap(sn, id(kb), id(ka));
+                assert!((v - r).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn movie_glosses_overlap_more_than_cross_domain() {
+        let sn = mini_wordnet();
+        // "cast of a motion picture" vs "actor in a motion picture":
+        // the shared phrase "motion picture" should dominate.
+        let coherent = extended_gloss_overlap(sn, id("cast.actors"), id("star.performer"));
+        let incoherent = extended_gloss_overlap(sn, id("cast.mold"), id("waffle.food"));
+        assert!(coherent > incoherent, "{coherent} <= {incoherent}");
+    }
+
+    #[test]
+    fn share_any_word_precheck_consistent() {
+        let sn = mini_wordnet();
+        let (a, b) = (id("cast.actors"), id("star.performer"));
+        if extended_gloss_overlap(sn, a, b) > 0.0 {
+            assert!(glosses_share_any_word(sn, a, b));
+        }
+    }
+
+    #[test]
+    fn empty_vs_anything_is_zero() {
+        let a: Vec<String> = vec![];
+        let b = vec![s("x")];
+        assert_eq!(overlap_score(&a, &b), 0.0);
+    }
+}

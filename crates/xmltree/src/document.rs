@@ -1,0 +1,372 @@
+//! Arena-based XML document model.
+//!
+//! A [`Document`] owns all its nodes in a single arena and hands out stable
+//! [`DocNodeId`] handles. The model mirrors the subset of the W3C DOM that
+//! the paper's tree abstraction consumes: elements with ordered attributes,
+//! text, CDATA, comments, and processing instructions.
+
+use crate::error::{ParseError, ParseErrorKind};
+
+/// A stable handle to a node inside a [`Document`] arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DocNodeId(pub(crate) u32);
+
+impl DocNodeId {
+    /// Returns the raw arena index of this handle.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An attribute of an element: a `name="value"` pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    /// Attribute name as written in the document.
+    pub name: String,
+    /// Attribute value with entities resolved.
+    pub value: String,
+}
+
+/// One node of a [`Document`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DocNode {
+    /// An element with a tag name and ordered attributes.
+    Element {
+        /// Tag name.
+        name: String,
+        /// Attributes in document order.
+        attributes: Vec<Attribute>,
+    },
+    /// A run of character data (entities already resolved).
+    Text(String),
+    /// A CDATA section's literal content.
+    CData(String),
+    /// A comment's content (without the `<!--`/`-->` delimiters).
+    Comment(String),
+    /// A processing instruction.
+    ProcessingInstruction {
+        /// The PI target (e.g. `xml-stylesheet`).
+        target: String,
+        /// The PI data, possibly empty.
+        data: String,
+    },
+}
+
+impl DocNode {
+    /// Returns `true` for element nodes.
+    pub fn is_element(&self) -> bool {
+        matches!(self, DocNode::Element { .. })
+    }
+
+    /// Returns `true` for text or CDATA nodes.
+    pub fn is_textual(&self) -> bool {
+        matches!(self, DocNode::Text(_) | DocNode::CData(_))
+    }
+}
+
+#[derive(Debug, Clone)]
+struct NodeLinks {
+    parent: Option<DocNodeId>,
+    children: Vec<DocNodeId>,
+}
+
+/// An XML document: an arena of [`DocNode`]s plus parent/child links.
+///
+/// The document-level children (`roots`) may contain comments and processing
+/// instructions besides the single root element.
+#[derive(Debug, Clone, Default)]
+pub struct Document {
+    nodes: Vec<DocNode>,
+    links: Vec<NodeLinks>,
+    roots: Vec<DocNodeId>,
+}
+
+impl Document {
+    /// Creates an empty document.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of nodes in the arena.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` if the document contains no nodes at all.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn push(&mut self, node: DocNode, parent: Option<DocNodeId>) -> DocNodeId {
+        let id = DocNodeId(self.nodes.len() as u32);
+        self.nodes.push(node);
+        self.links.push(NodeLinks {
+            parent,
+            children: Vec::new(),
+        });
+        match parent {
+            Some(p) => self.links[p.index()].children.push(id),
+            None => self.roots.push(id),
+        }
+        id
+    }
+
+    /// Appends an element node. With `parent == None` the node becomes a
+    /// document-level child.
+    pub fn add_element(&mut self, parent: Option<DocNodeId>, name: impl Into<String>) -> DocNodeId {
+        self.push(
+            DocNode::Element {
+                name: name.into(),
+                attributes: Vec::new(),
+            },
+            parent,
+        )
+    }
+
+    /// Appends a text node under `parent`.
+    pub fn add_text(&mut self, parent: DocNodeId, text: impl Into<String>) -> DocNodeId {
+        self.push(DocNode::Text(text.into()), Some(parent))
+    }
+
+    /// Appends a CDATA node under `parent`.
+    pub fn add_cdata(&mut self, parent: DocNodeId, text: impl Into<String>) -> DocNodeId {
+        self.push(DocNode::CData(text.into()), Some(parent))
+    }
+
+    /// Appends a comment node.
+    pub fn add_comment(&mut self, parent: Option<DocNodeId>, text: impl Into<String>) -> DocNodeId {
+        self.push(DocNode::Comment(text.into()), parent)
+    }
+
+    /// Appends a processing-instruction node.
+    pub fn add_pi(
+        &mut self,
+        parent: Option<DocNodeId>,
+        target: impl Into<String>,
+        data: impl Into<String>,
+    ) -> DocNodeId {
+        self.push(
+            DocNode::ProcessingInstruction {
+                target: target.into(),
+                data: data.into(),
+            },
+            parent,
+        )
+    }
+
+    /// Adds an attribute to an element node.
+    ///
+    /// Returns an error if the node is not an element or the attribute name
+    /// is already present.
+    pub fn add_attribute(
+        &mut self,
+        element: DocNodeId,
+        name: impl Into<String>,
+        value: impl Into<String>,
+    ) -> Result<(), ParseError> {
+        let name = name.into();
+        match &mut self.nodes[element.index()] {
+            DocNode::Element { attributes, .. } => {
+                if attributes.iter().any(|a| a.name == name) {
+                    return Err(ParseError::new(
+                        ParseErrorKind::DuplicateAttribute(name),
+                        0,
+                        0,
+                    ));
+                }
+                attributes.push(Attribute {
+                    name,
+                    value: value.into(),
+                });
+                Ok(())
+            }
+            _ => Err(ParseError::new(
+                ParseErrorKind::InvalidStructure("attribute on non-element".into()),
+                0,
+                0,
+            )),
+        }
+    }
+
+    /// Returns the node payload.
+    pub fn node(&self, id: DocNodeId) -> &DocNode {
+        &self.nodes[id.index()]
+    }
+
+    /// Returns the parent handle, or `None` for document-level nodes.
+    pub fn parent(&self, id: DocNodeId) -> Option<DocNodeId> {
+        self.links[id.index()].parent
+    }
+
+    /// Returns the ordered children of a node.
+    pub fn children(&self, id: DocNodeId) -> &[DocNodeId] {
+        &self.links[id.index()].children
+    }
+
+    /// Returns the document-level children (prolog comments/PIs and the
+    /// root element) in document order.
+    pub fn document_children(&self) -> &[DocNodeId] {
+        &self.roots
+    }
+
+    /// Returns the root element of the document, if any.
+    pub fn root_element(&self) -> Option<DocNodeId> {
+        self.roots
+            .iter()
+            .copied()
+            .find(|id| self.node(*id).is_element())
+    }
+
+    /// Returns the tag name of an element node, or `None` for other kinds.
+    pub fn name(&self, id: DocNodeId) -> Option<&str> {
+        match self.node(id) {
+            DocNode::Element { name, .. } => Some(name),
+            _ => None,
+        }
+    }
+
+    /// Returns the attributes of an element node (empty for other kinds).
+    pub fn attributes(&self, id: DocNodeId) -> &[Attribute] {
+        match self.node(id) {
+            DocNode::Element { attributes, .. } => attributes,
+            _ => &[],
+        }
+    }
+
+    /// Looks up an attribute value by name on an element.
+    pub fn attribute(&self, id: DocNodeId, name: &str) -> Option<&str> {
+        self.attributes(id)
+            .iter()
+            .find(|a| a.name == name)
+            .map(|a| a.value.as_str())
+    }
+
+    /// Returns the text content of a text/CDATA node, or `None`.
+    pub fn text(&self, id: DocNodeId) -> Option<&str> {
+        match self.node(id) {
+            DocNode::Text(t) | DocNode::CData(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Concatenates all descendant text of an element, in document order.
+    pub fn text_content(&self, id: DocNodeId) -> String {
+        let mut out = String::new();
+        let mut stack = vec![id];
+        // Depth-first, preserving document order by pushing children reversed.
+        while let Some(cur) = stack.pop() {
+            if let Some(t) = self.text(cur) {
+                out.push_str(t);
+            }
+            for &child in self.children(cur).iter().rev() {
+                stack.push(child);
+            }
+        }
+        out
+    }
+
+    /// Returns the element children of a node, skipping text/comments.
+    pub fn element_children(&self, id: DocNodeId) -> impl Iterator<Item = DocNodeId> + '_ {
+        self.children(id)
+            .iter()
+            .copied()
+            .filter(|c| self.node(*c).is_element())
+    }
+
+    /// Finds the first element child with the given tag name.
+    pub fn find_child(&self, id: DocNodeId, name: &str) -> Option<DocNodeId> {
+        self.element_children(id)
+            .find(|c| self.name(*c) == Some(name))
+    }
+
+    /// Iterates over every node id in the arena (arena order, which for
+    /// parsed and programmatically built documents is document order).
+    pub fn all_nodes(&self) -> impl Iterator<Item = DocNodeId> {
+        (0..self.nodes.len() as u32).map(DocNodeId)
+    }
+
+    /// Counts element nodes in the document.
+    pub fn element_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_element()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (Document, DocNodeId, DocNodeId) {
+        let mut doc = Document::new();
+        let films = doc.add_element(None, "films");
+        let picture = doc.add_element(Some(films), "picture");
+        doc.add_attribute(picture, "title", "Rear Window").unwrap();
+        let director = doc.add_element(Some(picture), "director");
+        doc.add_text(director, "Hitchcock");
+        (doc, films, picture)
+    }
+
+    #[test]
+    fn builds_tree_links() {
+        let (doc, films, picture) = sample();
+        assert_eq!(doc.parent(picture), Some(films));
+        assert_eq!(doc.children(films), &[picture]);
+        assert_eq!(doc.root_element(), Some(films));
+    }
+
+    #[test]
+    fn attribute_lookup() {
+        let (doc, _, picture) = sample();
+        assert_eq!(doc.attribute(picture, "title"), Some("Rear Window"));
+        assert_eq!(doc.attribute(picture, "missing"), None);
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        let (mut doc, _, picture) = sample();
+        let err = doc.add_attribute(picture, "title", "again").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::DuplicateAttribute(_)));
+    }
+
+    #[test]
+    fn attribute_on_text_rejected() {
+        let mut doc = Document::new();
+        let e = doc.add_element(None, "a");
+        let t = doc.add_text(e, "hello");
+        assert!(doc.add_attribute(t, "x", "y").is_err());
+    }
+
+    #[test]
+    fn text_content_concatenates_in_order() {
+        let mut doc = Document::new();
+        let root = doc.add_element(None, "r");
+        let a = doc.add_element(Some(root), "a");
+        doc.add_text(a, "one ");
+        doc.add_text(root, "two ");
+        let b = doc.add_element(Some(root), "b");
+        doc.add_cdata(b, "three");
+        assert_eq!(doc.text_content(root), "one two three");
+    }
+
+    #[test]
+    fn find_child_by_name() {
+        let (doc, films, picture) = sample();
+        assert_eq!(doc.find_child(films, "picture"), Some(picture));
+        assert_eq!(doc.find_child(films, "movie"), None);
+    }
+
+    #[test]
+    fn root_element_skips_comments() {
+        let mut doc = Document::new();
+        doc.add_comment(None, "prolog");
+        let root = doc.add_element(None, "r");
+        assert_eq!(doc.root_element(), Some(root));
+        assert_eq!(doc.document_children().len(), 2);
+    }
+
+    #[test]
+    fn element_count_ignores_text() {
+        let (doc, ..) = sample();
+        assert_eq!(doc.element_count(), 3);
+        assert_eq!(doc.len(), 4);
+    }
+}

@@ -1,0 +1,161 @@
+//! Intra-document hyperlinks: ID/IDREF edges.
+//!
+//! The paper notes that semantic XML trees become *graphs* "when
+//! hyperlinks come to play" (Section 1). This module resolves the XML
+//! ID/IDREF convention — an attribute named `id` declares an anchor, and
+//! attributes named `idref`/`ref`/`href` (with a `#`-prefixed or bare id
+//! value) point at it — into extra node-to-node edges that the sphere
+//! traversals can cross, turning disambiguation contexts from trees into
+//! graphs.
+
+use std::collections::HashMap;
+
+use crate::document::{DocNodeId, Document};
+use crate::tree::{BuildResult, NodeId};
+
+/// A resolved hyperlink between two elements of a document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Link {
+    /// The referencing element (carries the IDREF attribute).
+    pub from: DocNodeId,
+    /// The referenced element (carries the ID attribute).
+    pub to: DocNodeId,
+}
+
+/// Attribute names treated as anchors.
+const ID_ATTRS: [&str; 2] = ["id", "xml:id"];
+/// Attribute names treated as references.
+const REF_ATTRS: [&str; 4] = ["idref", "ref", "href", "xlink:href"];
+
+/// Scans a document for ID/IDREF pairs and resolves them into [`Link`]s.
+/// Unresolvable references are ignored (real-world documents dangle).
+pub fn resolve_links(doc: &Document) -> Vec<Link> {
+    let mut anchors: HashMap<&str, DocNodeId> = HashMap::new();
+    for node in doc.all_nodes() {
+        for attr in doc.attributes(node) {
+            if ID_ATTRS.contains(&attr.name.as_str()) {
+                anchors.entry(attr.value.as_str()).or_insert(node);
+            }
+        }
+    }
+    let mut links = Vec::new();
+    for node in doc.all_nodes() {
+        for attr in doc.attributes(node) {
+            if REF_ATTRS.contains(&attr.name.as_str()) {
+                let target = attr.value.strip_prefix('#').unwrap_or(&attr.value);
+                if let Some(&to) = anchors.get(target) {
+                    if to != node {
+                        links.push(Link { from: node, to });
+                    }
+                }
+            }
+        }
+    }
+    links
+}
+
+/// Translates resolved document links into tree-node pairs using a build
+/// result's alignment maps, and installs them on the tree (see
+/// [`crate::tree::XmlTree::add_link`]). Returns the number of installed links.
+pub fn install_links(build: &mut BuildResult, links: &[Link]) -> usize {
+    let pairs: Vec<(NodeId, NodeId)> = links
+        .iter()
+        .filter_map(|l| {
+            let from = build.element_nodes.get(&l.from)?;
+            let to = build.element_nodes.get(&l.to)?;
+            Some((*from, *to))
+        })
+        .collect();
+    for &(a, b) in &pairs {
+        build.tree.add_link(a, b);
+    }
+    pairs.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::sphere;
+    use crate::parse;
+    use crate::tree::TreeBuilder;
+
+    const LINKED: &str = r#"<library>
+        <authors>
+            <author id="a1"><name>Shakespeare</name></author>
+        </authors>
+        <books>
+            <book ref="a1"><title>Hamlet</title></book>
+            <book ref="missing"><title>Lost</title></book>
+        </books>
+    </library>"#;
+
+    #[test]
+    fn resolves_id_idref_pairs() {
+        let doc = parse(LINKED).unwrap();
+        let links = resolve_links(&doc);
+        assert_eq!(links.len(), 1);
+        assert_eq!(doc.name(links[0].to), Some("author"));
+        assert_eq!(doc.name(links[0].from), Some("book"));
+    }
+
+    #[test]
+    fn hash_prefixed_hrefs_resolve() {
+        let doc = parse(r##"<r><a id="x"/><b href="#x"/></r>"##).unwrap();
+        assert_eq!(resolve_links(&doc).len(), 1);
+    }
+
+    #[test]
+    fn self_and_dangling_references_ignored() {
+        let doc = parse(r#"<r><a id="x" ref="x"/><b ref="nope"/></r>"#).unwrap();
+        assert!(resolve_links(&doc).is_empty());
+    }
+
+    #[test]
+    fn installed_links_shorten_sphere_distances() {
+        let doc = parse(LINKED).unwrap();
+        let mut build = TreeBuilder::new().build(&doc).unwrap();
+        let links = resolve_links(&doc);
+        assert_eq!(install_links(&mut build, &links), 1);
+        let tree = &build.tree;
+        let book = tree
+            .preorder()
+            .find(|&n| tree.label(n) == "book" && !tree.children(n).is_empty())
+            .unwrap();
+        // Without the link, the author subtree is 4 edges away (book →
+        // books → library → authors → author); with it, 1.
+        let s1: Vec<String> = sphere(tree, book, 1)
+            .into_iter()
+            .map(|(n, _)| tree.label(n).to_string())
+            .collect();
+        assert!(
+            s1.contains(&"author".to_string()),
+            "link edge crossed at distance 1: {s1:?}"
+        );
+        // And transitively, the author's name at distance 2.
+        let s2: Vec<String> = sphere(tree, book, 2)
+            .into_iter()
+            .map(|(n, _)| tree.label(n).to_string())
+            .collect();
+        assert!(s2.contains(&"name".to_string()));
+    }
+
+    #[test]
+    fn links_do_not_change_tree_statistics() {
+        let doc = parse(LINKED).unwrap();
+        let mut build = TreeBuilder::new().build(&doc).unwrap();
+        let before = (
+            build.tree.len(),
+            build.tree.max_depth(),
+            build.tree.max_fan_out(),
+        );
+        let links = resolve_links(&doc);
+        install_links(&mut build, &links);
+        let after = (
+            build.tree.len(),
+            build.tree.max_depth(),
+            build.tree.max_fan_out(),
+        );
+        assert_eq!(before, after, "links are traversal edges, not structure");
+        assert!(build.tree.check_consistency().is_ok());
+    }
+}

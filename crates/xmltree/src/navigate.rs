@@ -1,0 +1,140 @@
+//! Navigation helpers over an [`XmlTree`]: ancestors, root paths, subtrees,
+//! siblings. These are the structural contexts used by the baseline
+//! disambiguators (root-path context of RPD, subtree context, parent-node
+//! context — Section 2.2.1 of the paper).
+
+use crate::tree::{NodeId, XmlTree};
+
+/// Iterates from a node's parent up to the root.
+pub fn ancestors(tree: &XmlTree, node: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+    std::iter::successors(tree.parent(node), move |&n| tree.parent(n))
+}
+
+/// The root path of a node: the sequence of nodes from the root down to and
+/// including the node itself (the RPD context of \[50\]).
+pub fn root_path(tree: &XmlTree, node: NodeId) -> Vec<NodeId> {
+    let mut path: Vec<NodeId> = ancestors(tree, node).collect();
+    path.reverse();
+    path.push(node);
+    path
+}
+
+/// Iterates over the subtree rooted at `node` in preorder, including `node`.
+pub fn subtree(tree: &XmlTree, node: NodeId) -> Vec<NodeId> {
+    let mut out = Vec::new();
+    let mut stack = vec![node];
+    while let Some(n) = stack.pop() {
+        out.push(n);
+        for &c in tree.children(n).iter().rev() {
+            stack.push(c);
+        }
+    }
+    out
+}
+
+/// The descendants of `node` (subtree minus the node itself).
+pub fn descendants(tree: &XmlTree, node: NodeId) -> Vec<NodeId> {
+    subtree(tree, node).into_iter().skip(1).collect()
+}
+
+/// The siblings of `node` (children of its parent, excluding the node).
+pub fn siblings(tree: &XmlTree, node: NodeId) -> Vec<NodeId> {
+    match tree.parent(node) {
+        Some(p) => tree
+            .children(p)
+            .iter()
+            .copied()
+            .filter(|&c| c != node)
+            .collect(),
+        None => Vec::new(),
+    }
+}
+
+/// `true` if `ancestor` lies on the root path of `node` (strictly above it).
+pub fn is_ancestor(tree: &XmlTree, ancestor: NodeId, node: NodeId) -> bool {
+    ancestors(tree, node).any(|a| a == ancestor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+    use crate::tree::TreeBuilder;
+
+    fn tree() -> XmlTree {
+        let doc =
+            parse("<films><picture><cast><star/><star/></cast><plot/></picture></films>").unwrap();
+        TreeBuilder::new().build(&doc).unwrap().tree
+    }
+
+    fn find(t: &XmlTree, label: &str) -> NodeId {
+        t.preorder().find(|&id| t.label(id) == label).unwrap()
+    }
+
+    #[test]
+    fn root_path_from_leaf() {
+        let t = tree();
+        let star = find(&t, "star");
+        let labels: Vec<_> = root_path(&t, star)
+            .into_iter()
+            .map(|n| t.label(n).to_string())
+            .collect();
+        assert_eq!(labels, ["films", "picture", "cast", "star"]);
+    }
+
+    #[test]
+    fn root_path_of_root_is_itself() {
+        let t = tree();
+        assert_eq!(root_path(&t, t.root()), vec![t.root()]);
+    }
+
+    #[test]
+    fn ancestors_excludes_self() {
+        let t = tree();
+        let cast = find(&t, "cast");
+        let labels: Vec<_> = ancestors(&t, cast)
+            .map(|n| t.label(n).to_string())
+            .collect();
+        assert_eq!(labels, ["picture", "films"]);
+    }
+
+    #[test]
+    fn subtree_preorder() {
+        let t = tree();
+        let cast = find(&t, "cast");
+        let labels: Vec<_> = subtree(&t, cast)
+            .into_iter()
+            .map(|n| t.label(n).to_string())
+            .collect();
+        assert_eq!(labels, ["cast", "star", "star"]);
+    }
+
+    #[test]
+    fn descendants_excludes_self() {
+        let t = tree();
+        let picture = find(&t, "picture");
+        assert_eq!(descendants(&t, picture).len(), 4); // cast, star, star, plot
+    }
+
+    #[test]
+    fn siblings_of_plot() {
+        let t = tree();
+        let plot = find(&t, "plot");
+        let labels: Vec<_> = siblings(&t, plot)
+            .into_iter()
+            .map(|n| t.label(n).to_string())
+            .collect();
+        assert_eq!(labels, ["cast"]);
+        assert!(siblings(&t, t.root()).is_empty());
+    }
+
+    #[test]
+    fn ancestor_predicate() {
+        let t = tree();
+        let films = find(&t, "films");
+        let star = find(&t, "star");
+        assert!(is_ancestor(&t, films, star));
+        assert!(!is_ancestor(&t, star, films));
+        assert!(!is_ancestor(&t, star, star));
+    }
+}

@@ -1,0 +1,201 @@
+//! Serialization of [`Document`]s back to XML text.
+
+use std::fmt::Write;
+
+use crate::document::{DocNode, DocNodeId, Document};
+
+/// Escapes character data for use in text content.
+pub fn escape_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes character data for use inside a double-quoted attribute value.
+pub fn escape_attr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '&' => out.push_str("&amp;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serializes a document to XML, with a leading XML declaration and
+/// two-space indentation of element children.
+pub fn to_string_pretty(doc: &Document) -> String {
+    let mut out = String::from("<?xml version=\"1.0\"?>\n");
+    for &child in doc.document_children() {
+        write_node(doc, child, &mut out, 0, true);
+    }
+    out
+}
+
+/// Serializes a document to compact XML (no added whitespace, no
+/// declaration). Round-trips through [`crate::parse`].
+pub fn to_string_compact(doc: &Document) -> String {
+    let mut out = String::new();
+    for &child in doc.document_children() {
+        write_node(doc, child, &mut out, 0, false);
+    }
+    out
+}
+
+fn write_node(doc: &Document, id: DocNodeId, out: &mut String, indent: usize, pretty: bool) {
+    let pad = if pretty {
+        "  ".repeat(indent)
+    } else {
+        String::new()
+    };
+    let nl = if pretty { "\n" } else { "" };
+    match doc.node(id) {
+        DocNode::Element { name, attributes } => {
+            write!(out, "{pad}<{name}").unwrap();
+            for attr in attributes {
+                write!(out, " {}=\"{}\"", attr.name, escape_attr(&attr.value)).unwrap();
+            }
+            let children = doc.children(id);
+            if children.is_empty() {
+                write!(out, "/>{nl}").unwrap();
+            } else {
+                // A single textual child is kept inline even in pretty mode.
+                let inline = pretty && children.len() == 1 && doc.node(children[0]).is_textual();
+                if inline {
+                    write!(out, ">").unwrap();
+                    write_node(doc, children[0], out, 0, false);
+                    write!(out, "</{name}>{nl}").unwrap();
+                } else {
+                    write!(out, ">{nl}").unwrap();
+                    for &c in children {
+                        write_node(doc, c, out, indent + 1, pretty);
+                    }
+                    write!(out, "{pad}</{name}>{nl}").unwrap();
+                }
+            }
+        }
+        DocNode::Text(t) => {
+            write!(out, "{}", escape_text(t)).unwrap();
+        }
+        DocNode::CData(t) => {
+            write!(out, "<![CDATA[{t}]]>").unwrap();
+        }
+        DocNode::Comment(t) => {
+            write!(out, "{pad}<!--{t}-->{nl}").unwrap();
+        }
+        DocNode::ProcessingInstruction { target, data } => {
+            if data.is_empty() {
+                write!(out, "{pad}<?{target}?>{nl}").unwrap();
+            } else {
+                write!(out, "{pad}<?{target} {data}?>{nl}").unwrap();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn compact_roundtrip() {
+        let xml = r#"<films><picture title="Rear Window"><director>Hitchcock</director></picture></films>"#;
+        let doc = parse(xml).unwrap();
+        let text = to_string_compact(&doc);
+        assert_eq!(text, xml);
+        // And it parses back to an equivalent document.
+        let doc2 = parse(&text).unwrap();
+        assert_eq!(doc.element_count(), doc2.element_count());
+    }
+
+    #[test]
+    fn escaping_roundtrip() {
+        let mut doc = Document::new();
+        let root = doc.add_element(None, "t");
+        doc.add_attribute(root, "v", "a&b\"c<d").unwrap();
+        doc.add_text(root, "x < y & z");
+        let text = to_string_compact(&doc);
+        let doc2 = parse(&text).unwrap();
+        let root2 = doc2.root_element().unwrap();
+        assert_eq!(doc2.attribute(root2, "v"), Some("a&b\"c<d"));
+        assert_eq!(doc2.text_content(root2), "x < y & z");
+    }
+
+    #[test]
+    fn pretty_output_is_indented() {
+        let doc = parse("<a><b><c/></b></a>").unwrap();
+        let text = to_string_pretty(&doc);
+        assert!(text.starts_with("<?xml"));
+        assert!(text.contains("\n    <c/>"));
+    }
+
+    #[test]
+    fn pretty_inlines_single_text_child() {
+        let doc = parse("<a><b>hello</b></a>").unwrap();
+        let text = to_string_pretty(&doc);
+        assert!(text.contains("<b>hello</b>"));
+    }
+
+    #[test]
+    fn cdata_preserved() {
+        let doc = parse("<a><![CDATA[<raw>]]></a>").unwrap();
+        let text = to_string_compact(&doc);
+        assert!(text.contains("<![CDATA[<raw>]]>"));
+    }
+
+    #[test]
+    fn comment_and_pi_serialized() {
+        let mut doc = Document::new();
+        doc.add_comment(None, " note ");
+        let root = doc.add_element(None, "r");
+        doc.add_pi(Some(root), "target", "data");
+        let text = to_string_compact(&doc);
+        assert!(text.contains("<!-- note -->"));
+        assert!(text.contains("<?target data?>"));
+    }
+
+    #[test]
+    fn random_docs_roundtrip() {
+        // A small deterministic structural fuzz: build documents of varying
+        // shapes and check parse(serialize(doc)) preserves structure.
+        for seed in 0..20u64 {
+            let mut doc = Document::new();
+            let root = doc.add_element(None, "root");
+            let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let mut parents = vec![root];
+            for i in 0..30 {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let pick = (state >> 33) as usize % parents.len();
+                let parent = parents[pick];
+                match (state >> 13) % 3 {
+                    0 => {
+                        let e = doc.add_element(Some(parent), format!("e{i}"));
+                        parents.push(e);
+                    }
+                    1 => {
+                        doc.add_text(parent, format!("text {i} & more"));
+                    }
+                    _ => {
+                        let _ = doc.add_attribute(parent, format!("a{i}"), format!("v<{i}>"));
+                    }
+                }
+            }
+            let text = to_string_compact(&doc);
+            let doc2 = parse(&text).unwrap();
+            assert_eq!(doc.element_count(), doc2.element_count(), "seed {seed}");
+        }
+    }
+}

@@ -1,0 +1,53 @@
+use xmltree::tree::TreeBuilder;
+use xsdf::senses::LingTokenizer;
+
+fn main() {
+    let sn = semnet::mini_wordnet();
+    let doc = xmltree::parse(
+        "<films><picture><cast><star>Stewart</star><star>Kelly</star></cast><plot/></picture></films>",
+    ).unwrap();
+    let tree = TreeBuilder::with_tokenizer(LingTokenizer::new(sn))
+        .build(&doc)
+        .unwrap()
+        .tree;
+    let cast = tree.preorder().find(|&n| tree.label(n) == "cast").unwrap();
+    let sim = semsim::CombinedSimilarity::default();
+    let ctx = xsdf::concept_based::ConceptContext::build(sn, &tree, cast, 2);
+    for key in [
+        "cast.actors",
+        "cast.mold",
+        "cast.throw",
+        "cast.plaster",
+        "cast.appearance",
+    ] {
+        let c = sn.by_key(key).unwrap();
+        println!(
+            "{key}: concept_score = {:.4}",
+            ctx.score_single(sn, &sim, c)
+        );
+    }
+    println!("--- pairwise sims of cast senses vs context senses ---");
+    for ckey in ["cast.actors", "cast.mold", "cast.appearance"] {
+        let c = sn.by_key(ckey).unwrap();
+        for okey in [
+            "star.performer",
+            "star.celestial",
+            "star.shape",
+            "kelly.grace",
+            "picture.image",
+            "film.movie",
+            "plot.story",
+            "stewart.james",
+        ] {
+            let o = sn.by_key(okey).unwrap();
+            let wp = semsim::wu_palmer(sn, c, o);
+            let li = semsim::lin(sn, c, o);
+            let gl = semsim::extended_gloss_overlap(sn, c, o);
+            println!(
+                "{ckey:18} vs {okey:18}: wp={wp:.3} lin={li:.3} gloss={gl:.3} comb={:.3}",
+                (wp + li + gl) / 3.0
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,299 @@
+//! The `xsdf` command-line tool: run the XML Semantic Disambiguation
+//! Framework on files from the shell.
+//!
+//! ```text
+//! xsdf disambiguate doc.xml [--radius N] [--process concept|context|combined]
+//!                           [--threshold auto|<float>] [--network kb.sn]
+//!                           [--structure-only] [--quiet]
+//! xsdf ambiguity    doc.xml [--network kb.sn]       # Amb_Deg per node
+//! xsdf network      [--export kb.sn]                # MiniWordNet stats/export
+//! xsdf senses       <word> [--network kb.sn]        # sense inventory of a word
+//! ```
+
+use std::process::ExitCode;
+
+use xsdf::{DisambiguationProcess, ThresholdPolicy, Xsdf, XsdfConfig};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match command.as_str() {
+        "disambiguate" => cmd_disambiguate(&args[1..]),
+        "ambiguity" => cmd_ambiguity(&args[1..]),
+        "network" => cmd_network(&args[1..]),
+        "import-wndb" => cmd_import_wndb(&args[1..]),
+        "senses" => cmd_senses(&args[1..]),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+xsdf — XML Semantic Disambiguation Framework (EDBT 2015)
+
+USAGE:
+    xsdf disambiguate <file.xml> [options]   resolve node senses, print annotated XML
+    xsdf ambiguity    <file.xml> [options]   print each node's ambiguity degree
+    xsdf network      [--export <file>]      built-in network stats / text export
+    xsdf senses       <word> [options]       list a word's senses
+
+OPTIONS:
+    --network <file>      load a semantic network (text format) instead of MiniWordNet
+    --radius <1|2|3|..>   sphere neighborhood radius d          [default: 2]
+    --process <p>         concept | context | combined          [default: concept]
+    --threshold <t>       auto | a float in [0,1]               [default: 0]
+    --structure-only      ignore element/attribute text values
+    --quiet               suppress the per-node report";
+
+/// Simple flag parser: returns (positional args, flag lookup).
+struct Flags<'a> {
+    args: &'a [String],
+}
+
+impl<'a> Flags<'a> {
+    fn positional(&self) -> Vec<&'a str> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < self.args.len() {
+            let a = &self.args[i];
+            if a.starts_with("--") {
+                if !matches!(a.as_str(), "--structure-only" | "--quiet") {
+                    i += 1; // skip the flag's value
+                }
+            } else {
+                out.push(a.as_str());
+            }
+            i += 1;
+        }
+        out
+    }
+
+    fn value(&self, name: &str) -> Option<&'a str> {
+        self.args
+            .iter()
+            .position(|a| a == name)
+            .and_then(|i| self.args.get(i + 1))
+            .map(String::as_str)
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.args.iter().any(|a| a == name)
+    }
+}
+
+enum Network {
+    Builtin,
+    Loaded(Box<semnet::SemanticNetwork>),
+}
+
+impl Network {
+    fn get(&self) -> &semnet::SemanticNetwork {
+        match self {
+            Self::Builtin => semnet::mini_wordnet(),
+            Self::Loaded(sn) => sn,
+        }
+    }
+}
+
+fn load_network(flags: &Flags) -> Result<Network, String> {
+    match flags.value("--network") {
+        None => Ok(Network::Builtin),
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read network {path}: {e}"))?;
+            let sn = semnet::format::from_text(&text)
+                .map_err(|e| format!("cannot parse network {path}: {e}"))?;
+            Ok(Network::Loaded(Box::new(sn)))
+        }
+    }
+}
+
+fn build_config(flags: &Flags) -> Result<XsdfConfig, String> {
+    let mut config = XsdfConfig::default();
+    if let Some(radius) = flags.value("--radius") {
+        config.radius = radius
+            .parse()
+            .map_err(|_| format!("bad --radius value {radius:?}"))?;
+    }
+    if let Some(process) = flags.value("--process") {
+        config.process = match process {
+            "concept" => DisambiguationProcess::ConceptBased,
+            "context" => DisambiguationProcess::ContextBased,
+            "combined" => DisambiguationProcess::Combined {
+                concept: 0.5,
+                context: 0.5,
+            },
+            other => return Err(format!("bad --process value {other:?}")),
+        };
+    }
+    if let Some(threshold) = flags.value("--threshold") {
+        config.threshold = if threshold == "auto" {
+            ThresholdPolicy::Auto
+        } else {
+            let t: f64 = threshold
+                .parse()
+                .map_err(|_| format!("bad --threshold value {threshold:?}"))?;
+            ThresholdPolicy::Fixed(t)
+        };
+    }
+    if flags.has("--structure-only") {
+        config.structure_and_content = false;
+    }
+    Ok(config)
+}
+
+fn read_doc(flags: &Flags) -> Result<(String, String), String> {
+    let positional = flags.positional();
+    let path = positional
+        .first()
+        .ok_or_else(|| "missing input file (see `xsdf help`)".to_string())?;
+    let xml = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    Ok((path.to_string(), xml))
+}
+
+fn cmd_disambiguate(args: &[String]) -> Result<(), String> {
+    let flags = Flags { args };
+    let (path, xml) = read_doc(&flags)?;
+    let network = load_network(&flags)?;
+    let config = build_config(&flags)?;
+    let framework = Xsdf::new(network.get(), config);
+    let result = framework
+        .disambiguate_str(&xml)
+        .map_err(|e| format!("{path}: {e}"))?;
+    if !flags.has("--quiet") {
+        eprintln!(
+            "{path}: {} nodes, {} targets, {} senses assigned",
+            result.reports.len(),
+            result.targets().count(),
+            result.assigned_count()
+        );
+        for report in &result.reports {
+            if let Some((_, score)) = &report.chosen {
+                let sense = result.semantic_tree.sense(report.node).unwrap();
+                eprintln!("  {:16} -> {:24} ({score:.3})", report.label, sense.concept);
+            }
+        }
+    }
+    println!("{}", result.semantic_tree.to_annotated_xml());
+    Ok(())
+}
+
+fn cmd_ambiguity(args: &[String]) -> Result<(), String> {
+    let flags = Flags { args };
+    let (path, xml) = read_doc(&flags)?;
+    let network = load_network(&flags)?;
+    let sn = network.get();
+    let doc = xmltree::parse(&xml).map_err(|e| format!("{path}: {e}"))?;
+    let framework = Xsdf::new(sn, XsdfConfig::default());
+    let tree = framework.build_tree(&doc);
+    println!("{:>8}  {:>7}  {:>5}  label", "Amb_Deg", "senses", "depth");
+    let mut rows: Vec<(f64, usize, u32, String)> = tree
+        .preorder()
+        .map(|n| {
+            let degree =
+                xsdf::ambiguity::ambiguity_degree(sn, &tree, n, xsdf::AmbiguityWeights::equal());
+            let senses = sn
+                .senses_normalized(tree.label(n), lingproc::porter_stem)
+                .len();
+            (degree, senses, tree.depth(n), tree.label(n).to_string())
+        })
+        .collect();
+    rows.sort_by(|a, b| b.0.total_cmp(&a.0));
+    for (degree, senses, depth, label) in rows {
+        println!("{degree:>8.4}  {senses:>7}  {depth:>5}  {label}");
+    }
+    Ok(())
+}
+
+fn cmd_network(args: &[String]) -> Result<(), String> {
+    let flags = Flags { args };
+    let network = load_network(&flags)?;
+    let sn = network.get();
+    if let Some(path) = flags.value("--export") {
+        std::fs::write(path, semnet::format::to_text(sn))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("exported {} concepts to {path}", sn.len());
+        return Ok(());
+    }
+    println!("concepts:       {}", sn.len());
+    println!("vocabulary:     {}", sn.vocabulary_size());
+    println!("typed edges:    {}", sn.all_edges().count());
+    println!("max depth:      {}", sn.max_depth());
+    println!("max polysemy:   {}", sn.max_polysemy());
+    println!("total frequency:{}", sn.total_frequency());
+    Ok(())
+}
+
+fn cmd_import_wndb(args: &[String]) -> Result<(), String> {
+    let flags = Flags { args };
+    let inputs = flags.positional();
+    if inputs.is_empty() {
+        return Err("missing WNDB data files (e.g. data.noun)".into());
+    }
+    let out_path = flags.value("--out").ok_or("missing --out <file>")?;
+    let mut importer = semnet::wndb::WndbImporter::new();
+    for path in inputs {
+        // Infer the part of speech from the file name suffix.
+        let pos = if path.ends_with("noun") {
+            semnet::PartOfSpeech::Noun
+        } else if path.ends_with("verb") {
+            semnet::PartOfSpeech::Verb
+        } else if path.ends_with("adj") {
+            semnet::PartOfSpeech::Adjective
+        } else if path.ends_with("adv") {
+            semnet::PartOfSpeech::Adverb
+        } else {
+            return Err(format!("cannot infer part of speech from {path:?}"));
+        };
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        importer
+            .add_data(&text, pos)
+            .map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("{path}: {} synsets so far", importer.len());
+    }
+    let sn = importer.build().map_err(|e| e.to_string())?;
+    std::fs::write(out_path, semnet::format::to_text(&sn))
+        .map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    eprintln!("wrote {} concepts to {out_path}", sn.len());
+    Ok(())
+}
+
+fn cmd_senses(args: &[String]) -> Result<(), String> {
+    let flags = Flags { args };
+    let positional = flags.positional();
+    let word = positional
+        .first()
+        .ok_or_else(|| "missing word".to_string())?;
+    let network = load_network(&flags)?;
+    let sn = network.get();
+    let senses = sn.senses_normalized(word, lingproc::porter_stem);
+    if senses.is_empty() {
+        println!("{word}: no senses in the network");
+        return Ok(());
+    }
+    println!("{word}: {} sense(s)", senses.len());
+    for &c in senses {
+        let concept = sn.concept(c);
+        println!(
+            "  {:24} freq {:>4}  [{}]  {}",
+            concept.key,
+            concept.frequency,
+            concept.lemmas.join(", "),
+            concept.gloss
+        );
+    }
+    Ok(())
+}

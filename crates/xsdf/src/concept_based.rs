@@ -1,0 +1,306 @@
+//! Concept-based semantic disambiguation (Section 3.5.1, Definition 8).
+//!
+//! For a candidate sense `s_p` of target node `x` with sphere context
+//! `S_d(x)`:
+//!
+//! ```text
+//!                      Σ_{x_i ∈ S_d(x)}  Max_j ( Sim(s_p, s_j^i) · w_{V_d(x)}(x_i.ℓ) )
+//! Concept_Score(s_p) = ─────────────────────────────────────────────────────────────────
+//!                                           |S_d(x)|
+//! ```
+//!
+//! where `s_j^i` ranges over the senses of context node `x_i`'s label and
+//! `Sim` is the combined measure of Definition 9. Compound target labels use
+//! the averaged pair similarity of Equation 10.
+
+use semnet::{ConceptId, SemanticNetwork};
+use semsim::{CombinedSimilarity, SparseVector};
+use xmltree::{NodeId, XmlTree};
+
+use crate::senses::{disambiguation_candidates, SenseCandidates};
+use crate::sphere::{
+    xml_context_vector, xml_context_vector_weighted, xml_sphere, xml_sphere_weighted,
+};
+use xmltree::distance::DistancePolicy;
+
+/// Pre-resolved context information for one target node, reused across all
+/// of its candidate senses.
+pub struct ConceptContext {
+    /// `(context label, context-vector weight, senses of that label)` per
+    /// sphere node, with the compound special case flattened: a compound
+    /// context label contributes its two token sense lists separately, each
+    /// averaged per Equation 10's note on compound context labels.
+    entries: Vec<ContextEntry>,
+    /// `|S_d(x)|` of Definition 8.
+    cardinality: usize,
+}
+
+struct ContextEntry {
+    weight: f64,
+    senses: Vec<ConceptId>,
+    /// Second sense list for compound context labels (averaged with the
+    /// first when scoring).
+    second_senses: Option<Vec<ConceptId>>,
+}
+
+impl ConceptContext {
+    /// Resolves the sphere context of `target` at the given radius.
+    pub fn build(sn: &SemanticNetwork, tree: &XmlTree, target: NodeId, radius: u32) -> Self {
+        Self::build_with_policy(sn, tree, target, radius, DistancePolicy::EdgeCount)
+    }
+
+    /// [`ConceptContext::build`] under an alternative distance policy
+    /// (Section 5's future-work distances).
+    pub fn build_with_policy(
+        sn: &SemanticNetwork,
+        tree: &XmlTree,
+        target: NodeId,
+        radius: u32,
+        policy: DistancePolicy,
+    ) -> Self {
+        let nodes: Vec<(NodeId, ())> = if policy == DistancePolicy::EdgeCount {
+            xml_sphere(tree, target, radius)
+                .into_iter()
+                .map(|(n, _)| (n, ()))
+                .collect()
+        } else {
+            xml_sphere_weighted(tree, target, radius, policy)
+                .into_iter()
+                .map(|(n, _)| (n, ()))
+                .collect()
+        };
+        let vector = xml_context_vector_weighted(tree, target, radius, policy);
+        let cardinality = nodes.len();
+        let mut entries = Vec::with_capacity(nodes.len());
+        for (node, _) in nodes {
+            let label = tree.label(node);
+            let weight = vector.get(label);
+            match disambiguation_candidates(sn, label, tree.node(node).kind) {
+                SenseCandidates::Unknown => {}
+                SenseCandidates::Single(senses) => {
+                    entries.push(ContextEntry {
+                        weight,
+                        senses,
+                        second_senses: None,
+                    });
+                }
+                SenseCandidates::Compound { first, second } => {
+                    entries.push(ContextEntry {
+                        weight,
+                        senses: first,
+                        second_senses: Some(second),
+                    });
+                }
+            }
+        }
+        Self {
+            entries,
+            cardinality,
+        }
+    }
+
+    /// The context vector used for weighting (exposed for diagnostics).
+    pub fn vector(tree: &XmlTree, target: NodeId, radius: u32) -> SparseVector {
+        xml_context_vector(tree, target, radius)
+    }
+
+    /// Number of context nodes that contributed sense entries.
+    pub fn informative_nodes(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn max_sim_with(
+        &self,
+        sn: &SemanticNetwork,
+        sim: &CombinedSimilarity,
+        entry: &ContextEntry,
+        score_of: &dyn Fn(&SemanticNetwork, &CombinedSimilarity, ConceptId) -> f64,
+    ) -> f64 {
+        // Max over the context node's senses of Sim(candidate, s_j^i).
+        let best_first = entry
+            .senses
+            .iter()
+            .map(|&s| score_of(sn, sim, s))
+            .fold(0.0f64, f64::max);
+        match &entry.second_senses {
+            None => best_first,
+            Some(second) => {
+                let best_second = second
+                    .iter()
+                    .map(|&s| score_of(sn, sim, s))
+                    .fold(0.0f64, f64::max);
+                // Compound context label: average the two tokens' best
+                // similarities (mirror of Equation 10 applied to context).
+                if entry.senses.is_empty() {
+                    best_second
+                } else if second.is_empty() {
+                    best_first
+                } else {
+                    (best_first + best_second) / 2.0
+                }
+            }
+        }
+    }
+
+    /// `Concept_Score(s_p, S_d(x), S̄N)` of Definition 8.
+    pub fn score_single(
+        &self,
+        sn: &SemanticNetwork,
+        sim: &CombinedSimilarity,
+        candidate: ConceptId,
+    ) -> f64 {
+        if self.cardinality == 0 {
+            return 0.0;
+        }
+        let total: f64 = self
+            .entries
+            .iter()
+            .map(|e| {
+                let best =
+                    self.max_sim_with(sn, sim, e, &|sn, sim, s| sim.similarity(sn, candidate, s));
+                best * e.weight
+            })
+            .sum();
+        (total / self.cardinality as f64).clamp(0.0, 1.0)
+    }
+
+    /// `Concept_Score((s_p, s_q), S_d(x), S̄N)` of Equation 10 — the
+    /// compound-target special case: each context comparison averages the
+    /// similarities of the two target token senses.
+    pub fn score_pair(
+        &self,
+        sn: &SemanticNetwork,
+        sim: &CombinedSimilarity,
+        first: ConceptId,
+        second: ConceptId,
+    ) -> f64 {
+        if self.cardinality == 0 {
+            return 0.0;
+        }
+        let total: f64 = self
+            .entries
+            .iter()
+            .map(|e| {
+                let best = self.max_sim_with(sn, sim, e, &|sn, sim, s| {
+                    (sim.similarity(sn, first, s) + sim.similarity(sn, second, s)) / 2.0
+                });
+                best * e.weight
+            })
+            .sum();
+        (total / self.cardinality as f64).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::senses::LingTokenizer;
+    use semnet::mini_wordnet;
+    use xmltree::tree::TreeBuilder;
+
+    fn tree(xml: &str) -> XmlTree {
+        let doc = xmltree::parse(xml).unwrap();
+        TreeBuilder::with_tokenizer(LingTokenizer::new(mini_wordnet()))
+            .build(&doc)
+            .unwrap()
+            .tree
+    }
+
+    fn find(t: &XmlTree, label: &str) -> NodeId {
+        t.preorder().find(|&id| t.label(id) == label).unwrap()
+    }
+
+    fn id(key: &str) -> ConceptId {
+        mini_wordnet().by_key(key).unwrap()
+    }
+
+    #[test]
+    fn figure1_cast_resolves_to_actors() {
+        // "cast" surrounded by picture/star/kelly/stewart must prefer
+        // cast-the-actors over cast-the-mold/throw/plaster.
+        let t = tree(
+            "<films><picture><cast><star>Stewart</star><star>Kelly</star></cast><plot/></picture></films>",
+        );
+        let sn = mini_wordnet();
+        let cast = find(&t, "cast");
+        let ctx = ConceptContext::build(sn, &t, cast, 2);
+        let sim = CombinedSimilarity::default();
+        let actors = ctx.score_single(sn, &sim, id("cast.actors"));
+        for other in ["cast.mold", "cast.throw", "cast.plaster", "cast.appearance"] {
+            let score = ctx.score_single(sn, &sim, id(other));
+            assert!(actors > score, "cast.actors {actors} <= {other} {score}");
+        }
+    }
+
+    #[test]
+    fn figure1_kelly_resolves_to_grace() {
+        // Section 1: "looking at its context in the document, a human user
+        // can tell that Kelly here refers to Grace Kelly."
+        let t = tree(
+            "<films><picture title=\"Rear Window\"><director>Hitchcock</director><cast><star>Stewart</star><star>Kelly</star></cast></picture></films>",
+        );
+        let sn = mini_wordnet();
+        let kelly = t
+            .preorder()
+            .find(|&n| t.label(n) == "kelly")
+            .expect("kelly token node");
+        let ctx = ConceptContext::build(sn, &t, kelly, 2);
+        let sim = CombinedSimilarity::default();
+        let grace = ctx.score_single(sn, &sim, id("kelly.grace"));
+        let gene = ctx.score_single(sn, &sim, id("kelly.gene"));
+        let emmett = ctx.score_single(sn, &sim, id("kelly.emmett"));
+        assert!(grace >= gene, "{grace} < {gene}");
+        assert!(grace > emmett, "{grace} <= {emmett}");
+    }
+
+    #[test]
+    fn scores_bounded() {
+        let t = tree("<movies><movie><genre>mystery</genre><star>Kelly</star></movie></movies>");
+        let sn = mini_wordnet();
+        let sim = CombinedSimilarity::default();
+        for node in t.preorder() {
+            if let SenseCandidates::Single(senses) =
+                disambiguation_candidates(sn, t.label(node), t.node(node).kind)
+            {
+                let ctx = ConceptContext::build(sn, &t, node, 2);
+                for s in senses {
+                    let score = ctx.score_single(sn, &sim, s);
+                    assert!((0.0..=1.0).contains(&score));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_context_scores_zero() {
+        let t = tree("<star/>");
+        let sn = mini_wordnet();
+        let ctx = ConceptContext::build(sn, &t, t.root(), 2);
+        let sim = CombinedSimilarity::default();
+        assert_eq!(ctx.score_single(sn, &sim, id("star.performer")), 0.0);
+    }
+
+    #[test]
+    fn pair_score_averages_token_evidence() {
+        // Compound target "star picture" in a movie context: the pair
+        // (performer, movie) should beat (celestial, mental-image).
+        let t = tree("<films><star_picture/><cast/><actor/></films>");
+        let sn = mini_wordnet();
+        let target = find(&t, "star picture");
+        let ctx = ConceptContext::build(sn, &t, target, 2);
+        let sim = CombinedSimilarity::default();
+        let coherent = ctx.score_pair(sn, &sim, id("star.performer"), id("film.movie"));
+        let incoherent = ctx.score_pair(sn, &sim, id("star.celestial"), id("picture.mental"));
+        assert!(coherent > incoherent, "{coherent} <= {incoherent}");
+    }
+
+    #[test]
+    fn richer_context_produces_nonzero_scores() {
+        let t = tree("<cast><star>Kelly</star></cast>");
+        let sn = mini_wordnet();
+        let ctx = ConceptContext::build(sn, &t, t.root(), 2);
+        assert!(ctx.informative_nodes() >= 2);
+        let sim = CombinedSimilarity::default();
+        assert!(ctx.score_single(sn, &sim, id("cast.actors")) > 0.0);
+    }
+}

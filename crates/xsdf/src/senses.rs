@@ -1,0 +1,293 @@
+//! Sense-candidate resolution: mapping processed node labels to candidate
+//! concepts in the semantic network, and the linguistically aware tokenizer
+//! that builds XML trees with pre-processed labels (Section 3.2).
+
+use lingproc::{porter_stem, LabelKind, Preprocessor};
+use semnet::{ConceptId, SemanticNetwork};
+use xmltree::tree::ValueTokenizer;
+
+/// The candidate senses of one node label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SenseCandidates {
+    /// The label is unknown to the semantic network: nothing to do.
+    Unknown,
+    /// A single word (or a compound that matched one concept): candidates
+    /// are the senses of that expression.
+    Single(Vec<ConceptId>),
+    /// An unmatched compound `t1 t2`: one sense pair `(s_p, s_q)` must be
+    /// chosen (the special cases of Definitions 8 and 10).
+    Compound {
+        /// Senses of the first token.
+        first: Vec<ConceptId>,
+        /// Senses of the second token.
+        second: Vec<ConceptId>,
+    },
+}
+
+impl SenseCandidates {
+    /// Number of alternative readings (sense count, or the product of the
+    /// two token sense counts for compounds — every combination is one
+    /// candidate).
+    pub fn candidate_count(&self) -> usize {
+        match self {
+            Self::Unknown => 0,
+            Self::Single(senses) => senses.len(),
+            Self::Compound { first, second } => first.len().max(1) * second.len().max(1),
+        }
+    }
+
+    /// The polysemy figure the ambiguity measure uses: for compounds the
+    /// measure averages the two tokens' degrees, so this returns the pair.
+    pub fn polysemy(&self) -> (usize, Option<usize>) {
+        match self {
+            Self::Unknown => (0, None),
+            Self::Single(senses) => (senses.len(), None),
+            Self::Compound { first, second } => (first.len(), Some(second.len())),
+        }
+    }
+}
+
+/// Resolves the candidate senses of a processed tree-node label.
+///
+/// Labels come out of [`LingTokenizer`] in one of two shapes: a single
+/// token (possibly a multi-word expression such as `first name` that
+/// matched one concept) or two space-separated tokens that did not match a
+/// single concept.
+pub fn candidates_for_label(sn: &SemanticNetwork, label: &str) -> SenseCandidates {
+    let direct = sn.senses_normalized(label, porter_stem);
+    if !direct.is_empty() {
+        return SenseCandidates::Single(direct.to_vec());
+    }
+    // Two-token compound that has no single-concept match.
+    if let Some((a, b)) = label.split_once(' ') {
+        if label.matches(' ').count() == 1 {
+            let first = sn.senses_normalized(a, porter_stem).to_vec();
+            let second = sn.senses_normalized(b, porter_stem).to_vec();
+            if first.is_empty() && second.is_empty() {
+                return SenseCandidates::Unknown;
+            }
+            return SenseCandidates::Compound { first, second };
+        }
+    }
+    SenseCandidates::Unknown
+}
+
+/// Candidate senses for *disambiguation* of a node of the given kind.
+///
+/// XML element and attribute tag names are nominal phrases, so their
+/// candidates are restricted to noun (and named-instance) senses when any
+/// exist, falling back to the full sense list otherwise. Value tokens —
+/// free text — keep every part of speech. The *ambiguity degree* of
+/// Definition 3, in contrast, always counts all senses (Proposition 1
+/// measures raw lexical polysemy), which is why this filter lives apart
+/// from [`candidates_for_label`].
+pub fn disambiguation_candidates(
+    sn: &SemanticNetwork,
+    label: &str,
+    kind: xmltree::NodeKind,
+) -> SenseCandidates {
+    let all = candidates_for_label(sn, label);
+    if kind == xmltree::NodeKind::ValueToken {
+        return all;
+    }
+    let keep_nouns = |senses: Vec<ConceptId>| -> Vec<ConceptId> {
+        let nouns: Vec<ConceptId> = senses
+            .iter()
+            .copied()
+            .filter(|&c| sn.concept(c).pos == semnet::PartOfSpeech::Noun)
+            .collect();
+        if nouns.is_empty() {
+            senses
+        } else {
+            nouns
+        }
+    };
+    match all {
+        SenseCandidates::Unknown => SenseCandidates::Unknown,
+        SenseCandidates::Single(senses) => SenseCandidates::Single(keep_nouns(senses)),
+        SenseCandidates::Compound { first, second } => SenseCandidates::Compound {
+            first: keep_nouns(first),
+            second: keep_nouns(second),
+        },
+    }
+}
+
+/// A [`ValueTokenizer`] backed by the linguistic pre-processing pipeline
+/// and the semantic network's lexicon: tag names get compound handling and
+/// conditional stemming; text values get tokenization, stop-word removal,
+/// and conditional stemming.
+pub struct LingTokenizer<'sn> {
+    sn: &'sn SemanticNetwork,
+    pre: Preprocessor,
+}
+
+impl<'sn> LingTokenizer<'sn> {
+    /// A tokenizer resolving against `sn` with default pre-processing.
+    pub fn new(sn: &'sn SemanticNetwork) -> Self {
+        Self {
+            sn,
+            pre: Preprocessor::new(),
+        }
+    }
+
+    /// Overrides the pre-processor settings.
+    pub fn with_preprocessor(sn: &'sn SemanticNetwork, pre: Preprocessor) -> Self {
+        Self { sn, pre }
+    }
+}
+
+impl ValueTokenizer for LingTokenizer<'_> {
+    fn tokenize_value(&self, text: &str) -> Vec<String> {
+        let lexicon = |w: &str| self.sn.has_word(w);
+        self.pre.process_text_value(text, &lexicon)
+    }
+
+    fn normalize_label(&self, name: &str) -> String {
+        let lexicon = |w: &str| self.sn.has_word(w);
+        match self.pre.process_tag_name(name, &lexicon) {
+            Some(label) => label.display(),
+            None => name.to_string(),
+        }
+    }
+}
+
+/// Re-derives the [`LabelKind`] of a processed label string (labels built
+/// by [`LingTokenizer::normalize_label`] are single tokens, single
+/// multi-word expressions known to the lexicon, or two-token compounds).
+pub fn label_kind(sn: &SemanticNetwork, label: &str) -> LabelKind {
+    if sn.has_word(label) || !label.contains(' ') {
+        LabelKind::Single(label.to_string())
+    } else {
+        match label.split_once(' ') {
+            Some((a, b)) => LabelKind::Compound(a.to_string(), b.to_string()),
+            None => LabelKind::Single(label.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semnet::mini_wordnet;
+    use xmltree::tree::TreeBuilder;
+
+    #[test]
+    fn single_word_candidates() {
+        let sn = mini_wordnet();
+        match candidates_for_label(sn, "star") {
+            SenseCandidates::Single(senses) => assert!(senses.len() >= 5),
+            other => panic!("expected Single, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multiword_expression_is_single() {
+        let sn = mini_wordnet();
+        match candidates_for_label(sn, "first name") {
+            SenseCandidates::Single(senses) => assert_eq!(senses.len(), 1),
+            other => panic!("expected Single, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unmatched_compound_splits() {
+        let sn = mini_wordnet();
+        match candidates_for_label(sn, "star picture") {
+            SenseCandidates::Compound { first, second } => {
+                assert!(!first.is_empty());
+                assert!(!second.is_empty());
+            }
+            other => panic!("expected Compound, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_label() {
+        let sn = mini_wordnet();
+        assert_eq!(
+            candidates_for_label(sn, "zorbleflux"),
+            SenseCandidates::Unknown
+        );
+        assert_eq!(
+            candidates_for_label(sn, "zorble flux"),
+            SenseCandidates::Unknown
+        );
+    }
+
+    #[test]
+    fn candidate_counts() {
+        let sn = mini_wordnet();
+        let single = candidates_for_label(sn, "kelly");
+        assert_eq!(single.candidate_count(), 3);
+        let unknown = candidates_for_label(sn, "qqq");
+        assert_eq!(unknown.candidate_count(), 0);
+    }
+
+    #[test]
+    fn capitalized_and_plural_lookup() {
+        let sn = mini_wordnet();
+        // "Actors" resolves via lowercase + stemming.
+        match candidates_for_label(sn, "Actors") {
+            SenseCandidates::Single(senses) => assert!(!senses.is_empty()),
+            other => panic!("expected Single, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tokenizer_builds_preprocessed_tree() {
+        let sn = mini_wordnet();
+        let doc = xmltree::parse(
+            r#"<movies><movie><directed_by>Alfred Hitchcock</directed_by>
+               <FirstName>Grace</FirstName></movie></movies>"#,
+        )
+        .unwrap();
+        let tree = TreeBuilder::with_tokenizer(LingTokenizer::new(sn))
+            .build(&doc)
+            .unwrap()
+            .tree;
+        let labels: Vec<_> = tree
+            .preorder()
+            .map(|id| tree.label(id).to_string())
+            .collect();
+        // directed_by → stop word "by" dropped, "directed" stemmed → "direct".
+        assert!(labels.contains(&"direct".to_string()), "{labels:?}");
+        // FirstName → the single concept "first name".
+        assert!(labels.contains(&"first name".to_string()), "{labels:?}");
+        // Text value "Alfred Hitchcock" tokenized into two leaf nodes.
+        assert!(labels.contains(&"alfred".to_string()));
+        assert!(labels.contains(&"hitchcock".to_string()));
+    }
+
+    #[test]
+    fn tokenizer_drops_stop_words_in_values() {
+        let sn = mini_wordnet();
+        let doc = xmltree::parse("<plot>a photographer spies on his neighbors</plot>").unwrap();
+        let tree = TreeBuilder::with_tokenizer(LingTokenizer::new(sn))
+            .build(&doc)
+            .unwrap()
+            .tree;
+        let labels: Vec<_> = tree
+            .preorder()
+            .map(|id| tree.label(id).to_string())
+            .collect();
+        assert!(!labels.contains(&"a".to_string()));
+        assert!(!labels.contains(&"on".to_string()));
+        assert!(labels.contains(&"photographer".to_string()));
+        // "neighbors" → stem "neighbor" is in the lexicon.
+        assert!(labels.contains(&"neighbor".to_string()));
+    }
+
+    #[test]
+    fn label_kind_rederivation() {
+        let sn = mini_wordnet();
+        assert_eq!(label_kind(sn, "cast"), LabelKind::Single("cast".into()));
+        assert_eq!(
+            label_kind(sn, "first name"),
+            LabelKind::Single("first name".into())
+        );
+        assert_eq!(
+            label_kind(sn, "star picture"),
+            LabelKind::Compound("star".into(), "picture".into())
+        );
+    }
+}

@@ -1,0 +1,345 @@
+//! Sphere neighborhoods and context vectors (Section 3.4).
+//!
+//! An XML context vector (Definitions 6–7) has one dimension per distinct
+//! node label in the sphere `S_d(x)`, weighted by structural frequency:
+//!
+//! ```text
+//! Struct(x_i) = 1 − Dist(x, x_i)/(d + 1)
+//! Freq(ℓ)    = Σ Struct(x_i)  over x_i with label ℓ
+//! w(ℓ)       = 2·Freq(ℓ) / (|S_d(x)| + 1)
+//! ```
+//!
+//! Per Definition 5 the sphere is the union of rings `R_d' (d' ≤ d)`, which
+//! includes the degenerate ring `R_0 = {x}`: the target's own label is a
+//! dimension with `Struct = 1`. This convention reproduces the paper's
+//! Figure 7 vector `V_1(T\[2\])` exactly (cast 0.4 / picture 0.2 / star 0.4).
+//! (The figure's `V_2` values were computed with the center excluded from
+//! the cardinality — an internal inconsistency of the figure; we follow the
+//! definitions.)
+//!
+//! The same construction applies to a concept in the semantic network
+//! (Section 3.5.2), with rings built from semantic relations instead of
+//! structural edges, and every lemma of a concept contributing to its
+//! dimension (concept labels are linguistically pre-processed, footnote 9).
+
+use semnet::graph::{concept_sphere, RelationFilter};
+use semnet::{ConceptId, SemanticNetwork};
+use semsim::SparseVector;
+use xmltree::distance::{sphere, weighted_sphere, DistancePolicy};
+use xmltree::{NodeId, XmlTree};
+
+/// The structural proximity factor `Struct(x_i, S_d(x))` of Definition 7.
+pub fn struct_factor(dist: u32, radius: u32) -> f64 {
+    1.0 - dist as f64 / (radius as f64 + 1.0)
+}
+
+/// The sphere neighborhood of an XML node: context nodes with distances,
+/// excluding the center itself (callers that need the center's own label
+/// add it at distance 0).
+pub fn xml_sphere(tree: &XmlTree, center: NodeId, radius: u32) -> Vec<(NodeId, u32)> {
+    sphere(tree, center, radius)
+}
+
+/// The XML context vector `V_d(x)` of Definitions 6–7, including the
+/// center's label at distance 0.
+pub fn xml_context_vector(tree: &XmlTree, center: NodeId, radius: u32) -> SparseVector {
+    let nodes = xml_sphere(tree, center, radius);
+    // |S_d(x)| counts the center (ring R_0) plus all context nodes.
+    let cardinality = nodes.len() as f64 + 1.0;
+    let scale = 2.0 / (cardinality + 1.0);
+    let mut v = SparseVector::new();
+    v.add(
+        tree.label(center).to_string(),
+        struct_factor(0, radius) * scale,
+    );
+    for (node, dist) in nodes {
+        v.add(
+            tree.label(node).to_string(),
+            struct_factor(dist, radius) * scale,
+        );
+    }
+    v
+}
+
+/// The sphere neighborhood under an alternative [`DistancePolicy`]
+/// (Section 5's future-work distances): nodes whose weighted path cost
+/// fits the budget `radius`, with their costs.
+pub fn xml_sphere_weighted(
+    tree: &XmlTree,
+    center: NodeId,
+    radius: u32,
+    policy: DistancePolicy,
+) -> Vec<(NodeId, f64)> {
+    weighted_sphere(tree, center, radius as f64, policy)
+}
+
+/// The weighted-distance generalization of the context vector: identical
+/// to [`xml_context_vector`] with `Struct(x_i) = 1 − cost/(budget + 1)`
+/// over weighted path costs. With [`DistancePolicy::EdgeCount`] it equals
+/// [`xml_context_vector`] exactly.
+pub fn xml_context_vector_weighted(
+    tree: &XmlTree,
+    center: NodeId,
+    radius: u32,
+    policy: DistancePolicy,
+) -> SparseVector {
+    if policy == DistancePolicy::EdgeCount {
+        return xml_context_vector(tree, center, radius);
+    }
+    let nodes = xml_sphere_weighted(tree, center, radius, policy);
+    let cardinality = nodes.len() as f64 + 1.0;
+    let scale = 2.0 / (cardinality + 1.0);
+    let budget = radius as f64;
+    let mut v = SparseVector::new();
+    v.add(tree.label(center).to_string(), scale);
+    for (node, cost) in nodes {
+        let w = (1.0 - cost / (budget + 1.0)).max(0.0) * scale;
+        v.add(tree.label(node).to_string(), w);
+    }
+    v
+}
+
+/// The semantic-network context vector `V_d(s_p)` of a candidate sense
+/// (Section 3.5.2): sphere rings follow semantic relations; each concept in
+/// the sphere contributes its weight to the dimension of each of its
+/// lemmas.
+pub fn concept_context_vector(
+    sn: &SemanticNetwork,
+    center: ConceptId,
+    radius: u32,
+    filter: &RelationFilter,
+) -> SparseVector {
+    let concepts = concept_sphere(sn, center, radius, filter);
+    let cardinality = concepts.len() as f64 + 1.0;
+    let scale = 2.0 / (cardinality + 1.0);
+    let mut v = SparseVector::new();
+    let mut add_concept = |c: ConceptId, dist: u32| {
+        let w = struct_factor(dist, radius) * scale;
+        for lemma in &sn.concept(c).lemmas {
+            v.add(lemma.clone(), w);
+        }
+    };
+    add_concept(center, 0);
+    for (c, dist) in concepts {
+        add_concept(c, dist);
+    }
+    v
+}
+
+/// The compound-sense context vector `V_d(s_p, s_q)` of Equation 12: built
+/// from the union sphere `S_d(s_p) ∪ S_d(s_q)`.
+pub fn compound_concept_context_vector(
+    sn: &SemanticNetwork,
+    first: ConceptId,
+    second: ConceptId,
+    radius: u32,
+    filter: &RelationFilter,
+) -> SparseVector {
+    let mut all: Vec<(ConceptId, u32)> = vec![(first, 0), (second, 0)];
+    all.extend(concept_sphere(sn, first, radius, filter));
+    all.extend(concept_sphere(sn, second, radius, filter));
+    // Union: keep the minimal distance per concept.
+    all.sort_by_key(|&(c, d)| (c, d));
+    all.dedup_by_key(|&mut (c, _)| c);
+    let cardinality = all.len() as f64;
+    let scale = 2.0 / (cardinality + 1.0);
+    let mut v = SparseVector::new();
+    for (c, dist) in all {
+        let w = struct_factor(dist, radius) * scale;
+        for lemma in &sn.concept(c).lemmas {
+            v.add(lemma.clone(), w);
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::senses::LingTokenizer;
+    use semnet::mini_wordnet;
+    use xmltree::tree::TreeBuilder;
+
+    /// Figure 6's tree with the paper's labels (lowercased by
+    /// pre-processing).
+    fn figure6_tree() -> XmlTree {
+        let doc = xmltree::parse(
+            "<Films><Picture><Cast><Star>Stewart</Star><Star>Kelly</Star></Cast><Plot/></Picture></Films>",
+        )
+        .unwrap();
+        TreeBuilder::with_tokenizer(LingTokenizer::new(mini_wordnet()))
+            .build(&doc)
+            .unwrap()
+            .tree
+    }
+
+    fn find(t: &XmlTree, label: &str) -> NodeId {
+        t.preorder().find(|&id| t.label(id) == label).unwrap()
+    }
+
+    #[test]
+    fn struct_factor_bounds() {
+        // Definition 7: Struct ∈ [1/(d+1), 1].
+        assert_eq!(struct_factor(0, 2), 1.0);
+        assert!((struct_factor(2, 2) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((struct_factor(1, 1) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn figure7_v1_reproduced_exactly() {
+        // V_1(T[2]): cast 0.4, picture 0.2, star 0.4.
+        let t = figure6_tree();
+        let cast = find(&t, "cast");
+        let v = xml_context_vector(&t, cast, 1);
+        assert!(
+            (v.get("cast") - 0.4).abs() < 1e-9,
+            "cast: {}",
+            v.get("cast")
+        );
+        assert!(
+            (v.get("picture") - 0.2).abs() < 1e-9,
+            "picture: {}",
+            v.get("picture")
+        );
+        assert!(
+            (v.get("star") - 0.4).abs() < 1e-9,
+            "star: {}",
+            v.get("star")
+        );
+        assert_eq!(v.len(), 3);
+    }
+
+    #[test]
+    fn figure7_v2_shape_holds() {
+        // V_2(T[2]): with the center in the cardinality the absolute values
+        // differ from the figure (see module docs), but every ordering
+        // relation of Figure 7 must hold: star > cast > picture > film =
+        // stewart = kelly = plot > 0. (The root tag "Films" pre-processes
+        // to the label "film": it is unknown as-is and stems to a lexicon
+        // word, per Section 3.2.)
+        let t = figure6_tree();
+        let cast = find(&t, "cast");
+        let v = xml_context_vector(&t, cast, 2);
+        assert_eq!(v.len(), 7);
+        assert!(v.get("star") > v.get("cast"));
+        assert!(v.get("cast") > v.get("picture"));
+        assert!(v.get("picture") > v.get("film"));
+        let far = ["film", "stewart", "kelly", "plot"];
+        for w in far {
+            assert!((v.get(w) - v.get("film")).abs() < 1e-9, "{w}");
+            assert!(v.get(w) > 0.0, "{w}");
+        }
+    }
+
+    #[test]
+    fn assumption5_closer_nodes_weigh_more() {
+        let t = figure6_tree();
+        let cast = find(&t, "cast");
+        let v = xml_context_vector(&t, cast, 2);
+        // picture (distance 1) outweighs plot (distance 2).
+        assert!(v.get("picture") > v.get("plot"));
+    }
+
+    #[test]
+    fn assumption6_repeated_labels_weigh_more() {
+        let t = figure6_tree();
+        let cast = find(&t, "cast");
+        let v = xml_context_vector(&t, cast, 1);
+        // star occurs twice at distance 1, picture once.
+        assert!((v.get("star") - 2.0 * v.get("picture")).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weights_lie_in_unit_interval() {
+        let t = figure6_tree();
+        for center in t.preorder() {
+            for radius in 1..=3 {
+                let v = xml_context_vector(&t, center, radius);
+                for (label, w) in v.iter() {
+                    assert!((0.0..=1.0).contains(&w), "w({label}) = {w} at r={radius}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_edge_count_matches_unweighted() {
+        let t = figure6_tree();
+        for center in t.preorder() {
+            for radius in 1..=3 {
+                let a = xml_context_vector(&t, center, radius);
+                let b = xml_context_vector_weighted(&t, center, radius, DistancePolicy::EdgeCount);
+                for (label, w) in a.iter() {
+                    assert!((w - b.get(label)).abs() < 1e-12, "{label}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn directional_policy_shifts_weight_to_ancestors() {
+        let t = figure6_tree();
+        let cast = find(&t, "cast");
+        let up_cheap = DistancePolicy::Directional { up: 0.3, down: 1.0 };
+        let v = xml_context_vector_weighted(&t, cast, 2, up_cheap);
+        // films (two upward steps, cost 0.6) now outweighs the distance-2
+        // tokens (cost 1.3 via one up + ... actually down steps cost 1.0).
+        assert!(
+            v.get("film") > v.get("stewart"),
+            "{} vs {}",
+            v.get("film"),
+            v.get("stewart")
+        );
+    }
+
+    #[test]
+    fn concept_vector_contains_own_lemmas() {
+        let sn = mini_wordnet();
+        let star = sn.by_key("star.performer").unwrap();
+        let v = concept_context_vector(sn, star, 1, &RelationFilter::All);
+        assert!(v.get("star") > 0.0);
+        // Direct hypernym "actor" present at distance 1.
+        assert!(v.get("actor") > 0.0);
+        assert!(v.get("star") > v.get("actor"));
+    }
+
+    #[test]
+    fn concept_vector_grows_with_radius() {
+        let sn = mini_wordnet();
+        let cast = sn.by_key("cast.actors").unwrap();
+        let v1 = concept_context_vector(sn, cast, 1, &RelationFilter::All);
+        let v2 = concept_context_vector(sn, cast, 2, &RelationFilter::All);
+        assert!(v2.len() >= v1.len());
+    }
+
+    #[test]
+    fn compound_vector_unions_spheres() {
+        let sn = mini_wordnet();
+        let star = sn.by_key("star.performer").unwrap();
+        let pic = sn.by_key("picture.image").unwrap();
+        let v = compound_concept_context_vector(sn, star, pic, 1, &RelationFilter::All);
+        assert!(v.get("star") > 0.0);
+        assert!(v.get("picture") > 0.0);
+        // The union must cover both individual neighborhoods' dimensions.
+        let v_star = concept_context_vector(sn, star, 1, &RelationFilter::All);
+        for (label, _) in v_star.iter() {
+            assert!(v.get(label) > 0.0, "missing {label}");
+        }
+    }
+
+    #[test]
+    fn xml_and_concept_vectors_share_space() {
+        // The two vector kinds must be comparable by cosine: same label
+        // space (lowercase words).
+        let t = figure6_tree();
+        let cast = find(&t, "cast");
+        let xml_v = xml_context_vector(&t, cast, 2);
+        let sn = mini_wordnet();
+        let cast_actors = sn.by_key("cast.actors").unwrap();
+        let sn_v = concept_context_vector(sn, cast_actors, 2, &RelationFilter::All);
+        assert!(
+            xml_v.cosine(&sn_v) > 0.0,
+            "contexts should overlap on cast/star vocabulary"
+        );
+    }
+}

@@ -1,0 +1,152 @@
+//! Integration tests of the `xsdf` command-line tool, driving the real
+//! binary via `CARGO_BIN_EXE_xsdf`.
+
+use std::process::Command;
+
+fn xsdf() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_xsdf"))
+}
+
+fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("xsdf-cli-test-{}-{name}", std::process::id()));
+    std::fs::write(&path, contents).unwrap();
+    path
+}
+
+#[test]
+fn disambiguate_prints_annotated_xml() {
+    let doc = write_temp(
+        "fig1.xml",
+        "<films><picture><cast><star>Kelly</star></cast></picture></films>",
+    );
+    let output = xsdf()
+        .arg("disambiguate")
+        .arg(&doc)
+        .arg("--quiet")
+        .output()
+        .unwrap();
+    assert!(
+        output.status.success(),
+        "{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("concept=\"kelly.grace\""), "{stdout}");
+    assert!(stdout.contains("concept=\"cast.actors\""));
+}
+
+#[test]
+fn disambiguate_honors_flags() {
+    let doc = write_temp("flags.xml", "<cast><star>Kelly</star></cast>");
+    let output = xsdf()
+        .arg("disambiguate")
+        .arg(&doc)
+        .args([
+            "--radius",
+            "1",
+            "--process",
+            "combined",
+            "--threshold",
+            "auto",
+            "--quiet",
+        ])
+        .output()
+        .unwrap();
+    assert!(output.status.success());
+}
+
+#[test]
+fn ambiguity_ranks_nodes() {
+    let doc = write_temp(
+        "amb.xml",
+        "<person><address><state/><zip/></address></person>",
+    );
+    let output = xsdf().arg("ambiguity").arg(&doc).output().unwrap();
+    assert!(output.status.success());
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("state"));
+    // The first data row (highest Amb_Deg) should be the polysemous,
+    // shallow "state", not the near-monosemous "zip".
+    let first_data_line = stdout.lines().nth(1).unwrap();
+    assert!(first_data_line.ends_with("state"), "{first_data_line}");
+}
+
+#[test]
+fn senses_lists_inventory() {
+    let output = xsdf().args(["senses", "state"]).output().unwrap();
+    assert!(output.status.success());
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("8 sense(s)"));
+    assert!(stdout.contains("state.province"));
+}
+
+#[test]
+fn network_stats_and_export_roundtrip() {
+    let out = std::env::temp_dir().join(format!("xsdf-cli-export-{}.sn", std::process::id()));
+    let status = xsdf()
+        .args(["network", "--export"])
+        .arg(&out)
+        .status()
+        .unwrap();
+    assert!(status.success());
+    // The exported network loads back and drives disambiguation.
+    let doc = write_temp("roundtrip.xml", "<cast><star>Kelly</star></cast>");
+    let output = xsdf()
+        .arg("disambiguate")
+        .arg(&doc)
+        .arg("--network")
+        .arg(&out)
+        .arg("--quiet")
+        .output()
+        .unwrap();
+    assert!(
+        output.status.success(),
+        "{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    assert!(String::from_utf8_lossy(&output.stdout).contains("kelly.grace"));
+    let _ = std::fs::remove_file(out);
+}
+
+#[test]
+fn import_wndb_converts_fixture() {
+    let data = write_temp(
+        "data.noun",
+        "00001740 03 n 01 entity 0 001 ~ 00001930 n 0000 | that which exists\n\
+         00001930 03 n 01 thing 0 001 @ 00001740 n 0000 | a separate and distinct entity\n",
+    );
+    let out = std::env::temp_dir().join(format!("xsdf-cli-wndb-{}.sn", std::process::id()));
+    let output = xsdf()
+        .arg("import-wndb")
+        .arg(&data)
+        .arg("--out")
+        .arg(&out)
+        .output()
+        .unwrap();
+    assert!(
+        output.status.success(),
+        "{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let text = std::fs::read_to_string(&out).unwrap();
+    assert!(text.contains("concept n-00001740"));
+    assert!(text.contains("rel n-00001930 isa n-00001740"));
+    let _ = std::fs::remove_file(out);
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let output = xsdf().arg("frobnicate").output().unwrap();
+    assert!(!output.status.success());
+    assert!(String::from_utf8_lossy(&output.stderr).contains("USAGE"));
+}
+
+#[test]
+fn missing_file_is_a_clean_error() {
+    let output = xsdf()
+        .args(["disambiguate", "/nonexistent/file.xml"])
+        .output()
+        .unwrap();
+    assert!(!output.status.success());
+    assert!(String::from_utf8_lossy(&output.stderr).contains("cannot read"));
+}

@@ -1,0 +1,120 @@
+//! Integration tests of the RPD and VSD baselines against the generated
+//! corpus: the qualitative behaviours Table 4 and Section 4.3.2 describe.
+
+use baselines::{Disambiguator, Rpd, Vsd, XsdfDisambiguator};
+use corpus::Corpus;
+use xmltree::NodeKind;
+use xsdf::XsdfConfig;
+
+#[test]
+fn baselines_disambiguate_all_structural_nodes_they_know() {
+    // Motivation 1: RPD and VSD have no target-selection phase — every
+    // structural node with senses gets processed.
+    let sn = semnet::mini_wordnet();
+    let corpus = Corpus::generate_small(sn, 77, 1);
+    let doc = corpus.dataset(corpus::DatasetId::Imdb).next().unwrap();
+    for method in [&Rpd::new() as &dyn Disambiguator, &Vsd::new()] {
+        let out = method.disambiguate(sn, &doc.tree);
+        for node in doc.tree.preorder() {
+            if doc.tree.node(node).kind == NodeKind::ValueToken {
+                assert!(
+                    !out.contains_key(&node),
+                    "{} touched a token",
+                    method.name()
+                );
+            }
+        }
+        assert!(!out.is_empty());
+    }
+}
+
+#[test]
+fn content_extension_covers_tokens_too() {
+    let sn = semnet::mini_wordnet();
+    let corpus = Corpus::generate_small(sn, 77, 1);
+    let doc = corpus.dataset(corpus::DatasetId::Imdb).next().unwrap();
+    let faithful = Rpd::new().disambiguate(sn, &doc.tree);
+    let extended = Rpd::with_content().disambiguate(sn, &doc.tree);
+    assert!(extended.len() > faithful.len());
+    // The extension is a superset on structural nodes.
+    for node in faithful.keys() {
+        assert!(extended.contains_key(node));
+    }
+}
+
+#[test]
+fn target_restricted_runs_match_full_runs() {
+    // disambiguate_targets must agree with disambiguate on the overlap.
+    let sn = semnet::mini_wordnet();
+    let corpus = Corpus::generate_small(sn, 42, 1);
+    let doc = corpus.dataset(corpus::DatasetId::CdCatalog).next().unwrap();
+    let targets: Vec<_> = doc.gold.keys().copied().collect();
+    for method in [
+        &Rpd::new() as &dyn Disambiguator,
+        &Vsd::new(),
+        &XsdfDisambiguator::new(XsdfConfig::default()),
+    ] {
+        let full = method.disambiguate(sn, &doc.tree);
+        let restricted = method.disambiguate_targets(sn, &doc.tree, &targets);
+        for node in &targets {
+            assert_eq!(
+                full.get(node),
+                restricted.get(node),
+                "{} differs on node {node:?}",
+                method.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn vsd_context_is_wider_than_rpd_context() {
+    // VSD sees siblings (crossable edges in all directions); RPD sees only
+    // the root path. On a node whose evidence is all in its siblings, VSD
+    // can succeed where RPD has nothing to go on beyond sense frequency.
+    let sn = semnet::mini_wordnet();
+    let doc = xmltree::parse("<files><cast/><star/><actor/><director/></files>").unwrap();
+    let tree = xmltree::tree::TreeBuilder::with_tokenizer(xsdf::LingTokenizer::new(sn))
+        .build(&doc)
+        .unwrap()
+        .tree;
+    let cast = tree.preorder().find(|&n| tree.label(n) == "cast").unwrap();
+    let vsd_out = Vsd::new().disambiguate(sn, &tree);
+    let choice = vsd_out[&cast];
+    let key = match choice {
+        xsdf::SenseChoice::Single(c) => sn.concept(c).key.clone(),
+        xsdf::SenseChoice::Pair(a, b) => format!("{}+{}", sn.concept(a).key, sn.concept(b).key),
+    };
+    assert_eq!(
+        key, "cast.actors",
+        "VSD should leverage sibling actors/stars"
+    );
+}
+
+#[test]
+fn methods_rank_as_figure9_on_a_small_sample() {
+    // A coarse smoke check of the Figure 9 ordering on a reduced corpus:
+    // XSDF's f-value is at least that of both baselines on Group 1.
+    use xsdf_eval::experiments::score_document;
+    use xsdf_eval::metrics::PrfScores;
+    let sn = semnet::mini_wordnet();
+    let corpus = Corpus::generate_small(sn, 2015, 3);
+    let samples = corpus.sample_targets(13);
+    let xsdf = XsdfDisambiguator::new(XsdfConfig::optimal_rich());
+    let rpd = Rpd::new();
+    let vsd = Vsd::new();
+    let mut scores = [PrfScores::default(); 3];
+    for (doc_idx, targets) in &samples {
+        let doc = &corpus.documents()[*doc_idx];
+        if doc.dataset != corpus::DatasetId::Shakespeare {
+            continue;
+        }
+        let methods: [&dyn Disambiguator; 3] = [&xsdf, &rpd, &vsd];
+        for (i, m) in methods.iter().enumerate() {
+            scores[i].merge(score_document(sn, *m, doc, targets));
+        }
+    }
+    let [x, r, v] = scores.map(|s| s.f_value());
+    assert!(x > r, "XSDF {x} should beat RPD {r} on Group 1");
+    assert!(x > v, "XSDF {x} should beat VSD {v} on Group 1");
+}

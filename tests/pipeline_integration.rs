@@ -1,0 +1,198 @@
+//! End-to-end integration tests: raw XML strings through the full XSDF
+//! pipeline (parser → pre-processing → selection → disambiguation →
+//! semantic tree), exercising the paper's running examples.
+
+use xsdf::{DisambiguationProcess, ThresholdPolicy, Xsdf, XsdfConfig};
+
+const FIGURE1_DOC1: &str = r#"<?xml version="1.0"?>
+<films>
+  <picture title="Rear Window">
+    <director>Hitchcock</director>
+    <year>1954</year>
+    <genre>mystery</genre>
+    <cast>
+      <star>Stewart</star>
+      <star>Kelly</star>
+    </cast>
+    <plot>A wheelchair bound photographer spies on his neighbors</plot>
+  </picture>
+</films>"#;
+
+const FIGURE1_DOC2: &str = r#"<?xml version="1.0"?>
+<movies>
+  <movie year="1954">
+    <name>Rear Window</name>
+    <directed_by>Alfred Hitchcock</directed_by>
+    <actors>
+      <actor><firstname>Grace</firstname><lastname>Kelly</lastname></actor>
+      <actor><firstname>James</firstname><lastname>Stewart</lastname></actor>
+    </actors>
+  </movie>
+</movies>"#;
+
+#[test]
+fn figure1_both_documents_resolve_the_same_entities() {
+    // Figure 1's motivating claim: two documents with different structure
+    // and tagging describe the same movie; disambiguation should surface
+    // the same concepts from both.
+    let sn = semnet::mini_wordnet();
+    let xsdf = Xsdf::new(sn, XsdfConfig::default());
+    let r1 = xsdf.disambiguate_str(FIGURE1_DOC1).unwrap();
+    let r2 = xsdf.disambiguate_str(FIGURE1_DOC2).unwrap();
+    assert_eq!(r1.assignment_for_label("kelly"), Some("kelly.grace"));
+    assert_eq!(r2.assignment_for_label("kelly"), Some("kelly.grace"));
+    assert_eq!(r1.assignment_for_label("stewart"), Some("stewart.james"));
+    assert_eq!(r2.assignment_for_label("stewart"), Some("stewart.james"));
+    assert_eq!(
+        r1.assignment_for_label("hitchcock"),
+        Some("hitchcock.alfred")
+    );
+    assert_eq!(
+        r2.assignment_for_label("hitchcock"),
+        Some("hitchcock.alfred")
+    );
+}
+
+#[test]
+fn headline_example_cast_star_picture() {
+    let sn = semnet::mini_wordnet();
+    let result = Xsdf::new(sn, XsdfConfig::default())
+        .disambiguate_str(FIGURE1_DOC1)
+        .unwrap();
+    assert_eq!(result.assignment_for_label("cast"), Some("cast.actors"));
+    assert_eq!(result.assignment_for_label("star"), Some("star.performer"));
+    assert_eq!(result.assignment_for_label("picture"), Some("film.movie"));
+    assert_eq!(result.assignment_for_label("genre"), Some("genre.kind"));
+}
+
+#[test]
+fn ambiguity_selection_reduces_work() {
+    // Motivation 1: with the automatic threshold, only the most ambiguous
+    // nodes are processed; with threshold 0, every known node is.
+    let sn = semnet::mini_wordnet();
+    let all = Xsdf::new(sn, XsdfConfig::default())
+        .disambiguate_str(FIGURE1_DOC1)
+        .unwrap();
+    let selective = Xsdf::new(
+        sn,
+        XsdfConfig {
+            threshold: ThresholdPolicy::Auto,
+            ..XsdfConfig::default()
+        },
+    )
+    .disambiguate_str(FIGURE1_DOC1)
+    .unwrap();
+    let all_targets = all.targets().count();
+    let selective_targets = selective.targets().count();
+    assert!(
+        selective_targets < all_targets,
+        "{selective_targets} !< {all_targets}"
+    );
+    assert!(selective_targets > 0);
+    // Selected nodes are the most ambiguous ones.
+    let min_selected = selective
+        .targets()
+        .map(|r| r.ambiguity)
+        .fold(f64::INFINITY, f64::min);
+    let max_unselected = selective
+        .reports
+        .iter()
+        .filter(|r| !r.selected && r.candidates > 0)
+        .map(|r| r.ambiguity)
+        .fold(0.0f64, f64::max);
+    assert!(min_selected >= max_unselected);
+}
+
+#[test]
+fn all_three_processes_agree_on_easy_nodes() {
+    let sn = semnet::mini_wordnet();
+    for process in [
+        DisambiguationProcess::ConceptBased,
+        DisambiguationProcess::ContextBased,
+        DisambiguationProcess::Combined {
+            concept: 0.5,
+            context: 0.5,
+        },
+    ] {
+        let cfg = XsdfConfig {
+            process,
+            ..XsdfConfig::default()
+        };
+        let result = Xsdf::new(sn, cfg).disambiguate_str(FIGURE1_DOC1).unwrap();
+        // "mystery" under genre is nearly unambiguous in context.
+        assert_eq!(
+            result.assignment_for_label("mystery"),
+            Some("mystery.story"),
+            "{process:?}"
+        );
+    }
+}
+
+#[test]
+fn semantic_tree_round_trips_to_annotated_xml() {
+    let sn = semnet::mini_wordnet();
+    let result = Xsdf::new(sn, XsdfConfig::default())
+        .disambiguate_str(FIGURE1_DOC1)
+        .unwrap();
+    let xml = result.semantic_tree.to_annotated_xml();
+    assert!(xml.contains("concept=\"kelly.grace\""));
+    assert!(xml.contains("concept=\"cast.actors\""));
+    // The annotated output is well-formed XML.
+    let reparsed = xmltree::parse(&xml).expect("annotated XML parses");
+    assert!(reparsed.element_count() > 10);
+}
+
+#[test]
+fn malformed_xml_is_an_error_not_a_panic() {
+    let sn = semnet::mini_wordnet();
+    let xsdf = Xsdf::new(sn, XsdfConfig::default());
+    assert!(xsdf.disambiguate_str("<films><cast></films>").is_err());
+    assert!(xsdf.disambiguate_str("").is_err());
+    assert!(xsdf.disambiguate_str("not xml at all").is_err());
+}
+
+#[test]
+fn unknown_vocabulary_is_left_untouched() {
+    let sn = semnet::mini_wordnet();
+    let result = Xsdf::new(sn, XsdfConfig::default())
+        .disambiguate_str("<zorbleflux><quuxit>Blargh</quuxit></zorbleflux>")
+        .unwrap();
+    assert_eq!(result.assigned_count(), 0);
+    assert_eq!(result.targets().count(), 0);
+}
+
+#[test]
+fn custom_semantic_network_via_text_format() {
+    // A user-supplied knowledge base loaded from the text format drives the
+    // same pipeline.
+    let text = "\
+concept entity | n | 10 | entity | the root of everything
+concept gadget.n | n | 5 | gadget, widget | a small mechanical device
+concept widget.gui | n | 3 | widget | an element of a graphical user interface on a screen
+concept device.n | n | 4 | device | a mechanical contraption invented for a purpose
+concept screen.n | n | 4 | screen | the display surface of a computer interface
+rel gadget.n isa device.n
+rel device.n isa entity
+rel widget.gui isa entity
+rel screen.n isa entity
+rel widget.gui part-of screen.n
+";
+    let sn = semnet::format::from_text(text).unwrap();
+    let result = Xsdf::new(&sn, XsdfConfig::default())
+        .disambiguate_str("<screen><widget/></screen>")
+        .unwrap();
+    // In a screen context, "widget" is the GUI element, not the gadget.
+    assert_eq!(result.assignment_for_label("widget"), Some("widget.gui"));
+}
+
+#[test]
+fn structure_only_mode_skips_content() {
+    let sn = semnet::mini_wordnet();
+    let cfg = XsdfConfig {
+        structure_and_content: false,
+        ..XsdfConfig::default()
+    };
+    let result = Xsdf::new(sn, cfg).disambiguate_str(FIGURE1_DOC1).unwrap();
+    assert!(result.reports.iter().all(|r| r.label != "kelly"));
+    assert_eq!(result.assignment_for_label("cast"), Some("cast.actors"));
+}
