@@ -1,0 +1,62 @@
+//! Serial loop vs. the `xsdf-runtime` batch engine over a corpus of
+//! generated documents: whole-document parallel speedup and the effect of
+//! the shared similarity cache.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use runtime::BatchEngine;
+use std::hint::black_box;
+use xsdf::{Xsdf, XsdfConfig};
+
+/// At least 32 documents, cycling the small generated corpus.
+fn batch_xml(min_docs: usize) -> Vec<String> {
+    let sn = semnet::mini_wordnet();
+    let base: Vec<String> = corpus::Corpus::generate_small(sn, 11, 2)
+        .documents()
+        .iter()
+        .map(|d| xmltree::serialize::to_string_compact(&d.doc))
+        .collect();
+    base.iter()
+        .cycle()
+        .take(min_docs.max(base.len()))
+        .cloned()
+        .collect()
+}
+
+fn serial_vs_batch(c: &mut Criterion) {
+    let sn = semnet::mini_wordnet();
+    let sources = batch_xml(32);
+    let docs: Vec<&str> = sources.iter().map(String::as_str).collect();
+    let cores = std::thread::available_parallelism().map_or(4, |n| n.get());
+
+    let mut group = c.benchmark_group("batch_32_docs");
+    group.sample_size(10);
+    group.bench_function("serial_xsdf_loop", |b| {
+        let xsdf = Xsdf::new(sn, XsdfConfig::default());
+        b.iter(|| {
+            for xml in &docs {
+                black_box(xsdf.disambiguate_str(xml).unwrap());
+            }
+        })
+    });
+    group.bench_function("runtime_1_thread", |b| {
+        b.iter(|| {
+            let engine = BatchEngine::new(sn, XsdfConfig::default()).threads(1);
+            black_box(engine.run(&docs))
+        })
+    });
+    group.bench_function(format!("runtime_{cores}_threads"), |b| {
+        b.iter(|| {
+            let engine = BatchEngine::new(sn, XsdfConfig::default()).threads(cores);
+            black_box(engine.run(&docs))
+        })
+    });
+    group.bench_function(format!("runtime_{cores}_threads_warm_cache"), |b| {
+        let engine = BatchEngine::new(sn, XsdfConfig::default()).threads(cores);
+        engine.run(&docs); // warm the shared cache once
+        b.iter(|| black_box(engine.run(&docs)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, serial_vs_batch);
+criterion_main!(benches);

@@ -170,6 +170,17 @@ mod tests {
         assert_eq!(corpus.group(Group::G4).count(), 20);
     }
 
+    /// Every node label of every document, in document/preorder order.
+    /// Aggregate counts can collide between nearby seeds, so seed
+    /// sensitivity is asserted on content instead.
+    fn all_labels(corpus: &Corpus) -> Vec<String> {
+        corpus
+            .documents()
+            .iter()
+            .flat_map(|d| d.tree.preorder().map(|id| d.tree.label(id).to_owned()))
+            .collect()
+    }
+
     #[test]
     fn corpus_is_deterministic() {
         let sn = mini_wordnet();
@@ -177,10 +188,11 @@ mod tests {
         let b = Corpus::generate_small(sn, 5, 1);
         assert_eq!(a.total_nodes(), b.total_nodes());
         assert_eq!(a.total_gold(), b.total_gold());
+        assert_eq!(all_labels(&a), all_labels(&b));
         let c = Corpus::generate_small(sn, 6, 1);
         assert_ne!(
-            (a.total_nodes(), a.total_gold()),
-            (c.total_nodes(), c.total_gold()),
+            all_labels(&a),
+            all_labels(&c),
             "different seed should change the corpus"
         );
     }

@@ -5,6 +5,7 @@
 //! xsdf disambiguate doc.xml [--radius N] [--process concept|context|combined]
 //!                           [--threshold auto|<float>] [--network kb.sn]
 //!                           [--structure-only] [--quiet]
+//! xsdf batch        a.xml b.xml ... [--threads N] [--metrics out.json]
 //! xsdf ambiguity    doc.xml [--network kb.sn]       # Amb_Deg per node
 //! xsdf network      [--export kb.sn]                # MiniWordNet stats/export
 //! xsdf senses       <word> [--network kb.sn]        # sense inventory of a word
@@ -12,6 +13,7 @@
 
 use std::process::ExitCode;
 
+use runtime::BatchEngine;
 use xsdf::{DisambiguationProcess, ThresholdPolicy, Xsdf, XsdfConfig};
 
 fn main() -> ExitCode {
@@ -22,6 +24,7 @@ fn main() -> ExitCode {
     };
     let result = match command.as_str() {
         "disambiguate" => cmd_disambiguate(&args[1..]),
+        "batch" => cmd_batch(&args[1..]),
         "ambiguity" => cmd_ambiguity(&args[1..]),
         "network" => cmd_network(&args[1..]),
         "import-wndb" => cmd_import_wndb(&args[1..]),
@@ -46,6 +49,7 @@ xsdf — XML Semantic Disambiguation Framework (EDBT 2015)
 
 USAGE:
     xsdf disambiguate <file.xml> [options]   resolve node senses, print annotated XML
+    xsdf batch        <files...> [options]   disambiguate many files in parallel
     xsdf ambiguity    <file.xml> [options]   print each node's ambiguity degree
     xsdf network      [--export <file>]      built-in network stats / text export
     xsdf senses       <word> [options]       list a word's senses
@@ -56,7 +60,12 @@ OPTIONS:
     --process <p>         concept | context | combined          [default: concept]
     --threshold <t>       auto | a float in [0,1]               [default: 0]
     --structure-only      ignore element/attribute text values
-    --quiet               suppress the per-node report";
+    --quiet               suppress the per-node report
+
+BATCH OPTIONS:
+    --threads <N>         worker threads (0 = all cores)        [default: 0]
+    --metrics <file>      write run metrics as JSON
+    --annotate            print each document's annotated XML to stdout";
 
 /// Simple flag parser: returns (positional args, flag lookup).
 struct Flags<'a> {
@@ -70,7 +79,7 @@ impl<'a> Flags<'a> {
         while i < self.args.len() {
             let a = &self.args[i];
             if a.starts_with("--") {
-                if !matches!(a.as_str(), "--structure-only" | "--quiet") {
+                if !matches!(a.as_str(), "--structure-only" | "--quiet" | "--annotate") {
                     i += 1; // skip the flag's value
                 }
             } else {
@@ -188,6 +197,78 @@ fn cmd_disambiguate(args: &[String]) -> Result<(), String> {
         }
     }
     println!("{}", result.semantic_tree.to_annotated_xml());
+    Ok(())
+}
+
+fn cmd_batch(args: &[String]) -> Result<(), String> {
+    let flags = Flags { args };
+    let files = flags.positional();
+    if files.is_empty() {
+        return Err("missing input files (see `xsdf help`)".into());
+    }
+    let network = load_network(&flags)?;
+    let config = build_config(&flags)?;
+    let threads: usize = match flags.value("--threads") {
+        None => 0,
+        Some(n) => n
+            .parse()
+            .map_err(|_| format!("bad --threads value {n:?}"))?,
+    };
+
+    let sources: Vec<String> = files
+        .iter()
+        .map(|path| std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}")))
+        .collect::<Result<_, _>>()?;
+    let docs: Vec<&str> = sources.iter().map(String::as_str).collect();
+
+    let engine = BatchEngine::new(network.get(), config).threads(threads);
+    let report = engine.run(&docs);
+
+    let mut failures = 0usize;
+    for (path, outcome) in files.iter().zip(&report.results) {
+        match outcome {
+            Ok(result) => {
+                println!(
+                    "{path}\tnodes={} targets={} assigned={}",
+                    result.reports.len(),
+                    result.targets().count(),
+                    result.assigned_count()
+                );
+                if flags.has("--annotate") {
+                    println!("{}", result.semantic_tree.to_annotated_xml());
+                }
+            }
+            Err(e) => {
+                failures += 1;
+                eprintln!("{path}: {e}");
+            }
+        }
+    }
+
+    let m = &report.metrics;
+    if !flags.has("--quiet") {
+        eprintln!(
+            "{} docs ({} failed), {} nodes, {} assigned | {} threads, {:.1} ms wall | \
+             {:.1} docs/s, {:.0} nodes/s | cache: {} hits / {} misses ({:.1}% hit rate)",
+            m.documents,
+            m.failed_documents,
+            m.nodes,
+            m.assigned,
+            m.threads,
+            m.wall_clock.as_secs_f64() * 1e3,
+            m.docs_per_sec(),
+            m.nodes_per_sec(),
+            m.cache_hits,
+            m.cache_misses,
+            m.cache_hit_rate() * 100.0
+        );
+    }
+    if let Some(path) = flags.value("--metrics") {
+        std::fs::write(path, m.to_json()).map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    if failures > 0 {
+        return Err(format!("{failures} document(s) failed"));
+    }
     Ok(())
 }
 

@@ -1,0 +1,192 @@
+//! Thread-safe shared similarity cache.
+//!
+//! Sense-pair similarities are document-independent: once `Sim(c1, c2)` is
+//! computed for one document, every other document in the batch can reuse
+//! it. [`SharedCache`] makes that reuse safe across worker threads while
+//! keeping contention low by sharding the key space over independent
+//! [`RwLock`]-protected maps — readers on different shards (and even on the
+//! same shard) never serialize, and writers only lock 1/16th of the table.
+
+use semsim::{PairKey, SimilarityCache};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
+
+/// Number of independent shards. A small power of two: enough to keep a
+/// typical worker pool (≤ #cores) from colliding, cheap to index by masking.
+const SHARDS: usize = 16;
+
+/// A sharded, thread-safe concept-pair similarity cache with hit/miss
+/// accounting.
+///
+/// Implements [`SimilarityCache`], so a
+/// [`CombinedSimilarity`](semsim::CombinedSimilarity) scores straight
+/// through it: wrap the cache in an [`Arc`](std::sync::Arc) and hand each
+/// worker `CombinedSimilarity::with_cache(weights, Arc::clone(&cache))`.
+pub struct SharedCache {
+    shards: [RwLock<HashMap<PairKey, f64>>; SHARDS],
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SharedCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self {
+            shards: std::array::from_fn(|_| RwLock::new(HashMap::new())),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: PairKey) -> &RwLock<HashMap<PairKey, f64>> {
+        // The low bits of the first concept id spread uniformly enough:
+        // pair keys are normalized (a <= b) and ids are dense indices.
+        let (a, b) = key;
+        let mix = a.index().wrapping_mul(31).wrapping_add(b.index());
+        &self.shards[mix & (SHARDS - 1)]
+    }
+
+    /// Lookups that found a cached score.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that missed (each followed by a fresh computation).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// `hits / (hits + misses)`, or 0 when nothing was looked up.
+    pub fn hit_rate(&self) -> f64 {
+        let hits = self.hits() as f64;
+        let total = hits + self.misses() as f64;
+        if total == 0.0 {
+            0.0
+        } else {
+            hits / total
+        }
+    }
+}
+
+impl Default for SharedCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for SharedCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedCache")
+            .field("entries", &self.len())
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .finish()
+    }
+}
+
+impl SimilarityCache for SharedCache {
+    fn lookup(&self, key: PairKey) -> Option<f64> {
+        let found = self
+            .shard(key)
+            .read()
+            .expect("similarity cache shard poisoned")
+            .get(&key)
+            .copied();
+        match found {
+            Some(v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn store(&self, key: PairKey, value: f64) {
+        self.shard(key)
+            .write()
+            .expect("similarity cache shard poisoned")
+            .insert(key, value);
+    }
+
+    fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("similarity cache shard poisoned").len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semnet::mini_wordnet;
+    use semsim::{CombinedSimilarity, SimilarityWeights};
+    use std::sync::Arc;
+
+    #[test]
+    fn round_trip_and_counters() {
+        let sn = mini_wordnet();
+        let (a, b) = (
+            sn.by_key("cast.actors").unwrap(),
+            sn.by_key("star.performer").unwrap(),
+        );
+        let key = if a <= b { (a, b) } else { (b, a) };
+        let cache = SharedCache::new();
+        assert_eq!(cache.lookup(key), None);
+        cache.store(key, 0.5);
+        assert_eq!(cache.lookup(key), Some(0.5));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(cache.len(), 1);
+        assert!((cache.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shared_across_measures() {
+        // Two measures over one cache: the second sees the first's work.
+        let sn = mini_wordnet();
+        let cache = Arc::new(SharedCache::new());
+        let m1 = CombinedSimilarity::with_cache(SimilarityWeights::equal(), Arc::clone(&cache));
+        let m2 = CombinedSimilarity::with_cache(SimilarityWeights::equal(), Arc::clone(&cache));
+        let (a, b) = (
+            sn.by_key("kelly.grace").unwrap(),
+            sn.by_key("stewart.james").unwrap(),
+        );
+        let v1 = m1.similarity(sn, a, b);
+        let misses_after_first = cache.misses();
+        let v2 = m2.similarity(sn, b, a); // symmetric key
+        assert_eq!(v1, v2);
+        assert_eq!(cache.misses(), misses_after_first, "second lookup must hit");
+        assert!(cache.hits() >= 1);
+    }
+
+    #[test]
+    fn concurrent_writers_converge() {
+        let sn = mini_wordnet();
+        let cache = Arc::new(SharedCache::new());
+        let keys: Vec<_> = ["cast.actors", "star.performer", "film.movie", "kelly.grace"]
+            .iter()
+            .map(|k| sn.by_key(k).unwrap())
+            .collect();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let cache = Arc::clone(&cache);
+                let keys = &keys;
+                scope.spawn(move || {
+                    let sim = CombinedSimilarity::with_cache(SimilarityWeights::equal(), cache);
+                    for &a in keys {
+                        for &b in keys {
+                            sim.similarity(sn, a, b);
+                        }
+                    }
+                });
+            }
+        });
+        // 4 distinct concepts -> 10 unordered pairs (incl. identity).
+        assert_eq!(cache.len(), 10);
+        assert!(cache.hits() > 0);
+    }
+}

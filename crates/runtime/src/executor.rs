@@ -1,0 +1,279 @@
+//! The batch executor: a worker pool fanning documents across cores.
+//!
+//! Each worker owns a [`CombinedSimilarity`] scoring through the engine's
+//! one [`SharedCache`], so sense pairs computed for any document are reused
+//! by every other. Workers pull jobs off a shared counter (dynamic load
+//! balancing — documents vary widely in size) and send results back over a
+//! channel tagged with the input index; the collector reassembles them in
+//! input order, so output is deterministic regardless of thread count or
+//! scheduling. Scores themselves are thread-count-independent too: the
+//! cache only memoizes a pure function of the concept pair.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Instant;
+
+use semnet::SemanticNetwork;
+use semsim::{CombinedSimilarity, SimilarityCache};
+use xmltree::ParseError;
+use xsdf::{DisambiguationResult, Xsdf, XsdfConfig};
+
+use crate::cache::SharedCache;
+use crate::metrics::{MetricsSnapshot, StageTimings};
+
+/// Per-worker accumulator, merged into the batch metrics at the end.
+#[derive(Default)]
+struct WorkerStats {
+    stages: StageTimings,
+    nodes: usize,
+    targets: usize,
+    assigned: usize,
+    failed: usize,
+}
+
+/// The outcome of one batch run: per-document results in input order plus
+/// a metrics snapshot.
+#[derive(Debug)]
+pub struct BatchReport {
+    /// One entry per input document, in input order. Documents that fail
+    /// to parse yield `Err` without affecting their neighbors.
+    pub results: Vec<Result<DisambiguationResult, ParseError>>,
+    /// Timings, throughput, and cache accounting for this run.
+    pub metrics: MetricsSnapshot,
+}
+
+/// A reusable parallel batch-disambiguation engine.
+///
+/// ```
+/// use runtime::BatchEngine;
+/// use xsdf::XsdfConfig;
+///
+/// let engine = BatchEngine::new(semnet::mini_wordnet(), XsdfConfig::default()).threads(2);
+/// let docs = ["<cast><star>Kelly</star></cast>", "<films><picture/></films>"];
+/// let report = engine.run(&docs);
+/// assert_eq!(report.results.len(), 2);
+/// assert!(report.results.iter().all(|r| r.is_ok()));
+/// ```
+pub struct BatchEngine<'sn> {
+    xsdf: Xsdf<'sn>,
+    threads: usize,
+    cache: Arc<SharedCache>,
+}
+
+impl<'sn> BatchEngine<'sn> {
+    /// An engine over the given network and pipeline configuration, with
+    /// one worker per available core.
+    pub fn new(sn: &'sn SemanticNetwork, config: XsdfConfig) -> Self {
+        Self {
+            xsdf: Xsdf::new(sn, config),
+            threads: default_threads(),
+            cache: Arc::new(SharedCache::new()),
+        }
+    }
+
+    /// Sets the worker count. `0` restores the default (available cores).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = if threads == 0 {
+            default_threads()
+        } else {
+            threads
+        };
+        self
+    }
+
+    /// The shared similarity cache. It outlives individual runs: a second
+    /// [`BatchEngine::run`] starts warm.
+    pub fn cache(&self) -> &Arc<SharedCache> {
+        &self.cache
+    }
+
+    /// The underlying pipeline.
+    pub fn xsdf(&self) -> &Xsdf<'sn> {
+        &self.xsdf
+    }
+
+    /// Disambiguates a batch of XML source strings.
+    ///
+    /// Results come back in input order. Cache hit/miss counts in the
+    /// returned metrics cover this run only; `cache_entries` is the
+    /// (cumulative) table size afterwards.
+    pub fn run(&self, docs: &[&str]) -> BatchReport {
+        let started = Instant::now();
+        let hits_before = self.cache.hits();
+        let misses_before = self.cache.misses();
+        let threads = self.threads.clamp(1, docs.len().max(1));
+
+        let mut slots: Vec<Option<Result<DisambiguationResult, ParseError>>> =
+            (0..docs.len()).map(|_| None).collect();
+        let mut totals = WorkerStats::default();
+
+        if threads <= 1 {
+            let sim = self.worker_measure();
+            let mut stats = WorkerStats::default();
+            for (slot, xml) in slots.iter_mut().zip(docs) {
+                *slot = Some(self.process_one(xml, &sim, &mut stats));
+            }
+            totals = stats;
+        } else {
+            let next = AtomicUsize::new(0);
+            let (result_tx, result_rx) = mpsc::channel();
+            let (stats_tx, stats_rx) = mpsc::channel();
+            std::thread::scope(|scope| {
+                for _ in 0..threads {
+                    let result_tx = result_tx.clone();
+                    let stats_tx = stats_tx.clone();
+                    let next = &next;
+                    scope.spawn(move || {
+                        let sim = self.worker_measure();
+                        let mut stats = WorkerStats::default();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= docs.len() {
+                                break;
+                            }
+                            let outcome = self.process_one(docs[i], &sim, &mut stats);
+                            result_tx
+                                .send((i, outcome))
+                                .expect("collector outlives workers");
+                        }
+                        stats_tx.send(stats).expect("collector outlives workers");
+                    });
+                }
+                drop(result_tx);
+                drop(stats_tx);
+                // Collect on the scope's owning thread while workers run.
+                for (i, outcome) in result_rx {
+                    slots[i] = Some(outcome);
+                }
+                for stats in stats_rx {
+                    totals.stages.merge(&stats.stages);
+                    totals.nodes += stats.nodes;
+                    totals.targets += stats.targets;
+                    totals.assigned += stats.assigned;
+                    totals.failed += stats.failed;
+                }
+            });
+        }
+
+        let results: Vec<_> = slots
+            .into_iter()
+            .map(|slot| slot.expect("every index processed exactly once"))
+            .collect();
+        let metrics = MetricsSnapshot {
+            threads,
+            documents: docs.len(),
+            failed_documents: totals.failed,
+            nodes: totals.nodes,
+            targets: totals.targets,
+            assigned: totals.assigned,
+            stages: totals.stages,
+            wall_clock: started.elapsed(),
+            cache_hits: self.cache.hits() - hits_before,
+            cache_misses: self.cache.misses() - misses_before,
+            cache_entries: self.cache.len(),
+        };
+        BatchReport { results, metrics }
+    }
+
+    fn worker_measure(&self) -> CombinedSimilarity<Arc<SharedCache>> {
+        CombinedSimilarity::with_cache(self.xsdf.config().similarity, Arc::clone(&self.cache))
+    }
+
+    fn process_one(
+        &self,
+        xml: &str,
+        sim: &CombinedSimilarity<Arc<SharedCache>>,
+        stats: &mut WorkerStats,
+    ) -> Result<DisambiguationResult, ParseError> {
+        let t = Instant::now();
+        let doc = match xmltree::parse(xml) {
+            Ok(doc) => {
+                stats.stages.parse += t.elapsed();
+                doc
+            }
+            Err(e) => {
+                stats.stages.parse += t.elapsed();
+                stats.failed += 1;
+                return Err(e);
+            }
+        };
+        let t = Instant::now();
+        let tree = self.xsdf.build_tree(&doc);
+        stats.stages.preprocess += t.elapsed();
+
+        let t = Instant::now();
+        let ambiguities = self.xsdf.select(&tree);
+        stats.stages.select += t.elapsed();
+
+        let t = Instant::now();
+        let result = self.xsdf.disambiguate_selected(&tree, &ambiguities, sim);
+        stats.stages.disambiguate += t.elapsed();
+
+        stats.nodes += tree.len();
+        stats.targets += ambiguities.iter().filter(|a| a.selected).count();
+        stats.assigned += result.assigned_count();
+        Ok(result)
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semnet::mini_wordnet;
+
+    const DOC: &str = r#"<films>
+        <picture title="Rear Window">
+            <cast><star>Stewart</star><star>Kelly</star></cast>
+        </picture>
+    </films>"#;
+
+    #[test]
+    fn batch_preserves_input_order_and_isolates_errors() {
+        let engine = BatchEngine::new(mini_wordnet(), XsdfConfig::default()).threads(2);
+        let docs = [DOC, "<not-xml", DOC, "<cast/>"];
+        let report = engine.run(&docs);
+        assert_eq!(report.results.len(), 4);
+        assert!(report.results[0].is_ok());
+        assert!(report.results[1].is_err());
+        assert!(report.results[2].is_ok());
+        assert!(report.results[3].is_ok());
+        assert_eq!(report.metrics.failed_documents, 1);
+        assert_eq!(report.metrics.documents, 4);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let engine = BatchEngine::new(mini_wordnet(), XsdfConfig::default());
+        let report = engine.run(&[]);
+        assert!(report.results.is_empty());
+        assert_eq!(report.metrics.documents, 0);
+        assert_eq!(report.metrics.docs_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn shared_cache_warms_across_documents() {
+        let engine = BatchEngine::new(mini_wordnet(), XsdfConfig::default()).threads(1);
+        let first = engine.run(&[DOC]);
+        let cold_misses = first.metrics.cache_misses;
+        assert!(cold_misses > 0, "first document must compute similarities");
+        // The same document again: every pair is already cached.
+        let second = engine.run(&[DOC]);
+        assert_eq!(second.metrics.cache_misses, 0);
+        assert!(second.metrics.cache_hits > 0);
+        assert!(second.metrics.cache_hit_rate() > 0.99);
+    }
+
+    #[test]
+    fn threads_zero_means_default() {
+        let engine = BatchEngine::new(mini_wordnet(), XsdfConfig::default()).threads(0);
+        let report = engine.run(&[DOC, DOC]);
+        assert!(report.metrics.threads >= 1);
+    }
+}

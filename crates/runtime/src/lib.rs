@@ -1,0 +1,43 @@
+//! # xsdf-runtime
+//!
+//! The parallel batch-disambiguation engine for XSDF: everything needed to
+//! push *many* XML documents through the pipeline of *Resolving XML
+//! Semantic Ambiguity* (EDBT 2015) at once.
+//!
+//! Three pieces, each a module:
+//!
+//! * [`executor`] — a worker pool over `std::thread` that fans a batch of
+//!   documents across cores and reassembles results in input order
+//!   ([`BatchEngine`]), so output is byte-identical regardless of thread
+//!   count;
+//! * [`cache`] — a 16-way sharded, thread-safe concept-pair similarity
+//!   cache ([`SharedCache`]) shared by all workers through
+//!   [`semsim::SimilarityCache`]: sense pairs scored for one document are
+//!   free for every other;
+//! * [`metrics`] — per-stage wall-clock timings, throughput, and cache
+//!   hit/miss accounting ([`MetricsSnapshot`]), dumpable as JSON.
+//!
+//! The crate is std-only. Serial callers should keep using
+//! [`xsdf::Xsdf`] directly — its default single-threaded cache has no
+//! synchronization overhead.
+//!
+//! ```
+//! use runtime::BatchEngine;
+//! use xsdf::XsdfConfig;
+//!
+//! let engine = BatchEngine::new(semnet::mini_wordnet(), XsdfConfig::default()).threads(2);
+//! let report = engine.run(&["<cast><star>Kelly</star></cast>"; 4]);
+//! assert!(report.results.iter().all(|r| r.is_ok()));
+//! println!("{}", report.metrics.to_json());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod executor;
+pub mod metrics;
+
+pub use cache::SharedCache;
+pub use executor::{BatchEngine, BatchReport};
+pub use metrics::{MetricsSnapshot, StageTimings};

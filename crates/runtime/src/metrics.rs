@@ -1,0 +1,228 @@
+//! Runtime metrics: per-stage wall-clock timings, throughput, and cache
+//! accounting for a batch run.
+//!
+//! The snapshot is a plain struct so callers can assert on it in tests; the
+//! JSON rendering is hand-rolled (this crate is std-only) and stable:
+//! key order matches the field order documented on [`MetricsSnapshot`].
+
+use std::time::Duration;
+
+/// Cumulative time spent in each pipeline stage, summed across workers.
+///
+/// Sums are of per-document CPU time, so with `N` busy workers the stage
+/// totals can legitimately exceed [`MetricsSnapshot::wall_clock`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StageTimings {
+    /// XML parsing (`xmltree::parse`).
+    pub parse: Duration,
+    /// Tree building + linguistic pre-processing.
+    pub preprocess: Duration,
+    /// Target selection (ambiguity degrees + threshold).
+    pub select: Duration,
+    /// Candidate scoring + sense assignment.
+    pub disambiguate: Duration,
+}
+
+impl StageTimings {
+    /// Sum of all stage times.
+    pub fn total(&self) -> Duration {
+        self.parse + self.preprocess + self.select + self.disambiguate
+    }
+
+    pub(crate) fn merge(&mut self, other: &StageTimings) {
+        self.parse += other.parse;
+        self.preprocess += other.preprocess;
+        self.select += other.select;
+        self.disambiguate += other.disambiguate;
+    }
+}
+
+/// A point-in-time view of one batch run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Worker threads used.
+    pub threads: usize,
+    /// Documents submitted.
+    pub documents: usize,
+    /// Documents that failed to parse.
+    pub failed_documents: usize,
+    /// Tree nodes across successfully processed documents.
+    pub nodes: usize,
+    /// Nodes selected as disambiguation targets.
+    pub targets: usize,
+    /// Targets that received a sense.
+    pub assigned: usize,
+    /// Per-stage timings (summed across workers).
+    pub stages: StageTimings,
+    /// End-to-end elapsed time of the batch.
+    pub wall_clock: Duration,
+    /// Similarity-cache lookups that hit.
+    pub cache_hits: u64,
+    /// Similarity-cache lookups that missed.
+    pub cache_misses: u64,
+    /// Distinct concept pairs cached at the end of the run.
+    pub cache_entries: usize,
+}
+
+impl MetricsSnapshot {
+    /// Documents processed per wall-clock second.
+    pub fn docs_per_sec(&self) -> f64 {
+        per_second(self.documents - self.failed_documents, self.wall_clock)
+    }
+
+    /// Tree nodes processed per wall-clock second.
+    pub fn nodes_per_sec(&self) -> f64 {
+        per_second(self.nodes, self.wall_clock)
+    }
+
+    /// `hits / (hits + misses)`, or 0 when nothing was looked up.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// The snapshot as a pretty-printed JSON object.
+    ///
+    /// Durations are reported in (fractional) milliseconds under `_ms`
+    /// keys; derived rates are included so downstream dashboards need no
+    /// arithmetic.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let fields: Vec<(&str, String)> = vec![
+            ("threads", self.threads.to_string()),
+            ("documents", self.documents.to_string()),
+            ("failed_documents", self.failed_documents.to_string()),
+            ("nodes", self.nodes.to_string()),
+            ("targets", self.targets.to_string()),
+            ("assigned", self.assigned.to_string()),
+            ("parse_ms", json_f64(ms(self.stages.parse))),
+            ("preprocess_ms", json_f64(ms(self.stages.preprocess))),
+            ("select_ms", json_f64(ms(self.stages.select))),
+            ("disambiguate_ms", json_f64(ms(self.stages.disambiguate))),
+            ("wall_clock_ms", json_f64(ms(self.wall_clock))),
+            ("docs_per_sec", json_f64(self.docs_per_sec())),
+            ("nodes_per_sec", json_f64(self.nodes_per_sec())),
+            ("cache_hits", self.cache_hits.to_string()),
+            ("cache_misses", self.cache_misses.to_string()),
+            ("cache_hit_rate", json_f64(self.cache_hit_rate())),
+            ("cache_entries", self.cache_entries.to_string()),
+        ];
+        for (i, (key, value)) in fields.iter().enumerate() {
+            out.push_str("  \"");
+            out.push_str(key);
+            out.push_str("\": ");
+            out.push_str(value);
+            if i + 1 < fields.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push('}');
+        out
+    }
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn per_second(count: usize, elapsed: Duration) -> f64 {
+    let secs = elapsed.as_secs_f64();
+    if secs == 0.0 {
+        0.0
+    } else {
+        count as f64 / secs
+    }
+}
+
+/// JSON-safe float rendering: finite values keep a decimal marker, the
+/// rest degrade to `null` (mirrors serde_json).
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MetricsSnapshot {
+        MetricsSnapshot {
+            threads: 4,
+            documents: 10,
+            failed_documents: 1,
+            nodes: 900,
+            targets: 300,
+            assigned: 250,
+            stages: StageTimings {
+                parse: Duration::from_millis(5),
+                preprocess: Duration::from_millis(10),
+                select: Duration::from_millis(15),
+                disambiguate: Duration::from_millis(70),
+            },
+            wall_clock: Duration::from_millis(30),
+            cache_hits: 75,
+            cache_misses: 25,
+            cache_entries: 25,
+        }
+    }
+
+    #[test]
+    fn derived_rates() {
+        let m = sample();
+        assert!((m.cache_hit_rate() - 0.75).abs() < 1e-12);
+        assert!((m.docs_per_sec() - 300.0).abs() < 1e-9);
+        assert!((m.nodes_per_sec() - 30000.0).abs() < 1e-9);
+        assert_eq!(m.stages.total(), Duration::from_millis(100));
+    }
+
+    #[test]
+    fn zero_division_is_quiet() {
+        let m = MetricsSnapshot {
+            wall_clock: Duration::ZERO,
+            cache_hits: 0,
+            cache_misses: 0,
+            ..sample()
+        };
+        assert_eq!(m.docs_per_sec(), 0.0);
+        assert_eq!(m.cache_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn json_has_all_keys() {
+        let json = sample().to_json();
+        for key in [
+            "threads",
+            "documents",
+            "failed_documents",
+            "nodes",
+            "targets",
+            "assigned",
+            "parse_ms",
+            "preprocess_ms",
+            "select_ms",
+            "disambiguate_ms",
+            "wall_clock_ms",
+            "docs_per_sec",
+            "nodes_per_sec",
+            "cache_hits",
+            "cache_misses",
+            "cache_hit_rate",
+            "cache_entries",
+        ] {
+            assert!(
+                json.contains(&format!("\"{key}\":")),
+                "missing {key} in {json}"
+            );
+        }
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"cache_hit_rate\": 0.75"));
+    }
+}

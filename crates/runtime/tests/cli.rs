@@ -135,6 +135,85 @@ fn import_wndb_converts_fixture() {
 }
 
 #[test]
+fn batch_processes_files_and_writes_metrics() {
+    let doc1 = write_temp(
+        "batch1.xml",
+        "<films><picture><cast><star>Kelly</star></cast></picture></films>",
+    );
+    let doc2 = write_temp("batch2.xml", "<cast><star>Stewart</star></cast>");
+    let metrics =
+        std::env::temp_dir().join(format!("xsdf-batch-metrics-{}.json", std::process::id()));
+    let output = xsdf()
+        .arg("batch")
+        .arg(&doc1)
+        .arg(&doc2)
+        .args(["--threads", "2", "--metrics"])
+        .arg(&metrics)
+        .output()
+        .unwrap();
+    assert!(
+        output.status.success(),
+        "{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    // One summary line per file, in input order.
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 2, "{stdout}");
+    assert!(lines[0].contains("batch1.xml") && lines[0].contains("nodes="));
+    assert!(lines[1].contains("batch2.xml"));
+    let json = std::fs::read_to_string(&metrics).unwrap();
+    for key in [
+        "\"documents\": 2",
+        "\"cache_hits\":",
+        "\"cache_misses\":",
+        "\"wall_clock_ms\":",
+    ] {
+        assert!(json.contains(key), "missing {key} in {json}");
+    }
+    let _ = std::fs::remove_file(metrics);
+}
+
+#[test]
+fn batch_output_is_thread_count_invariant() {
+    let docs: Vec<_> = (0..6)
+        .map(|i| {
+            write_temp(
+                &format!("inv{i}.xml"),
+                "<films><picture><cast><star>Kelly</star><star>Stewart</star></cast></picture></films>",
+            )
+        })
+        .collect();
+    let run = |threads: &str| {
+        let output = xsdf()
+            .arg("batch")
+            .args(&docs)
+            .args(["--annotate", "--threads", threads])
+            .output()
+            .unwrap();
+        assert!(output.status.success());
+        String::from_utf8(output.stdout).unwrap()
+    };
+    let serial = run("1");
+    assert_eq!(serial, run("2"));
+    assert_eq!(serial, run("8"));
+    assert!(serial.contains("concept=\"kelly.grace\""));
+}
+
+#[test]
+fn batch_isolates_bad_documents() {
+    let good = write_temp("ok.xml", "<cast><star>Kelly</star></cast>");
+    let bad = write_temp("bad.xml", "<unclosed");
+    let output = xsdf().arg("batch").arg(&good).arg(&bad).output().unwrap();
+    assert!(!output.status.success());
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stdout.contains("ok.xml"), "{stdout}");
+    assert!(stderr.contains("bad.xml"), "{stderr}");
+    assert!(stderr.contains("1 document(s) failed"), "{stderr}");
+}
+
+#[test]
 fn unknown_command_fails_with_usage() {
     let output = xsdf().arg("frobnicate").output().unwrap();
     assert!(!output.status.success());

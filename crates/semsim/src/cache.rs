@@ -1,0 +1,136 @@
+//! Pluggable memo caches for pairwise similarity scores.
+//!
+//! [`CombinedSimilarity`](crate::CombinedSimilarity) re-queries the same
+//! concept pairs many times while disambiguating a document, so it memoizes
+//! scores behind the [`SimilarityCache`] trait. Serial callers get the
+//! zero-synchronization [`LocalCache`] by default; concurrent batch engines
+//! (the `xsdf-runtime` crate) plug in a shared, thread-safe implementation
+//! so sense pairs computed for one document are reused across all workers.
+
+use semnet::ConceptId;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A symmetric concept-pair key: callers normalize `(a, b)` so that
+/// `a <= b` before lookup, making `sim(a, b)` and `sim(b, a)` one entry.
+pub type PairKey = (ConceptId, ConceptId);
+
+/// A memo table for pairwise similarity scores.
+///
+/// Methods take `&self` so implementations choose their own interior
+/// mutability: [`LocalCache`] uses a [`RefCell`], shared implementations use
+/// locks or atomics. Implementations may drop entries (e.g. under memory
+/// pressure) — the contract is only that [`lookup`](Self::lookup) returns a
+/// value previously passed to [`store`](Self::store) for that key, or `None`.
+pub trait SimilarityCache {
+    /// The cached score for `key`, if present.
+    fn lookup(&self, key: PairKey) -> Option<f64>;
+
+    /// Records the score for `key`.
+    fn store(&self, key: PairKey, value: f64);
+
+    /// Number of cached pairs (diagnostics).
+    fn len(&self) -> usize;
+
+    /// Whether the cache holds no entries.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The default single-threaded cache: an unsynchronized hash map.
+#[derive(Debug, Clone, Default)]
+pub struct LocalCache {
+    map: RefCell<HashMap<PairKey, f64>>,
+}
+
+impl LocalCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl SimilarityCache for LocalCache {
+    fn lookup(&self, key: PairKey) -> Option<f64> {
+        self.map.borrow().get(&key).copied()
+    }
+
+    fn store(&self, key: PairKey, value: f64) {
+        self.map.borrow_mut().insert(key, value);
+    }
+
+    fn len(&self) -> usize {
+        self.map.borrow().len()
+    }
+}
+
+impl<C: SimilarityCache + ?Sized> SimilarityCache for &C {
+    fn lookup(&self, key: PairKey) -> Option<f64> {
+        (**self).lookup(key)
+    }
+
+    fn store(&self, key: PairKey, value: f64) {
+        (**self).store(key, value)
+    }
+
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+}
+
+impl<C: SimilarityCache + ?Sized> SimilarityCache for Arc<C> {
+    fn lookup(&self, key: PairKey) -> Option<f64> {
+        (**self).lookup(key)
+    }
+
+    fn store(&self, key: PairKey, value: f64) {
+        (**self).store(key, value)
+    }
+
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semnet::mini_wordnet;
+
+    fn key(a: &str, b: &str) -> PairKey {
+        let sn = mini_wordnet();
+        let (a, b) = (sn.by_key(a).unwrap(), sn.by_key(b).unwrap());
+        if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+
+    #[test]
+    fn local_cache_round_trips() {
+        let cache = LocalCache::new();
+        let k = key("cast.actors", "star.performer");
+        assert!(cache.is_empty());
+        assert_eq!(cache.lookup(k), None);
+        cache.store(k, 0.75);
+        assert_eq!(cache.lookup(k), Some(0.75));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn reference_and_arc_forward() {
+        let cache = LocalCache::new();
+        let k = key("film.movie", "cast.actors");
+        {
+            let by_ref: &LocalCache = &cache;
+            by_ref.store(k, 0.5);
+        }
+        assert_eq!(cache.lookup(k), Some(0.5));
+        let shared = Arc::new(LocalCache::new());
+        shared.store(k, 0.25);
+        assert_eq!(shared.len(), 1);
+    }
+}

@@ -9,6 +9,7 @@
 
 use semnet::{ConceptId, SemanticNetwork};
 
+use crate::cache::{LocalCache, SimilarityCache};
 use crate::edge::wu_palmer;
 use crate::gloss::extended_gloss_overlap;
 use crate::node::lin;
@@ -91,21 +92,34 @@ impl Default for SimilarityWeights {
 }
 
 /// The combined, weighted semantic similarity of Definition 9, with a
-/// small per-pair memo cache (sense-pair similarities are re-queried many
-/// times during disambiguation of a document).
+/// per-pair memo cache (sense-pair similarities are re-queried many times
+/// during disambiguation of a document).
+///
+/// The cache is pluggable through [`SimilarityCache`]: the default
+/// [`LocalCache`] is a plain unsynchronized map for serial callers, while
+/// concurrent batch engines pass a shared thread-safe cache (e.g. behind an
+/// [`Arc`](std::sync::Arc)) via [`CombinedSimilarity::with_cache`] so all
+/// workers reuse each other's scores.
 #[derive(Debug, Clone)]
-pub struct CombinedSimilarity {
+pub struct CombinedSimilarity<C: SimilarityCache = LocalCache> {
     weights: SimilarityWeights,
-    cache: std::cell::RefCell<std::collections::HashMap<(ConceptId, ConceptId), f64>>,
+    cache: C,
 }
 
 impl CombinedSimilarity {
-    /// A combined measure with the given weights.
+    /// A combined measure with the given weights and a fresh single-threaded
+    /// cache.
     pub fn new(weights: SimilarityWeights) -> Self {
-        Self {
-            weights,
-            cache: std::cell::RefCell::new(std::collections::HashMap::new()),
-        }
+        Self::with_cache(weights, LocalCache::new())
+    }
+}
+
+impl<C: SimilarityCache> CombinedSimilarity<C> {
+    /// A combined measure scoring through the given cache. The cache may be
+    /// shared: `&C` and `Arc<C>` implement [`SimilarityCache`] whenever `C`
+    /// does, so several measures can memoize into one table.
+    pub fn with_cache(weights: SimilarityWeights, cache: C) -> Self {
+        Self { weights, cache }
     }
 
     /// The configured weights.
@@ -113,10 +127,15 @@ impl CombinedSimilarity {
         self.weights
     }
 
+    /// The underlying cache.
+    pub fn cache(&self) -> &C {
+        &self.cache
+    }
+
     /// `Sim(c1, c2, S̄N) ∈ \[0, 1\]`.
     pub fn similarity(&self, sn: &SemanticNetwork, a: ConceptId, b: ConceptId) -> f64 {
         let key = if a <= b { (a, b) } else { (b, a) };
-        if let Some(&v) = self.cache.borrow().get(&key) {
+        if let Some(v) = self.cache.lookup(key) {
             return v;
         }
         let w = self.weights;
@@ -131,13 +150,13 @@ impl CombinedSimilarity {
             score += w.gloss * extended_gloss_overlap(sn, a, b);
         }
         let score = score.clamp(0.0, 1.0);
-        self.cache.borrow_mut().insert(key, score);
+        self.cache.store(key, score);
         score
     }
 
     /// Number of cached pair similarities (diagnostics).
     pub fn cache_len(&self) -> usize {
-        self.cache.borrow().len()
+        self.cache.len()
     }
 }
 

@@ -15,16 +15,22 @@
 //!   Definition 9), with user-tunable weights `w_Edge + w_Node + w_Gloss = 1`,
 //! * **vector similarities** ([`vector`]) — cosine (used by Definition 10),
 //!   Jaccard, and Pearson — over sparse labeled vectors.
+//!
+//! Pair scores are memoized through the pluggable [`cache::SimilarityCache`]
+//! trait: serial callers use the default [`cache::LocalCache`]; concurrent
+//! batch engines share one thread-safe cache across workers.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod combined;
 pub mod edge;
 pub mod gloss;
 pub mod node;
 pub mod vector;
 
+pub use cache::{LocalCache, PairKey, SimilarityCache};
 pub use combined::{CombinedSimilarity, SimilarityWeights};
 pub use edge::wu_palmer;
 pub use gloss::extended_gloss_overlap;

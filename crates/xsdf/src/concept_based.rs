@@ -14,7 +14,7 @@
 //! the averaged pair similarity of Equation 10.
 
 use semnet::{ConceptId, SemanticNetwork};
-use semsim::{CombinedSimilarity, SparseVector};
+use semsim::{CombinedSimilarity, SimilarityCache, SparseVector};
 use xmltree::{NodeId, XmlTree};
 
 use crate::senses::{disambiguation_candidates, SenseCandidates};
@@ -109,12 +109,12 @@ impl ConceptContext {
         self.entries.len()
     }
 
-    fn max_sim_with(
+    fn max_sim_with<C: SimilarityCache>(
         &self,
         sn: &SemanticNetwork,
-        sim: &CombinedSimilarity,
+        sim: &CombinedSimilarity<C>,
         entry: &ContextEntry,
-        score_of: &dyn Fn(&SemanticNetwork, &CombinedSimilarity, ConceptId) -> f64,
+        score_of: &dyn Fn(&SemanticNetwork, &CombinedSimilarity<C>, ConceptId) -> f64,
     ) -> f64 {
         // Max over the context node's senses of Sim(candidate, s_j^i).
         let best_first = entry
@@ -143,10 +143,10 @@ impl ConceptContext {
     }
 
     /// `Concept_Score(s_p, S_d(x), S̄N)` of Definition 8.
-    pub fn score_single(
+    pub fn score_single<C: SimilarityCache>(
         &self,
         sn: &SemanticNetwork,
-        sim: &CombinedSimilarity,
+        sim: &CombinedSimilarity<C>,
         candidate: ConceptId,
     ) -> f64 {
         if self.cardinality == 0 {
@@ -167,10 +167,10 @@ impl ConceptContext {
     /// `Concept_Score((s_p, s_q), S_d(x), S̄N)` of Equation 10 — the
     /// compound-target special case: each context comparison averages the
     /// similarities of the two target token senses.
-    pub fn score_pair(
+    pub fn score_pair<C: SimilarityCache>(
         &self,
         sn: &SemanticNetwork,
-        sim: &CombinedSimilarity,
+        sim: &CombinedSimilarity<C>,
         first: ConceptId,
         second: ConceptId,
     ) -> f64 {

@@ -49,6 +49,7 @@ pub mod pipeline;
 pub mod senses;
 pub mod sphere;
 
+pub use ambiguity::NodeAmbiguity;
 pub use config::{
     AmbiguityWeights, DisambiguationProcess, ThresholdPolicy, VectorSimilarity, XsdfConfig,
 };

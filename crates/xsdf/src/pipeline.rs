@@ -2,12 +2,12 @@
 //! targets → disambiguate → semantic XML tree.
 
 use semnet::{ConceptId, SemanticNetwork};
-use semsim::CombinedSimilarity;
+use semsim::{CombinedSimilarity, SimilarityCache};
 use xmltree::semantic::SenseAnnotation;
 use xmltree::tree::{ContentMode, TreeBuilder};
 use xmltree::{NodeId, ParseError, SemanticTree, XmlTree};
 
-use crate::ambiguity::select_targets;
+use crate::ambiguity::{select_targets, NodeAmbiguity};
 use crate::concept_based::ConceptContext;
 use crate::config::XsdfConfig;
 use crate::context_based::ContextVectorScorer;
@@ -147,14 +147,53 @@ impl<'sn> Xsdf<'sn> {
         self.run(tree, Some(nodes))
     }
 
+    /// Disambiguates an already-built tree, memoizing pair similarities in
+    /// the caller-supplied measure. This is the entry point for concurrent
+    /// batch engines: build one shared cache, wrap it per worker in a
+    /// [`CombinedSimilarity::with_cache`], and every document benefits from
+    /// pairs scored for the others.
+    pub fn disambiguate_tree_with<C: SimilarityCache>(
+        &self,
+        tree: &XmlTree,
+        sim: &CombinedSimilarity<C>,
+    ) -> DisambiguationResult {
+        self.disambiguate_selected(tree, &self.select(tree), sim)
+    }
+
+    /// Stage 2 of the pipeline (Section 3.3): computes the ambiguity degree
+    /// of every node and marks selected targets per the configured
+    /// threshold policy. Exposed so staged callers (e.g. batch engines
+    /// timing each stage) can run selection and disambiguation separately;
+    /// feed the result to [`Xsdf::disambiguate_selected`].
+    pub fn select(&self, tree: &XmlTree) -> Vec<NodeAmbiguity> {
+        select_targets(
+            self.sn,
+            tree,
+            self.config.ambiguity_weights,
+            self.config.threshold,
+        )
+    }
+
     fn run(&self, tree: &XmlTree, restrict: Option<&[NodeId]>) -> DisambiguationResult {
-        let cfg = &self.config;
-        let mut ambiguities = select_targets(self.sn, tree, cfg.ambiguity_weights, cfg.threshold);
+        let mut ambiguities = self.select(tree);
         if let Some(nodes) = restrict {
             let wanted: std::collections::HashSet<NodeId> = nodes.iter().copied().collect();
             ambiguities.retain(|na| wanted.contains(&na.node));
         }
-        let sim = CombinedSimilarity::new(cfg.similarity);
+        let sim = CombinedSimilarity::new(self.config.similarity);
+        self.disambiguate_selected(tree, &ambiguities, &sim)
+    }
+
+    /// Stage 4 of the pipeline: scores and annotates the given
+    /// (pre-selected) targets, reporting one entry per element of
+    /// `ambiguities` in order.
+    pub fn disambiguate_selected<C: SimilarityCache>(
+        &self,
+        tree: &XmlTree,
+        ambiguities: &[NodeAmbiguity],
+        sim: &CombinedSimilarity<C>,
+    ) -> DisambiguationResult {
+        let cfg = &self.config;
         let (w_concept, w_context) = cfg.process.weights();
 
         let mut semantic_tree = SemanticTree::new(tree.clone());
@@ -175,7 +214,7 @@ impl<'sn> Xsdf<'sn> {
             };
             if na.selected && candidate_count > 0 {
                 if let Some((choice, score)) =
-                    self.score_candidates(tree, node, &candidates, &sim, w_concept, w_context)
+                    self.score_candidates(tree, node, &candidates, sim, w_concept, w_context)
                 {
                     if score > cfg.min_score || candidate_count == 1 {
                         self.annotate(&mut semantic_tree, node, choice, score);
@@ -192,12 +231,12 @@ impl<'sn> Xsdf<'sn> {
     }
 
     /// Scores every candidate sense of a target and returns the best.
-    fn score_candidates(
+    fn score_candidates<C: SimilarityCache>(
         &self,
         tree: &XmlTree,
         node: NodeId,
         candidates: &SenseCandidates,
-        sim: &CombinedSimilarity,
+        sim: &CombinedSimilarity<C>,
         w_concept: f64,
         w_context: f64,
     ) -> Option<(SenseChoice, f64)> {

@@ -1,0 +1,184 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! implements the slice of criterion's API the workspace's benches use —
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`] with
+//! `sample_size` / `finish`, [`Bencher::iter`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros — as a simple
+//! wall-clock harness: each benchmark is warmed up briefly, timed over
+//! `sample_size` batches, and reported as median ns/iter on stdout. There
+//! are no statistical refinements, plots, or saved baselines; the numbers
+//! are indicative, not criterion-grade.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Collects timing state for one benchmark body.
+pub struct Bencher {
+    /// Median nanoseconds per iteration, filled by [`Bencher::iter`].
+    ns_per_iter: f64,
+    samples: usize,
+}
+
+impl Bencher {
+    /// Times the closure, adaptively choosing an iteration count so each
+    /// sample batch takes roughly a millisecond.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        // Warm-up and batch-size calibration.
+        let mut iters_per_batch = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters_per_batch {
+                black_box(body());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || iters_per_batch >= 1 << 20 {
+                break;
+            }
+            iters_per_batch *= 4;
+        }
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_batch {
+                black_box(body());
+            }
+            per_iter.push(start.elapsed().as_secs_f64() * 1e9 / iters_per_batch as f64);
+        }
+        per_iter.sort_by(f64::total_cmp);
+        self.ns_per_iter = per_iter[per_iter.len() / 2];
+    }
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut body: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut bencher = Bencher {
+            ns_per_iter: 0.0,
+            samples: self.sample_size,
+        };
+        body(&mut bencher);
+        report(&id, bencher.ns_per_iter);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _criterion: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut body: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            ns_per_iter: 0.0,
+            samples: self.sample_size,
+        };
+        body(&mut bencher);
+        report(&format!("{}/{}", self.name, id.into()), bencher.ns_per_iter);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn report(id: &str, ns: f64) {
+    let (value, unit) = if ns >= 1e9 {
+        (ns / 1e9, "s")
+    } else if ns >= 1e6 {
+        (ns / 1e6, "ms")
+    } else if ns >= 1e3 {
+        (ns / 1e3, "µs")
+    } else {
+        (ns, "ns")
+    };
+    println!("{id:<48} time: {value:>10.3} {unit}/iter");
+}
+
+/// Declares a function running the listed benchmark functions in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body() {
+        let mut c = Criterion::default();
+        let mut ran = false;
+        c.bench_function("noop", |b| {
+            ran = true;
+            b.iter(|| 1 + 1)
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn group_api_composes() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.bench_function(format!("dyn_{}", 1), |b| b.iter(|| black_box(2) * 2));
+        group.finish();
+    }
+}

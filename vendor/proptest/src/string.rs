@@ -1,0 +1,340 @@
+//! A generator-oriented subset of regular expressions, used by string
+//! strategies (`"[a-z]{1,20}"` and friends).
+//!
+//! Supported syntax: literal characters, character classes `[a-z0-9_]`
+//! (ranges and singletons, no negation), groups `(...)`, the escapes `\.`
+//! `\-` `\\` and the category `\PC` (any printable, non-control character),
+//! and the quantifiers `{n}`, `{n,m}`, `?`, `*`, `+` (the unbounded ones
+//! capped at 8 repetitions).
+
+use crate::test_runner::TestRng;
+
+/// One parsed regex element.
+enum Node {
+    /// A fixed character.
+    Literal(char),
+    /// A character class: concrete choices to draw from.
+    Class(Vec<(char, char)>),
+    /// Any printable (non-control) character, `\PC`.
+    Printable,
+    /// A parenthesized sequence.
+    Group(Vec<Quantified>),
+}
+
+/// A node plus its repetition bounds.
+struct Quantified {
+    node: Node,
+    min: u32,
+    max: u32,
+}
+
+/// A parsed generator-regex.
+pub struct RegexGen {
+    seq: Vec<Quantified>,
+}
+
+impl RegexGen {
+    /// Parses the pattern, rejecting unsupported syntax.
+    pub fn parse(pattern: &str) -> Result<Self, String> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pos = 0;
+        let seq = parse_sequence(&chars, &mut pos, false)?;
+        if pos != chars.len() {
+            return Err(format!("unexpected {:?} at offset {pos}", chars[pos]));
+        }
+        Ok(Self { seq })
+    }
+
+    /// Generates one matching string.
+    pub fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        emit_sequence(&self.seq, rng, &mut out);
+        out
+    }
+}
+
+fn parse_sequence(
+    chars: &[char],
+    pos: &mut usize,
+    in_group: bool,
+) -> Result<Vec<Quantified>, String> {
+    let mut seq = Vec::new();
+    while *pos < chars.len() {
+        let c = chars[*pos];
+        if c == ')' {
+            if in_group {
+                return Ok(seq);
+            }
+            return Err("unmatched ')'".into());
+        }
+        let node = parse_atom(chars, pos)?;
+        let (min, max) = parse_quantifier(chars, pos)?;
+        seq.push(Quantified { node, min, max });
+    }
+    if in_group {
+        return Err("unclosed '('".into());
+    }
+    Ok(seq)
+}
+
+fn parse_atom(chars: &[char], pos: &mut usize) -> Result<Node, String> {
+    match chars[*pos] {
+        '(' => {
+            *pos += 1;
+            let inner = parse_sequence(chars, pos, true)?;
+            if *pos >= chars.len() || chars[*pos] != ')' {
+                return Err("unclosed '('".into());
+            }
+            *pos += 1;
+            Ok(Node::Group(inner))
+        }
+        '[' => {
+            *pos += 1;
+            parse_class(chars, pos)
+        }
+        '\\' => {
+            *pos += 1;
+            let Some(&esc) = chars.get(*pos) else {
+                return Err("dangling '\\'".into());
+            };
+            *pos += 1;
+            match esc {
+                'P' | 'p' => {
+                    // Only the category `\PC` (not-control) is supported.
+                    if chars.get(*pos) == Some(&'C') {
+                        *pos += 1;
+                        Ok(Node::Printable)
+                    } else {
+                        Err("only the \\PC category is supported".into())
+                    }
+                }
+                '.' | '-' | '\\' | '(' | ')' | '[' | ']' | '{' | '}' | '+' | '*' | '?' => {
+                    Ok(Node::Literal(esc))
+                }
+                other => Err(format!("unsupported escape \\{other}")),
+            }
+        }
+        '.' => Err("'.' wildcard not supported (use \\PC)".into()),
+        '|' => Err("alternation not supported".into()),
+        c => {
+            *pos += 1;
+            Ok(Node::Literal(c))
+        }
+    }
+}
+
+fn parse_class(chars: &[char], pos: &mut usize) -> Result<Node, String> {
+    let mut ranges = Vec::new();
+    if chars.get(*pos) == Some(&'^') {
+        return Err("negated classes not supported".into());
+    }
+    while *pos < chars.len() && chars[*pos] != ']' {
+        let mut lo = chars[*pos];
+        *pos += 1;
+        if lo == '\\' {
+            let Some(&esc) = chars.get(*pos) else {
+                return Err("dangling '\\' in class".into());
+            };
+            *pos += 1;
+            lo = esc;
+        }
+        // A range `a-z` (a trailing or leading '-' is a literal).
+        if chars.get(*pos) == Some(&'-') && chars.get(*pos + 1).is_some_and(|&c| c != ']') {
+            *pos += 1;
+            let mut hi = chars[*pos];
+            *pos += 1;
+            if hi == '\\' {
+                let Some(&esc) = chars.get(*pos) else {
+                    return Err("dangling '\\' in class".into());
+                };
+                *pos += 1;
+                hi = esc;
+            }
+            if hi < lo {
+                return Err(format!("inverted class range {lo}-{hi}"));
+            }
+            ranges.push((lo, hi));
+        } else {
+            ranges.push((lo, lo));
+        }
+    }
+    if chars.get(*pos) != Some(&']') {
+        return Err("unclosed '['".into());
+    }
+    *pos += 1;
+    if ranges.is_empty() {
+        return Err("empty character class".into());
+    }
+    Ok(Node::Class(ranges))
+}
+
+fn parse_quantifier(chars: &[char], pos: &mut usize) -> Result<(u32, u32), String> {
+    match chars.get(*pos) {
+        Some('{') => {
+            *pos += 1;
+            let mut min_text = String::new();
+            while chars.get(*pos).is_some_and(char::is_ascii_digit) {
+                min_text.push(chars[*pos]);
+                *pos += 1;
+            }
+            let min: u32 = min_text.parse().map_err(|_| "bad quantifier".to_string())?;
+            let max = match chars.get(*pos) {
+                Some(',') => {
+                    *pos += 1;
+                    let mut max_text = String::new();
+                    while chars.get(*pos).is_some_and(char::is_ascii_digit) {
+                        max_text.push(chars[*pos]);
+                        *pos += 1;
+                    }
+                    max_text.parse().map_err(|_| "bad quantifier".to_string())?
+                }
+                _ => min,
+            };
+            if chars.get(*pos) != Some(&'}') {
+                return Err("unclosed '{'".into());
+            }
+            *pos += 1;
+            if max < min {
+                return Err("inverted quantifier bounds".into());
+            }
+            Ok((min, max))
+        }
+        Some('?') => {
+            *pos += 1;
+            Ok((0, 1))
+        }
+        Some('*') => {
+            *pos += 1;
+            Ok((0, 8))
+        }
+        Some('+') => {
+            *pos += 1;
+            Ok((1, 8))
+        }
+        _ => Ok((1, 1)),
+    }
+}
+
+fn emit_sequence(seq: &[Quantified], rng: &mut TestRng, out: &mut String) {
+    for q in seq {
+        let reps = q.min + (rng.below(u64::from(q.max - q.min) + 1) as u32);
+        for _ in 0..reps {
+            emit_node(&q.node, rng, out);
+        }
+    }
+}
+
+/// A small pool of printable non-ASCII characters so `\PC` exercises
+/// multi-byte UTF-8 paths.
+const UNICODE_POOL: &[char] = &['é', 'ß', 'Ω', 'λ', '中', '文', 'Ж', '🎬'];
+
+fn emit_node(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Literal(c) => out.push(*c),
+        Node::Class(ranges) => {
+            let total: u64 = ranges.iter().map(|(lo, hi)| span_len(*lo, *hi)).sum();
+            let mut pick = rng.below(total);
+            for (lo, hi) in ranges {
+                let len = span_len(*lo, *hi);
+                if pick < len {
+                    out.push(char_at(*lo, pick));
+                    return;
+                }
+                pick -= len;
+            }
+            unreachable!("class pick within total");
+        }
+        Node::Printable => {
+            // Mostly printable ASCII, occasionally wider Unicode.
+            if rng.below(8) == 0 {
+                out.push(UNICODE_POOL[rng.below(UNICODE_POOL.len() as u64) as usize]);
+            } else {
+                out.push(char::from(0x20 + rng.below(0x5F) as u8));
+            }
+        }
+        Node::Group(inner) => emit_sequence(inner, rng, out),
+    }
+}
+
+fn span_len(lo: char, hi: char) -> u64 {
+    u64::from(u32::from(hi) - u32::from(lo)) + 1
+}
+
+fn char_at(lo: char, offset: u64) -> char {
+    char::from_u32(u32::from(lo) + offset as u32).expect("class chars stay in valid ranges")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::RegexGen;
+    use crate::test_runner::TestRng;
+
+    fn sample(pattern: &str) -> String {
+        RegexGen::parse(pattern)
+            .unwrap()
+            .generate(&mut TestRng::for_test(pattern))
+    }
+
+    #[test]
+    fn workspace_patterns_all_parse() {
+        for p in [
+            "[a-z]{1,20}",
+            "[bcdfgmprt][aeiou][bcdfgmprt]{1,3}",
+            "[A-Z0-9]{1,10}",
+            "[A-Za-z0-9_\\-\\.]{0,30}",
+            "[a-z]{1,15}(_[a-z]{1,15}){0,3}",
+            "\\PC{0,120}",
+            "([a-z]{1,8} ){0,10}",
+            "[a-e]",
+            "[a-f]",
+            "\\PC{0,40}",
+        ] {
+            let mut rng = TestRng::for_test(p);
+            let gen = RegexGen::parse(p).unwrap_or_else(|e| panic!("{p}: {e}"));
+            for _ in 0..50 {
+                let _ = gen.generate(&mut rng);
+            }
+        }
+    }
+
+    #[test]
+    fn class_output_stays_in_class() {
+        let mut rng = TestRng::for_test("class");
+        let gen = RegexGen::parse("[a-cx]{4,4}").unwrap();
+        for _ in 0..100 {
+            let s = gen.generate(&mut rng);
+            assert_eq!(s.chars().count(), 4);
+            assert!(s.chars().all(|c| matches!(c, 'a'..='c' | 'x')), "{s}");
+        }
+    }
+
+    #[test]
+    fn group_repetition_bounds() {
+        let mut rng = TestRng::for_test("group");
+        let gen = RegexGen::parse("(ab){2,3}").unwrap();
+        for _ in 0..50 {
+            let s = gen.generate(&mut rng);
+            assert!(s == "abab" || s == "ababab", "{s}");
+        }
+    }
+
+    #[test]
+    fn printable_is_not_control() {
+        let mut rng = TestRng::for_test("pc");
+        let gen = RegexGen::parse("\\PC{40,40}").unwrap();
+        let s = gen.generate(&mut rng);
+        assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+    }
+
+    #[test]
+    fn escaped_literals() {
+        assert_eq!(sample("a\\.b\\-c"), "a.b-c");
+    }
+
+    #[test]
+    fn unsupported_syntax_is_rejected() {
+        assert!(RegexGen::parse("a|b").is_err());
+        assert!(RegexGen::parse("[^a]").is_err());
+        assert!(RegexGen::parse(".").is_err());
+    }
+}

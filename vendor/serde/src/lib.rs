@@ -1,0 +1,165 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! provides the slice of serde the workspace uses: a [`Serialize`] trait
+//! (JSON-oriented — it produces a [`Value`] tree directly instead of
+//! driving a generic `Serializer`), `#[derive(Serialize)]` for plain
+//! named-field structs (via the vendored `serde_derive`), and impls for the
+//! std types the workspace serializes. The sibling `serde_json` stub
+//! renders [`Value`] trees as JSON text.
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::Serialize;
+
+/// A JSON value tree: the data model behind [`Serialize`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any signed integer.
+    Int(i128),
+    /// Integers above `i128::MAX` are unrepresentable and unused here.
+    UInt(u128),
+    /// A finite or non-finite double (non-finite renders as `null`).
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered array.
+    Array(Vec<Value>),
+    /// An object whose member order is the declaration order.
+    Object(Vec<(String, Value)>),
+}
+
+/// Types that can render themselves into a JSON [`Value`].
+pub trait Serialize {
+    /// The value tree for `self`.
+    fn to_json_value(&self) -> Value;
+}
+
+macro_rules! serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::Int(*self as i128)
+            }
+        }
+    )*};
+}
+
+serialize_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Serialize for u128 {
+    fn to_json_value(&self) -> Value {
+        Value::UInt(*self)
+    }
+}
+
+impl Serialize for i128 {
+    fn to_json_value(&self) -> Value {
+        Value::Int(*self)
+    }
+}
+
+impl Serialize for f64 {
+    fn to_json_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_json_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for str {
+    fn to_json_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_json_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(v) => v.to_json_value(),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_json_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_json_value()))
+                .collect(),
+        )
+    }
+}
+
+impl Serialize for Value {
+    fn to_json_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn std_impls_cover_workspace_field_types() {
+        assert_eq!(3usize.to_json_value(), Value::Int(3));
+        assert_eq!((-4i32).to_json_value(), Value::Int(-4));
+        assert_eq!(1.5f64.to_json_value(), Value::Float(1.5));
+        assert_eq!(true.to_json_value(), Value::Bool(true));
+        assert_eq!("x".to_json_value(), Value::Str("x".into()));
+        assert_eq!(
+            [1.0f64, 2.0].to_json_value(),
+            Value::Array(vec![Value::Float(1.0), Value::Float(2.0)])
+        );
+        assert_eq!(Option::<u32>::None.to_json_value(), Value::Null);
+    }
+}

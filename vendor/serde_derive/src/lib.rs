@@ -1,0 +1,137 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` for the shapes this workspace actually
+//! declares: non-generic structs with named fields (and unit structs, which
+//! serialize as empty objects). Anything else — enums, tuple structs,
+//! generics, `#[serde(...)]` attributes — is rejected with a compile error,
+//! keeping the stub honest about its coverage.
+//!
+//! Built on the compiler's own `proc_macro` API only, so it needs no
+//! `syn`/`quote` from crates.io.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the vendored `serde::Serialize` (an object of the named fields,
+/// in declaration order).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match expand(input) {
+        Ok(stream) => stream,
+        Err(message) => format!("compile_error!({message:?});").parse().unwrap(),
+    }
+}
+
+fn expand(input: TokenStream) -> Result<TokenStream, String> {
+    let trees: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attributes_and_visibility(&trees, &mut i);
+    match trees.get(i) {
+        Some(TokenTree::Ident(kw)) if kw.to_string() == "struct" => i += 1,
+        Some(TokenTree::Ident(kw)) if kw.to_string() == "enum" => {
+            return Err("this vendored serde_derive does not support enums".into());
+        }
+        _ => return Err("expected a struct declaration".into()),
+    }
+    let name = match trees.get(i) {
+        Some(TokenTree::Ident(name)) => {
+            i += 1;
+            name.to_string()
+        }
+        _ => return Err("expected a struct name".into()),
+    };
+    // Unit struct `struct X;` — serialize as an empty object.
+    if trees.get(i).is_none() || punct_is(trees.get(i), ';') {
+        return Ok(render(&name, &[]));
+    }
+    match trees.get(i) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            Err("this vendored serde_derive does not support generics".into())
+        }
+        Some(TokenTree::Group(body)) if body.delimiter() == Delimiter::Brace => {
+            let fields = field_names(body.stream())?;
+            Ok(render(&name, &fields))
+        }
+        Some(TokenTree::Group(_)) => {
+            Err("this vendored serde_derive does not support tuple structs".into())
+        }
+        _ => Err("unsupported struct shape".into()),
+    }
+}
+
+fn punct_is(tree: Option<&TokenTree>, c: char) -> bool {
+    matches!(tree, Some(TokenTree::Punct(p)) if p.as_char() == c)
+}
+
+/// Advances past `#[...]` attributes and `pub` / `pub(...)` visibility.
+fn skip_attributes_and_visibility(trees: &[TokenTree], i: &mut usize) {
+    loop {
+        match trees.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // the attribute body group
+                if matches!(trees.get(*i), Some(TokenTree::Group(_))) {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(kw)) if kw.to_string() == "pub" => {
+                *i += 1;
+                if matches!(
+                    trees.get(*i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// The field identifiers of a named-field struct body, in order.
+fn field_names(body: TokenStream) -> Result<Vec<String>, String> {
+    let trees: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < trees.len() {
+        skip_attributes_and_visibility(&trees, &mut i);
+        let Some(TokenTree::Ident(field)) = trees.get(i) else {
+            return Err("expected a named field".into());
+        };
+        if !punct_is(trees.get(i + 1), ':') {
+            return Err(format!("field {field} is not a named field"));
+        }
+        fields.push(field.to_string());
+        i += 2;
+        // Skip the type up to the next top-level comma.
+        let mut depth = 0i32;
+        while let Some(tree) = trees.get(i) {
+            match tree {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    Ok(fields)
+}
+
+fn render(name: &str, fields: &[String]) -> TokenStream {
+    let members: String = fields
+        .iter()
+        .map(|f| format!("({f:?}.to_string(), serde::Serialize::to_json_value(&self.{f})),"))
+        .collect();
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn to_json_value(&self) -> serde::Value {{\n\
+                 serde::Value::Object(vec![{members}])\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated impl parses")
+}
