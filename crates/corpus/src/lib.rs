@@ -28,6 +28,7 @@
 pub mod annotators;
 pub mod docgen;
 pub mod gen;
+pub mod pathological;
 pub mod spec;
 pub mod suite;
 

@@ -1,0 +1,156 @@
+//! Pathological XML generators for robustness and chaos testing.
+//!
+//! Where the dataset generators ([`crate::gen`]) imitate the paper's
+//! *realistic* corpus, these produce documents that are deliberately
+//! hostile along one resource axis each — nesting depth, fanout, entity
+//! density, or polysemy — so the runtime's resource limits and deadlines
+//! have something real to trip on. All generators are pure functions of
+//! their arguments: no RNG, byte-identical output on every call.
+
+/// A document that is nothing but `depth` nested `<section>` elements.
+///
+/// Stresses the parser's recursion (and its `max_depth` guard): node count
+/// grows linearly but the element stack grows just as fast.
+pub fn deep_nesting(depth: usize) -> String {
+    let mut xml = String::with_capacity(depth * 20 + 32);
+    xml.push_str("<archive>");
+    for _ in 0..depth {
+        xml.push_str("<section>");
+    }
+    xml.push_str("core");
+    for _ in 0..depth {
+        xml.push_str("</section>");
+    }
+    xml.push_str("</archive>");
+    xml
+}
+
+/// A two-level document whose root has `children` identical children.
+///
+/// Stresses anything linear in node count — tree building, selection, and
+/// the node-budget check — without any depth at all.
+pub fn mega_fanout(children: usize) -> String {
+    let mut xml = String::with_capacity(children * 24 + 32);
+    xml.push_str("<catalog>");
+    for i in 0..children {
+        xml.push_str("<item>entry ");
+        xml.push_str(&i.to_string());
+        xml.push_str("</item>");
+    }
+    xml.push_str("</catalog>");
+    xml
+}
+
+/// A document whose text content is saturated with character entities.
+///
+/// Every text value is almost entirely `&amp;`/`&lt;`/`&gt;`/`&quot;`
+/// escapes, so the byte size is many times the decoded size — the shape
+/// that makes byte limits and parse-time budgets diverge from node counts.
+pub fn entity_heavy(values: usize) -> String {
+    let mut xml = String::with_capacity(values * 64 + 32);
+    xml.push_str("<feed>");
+    for _ in 0..values {
+        xml.push_str("<entry>&amp;&lt;&gt;&quot;&apos;&amp;&lt;&gt;&quot;&apos;</entry>");
+    }
+    xml.push_str("</feed>");
+    xml
+}
+
+/// A document built entirely from the most polysemous labels in the
+/// reference vocabulary (`star`, `play`, `cast`, …), each repeated
+/// `repeats` times.
+///
+/// Node count stays modest but the number of candidate sense pairs the
+/// scoring loop must evaluate explodes — the axis the sense-pair budget
+/// and per-document deadline exist for.
+pub fn hyper_polysemous(repeats: usize) -> String {
+    const AMBIGUOUS: [&str; 6] = ["play", "star", "cast", "picture", "character", "state"];
+    let mut xml = String::with_capacity(repeats * AMBIGUOUS.len() * 24 + 32);
+    xml.push_str("<plays>");
+    for _ in 0..repeats {
+        for label in AMBIGUOUS {
+            xml.push('<');
+            xml.push_str(label);
+            xml.push('>');
+            xml.push_str("star");
+            xml.push_str("</");
+            xml.push_str(label);
+            xml.push('>');
+        }
+    }
+    xml.push_str("</plays>");
+    xml
+}
+
+/// Stamps a chaos marker onto a document's root element as an attribute,
+/// so marker-targeted failpoints (`panic-if`/`delay-if`) can select it by
+/// substring while the document stays well-formed.
+///
+/// ```
+/// let doc = xsdf_corpus::pathological::with_marker("<a><b/></a>", "CHAOS_PANIC");
+/// assert_eq!(doc, "<a chaos=\"CHAOS_PANIC\"><b/></a>");
+/// ```
+pub fn with_marker(xml: &str, marker: &str) -> String {
+    debug_assert!(
+        !marker.contains('"') && !marker.contains('&') && !marker.contains('<'),
+        "marker must be attribute-safe"
+    );
+    match xml.find(['>', '/']) {
+        Some(end) => format!("{} chaos=\"{marker}\"{}", &xml[..end], &xml[end..]),
+        None => xml.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deep_nesting_has_exact_depth() {
+        let xml = deep_nesting(300);
+        let mut parser = xmltree::parser::Parser::new(&xml);
+        parser.max_depth = 400;
+        let doc = parser.parse_document().expect("well-formed");
+        assert_eq!(doc.element_count(), 301);
+        // The default parser guard (256) must reject it.
+        assert!(xmltree::parse(&xml).is_err());
+    }
+
+    #[test]
+    fn mega_fanout_has_exact_node_count() {
+        let doc = xmltree::parse(&mega_fanout(500)).expect("well-formed");
+        assert_eq!(doc.element_count(), 501);
+    }
+
+    #[test]
+    fn entity_heavy_parses_and_inflates_bytes() {
+        let xml = entity_heavy(50);
+        let doc = xmltree::parse(&xml).expect("well-formed");
+        assert_eq!(doc.element_count(), 51);
+        // Escapes make the raw form several times the decoded text.
+        assert!(xml.len() > 50 * 40);
+    }
+
+    #[test]
+    fn hyper_polysemous_is_well_formed() {
+        let doc = xmltree::parse(&hyper_polysemous(10)).expect("well-formed");
+        assert_eq!(doc.element_count(), 61);
+    }
+
+    #[test]
+    fn marker_keeps_documents_well_formed() {
+        for xml in [
+            deep_nesting(5),
+            mega_fanout(3),
+            entity_heavy(2),
+            hyper_polysemous(1),
+            "<solo/>".to_string(),
+        ] {
+            let marked = with_marker(&xml, "CHAOS_X");
+            assert!(marked.contains("CHAOS_X"));
+            let a = xmltree::parse(&xml).expect("input well-formed");
+            let b = xmltree::parse(&marked).expect("marked still well-formed");
+            assert_eq!(a.element_count(), b.element_count());
+        }
+    }
+}

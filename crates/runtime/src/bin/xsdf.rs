@@ -12,9 +12,14 @@
 //! ```
 
 use std::process::ExitCode;
+use std::time::Duration;
 
-use runtime::BatchEngine;
+use runtime::{BatchEngine, ResourceLimits};
 use xsdf::{DisambiguationProcess, ThresholdPolicy, Xsdf, XsdfConfig};
+
+/// Exit code for a batch where some — but not all — documents failed.
+/// `0` means every document succeeded; `1` is a total or usage failure.
+const EXIT_PARTIAL: u8 = 2;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -31,12 +36,12 @@ fn main() -> ExitCode {
         "senses" => cmd_senses(&args[1..]),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         other => Err(format!("unknown command {other:?}\n{USAGE}")),
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(message) => {
             eprintln!("error: {message}");
             ExitCode::FAILURE
@@ -62,10 +67,23 @@ OPTIONS:
     --structure-only      ignore element/attribute text values
     --quiet               suppress the per-node report
 
+RESOURCE OPTIONS (disambiguate + batch):
+    --max-bytes <N>       reject documents larger than N bytes
+    --max-nodes <N>       reject documents with more than N tree nodes
+    --max-depth <N>       reject element nesting deeper than N
+    --deadline-ms <N>     per-document wall-clock budget in milliseconds
+
 BATCH OPTIONS:
     --threads <N>         worker threads (0 = all cores)        [default: 0]
     --metrics <file>      write run metrics as JSON
-    --annotate            print each document's annotated XML to stdout";
+    --annotate            print each document's annotated XML to stdout
+    --keep-going          process every document despite failures [default]
+    --fail-fast           stop scheduling documents after the first failure
+
+EXIT CODES (batch):
+    0  every document succeeded
+    2  some documents failed (each is reported on stderr with its kind)
+    1  all documents failed, or the invocation itself was invalid";
 
 /// Simple flag parser: returns (positional args, flag lookup).
 struct Flags<'a> {
@@ -79,7 +97,10 @@ impl<'a> Flags<'a> {
         while i < self.args.len() {
             let a = &self.args[i];
             if a.starts_with("--") {
-                if !matches!(a.as_str(), "--structure-only" | "--quiet" | "--annotate") {
+                if !matches!(
+                    a.as_str(),
+                    "--structure-only" | "--quiet" | "--annotate" | "--keep-going" | "--fail-fast"
+                ) {
                     i += 1; // skip the flag's value
                 }
             } else {
@@ -164,6 +185,31 @@ fn build_config(flags: &Flags) -> Result<XsdfConfig, String> {
     Ok(config)
 }
 
+/// Parses the shared resource-limit flags into engine settings.
+fn build_limits(flags: &Flags) -> Result<(ResourceLimits, Option<Duration>), String> {
+    fn parsed<T: std::str::FromStr>(flags: &Flags, name: &str) -> Result<Option<T>, String> {
+        match flags.value(name) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("bad {name} value {v:?}")),
+        }
+    }
+    let mut limits = ResourceLimits::unlimited();
+    if let Some(max) = parsed(flags, "--max-bytes")? {
+        limits = limits.max_bytes(max);
+    }
+    if let Some(max) = parsed(flags, "--max-nodes")? {
+        limits = limits.max_nodes(max);
+    }
+    if let Some(max) = parsed(flags, "--max-depth")? {
+        limits = limits.max_depth(max);
+    }
+    let deadline = parsed(flags, "--deadline-ms")?.map(Duration::from_millis);
+    Ok((limits, deadline))
+}
+
 fn read_doc(flags: &Flags) -> Result<(String, String), String> {
     let positional = flags.positional();
     let path = positional
@@ -173,15 +219,24 @@ fn read_doc(flags: &Flags) -> Result<(String, String), String> {
     Ok((path.to_string(), xml))
 }
 
-fn cmd_disambiguate(args: &[String]) -> Result<(), String> {
+fn cmd_disambiguate(args: &[String]) -> Result<ExitCode, String> {
     let flags = Flags { args };
     let (path, xml) = read_doc(&flags)?;
     let network = load_network(&flags)?;
     let config = build_config(&flags)?;
-    let framework = Xsdf::new(network.get(), config);
-    let result = framework
-        .disambiguate_str(&xml)
-        .map_err(|e| format!("{path}: {e}"))?;
+    let (limits, deadline) = build_limits(&flags)?;
+    // A one-document engine rather than `Xsdf::disambiguate_str`: the
+    // engine path applies the resource limits, the deadline, and panic
+    // isolation to interactive runs too.
+    let mut engine = BatchEngine::new(network.get(), config)
+        .threads(1)
+        .limits(limits);
+    if let Some(d) = deadline {
+        engine = engine.deadline(d);
+    }
+    let result = engine
+        .process_document(&xml)
+        .map_err(|e| format!("{path}: [{}] {e}", e.kind()))?;
     if !flags.has("--quiet") {
         eprintln!(
             "{path}: {} nodes, {} targets, {} senses assigned",
@@ -191,23 +246,29 @@ fn cmd_disambiguate(args: &[String]) -> Result<(), String> {
         );
         for report in &result.reports {
             if let Some((_, score)) = &report.chosen {
+                // invariant: the pipeline annotates the semantic tree for
+                // every report with a chosen sense
                 let sense = result.semantic_tree.sense(report.node).unwrap();
                 eprintln!("  {:16} -> {:24} ({score:.3})", report.label, sense.concept);
             }
         }
     }
     println!("{}", result.semantic_tree.to_annotated_xml());
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_batch(args: &[String]) -> Result<(), String> {
+fn cmd_batch(args: &[String]) -> Result<ExitCode, String> {
     let flags = Flags { args };
     let files = flags.positional();
     if files.is_empty() {
         return Err("missing input files (see `xsdf help`)".into());
     }
+    if flags.has("--keep-going") && flags.has("--fail-fast") {
+        return Err("--keep-going and --fail-fast are mutually exclusive".into());
+    }
     let network = load_network(&flags)?;
     let config = build_config(&flags)?;
+    let (limits, deadline) = build_limits(&flags)?;
     let threads: usize = match flags.value("--threads") {
         None => 0,
         Some(n) => n
@@ -221,7 +282,13 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
         .collect::<Result<_, _>>()?;
     let docs: Vec<&str> = sources.iter().map(String::as_str).collect();
 
-    let engine = BatchEngine::new(network.get(), config).threads(threads);
+    let mut engine = BatchEngine::new(network.get(), config)
+        .threads(threads)
+        .limits(limits)
+        .fail_fast(flags.has("--fail-fast"));
+    if let Some(d) = deadline {
+        engine = engine.deadline(d);
+    }
     let report = engine.run(&docs);
 
     let mut failures = 0usize;
@@ -240,7 +307,7 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
             }
             Err(e) => {
                 failures += 1;
-                eprintln!("{path}: {e}");
+                eprintln!("{path}: [{}] {e}", e.kind());
             }
         }
     }
@@ -266,13 +333,17 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
     if let Some(path) = flags.value("--metrics") {
         std::fs::write(path, m.to_json()).map_err(|e| format!("cannot write {path}: {e}"))?;
     }
-    if failures > 0 {
-        return Err(format!("{failures} document(s) failed"));
+    if failures == docs.len() {
+        return Err(format!("all {failures} document(s) failed"));
     }
-    Ok(())
+    if failures > 0 {
+        eprintln!("{failures} of {} document(s) failed", docs.len());
+        return Ok(ExitCode::from(EXIT_PARTIAL));
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_ambiguity(args: &[String]) -> Result<(), String> {
+fn cmd_ambiguity(args: &[String]) -> Result<ExitCode, String> {
     let flags = Flags { args };
     let (path, xml) = read_doc(&flags)?;
     let network = load_network(&flags)?;
@@ -296,10 +367,10 @@ fn cmd_ambiguity(args: &[String]) -> Result<(), String> {
     for (degree, senses, depth, label) in rows {
         println!("{degree:>8.4}  {senses:>7}  {depth:>5}  {label}");
     }
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_network(args: &[String]) -> Result<(), String> {
+fn cmd_network(args: &[String]) -> Result<ExitCode, String> {
     let flags = Flags { args };
     let network = load_network(&flags)?;
     let sn = network.get();
@@ -307,7 +378,7 @@ fn cmd_network(args: &[String]) -> Result<(), String> {
         std::fs::write(path, semnet::format::to_text(sn))
             .map_err(|e| format!("cannot write {path}: {e}"))?;
         eprintln!("exported {} concepts to {path}", sn.len());
-        return Ok(());
+        return Ok(ExitCode::SUCCESS);
     }
     println!("concepts:       {}", sn.len());
     println!("vocabulary:     {}", sn.vocabulary_size());
@@ -315,10 +386,10 @@ fn cmd_network(args: &[String]) -> Result<(), String> {
     println!("max depth:      {}", sn.max_depth());
     println!("max polysemy:   {}", sn.max_polysemy());
     println!("total frequency:{}", sn.total_frequency());
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_import_wndb(args: &[String]) -> Result<(), String> {
+fn cmd_import_wndb(args: &[String]) -> Result<ExitCode, String> {
     let flags = Flags { args };
     let inputs = flags.positional();
     if inputs.is_empty() {
@@ -349,10 +420,10 @@ fn cmd_import_wndb(args: &[String]) -> Result<(), String> {
     std::fs::write(out_path, semnet::format::to_text(&sn))
         .map_err(|e| format!("cannot write {out_path}: {e}"))?;
     eprintln!("wrote {} concepts to {out_path}", sn.len());
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_senses(args: &[String]) -> Result<(), String> {
+fn cmd_senses(args: &[String]) -> Result<ExitCode, String> {
     let flags = Flags { args };
     let positional = flags.positional();
     let word = positional
@@ -363,7 +434,7 @@ fn cmd_senses(args: &[String]) -> Result<(), String> {
     let senses = sn.senses_normalized(word, lingproc::porter_stem);
     if senses.is_empty() {
         println!("{word}: no senses in the network");
-        return Ok(());
+        return Ok(ExitCode::SUCCESS);
     }
     println!("{word}: {} sense(s)", senses.len());
     for &c in senses {
@@ -376,5 +447,5 @@ fn cmd_senses(args: &[String]) -> Result<(), String> {
             concept.gloss
         );
     }
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }

@@ -8,9 +8,10 @@
 //! same shard) never serialize, and writers only lock 1/16th of the table.
 
 use semsim::{PairKey, SimilarityCache};
+use std::cell::Cell;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::RwLock;
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// Number of independent shards. A small power of two: enough to keep a
 /// typical worker pool (≤ #cores) from colliding, cheap to index by masking.
@@ -45,6 +46,28 @@ impl SharedCache {
         let (a, b) = key;
         let mix = a.index().wrapping_mul(31).wrapping_add(b.index());
         &self.shards[mix & (SHARDS - 1)]
+    }
+
+    // Poisoned-shard audit: the batch engine catches panics at the document
+    // boundary, so a worker can panic while holding a shard lock, poisoning
+    // it for every surviving worker. Recovering the guard is sound here
+    // because a shard is only ever a map of pure, idempotent scores — a
+    // `HashMap::insert` of `Copy` keys/values either completed or didn't,
+    // and a half-run batch never leaves a *wrong* value behind (any worker
+    // recomputing the pair stores the identical score). Propagating the
+    // poison instead would turn one caught panic into a cascade that kills
+    // the 31 surviving documents — exactly what panic isolation exists to
+    // prevent.
+    fn read_shard(&self, key: PairKey) -> RwLockReadGuard<'_, HashMap<PairKey, f64>> {
+        self.shard(key)
+            .read()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    fn write_shard(&self, key: PairKey) -> RwLockWriteGuard<'_, HashMap<PairKey, f64>> {
+        self.shard(key)
+            .write()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
     }
 
     /// Lookups that found a cached score.
@@ -87,12 +110,7 @@ impl std::fmt::Debug for SharedCache {
 
 impl SimilarityCache for SharedCache {
     fn lookup(&self, key: PairKey) -> Option<f64> {
-        let found = self
-            .shard(key)
-            .read()
-            .expect("similarity cache shard poisoned")
-            .get(&key)
-            .copied();
+        let found = self.read_shard(key).get(&key).copied();
         match found {
             Some(v) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -106,17 +124,74 @@ impl SimilarityCache for SharedCache {
     }
 
     fn store(&self, key: PairKey, value: f64) {
-        self.shard(key)
-            .write()
-            .expect("similarity cache shard poisoned")
-            .insert(key, value);
+        self.write_shard(key).insert(key, value);
     }
 
     fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.read().expect("similarity cache shard poisoned").len())
+            .map(|s| {
+                s.read()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner())
+                    .len()
+            })
             .sum()
+    }
+}
+
+/// A per-worker view of the [`SharedCache`] that additionally tallies this
+/// worker's own hits and misses.
+///
+/// The shared cache's global counters are cumulative across *every* run
+/// that ever touched the cache, so two concurrent [`crate::BatchEngine`]
+/// runs sharing an engine would skew each other's before/after deltas.
+/// Each worker instead scores through its own `TallyCache`; the engine
+/// sums the tallies, giving exact per-run hit/miss counts no matter how
+/// many runs share the underlying table.
+#[derive(Debug)]
+pub struct TallyCache {
+    shared: Arc<SharedCache>,
+    hits: Cell<u64>,
+    misses: Cell<u64>,
+}
+
+impl TallyCache {
+    /// A fresh tally over the given shared table.
+    pub fn new(shared: Arc<SharedCache>) -> Self {
+        Self {
+            shared,
+            hits: Cell::new(0),
+            misses: Cell::new(0),
+        }
+    }
+
+    /// Lookups through this tally that hit.
+    pub fn hits(&self) -> u64 {
+        self.hits.get()
+    }
+
+    /// Lookups through this tally that missed.
+    pub fn misses(&self) -> u64 {
+        self.misses.get()
+    }
+}
+
+impl SimilarityCache for TallyCache {
+    fn lookup(&self, key: PairKey) -> Option<f64> {
+        let found = self.shared.lookup(key);
+        match found {
+            Some(_) => self.hits.set(self.hits.get() + 1),
+            None => self.misses.set(self.misses.get() + 1),
+        }
+        found
+    }
+
+    fn store(&self, key: PairKey, value: f64) {
+        self.shared.store(key, value);
+    }
+
+    fn len(&self) -> usize {
+        self.shared.len()
     }
 }
 
@@ -188,5 +263,51 @@ mod tests {
         // 4 distinct concepts -> 10 unordered pairs (incl. identity).
         assert_eq!(cache.len(), 10);
         assert!(cache.hits() > 0);
+    }
+
+    #[test]
+    fn tally_cache_counts_per_view_not_globally() {
+        let sn = mini_wordnet();
+        let shared = Arc::new(SharedCache::new());
+        let (a, b) = (
+            sn.by_key("cast.actors").unwrap(),
+            sn.by_key("star.performer").unwrap(),
+        );
+        let key = if a <= b { (a, b) } else { (b, a) };
+        let first = TallyCache::new(Arc::clone(&shared));
+        assert_eq!(first.lookup(key), None);
+        first.store(key, 0.5);
+        assert_eq!(first.lookup(key), Some(0.5));
+        assert_eq!((first.hits(), first.misses()), (1, 1));
+        // A second view starts from zero while the shared table stays warm.
+        let second = TallyCache::new(Arc::clone(&shared));
+        assert_eq!(second.lookup(key), Some(0.5));
+        assert_eq!((second.hits(), second.misses()), (1, 0));
+        assert_eq!((shared.hits(), shared.misses()), (2, 1));
+        assert_eq!(second.len(), 1);
+    }
+
+    #[test]
+    fn poisoned_shard_recovers_instead_of_cascading() {
+        let sn = mini_wordnet();
+        let cache = SharedCache::new();
+        let (a, b) = (
+            sn.by_key("film.movie").unwrap(),
+            sn.by_key("kelly.grace").unwrap(),
+        );
+        let key = if a <= b { (a, b) } else { (b, a) };
+        cache.store(key, 0.25);
+        // Panic while holding the shard's write lock, the worst case a
+        // caught per-document panic can leave behind.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = cache.shard(key).write().unwrap();
+            panic!("worker died mid-store");
+        }));
+        assert!(result.is_err());
+        assert!(cache.shard(key).is_poisoned());
+        // Surviving workers keep reading, writing, and sizing the table.
+        assert_eq!(cache.lookup(key), Some(0.25));
+        cache.store(key, 0.25);
+        assert_eq!(cache.len(), 1);
     }
 }

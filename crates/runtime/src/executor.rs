@@ -1,26 +1,39 @@
-//! The batch executor: a worker pool fanning documents across cores.
+//! The batch executor: a fault-isolating worker pool fanning documents
+//! across cores.
 //!
 //! Each worker owns a [`CombinedSimilarity`] scoring through the engine's
-//! one [`SharedCache`], so sense pairs computed for any document are reused
-//! by every other. Workers pull jobs off a shared counter (dynamic load
-//! balancing — documents vary widely in size) and send results back over a
-//! channel tagged with the input index; the collector reassembles them in
-//! input order, so output is deterministic regardless of thread count or
-//! scheduling. Scores themselves are thread-count-independent too: the
-//! cache only memoizes a pure function of the concept pair.
+//! one [`SharedCache`] (via a per-run [`TallyCache`] view), so sense pairs
+//! computed for any document are reused by every other. Workers pull jobs
+//! off a shared counter (dynamic load balancing — documents vary widely in
+//! size) and send results back over a channel tagged with the input index;
+//! the collector reassembles them in input order, so output is
+//! deterministic regardless of thread count or scheduling. Scores
+//! themselves are thread-count-independent too: the cache only memoizes a
+//! pure function of the concept pair.
+//!
+//! Failure is always per-document: a panic anywhere in one document's
+//! pipeline is caught at the document boundary ([`std::panic::catch_unwind`])
+//! and becomes [`XsdfError::Panicked`] in that document's slot while its
+//! batch neighbors complete; resource overruns ([`ResourceLimits`]) and
+//! deadline overruns ([`BatchEngine::deadline`]) surface the same way as
+//! [`XsdfError::LimitExceeded`] / [`XsdfError::DeadlineExceeded`].
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use semnet::SemanticNetwork;
 use semsim::{CombinedSimilarity, SimilarityCache};
-use xmltree::ParseError;
+use xsdf::guard::Deadline;
 use xsdf::{DisambiguationResult, Xsdf, XsdfConfig};
 
-use crate::cache::SharedCache;
-use crate::metrics::{MetricsSnapshot, StageTimings};
+use crate::cache::{SharedCache, TallyCache};
+use crate::error::XsdfError;
+use crate::fault;
+use crate::limits::ResourceLimits;
+use crate::metrics::{FailureCounts, MetricsSnapshot, StageTimings};
 
 /// Per-worker accumulator, merged into the batch metrics at the end.
 #[derive(Default)]
@@ -29,27 +42,46 @@ struct WorkerStats {
     nodes: usize,
     targets: usize,
     assigned: usize,
-    failed: usize,
+    failures: FailureCounts,
+    cache_hits: u64,
+    cache_misses: u64,
+}
+
+impl WorkerStats {
+    fn merge(&mut self, other: &WorkerStats) {
+        self.stages.merge(&other.stages);
+        self.nodes += other.nodes;
+        self.targets += other.targets;
+        self.assigned += other.assigned;
+        self.failures.merge(&other.failures);
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+    }
 }
 
 /// The outcome of one batch run: per-document results in input order plus
 /// a metrics snapshot.
 #[derive(Debug)]
 pub struct BatchReport {
-    /// One entry per input document, in input order. Documents that fail
-    /// to parse yield `Err` without affecting their neighbors.
-    pub results: Vec<Result<DisambiguationResult, ParseError>>,
-    /// Timings, throughput, and cache accounting for this run.
+    /// One entry per input document, in input order. Documents that fail —
+    /// malformed XML, resource overrun, deadline, even a panic — yield
+    /// `Err` without affecting their neighbors.
+    pub results: Vec<Result<DisambiguationResult, XsdfError>>,
+    /// Timings, throughput, failure counts, and cache accounting for this
+    /// run.
     pub metrics: MetricsSnapshot,
 }
 
-/// A reusable parallel batch-disambiguation engine.
+/// A reusable parallel batch-disambiguation engine with panic isolation,
+/// per-document resource limits, and deadlines.
 ///
 /// ```
-/// use runtime::BatchEngine;
+/// use runtime::{BatchEngine, ResourceLimits};
 /// use xsdf::XsdfConfig;
 ///
-/// let engine = BatchEngine::new(semnet::mini_wordnet(), XsdfConfig::default()).threads(2);
+/// let engine = BatchEngine::new(semnet::mini_wordnet(), XsdfConfig::default())
+///     .threads(2)
+///     .limits(ResourceLimits::unlimited().max_nodes(10_000));
 /// let docs = ["<cast><star>Kelly</star></cast>", "<films><picture/></films>"];
 /// let report = engine.run(&docs);
 /// assert_eq!(report.results.len(), 2);
@@ -59,16 +91,23 @@ pub struct BatchEngine<'sn> {
     xsdf: Xsdf<'sn>,
     threads: usize,
     cache: Arc<SharedCache>,
+    limits: ResourceLimits,
+    deadline: Option<Duration>,
+    fail_fast: bool,
 }
 
 impl<'sn> BatchEngine<'sn> {
     /// An engine over the given network and pipeline configuration, with
-    /// one worker per available core.
+    /// one worker per available core, no resource limits, no deadline, and
+    /// keep-going failure handling.
     pub fn new(sn: &'sn SemanticNetwork, config: XsdfConfig) -> Self {
         Self {
             xsdf: Xsdf::new(sn, config),
             threads: default_threads(),
             cache: Arc::new(SharedCache::new()),
+            limits: ResourceLimits::unlimited(),
+            deadline: None,
+            fail_fast: false,
         }
     }
 
@@ -79,6 +118,31 @@ impl<'sn> BatchEngine<'sn> {
         } else {
             threads
         };
+        self
+    }
+
+    /// Sets the per-document resource limits.
+    pub fn limits(mut self, limits: ResourceLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// Sets a per-document wall-clock deadline. Each document gets its own
+    /// budget, started when a worker picks it up; overrunning documents
+    /// return [`XsdfError::DeadlineExceeded`] at the next cooperative
+    /// check. Necessarily time-dependent, so which documents trip is not
+    /// deterministic — only that no document stalls a worker forever.
+    pub fn deadline(mut self, per_document: Duration) -> Self {
+        self.deadline = Some(per_document);
+        self
+    }
+
+    /// In fail-fast mode the engine stops *scheduling* documents after the
+    /// first failure; already-running documents finish, and unscheduled
+    /// ones report [`XsdfError::Cancelled`]. Default is keep-going: every
+    /// document is always attempted.
+    pub fn fail_fast(mut self, fail_fast: bool) -> Self {
+        self.fail_fast = fail_fast;
         self
     }
 
@@ -96,24 +160,30 @@ impl<'sn> BatchEngine<'sn> {
     /// Disambiguates a batch of XML source strings.
     ///
     /// Results come back in input order. Cache hit/miss counts in the
-    /// returned metrics cover this run only; `cache_entries` is the
-    /// (cumulative) table size afterwards.
+    /// returned metrics cover exactly this run (each worker tallies its
+    /// own lookups, so concurrent runs sharing the engine's cache do not
+    /// skew each other); `cache_entries` is the cumulative table size
+    /// afterwards, which concurrent runs *do* grow together.
     pub fn run(&self, docs: &[&str]) -> BatchReport {
         let started = Instant::now();
-        let hits_before = self.cache.hits();
-        let misses_before = self.cache.misses();
         let threads = self.threads.clamp(1, docs.len().max(1));
 
-        let mut slots: Vec<Option<Result<DisambiguationResult, ParseError>>> =
+        let mut slots: Vec<Option<Result<DisambiguationResult, XsdfError>>> =
             (0..docs.len()).map(|_| None).collect();
         let mut totals = WorkerStats::default();
+        let cancelled = AtomicBool::new(false);
 
         if threads <= 1 {
             let sim = self.worker_measure();
             let mut stats = WorkerStats::default();
             for (slot, xml) in slots.iter_mut().zip(docs) {
-                *slot = Some(self.process_one(xml, &sim, &mut stats));
+                if self.fail_fast && cancelled.load(Ordering::Relaxed) {
+                    break;
+                }
+                *slot = Some(self.run_one(xml, &sim, &mut stats, &cancelled));
             }
+            stats.cache_hits = sim.cache().hits();
+            stats.cache_misses = sim.cache().misses();
             totals = stats;
         } else {
             let next = AtomicUsize::new(0);
@@ -124,20 +194,32 @@ impl<'sn> BatchEngine<'sn> {
                     let result_tx = result_tx.clone();
                     let stats_tx = stats_tx.clone();
                     let next = &next;
+                    let cancelled = &cancelled;
                     scope.spawn(move || {
                         let sim = self.worker_measure();
                         let mut stats = WorkerStats::default();
                         loop {
+                            if self.fail_fast && cancelled.load(Ordering::Relaxed) {
+                                break;
+                            }
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             if i >= docs.len() {
                                 break;
                             }
-                            let outcome = self.process_one(docs[i], &sim, &mut stats);
-                            result_tx
-                                .send((i, outcome))
-                                .expect("collector outlives workers");
+                            let outcome = self.run_one(docs[i], &sim, &mut stats, cancelled);
+                            if result_tx.send((i, outcome)).is_err() {
+                                // The collector is gone (it panicked or was
+                                // dropped early). Nobody can use further
+                                // results; stop quietly instead of
+                                // panicking a second thread.
+                                break;
+                            }
                         }
-                        stats_tx.send(stats).expect("collector outlives workers");
+                        stats.cache_hits = sim.cache().hits();
+                        stats.cache_misses = sim.cache().misses();
+                        // Same rationale as above: a dead collector must
+                        // not take the worker down with it.
+                        let _ = stats_tx.send(stats);
                     });
                 }
                 drop(result_tx);
@@ -147,73 +229,153 @@ impl<'sn> BatchEngine<'sn> {
                     slots[i] = Some(outcome);
                 }
                 for stats in stats_rx {
-                    totals.stages.merge(&stats.stages);
-                    totals.nodes += stats.nodes;
-                    totals.targets += stats.targets;
-                    totals.assigned += stats.assigned;
-                    totals.failed += stats.failed;
+                    totals.merge(&stats);
                 }
             });
         }
 
-        let results: Vec<_> = slots
-            .into_iter()
-            .map(|slot| slot.expect("every index processed exactly once"))
-            .collect();
+        // Slots never scheduled (fail-fast cancellation) report as such.
+        let mut results = Vec::with_capacity(slots.len());
+        for slot in slots {
+            results.push(slot.unwrap_or_else(|| {
+                totals.failures.cancelled += 1;
+                Err(XsdfError::Cancelled)
+            }));
+        }
         let metrics = MetricsSnapshot {
             threads,
             documents: docs.len(),
-            failed_documents: totals.failed,
+            failed_documents: totals.failures.total(),
+            failures: totals.failures,
             nodes: totals.nodes,
             targets: totals.targets,
             assigned: totals.assigned,
             stages: totals.stages,
             wall_clock: started.elapsed(),
-            cache_hits: self.cache.hits() - hits_before,
-            cache_misses: self.cache.misses() - misses_before,
+            cache_hits: totals.cache_hits,
+            cache_misses: totals.cache_misses,
             cache_entries: self.cache.len(),
         };
         BatchReport { results, metrics }
     }
 
-    fn worker_measure(&self) -> CombinedSimilarity<Arc<SharedCache>> {
-        CombinedSimilarity::with_cache(self.xsdf.config().similarity, Arc::clone(&self.cache))
+    /// Disambiguates a single document under the engine's limits and
+    /// deadline, with panic isolation. This is `run(&[xml])` without the
+    /// batch scaffolding; the CLI uses it for `xsdf disambiguate`.
+    pub fn process_document(&self, xml: &str) -> Result<DisambiguationResult, XsdfError> {
+        let sim = self.worker_measure();
+        let mut stats = WorkerStats::default();
+        let cancelled = AtomicBool::new(false);
+        self.run_one(xml, &sim, &mut stats, &cancelled)
     }
 
+    fn worker_measure(&self) -> CombinedSimilarity<TallyCache> {
+        CombinedSimilarity::with_cache(
+            self.xsdf.config().similarity,
+            TallyCache::new(Arc::clone(&self.cache)),
+        )
+    }
+
+    /// Runs one document with the panic boundary: a panic anywhere in the
+    /// pipeline (or an injected failpoint panic) is caught here and
+    /// becomes a per-document [`XsdfError::Panicked`]. Also records the
+    /// failure kind and, in fail-fast mode, raises the cancellation flag.
+    fn run_one(
+        &self,
+        xml: &str,
+        sim: &CombinedSimilarity<TallyCache>,
+        stats: &mut WorkerStats,
+        cancelled: &AtomicBool,
+    ) -> Result<DisambiguationResult, XsdfError> {
+        // AssertUnwindSafe: `stats` and the tally cache are only ever
+        // advanced by whole, already-completed increments (Cell sets,
+        // Duration additions), and a torn shared-cache shard is audited in
+        // `SharedCache` (poison recovery over idempotent pure scores) — so
+        // observing them after an unwind cannot expose a broken invariant.
+        let outcome = match catch_unwind(AssertUnwindSafe(|| self.process_one(xml, sim, stats))) {
+            Ok(outcome) => outcome,
+            Err(payload) => Err(XsdfError::Panicked {
+                message: panic_message(payload),
+            }),
+        };
+        if let Err(e) = &outcome {
+            stats.failures.record(e);
+            if self.fail_fast {
+                cancelled.store(true, Ordering::Relaxed);
+            }
+        }
+        outcome
+    }
+
+    /// The four-stage pipeline for one document, with limit and deadline
+    /// checks at every stage boundary (and, via the guard, inside the
+    /// scoring loop).
     fn process_one(
         &self,
         xml: &str,
-        sim: &CombinedSimilarity<Arc<SharedCache>>,
+        sim: &CombinedSimilarity<TallyCache>,
         stats: &mut WorkerStats,
-    ) -> Result<DisambiguationResult, ParseError> {
+    ) -> Result<DisambiguationResult, XsdfError> {
+        let guard = self.limits.guard(self.deadline.map(Deadline::after));
+
+        fault::hit("parse", xml);
+        if let Some(max) = self.limits.max_bytes {
+            if xml.len() > max {
+                return Err(XsdfError::LimitExceeded {
+                    which: xsdf::LimitKind::Bytes,
+                    limit: max as u64,
+                    actual: xml.len() as u64,
+                });
+            }
+        }
         let t = Instant::now();
-        let doc = match xmltree::parse(xml) {
-            Ok(doc) => {
-                stats.stages.parse += t.elapsed();
-                doc
+        let parsed = {
+            let mut parser = xmltree::parser::Parser::new(xml);
+            if let Some(depth) = self.limits.max_depth {
+                parser.max_depth = depth;
             }
-            Err(e) => {
-                stats.stages.parse += t.elapsed();
-                stats.failed += 1;
-                return Err(e);
-            }
+            parser.parse_document()
         };
+        stats.stages.parse += t.elapsed();
+        let doc = parsed?;
+        guard.check_deadline()?;
+
+        fault::hit("preprocess", xml);
         let t = Instant::now();
         let tree = self.xsdf.build_tree(&doc);
         stats.stages.preprocess += t.elapsed();
 
+        fault::hit("select", xml);
         let t = Instant::now();
-        let ambiguities = self.xsdf.select(&tree);
+        let selected = self.xsdf.select_guarded(&tree, &guard);
         stats.stages.select += t.elapsed();
+        let ambiguities = selected?;
 
+        fault::hit("disambiguate", xml);
         let t = Instant::now();
-        let result = self.xsdf.disambiguate_selected(&tree, &ambiguities, sim);
+        let scored = self
+            .xsdf
+            .disambiguate_selected_guarded(&tree, &ambiguities, sim, &guard);
         stats.stages.disambiguate += t.elapsed();
+        let result = scored?;
 
         stats.nodes += tree.len();
         stats.targets += ambiguities.iter().filter(|a| a.selected).count();
         stats.assigned += result.assigned_count();
         Ok(result)
+    }
+}
+
+/// Renders a caught panic payload: `&str` and `String` payloads (the
+/// overwhelmingly common cases, produced by `panic!` with a message) come
+/// through verbatim, anything else gets a placeholder.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -227,6 +389,7 @@ fn default_threads() -> usize {
 mod tests {
     use super::*;
     use semnet::mini_wordnet;
+    use xsdf::LimitKind;
 
     const DOC: &str = r#"<films>
         <picture title="Rear Window">
@@ -245,6 +408,7 @@ mod tests {
         assert!(report.results[2].is_ok());
         assert!(report.results[3].is_ok());
         assert_eq!(report.metrics.failed_documents, 1);
+        assert_eq!(report.metrics.failures.parse, 1);
         assert_eq!(report.metrics.documents, 4);
     }
 
@@ -275,5 +439,55 @@ mod tests {
         let engine = BatchEngine::new(mini_wordnet(), XsdfConfig::default()).threads(0);
         let report = engine.run(&[DOC, DOC]);
         assert!(report.metrics.threads >= 1);
+    }
+
+    #[test]
+    fn byte_limit_rejects_before_parsing() {
+        let engine = BatchEngine::new(mini_wordnet(), XsdfConfig::default())
+            .threads(1)
+            .limits(ResourceLimits::unlimited().max_bytes(8));
+        let report = engine.run(&[DOC, "<a/>"]);
+        match &report.results[0] {
+            Err(XsdfError::LimitExceeded { which, .. }) => assert_eq!(*which, LimitKind::Bytes),
+            other => panic!("expected byte limit, got {other:?}"),
+        }
+        assert!(report.results[1].is_ok(), "tiny neighbor still processed");
+        assert_eq!(report.metrics.failures.limit, 1);
+    }
+
+    #[test]
+    fn zero_deadline_fails_every_document_gracefully() {
+        let engine = BatchEngine::new(mini_wordnet(), XsdfConfig::default())
+            .threads(2)
+            .deadline(Duration::ZERO);
+        let report = engine.run(&[DOC, DOC, DOC]);
+        assert_eq!(report.metrics.failures.deadline, 3);
+        for result in &report.results {
+            assert!(matches!(result, Err(XsdfError::DeadlineExceeded { .. })));
+        }
+    }
+
+    #[test]
+    fn fail_fast_cancels_unscheduled_documents_serially() {
+        let engine = BatchEngine::new(mini_wordnet(), XsdfConfig::default())
+            .threads(1)
+            .fail_fast(true);
+        let docs = [DOC, "<broken", DOC, DOC];
+        let report = engine.run(&docs);
+        assert!(report.results[0].is_ok());
+        assert!(matches!(report.results[1], Err(XsdfError::Parse(_))));
+        assert!(matches!(report.results[2], Err(XsdfError::Cancelled)));
+        assert!(matches!(report.results[3], Err(XsdfError::Cancelled)));
+        assert_eq!(report.metrics.failures.cancelled, 2);
+        assert_eq!(report.metrics.failed_documents, 3);
+    }
+
+    #[test]
+    fn process_document_applies_limits() {
+        let engine = BatchEngine::new(mini_wordnet(), XsdfConfig::default())
+            .limits(ResourceLimits::unlimited().max_nodes(2));
+        assert!(engine.process_document("<cast/>").is_ok());
+        let err = engine.process_document(DOC).unwrap_err();
+        assert_eq!(err.kind(), "limit");
     }
 }

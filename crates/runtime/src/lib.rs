@@ -4,7 +4,7 @@
 //! push *many* XML documents through the pipeline of *Resolving XML
 //! Semantic Ambiguity* (EDBT 2015) at once.
 //!
-//! Three pieces, each a module:
+//! The modules:
 //!
 //! * [`executor`] — a worker pool over `std::thread` that fans a batch of
 //!   documents across cores and reassembles results in input order
@@ -14,8 +14,23 @@
 //!   cache ([`SharedCache`]) shared by all workers through
 //!   [`semsim::SimilarityCache`]: sense pairs scored for one document are
 //!   free for every other;
-//! * [`metrics`] — per-stage wall-clock timings, throughput, and cache
-//!   hit/miss accounting ([`MetricsSnapshot`]), dumpable as JSON.
+//! * [`error`] — the per-document failure taxonomy ([`XsdfError`]): parse
+//!   errors, resource-limit overruns, missed deadlines, caught panics, and
+//!   fail-fast cancellations, each a value in the document's result slot;
+//! * [`limits`] — ceilings on what one document may consume
+//!   ([`ResourceLimits`]), enforced up front (bytes, depth) and via
+//!   cooperative budget checks inside the pipeline (nodes, targets,
+//!   sense pairs);
+//! * [`fault`] — cfg-gated fault-injection failpoints for chaos tests
+//!   (`failpoints` feature; zero-cost when disabled);
+//! * [`metrics`] — per-stage wall-clock timings, throughput, per-kind
+//!   failure counts, and cache hit/miss accounting ([`MetricsSnapshot`]),
+//!   dumpable as JSON.
+//!
+//! The engine's failure model is strict per-document isolation: a document
+//! that is malformed, too big, too slow, or that outright *panics* turns
+//! into an `Err` in its own result slot while every other document in the
+//! batch completes normally.
 //!
 //! The crate is std-only. Serial callers should keep using
 //! [`xsdf::Xsdf`] directly — its default single-threaded cache has no
@@ -35,9 +50,14 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod error;
 pub mod executor;
+pub mod fault;
+pub mod limits;
 pub mod metrics;
 
-pub use cache::SharedCache;
+pub use cache::{SharedCache, TallyCache};
+pub use error::XsdfError;
 pub use executor::{BatchEngine, BatchReport};
-pub use metrics::{MetricsSnapshot, StageTimings};
+pub use limits::ResourceLimits;
+pub use metrics::{FailureCounts, MetricsSnapshot, StageTimings};

@@ -1,0 +1,130 @@
+//! Per-document resource limits for batch runs.
+//!
+//! Nothing in the paper's pipeline bounds what one document may cost: a
+//! deeply nested, mega-fanout, or hyper-polysemous document can consume
+//! unbounded memory and CPU. [`ResourceLimits`] puts explicit ceilings on
+//! the expensive dimensions; the engine enforces the byte and depth bounds
+//! up front (before/while parsing) and threads the rest through
+//! [`xsdf::Guard`] as cooperative budget checks inside selection and
+//! scoring. The default is fully unlimited, preserving the historical
+//! behavior of [`crate::BatchEngine`].
+
+use xsdf::guard::{Deadline, Guard};
+
+/// Ceilings on what a single document may consume. `None` means unlimited.
+///
+/// ```
+/// use runtime::ResourceLimits;
+///
+/// let limits = ResourceLimits::unlimited()
+///     .max_bytes(1 << 20)        // 1 MiB of raw XML
+///     .max_nodes(50_000)         // tree nodes after building
+///     .max_depth(128)            // element nesting while parsing
+///     .max_targets(5_000)        // selected disambiguation targets
+///     .max_sense_pairs(200_000); // candidate evaluations while scoring
+/// assert_eq!(limits.max_bytes, Some(1 << 20));
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResourceLimits {
+    /// Maximum raw document size in bytes, checked before parsing.
+    pub max_bytes: Option<usize>,
+    /// Maximum number of nodes in the built tree.
+    pub max_nodes: Option<usize>,
+    /// Maximum element nesting depth, wired through to
+    /// [`xmltree::parser::Parser::max_depth`]. When unset the parser keeps
+    /// its own stack-overflow guard (256).
+    pub max_depth: Option<u32>,
+    /// Maximum number of selected disambiguation targets.
+    pub max_targets: Option<usize>,
+    /// Maximum sense pairs scored per document (candidate evaluations in
+    /// the scoring loop — the dimension that explodes with polysemy).
+    pub max_sense_pairs: Option<u64>,
+}
+
+impl ResourceLimits {
+    /// No limits at all (the default).
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// Sets the raw document size ceiling.
+    pub fn max_bytes(mut self, max: usize) -> Self {
+        self.max_bytes = Some(max);
+        self
+    }
+
+    /// Sets the tree-node ceiling.
+    pub fn max_nodes(mut self, max: usize) -> Self {
+        self.max_nodes = Some(max);
+        self
+    }
+
+    /// Sets the element-nesting ceiling.
+    pub fn max_depth(mut self, max: u32) -> Self {
+        self.max_depth = Some(max);
+        self
+    }
+
+    /// Sets the selected-target ceiling.
+    pub fn max_targets(mut self, max: usize) -> Self {
+        self.max_targets = Some(max);
+        self
+    }
+
+    /// Sets the scored-sense-pair ceiling.
+    pub fn max_sense_pairs(mut self, max: u64) -> Self {
+        self.max_sense_pairs = Some(max);
+        self
+    }
+
+    /// The cooperative in-pipeline guard for one document: the node,
+    /// target, and sense-pair budgets plus an optional deadline. Byte and
+    /// depth bounds are enforced by the engine itself before this guard
+    /// comes into play.
+    pub(crate) fn guard(&self, deadline: Option<Deadline>) -> Guard {
+        let mut guard = Guard::unlimited();
+        if let Some(max) = self.max_nodes {
+            guard = guard.with_max_nodes(max);
+        }
+        if let Some(max) = self.max_targets {
+            guard = guard.with_max_targets(max);
+        }
+        if let Some(max) = self.max_sense_pairs {
+            guard = guard.with_max_sense_pairs(max);
+        }
+        if let Some(deadline) = deadline {
+            guard = guard.with_deadline(deadline);
+        }
+        guard
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_unlimited() {
+        let limits = ResourceLimits::default();
+        assert_eq!(limits, ResourceLimits::unlimited());
+        assert!(limits.guard(None).is_unlimited());
+    }
+
+    #[test]
+    fn builder_sets_every_field() {
+        let limits = ResourceLimits::unlimited()
+            .max_bytes(1)
+            .max_nodes(2)
+            .max_depth(3)
+            .max_targets(4)
+            .max_sense_pairs(5);
+        assert_eq!(limits.max_bytes, Some(1));
+        assert_eq!(limits.max_nodes, Some(2));
+        assert_eq!(limits.max_depth, Some(3));
+        assert_eq!(limits.max_targets, Some(4));
+        assert_eq!(limits.max_sense_pairs, Some(5));
+        let guard = limits.guard(None);
+        assert!(guard.check_nodes(3).is_err());
+        assert!(guard.check_targets(5).is_err());
+    }
+}

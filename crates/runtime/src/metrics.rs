@@ -7,6 +7,51 @@
 
 use std::time::Duration;
 
+use crate::error::XsdfError;
+
+/// Per-kind failure tally for one batch run, mirroring the
+/// [`XsdfError`] taxonomy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FailureCounts {
+    /// Documents that were not well-formed XML.
+    pub parse: usize,
+    /// Documents that exceeded a resource limit.
+    pub limit: usize,
+    /// Documents that ran past their deadline.
+    pub deadline: usize,
+    /// Documents whose processing panicked (caught at the document
+    /// boundary).
+    pub panic: usize,
+    /// Documents skipped because a fail-fast batch was cancelled first.
+    pub cancelled: usize,
+}
+
+impl FailureCounts {
+    /// Total failed documents across all kinds.
+    pub fn total(&self) -> usize {
+        self.parse + self.limit + self.deadline + self.panic + self.cancelled
+    }
+
+    /// Tallies one failure under its kind.
+    pub(crate) fn record(&mut self, err: &XsdfError) {
+        match err {
+            XsdfError::Parse(_) => self.parse += 1,
+            XsdfError::LimitExceeded { .. } => self.limit += 1,
+            XsdfError::DeadlineExceeded { .. } => self.deadline += 1,
+            XsdfError::Panicked { .. } => self.panic += 1,
+            XsdfError::Cancelled => self.cancelled += 1,
+        }
+    }
+
+    pub(crate) fn merge(&mut self, other: &FailureCounts) {
+        self.parse += other.parse;
+        self.limit += other.limit;
+        self.deadline += other.deadline;
+        self.panic += other.panic;
+        self.cancelled += other.cancelled;
+    }
+}
+
 /// Cumulative time spent in each pipeline stage, summed across workers.
 ///
 /// Sums are of per-document CPU time, so with `N` busy workers the stage
@@ -44,8 +89,11 @@ pub struct MetricsSnapshot {
     pub threads: usize,
     /// Documents submitted.
     pub documents: usize,
-    /// Documents that failed to parse.
+    /// Documents that failed for any reason (the sum of
+    /// [`MetricsSnapshot::failures`]).
     pub failed_documents: usize,
+    /// Failed documents broken down by [`XsdfError`] kind.
+    pub failures: FailureCounts,
     /// Tree nodes across successfully processed documents.
     pub nodes: usize,
     /// Nodes selected as disambiguation targets.
@@ -96,6 +144,11 @@ impl MetricsSnapshot {
             ("threads", self.threads.to_string()),
             ("documents", self.documents.to_string()),
             ("failed_documents", self.failed_documents.to_string()),
+            ("failed_parse", self.failures.parse.to_string()),
+            ("failed_limit", self.failures.limit.to_string()),
+            ("failed_deadline", self.failures.deadline.to_string()),
+            ("failed_panic", self.failures.panic.to_string()),
+            ("failed_cancelled", self.failures.cancelled.to_string()),
             ("nodes", self.nodes.to_string()),
             ("targets", self.targets.to_string()),
             ("assigned", self.assigned.to_string()),
@@ -158,6 +211,10 @@ mod tests {
             threads: 4,
             documents: 10,
             failed_documents: 1,
+            failures: FailureCounts {
+                parse: 1,
+                ..FailureCounts::default()
+            },
             nodes: 900,
             targets: 300,
             assigned: 250,
@@ -202,6 +259,11 @@ mod tests {
             "threads",
             "documents",
             "failed_documents",
+            "failed_parse",
+            "failed_limit",
+            "failed_deadline",
+            "failed_panic",
+            "failed_cancelled",
             "nodes",
             "targets",
             "assigned",
@@ -224,5 +286,27 @@ mod tests {
         }
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"cache_hit_rate\": 0.75"));
+        assert!(json.contains("\"failed_parse\": 1"));
+    }
+
+    #[test]
+    fn failure_counts_tally_by_kind() {
+        let mut counts = FailureCounts::default();
+        counts.record(&XsdfError::Cancelled);
+        counts.record(&XsdfError::Panicked {
+            message: "boom".into(),
+        });
+        counts.record(&XsdfError::Panicked {
+            message: "boom again".into(),
+        });
+        assert_eq!(counts.panic, 2);
+        assert_eq!(counts.cancelled, 1);
+        assert_eq!(counts.total(), 3);
+        let mut merged = FailureCounts {
+            parse: 1,
+            ..FailureCounts::default()
+        };
+        merged.merge(&counts);
+        assert_eq!(merged.total(), 4);
     }
 }

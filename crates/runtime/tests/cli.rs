@@ -201,16 +201,82 @@ fn batch_output_is_thread_count_invariant() {
 }
 
 #[test]
-fn batch_isolates_bad_documents() {
+fn batch_isolates_bad_documents_and_exits_2() {
     let good = write_temp("ok.xml", "<cast><star>Kelly</star></cast>");
     let bad = write_temp("bad.xml", "<unclosed");
     let output = xsdf().arg("batch").arg(&good).arg(&bad).output().unwrap();
-    assert!(!output.status.success());
+    // Partial failure: the good document still processed, exit code 2.
+    assert_eq!(output.status.code(), Some(2));
     let stdout = String::from_utf8_lossy(&output.stdout);
     let stderr = String::from_utf8_lossy(&output.stderr);
     assert!(stdout.contains("ok.xml"), "{stdout}");
     assert!(stderr.contains("bad.xml"), "{stderr}");
-    assert!(stderr.contains("1 document(s) failed"), "{stderr}");
+    assert!(stderr.contains("[parse]"), "{stderr}");
+    assert!(stderr.contains("1 of 2 document(s) failed"), "{stderr}");
+}
+
+#[test]
+fn batch_where_everything_fails_exits_1() {
+    let bad = write_temp("allbad.xml", "<unclosed");
+    let output = xsdf().arg("batch").arg(&bad).output().unwrap();
+    assert_eq!(output.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("all 1 document(s) failed"), "{stderr}");
+}
+
+#[test]
+fn batch_resource_flags_reject_oversized_documents() {
+    let good = write_temp("lim-ok.xml", "<cast><star>Kelly</star></cast>");
+    let deep = write_temp(
+        "lim-deep.xml",
+        &("<a>".repeat(40) + "x" + &"</a>".repeat(40)),
+    );
+    let output = xsdf()
+        .arg("batch")
+        .arg(&good)
+        .arg(&deep)
+        .args(["--max-depth", "16", "--threads", "1"])
+        .output()
+        .unwrap();
+    assert_eq!(output.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("[limit]"), "{stderr}");
+    assert!(stderr.contains("depth"), "{stderr}");
+}
+
+#[test]
+fn disambiguate_applies_limits_too() {
+    let doc = write_temp("one-limit.xml", "<cast><star>Kelly</star></cast>");
+    let output = xsdf()
+        .arg("disambiguate")
+        .arg(&doc)
+        .args(["--max-bytes", "4", "--quiet"])
+        .output()
+        .unwrap();
+    assert_eq!(output.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("[limit]"), "{stderr}");
+    // Without the flag the same document succeeds.
+    let output = xsdf()
+        .arg("disambiguate")
+        .arg(&doc)
+        .arg("--quiet")
+        .output()
+        .unwrap();
+    assert!(output.status.success());
+}
+
+#[test]
+fn batch_rejects_contradictory_failure_modes() {
+    let doc = write_temp("contradictory.xml", "<a/>");
+    let output = xsdf()
+        .arg("batch")
+        .arg(&doc)
+        .args(["--keep-going", "--fail-fast"])
+        .output()
+        .unwrap();
+    assert_eq!(output.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&output.stderr).contains("mutually exclusive"));
 }
 
 #[test]

@@ -27,6 +27,15 @@ pub enum ParseErrorKind {
     InvalidStructure(String),
     /// A malformed XML declaration, comment, CDATA section or PI.
     Malformed(String),
+    /// Element nesting exceeded the parser's configured depth bound
+    /// ([`crate::parser::Parser::max_depth`]). Distinguished from
+    /// [`ParseErrorKind::InvalidStructure`] so resource-governed callers
+    /// (the batch runtime) can classify it as a limit violation rather
+    /// than a malformed document.
+    DepthExceeded {
+        /// The configured maximum nesting depth.
+        limit: u32,
+    },
 }
 
 /// An error produced while parsing an XML document, carrying the 1-based
@@ -64,6 +73,9 @@ impl fmt::Display for ParseErrorKind {
             Self::DuplicateAttribute(a) => write!(f, "duplicate attribute {a:?}"),
             Self::InvalidStructure(m) => write!(f, "invalid document structure: {m}"),
             Self::Malformed(m) => write!(f, "malformed construct: {m}"),
+            Self::DepthExceeded { limit } => {
+                write!(f, "element nesting exceeds the maximum depth of {limit}")
+            }
         }
     }
 }

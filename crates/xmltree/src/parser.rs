@@ -269,10 +269,9 @@ impl<'a> Parser<'a> {
         // Caller consumed '<'.
         self.depth += 1;
         if self.depth > self.max_depth {
-            return Err(self.err(ParseErrorKind::InvalidStructure(format!(
-                "element nesting exceeds the maximum depth of {}",
-                self.max_depth
-            ))));
+            return Err(self.err(ParseErrorKind::DepthExceeded {
+                limit: self.max_depth,
+            }));
         }
         let name = self.parse_name()?;
         let elem = doc.add_element(parent, name.clone());
@@ -587,7 +586,7 @@ mod tests {
             s.push_str("</n>");
         }
         let err = Parser::new(&s).parse_document().unwrap_err();
-        assert!(matches!(err.kind, ParseErrorKind::InvalidStructure(_)));
+        assert_eq!(err.kind, ParseErrorKind::DepthExceeded { limit: 256 });
         // A raised limit accepts the same input.
         let mut p = Parser::new(&s);
         p.max_depth = 350;

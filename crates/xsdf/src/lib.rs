@@ -45,6 +45,7 @@ pub mod ambiguity;
 pub mod concept_based;
 pub mod config;
 pub mod context_based;
+pub mod guard;
 pub mod pipeline;
 pub mod senses;
 pub mod sphere;
@@ -53,6 +54,7 @@ pub use ambiguity::NodeAmbiguity;
 pub use config::{
     AmbiguityWeights, DisambiguationProcess, ThresholdPolicy, VectorSimilarity, XsdfConfig,
 };
+pub use guard::{Deadline, Guard, GuardError, LimitKind};
 pub use pipeline::{DisambiguationResult, NodeReport, SenseChoice, Xsdf};
 pub use senses::{LingTokenizer, SenseCandidates};
 pub use xmltree::distance::DistancePolicy;

@@ -11,6 +11,7 @@ use crate::ambiguity::{select_targets, NodeAmbiguity};
 use crate::concept_based::ConceptContext;
 use crate::config::XsdfConfig;
 use crate::context_based::ContextVectorScorer;
+use crate::guard::{Guard, GuardError};
 use crate::senses::{disambiguation_candidates, LingTokenizer, SenseCandidates};
 
 /// The sense (or sense pair, for compound labels) chosen for a target node.
@@ -126,6 +127,8 @@ impl<'sn> Xsdf<'sn> {
         let mut build = TreeBuilder::with_tokenizer(LingTokenizer::new(self.sn))
             .content_mode(mode)
             .build(doc)
+            // invariant: the parser rejects rootless input, so every
+            // `Document` that reaches here has a root element
             .expect("document must have a root element");
         if self.config.resolve_hyperlinks {
             let links = xmltree::links::resolve_links(doc);
@@ -174,6 +177,23 @@ impl<'sn> Xsdf<'sn> {
         )
     }
 
+    /// [`Xsdf::select`] under a resource [`Guard`]: checks the tree-size
+    /// bound and the deadline before computing ambiguity degrees, and the
+    /// selected-target bound after. Batch engines use this so one
+    /// mega-fanout or hyper-polysemous document degrades into a
+    /// per-document error instead of starving its worker.
+    pub fn select_guarded(
+        &self,
+        tree: &XmlTree,
+        guard: &Guard,
+    ) -> Result<Vec<NodeAmbiguity>, GuardError> {
+        guard.check_nodes(tree.len())?;
+        guard.check_deadline()?;
+        let ambiguities = self.select(tree);
+        guard.check_targets(ambiguities.iter().filter(|a| a.selected).count())?;
+        Ok(ambiguities)
+    }
+
     fn run(&self, tree: &XmlTree, restrict: Option<&[NodeId]>) -> DisambiguationResult {
         let mut ambiguities = self.select(tree);
         if let Some(nodes) = restrict {
@@ -193,6 +213,24 @@ impl<'sn> Xsdf<'sn> {
         ambiguities: &[NodeAmbiguity],
         sim: &CombinedSimilarity<C>,
     ) -> DisambiguationResult {
+        self.disambiguate_selected_guarded(tree, ambiguities, sim, &Guard::unlimited())
+            // invariant: an unlimited guard has no bounds, so no check fails
+            .expect("unlimited guard cannot trip")
+    }
+
+    /// [`Xsdf::disambiguate_selected`] under a resource [`Guard`]: the
+    /// deadline is re-checked per target and every 32 scored sense pairs,
+    /// and each candidate evaluation draws on the sense-pair budget, so a
+    /// runaway document returns a partial-result error instead of stalling
+    /// its worker. The partial work is discarded — callers get `Err`, never
+    /// a half-annotated tree.
+    pub fn disambiguate_selected_guarded<C: SimilarityCache>(
+        &self,
+        tree: &XmlTree,
+        ambiguities: &[NodeAmbiguity],
+        sim: &CombinedSimilarity<C>,
+        guard: &Guard,
+    ) -> Result<DisambiguationResult, GuardError> {
         let cfg = &self.config;
         let (w_concept, w_context) = cfg.process.weights();
 
@@ -200,6 +238,7 @@ impl<'sn> Xsdf<'sn> {
         let mut reports = Vec::with_capacity(tree.len());
 
         for na in ambiguities {
+            guard.check_deadline()?;
             let node = na.node;
             let label = tree.label(node).to_string();
             let candidates = disambiguation_candidates(self.sn, &label, tree.node(node).kind);
@@ -213,9 +252,15 @@ impl<'sn> Xsdf<'sn> {
                 chosen: None,
             };
             if na.selected && candidate_count > 0 {
-                if let Some((choice, score)) =
-                    self.score_candidates(tree, node, &candidates, sim, w_concept, w_context)
-                {
+                if let Some((choice, score)) = self.score_candidates(
+                    tree,
+                    node,
+                    &candidates,
+                    sim,
+                    w_concept,
+                    w_context,
+                    guard,
+                )? {
                     if score > cfg.min_score || candidate_count == 1 {
                         self.annotate(&mut semantic_tree, node, choice, score);
                         report.chosen = Some((choice, score));
@@ -224,13 +269,15 @@ impl<'sn> Xsdf<'sn> {
             }
             reports.push(report);
         }
-        DisambiguationResult {
+        Ok(DisambiguationResult {
             semantic_tree,
             reports,
-        }
+        })
     }
 
-    /// Scores every candidate sense of a target and returns the best.
+    /// Scores every candidate sense of a target and returns the best. Each
+    /// candidate evaluation ticks the guard's sense-pair budget.
+    #[allow(clippy::too_many_arguments)]
     fn score_candidates<C: SimilarityCache>(
         &self,
         tree: &XmlTree,
@@ -239,7 +286,8 @@ impl<'sn> Xsdf<'sn> {
         sim: &CombinedSimilarity<C>,
         w_concept: f64,
         w_context: f64,
-    ) -> Option<(SenseChoice, f64)> {
+        guard: &Guard,
+    ) -> Result<Option<(SenseChoice, f64)>, GuardError> {
         let radius = self.config.radius;
         // Build each scorer lazily: pure processes need only one of them.
         let concept_ctx = (w_concept > 0.0).then(|| {
@@ -268,44 +316,50 @@ impl<'sn> Xsdf<'sn> {
                 .map_or(0.0, |cs| cs.score_pair(self.sn, a, b));
             w_concept * c + w_context * x
         };
+        // Tie-breaking is part of the determinism contract: the `Single`
+        // branch historically keeps the *first* maximum, the compound
+        // fallback (built on `Iterator::max_by`) kept the *last*.
+        let best_single = |senses: &[ConceptId],
+                           keep_last_tie: bool|
+         -> Result<Option<(SenseChoice, f64)>, GuardError> {
+            let mut best: Option<(SenseChoice, f64)> = None;
+            for &s in senses {
+                guard.tick_sense_pair()?;
+                let score = combined_single(s);
+                let better = match best {
+                    None => true,
+                    Some((_, b)) => score > b || (keep_last_tie && score == b),
+                };
+                if better {
+                    best = Some((SenseChoice::Single(s), score));
+                }
+            }
+            Ok(best)
+        };
 
         match candidates {
-            SenseCandidates::Unknown => None,
-            SenseCandidates::Single(senses) => {
-                let mut best: Option<(SenseChoice, f64)> = None;
-                for &s in senses {
-                    let score = combined_single(s);
-                    if best.as_ref().is_none_or(|&(_, b)| score > b) {
-                        best = Some((SenseChoice::Single(s), score));
-                    }
-                }
-                best
-            }
+            SenseCandidates::Unknown => Ok(None),
+            SenseCandidates::Single(senses) => best_single(senses, false),
             SenseCandidates::Compound { first, second } => {
                 // One of the token lists may be empty (token unknown to the
                 // lexicon): fall back to single-token choice.
                 if first.is_empty() {
-                    return second
-                        .iter()
-                        .map(|&s| (SenseChoice::Single(s), combined_single(s)))
-                        .max_by(|a, b| a.1.total_cmp(&b.1));
+                    return best_single(second, true);
                 }
                 if second.is_empty() {
-                    return first
-                        .iter()
-                        .map(|&s| (SenseChoice::Single(s), combined_single(s)))
-                        .max_by(|a, b| a.1.total_cmp(&b.1));
+                    return best_single(first, true);
                 }
                 let mut best: Option<(SenseChoice, f64)> = None;
                 for &a in first {
                     for &b in second {
+                        guard.tick_sense_pair()?;
                         let score = combined_pair(a, b);
                         if best.as_ref().is_none_or(|&(_, bst)| score > bst) {
                             best = Some((SenseChoice::Pair(a, b), score));
                         }
                     }
                 }
-                best
+                Ok(best)
             }
         }
     }
@@ -348,6 +402,10 @@ impl<'sn> Xsdf<'sn> {
                         break;
                     }
                     let result = self.disambiguate_tree(trees[i]);
+                    // invariant: slot i is locked only by the one worker
+                    // that claimed index i, and never across a panic (the
+                    // result is computed before the lock is taken), so the
+                    // mutex cannot be contended or poisoned
                     *results[i].lock().expect("no panics hold the lock") = Some(result);
                 });
             }
@@ -355,6 +413,9 @@ impl<'sn> Xsdf<'sn> {
         results
             .into_iter()
             .map(|slot| {
+                // invariant: a worker panic propagates out of the scope
+                // above before this runs, so every slot was filled and no
+                // lock is poisoned
                 slot.into_inner()
                     .expect("lock")
                     .expect("every index processed")
