@@ -1,11 +1,28 @@
 //! Serial loop vs. the `xsdf-runtime` batch engine over a corpus of
-//! generated documents: whole-document parallel speedup and the effect of
-//! the shared similarity cache.
+//! generated documents, reporting cold-cache and warm-cache timings
+//! against the committed pre-precomputation baseline.
+//!
+//! Unlike the criterion benches, this is a plain harness (`harness =
+//! false` + custom `main`) so it can emit a machine-readable
+//! `BENCH_batch.json` at the workspace root: the `before` block is the
+//! baseline measured at the commit just before the precomputed-gloss /
+//! vector-cache work landed, the `after` block is re-measured on every
+//! run, and `speedup_*` ratios compare the two. CI runs it in quick mode
+//! (`XSDF_BENCH_QUICK=1`) as a smoke test that the harness still runs and
+//! the JSON stays parseable; the committed numbers come from a full run.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use runtime::BatchEngine;
 use std::hint::black_box;
+use std::time::Instant;
 use xsdf::{Xsdf, XsdfConfig};
+
+/// Baseline medians (ms) measured at commit `e4b80ee` — the tree just
+/// before gloss precomputation, id-based overlap, and the shared vector
+/// table — on the same 32-document batch with the same harness settings.
+const BEFORE_COMMIT: &str = "e4b80ee";
+const BEFORE_SERIAL_MS: f64 = 1021.0;
+const BEFORE_COLD_1_THREAD_MS: f64 = 338.083;
+const BEFORE_WARM_MS: f64 = 15.621;
 
 /// At least 32 documents, cycling the small generated corpus.
 fn batch_xml(min_docs: usize) -> Vec<String> {
@@ -22,41 +39,124 @@ fn batch_xml(min_docs: usize) -> Vec<String> {
         .collect()
 }
 
-fn serial_vs_batch(c: &mut Criterion) {
+/// Median wall-clock of `iters` timed runs (after `warmup` untimed ones).
+fn median_ms(warmup: usize, iters: usize, mut f: impl FnMut()) -> f64 {
+    for _ in 0..warmup {
+        f();
+    }
+    let mut samples: Vec<f64> = (0..iters)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mid = samples.len() / 2;
+    if samples.len() % 2 == 1 {
+        samples[mid]
+    } else {
+        (samples[mid - 1] + samples[mid]) / 2.0
+    }
+}
+
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn main() {
+    let quick = std::env::var_os("XSDF_BENCH_QUICK").is_some();
+    let (warmup, iters) = if quick { (0, 1) } else { (2, 7) };
+
     let sn = semnet::mini_wordnet();
     let sources = batch_xml(32);
     let docs: Vec<&str> = sources.iter().map(String::as_str).collect();
     let cores = std::thread::available_parallelism().map_or(4, |n| n.get());
 
-    let mut group = c.benchmark_group("batch_32_docs");
-    group.sample_size(10);
-    group.bench_function("serial_xsdf_loop", |b| {
-        let xsdf = Xsdf::new(sn, XsdfConfig::default());
-        b.iter(|| {
-            for xml in &docs {
-                black_box(xsdf.disambiguate_str(xml).unwrap());
-            }
-        })
-    });
-    group.bench_function("runtime_1_thread", |b| {
-        b.iter(|| {
-            let engine = BatchEngine::new(sn, XsdfConfig::default()).threads(1);
-            black_box(engine.run(&docs))
-        })
-    });
-    group.bench_function(format!("runtime_{cores}_threads"), |b| {
-        b.iter(|| {
-            let engine = BatchEngine::new(sn, XsdfConfig::default()).threads(cores);
-            black_box(engine.run(&docs))
-        })
-    });
-    group.bench_function(format!("runtime_{cores}_threads_warm_cache"), |b| {
-        let engine = BatchEngine::new(sn, XsdfConfig::default()).threads(cores);
-        engine.run(&docs); // warm the shared cache once
-        b.iter(|| black_box(engine.run(&docs)))
-    });
-    group.finish();
-}
+    eprintln!(
+        "batch_32_docs: {} docs, {} cores, {} mode ({} warmup + {} timed)",
+        docs.len(),
+        cores,
+        if quick { "quick" } else { "full" },
+        warmup,
+        iters
+    );
 
-criterion_group!(benches, serial_vs_batch);
-criterion_main!(benches);
+    // Serial reference: one pipeline, one document at a time.
+    let serial_ms = median_ms(warmup, iters, || {
+        let xsdf = Xsdf::new(sn, XsdfConfig::default());
+        for xml in &docs {
+            black_box(xsdf.disambiguate_str(xml).unwrap());
+        }
+    });
+    eprintln!("  serial_xsdf_loop        {serial_ms:10.3} ms");
+
+    // Cold cache: a fresh engine (empty shared tables) every iteration.
+    let cold_1_thread_ms = median_ms(warmup, iters, || {
+        let engine = BatchEngine::new(sn, XsdfConfig::default()).threads(1);
+        black_box(engine.run(&docs));
+    });
+    eprintln!("  runtime_1_thread (cold) {cold_1_thread_ms:10.3} ms");
+
+    let cold_n_threads_ms = median_ms(warmup, iters, || {
+        let engine = BatchEngine::new(sn, XsdfConfig::default()).threads(cores);
+        black_box(engine.run(&docs));
+    });
+    eprintln!("  runtime_{cores}_threads (cold) {cold_n_threads_ms:10.3} ms");
+
+    // Warm cache: one engine reused, shared tables populated by a first
+    // untimed run.
+    let warm_engine = BatchEngine::new(sn, XsdfConfig::default()).threads(cores);
+    warm_engine.run(&docs);
+    let warm_ms = median_ms(warmup, iters, || {
+        black_box(warm_engine.run(&docs));
+    });
+    eprintln!("  runtime_{cores}_threads (warm) {warm_ms:10.3} ms");
+
+    let fields: Vec<(&str, String)> = vec![
+        ("bench", "\"batch_32_docs\"".to_string()),
+        (
+            "mode",
+            format!("\"{}\"", if quick { "quick" } else { "full" }),
+        ),
+        ("documents", docs.len().to_string()),
+        ("threads", cores.to_string()),
+        ("iters", iters.to_string()),
+        ("before_commit", format!("\"{BEFORE_COMMIT}\"")),
+        ("before_serial_ms", json_f64(BEFORE_SERIAL_MS)),
+        ("before_cold_1_thread_ms", json_f64(BEFORE_COLD_1_THREAD_MS)),
+        ("before_warm_ms", json_f64(BEFORE_WARM_MS)),
+        ("after_serial_ms", json_f64(serial_ms)),
+        ("after_cold_1_thread_ms", json_f64(cold_1_thread_ms)),
+        ("after_cold_n_threads_ms", json_f64(cold_n_threads_ms)),
+        ("after_warm_ms", json_f64(warm_ms)),
+        ("speedup_serial", json_f64(BEFORE_SERIAL_MS / serial_ms)),
+        (
+            "speedup_cold_1_thread",
+            json_f64(BEFORE_COLD_1_THREAD_MS / cold_1_thread_ms),
+        ),
+        ("speedup_warm", json_f64(BEFORE_WARM_MS / warm_ms)),
+    ];
+    let mut out = String::from("{\n");
+    for (i, (key, value)) in fields.iter().enumerate() {
+        out.push_str("  \"");
+        out.push_str(key);
+        out.push_str("\": ");
+        out.push_str(value);
+        if i + 1 < fields.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("}\n");
+
+    let path = std::env::var("XSDF_BENCH_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_batch.json", env!("CARGO_MANIFEST_DIR")));
+    std::fs::write(&path, &out).expect("write BENCH_batch.json");
+    eprintln!("wrote {path}");
+    print!("{out}");
+}

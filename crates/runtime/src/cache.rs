@@ -1,13 +1,18 @@
-//! Thread-safe shared similarity cache.
+//! Thread-safe shared multi-table similarity cache.
 //!
-//! Sense-pair similarities are document-independent: once `Sim(c1, c2)` is
-//! computed for one document, every other document in the batch can reuse
-//! it. [`SharedCache`] makes that reuse safe across worker threads while
-//! keeping contention low by sharding the key space over independent
-//! [`RwLock`]-protected maps — readers on different shards (and even on the
-//! same shard) never serialize, and writers only lock 1/16th of the table.
+//! Sense-pair similarities and concept context vectors are
+//! document-independent: once `Sim(c1, c2)` or `V_d(s_p)` is computed for
+//! one document, every other document in the batch (and every later run
+//! over the same engine) can reuse it. [`SharedCache`] makes that reuse
+//! safe across worker threads while keeping contention low by sharding the
+//! pair-score key space over independent [`RwLock`]-protected maps —
+//! readers on different shards (and even on the same shard) never
+//! serialize, and writers only lock 1/16th of the table. The vector table
+//! is a single `RwLock` map: vector lookups are orders of magnitude rarer
+//! than pair lookups (one per candidate sense per target vs. one per sense
+//! pair), and the stored `Arc<SparseVector>` values make hits clone-free.
 
-use semsim::{PairKey, SimilarityCache};
+use semsim::{PairKey, SimilarityCache, SparseVector, VectorKey};
 use std::cell::Cell;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -26,8 +31,15 @@ const SHARDS: usize = 16;
 /// worker `CombinedSimilarity::with_cache(weights, Arc::clone(&cache))`.
 pub struct SharedCache {
     shards: [RwLock<HashMap<PairKey, f64>>; SHARDS],
+    /// Concept context vectors keyed by `(concept, radius, filter)` — see
+    /// [`semsim::VectorKey`]. Unsharded: traffic is light (vector lookups
+    /// happen once per candidate sense per target) and hits hold the read
+    /// lock only long enough to clone an `Arc`.
+    vectors: RwLock<HashMap<VectorKey, Arc<SparseVector>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    vector_hits: AtomicU64,
+    vector_misses: AtomicU64,
 }
 
 impl SharedCache {
@@ -35,16 +47,24 @@ impl SharedCache {
     pub fn new() -> Self {
         Self {
             shards: std::array::from_fn(|_| RwLock::new(HashMap::new())),
+            vectors: RwLock::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            vector_hits: AtomicU64::new(0),
+            vector_misses: AtomicU64::new(0),
         }
     }
 
     fn shard(&self, key: PairKey) -> &RwLock<HashMap<PairKey, f64>> {
-        // The low bits of the first concept id spread uniformly enough:
-        // pair keys are normalized (a <= b) and ids are dense indices.
-        let (a, b) = key;
-        let mix = a.index().wrapping_mul(31).wrapping_add(b.index());
+        // Pair keys are normalized (a <= b) and ids are dense indices, so
+        // mixing both ids with the weight fingerprint spreads the low bits
+        // uniformly enough for 16 shards.
+        let (fp, a, b) = key;
+        let mix = (fp.0 as usize)
+            .wrapping_mul(31)
+            .wrapping_add(a.index())
+            .wrapping_mul(31)
+            .wrapping_add(b.index());
         &self.shards[mix & (SHARDS - 1)]
     }
 
@@ -89,6 +109,17 @@ impl SharedCache {
         } else {
             hits / total
         }
+    }
+
+    /// Vector-table lookups that found a cached context vector.
+    pub fn vector_hits(&self) -> u64 {
+        self.vector_hits.load(Ordering::Relaxed)
+    }
+
+    /// Vector-table lookups that missed (each followed by a fresh sphere
+    /// BFS + vector build).
+    pub fn vector_misses(&self) -> u64 {
+        self.vector_misses.load(Ordering::Relaxed)
     }
 }
 
@@ -137,6 +168,43 @@ impl SimilarityCache for SharedCache {
             })
             .sum()
     }
+
+    // The vector table recovers poisoned locks for the same reason the
+    // pair shards do (see the audit comment above `read_shard`): entries
+    // are pure functions of their key, so a recovered table can only hold
+    // values any worker would recompute identically.
+    fn lookup_vector(&self, key: VectorKey) -> Option<Arc<SparseVector>> {
+        let found = self
+            .vectors
+            .read()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .get(&key)
+            .cloned();
+        match found {
+            Some(v) => {
+                self.vector_hits.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            None => {
+                self.vector_misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn store_vector(&self, key: VectorKey, value: Arc<SparseVector>) {
+        self.vectors
+            .write()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .insert(key, value);
+    }
+
+    fn vectors_len(&self) -> usize {
+        self.vectors
+            .read()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .len()
+    }
 }
 
 /// A per-worker view of the [`SharedCache`] that additionally tallies this
@@ -153,6 +221,8 @@ pub struct TallyCache {
     shared: Arc<SharedCache>,
     hits: Cell<u64>,
     misses: Cell<u64>,
+    vector_hits: Cell<u64>,
+    vector_misses: Cell<u64>,
 }
 
 impl TallyCache {
@@ -162,6 +232,8 @@ impl TallyCache {
             shared,
             hits: Cell::new(0),
             misses: Cell::new(0),
+            vector_hits: Cell::new(0),
+            vector_misses: Cell::new(0),
         }
     }
 
@@ -173,6 +245,16 @@ impl TallyCache {
     /// Lookups through this tally that missed.
     pub fn misses(&self) -> u64 {
         self.misses.get()
+    }
+
+    /// Vector lookups through this tally that hit (vectors reused).
+    pub fn vector_hits(&self) -> u64 {
+        self.vector_hits.get()
+    }
+
+    /// Vector lookups through this tally that missed (vectors built).
+    pub fn vector_misses(&self) -> u64 {
+        self.vector_misses.get()
     }
 }
 
@@ -193,6 +275,23 @@ impl SimilarityCache for TallyCache {
     fn len(&self) -> usize {
         self.shared.len()
     }
+
+    fn lookup_vector(&self, key: VectorKey) -> Option<Arc<SparseVector>> {
+        let found = self.shared.lookup_vector(key);
+        match found {
+            Some(_) => self.vector_hits.set(self.vector_hits.get() + 1),
+            None => self.vector_misses.set(self.vector_misses.get() + 1),
+        }
+        found
+    }
+
+    fn store_vector(&self, key: VectorKey, value: Arc<SparseVector>) {
+        self.shared.store_vector(key, value);
+    }
+
+    fn vectors_len(&self) -> usize {
+        self.shared.vectors_len()
+    }
 }
 
 #[cfg(test)]
@@ -202,6 +301,15 @@ mod tests {
     use semsim::{CombinedSimilarity, SimilarityWeights};
     use std::sync::Arc;
 
+    fn pair_key(a: semnet::ConceptId, b: semnet::ConceptId) -> PairKey {
+        let fp = SimilarityWeights::equal().fingerprint();
+        if a <= b {
+            (fp, a, b)
+        } else {
+            (fp, b, a)
+        }
+    }
+
     #[test]
     fn round_trip_and_counters() {
         let sn = mini_wordnet();
@@ -209,7 +317,7 @@ mod tests {
             sn.by_key("cast.actors").unwrap(),
             sn.by_key("star.performer").unwrap(),
         );
-        let key = if a <= b { (a, b) } else { (b, a) };
+        let key = pair_key(a, b);
         let cache = SharedCache::new();
         assert_eq!(cache.lookup(key), None);
         cache.store(key, 0.5);
@@ -273,7 +381,7 @@ mod tests {
             sn.by_key("cast.actors").unwrap(),
             sn.by_key("star.performer").unwrap(),
         );
-        let key = if a <= b { (a, b) } else { (b, a) };
+        let key = pair_key(a, b);
         let first = TallyCache::new(Arc::clone(&shared));
         assert_eq!(first.lookup(key), None);
         first.store(key, 0.5);
@@ -288,6 +396,75 @@ mod tests {
     }
 
     #[test]
+    fn vector_table_round_trip_and_counters() {
+        let sn = mini_wordnet();
+        let c = sn.by_key("cast.actors").unwrap();
+        let key: VectorKey = (c, 2, semnet::graph::RelationFilter::All.fingerprint());
+        let cache = SharedCache::new();
+        assert!(cache.lookup_vector(key).is_none());
+        let mut v = SparseVector::new();
+        v.add("cast", 1.0);
+        let v = Arc::new(v);
+        cache.store_vector(key, Arc::clone(&v));
+        let got = cache.lookup_vector(key).unwrap();
+        assert!(Arc::ptr_eq(&got, &v), "hits must share the stored vector");
+        assert_eq!((cache.vector_hits(), cache.vector_misses()), (1, 1));
+        assert_eq!(cache.vectors_len(), 1);
+        // The pair tables are untouched by vector traffic.
+        assert_eq!((cache.hits(), cache.misses(), cache.len()), (0, 0, 0));
+    }
+
+    #[test]
+    fn tally_cache_counts_vector_traffic_per_view() {
+        let sn = mini_wordnet();
+        let c = sn.by_key("star.performer").unwrap();
+        let key: VectorKey = (c, 1, semnet::graph::RelationFilter::All.fingerprint());
+        let shared = Arc::new(SharedCache::new());
+        let first = TallyCache::new(Arc::clone(&shared));
+        assert!(first.lookup_vector(key).is_none());
+        first.store_vector(key, Arc::new(SparseVector::new()));
+        assert!(first.lookup_vector(key).is_some());
+        assert_eq!((first.vector_hits(), first.vector_misses()), (1, 1));
+        let second = TallyCache::new(Arc::clone(&shared));
+        assert!(second.lookup_vector(key).is_some());
+        assert_eq!((second.vector_hits(), second.vector_misses()), (1, 0));
+        assert_eq!((shared.vector_hits(), shared.vector_misses()), (2, 1));
+        assert_eq!(second.vectors_len(), 1);
+    }
+
+    #[test]
+    fn different_weights_sharing_one_cache_match_fresh_caches() {
+        // Regression for the cache-poisoning bug: before keys carried a
+        // weight fingerprint, the second weight configuration silently read
+        // scores computed under the first.
+        let sn = mini_wordnet();
+        let gloss_only = SimilarityWeights::gloss_only();
+        let keys: Vec<_> = ["cast.actors", "star.performer", "film.movie", "kelly.grace"]
+            .iter()
+            .map(|k| sn.by_key(k).unwrap())
+            .collect();
+        let shared = Arc::new(SharedCache::new());
+        let m_eq = CombinedSimilarity::with_cache(SimilarityWeights::equal(), Arc::clone(&shared));
+        let m_gl = CombinedSimilarity::with_cache(gloss_only, Arc::clone(&shared));
+        let fresh_eq = CombinedSimilarity::new(SimilarityWeights::equal());
+        let fresh_gl = CombinedSimilarity::new(gloss_only);
+        let mut pairs = 0;
+        for &a in &keys {
+            for &b in &keys {
+                if a <= b {
+                    pairs += 1;
+                }
+                // Interleave so each config's second pass reads a table the
+                // other config has already populated.
+                assert_eq!(m_eq.similarity(sn, a, b), fresh_eq.similarity(sn, a, b));
+                assert_eq!(m_gl.similarity(sn, a, b), fresh_gl.similarity(sn, a, b));
+            }
+        }
+        // One entry per (fingerprint, pair): the configs never collide.
+        assert_eq!(shared.len(), 2 * pairs);
+    }
+
+    #[test]
     fn poisoned_shard_recovers_instead_of_cascading() {
         let sn = mini_wordnet();
         let cache = SharedCache::new();
@@ -295,7 +472,7 @@ mod tests {
             sn.by_key("film.movie").unwrap(),
             sn.by_key("kelly.grace").unwrap(),
         );
-        let key = if a <= b { (a, b) } else { (b, a) };
+        let key = pair_key(a, b);
         cache.store(key, 0.25);
         // Panic while holding the shard's write lock, the worst case a
         // caught per-document panic can leave behind.

@@ -45,6 +45,9 @@ struct WorkerStats {
     failures: FailureCounts,
     cache_hits: u64,
     cache_misses: u64,
+    gloss_pairs_scored: u64,
+    vectors_built: u64,
+    vectors_reused: u64,
 }
 
 impl WorkerStats {
@@ -56,6 +59,19 @@ impl WorkerStats {
         self.failures.merge(&other.failures);
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
+        self.gloss_pairs_scored += other.gloss_pairs_scored;
+        self.vectors_built += other.vectors_built;
+        self.vectors_reused += other.vectors_reused;
+    }
+
+    /// Reads the per-run kernel/cache tallies off a worker's measure once
+    /// its share of the batch is done.
+    fn collect_cache(&mut self, sim: &CombinedSimilarity<TallyCache>) {
+        self.cache_hits = sim.cache().hits();
+        self.cache_misses = sim.cache().misses();
+        self.gloss_pairs_scored = sim.gloss_pairs_scored();
+        self.vectors_built = sim.cache().vector_misses();
+        self.vectors_reused = sim.cache().vector_hits();
     }
 }
 
@@ -182,8 +198,7 @@ impl<'sn> BatchEngine<'sn> {
                 }
                 *slot = Some(self.run_one(xml, &sim, &mut stats, &cancelled));
             }
-            stats.cache_hits = sim.cache().hits();
-            stats.cache_misses = sim.cache().misses();
+            stats.collect_cache(&sim);
             totals = stats;
         } else {
             let next = AtomicUsize::new(0);
@@ -215,8 +230,7 @@ impl<'sn> BatchEngine<'sn> {
                                 break;
                             }
                         }
-                        stats.cache_hits = sim.cache().hits();
-                        stats.cache_misses = sim.cache().misses();
+                        stats.collect_cache(&sim);
                         // Same rationale as above: a dead collector must
                         // not take the worker down with it.
                         let _ = stats_tx.send(stats);
@@ -255,6 +269,10 @@ impl<'sn> BatchEngine<'sn> {
             cache_hits: totals.cache_hits,
             cache_misses: totals.cache_misses,
             cache_entries: self.cache.len(),
+            gloss_pairs_scored: totals.gloss_pairs_scored,
+            vectors_built: totals.vectors_built,
+            vectors_reused: totals.vectors_reused,
+            vector_entries: self.cache.vectors_len(),
         };
         BatchReport { results, metrics }
     }

@@ -110,6 +110,15 @@ pub struct MetricsSnapshot {
     pub cache_misses: u64,
     /// Distinct concept pairs cached at the end of the run.
     pub cache_entries: usize,
+    /// Concept pairs that went through the extended-gloss-overlap kernel
+    /// (cache misses only; hits never rescore).
+    pub gloss_pairs_scored: u64,
+    /// Concept context vectors built from scratch (vector-table misses).
+    pub vectors_built: u64,
+    /// Concept context vectors served from the shared vector table.
+    pub vectors_reused: u64,
+    /// Distinct concept context vectors cached at the end of the run.
+    pub vector_entries: usize,
 }
 
 impl MetricsSnapshot {
@@ -163,6 +172,10 @@ impl MetricsSnapshot {
             ("cache_misses", self.cache_misses.to_string()),
             ("cache_hit_rate", json_f64(self.cache_hit_rate())),
             ("cache_entries", self.cache_entries.to_string()),
+            ("gloss_pairs_scored", self.gloss_pairs_scored.to_string()),
+            ("vectors_built", self.vectors_built.to_string()),
+            ("vectors_reused", self.vectors_reused.to_string()),
+            ("vector_entries", self.vector_entries.to_string()),
         ];
         for (i, (key, value)) in fields.iter().enumerate() {
             out.push_str("  \"");
@@ -228,6 +241,10 @@ mod tests {
             cache_hits: 75,
             cache_misses: 25,
             cache_entries: 25,
+            gloss_pairs_scored: 25,
+            vectors_built: 12,
+            vectors_reused: 48,
+            vector_entries: 12,
         }
     }
 
@@ -278,6 +295,10 @@ mod tests {
             "cache_misses",
             "cache_hit_rate",
             "cache_entries",
+            "gloss_pairs_scored",
+            "vectors_built",
+            "vectors_reused",
+            "vector_entries",
         ] {
             assert!(
                 json.contains(&format!("\"{key}\":")),

@@ -251,6 +251,7 @@ impl NetworkBuilder {
             cumulative_freq: cumulative,
             total_freq,
             max_polysemy,
+            artifacts: std::sync::OnceLock::new(),
         })
     }
 }

@@ -79,6 +79,32 @@ impl RelationFilter {
             Self::Only(kinds) => kinds.contains(&kind),
         }
     }
+
+    /// A stable 64-bit fingerprint of the *crossable set* this filter
+    /// denotes, for use in memoization keys (e.g. cached concept context
+    /// vectors keyed by `(concept, radius, filter)`).
+    ///
+    /// Two filters allowing the same relation kinds hash equal regardless
+    /// of representation: the fingerprint is FNV-1a over the membership
+    /// bitmask, so `Only([Hypernym, Hyponym])`, `Only([Hyponym, Hypernym])`
+    /// and `Only([Hypernym, Hypernym, Hyponym])` all collapse, and an
+    /// `Only` listing every kind equals `All`.
+    pub fn fingerprint(&self) -> u64 {
+        let mut mask = 0u64;
+        for kind in RelationKind::ALL {
+            if self.allows(kind) {
+                mask |= 1 << (kind as u64);
+            }
+        }
+        // FNV-1a over the 8 mask bytes; spreads the low-entropy bitmask
+        // across the word so downstream hashers see distinct keys.
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for byte in mask.to_le_bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x100_0000_01b3);
+        }
+        hash
+    }
 }
 
 /// The semantic ring `R_d(c)`: concepts at exactly `d` crossable links from
@@ -277,6 +303,24 @@ mod tests {
             .map(|(c, _)| c)
             .collect();
         assert_eq!(ring2, expected);
+    }
+
+    #[test]
+    fn filter_fingerprint_is_representation_independent() {
+        let a = RelationFilter::Only(vec![RelationKind::Hypernym, RelationKind::Hyponym]);
+        let b = RelationFilter::Only(vec![
+            RelationKind::Hyponym,
+            RelationKind::Hypernym,
+            RelationKind::Hypernym,
+        ]);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let everything = RelationFilter::Only(RelationKind::ALL.to_vec());
+        assert_eq!(everything.fingerprint(), RelationFilter::All.fingerprint());
+        assert_ne!(a.fingerprint(), RelationFilter::All.fingerprint());
+        assert_ne!(
+            RelationFilter::Only(vec![]).fingerprint(),
+            RelationFilter::All.fingerprint()
+        );
     }
 
     #[test]

@@ -23,6 +23,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod artifacts;
 pub mod builder;
 pub mod builtin;
 pub mod format;
@@ -31,6 +32,7 @@ pub mod model;
 pub mod network;
 pub mod wndb;
 
+pub use artifacts::GlossArtifacts;
 pub use builder::NetworkBuilder;
 pub use builtin::mini_wordnet;
 pub use model::{Concept, ConceptId, PartOfSpeech, RelationKind};

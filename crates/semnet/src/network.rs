@@ -2,7 +2,9 @@
 //! word → senses index used for sense lookup (with stemming fallback).
 
 use std::collections::HashMap;
+use std::sync::OnceLock;
 
+use crate::artifacts::GlossArtifacts;
 use crate::model::{Concept, ConceptId, Edge, RelationKind};
 
 /// A semantic network `SN = (C, L, G, E, R, f, g)` (Definition 2), with
@@ -29,6 +31,11 @@ pub struct SemanticNetwork {
     pub(crate) total_freq: u64,
     /// Cached maximum polysemy over the word index.
     pub(crate) max_polysemy: usize,
+    /// Lazily-built precomputation artifacts for the scoring hot path
+    /// (interned gloss token sequences, neighbor sets). Built at most once
+    /// per network; a pure function of `concepts` + `adjacency`, so clones
+    /// carrying an already-built table stay consistent.
+    pub(crate) artifacts: OnceLock<GlossArtifacts>,
 }
 
 impl SemanticNetwork {
@@ -181,6 +188,13 @@ impl SemanticNetwork {
     /// All distinct words in the index (diagnostics / tests).
     pub fn vocabulary_size(&self) -> usize {
         self.word_index.len()
+    }
+
+    /// The precomputed gloss/neighbor artifact table, built on first use
+    /// and shared by every subsequent caller (including concurrent batch
+    /// workers — `OnceLock` serializes the single build).
+    pub fn gloss_artifacts(&self) -> &GlossArtifacts {
+        self.artifacts.get_or_init(|| GlossArtifacts::build(self))
     }
 }
 

@@ -1,4 +1,5 @@
-//! Pluggable memo caches for pairwise similarity scores.
+//! Pluggable memo caches for pairwise similarity scores and concept
+//! context vectors.
 //!
 //! [`CombinedSimilarity`](crate::CombinedSimilarity) re-queries the same
 //! concept pairs many times while disambiguating a document, so it memoizes
@@ -6,23 +7,57 @@
 //! zero-synchronization [`LocalCache`] by default; concurrent batch engines
 //! (the `xsdf-runtime` crate) plug in a shared, thread-safe implementation
 //! so sense pairs computed for one document are reused across all workers.
+//!
+//! ## Key discipline
+//!
+//! A cached value must be a pure function of its key. Pair scores depend on
+//! the *weight configuration* as well as the concept pair, so [`PairKey`]
+//! carries a [`WeightsFingerprint`] — without it, two measures with
+//! different weights sharing one cache (the pattern `combined.rs`
+//! explicitly advertises) would silently serve each other's scores.
+//! Concept context vectors depend on the sphere radius and relation filter,
+//! so [`VectorKey`] is `(concept, radius, filter fingerprint)`.
 
 use semnet::ConceptId;
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::Arc;
 
-/// A symmetric concept-pair key: callers normalize `(a, b)` so that
-/// `a <= b` before lookup, making `sim(a, b)` and `sim(b, a)` one entry.
-pub type PairKey = (ConceptId, ConceptId);
+use crate::vector::SparseVector;
 
-/// A memo table for pairwise similarity scores.
+/// An order-independent fingerprint of a
+/// [`SimilarityWeights`](crate::SimilarityWeights) configuration, produced
+/// by [`SimilarityWeights::fingerprint`](crate::SimilarityWeights::fingerprint)
+/// and embedded in every [`PairKey`] so caches shared between differently
+/// weighted measures cannot cross-read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct WeightsFingerprint(pub u64);
+
+/// A similarity-score cache key: the weight-configuration fingerprint plus
+/// the symmetric concept pair (callers normalize `(a, b)` so that `a <= b`
+/// before lookup, making `sim(a, b)` and `sim(b, a)` one entry).
+pub type PairKey = (WeightsFingerprint, ConceptId, ConceptId);
+
+/// A concept-context-vector cache key: `(concept, sphere radius, relation
+/// filter fingerprint)` — see
+/// [`RelationFilter::fingerprint`](semnet::graph::RelationFilter::fingerprint).
+/// The vector of a concept is a pure function of these three inputs (plus
+/// the immutable network), so cached vectors are shareable across workers
+/// and runs.
+pub type VectorKey = (ConceptId, u32, u64);
+
+/// A memo table for pairwise similarity scores, with an optional second
+/// table for concept context vectors.
 ///
 /// Methods take `&self` so implementations choose their own interior
 /// mutability: [`LocalCache`] uses a [`RefCell`], shared implementations use
 /// locks or atomics. Implementations may drop entries (e.g. under memory
 /// pressure) — the contract is only that [`lookup`](Self::lookup) returns a
 /// value previously passed to [`store`](Self::store) for that key, or `None`.
+///
+/// The vector methods default to a no-op table (every lookup misses, every
+/// store is dropped), so implementations that only memoize pair scores
+/// remain valid — callers always fall back to computing the vector.
 pub trait SimilarityCache {
     /// The cached score for `key`, if present.
     fn lookup(&self, key: PairKey) -> Option<f64>;
@@ -37,12 +72,28 @@ pub trait SimilarityCache {
     fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// The cached context vector for `key`, if present. Defaults to a
+    /// permanent miss.
+    fn lookup_vector(&self, _key: VectorKey) -> Option<Arc<SparseVector>> {
+        None
+    }
+
+    /// Records a context vector for `key`. Defaults to dropping the value.
+    fn store_vector(&self, _key: VectorKey, _value: Arc<SparseVector>) {}
+
+    /// Number of cached context vectors (diagnostics).
+    fn vectors_len(&self) -> usize {
+        0
+    }
 }
 
-/// The default single-threaded cache: an unsynchronized hash map.
+/// The default single-threaded cache: unsynchronized hash maps for pair
+/// scores and context vectors.
 #[derive(Debug, Clone, Default)]
 pub struct LocalCache {
     map: RefCell<HashMap<PairKey, f64>>,
+    vectors: RefCell<HashMap<VectorKey, Arc<SparseVector>>>,
 }
 
 impl LocalCache {
@@ -64,7 +115,23 @@ impl SimilarityCache for LocalCache {
     fn len(&self) -> usize {
         self.map.borrow().len()
     }
+
+    fn lookup_vector(&self, key: VectorKey) -> Option<Arc<SparseVector>> {
+        self.vectors.borrow().get(&key).cloned()
+    }
+
+    fn store_vector(&self, key: VectorKey, value: Arc<SparseVector>) {
+        self.vectors.borrow_mut().insert(key, value);
+    }
+
+    fn vectors_len(&self) -> usize {
+        self.vectors.borrow().len()
+    }
 }
+
+// The forwarding impls must forward the vector methods explicitly: the
+// trait's no-op defaults would otherwise shadow the underlying cache's
+// vector table and silently disable vector memoization behind `&C`/`Arc<C>`.
 
 impl<C: SimilarityCache + ?Sized> SimilarityCache for &C {
     fn lookup(&self, key: PairKey) -> Option<f64> {
@@ -77,6 +144,18 @@ impl<C: SimilarityCache + ?Sized> SimilarityCache for &C {
 
     fn len(&self) -> usize {
         (**self).len()
+    }
+
+    fn lookup_vector(&self, key: VectorKey) -> Option<Arc<SparseVector>> {
+        (**self).lookup_vector(key)
+    }
+
+    fn store_vector(&self, key: VectorKey, value: Arc<SparseVector>) {
+        (**self).store_vector(key, value)
+    }
+
+    fn vectors_len(&self) -> usize {
+        (**self).vectors_len()
     }
 }
 
@@ -92,20 +171,34 @@ impl<C: SimilarityCache + ?Sized> SimilarityCache for Arc<C> {
     fn len(&self) -> usize {
         (**self).len()
     }
+
+    fn lookup_vector(&self, key: VectorKey) -> Option<Arc<SparseVector>> {
+        (**self).lookup_vector(key)
+    }
+
+    fn store_vector(&self, key: VectorKey, value: Arc<SparseVector>) {
+        (**self).store_vector(key, value)
+    }
+
+    fn vectors_len(&self) -> usize {
+        (**self).vectors_len()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::SimilarityWeights;
     use semnet::mini_wordnet;
 
     fn key(a: &str, b: &str) -> PairKey {
         let sn = mini_wordnet();
         let (a, b) = (sn.by_key(a).unwrap(), sn.by_key(b).unwrap());
+        let fp = SimilarityWeights::equal().fingerprint();
         if a <= b {
-            (a, b)
+            (fp, a, b)
         } else {
-            (b, a)
+            (fp, b, a)
         }
     }
 
@@ -121,6 +214,41 @@ mod tests {
     }
 
     #[test]
+    fn distinct_fingerprints_are_distinct_entries() {
+        let cache = LocalCache::new();
+        let (fp_equal, a, b) = key("cast.actors", "star.performer");
+        let fp_gloss = SimilarityWeights::gloss_only().fingerprint();
+        assert_ne!(fp_equal, fp_gloss);
+        cache.store((fp_equal, a, b), 0.4);
+        cache.store((fp_gloss, a, b), 0.9);
+        assert_eq!(cache.lookup((fp_equal, a, b)), Some(0.4));
+        assert_eq!(cache.lookup((fp_gloss, a, b)), Some(0.9));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn vector_table_round_trips() {
+        let cache = LocalCache::new();
+        let sn = mini_wordnet();
+        let c = sn.by_key("cast.actors").unwrap();
+        let k: VectorKey = (c, 2, 0xabcd);
+        assert!(cache.lookup_vector(k).is_none());
+        assert_eq!(cache.vectors_len(), 0);
+        let mut v = SparseVector::new();
+        v.add("cast".to_string(), 1.0);
+        cache.store_vector(k, Arc::new(v));
+        let got = cache.lookup_vector(k).expect("stored vector");
+        assert_eq!(got.get("cast"), 1.0);
+        assert_eq!(cache.vectors_len(), 1);
+        // Different radius / filter fingerprint are different entries.
+        assert!(cache.lookup_vector((c, 3, 0xabcd)).is_none());
+        assert!(cache.lookup_vector((c, 2, 0xabce)).is_none());
+    }
+
+    // The Arc-of-LocalCache below is deliberately single-threaded: the
+    // point is the forwarding impl, not sharing.
+    #[allow(clippy::arc_with_non_send_sync)]
+    #[test]
     fn reference_and_arc_forward() {
         let cache = LocalCache::new();
         let k = key("film.movie", "cast.actors");
@@ -132,5 +260,24 @@ mod tests {
         let shared = Arc::new(LocalCache::new());
         shared.store(k, 0.25);
         assert_eq!(shared.len(), 1);
+    }
+
+    #[allow(clippy::arc_with_non_send_sync)]
+    #[test]
+    fn reference_and_arc_forward_vectors() {
+        // Regression guard: the blanket impls must not fall back to the
+        // trait's no-op vector defaults.
+        let sn = mini_wordnet();
+        let c = sn.by_key("film.movie").unwrap();
+        let k: VectorKey = (c, 1, 7);
+        let shared = Arc::new(LocalCache::new());
+        shared.store_vector(k, Arc::new(SparseVector::new()));
+        assert_eq!(shared.vectors_len(), 1);
+        assert!(shared.lookup_vector(k).is_some());
+        let inner = LocalCache::new();
+        let by_ref: &LocalCache = &inner;
+        by_ref.store_vector(k, Arc::new(SparseVector::new()));
+        assert!(inner.lookup_vector(k).is_some());
+        assert_eq!(by_ref.vectors_len(), 1);
     }
 }

@@ -7,9 +7,11 @@
 //! with `w_Edge + w_Node + w_Gloss = 1` and all weights non-negative. The
 //! paper's experiments use equal weights (1/3 each, footnote 12).
 
+use std::cell::Cell;
+
 use semnet::{ConceptId, SemanticNetwork};
 
-use crate::cache::{LocalCache, SimilarityCache};
+use crate::cache::{LocalCache, SimilarityCache, WeightsFingerprint};
 use crate::edge::wu_palmer;
 use crate::gloss::extended_gloss_overlap;
 use crate::node::lin;
@@ -83,6 +85,23 @@ impl SimilarityWeights {
             gloss: 1.0,
         }
     }
+
+    /// A stable fingerprint of this weight configuration, embedded in every
+    /// similarity cache key (see [`crate::cache::PairKey`]). FNV-1a over
+    /// the IEEE-754 bit patterns of the (normalized) weights: two
+    /// configurations fingerprint equal exactly when their weight triples
+    /// are bitwise identical, so differently weighted measures sharing one
+    /// cache can never cross-read each other's scores.
+    pub fn fingerprint(&self) -> WeightsFingerprint {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for w in [self.edge, self.node, self.gloss] {
+            for byte in w.to_bits().to_le_bytes() {
+                hash ^= byte as u64;
+                hash = hash.wrapping_mul(0x100_0000_01b3);
+            }
+        }
+        WeightsFingerprint(hash)
+    }
 }
 
 impl Default for SimilarityWeights {
@@ -103,7 +122,14 @@ impl Default for SimilarityWeights {
 #[derive(Debug, Clone)]
 pub struct CombinedSimilarity<C: SimilarityCache = LocalCache> {
     weights: SimilarityWeights,
+    /// Cached `weights.fingerprint()` — computed once at construction,
+    /// copied into every cache key on the hot path.
+    fingerprint: WeightsFingerprint,
     cache: C,
+    /// How many pairs the gloss kernel actually scored through this measure
+    /// (cache misses with a positive gloss weight) — the per-kernel metric
+    /// the batch runtime aggregates.
+    gloss_pairs: Cell<u64>,
 }
 
 impl CombinedSimilarity {
@@ -119,7 +145,12 @@ impl<C: SimilarityCache> CombinedSimilarity<C> {
     /// shared: `&C` and `Arc<C>` implement [`SimilarityCache`] whenever `C`
     /// does, so several measures can memoize into one table.
     pub fn with_cache(weights: SimilarityWeights, cache: C) -> Self {
-        Self { weights, cache }
+        Self {
+            weights,
+            fingerprint: weights.fingerprint(),
+            cache,
+            gloss_pairs: Cell::new(0),
+        }
     }
 
     /// The configured weights.
@@ -134,7 +165,11 @@ impl<C: SimilarityCache> CombinedSimilarity<C> {
 
     /// `Sim(c1, c2, S̄N) ∈ \[0, 1\]`.
     pub fn similarity(&self, sn: &SemanticNetwork, a: ConceptId, b: ConceptId) -> f64 {
-        let key = if a <= b { (a, b) } else { (b, a) };
+        let key = if a <= b {
+            (self.fingerprint, a, b)
+        } else {
+            (self.fingerprint, b, a)
+        };
         if let Some(v) = self.cache.lookup(key) {
             return v;
         }
@@ -148,6 +183,7 @@ impl<C: SimilarityCache> CombinedSimilarity<C> {
         }
         if w.gloss > 0.0 {
             score += w.gloss * extended_gloss_overlap(sn, a, b);
+            self.gloss_pairs.set(self.gloss_pairs.get() + 1);
         }
         let score = score.clamp(0.0, 1.0);
         self.cache.store(key, score);
@@ -157,6 +193,13 @@ impl<C: SimilarityCache> CombinedSimilarity<C> {
     /// Number of cached pair similarities (diagnostics).
     pub fn cache_len(&self) -> usize {
         self.cache.len()
+    }
+
+    /// How many pairs the gloss kernel scored through this measure (cache
+    /// misses with `weights.gloss > 0`; hits served from the cache don't
+    /// count).
+    pub fn gloss_pairs_scored(&self) -> u64 {
+        self.gloss_pairs.get()
     }
 }
 
@@ -238,5 +281,72 @@ mod tests {
         let sn = mini_wordnet();
         let sim = CombinedSimilarity::default();
         assert!((sim.similarity(sn, id("actor.n"), id("actor.n")) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fingerprints_distinguish_weight_configs() {
+        let configs = [
+            SimilarityWeights::equal(),
+            SimilarityWeights::edge_only(),
+            SimilarityWeights::node_only(),
+            SimilarityWeights::gloss_only(),
+            SimilarityWeights::new(2.0, 1.0, 1.0).unwrap(),
+        ];
+        for (i, wa) in configs.iter().enumerate() {
+            for (j, wb) in configs.iter().enumerate() {
+                assert_eq!(
+                    wa.fingerprint() == wb.fingerprint(),
+                    i == j,
+                    "fingerprint collision or instability between {wa:?} and {wb:?}"
+                );
+            }
+        }
+        // Construction route must not matter, only the normalized triple.
+        assert_eq!(
+            SimilarityWeights::new(1.0, 1.0, 1.0).unwrap().fingerprint(),
+            SimilarityWeights::equal().fingerprint()
+        );
+    }
+
+    #[test]
+    fn shared_cache_with_different_weights_never_cross_reads() {
+        // Regression test for the cache-poisoning bug: two measures with
+        // different weights writing through ONE shared cache must produce
+        // exactly the scores they'd produce with fresh private caches.
+        let sn = mini_wordnet();
+        let shared = LocalCache::new();
+        let mixed_a = CombinedSimilarity::with_cache(SimilarityWeights::equal(), &shared);
+        let mixed_b = CombinedSimilarity::with_cache(SimilarityWeights::gloss_only(), &shared);
+        let fresh_a = CombinedSimilarity::new(SimilarityWeights::equal());
+        let fresh_b = CombinedSimilarity::new(SimilarityWeights::gloss_only());
+        let pairs = [
+            (id("cast.actors"), id("star.performer")),
+            (id("film.movie"), id("cast.actors")),
+            (id("kelly.grace"), id("stewart.james")),
+        ];
+        for &(a, b) in &pairs {
+            // Interleave so each config's entry is already present when the
+            // other scores the same pair.
+            assert_eq!(mixed_a.similarity(sn, a, b), fresh_a.similarity(sn, a, b));
+            assert_eq!(mixed_b.similarity(sn, a, b), fresh_b.similarity(sn, a, b));
+            assert_eq!(mixed_a.similarity(sn, a, b), fresh_a.similarity(sn, a, b));
+        }
+        // One entry per (weights, pair), not per pair.
+        assert_eq!(shared.len(), 2 * pairs.len());
+    }
+
+    #[test]
+    fn gloss_pairs_counter_counts_misses_only() {
+        let sn = mini_wordnet();
+        let sim = CombinedSimilarity::default();
+        let (a, b) = (id("cast.actors"), id("film.movie"));
+        assert_eq!(sim.gloss_pairs_scored(), 0);
+        sim.similarity(sn, a, b);
+        assert_eq!(sim.gloss_pairs_scored(), 1);
+        sim.similarity(sn, b, a); // cache hit — kernel not re-run
+        assert_eq!(sim.gloss_pairs_scored(), 1);
+        let edge_only = CombinedSimilarity::new(SimilarityWeights::edge_only());
+        edge_only.similarity(sn, a, b);
+        assert_eq!(edge_only.gloss_pairs_scored(), 0);
     }
 }

@@ -5,92 +5,69 @@
 //! directly related concepts (hypernyms, hyponyms, meronyms, …). The score
 //! accumulates squared lengths of maximal common word phrases between the
 //! two extended glosses (so an n-word shared phrase counts n², rewarding
-//! longer overlaps), then normalizes by the score each gloss achieves
-//! against itself, yielding `\[0, 1\]`.
+//! longer overlaps), then normalizes by a saturation constant, yielding
+//! `\[0, 1\]`.
+//!
+//! The kernel runs entirely over interned `u32` token ids from
+//! [`semnet::GlossArtifacts`]: tokenization, stop filtering and stemming
+//! happen once per network, not once per scored pair, and the quadratic
+//! phrase matching compares machine words instead of strings. Interning is
+//! injective (distinct tokens get distinct ids), so id equality coincides
+//! with string equality and the id-space scores are bit-for-bit identical
+//! to the historical string-space implementation (the
+//! `gloss_equivalence` integration test pins this down pair by pair).
 
-use std::collections::HashSet;
-
-use lingproc::{is_stop_word, tokenize_text};
 use semnet::{ConceptId, SemanticNetwork};
 
-/// Builds the extended-gloss token sequence of a concept: its gloss, its
-/// lemmas, and the glosses of direct neighbors, tokenized with stop words
-/// removed. Neighbors in `exclude` contribute nothing — see
-/// [`extended_gloss_overlap`] for why shared neighbors are dropped.
-fn extended_gloss_tokens(
-    sn: &SemanticNetwork,
-    c: ConceptId,
-    exclude: &HashSet<ConceptId>,
-) -> Vec<String> {
-    let mut tokens = Vec::new();
-    let concept = sn.concept(c);
-    for lemma in &concept.lemmas {
-        tokens.extend(tokenize_text(lemma));
-    }
-    tokens.extend(tokenize_text(&concept.gloss));
-    for &(_, neighbor) in sn.edges(c) {
-        if !exclude.contains(&neighbor) {
-            tokens.extend(tokenize_text(&sn.concept(neighbor).gloss));
-        }
-    }
-    tokens.retain(|t| !is_stop_word(t));
-    // Stemming makes "actors"/"actor" and "plays"/"play" overlap, exactly
-    // the morphology-blindness fix the linguistic pre-processing stage
-    // applies everywhere else in the pipeline.
-    tokens
-        .iter_mut()
-        .for_each(|t| *t = lingproc::porter_stem(t));
-    tokens
-}
-
-/// The neighbors shared by both concepts (excluding the concepts
-/// themselves). Two sibling senses share their hypernym: comparing the
-/// parent's gloss against itself would score `|gloss|²` for *any* sibling
-/// pair, drowning the lexical signal. That common-ancestry evidence is
-/// already what the edge- and node-based measures quantify, so the gloss
-/// measure drops it and stays purely lexical.
-fn shared_neighbors(sn: &SemanticNetwork, a: ConceptId, b: ConceptId) -> HashSet<ConceptId> {
-    let na: HashSet<ConceptId> = sn.edges(a).iter().map(|&(_, c)| c).collect();
-    sn.edges(b)
-        .iter()
-        .map(|&(_, c)| c)
-        .filter(|c| na.contains(c) && *c != a && *c != b)
-        .collect()
-}
+/// Sentinel marking an erased (already consumed) token position inside
+/// [`overlap_score`]. Real token ids are dense indices into the artifact
+/// vocabulary, which never plausibly reaches `u32::MAX` entries.
+const ERASED: u32 = u32::MAX;
 
 /// Greedy phrase-overlap score of Banerjee–Pedersen: repeatedly find the
-/// longest common contiguous word sequence, add its squared length, remove
-/// it from both sides, until no overlap of length ≥ 1 remains.
-fn overlap_score(a: &[String], b: &[String]) -> f64 {
-    // Dynamic programming for the longest common substring (of words).
+/// longest common contiguous token-id sequence, add its squared length,
+/// erase it from both sides, until no overlap of length ≥ 1 remains.
+fn overlap_score(a: &[u32], b: &[u32]) -> f64 {
     // Repeating until exhaustion is O(n³)-ish in the worst case but glosses
-    // are short (tens of tokens), so this stays cheap.
-    let mut a: Vec<Option<&str>> = a.iter().map(|s| Some(s.as_str())).collect();
-    let mut b: Vec<Option<&str>> = b.iter().map(|s| Some(s.as_str())).collect();
+    // are short (tens of tokens), so this stays cheap — and after the id
+    // rewrite each DP cell is one integer compare.
+    let mut a = a.to_vec();
+    let mut b = b.to_vec();
+    let mut prev = vec![0usize; b.len() + 1];
+    let mut cur = vec![0usize; b.len() + 1];
     let mut score = 0.0;
     loop {
-        let (len, ai, bi) = longest_common_run(&a, &b);
+        let (len, ai, bi) = longest_common_run(&a, &b, &mut prev, &mut cur);
         if len == 0 {
             return score;
         }
         score += (len * len) as f64;
         for k in 0..len {
-            a[ai + k] = None;
-            b[bi + k] = None;
+            a[ai + k] = ERASED;
+            b[bi + k] = ERASED;
         }
     }
 }
 
-/// Longest common contiguous run of non-erased tokens; returns
-/// `(length, start_a, start_b)`.
-fn longest_common_run(a: &[Option<&str>], b: &[Option<&str>]) -> (usize, usize, usize) {
+/// Longest common contiguous run of non-erased token ids; returns
+/// `(length, start_a, start_b)`. `prev`/`cur` are caller scratch rows of
+/// length `b.len() + 1` (reused across the greedy iterations to avoid
+/// re-allocating per round).
+fn longest_common_run(
+    a: &[u32],
+    b: &[u32],
+    prev: &mut Vec<usize>,
+    cur: &mut Vec<usize>,
+) -> (usize, usize, usize) {
     let mut best = (0usize, 0usize, 0usize);
-    let mut prev = vec![0usize; b.len() + 1];
-    for (i, ta) in a.iter().enumerate() {
-        let mut cur = vec![0usize; b.len() + 1];
-        if ta.is_some() {
-            for (j, tb) in b.iter().enumerate() {
-                if tb.is_some() && ta == tb {
+    prev.fill(0);
+    for (i, &ta) in a.iter().enumerate() {
+        cur.fill(0);
+        if ta != ERASED {
+            for (j, &tb) in b.iter().enumerate() {
+                // `ta != ERASED` above means a matching `tb` cannot be the
+                // sentinel either, so erased positions never pair up.
+                if ta == tb {
                     cur[j + 1] = prev[j] + 1;
                     if cur[j + 1] > best.0 {
                         best = (cur[j + 1], i + 1 - cur[j + 1], j + 1 - cur[j + 1]);
@@ -98,7 +75,7 @@ fn longest_common_run(a: &[Option<&str>], b: &[Option<&str>]) -> (usize, usize, 
                 }
             }
         }
-        prev = cur;
+        std::mem::swap(prev, cur);
     }
     best
 }
@@ -122,28 +99,51 @@ pub const GLOSS_SATURATION: f64 = 16.0;
 /// applies for Definition 9 — it is strictly monotone in the raw score
 /// (preserving every ordering the original measure produces) and
 /// asymptotically reaches 1.
+///
+/// Neighbors shared by both concepts contribute to neither extended gloss.
+/// Two sibling senses share their hypernym: comparing the parent's gloss
+/// against itself would score `|gloss|²` for *any* sibling pair, drowning
+/// the lexical signal. That common-ancestry evidence is already what the
+/// edge- and node-based measures quantify, so the gloss measure drops it
+/// and stays purely lexical.
 pub fn extended_gloss_overlap(sn: &SemanticNetwork, a: ConceptId, b: ConceptId) -> f64 {
     if a == b {
         return 1.0;
     }
-    let shared = shared_neighbors(sn, a, b);
-    let ga = extended_gloss_tokens(sn, a, &shared);
-    let gb = extended_gloss_tokens(sn, b, &shared);
-    if ga.is_empty() || gb.is_empty() {
+    let art = sn.gloss_artifacts();
+    // Disjoint token *sets* (supersets of every exclusion-filtered
+    // sequence) guarantee a zero raw overlap, which maps to exactly 0.0 —
+    // the same value the full kernel would produce. This also covers the
+    // empty-gloss case.
+    if !art.token_sets_intersect(a, b) {
         return 0.0;
     }
-    let cross = overlap_score(&ga, &gb);
+    let shared = art.shared_neighbors(a, b);
+    let cross = if shared.is_empty() {
+        overlap_score(art.extended_gloss(a), art.extended_gloss(b))
+    } else {
+        let mut ga = Vec::new();
+        let mut gb = Vec::new();
+        art.extended_gloss_excluding(sn, a, &shared, &mut ga);
+        art.extended_gloss_excluding(sn, b, &shared, &mut gb);
+        if ga.is_empty() || gb.is_empty() {
+            return 0.0;
+        }
+        overlap_score(&ga, &gb)
+    };
     cross / (cross + GLOSS_SATURATION)
 }
 
 /// Fast pre-check used by callers that want to skip the quadratic phrase
-/// matching when the glosses share no content word at all.
+/// matching: `false` guarantees [`extended_gloss_overlap`] returns 0.
+///
+/// Runs a merge walk over the two precomputed sorted token-id sets — no
+/// tokenization, no allocation. The check is deliberately conservative: it
+/// ignores the shared-neighbor exclusion (the sets are supersets of the
+/// sequences actually scored), so it may return `true` for a pair whose
+/// exclusion-filtered overlap is still 0, but never the reverse.
 pub fn glosses_share_any_word(sn: &SemanticNetwork, a: ConceptId, b: ConceptId) -> bool {
-    let shared = shared_neighbors(sn, a, b);
-    let ga: HashSet<String> = extended_gloss_tokens(sn, a, &shared).into_iter().collect();
-    extended_gloss_tokens(sn, b, &shared)
-        .iter()
-        .any(|t| ga.contains(t))
+    sn.gloss_artifacts().token_sets_intersect(a, b)
 }
 
 #[cfg(test)]
@@ -155,32 +155,60 @@ mod tests {
         mini_wordnet().by_key(key).unwrap()
     }
 
-    fn s(x: &str) -> String {
-        x.to_string()
+    /// Interns two string token lists into a shared id space, mirroring
+    /// what [`semnet::GlossArtifacts`] does for real glosses — lets the
+    /// unit tests keep exercising the kernel with readable inputs.
+    fn intern2(a: &[&str], b: &[&str]) -> (Vec<u32>, Vec<u32>) {
+        let mut table: std::collections::HashMap<String, u32> = std::collections::HashMap::new();
+        let mut intern = |tokens: &[&str]| -> Vec<u32> {
+            tokens
+                .iter()
+                .map(|t| {
+                    let next = table.len() as u32;
+                    *table.entry(t.to_string()).or_insert(next)
+                })
+                .collect()
+        };
+        let ia = intern(a);
+        let ib = intern(b);
+        (ia, ib)
+    }
+
+    fn score(a: &[&str], b: &[&str]) -> f64 {
+        let (ia, ib) = intern2(a, b);
+        overlap_score(&ia, &ib)
     }
 
     #[test]
     fn overlap_counts_squared_phrases() {
-        let a = vec![s("motion"), s("picture"), s("shown"), s("theater")];
-        let b = vec![s("motion"), s("picture"), s("industry")];
         // "motion picture" is a 2-word phrase → 4.
-        assert_eq!(overlap_score(&a, &b), 4.0);
+        assert_eq!(
+            score(
+                &["motion", "picture", "shown", "theater"],
+                &["motion", "picture", "industry"]
+            ),
+            4.0
+        );
     }
 
     #[test]
     fn overlap_greedy_removes_used_tokens() {
-        let a = vec![s("star"), s("star")];
-        let b = vec![s("star")];
         // Single "star" matches once only.
-        assert_eq!(overlap_score(&a, &b), 1.0);
+        assert_eq!(score(&["star", "star"], &["star"]), 1.0);
     }
 
     #[test]
     fn longer_phrases_beat_scattered_words() {
-        let a = vec![s("a"), s("b"), s("c")];
-        let b_phrase = vec![s("a"), s("b"), s("c")];
-        let b_scattered = vec![s("a"), s("x"), s("b"), s("y"), s("c")];
-        assert!(overlap_score(&a, &b_phrase) > overlap_score(&a, &b_scattered));
+        let phrase = score(&["a", "b", "c"], &["a", "b", "c"]);
+        let scattered = score(&["a", "b", "c"], &["a", "x", "b", "y", "c"]);
+        assert!(phrase > scattered);
+    }
+
+    #[test]
+    fn erased_positions_never_match_each_other() {
+        // Both sides contain a repeated pair; after "a b" is consumed the
+        // erased holes must not line up as a phantom run.
+        assert_eq!(score(&["a", "b", "a", "b"], &["a", "b"]), 4.0);
     }
 
     #[test]
@@ -219,16 +247,36 @@ mod tests {
     #[test]
     fn share_any_word_precheck_consistent() {
         let sn = mini_wordnet();
-        let (a, b) = (id("cast.actors"), id("star.performer"));
-        if extended_gloss_overlap(sn, a, b) > 0.0 {
-            assert!(glosses_share_any_word(sn, a, b));
+        // false ⇒ overlap must be exactly 0 — over every pair drawn from a
+        // cross-domain anchor set.
+        let keys = [
+            "cast.actors",
+            "cast.mold",
+            "star.performer",
+            "star.celestial",
+            "film.movie",
+            "waffle.food",
+            "kelly.grace",
+        ];
+        for ka in keys {
+            for kb in keys {
+                let (a, b) = (id(ka), id(kb));
+                if !glosses_share_any_word(sn, a, b) {
+                    assert_eq!(
+                        extended_gloss_overlap(sn, a, b),
+                        0.0,
+                        "precheck false but overlap > 0 for ({ka}, {kb})"
+                    );
+                }
+                if a != b && extended_gloss_overlap(sn, a, b) > 0.0 {
+                    assert!(glosses_share_any_word(sn, a, b));
+                }
+            }
         }
     }
 
     #[test]
     fn empty_vs_anything_is_zero() {
-        let a: Vec<String> = vec![];
-        let b = vec![s("x")];
-        assert_eq!(overlap_score(&a, &b), 0.0);
+        assert_eq!(score(&[], &["x"]), 0.0);
     }
 }

@@ -1,0 +1,174 @@
+//! Bit-for-bit equivalence of the id-based gloss kernel against the
+//! original string-based implementation.
+//!
+//! The `reference_*` functions below are a vendored copy of the
+//! pre-precomputation `Sim_Gloss` pipeline (tokenize → stop-filter → stem
+//! on every call, `Option<&str>` erasure in the DP). The production kernel
+//! now runs over interned `u32` token ids pulled from
+//! [`semnet::GlossArtifacts`]; this test pins the refactor's contract: the
+//! raw overlap is an integer-valued sum of squared phrase lengths and the
+//! final score a single division, so equal inputs must give *exactly*
+//! equal `f64` outputs — `assert_eq!`, not an epsilon.
+
+use std::collections::HashSet;
+
+use lingproc::{is_stop_word, porter_stem, tokenize_text};
+use semnet::{mini_wordnet, ConceptId, SemanticNetwork};
+use xsdf_semsim::extended_gloss_overlap;
+use xsdf_semsim::gloss::{glosses_share_any_word, GLOSS_SATURATION};
+
+fn reference_extended_gloss_tokens(
+    sn: &SemanticNetwork,
+    c: ConceptId,
+    exclude: &HashSet<ConceptId>,
+) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let concept = sn.concept(c);
+    for lemma in &concept.lemmas {
+        tokens.extend(tokenize_text(lemma));
+    }
+    tokens.extend(tokenize_text(&concept.gloss));
+    for &(_, neighbor) in sn.edges(c) {
+        if !exclude.contains(&neighbor) {
+            tokens.extend(tokenize_text(&sn.concept(neighbor).gloss));
+        }
+    }
+    tokens.retain(|t| !is_stop_word(t));
+    tokens.iter_mut().for_each(|t| *t = porter_stem(t));
+    tokens
+}
+
+fn reference_shared_neighbors(
+    sn: &SemanticNetwork,
+    a: ConceptId,
+    b: ConceptId,
+) -> HashSet<ConceptId> {
+    let na: HashSet<ConceptId> = sn.edges(a).iter().map(|&(_, c)| c).collect();
+    sn.edges(b)
+        .iter()
+        .map(|&(_, c)| c)
+        .filter(|c| na.contains(c) && *c != a && *c != b)
+        .collect()
+}
+
+fn reference_overlap_score(a: &[String], b: &[String]) -> f64 {
+    let mut a: Vec<Option<&str>> = a.iter().map(|s| Some(s.as_str())).collect();
+    let mut b: Vec<Option<&str>> = b.iter().map(|s| Some(s.as_str())).collect();
+    let mut score = 0.0;
+    loop {
+        let (len, ai, bi) = reference_longest_common_run(&a, &b);
+        if len == 0 {
+            return score;
+        }
+        score += (len * len) as f64;
+        for k in 0..len {
+            a[ai + k] = None;
+            b[bi + k] = None;
+        }
+    }
+}
+
+fn reference_longest_common_run(a: &[Option<&str>], b: &[Option<&str>]) -> (usize, usize, usize) {
+    let mut best = (0usize, 0usize, 0usize);
+    let mut prev = vec![0usize; b.len() + 1];
+    for (i, ta) in a.iter().enumerate() {
+        let mut cur = vec![0usize; b.len() + 1];
+        if ta.is_some() {
+            for (j, tb) in b.iter().enumerate() {
+                if tb.is_some() && ta == tb {
+                    cur[j + 1] = prev[j] + 1;
+                    if cur[j + 1] > best.0 {
+                        best = (cur[j + 1], i + 1 - cur[j + 1], j + 1 - cur[j + 1]);
+                    }
+                }
+            }
+        }
+        prev = cur;
+    }
+    best
+}
+
+fn reference_extended_gloss_overlap(sn: &SemanticNetwork, a: ConceptId, b: ConceptId) -> f64 {
+    if a == b {
+        return 1.0;
+    }
+    let shared = reference_shared_neighbors(sn, a, b);
+    let ga = reference_extended_gloss_tokens(sn, a, &shared);
+    let gb = reference_extended_gloss_tokens(sn, b, &shared);
+    if ga.is_empty() || gb.is_empty() {
+        return 0.0;
+    }
+    let cross = reference_overlap_score(&ga, &gb);
+    cross / (cross + GLOSS_SATURATION)
+}
+
+/// A deterministic covering sample: every anchor sense the unit tests
+/// exercise plus a uniform stride over the full concept table, so both
+/// dense movie-domain neighborhoods (shared hypernyms, overlapping
+/// glosses) and arbitrary cross-domain pairs are represented.
+fn sample_concepts(sn: &SemanticNetwork) -> Vec<ConceptId> {
+    let mut sample: Vec<ConceptId> = [
+        "head.chief",
+        "head.body_part",
+        "state.government",
+        "state.condition",
+        "star.performer",
+        "star.celestial",
+        "cast.actors",
+        "cast.mold",
+        "picture.image",
+        "play.drama",
+        "kelly.grace",
+        "stewart.james",
+        "film.movie",
+        "waffle.food",
+    ]
+    .iter()
+    .filter_map(|k| sn.by_key(k))
+    .collect();
+    let n = sn.len() as u32;
+    sample.extend((0..n).step_by(8).map(ConceptId));
+    sample.sort_unstable();
+    sample.dedup();
+    sample
+}
+
+#[test]
+fn id_kernel_reproduces_string_kernel_bit_for_bit() {
+    let sn = mini_wordnet();
+    let sample = sample_concepts(sn);
+    assert!(sample.len() >= 100, "sample too small: {}", sample.len());
+    let mut nonzero = 0usize;
+    for (i, &a) in sample.iter().enumerate() {
+        for &b in &sample[i..] {
+            let expected = reference_extended_gloss_overlap(sn, a, b);
+            let actual = extended_gloss_overlap(sn, a, b);
+            assert_eq!(expected, actual, "gloss({a:?}, {b:?}) diverged");
+            // Symmetry must also survive the precomputation.
+            assert_eq!(actual, extended_gloss_overlap(sn, b, a));
+            if actual > 0.0 {
+                nonzero += 1;
+            }
+        }
+    }
+    // The sample must actually exercise the kernel, not just the
+    // disjoint-token fast path.
+    assert!(nonzero > sample.len(), "only {nonzero} non-zero pairs");
+}
+
+#[test]
+fn precheck_false_implies_zero_overlap_on_sample() {
+    let sn = mini_wordnet();
+    let sample = sample_concepts(sn);
+    for (i, &a) in sample.iter().enumerate() {
+        for &b in &sample[i..] {
+            if !glosses_share_any_word(sn, a, b) {
+                assert_eq!(
+                    extended_gloss_overlap(sn, a, b),
+                    0.0,
+                    "precheck false but overlap non-zero for ({a:?}, {b:?})"
+                );
+            }
+        }
+    }
+}

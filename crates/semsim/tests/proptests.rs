@@ -80,4 +80,34 @@ proptest! {
         prop_assert!((0.0..=1.0).contains(&ab));
         prop_assert!((ab - b.jaccard(&a)).abs() < 1e-9);
     }
+
+    /// Cosine is bounded and symmetric for arbitrary non-negative vectors
+    /// (not just scaled copies).
+    #[test]
+    fn cosine_bounded_symmetric(
+        xs in proptest::collection::vec(("[a-f]", 0.0f64..3.0), 0..8),
+        ys in proptest::collection::vec(("[a-f]", 0.0f64..3.0), 0..8),
+    ) {
+        let a = SparseVector::from_pairs(xs);
+        let b = SparseVector::from_pairs(ys);
+        let ab = a.cosine(&b);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&ab), "cosine out of range: {ab}");
+        prop_assert!((ab - b.cosine(&a)).abs() < 1e-9);
+    }
+
+    /// Pearson is in [-1, 1], symmetric, and its affine rescale
+    /// `(r + 1) / 2` (the footnote-10 variant) lands in [0, 1].
+    #[test]
+    fn pearson_bounded_symmetric_and_rescales(
+        xs in proptest::collection::vec(("[a-f]", 0.0f64..3.0), 0..8),
+        ys in proptest::collection::vec(("[a-f]", 0.0f64..3.0), 0..8),
+    ) {
+        let a = SparseVector::from_pairs(xs);
+        let b = SparseVector::from_pairs(ys);
+        let r = a.pearson(&b);
+        prop_assert!((-1.0 - 1e-12..=1.0 + 1e-12).contains(&r), "pearson out of range: {r}");
+        prop_assert!((r - b.pearson(&a)).abs() < 1e-9, "pearson asymmetric");
+        let rescaled = (r + 1.0) / 2.0;
+        prop_assert!((-1e-12..=1.0 + 1e-12).contains(&rescaled), "rescale out of range: {rescaled}");
+    }
 }

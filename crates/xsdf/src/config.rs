@@ -15,7 +15,10 @@ pub enum VectorSimilarity {
     Cosine,
     /// Weighted Jaccard similarity.
     Jaccard,
-    /// Pearson correlation, clamped to `\[0, 1\]`.
+    /// Pearson correlation `r ∈ \[-1, 1\]`, rescaled to `\[0, 1\]` as
+    /// `(r + 1) / 2` so anti-correlated candidates stay ordered instead of
+    /// collapsing into indistinguishable ties at 0 (a deviation from a
+    /// naive clamp; see DESIGN.md on footnote 10).
     Pearson,
 }
 
@@ -25,7 +28,10 @@ impl VectorSimilarity {
         match self {
             Self::Cosine => a.cosine(b).clamp(0.0, 1.0),
             Self::Jaccard => a.jaccard(b),
-            Self::Pearson => a.pearson(b).clamp(0.0, 1.0),
+            // An affine rescale is strictly monotone over the full [-1, 1]
+            // range: every ordering Pearson produces is preserved, whereas
+            // clamping mapped all anti-correlated pairs to the same 0.
+            Self::Pearson => (a.pearson(b) + 1.0) / 2.0,
         }
     }
 }
@@ -283,6 +289,30 @@ mod tests {
         }
         assert!((VectorSimilarity::Cosine.apply(&a, &b) - 1.0).abs() < 1e-12);
         assert!((VectorSimilarity::Jaccard.apply(&a, &b) - 1.0).abs() < 1e-12);
+        assert!((VectorSimilarity::Pearson.apply(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_rescale_keeps_anticorrelated_candidates_ordered() {
+        // Regression test for the tie collapse: under a [-1,1] → [0,1]
+        // clamp, every anti-correlated candidate scored exactly 0 and the
+        // ranking lost all resolution below r = 0. The affine rescale keeps
+        // them distinct and ordered by r.
+        let target = semsim::SparseVector::from_pairs([("x", 3.0), ("y", 2.0), ("z", 1.0)]);
+        let strongly_anti = semsim::SparseVector::from_pairs([("x", 1.0), ("y", 2.0), ("z", 3.0)]);
+        let weakly_anti = semsim::SparseVector::from_pairs([("x", 1.0), ("y", 3.0), ("z", 2.0)]);
+        let r_strong = target.pearson(&strongly_anti);
+        let r_weak = target.pearson(&weakly_anti);
+        assert!(r_strong < 0.0 && r_weak < 0.0, "{r_strong}, {r_weak}");
+        assert!(r_strong < r_weak);
+        let s_strong = VectorSimilarity::Pearson.apply(&target, &strongly_anti);
+        let s_weak = VectorSimilarity::Pearson.apply(&target, &weakly_anti);
+        // Both in range, distinct, and ordered consistently with r.
+        assert!((0.0..=1.0).contains(&s_strong));
+        assert!((0.0..=1.0).contains(&s_weak));
+        assert!(s_strong < s_weak, "{s_strong} >= {s_weak}");
+        // The exact map is (r + 1) / 2.
+        assert!((s_strong - (r_strong + 1.0) / 2.0).abs() < 1e-12);
     }
 
     #[test]

@@ -12,10 +12,13 @@
 
 use semnet::graph::RelationFilter;
 use semnet::{ConceptId, SemanticNetwork};
-use semsim::SparseVector;
+use semsim::{SimilarityCache, SparseVector};
 use xmltree::{NodeId, XmlTree};
 
-use crate::sphere::{compound_concept_context_vector, concept_context_vector, xml_context_vector};
+use crate::sphere::{
+    compound_concept_context_vector, concept_context_vector, concept_context_vector_cached,
+    xml_context_vector,
+};
 
 /// The XML-side context vector of a target node, reused across all of its
 /// candidate senses.
@@ -58,6 +61,23 @@ impl ContextVectorScorer {
     /// `Context_Score(s_p)` of Definition 10.
     pub fn score_single(&self, sn: &SemanticNetwork, candidate: ConceptId) -> f64 {
         let concept_vector = concept_context_vector(sn, candidate, self.radius, &self.filter);
+        self.measure.apply(&self.xml_vector, &concept_vector)
+    }
+
+    /// [`ContextVectorScorer::score_single`] with the candidate's concept
+    /// vector memoized through the cache's vector table (see
+    /// [`concept_context_vector_cached`]). The same sense recurs across
+    /// many targets and documents; its network-side sphere vector never
+    /// changes, so only the final vector comparison runs per call once the
+    /// table is warm.
+    pub fn score_single_cached<C: SimilarityCache + ?Sized>(
+        &self,
+        sn: &SemanticNetwork,
+        candidate: ConceptId,
+        cache: &C,
+    ) -> f64 {
+        let concept_vector =
+            concept_context_vector_cached(sn, candidate, self.radius, &self.filter, cache);
         self.measure.apply(&self.xml_vector, &concept_vector)
     }
 
@@ -169,6 +189,30 @@ mod tests {
             let s = scorer.score_single(sn, id("track.song"));
             assert!((0.0..=1.0).contains(&s), "{measure:?}: {s}");
         }
+    }
+
+    #[test]
+    fn cached_scoring_matches_uncached() {
+        let t = tree(
+            "<films><picture><cast><star>Stewart</star><star>Kelly</star></cast><plot/></picture></films>",
+        );
+        let sn = mini_wordnet();
+        let cache = semsim::LocalCache::new();
+        for measure in [
+            crate::config::VectorSimilarity::Cosine,
+            crate::config::VectorSimilarity::Jaccard,
+            crate::config::VectorSimilarity::Pearson,
+        ] {
+            let scorer = ContextVectorScorer::build(&t, find(&t, "cast"), 2).with_measure(measure);
+            for key in ["cast.actors", "cast.mold", "star.performer"] {
+                let plain = scorer.score_single(sn, id(key));
+                let cold = scorer.score_single_cached(sn, id(key), &cache);
+                let warm = scorer.score_single_cached(sn, id(key), &cache);
+                assert_eq!(plain, cold, "{measure:?} {key}");
+                assert_eq!(plain, warm, "{measure:?} {key}");
+            }
+        }
+        assert_eq!(cache.vectors_len(), 3);
     }
 
     #[test]

@@ -304,7 +304,7 @@ impl<'sn> Xsdf<'sn> {
                 .map_or(0.0, |ctx| ctx.score_single(self.sn, sim, s));
             let x = context_scorer
                 .as_ref()
-                .map_or(0.0, |cs| cs.score_single(self.sn, s));
+                .map_or(0.0, |cs| cs.score_single_cached(self.sn, s, sim.cache()));
             w_concept * c + w_context * x
         };
         let combined_pair = |a: ConceptId, b: ConceptId| -> f64 {

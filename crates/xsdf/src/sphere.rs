@@ -22,9 +22,11 @@
 //! structural edges, and every lemma of a concept contributing to its
 //! dimension (concept labels are linguistically pre-processed, footnote 9).
 
+use std::sync::Arc;
+
 use semnet::graph::{concept_sphere, RelationFilter};
 use semnet::{ConceptId, SemanticNetwork};
-use semsim::SparseVector;
+use semsim::{SimilarityCache, SparseVector, VectorKey};
 use xmltree::distance::{sphere, weighted_sphere, DistancePolicy};
 use xmltree::{NodeId, XmlTree};
 
@@ -123,6 +125,32 @@ pub fn concept_context_vector(
     for (c, dist) in concepts {
         add_concept(c, dist);
     }
+    v
+}
+
+/// [`concept_context_vector`] memoized through a [`SimilarityCache`]'s
+/// vector table: the vector of a candidate sense is a pure function of
+/// `(concept, radius, filter)` over the immutable network, so it is cached
+/// under that key ([`VectorKey`], with the filter reduced to its
+/// [`RelationFilter::fingerprint`]) and shared across targets, documents,
+/// workers and runs.
+///
+/// Caches that don't implement a vector table (the trait's default) simply
+/// always miss, and this degrades to [`concept_context_vector`] plus an
+/// `Arc` allocation.
+pub fn concept_context_vector_cached<C: SimilarityCache + ?Sized>(
+    sn: &SemanticNetwork,
+    center: ConceptId,
+    radius: u32,
+    filter: &RelationFilter,
+    cache: &C,
+) -> Arc<SparseVector> {
+    let key: VectorKey = (center, radius, filter.fingerprint());
+    if let Some(v) = cache.lookup_vector(key) {
+        return v;
+    }
+    let v = Arc::new(concept_context_vector(sn, center, radius, filter));
+    cache.store_vector(key, Arc::clone(&v));
     v
 }
 
@@ -310,6 +338,27 @@ mod tests {
         let v1 = concept_context_vector(sn, cast, 1, &RelationFilter::All);
         let v2 = concept_context_vector(sn, cast, 2, &RelationFilter::All);
         assert!(v2.len() >= v1.len());
+    }
+
+    #[test]
+    fn cached_concept_vector_matches_uncached() {
+        let sn = mini_wordnet();
+        let cache = semsim::LocalCache::new();
+        let star = sn.by_key("star.performer").unwrap();
+        let fresh = concept_context_vector(sn, star, 2, &RelationFilter::All);
+        let first = concept_context_vector_cached(sn, star, 2, &RelationFilter::All, &cache);
+        assert_eq!(cache.vectors_len(), 1);
+        let second = concept_context_vector_cached(sn, star, 2, &RelationFilter::All, &cache);
+        // Second call is served from the table — same allocation.
+        assert!(Arc::ptr_eq(&first, &second));
+        for (label, w) in fresh.iter() {
+            assert_eq!(first.get(label), w, "{label}");
+        }
+        assert_eq!(first.len(), fresh.len());
+        // Different radius is a different entry.
+        let r1 = concept_context_vector_cached(sn, star, 1, &RelationFilter::All, &cache);
+        assert!(!Arc::ptr_eq(&first, &r1));
+        assert_eq!(cache.vectors_len(), 2);
     }
 
     #[test]
