@@ -117,6 +117,17 @@ fn main() {
     });
     eprintln!("  runtime_{cores}_threads (warm) {warm_ms:10.3} ms");
 
+    // Per-document latency distribution: one instrumented cold 1-thread
+    // run, read off the engine's always-on latency histograms.
+    let latency_report = BatchEngine::new(sn, XsdfConfig::default())
+        .threads(1)
+        .run(&docs);
+    let doc_hist = &latency_report.metrics.latency.doc;
+    let doc_p50_ms = doc_hist.p50().as_secs_f64() * 1e3;
+    let doc_p99_ms = doc_hist.p99().as_secs_f64() * 1e3;
+    eprintln!("  per-doc cold p50        {doc_p50_ms:10.3} ms");
+    eprintln!("  per-doc cold p99        {doc_p99_ms:10.3} ms");
+
     let fields: Vec<(&str, String)> = vec![
         ("bench", "\"batch_32_docs\"".to_string()),
         (
@@ -134,6 +145,8 @@ fn main() {
         ("after_cold_1_thread_ms", json_f64(cold_1_thread_ms)),
         ("after_cold_n_threads_ms", json_f64(cold_n_threads_ms)),
         ("after_warm_ms", json_f64(warm_ms)),
+        ("doc_latency_p50_ms", json_f64(doc_p50_ms)),
+        ("doc_latency_p99_ms", json_f64(doc_p99_ms)),
         ("speedup_serial", json_f64(BEFORE_SERIAL_MS / serial_ms)),
         (
             "speedup_cold_1_thread",

@@ -60,18 +60,28 @@ fn flush(tokens: &mut Vec<String>, current: &mut String) {
 /// apostrophe, lowercases, and drops possessive `'s` suffixes and empty
 /// tokens. Hyphenated words are split (`wheelchair-bound` → two tokens).
 ///
+/// Typographic apostrophes — the right single quotation mark U+2019 and
+/// the modifier letter apostrophe U+02BC — are treated exactly like the
+/// ASCII `'`, so `photographer’s` is one possessive token, not a word
+/// plus an orphan `s` polluting the context vector.
+///
 /// ```
 /// use xsdf_lingproc::tokenize_text;
 /// assert_eq!(
 ///     tokenize_text("A wheelchair-bound photographer's camera."),
 ///     vec!["a", "wheelchair", "bound", "photographer", "camera"],
 /// );
+/// assert_eq!(tokenize_text("photographer’s"), vec!["photographer"]);
 /// ```
 pub fn tokenize_text(text: &str) -> Vec<String> {
     let mut tokens = Vec::new();
     let mut current = String::new();
     for c in text.chars() {
-        if c.is_alphanumeric() || c == '\'' {
+        if is_apostrophe(c) {
+            // Normalize every apostrophe variant to ASCII so the
+            // possessive stripping below sees one spelling.
+            current.push('\'');
+        } else if c.is_alphanumeric() {
             current.extend(c.to_lowercase());
         } else {
             push_text_token(&mut tokens, &mut current);
@@ -79,6 +89,13 @@ pub fn tokenize_text(text: &str) -> Vec<String> {
     }
     push_text_token(&mut tokens, &mut current);
     tokens
+}
+
+/// The apostrophe characters treated as intra-word: ASCII `'`, the
+/// typographic right single quotation mark, and the modifier letter
+/// apostrophe.
+fn is_apostrophe(c: char) -> bool {
+    matches!(c, '\'' | '\u{2019}' | '\u{02BC}')
 }
 
 fn push_text_token(tokens: &mut Vec<String>, current: &mut String) {
@@ -179,6 +196,48 @@ mod tests {
     fn text_possessives() {
         assert_eq!(tokenize_text("Hitchcock's movies"), ["hitchcock", "movies"]);
         assert_eq!(tokenize_text("don't"), ["dont"]);
+    }
+
+    #[test]
+    fn typographic_apostrophes_match_ascii() {
+        // U+2019 (right single quotation mark) — the common typographic
+        // possessive. Before the fix this split into "photographer" + "s".
+        assert_eq!(tokenize_text("photographer\u{2019}s"), ["photographer"]);
+        // U+02BC (modifier letter apostrophe).
+        assert_eq!(tokenize_text("photographer\u{02BC}s"), ["photographer"]);
+        // All three spellings tokenize identically.
+        for apostrophe in ["'", "\u{2019}", "\u{02BC}"] {
+            assert_eq!(
+                tokenize_text(&format!("Hitchcock{apostrophe}s movies")),
+                ["hitchcock", "movies"]
+            );
+            assert_eq!(tokenize_text(&format!("don{apostrophe}t")), ["dont"]);
+        }
+    }
+
+    #[test]
+    fn doubled_and_trailing_quotes_leave_no_orphans() {
+        // Trailing plural possessive: the bare apostrophe is dropped.
+        assert_eq!(
+            tokenize_text("the stars\u{2019} camera"),
+            ["the", "stars", "camera"]
+        );
+        assert_eq!(
+            tokenize_text("the stars' camera"),
+            ["the", "stars", "camera"]
+        );
+        // Quote-wrapped words: no empty or orphan tokens appear.
+        assert_eq!(
+            tokenize_text("\u{2019}\u{2019}quoted\u{2019}\u{2019}"),
+            ["quoted"]
+        );
+        assert_eq!(tokenize_text("''quoted''"), ["quoted"]);
+        assert_eq!(
+            tokenize_text("rock \u{2019}n\u{2019} roll"),
+            ["rock", "n", "roll"]
+        );
+        // Apostrophes alone produce nothing at all.
+        assert!(tokenize_text("'' \u{2019}\u{2019} \u{02BC}").is_empty());
     }
 
     #[test]

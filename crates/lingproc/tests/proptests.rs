@@ -3,6 +3,37 @@
 use proptest::prelude::*;
 use xsdf_lingproc::{is_stop_word, porter_stem, split_identifier, tokenize_text, Preprocessor};
 
+/// An independent model of the tokenizer as it behaved before Unicode
+/// apostrophes were recognized: split on anything that is not alphanumeric
+/// or ASCII `'`, lowercase, strip a possessive `'s`, drop remaining
+/// apostrophes and empties. On ASCII input the production tokenizer must
+/// agree with this model exactly.
+fn ascii_reference_tokenize(text: &str) -> Vec<String> {
+    fn flush(tokens: &mut Vec<String>, current: &mut String) {
+        let mut tok = std::mem::take(current);
+        if let Some(stripped) = tok.strip_suffix("'s") {
+            tok = stripped.to_string();
+        }
+        let tok: String = tok.chars().filter(|&c| c != '\'').collect();
+        if !tok.is_empty() {
+            tokens.push(tok);
+        }
+    }
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    for c in text.chars() {
+        if c == '\'' {
+            current.push(c);
+        } else if c.is_alphanumeric() {
+            current.extend(c.to_lowercase());
+        } else {
+            flush(&mut tokens, &mut current);
+        }
+    }
+    flush(&mut tokens, &mut current);
+    tokens
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
@@ -62,6 +93,37 @@ proptest! {
             prop_assert!(!tok.is_empty());
             prop_assert!(!tok.chars().any(char::is_whitespace));
             prop_assert_eq!(tok.to_lowercase(), tok.clone());
+        }
+    }
+
+    /// ASCII-only inputs tokenize exactly as a reference model of the
+    /// pre-Unicode-apostrophe tokenizer: the U+2019/U+02BC fix must be
+    /// byte-invisible to ASCII corpora.
+    #[test]
+    fn ascii_tokenization_matches_reference_model(text in "[ -~]{0,120}") {
+        prop_assert_eq!(tokenize_text(&text), ascii_reference_tokenize(&text));
+    }
+
+    /// Every apostrophe spelling — ASCII ', U+2019 ’, U+02BC ʼ — tokenizes
+    /// identically: possessives strip, contractions merge, no orphan "s".
+    #[test]
+    fn apostrophe_variants_are_interchangeable(
+        words in prop::collection::vec("[a-z]{1,10}('s)? ?", 0..8),
+    ) {
+        let ascii = words.concat();
+        let typographic = ascii.replace('\'', "\u{2019}");
+        let modifier = ascii.replace('\'', "\u{02BC}");
+        let reference = tokenize_text(&ascii);
+        prop_assert_eq!(&tokenize_text(&typographic), &reference);
+        prop_assert_eq!(&tokenize_text(&modifier), &reference);
+    }
+
+    /// Apostrophe runs never leave empty or orphan tokens behind.
+    #[test]
+    fn apostrophe_runs_leave_no_empty_tokens(text in "['’ʼa-z ]{0,60}") {
+        for tok in tokenize_text(&text) {
+            prop_assert!(!tok.is_empty());
+            prop_assert!(tok.chars().any(|c| c.is_alphanumeric()), "token {tok:?} is all apostrophes");
         }
     }
 

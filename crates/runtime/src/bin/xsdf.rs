@@ -6,6 +6,7 @@
 //!                           [--threshold auto|<float>] [--network kb.sn]
 //!                           [--structure-only] [--quiet]
 //! xsdf batch        a.xml b.xml ... [--threads N] [--metrics out.json]
+//!                   [--trace out.json] [--trace-jsonl out.jsonl] [--slow-ms N]
 //! xsdf ambiguity    doc.xml [--network kb.sn]       # Amb_Deg per node
 //! xsdf network      [--export kb.sn]                # MiniWordNet stats/export
 //! xsdf senses       <word> [--network kb.sn]        # sense inventory of a word
@@ -75,7 +76,12 @@ RESOURCE OPTIONS (disambiguate + batch):
 
 BATCH OPTIONS:
     --threads <N>         worker threads (0 = all cores)        [default: 0]
-    --metrics <file>      write run metrics as JSON
+    --metrics <file>      write run metrics as JSON (incl. per-stage latency percentiles)
+    --trace <file>        write per-document spans in Chrome trace-event format
+                          (load in Perfetto or chrome://tracing; one track per worker)
+    --trace-jsonl <file>  write per-document spans as JSON Lines (one object per doc)
+    --slow-ms <N>         report documents slower than N ms on stderr with their
+                          stage breakdown and most-missed cache concepts
     --annotate            print each document's annotated XML to stdout
     --keep-going          process every document despite failures [default]
     --fail-fast           stop scheduling documents after the first failure
@@ -282,10 +288,20 @@ fn cmd_batch(args: &[String]) -> Result<ExitCode, String> {
         .collect::<Result<_, _>>()?;
     let docs: Vec<&str> = sources.iter().map(String::as_str).collect();
 
+    let slow_ms: Option<u64> = match flags.value("--slow-ms") {
+        None => None,
+        Some(n) => Some(
+            n.parse()
+                .map_err(|_| format!("bad --slow-ms value {n:?}"))?,
+        ),
+    };
+    let tracing = flags.has("--trace") || flags.has("--trace-jsonl") || slow_ms.is_some();
+
     let mut engine = BatchEngine::new(network.get(), config)
         .threads(threads)
         .limits(limits)
-        .fail_fast(flags.has("--fail-fast"));
+        .fail_fast(flags.has("--fail-fast"))
+        .tracing(tracing);
     if let Some(d) = deadline {
         engine = engine.deadline(d);
     }
@@ -333,6 +349,19 @@ fn cmd_batch(args: &[String]) -> Result<ExitCode, String> {
     if let Some(path) = flags.value("--metrics") {
         std::fs::write(path, m.to_json()).map_err(|e| format!("cannot write {path}: {e}"))?;
     }
+    if let Some(trace) = &report.trace {
+        if let Some(path) = flags.value("--trace") {
+            std::fs::write(path, trace.to_chrome_trace())
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+        }
+        if let Some(path) = flags.value("--trace-jsonl") {
+            std::fs::write(path, trace.to_jsonl())
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+        }
+        if let Some(ms) = slow_ms {
+            print_slow_docs(trace, &files, Duration::from_millis(ms));
+        }
+    }
     if failures == docs.len() {
         return Err(format!("all {failures} document(s) failed"));
     }
@@ -341,6 +370,53 @@ fn cmd_batch(args: &[String]) -> Result<ExitCode, String> {
         return Ok(ExitCode::from(EXIT_PARTIAL));
     }
     Ok(ExitCode::SUCCESS)
+}
+
+/// Reports every document at or over the slow threshold on stderr:
+/// the file, its end-to-end time, the per-stage breakdown, and the
+/// concepts whose cache misses cost it most.
+fn print_slow_docs(trace: &runtime::Trace, files: &[&str], threshold: Duration) {
+    let slow = trace.slow_docs(threshold);
+    if slow.is_empty() {
+        eprintln!(
+            "no documents at or over {:.1} ms",
+            threshold.as_secs_f64() * 1e3
+        );
+        return;
+    }
+    eprintln!(
+        "{} slow document(s) (>= {:.1} ms):",
+        slow.len(),
+        threshold.as_secs_f64() * 1e3
+    );
+    for span in slow {
+        let path = files.get(span.doc).copied().unwrap_or("?");
+        eprintln!(
+            "  {path}: {:.2} ms total ({}, {} bytes, {} nodes, {} sense pairs, \
+             cache {} hits / {} misses)",
+            span.duration().as_secs_f64() * 1e3,
+            span.outcome,
+            span.bytes,
+            span.nodes,
+            span.sense_pairs,
+            span.cache_hits,
+            span.cache_misses,
+        );
+        for (name, stage) in span.stages() {
+            eprintln!(
+                "    {name:13} {:>9.2} ms",
+                stage.duration.as_secs_f64() * 1e3
+            );
+        }
+        if !span.top_miss_concepts.is_empty() {
+            let list: Vec<String> = span
+                .top_miss_concepts
+                .iter()
+                .map(|(key, n)| format!("{key} ({n})"))
+                .collect();
+            eprintln!("    top cache-miss concepts: {}", list.join(", "));
+        }
+    }
 }
 
 fn cmd_ambiguity(args: &[String]) -> Result<ExitCode, String> {

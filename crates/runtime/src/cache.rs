@@ -13,7 +13,7 @@
 //! pair), and the stored `Arc<SparseVector>` values make hits clone-free.
 
 use semsim::{PairKey, SimilarityCache, SparseVector, VectorKey};
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
@@ -223,6 +223,10 @@ pub struct TallyCache {
     misses: Cell<u64>,
     vector_hits: Cell<u64>,
     vector_misses: Cell<u64>,
+    /// When tracing wants per-document miss attribution, the keys of
+    /// every missed pair lookup since [`TallyCache::begin_miss_recording`].
+    /// `None` (the default) records nothing and costs one branch per miss.
+    miss_log: RefCell<Option<Vec<PairKey>>>,
 }
 
 impl TallyCache {
@@ -234,7 +238,22 @@ impl TallyCache {
             misses: Cell::new(0),
             vector_hits: Cell::new(0),
             vector_misses: Cell::new(0),
+            miss_log: RefCell::new(None),
         }
+    }
+
+    /// Starts (or restarts) recording the keys of missed pair lookups.
+    /// The batch executor calls this per document when tracing, then
+    /// drains with [`TallyCache::take_missed_pairs`], giving exact
+    /// per-document miss attribution.
+    pub fn begin_miss_recording(&self) {
+        *self.miss_log.borrow_mut() = Some(Vec::new());
+    }
+
+    /// Stops miss recording and returns the missed pair keys since
+    /// [`TallyCache::begin_miss_recording`] (empty if never started).
+    pub fn take_missed_pairs(&self) -> Vec<PairKey> {
+        self.miss_log.borrow_mut().take().unwrap_or_default()
     }
 
     /// Lookups through this tally that hit.
@@ -263,7 +282,12 @@ impl SimilarityCache for TallyCache {
         let found = self.shared.lookup(key);
         match found {
             Some(_) => self.hits.set(self.hits.get() + 1),
-            None => self.misses.set(self.misses.get() + 1),
+            None => {
+                self.misses.set(self.misses.get() + 1);
+                if let Some(log) = self.miss_log.borrow_mut().as_mut() {
+                    log.push(key);
+                }
+            }
         }
         found
     }
@@ -430,6 +454,30 @@ mod tests {
         assert_eq!((second.vector_hits(), second.vector_misses()), (1, 0));
         assert_eq!((shared.vector_hits(), shared.vector_misses()), (2, 1));
         assert_eq!(second.vectors_len(), 1);
+    }
+
+    #[test]
+    fn miss_recording_captures_missed_keys_only_while_enabled() {
+        let sn = mini_wordnet();
+        let shared = Arc::new(SharedCache::new());
+        let tally = TallyCache::new(Arc::clone(&shared));
+        let (a, b) = (
+            sn.by_key("cast.actors").unwrap(),
+            sn.by_key("star.performer").unwrap(),
+        );
+        let key = pair_key(a, b);
+        // Disabled by default: misses are counted but not logged.
+        assert_eq!(tally.lookup(key), None);
+        assert!(tally.take_missed_pairs().is_empty());
+        tally.begin_miss_recording();
+        assert_eq!(tally.lookup(key), None);
+        tally.store(key, 0.5);
+        assert_eq!(tally.lookup(key), Some(0.5), "hits are not logged");
+        assert_eq!(tally.take_missed_pairs(), vec![key]);
+        // Draining stops recording again.
+        let (c,) = (sn.by_key("film.movie").unwrap(),);
+        assert_eq!(tally.lookup(pair_key(a, c)), None);
+        assert!(tally.take_missed_pairs().is_empty());
     }
 
     #[test]

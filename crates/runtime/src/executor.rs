@@ -18,6 +18,7 @@
 //! deadline overruns ([`BatchEngine::deadline`]) surface the same way as
 //! [`XsdfError::LimitExceeded`] / [`XsdfError::DeadlineExceeded`].
 
+use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;
@@ -25,7 +26,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use semnet::SemanticNetwork;
-use semsim::{CombinedSimilarity, SimilarityCache};
+use semsim::{CombinedSimilarity, PairKey, SimilarityCache};
 use xsdf::guard::Deadline;
 use xsdf::{DisambiguationResult, Xsdf, XsdfConfig};
 
@@ -33,12 +34,15 @@ use crate::cache::{SharedCache, TallyCache};
 use crate::error::XsdfError;
 use crate::fault;
 use crate::limits::ResourceLimits;
-use crate::metrics::{FailureCounts, MetricsSnapshot, StageTimings};
+use crate::metrics::{FailureCounts, MetricsSnapshot, StageLatency, StageTimings};
+use crate::trace::{DocSpan, StageSpan, Trace, TOP_MISS_CONCEPTS};
 
 /// Per-worker accumulator, merged into the batch metrics at the end.
 #[derive(Default)]
 struct WorkerStats {
     stages: StageTimings,
+    latency: StageLatency,
+    spans: Vec<DocSpan>,
     nodes: usize,
     targets: usize,
     assigned: usize,
@@ -51,8 +55,10 @@ struct WorkerStats {
 }
 
 impl WorkerStats {
-    fn merge(&mut self, other: &WorkerStats) {
+    fn merge(&mut self, other: &mut WorkerStats) {
         self.stages.merge(&other.stages);
+        self.latency.merge(&other.latency);
+        self.spans.append(&mut other.spans);
         self.nodes += other.nodes;
         self.targets += other.targets;
         self.assigned += other.assigned;
@@ -75,6 +81,18 @@ impl WorkerStats {
     }
 }
 
+/// What a worker observed about the document it is currently running,
+/// written progressively so the trace span is as complete as possible even
+/// when a stage errors or panics partway through.
+#[derive(Default)]
+struct DocMarks {
+    stages: [Option<StageSpan>; 4],
+    nodes: usize,
+    targets: usize,
+    assigned: usize,
+    sense_pairs: u64,
+}
+
 /// The outcome of one batch run: per-document results in input order plus
 /// a metrics snapshot.
 #[derive(Debug)]
@@ -86,6 +104,9 @@ pub struct BatchReport {
     /// Timings, throughput, failure counts, and cache accounting for this
     /// run.
     pub metrics: MetricsSnapshot,
+    /// Per-document spans, present when [`BatchEngine::tracing`] is on.
+    /// Sorted by input index regardless of worker scheduling.
+    pub trace: Option<Trace>,
 }
 
 /// A reusable parallel batch-disambiguation engine with panic isolation,
@@ -110,6 +131,7 @@ pub struct BatchEngine<'sn> {
     limits: ResourceLimits,
     deadline: Option<Duration>,
     fail_fast: bool,
+    tracing: bool,
 }
 
 impl<'sn> BatchEngine<'sn> {
@@ -124,6 +146,7 @@ impl<'sn> BatchEngine<'sn> {
             limits: ResourceLimits::unlimited(),
             deadline: None,
             fail_fast: false,
+            tracing: false,
         }
     }
 
@@ -162,6 +185,17 @@ impl<'sn> BatchEngine<'sn> {
         self
     }
 
+    /// Enables per-document span collection: the report's
+    /// [`BatchReport::trace`] becomes `Some`, with one [`DocSpan`] per
+    /// attempted document (stage timings, cache delta, most-missed
+    /// concepts). Latency histograms are always on; tracing adds only the
+    /// span records and per-document cache-miss key capture. Results are
+    /// byte-identical with tracing on or off. Default off.
+    pub fn tracing(mut self, tracing: bool) -> Self {
+        self.tracing = tracing;
+        self
+    }
+
     /// The shared similarity cache. It outlives individual runs: a second
     /// [`BatchEngine::run`] starts warm.
     pub fn cache(&self) -> &Arc<SharedCache> {
@@ -192,11 +226,11 @@ impl<'sn> BatchEngine<'sn> {
         if threads <= 1 {
             let sim = self.worker_measure();
             let mut stats = WorkerStats::default();
-            for (slot, xml) in slots.iter_mut().zip(docs) {
+            for (i, (slot, xml)) in slots.iter_mut().zip(docs).enumerate() {
                 if self.fail_fast && cancelled.load(Ordering::Relaxed) {
                     break;
                 }
-                *slot = Some(self.run_one(xml, &sim, &mut stats, &cancelled));
+                *slot = Some(self.run_one(i, 0, xml, started, &sim, &mut stats, &cancelled));
             }
             stats.collect_cache(&sim);
             totals = stats;
@@ -205,7 +239,7 @@ impl<'sn> BatchEngine<'sn> {
             let (result_tx, result_rx) = mpsc::channel();
             let (stats_tx, stats_rx) = mpsc::channel();
             std::thread::scope(|scope| {
-                for _ in 0..threads {
+                for worker in 0..threads {
                     let result_tx = result_tx.clone();
                     let stats_tx = stats_tx.clone();
                     let next = &next;
@@ -221,7 +255,8 @@ impl<'sn> BatchEngine<'sn> {
                             if i >= docs.len() {
                                 break;
                             }
-                            let outcome = self.run_one(docs[i], &sim, &mut stats, cancelled);
+                            let outcome = self
+                                .run_one(i, worker, docs[i], started, &sim, &mut stats, cancelled);
                             if result_tx.send((i, outcome)).is_err() {
                                 // The collector is gone (it panicked or was
                                 // dropped early). Nobody can use further
@@ -242,8 +277,8 @@ impl<'sn> BatchEngine<'sn> {
                 for (i, outcome) in result_rx {
                     slots[i] = Some(outcome);
                 }
-                for stats in stats_rx {
-                    totals.merge(&stats);
+                for mut stats in stats_rx {
+                    totals.merge(&mut stats);
                 }
             });
         }
@@ -256,6 +291,16 @@ impl<'sn> BatchEngine<'sn> {
                 Err(XsdfError::Cancelled)
             }));
         }
+        // The span streams arrive in whatever order workers drained the
+        // queue; sorting by input index makes the merged trace
+        // deterministic for a given batch and thread count.
+        let trace = if self.tracing {
+            let mut spans = std::mem::take(&mut totals.spans);
+            spans.sort_by_key(|s| s.doc);
+            Some(Trace { spans, threads })
+        } else {
+            None
+        };
         let metrics = MetricsSnapshot {
             threads,
             documents: docs.len(),
@@ -265,6 +310,7 @@ impl<'sn> BatchEngine<'sn> {
             targets: totals.targets,
             assigned: totals.assigned,
             stages: totals.stages,
+            latency: totals.latency,
             wall_clock: started.elapsed(),
             cache_hits: totals.cache_hits,
             cache_misses: totals.cache_misses,
@@ -274,7 +320,11 @@ impl<'sn> BatchEngine<'sn> {
             vectors_reused: totals.vectors_reused,
             vector_entries: self.cache.vectors_len(),
         };
-        BatchReport { results, metrics }
+        BatchReport {
+            results,
+            metrics,
+            trace,
+        }
     }
 
     /// Disambiguates a single document under the engine's limits and
@@ -284,7 +334,7 @@ impl<'sn> BatchEngine<'sn> {
         let sim = self.worker_measure();
         let mut stats = WorkerStats::default();
         let cancelled = AtomicBool::new(false);
-        self.run_one(xml, &sim, &mut stats, &cancelled)
+        self.run_one(0, 0, xml, Instant::now(), &sim, &mut stats, &cancelled)
     }
 
     fn worker_measure(&self) -> CombinedSimilarity<TallyCache> {
@@ -297,45 +347,100 @@ impl<'sn> BatchEngine<'sn> {
     /// Runs one document with the panic boundary: a panic anywhere in the
     /// pipeline (or an injected failpoint panic) is caught here and
     /// becomes a per-document [`XsdfError::Panicked`]. Also records the
-    /// failure kind and, in fail-fast mode, raises the cancellation flag.
+    /// failure kind, the end-to-end latency, the trace span when tracing
+    /// is on, and, in fail-fast mode, raises the cancellation flag.
+    #[allow(clippy::too_many_arguments)]
     fn run_one(
         &self,
+        doc: usize,
+        worker: usize,
         xml: &str,
+        epoch: Instant,
         sim: &CombinedSimilarity<TallyCache>,
         stats: &mut WorkerStats,
         cancelled: &AtomicBool,
     ) -> Result<DisambiguationResult, XsdfError> {
-        // AssertUnwindSafe: `stats` and the tally cache are only ever
-        // advanced by whole, already-completed increments (Cell sets,
+        let start = epoch.elapsed();
+        let (hits_before, misses_before) = (sim.cache().hits(), sim.cache().misses());
+        if self.tracing {
+            sim.cache().begin_miss_recording();
+        }
+        let mut marks = DocMarks::default();
+        // AssertUnwindSafe: `stats`, `marks`, and the tally cache are only
+        // ever advanced by whole, already-completed increments (Cell sets,
         // Duration additions), and a torn shared-cache shard is audited in
         // `SharedCache` (poison recovery over idempotent pure scores) — so
         // observing them after an unwind cannot expose a broken invariant.
-        let outcome = match catch_unwind(AssertUnwindSafe(|| self.process_one(xml, sim, stats))) {
+        let outcome = match catch_unwind(AssertUnwindSafe(|| {
+            self.process_one(xml, epoch, sim, stats, &mut marks)
+        })) {
             Ok(outcome) => outcome,
             Err(payload) => Err(XsdfError::Panicked {
                 message: panic_message(payload),
             }),
         };
+        let end = epoch.elapsed();
+        stats.latency.doc.record(end.saturating_sub(start));
         if let Err(e) = &outcome {
             stats.failures.record(e);
             if self.fail_fast {
                 cancelled.store(true, Ordering::Relaxed);
             }
         }
+        if self.tracing {
+            let missed = sim.cache().take_missed_pairs();
+            stats.spans.push(DocSpan {
+                doc,
+                worker,
+                start,
+                end,
+                bytes: xml.len(),
+                outcome: match &outcome {
+                    Ok(_) => "ok",
+                    Err(e) => e.kind(),
+                },
+                error: outcome.as_ref().err().map(|e| e.to_string()),
+                nodes: marks.nodes,
+                targets: marks.targets,
+                assigned: marks.assigned,
+                sense_pairs: marks.sense_pairs,
+                cache_hits: sim.cache().hits() - hits_before,
+                cache_misses: sim.cache().misses() - misses_before,
+                stages: marks.stages,
+                top_miss_concepts: top_miss_concepts(self.xsdf.network(), &missed),
+            });
+        }
         outcome
     }
 
     /// The four-stage pipeline for one document, with limit and deadline
     /// checks at every stage boundary (and, via the guard, inside the
-    /// scoring loop).
+    /// scoring loop). Wraps [`BatchEngine::process_stages`] so the guard's
+    /// sense-pair count lands in the marks on success *and* error exits
+    /// (a panic loses it — the guard unwinds with the stack).
     fn process_one(
         &self,
         xml: &str,
+        epoch: Instant,
         sim: &CombinedSimilarity<TallyCache>,
         stats: &mut WorkerStats,
+        marks: &mut DocMarks,
     ) -> Result<DisambiguationResult, XsdfError> {
         let guard = self.limits.guard(self.deadline.map(Deadline::after));
+        let outcome = self.process_stages(xml, epoch, sim, stats, marks, &guard);
+        marks.sense_pairs = guard.pairs_scored();
+        outcome
+    }
 
+    fn process_stages(
+        &self,
+        xml: &str,
+        epoch: Instant,
+        sim: &CombinedSimilarity<TallyCache>,
+        stats: &mut WorkerStats,
+        marks: &mut DocMarks,
+        guard: &xsdf::guard::Guard,
+    ) -> Result<DisambiguationResult, XsdfError> {
         fault::hit("parse", xml);
         if let Some(max) = self.limits.max_bytes {
             if xml.len() > max {
@@ -346,6 +451,7 @@ impl<'sn> BatchEngine<'sn> {
                 });
             }
         }
+        let stage_start = epoch.elapsed();
         let t = Instant::now();
         let parsed = {
             let mut parser = xmltree::parser::Parser::new(xml);
@@ -354,34 +460,85 @@ impl<'sn> BatchEngine<'sn> {
             }
             parser.parse_document()
         };
-        stats.stages.parse += t.elapsed();
+        let took = t.elapsed();
+        stats.stages.parse += took;
+        stats.latency.parse.record(took);
+        marks.stages[0] = Some(StageSpan {
+            start: stage_start,
+            duration: took,
+        });
         let doc = parsed?;
         guard.check_deadline()?;
 
         fault::hit("preprocess", xml);
+        let stage_start = epoch.elapsed();
         let t = Instant::now();
         let tree = self.xsdf.build_tree(&doc);
-        stats.stages.preprocess += t.elapsed();
+        let took = t.elapsed();
+        stats.stages.preprocess += took;
+        stats.latency.preprocess.record(took);
+        marks.stages[1] = Some(StageSpan {
+            start: stage_start,
+            duration: took,
+        });
+        marks.nodes = tree.len();
 
         fault::hit("select", xml);
+        let stage_start = epoch.elapsed();
         let t = Instant::now();
-        let selected = self.xsdf.select_guarded(&tree, &guard);
-        stats.stages.select += t.elapsed();
+        let selected = self.xsdf.select_guarded(&tree, guard);
+        let took = t.elapsed();
+        stats.stages.select += took;
+        stats.latency.select.record(took);
+        marks.stages[2] = Some(StageSpan {
+            start: stage_start,
+            duration: took,
+        });
         let ambiguities = selected?;
+        marks.targets = ambiguities.iter().filter(|a| a.selected).count();
 
         fault::hit("disambiguate", xml);
+        let stage_start = epoch.elapsed();
         let t = Instant::now();
         let scored = self
             .xsdf
-            .disambiguate_selected_guarded(&tree, &ambiguities, sim, &guard);
-        stats.stages.disambiguate += t.elapsed();
+            .disambiguate_selected_guarded(&tree, &ambiguities, sim, guard);
+        let took = t.elapsed();
+        stats.stages.disambiguate += took;
+        stats.latency.disambiguate.record(took);
+        marks.stages[3] = Some(StageSpan {
+            start: stage_start,
+            duration: took,
+        });
         let result = scored?;
+        marks.assigned = result.assigned_count();
 
         stats.nodes += tree.len();
-        stats.targets += ambiguities.iter().filter(|a| a.selected).count();
-        stats.assigned += result.assigned_count();
+        stats.targets += marks.targets;
+        stats.assigned += marks.assigned;
         Ok(result)
     }
+}
+
+/// Tallies how often each concept appears in a document's missed cache
+/// pairs and keeps the most frequent — the "what would warming help"
+/// signal for slow-document reports. Count descending, key ascending, at
+/// most [`TOP_MISS_CONCEPTS`] entries.
+fn top_miss_concepts(sn: &SemanticNetwork, missed: &[PairKey]) -> Vec<(String, u64)> {
+    let mut counts: HashMap<semnet::ConceptId, u64> = HashMap::new();
+    for &(_, a, b) in missed {
+        *counts.entry(a).or_insert(0) += 1;
+        if b != a {
+            *counts.entry(b).or_insert(0) += 1;
+        }
+    }
+    let mut items: Vec<(String, u64)> = counts
+        .into_iter()
+        .map(|(id, n)| (sn.concept(id).key.clone(), n))
+        .collect();
+    items.sort_by(|x, y| y.1.cmp(&x.1).then_with(|| x.0.cmp(&y.0)));
+    items.truncate(TOP_MISS_CONCEPTS);
+    items
 }
 
 /// Renders a caught panic payload: `&str` and `String` payloads (the

@@ -24,8 +24,15 @@
 //! * [`fault`] — cfg-gated fault-injection failpoints for chaos tests
 //!   (`failpoints` feature; zero-cost when disabled);
 //! * [`metrics`] — per-stage wall-clock timings, throughput, per-kind
-//!   failure counts, and cache hit/miss accounting ([`MetricsSnapshot`]),
-//!   dumpable as JSON.
+//!   failure counts, cache hit/miss accounting, and per-stage latency
+//!   percentiles ([`MetricsSnapshot`]), dumpable as JSON;
+//! * [`hist`] — the log-bucketed latency [`Histogram`] behind those
+//!   percentiles: HdrHistogram-style buckets, lock-free per-worker
+//!   recording, deterministic element-wise merge;
+//! * [`trace`] — per-document observability ([`Trace`], [`DocSpan`]):
+//!   stage spans against the batch epoch, cache deltas, most-missed
+//!   concepts, exported as JSON Lines or the Chrome trace-event format
+//!   (enable with [`BatchEngine::tracing`]).
 //!
 //! The engine's failure model is strict per-document isolation: a document
 //! that is malformed, too big, too slow, or that outright *panics* turns
@@ -53,11 +60,15 @@ pub mod cache;
 pub mod error;
 pub mod executor;
 pub mod fault;
+pub mod hist;
 pub mod limits;
 pub mod metrics;
+pub mod trace;
 
 pub use cache::{SharedCache, TallyCache};
 pub use error::XsdfError;
 pub use executor::{BatchEngine, BatchReport};
+pub use hist::Histogram;
 pub use limits::ResourceLimits;
-pub use metrics::{FailureCounts, MetricsSnapshot, StageTimings};
+pub use metrics::{FailureCounts, MetricsSnapshot, StageLatency, StageTimings};
+pub use trace::{DocSpan, StageSpan, Trace};

@@ -8,6 +8,7 @@
 use std::time::Duration;
 
 use crate::error::XsdfError;
+use crate::hist::Histogram;
 
 /// Per-kind failure tally for one batch run, mirroring the
 /// [`XsdfError`] taxonomy.
@@ -82,6 +83,49 @@ impl StageTimings {
     }
 }
 
+/// Per-document latency distributions, one histogram per pipeline stage
+/// plus the end-to-end (`doc`) distribution.
+///
+/// Where [`StageTimings`] sums stage time across the batch, these record
+/// each document's *individual* stage durations, so tail latency (p99, a
+/// single pathological document) is visible instead of averaged away.
+/// Failed documents contribute to the stages they completed and to `doc`;
+/// stages they never reached record nothing.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StageLatency {
+    /// Per-document XML parsing latency.
+    pub parse: Histogram,
+    /// Per-document tree building + linguistic pre-processing latency.
+    pub preprocess: Histogram,
+    /// Per-document target-selection latency.
+    pub select: Histogram,
+    /// Per-document scoring + sense-assignment latency.
+    pub disambiguate: Histogram,
+    /// Per-document end-to-end latency (pickup to completion).
+    pub doc: Histogram,
+}
+
+impl StageLatency {
+    /// The five distributions with their JSON/report names.
+    pub fn groups(&self) -> [(&'static str, &Histogram); 5] {
+        [
+            ("parse", &self.parse),
+            ("preprocess", &self.preprocess),
+            ("select", &self.select),
+            ("disambiguate", &self.disambiguate),
+            ("doc", &self.doc),
+        ]
+    }
+
+    pub(crate) fn merge(&mut self, other: &StageLatency) {
+        self.parse.merge(&other.parse);
+        self.preprocess.merge(&other.preprocess);
+        self.select.merge(&other.select);
+        self.disambiguate.merge(&other.disambiguate);
+        self.doc.merge(&other.doc);
+    }
+}
+
 /// A point-in-time view of one batch run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MetricsSnapshot {
@@ -102,6 +146,9 @@ pub struct MetricsSnapshot {
     pub assigned: usize,
     /// Per-stage timings (summed across workers).
     pub stages: StageTimings,
+    /// Per-document latency distributions (per stage and end-to-end),
+    /// merged across workers.
+    pub latency: StageLatency,
     /// End-to-end elapsed time of the batch.
     pub wall_clock: Duration,
     /// Similarity-cache lookups that hit.
@@ -122,12 +169,23 @@ pub struct MetricsSnapshot {
 }
 
 impl MetricsSnapshot {
-    /// Documents processed per wall-clock second.
+    /// *Successful* documents processed per wall-clock second — failed
+    /// documents are excluded from the numerator. The subtraction
+    /// saturates: `MetricsSnapshot` is a plain public struct, so an
+    /// externally constructed (or future merge-path) snapshot with
+    /// `failed_documents > documents` reports `0.0` instead of panicking
+    /// in debug builds or emitting a garbage rate in release.
     pub fn docs_per_sec(&self) -> f64 {
-        per_second(self.documents - self.failed_documents, self.wall_clock)
+        per_second(
+            self.documents.saturating_sub(self.failed_documents),
+            self.wall_clock,
+        )
     }
 
-    /// Tree nodes processed per wall-clock second.
+    /// Tree nodes processed per wall-clock second. Like
+    /// [`MetricsSnapshot::docs_per_sec`], this counts successes only:
+    /// [`MetricsSnapshot::nodes`] accumulates over successfully processed
+    /// documents.
     pub fn nodes_per_sec(&self) -> f64 {
         per_second(self.nodes, self.wall_clock)
     }
@@ -149,7 +207,9 @@ impl MetricsSnapshot {
     /// arithmetic.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
-        let fields: Vec<(&str, String)> = vec![
+        let mut fields: Vec<(String, String)> = Vec::new();
+        let mut field = |key: &str, value: String| fields.push((key.to_string(), value));
+        for (key, value) in [
             ("threads", self.threads.to_string()),
             ("documents", self.documents.to_string()),
             ("failed_documents", self.failed_documents.to_string()),
@@ -176,7 +236,16 @@ impl MetricsSnapshot {
             ("vectors_built", self.vectors_built.to_string()),
             ("vectors_reused", self.vectors_reused.to_string()),
             ("vector_entries", self.vector_entries.to_string()),
-        ];
+        ] {
+            field(key, value);
+        }
+        // Per-document latency percentiles, per stage and end-to-end.
+        for (name, hist) in self.latency.groups() {
+            field(&format!("{name}_p50_ms"), json_f64(ms(hist.p50())));
+            field(&format!("{name}_p90_ms"), json_f64(ms(hist.p90())));
+            field(&format!("{name}_p99_ms"), json_f64(ms(hist.p99())));
+            field(&format!("{name}_max_ms"), json_f64(ms(hist.max())));
+        }
         for (i, (key, value)) in fields.iter().enumerate() {
             out.push_str("  \"");
             out.push_str(key);
@@ -236,6 +305,14 @@ mod tests {
                 preprocess: Duration::from_millis(10),
                 select: Duration::from_millis(15),
                 disambiguate: Duration::from_millis(70),
+            },
+            latency: {
+                let mut latency = StageLatency::default();
+                for doc_ms in [1u64, 2, 3, 4, 30] {
+                    latency.doc.record(Duration::from_millis(doc_ms));
+                    latency.parse.record(Duration::from_micros(doc_ms * 10));
+                }
+                latency
             },
             wall_clock: Duration::from_millis(30),
             cache_hits: 75,
@@ -305,9 +382,32 @@ mod tests {
                 "missing {key} in {json}"
             );
         }
+        // Latency percentile keys: every stage and the end-to-end group.
+        for group in ["parse", "preprocess", "select", "disambiguate", "doc"] {
+            for stat in ["p50", "p90", "p99", "max"] {
+                let key = format!("\"{group}_{stat}_ms\":");
+                assert!(json.contains(&key), "missing {key} in {json}");
+            }
+        }
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"cache_hit_rate\": 0.75"));
         assert!(json.contains("\"failed_parse\": 1"));
+        // The doc histogram's exact max surfaces unapproximated.
+        assert!(json.contains("\"doc_max_ms\": 30.0"), "{json}");
+    }
+
+    #[test]
+    fn docs_per_sec_saturates_on_inconsistent_counts() {
+        // `MetricsSnapshot` is a plain public struct: nothing stops an
+        // external caller (or a future merge path) from building one with
+        // more failures than documents. The rate must degrade to 0, not
+        // panic in debug or report a huge garbage value in release.
+        let m = MetricsSnapshot {
+            documents: 2,
+            failed_documents: 5,
+            ..sample()
+        };
+        assert_eq!(m.docs_per_sec(), 0.0);
     }
 
     #[test]

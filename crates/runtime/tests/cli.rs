@@ -175,6 +175,70 @@ fn batch_processes_files_and_writes_metrics() {
 }
 
 #[test]
+fn batch_trace_flags_write_spans_and_report_slow_docs() {
+    let doc1 = write_temp(
+        "trace1.xml",
+        "<films><picture><cast><star>Kelly</star></cast></picture></films>",
+    );
+    let doc2 = write_temp("trace2.xml", "<cast><star>Stewart</star></cast>");
+    let pid = std::process::id();
+    let chrome = std::env::temp_dir().join(format!("xsdf-cli-trace-{pid}.json"));
+    let jsonl = std::env::temp_dir().join(format!("xsdf-cli-trace-{pid}.jsonl"));
+    let output = xsdf()
+        .arg("batch")
+        .arg(&doc1)
+        .arg(&doc2)
+        .args(["--threads", "2", "--slow-ms", "0", "--trace"])
+        .arg(&chrome)
+        .arg("--trace-jsonl")
+        .arg(&jsonl)
+        .output()
+        .unwrap();
+    assert!(
+        output.status.success(),
+        "{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let chrome_json = std::fs::read_to_string(&chrome).unwrap();
+    assert!(chrome_json.starts_with("{\"traceEvents\":["));
+    assert!(chrome_json.contains("\"worker-0\""));
+    assert!(chrome_json.contains("\"doc 0 (ok)\""));
+    assert!(chrome_json.contains("\"name\":\"disambiguate\""));
+    let jsonl_text = std::fs::read_to_string(&jsonl).unwrap();
+    assert_eq!(jsonl_text.lines().count(), 2);
+    assert!(jsonl_text.lines().all(|l| l.contains("\"outcome\":\"ok\"")));
+    // --slow-ms 0 reports every document with its stage breakdown.
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("slow document(s)"), "{stderr}");
+    assert!(stderr.contains("trace1.xml"), "{stderr}");
+    assert!(stderr.contains("disambiguate"), "{stderr}");
+    let _ = std::fs::remove_file(chrome);
+    let _ = std::fs::remove_file(jsonl);
+}
+
+#[test]
+fn batch_metrics_include_latency_percentiles() {
+    let doc = write_temp("lat.xml", "<cast><star>Kelly</star></cast>");
+    let metrics = std::env::temp_dir().join(format!("xsdf-cli-lat-{}.json", std::process::id()));
+    let output = xsdf()
+        .arg("batch")
+        .arg(&doc)
+        .args(["--threads", "1", "--metrics"])
+        .arg(&metrics)
+        .output()
+        .unwrap();
+    assert!(output.status.success());
+    let json = std::fs::read_to_string(&metrics).unwrap();
+    for group in ["parse", "preprocess", "select", "disambiguate", "doc"] {
+        for stat in ["p50", "p90", "p99", "max"] {
+            let key = format!("\"{group}_{stat}_ms\":");
+            assert!(json.contains(&key), "missing {key} in {json}");
+        }
+    }
+    let _ = std::fs::remove_file(metrics);
+}
+
+#[test]
 fn batch_output_is_thread_count_invariant() {
     let docs: Vec<_> = (0..6)
         .map(|i| {
