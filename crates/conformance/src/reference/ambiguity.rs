@@ -1,0 +1,176 @@
+//! Reference ambiguity measures (Section 3.3): Propositions 1–3,
+//! Definition 3, and target selection.
+//!
+//! All tree statistics (depth, density, their maxima) are recomputed from
+//! the raw parent/child structure on every call — nothing is read from
+//! the tree's precomputed fields.
+
+use semnet::SemanticNetwork;
+use xmltree::{NodeId, XmlTree};
+use xsdf::config::{AmbiguityWeights, ThresholdPolicy};
+
+use super::preprocess::{candidates_for_label, RefCandidates};
+
+/// Depth of a node in edges, by walking parents up to the root.
+pub fn depth(tree: &XmlTree, node: NodeId) -> u32 {
+    let mut d = 0;
+    let mut cur = node;
+    while let Some(p) = tree.parent(cur) {
+        d += 1;
+        cur = p;
+    }
+    d
+}
+
+/// Density of a node: the number of *distinct* child labels.
+pub fn density(tree: &XmlTree, node: NodeId) -> usize {
+    let mut labels: Vec<&str> = tree.children(node).iter().map(|&c| tree.label(c)).collect();
+    labels.sort_unstable();
+    labels.dedup();
+    labels.len()
+}
+
+/// The deepest node's depth, over the whole tree.
+pub fn max_depth(tree: &XmlTree) -> u32 {
+    tree.preorder().map(|n| depth(tree, n)).max().unwrap_or(0)
+}
+
+/// The densest node's density, over the whole tree.
+pub fn max_density(tree: &XmlTree) -> usize {
+    tree.preorder().map(|n| density(tree, n)).max().unwrap_or(0)
+}
+
+/// `Max(senses(SN))` recomputed from the concept table: the largest
+/// number of concepts any single lemma participates in.
+pub fn max_polysemy(sn: &SemanticNetwork) -> usize {
+    let mut lemmas: Vec<&str> = Vec::new();
+    for c in sn.all_concepts() {
+        for lemma in &sn.concept(c).lemmas {
+            lemmas.push(lemma);
+        }
+    }
+    lemmas
+        .iter()
+        .map(|lemma| sn.senses(lemma).len())
+        .max()
+        .unwrap_or(0)
+}
+
+/// Proposition 1: `Amb_Polysemy = (|senses| − 1) / (Max(senses) − 1)`.
+pub fn amb_polysemy(sense_count: usize, max_polysemy: usize) -> f64 {
+    if max_polysemy <= 1 || sense_count == 0 {
+        return 0.0;
+    }
+    (sense_count as f64 - 1.0) / (max_polysemy as f64 - 1.0)
+}
+
+/// Proposition 2: `Amb_Depth = 1 − depth/max_depth`.
+pub fn amb_depth(tree: &XmlTree, node: NodeId) -> f64 {
+    let max = max_depth(tree);
+    if max == 0 {
+        return 1.0;
+    }
+    1.0 - depth(tree, node) as f64 / max as f64
+}
+
+/// Proposition 3: `Amb_Density = 1 − density/max_density`.
+pub fn amb_density(tree: &XmlTree, node: NodeId) -> f64 {
+    let max = max_density(tree);
+    if max == 0 {
+        return 1.0;
+    }
+    1.0 - density(tree, node) as f64 / max as f64
+}
+
+/// Definition 3 for a known sense count.
+pub fn ambiguity_degree_raw(
+    sn: &SemanticNetwork,
+    tree: &XmlTree,
+    node: NodeId,
+    sense_count: usize,
+    w: AmbiguityWeights,
+) -> f64 {
+    let pol = amb_polysemy(sense_count, max_polysemy(sn));
+    let dep = amb_depth(tree, node);
+    let den = amb_density(tree, node);
+    let numerator = w.polysemy * pol;
+    let denominator = w.depth * (1.0 - dep) + w.density * (1.0 - den) + 1.0;
+    numerator / denominator
+}
+
+/// Definition 3, resolving the node label's senses; compounds average the
+/// two tokens' degrees (Section 3.3's special case).
+pub fn ambiguity_degree(
+    sn: &SemanticNetwork,
+    tree: &XmlTree,
+    node: NodeId,
+    w: AmbiguityWeights,
+) -> f64 {
+    match candidates_for_label(sn, tree.label(node)) {
+        RefCandidates::Unknown => 0.0,
+        RefCandidates::Single(senses) => ambiguity_degree_raw(sn, tree, node, senses.len(), w),
+        RefCandidates::Compound { first, second } => {
+            let a = ambiguity_degree_raw(sn, tree, node, first.len(), w);
+            let b = ambiguity_degree_raw(sn, tree, node, second.len(), w);
+            (a + b) / 2.0
+        }
+    }
+}
+
+/// One node's reference selection outcome.
+#[derive(Debug, Clone)]
+pub struct RefSelection {
+    /// The assessed node.
+    pub node: NodeId,
+    /// Its `Amb_Deg` value.
+    pub degree: f64,
+    /// Whether it meets the threshold (and has candidate senses at all).
+    pub selected: bool,
+}
+
+/// The threshold a policy resolves to over a tree (the `Auto` mean runs
+/// over nodes with at least one candidate sense).
+pub fn resolve_threshold(
+    sn: &SemanticNetwork,
+    tree: &XmlTree,
+    w: AmbiguityWeights,
+    policy: ThresholdPolicy,
+) -> f64 {
+    match policy {
+        ThresholdPolicy::Fixed(t) => t,
+        ThresholdPolicy::Auto => {
+            let eligible: Vec<f64> = tree
+                .preorder()
+                .filter(|&n| candidates_for_label(sn, tree.label(n)).candidate_count() > 0)
+                .map(|n| ambiguity_degree(sn, tree, n, w))
+                .collect();
+            if eligible.is_empty() {
+                0.0
+            } else {
+                eligible.iter().sum::<f64>() / eligible.len() as f64
+            }
+        }
+    }
+}
+
+/// Section 3.3 target selection: every node's degree, selected iff it has
+/// candidate senses and `Amb_Deg ≥ Thresh_Amb`.
+pub fn select_targets(
+    sn: &SemanticNetwork,
+    tree: &XmlTree,
+    w: AmbiguityWeights,
+    policy: ThresholdPolicy,
+) -> Vec<RefSelection> {
+    let threshold = resolve_threshold(sn, tree, w, policy);
+    tree.preorder()
+        .map(|node| {
+            let degree = ambiguity_degree(sn, tree, node, w);
+            let has_candidates = candidates_for_label(sn, tree.label(node)).candidate_count() > 0;
+            RefSelection {
+                node,
+                degree,
+                selected: has_candidates && degree >= threshold,
+            }
+        })
+        .collect()
+}

@@ -1,0 +1,13 @@
+//! Straight-from-the-paper reference implementations.
+//!
+//! Each submodule transcribes one section of the paper with no regard for
+//! speed: no caches, no interning, no precomputed artifacts, no scratch
+//! reuse. The differential tests in this crate compare these against the
+//! optimized implementations in `lingproc`, `xmltree`, `semnet`, `semsim`
+//! and `xsdf`.
+
+pub mod ambiguity;
+pub mod preprocess;
+pub mod scoring;
+pub mod similarity;
+pub mod sphere;

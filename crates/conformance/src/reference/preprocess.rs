@@ -1,0 +1,227 @@
+//! Reference linguistic pre-processing (Section 3.2) and sense-candidate
+//! resolution (Section 3.5 inputs).
+//!
+//! Transcribed from the paper's three-phase pipeline — tokenization,
+//! stop-word removal, conditional stemming — plus its compound-word
+//! policy: a multi-token tag name is first tried as one expression against
+//! the reference lexicon; only when no single concept matches are the
+//! tokens kept separate inside one node label, so one sense *pair* is
+//! eventually assigned (contrast with \[29, 56\]).
+//!
+//! Only the four linguistic primitives are borrowed from `lingproc`
+//! (`split_identifier`, `tokenize_text`, `is_stop_word`, `porter_stem`);
+//! every policy above them is re-derived here, including the
+//! WordNet-morphy-style plural detachment.
+
+use lingproc::{is_stop_word, porter_stem, split_identifier, tokenize_text};
+use semnet::{ConceptId, PartOfSpeech, SemanticNetwork};
+use xmltree::NodeKind;
+
+/// A processed tag-name label: one lookup token, or an unmatched
+/// two-token compound.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RefLabel {
+    /// Single token (or multi-word expression matching one concept).
+    Single(String),
+    /// Two content tokens with no single-concept match.
+    Compound(String, String),
+}
+
+impl RefLabel {
+    /// The display form used as the tree-node label.
+    pub fn display(&self) -> String {
+        match self {
+            Self::Single(t) => t.clone(),
+            Self::Compound(a, b) => format!("{a} {b}"),
+        }
+    }
+}
+
+/// WordNet-morphy noun detachment rules: `-ies → -y`, `-es → -`, `-s → -`.
+pub fn morphy_variants(token: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    if let Some(stem) = token.strip_suffix("ies") {
+        if !stem.is_empty() {
+            out.push(format!("{stem}y"));
+        }
+    }
+    if let Some(stem) = token.strip_suffix("es") {
+        if stem.len() > 1 {
+            out.push(stem.to_string());
+        }
+    }
+    if let Some(stem) = token.strip_suffix('s') {
+        if stem.len() > 1 && !stem.ends_with('s') {
+            out.push(stem.to_string());
+        }
+    }
+    out
+}
+
+/// Conditional stemming: a token known to the lexicon is kept verbatim;
+/// an unknown one tries plural detachment, then the Porter stem, and
+/// falls back to itself.
+pub fn normalize_token(sn: &SemanticNetwork, token: &str) -> String {
+    if sn.has_word(token) {
+        return token.to_string();
+    }
+    for variant in morphy_variants(token) {
+        if sn.has_word(&variant) {
+            return variant;
+        }
+    }
+    let stemmed = porter_stem(token);
+    if stemmed != token && sn.has_word(&stemmed) {
+        stemmed
+    } else {
+        token.to_string()
+    }
+}
+
+/// Processes an element/attribute tag name (Section 3.2's three cases).
+/// `None` when the name has no alphabetic content.
+pub fn process_tag_name(sn: &SemanticNetwork, name: &str) -> Option<RefLabel> {
+    let tokens = split_identifier(name);
+    if tokens.is_empty() {
+        return None;
+    }
+    if tokens.len() == 1 {
+        return Some(RefLabel::Single(normalize_token(sn, &tokens[0])));
+    }
+    let joined = tokens.join(" ");
+    if sn.has_word(&joined) {
+        return Some(RefLabel::Single(joined));
+    }
+    let mut content: Vec<String> = tokens
+        .iter()
+        .filter(|t| !is_stop_word(t))
+        .map(|t| normalize_token(sn, t))
+        .collect();
+    if content.is_empty() {
+        content = tokens.iter().map(|t| normalize_token(sn, t)).collect();
+    }
+    Some(if content.len() == 1 {
+        RefLabel::Single(content.remove(0))
+    } else {
+        RefLabel::Compound(content[0].clone(), content[1].clone())
+    })
+}
+
+/// The tree-node label a tag name produces (falls back to the raw name
+/// when the name has no alphabetic content).
+pub fn label_for_tag_name(sn: &SemanticNetwork, name: &str) -> String {
+    match process_tag_name(sn, name) {
+        Some(label) => label.display(),
+        None => name.to_string(),
+    }
+}
+
+/// Processes a text value into word tokens, one leaf node each.
+pub fn process_text_value(sn: &SemanticNetwork, text: &str) -> Vec<String> {
+    tokenize_text(text)
+        .into_iter()
+        .filter(|t| !is_stop_word(t))
+        .map(|t| normalize_token(sn, &t))
+        .collect()
+}
+
+/// Sense lookup with the normalization fallback chain: the word as given,
+/// its lowercase form, plural detachment, then the Porter stem.
+pub fn senses_normalized(sn: &SemanticNetwork, word: &str) -> Vec<ConceptId> {
+    let direct = sn.senses(word);
+    if !direct.is_empty() {
+        return direct.to_vec();
+    }
+    let lower = word.to_lowercase();
+    let lowered = sn.senses(&lower);
+    if !lowered.is_empty() {
+        return lowered.to_vec();
+    }
+    for variant in morphy_variants(&lower) {
+        let senses = sn.senses(&variant);
+        if !senses.is_empty() {
+            return senses.to_vec();
+        }
+    }
+    sn.senses(&porter_stem(&lower)).to_vec()
+}
+
+/// The candidate senses of one node label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RefCandidates {
+    /// The label is unknown to the network.
+    Unknown,
+    /// Senses of a single token/expression.
+    Single(Vec<ConceptId>),
+    /// Per-token sense lists of an unmatched compound.
+    Compound {
+        /// Senses of the first token.
+        first: Vec<ConceptId>,
+        /// Senses of the second token.
+        second: Vec<ConceptId>,
+    },
+}
+
+impl RefCandidates {
+    /// Number of alternative readings (pair combinations for compounds).
+    pub fn candidate_count(&self) -> usize {
+        match self {
+            Self::Unknown => 0,
+            Self::Single(s) => s.len(),
+            Self::Compound { first, second } => first.len().max(1) * second.len().max(1),
+        }
+    }
+}
+
+/// Resolves the candidate senses of a processed node label.
+pub fn candidates_for_label(sn: &SemanticNetwork, label: &str) -> RefCandidates {
+    let direct = senses_normalized(sn, label);
+    if !direct.is_empty() {
+        return RefCandidates::Single(direct);
+    }
+    if let Some((a, b)) = label.split_once(' ') {
+        if label.matches(' ').count() == 1 {
+            let first = senses_normalized(sn, a);
+            let second = senses_normalized(sn, b);
+            if first.is_empty() && second.is_empty() {
+                return RefCandidates::Unknown;
+            }
+            return RefCandidates::Compound { first, second };
+        }
+    }
+    RefCandidates::Unknown
+}
+
+/// Disambiguation candidates: tag names are nominal phrases, so noun (and
+/// named-instance) senses are preferred when any exist; value tokens keep
+/// every part of speech.
+pub fn disambiguation_candidates(
+    sn: &SemanticNetwork,
+    label: &str,
+    kind: NodeKind,
+) -> RefCandidates {
+    let all = candidates_for_label(sn, label);
+    if kind == NodeKind::ValueToken {
+        return all;
+    }
+    let keep_nouns = |senses: Vec<ConceptId>| -> Vec<ConceptId> {
+        let nouns: Vec<ConceptId> = senses
+            .iter()
+            .copied()
+            .filter(|&c| sn.concept(c).pos == PartOfSpeech::Noun)
+            .collect();
+        if nouns.is_empty() {
+            senses
+        } else {
+            nouns
+        }
+    };
+    match all {
+        RefCandidates::Unknown => RefCandidates::Unknown,
+        RefCandidates::Single(s) => RefCandidates::Single(keep_nouns(s)),
+        RefCandidates::Compound { first, second } => RefCandidates::Compound {
+            first: keep_nouns(first),
+            second: keep_nouns(second),
+        },
+    }
+}

@@ -1,0 +1,346 @@
+//! Reference semantic similarity (Definition 9 and its three constituent
+//! measures) plus the vector measures of footnote 10.
+//!
+//! Everything here is recomputed from the raw network data on every call:
+//! ancestor maps, taxonomy depths, cumulative frequencies, extended-gloss
+//! token lists. No precomputed artifact tables, no interning, no caches.
+
+use std::collections::BTreeMap;
+
+use lingproc::{is_stop_word, porter_stem, tokenize_text};
+use semnet::{ConceptId, RelationKind, SemanticNetwork};
+use semsim::SimilarityWeights;
+use xsdf::config::VectorSimilarity;
+
+use super::sphere::{vec_norm, RefVector};
+
+/// All is-a ancestors of a concept with minimal hypernym-path distances,
+/// the concept itself at 0 — found by iterating a relax-until-fixpoint
+/// walk over upward edges (Hypernym and InstanceHypernym).
+pub fn ancestors_with_distance(sn: &SemanticNetwork, c: ConceptId) -> BTreeMap<ConceptId, u32> {
+    let mut out: BTreeMap<ConceptId, u32> = BTreeMap::new();
+    out.insert(c, 0);
+    loop {
+        let mut changed = false;
+        for (&node, &d) in out.clone().iter() {
+            for &(kind, parent) in sn.edges(node) {
+                if !kind.is_upward() {
+                    continue;
+                }
+                let better = match out.get(&parent) {
+                    None => true,
+                    Some(&old) => d + 1 < old,
+                };
+                if better {
+                    out.insert(parent, d + 1);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            return out;
+        }
+    }
+}
+
+/// Taxonomy depth of a concept: roots (no upward edge) are 0; otherwise
+/// one more than the *shallowest* parent. Recomputed recursively (the
+/// taxonomy is acyclic by construction).
+pub fn taxonomy_depth(sn: &SemanticNetwork, c: ConceptId) -> u32 {
+    let parents: Vec<ConceptId> = sn
+        .edges(c)
+        .iter()
+        .filter(|(k, _)| k.is_upward())
+        .map(|&(_, p)| p)
+        .collect();
+    match parents.iter().map(|&p| taxonomy_depth(sn, p)).min() {
+        None => 0,
+        Some(d) => d + 1,
+    }
+}
+
+/// The lowest common subsumer: the shared is-a ancestor with maximal
+/// taxonomy depth, ties broken toward the smallest concept id.
+pub fn lowest_common_subsumer(
+    sn: &SemanticNetwork,
+    a: ConceptId,
+    b: ConceptId,
+) -> Option<ConceptId> {
+    let anc_a = ancestors_with_distance(sn, a);
+    let anc_b = ancestors_with_distance(sn, b);
+    anc_a
+        .keys()
+        .filter(|c| anc_b.contains_key(c))
+        .copied()
+        .max_by_key(|&c| (taxonomy_depth(sn, c), std::cmp::Reverse(c)))
+}
+
+/// Wu & Palmer (1994), the paper's `Sim_Edge`:
+/// `2·depth(lcs) / (len(a, lcs) + len(b, lcs) + 2·depth(lcs))`.
+pub fn wu_palmer(sn: &SemanticNetwork, a: ConceptId, b: ConceptId) -> f64 {
+    if a == b {
+        return 1.0;
+    }
+    let Some(lcs) = lowest_common_subsumer(sn, a, b) else {
+        return 0.0;
+    };
+    let la = ancestors_with_distance(sn, a)
+        .get(&lcs)
+        .copied()
+        .unwrap_or(0) as f64;
+    let lb = ancestors_with_distance(sn, b)
+        .get(&lcs)
+        .copied()
+        .unwrap_or(0) as f64;
+    let d = taxonomy_depth(sn, lcs) as f64;
+    if la + lb + 2.0 * d == 0.0 {
+        return 1.0;
+    }
+    (2.0 * d) / (la + lb + 2.0 * d)
+}
+
+/// Cumulative frequency of a concept: its own frequency plus the
+/// cumulative frequencies of its direct is-a children (Hyponym and
+/// InstanceHyponym edges), recursively.
+///
+/// Under multiple inheritance this counts a descendant once per distinct
+/// downward path — the standard WordNet information-content convention
+/// over a DAG, which the network builder follows deliberately. A
+/// set-semantics sum (each descendant once) would *not* conform.
+pub fn cumulative_frequency(sn: &SemanticNetwork, c: ConceptId) -> u64 {
+    let mut sum = sn.concept(c).frequency as u64;
+    for &(kind, child) in sn.edges(c) {
+        if matches!(kind, RelationKind::Hyponym | RelationKind::InstanceHyponym) {
+            sum += cumulative_frequency(sn, child);
+        }
+    }
+    sum
+}
+
+/// Information content with add-one smoothing:
+/// `IC(c) = −ln((cum_freq(c) + 1) / (total_freq + |C|))`.
+pub fn information_content(sn: &SemanticNetwork, c: ConceptId) -> f64 {
+    let total: u64 = sn
+        .all_concepts()
+        .map(|c| sn.concept(c).frequency as u64)
+        .sum();
+    let p = (cumulative_frequency(sn, c) as f64 + 1.0) / (total as f64 + sn.len() as f64);
+    -p.ln()
+}
+
+/// Lin (1998), the paper's `Sim_Node`:
+/// `2·IC(lcs) / (IC(a) + IC(b))`, clamped into `[0, 1]`.
+pub fn lin(sn: &SemanticNetwork, a: ConceptId, b: ConceptId) -> f64 {
+    if a == b {
+        return 1.0;
+    }
+    let Some(lcs) = lowest_common_subsumer(sn, a, b) else {
+        return 0.0;
+    };
+    let ic_lcs = information_content(sn, lcs);
+    let denom = information_content(sn, a) + information_content(sn, b);
+    if denom <= 0.0 || ic_lcs <= 0.0 {
+        return 0.0;
+    }
+    (2.0 * ic_lcs / denom).clamp(0.0, 1.0)
+}
+
+/// The neighbors shared by both concepts (any relation kind), excluding
+/// the concepts themselves — the gloss measure's exclusion set.
+pub fn shared_neighbors(sn: &SemanticNetwork, a: ConceptId, b: ConceptId) -> Vec<ConceptId> {
+    let targets = |c: ConceptId| -> Vec<ConceptId> {
+        let mut out: Vec<ConceptId> = sn.edges(c).iter().map(|&(_, t)| t).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    };
+    targets(a)
+        .into_iter()
+        .filter(|n| targets(b).contains(n))
+        .filter(|&n| n != a && n != b)
+        .collect()
+}
+
+/// The extended gloss of a concept as a token *string* list: its lemmas,
+/// its own gloss, and the glosses of its non-excluded neighbors in edge
+/// order (a neighbor reachable through several edges repeats), then
+/// stop-filtered and Porter-stemmed. Re-tokenized from scratch per call.
+pub fn extended_gloss_tokens(
+    sn: &SemanticNetwork,
+    c: ConceptId,
+    exclude: &[ConceptId],
+) -> Vec<String> {
+    let concept = sn.concept(c);
+    let mut tokens = Vec::new();
+    for lemma in &concept.lemmas {
+        tokens.extend(tokenize_text(lemma));
+    }
+    tokens.extend(tokenize_text(&concept.gloss));
+    for &(_, neighbor) in sn.edges(c) {
+        if !exclude.contains(&neighbor) {
+            tokens.extend(tokenize_text(&sn.concept(neighbor).gloss));
+        }
+    }
+    tokens.retain(|t| !is_stop_word(t));
+    tokens.iter_mut().for_each(|t| *t = porter_stem(t));
+    tokens
+}
+
+/// The greedy Banerjee–Pedersen phrase overlap over token strings:
+/// repeatedly find the longest common contiguous run (first maximal run
+/// in scan order on ties), add its squared length, erase both
+/// occurrences, until no common token remains.
+pub fn overlap_score(a: &[String], b: &[String]) -> f64 {
+    let mut a: Vec<Option<&String>> = a.iter().map(Some).collect();
+    let mut b: Vec<Option<&String>> = b.iter().map(Some).collect();
+    let mut score = 0.0;
+    loop {
+        // Longest common run ending at each (i, j), strictly-greater
+        // updates so the first maximal run in row-major order wins —
+        // the same tie-break as the optimized dynamic program.
+        let mut best = (0usize, 0usize, 0usize);
+        for i in 0..a.len() {
+            for j in 0..b.len() {
+                let mut len = 0;
+                while i >= len && j >= len && a[i - len].is_some() && a[i - len] == b[j - len] {
+                    len += 1;
+                }
+                if len > best.0 {
+                    best = (len, i + 1 - len, j + 1 - len);
+                }
+            }
+        }
+        let (len, ai, bi) = best;
+        if len == 0 {
+            return score;
+        }
+        score += (len * len) as f64;
+        for k in 0..len {
+            a[ai + k] = None;
+            b[bi + k] = None;
+        }
+    }
+}
+
+/// The saturation constant of the gloss normalization (a raw overlap of
+/// 16 maps to 0.5).
+pub const GLOSS_SATURATION: f64 = 16.0;
+
+/// The paper's `Sim_Gloss`: normalized extended gloss overlaps, with
+/// neighbors shared by both concepts contributing to neither extended
+/// gloss.
+pub fn extended_gloss_overlap(sn: &SemanticNetwork, a: ConceptId, b: ConceptId) -> f64 {
+    if a == b {
+        return 1.0;
+    }
+    let shared = shared_neighbors(sn, a, b);
+    let ga = extended_gloss_tokens(sn, a, &shared);
+    let gb = extended_gloss_tokens(sn, b, &shared);
+    if !shared.is_empty() && (ga.is_empty() || gb.is_empty()) {
+        return 0.0;
+    }
+    let cross = overlap_score(&ga, &gb);
+    cross / (cross + GLOSS_SATURATION)
+}
+
+/// Definition 9: the weighted combination of the three measures, clamped
+/// into `[0, 1]`. Zero-weighted measures are not evaluated (mirroring
+/// the optimized short-circuit, which changes nothing numerically).
+pub fn combined_similarity(
+    sn: &SemanticNetwork,
+    w: SimilarityWeights,
+    a: ConceptId,
+    b: ConceptId,
+) -> f64 {
+    let mut score = 0.0;
+    if w.edge > 0.0 {
+        score += w.edge * wu_palmer(sn, a, b);
+    }
+    if w.node > 0.0 {
+        score += w.node * lin(sn, a, b);
+    }
+    if w.gloss > 0.0 {
+        score += w.gloss * extended_gloss_overlap(sn, a, b);
+    }
+    score.clamp(0.0, 1.0)
+}
+
+/// Cosine similarity over reference vectors, clamped into `[-1, 1]`.
+pub fn cosine(a: &RefVector, b: &RefVector) -> f64 {
+    let denom = vec_norm(a) * vec_norm(b);
+    if denom == 0.0 {
+        return 0.0;
+    }
+    let (small, big) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let dot: f64 = small
+        .iter()
+        .map(|(l, w)| w * big.get(l).copied().unwrap_or(0.0))
+        .sum();
+    (dot / denom).clamp(-1.0, 1.0)
+}
+
+/// Weighted Jaccard: `Σ min / Σ max` over the union of dimensions.
+pub fn jaccard(a: &RefVector, b: &RefVector) -> f64 {
+    let mut min_sum = 0.0;
+    let mut max_sum = 0.0;
+    for (l, &wa) in a {
+        let wb = b.get(l).copied().unwrap_or(0.0);
+        min_sum += wa.min(wb);
+        max_sum += wa.max(wb);
+    }
+    for (l, &wb) in b {
+        if a.get(l).copied().unwrap_or(0.0) == 0.0 {
+            max_sum += wb;
+        }
+    }
+    if max_sum == 0.0 {
+        0.0
+    } else {
+        min_sum / max_sum
+    }
+}
+
+/// Pearson correlation over the union of dimensions, in `[-1, 1]`.
+pub fn pearson(a: &RefVector, b: &RefVector) -> f64 {
+    let labels: std::collections::BTreeSet<&String> = a.keys().chain(b.keys()).collect();
+    let n = labels.len() as f64;
+    if n < 2.0 {
+        return 0.0;
+    }
+    let xs: Vec<f64> = labels
+        .iter()
+        .map(|l| a.get(*l).copied().unwrap_or(0.0))
+        .collect();
+    let ys: Vec<f64> = labels
+        .iter()
+        .map(|l| b.get(*l).copied().unwrap_or(0.0))
+        .collect();
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(&ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return 0.0;
+    }
+    (cov / (vx.sqrt() * vy.sqrt())).clamp(-1.0, 1.0)
+}
+
+/// Footnote 10's vector measure, mapped into `[0, 1]` with the
+/// degenerate-input contract: a zero or empty vector scores exactly 0
+/// under every measure.
+pub fn apply_measure(measure: VectorSimilarity, a: &RefVector, b: &RefVector) -> f64 {
+    if vec_norm(a) == 0.0 || vec_norm(b) == 0.0 {
+        return 0.0;
+    }
+    match measure {
+        VectorSimilarity::Cosine => cosine(a, b).clamp(0.0, 1.0),
+        VectorSimilarity::Jaccard => jaccard(a, b),
+        VectorSimilarity::Pearson => (pearson(a, b) + 1.0) / 2.0,
+    }
+}

@@ -82,6 +82,23 @@ pub fn hyper_polysemous(repeats: usize) -> String {
     xml
 }
 
+/// The standard pathological document set for cross-crate harnesses (the
+/// conformance differential suite in particular): one or two
+/// representatives per hostility axis, each paired with a stable name for
+/// failure reports, and every document parseable under the **default**
+/// parser limits (nesting depths stay below the parser's `max_depth` of
+/// 256 — generators above can exceed it when called directly).
+pub fn suite() -> Vec<(&'static str, String)> {
+    vec![
+        ("deep_nesting_48", deep_nesting(48)),
+        ("deep_nesting_200", deep_nesting(200)),
+        ("mega_fanout_64", mega_fanout(64)),
+        ("entity_heavy_16", entity_heavy(16)),
+        ("hyper_polysemous_2", hyper_polysemous(2)),
+        ("hyper_polysemous_6", hyper_polysemous(6)),
+    ]
+}
+
 /// Stamps a chaos marker onto a document's root element as an attribute,
 /// so marker-targeted failpoints (`panic-if`/`delay-if`) can select it by
 /// substring while the document stays well-formed.
@@ -135,6 +152,17 @@ mod tests {
     fn hyper_polysemous_is_well_formed() {
         let doc = xmltree::parse(&hyper_polysemous(10)).expect("well-formed");
         assert_eq!(doc.element_count(), 61);
+    }
+
+    #[test]
+    fn suite_parses_under_default_limits() {
+        let docs = suite();
+        assert!(docs.len() >= 5);
+        let mut names = std::collections::HashSet::new();
+        for (name, xml) in &docs {
+            assert!(names.insert(*name), "duplicate suite name {name}");
+            xmltree::parse(xml).unwrap_or_else(|e| panic!("{name} must parse: {e:?}"));
+        }
     }
 
     #[test]

@@ -84,11 +84,18 @@ impl RelationFilter {
     /// denotes, for use in memoization keys (e.g. cached concept context
     /// vectors keyed by `(concept, radius, filter)`).
     ///
-    /// Two filters allowing the same relation kinds hash equal regardless
-    /// of representation: the fingerprint is FNV-1a over the membership
-    /// bitmask, so `Only([Hypernym, Hyponym])`, `Only([Hyponym, Hypernym])`
-    /// and `Only([Hypernym, Hypernym, Hyponym])` all collapse, and an
-    /// `Only` listing every kind equals `All`.
+    /// The fingerprint is the membership bitmask itself (bit `k` set iff
+    /// `RelationKind` with discriminant `k` is crossable). Two filters
+    /// allowing the same relation kinds therefore fingerprint equal
+    /// regardless of representation — `Only([Hypernym, Hyponym])`,
+    /// `Only([Hyponym, Hypernym])` and `Only([Hypernym, Hypernym,
+    /// Hyponym])` all collapse, and an `Only` listing every kind equals
+    /// `All` — while filters denoting *different* sets can never collide:
+    /// the mask is injective for up to 64 relation kinds, unlike the
+    /// earlier FNV-1a hash of it, whose collisions (however unlikely)
+    /// would have silently served one filter's cached context vectors to
+    /// another. Cache keys live in process memory only, so the value
+    /// change is invisible to persisted state.
     pub fn fingerprint(&self) -> u64 {
         let mut mask = 0u64;
         for kind in RelationKind::ALL {
@@ -96,14 +103,7 @@ impl RelationFilter {
                 mask |= 1 << (kind as u64);
             }
         }
-        // FNV-1a over the 8 mask bytes; spreads the low-entropy bitmask
-        // across the word so downstream hashers see distinct keys.
-        let mut hash = 0xcbf2_9ce4_8422_2325u64;
-        for byte in mask.to_le_bytes() {
-            hash ^= byte as u64;
-            hash = hash.wrapping_mul(0x100_0000_01b3);
-        }
-        hash
+        mask
     }
 }
 
@@ -321,6 +321,28 @@ mod tests {
             RelationFilter::Only(vec![]).fingerprint(),
             RelationFilter::All.fingerprint()
         );
+    }
+
+    #[test]
+    fn filter_fingerprint_is_injective_over_all_subsets() {
+        // Regression for the vector-cache key: distinct crossable sets must
+        // produce distinct fingerprints (the FNV hash used before PR 5 had
+        // no such guarantee). Enumerate every subset of RelationKind::ALL.
+        let kinds = RelationKind::ALL;
+        let mut seen = std::collections::HashMap::new();
+        for mask in 0u32..(1 << kinds.len()) {
+            let subset: Vec<RelationKind> = kinds
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| mask & (1 << i) != 0)
+                .map(|(_, &k)| k)
+                .collect();
+            let fp = RelationFilter::Only(subset).fingerprint();
+            if let Some(prior) = seen.insert(fp, mask) {
+                panic!("fingerprint collision: subsets {prior:#b} and {mask:#b} → {fp:#x}");
+            }
+        }
+        assert_eq!(seen.len(), 1 << kinds.len());
     }
 
     #[test]

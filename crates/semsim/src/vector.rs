@@ -4,6 +4,15 @@
 //! context vector with each candidate sense's semantic-network context
 //! vector using *cosine* similarity; Jaccard and Pearson are provided as
 //! the alternatives the paper's footnote 10 mentions.
+//!
+//! ## Degenerate inputs
+//!
+//! Every measure here returns exactly **0.0** when either vector is empty
+//! or all-zero (no dimensions, or only zero coordinates): a vector without
+//! evidence is similar to nothing. Callers that post-process raw scores —
+//! notably `xsdf`'s `VectorSimilarity::apply`, whose Pearson rescale
+//! `(r + 1)/2` would turn a degenerate `r = 0` into 0.5 — must preserve
+//! this contract by guarding degenerate inputs before remapping.
 
 use std::collections::BTreeMap;
 
@@ -240,6 +249,24 @@ mod tests {
         let c = v(&[("x", 2.0), ("y", 2.0)]);
         let d = v(&[("x", 1.0), ("y", 3.0)]);
         assert_eq!(c.pearson(&d), 0.0); // c has zero variance
+    }
+
+    #[test]
+    fn all_measures_return_zero_for_zero_or_empty_vectors() {
+        // The documented degenerate-input contract: no evidence ⇒ 0.0,
+        // for empty vectors and for vectors whose coordinates are all 0.
+        let empty = SparseVector::new();
+        let zero = v(&[("x", 0.0), ("y", 0.0)]);
+        let real = v(&[("x", 1.0), ("y", 2.0)]);
+        for degenerate in [&empty, &zero] {
+            assert_eq!(degenerate.cosine(&real), 0.0);
+            assert_eq!(real.cosine(degenerate), 0.0);
+            assert_eq!(degenerate.jaccard(&real), 0.0);
+            assert_eq!(real.jaccard(degenerate), 0.0);
+            assert_eq!(degenerate.pearson(&real), 0.0);
+            assert_eq!(real.pearson(degenerate), 0.0);
+            assert_eq!(degenerate.norm(), 0.0);
+        }
     }
 
     #[test]

@@ -307,6 +307,23 @@ impl XmlTree {
         t
     }
 
+    /// Returns a copy of the tree with every label rewritten through `f`;
+    /// structure, node kinds, `original` spellings and hyperlink edges are
+    /// untouched. Intended for metamorphic tests: sphere construction,
+    /// distances and context-vector weights depend only on structure and
+    /// label *identity*, so any injective relabeling must commute with
+    /// them.
+    pub fn relabeled(&self, f: impl Fn(&str) -> String) -> Self {
+        let mut nodes = self.nodes.clone();
+        for n in &mut nodes {
+            n.label = f(&n.label);
+        }
+        Self {
+            nodes,
+            links: self.links.clone(),
+        }
+    }
+
     /// Installs a hyperlink edge between two nodes (symmetric; duplicates
     /// and self-links are ignored).
     pub fn add_link(&mut self, a: NodeId, b: NodeId) {
@@ -616,6 +633,24 @@ mod tests {
             links: Vec::new(),
         };
         assert!(t.check_consistency().is_err());
+    }
+
+    #[test]
+    fn relabeled_preserves_structure_and_links() {
+        let doc = figure1_doc();
+        let mut t = TreeBuilder::new().build(&doc).unwrap().tree;
+        t.add_link(NodeId(0), NodeId(2));
+        let r = t.relabeled(|l| format!("{l}_x"));
+        assert_eq!(r.len(), t.len());
+        assert_eq!(r.link_count(), 1);
+        assert!(r.check_consistency().is_ok());
+        for id in t.preorder() {
+            assert_eq!(r.label(id), format!("{}_x", t.label(id)));
+            assert_eq!(r.depth(id), t.depth(id));
+            assert_eq!(r.children(id), t.children(id));
+            assert_eq!(r.node(id).kind, t.node(id).kind);
+            assert_eq!(r.node(id).original, t.node(id).original);
+        }
     }
 
     #[test]

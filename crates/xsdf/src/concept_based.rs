@@ -31,7 +31,8 @@ pub struct ConceptContext {
     /// context label contributes its two token sense lists separately, each
     /// averaged per Equation 10's note on compound context labels.
     entries: Vec<ContextEntry>,
-    /// `|S_d(x)|` of Definition 8.
+    /// `|S_d(x)|` of Definition 8: the center (ring `R_0`) plus all
+    /// context nodes, so always ≥ 1.
     cardinality: usize,
 }
 
@@ -70,7 +71,12 @@ impl ConceptContext {
                 .collect()
         };
         let vector = xml_context_vector_weighted(tree, target, radius, policy);
-        let cardinality = nodes.len();
+        // |S_d(x)| of Definition 8 counts the center (Definition 5's ring
+        // R_0 = {x}) plus all context nodes — the same convention the
+        // context vectors pin with Figure 7's V_1. Counting only the
+        // context nodes here (the pre-PR 5 behavior) inflated every score
+        // by (n+1)/n relative to the definitions.
+        let cardinality = nodes.len() + 1;
         let mut entries = Vec::with_capacity(nodes.len());
         for (node, _) in nodes {
             let label = tree.label(node);
@@ -149,9 +155,6 @@ impl ConceptContext {
         sim: &CombinedSimilarity<C>,
         candidate: ConceptId,
     ) -> f64 {
-        if self.cardinality == 0 {
-            return 0.0;
-        }
         let total: f64 = self
             .entries
             .iter()
@@ -174,9 +177,6 @@ impl ConceptContext {
         first: ConceptId,
         second: ConceptId,
     ) -> f64 {
-        if self.cardinality == 0 {
-            return 0.0;
-        }
         let total: f64 = self
             .entries
             .iter()
@@ -292,6 +292,38 @@ mod tests {
         let coherent = ctx.score_pair(sn, &sim, id("star.performer"), id("film.movie"));
         let incoherent = ctx.score_pair(sn, &sim, id("star.celestial"), id("picture.mental"));
         assert!(coherent > incoherent, "{coherent} <= {incoherent}");
+    }
+
+    #[test]
+    fn definition8_denominator_counts_the_center() {
+        // Regression for the |S_d(x)| convention fix: Definition 8 divides
+        // by the sphere cardinality, and per Definition 5 the sphere
+        // includes ring R_0 = {x} — the same center-inclusive convention
+        // the context vectors pin with Figure 7's V_1. With a single
+        // context node the denominator is therefore 2, not 1.
+        let t = tree("<cast><star/></cast>");
+        let sn = mini_wordnet();
+        let cast = t.root();
+        let ctx = ConceptContext::build(sn, &t, cast, 1);
+        let sim = CombinedSimilarity::default();
+        let candidate = id("cast.actors");
+        // Reproduce the numerator by hand: one entry ("star"), whose best
+        // sense similarity is maxed over star's senses, weighted by the
+        // context vector's "star" coordinate.
+        let vector = xml_context_vector(&t, cast, 1);
+        let star_weight = vector.get("star");
+        assert!(star_weight > 0.0);
+        let best: f64 = sn
+            .senses("star")
+            .iter()
+            .map(|&s| sim.similarity(sn, candidate, s))
+            .fold(0.0, f64::max);
+        let expected = (best * star_weight) / 2.0;
+        let got = ctx.score_single(sn, &sim, candidate);
+        assert!(
+            (got - expected).abs() < 1e-12,
+            "Definition 8 denominator must be |S_1(cast)| = 2: got {got}, expected {expected}"
+        );
     }
 
     #[test]

@@ -24,7 +24,17 @@ pub enum VectorSimilarity {
 
 impl VectorSimilarity {
     /// Applies the measure to two sparse vectors, mapped into `\[0, 1\]`.
+    ///
+    /// A zero or empty vector (a lemma-less candidate sense, or a sphere
+    /// whose labels all normalized away) carries no context evidence, so
+    /// every measure returns exactly 0.0 for it. The explicit guard matters
+    /// for Pearson: its degenerate correlation is 0, which the affine
+    /// rescale below would otherwise map to 0.5 — ranking a no-evidence
+    /// candidate above genuinely anti-correlated ones.
     pub fn apply(self, a: &semsim::SparseVector, b: &semsim::SparseVector) -> f64 {
+        if a.norm() == 0.0 || b.norm() == 0.0 {
+            return 0.0;
+        }
         match self {
             Self::Cosine => a.cosine(b).clamp(0.0, 1.0),
             Self::Jaccard => a.jaccard(b),
@@ -313,6 +323,26 @@ mod tests {
         assert!(s_strong < s_weak, "{s_strong} >= {s_weak}");
         // The exact map is (r + 1) / 2.
         assert!((s_strong - (r_strong + 1.0) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_vectors_score_zero_under_every_measure() {
+        // Regression for the zero-vector guard: Pearson's rescale used to
+        // map empty-vs-anything to (0 + 1)/2 = 0.5. All measures must agree
+        // that a vector with no evidence scores exactly 0.0.
+        let empty = semsim::SparseVector::new();
+        let zero = semsim::SparseVector::from_pairs([("x", 0.0)]);
+        let real = semsim::SparseVector::from_pairs([("x", 1.0), ("y", 2.0)]);
+        for m in [
+            VectorSimilarity::Cosine,
+            VectorSimilarity::Jaccard,
+            VectorSimilarity::Pearson,
+        ] {
+            assert_eq!(m.apply(&empty, &real), 0.0, "{m:?} empty/real");
+            assert_eq!(m.apply(&real, &empty), 0.0, "{m:?} real/empty");
+            assert_eq!(m.apply(&empty, &empty), 0.0, "{m:?} empty/empty");
+            assert_eq!(m.apply(&zero, &real), 0.0, "{m:?} zero/real");
+        }
     }
 
     #[test]

@@ -216,6 +216,40 @@ mod tests {
     }
 
     #[test]
+    fn degenerate_concept_vector_scores_zero_through_scorer_measure() {
+        // Propagation of the zero-vector guard: every ContextVectorScorer
+        // score routes through VectorSimilarity::apply, whose contract says
+        // a zero/empty vector scores exactly 0.0 under every measure.
+        // NetworkBuilder rejects lemma-less concepts (NoLemmas), so a built
+        // network cannot produce an empty concept vector today — this pins
+        // the scorer-side behavior should one ever arrive (hand-built
+        // networks, future loaders). Before the guard, Pearson's rescale
+        // returned 0.5 here, ranking an evidence-free sense above genuinely
+        // anti-correlated candidates.
+        let t = tree("<cast><star/></cast>");
+        let empty = SparseVector::new();
+        let zero = SparseVector::from_pairs([("star", 0.0)]);
+        for measure in [
+            crate::config::VectorSimilarity::Cosine,
+            crate::config::VectorSimilarity::Jaccard,
+            crate::config::VectorSimilarity::Pearson,
+        ] {
+            let scorer = ContextVectorScorer::build(&t, t.root(), 1).with_measure(measure);
+            assert!(scorer.xml_vector().norm() > 0.0);
+            assert_eq!(
+                measure.apply(scorer.xml_vector(), &empty),
+                0.0,
+                "{measure:?}"
+            );
+            assert_eq!(
+                measure.apply(scorer.xml_vector(), &zero),
+                0.0,
+                "{measure:?}"
+            );
+        }
+    }
+
+    #[test]
     fn singleton_tree_gives_self_label_vector() {
         let t = tree("<star/>");
         let scorer = ContextVectorScorer::build(&t, t.root(), 2);

@@ -35,6 +35,41 @@ pub fn struct_factor(dist: u32, radius: u32) -> f64 {
     1.0 - dist as f64 / (radius as f64 + 1.0)
 }
 
+/// The weighted-distance generalization of [`struct_factor`]:
+/// `1 − cost/(budget + 1)` over a real-valued path cost. For integer
+/// costs this is exactly `struct_factor(cost, budget)`. Costs admitted by
+/// [`xml_sphere_weighted`] never exceed the budget, so the factor lies in
+/// `[1/(budget + 1), 1]` — always positive, never clamped (same contract
+/// as the unweighted path).
+pub fn struct_factor_weighted(cost: f64, budget: f64) -> f64 {
+    1.0 - cost / (budget + 1.0)
+}
+
+/// Shared assembly of Definitions 6–7 used by both the unweighted and the
+/// weighted XML context vectors: the center's label enters at
+/// `Struct = struct_factor(0, radius)` (≡ 1, ring `R_0`), each context
+/// node at its precomputed proximity factor, and every contribution is
+/// scaled by `2/(|S_d(x)| + 1)` with the center counted in `|S_d(x)|`.
+fn assemble_xml_context_vector(
+    tree: &XmlTree,
+    center: NodeId,
+    radius: u32,
+    entries: &[(NodeId, f64)],
+) -> SparseVector {
+    // |S_d(x)| counts the center (ring R_0) plus all context nodes.
+    let cardinality = entries.len() as f64 + 1.0;
+    let scale = 2.0 / (cardinality + 1.0);
+    let mut v = SparseVector::new();
+    v.add(
+        tree.label(center).to_string(),
+        struct_factor(0, radius) * scale,
+    );
+    for &(node, factor) in entries {
+        v.add(tree.label(node).to_string(), factor * scale);
+    }
+    v
+}
+
 /// The sphere neighborhood of an XML node: context nodes with distances,
 /// excluding the center itself (callers that need the center's own label
 /// add it at distance 0).
@@ -45,22 +80,11 @@ pub fn xml_sphere(tree: &XmlTree, center: NodeId, radius: u32) -> Vec<(NodeId, u
 /// The XML context vector `V_d(x)` of Definitions 6–7, including the
 /// center's label at distance 0.
 pub fn xml_context_vector(tree: &XmlTree, center: NodeId, radius: u32) -> SparseVector {
-    let nodes = xml_sphere(tree, center, radius);
-    // |S_d(x)| counts the center (ring R_0) plus all context nodes.
-    let cardinality = nodes.len() as f64 + 1.0;
-    let scale = 2.0 / (cardinality + 1.0);
-    let mut v = SparseVector::new();
-    v.add(
-        tree.label(center).to_string(),
-        struct_factor(0, radius) * scale,
-    );
-    for (node, dist) in nodes {
-        v.add(
-            tree.label(node).to_string(),
-            struct_factor(dist, radius) * scale,
-        );
-    }
-    v
+    let entries: Vec<(NodeId, f64)> = xml_sphere(tree, center, radius)
+        .into_iter()
+        .map(|(node, dist)| (node, struct_factor(dist, radius)))
+        .collect();
+    assemble_xml_context_vector(tree, center, radius, &entries)
 }
 
 /// The sphere neighborhood under an alternative [`DistancePolicy`]
@@ -76,9 +100,12 @@ pub fn xml_sphere_weighted(
 }
 
 /// The weighted-distance generalization of the context vector: identical
-/// to [`xml_context_vector`] with `Struct(x_i) = 1 − cost/(budget + 1)`
-/// over weighted path costs. With [`DistancePolicy::EdgeCount`] it equals
-/// [`xml_context_vector`] exactly.
+/// to [`xml_context_vector`] with `Struct(x_i)` computed by
+/// [`struct_factor_weighted`] over weighted path costs. Both paths share
+/// one assembly (center at `Struct = 1`, scale `2/(|S| + 1)`, no
+/// clamping), so with [`DistancePolicy::EdgeCount`] — where costs are the
+/// plain edge counts — it equals [`xml_context_vector`] bit for bit; the
+/// shortcut below only skips the Dijkstra walk.
 pub fn xml_context_vector_weighted(
     tree: &XmlTree,
     center: NodeId,
@@ -88,17 +115,12 @@ pub fn xml_context_vector_weighted(
     if policy == DistancePolicy::EdgeCount {
         return xml_context_vector(tree, center, radius);
     }
-    let nodes = xml_sphere_weighted(tree, center, radius, policy);
-    let cardinality = nodes.len() as f64 + 1.0;
-    let scale = 2.0 / (cardinality + 1.0);
     let budget = radius as f64;
-    let mut v = SparseVector::new();
-    v.add(tree.label(center).to_string(), scale);
-    for (node, cost) in nodes {
-        let w = (1.0 - cost / (budget + 1.0)).max(0.0) * scale;
-        v.add(tree.label(node).to_string(), w);
-    }
-    v
+    let entries: Vec<(NodeId, f64)> = xml_sphere_weighted(tree, center, radius, policy)
+        .into_iter()
+        .map(|(node, cost)| (node, struct_factor_weighted(cost, budget)))
+        .collect();
+    assemble_xml_context_vector(tree, center, radius, &entries)
 }
 
 /// The semantic-network context vector `V_d(s_p)` of a candidate sense
@@ -299,6 +321,57 @@ mod tests {
                 let b = xml_context_vector_weighted(&t, center, radius, DistancePolicy::EdgeCount);
                 for (label, w) in a.iter() {
                     assert!((w - b.get(label)).abs() < 1e-12, "{label}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_and_unweighted_assembly_unified() {
+        // Regression for the PR 5 reconciliation: the weighted path used to
+        // add the center at bare `scale` (skipping the struct factor) and
+        // clamp node weights with `.max(0.0)`. Both paths now share one
+        // assembly, so a weighted policy whose edge costs are all exactly
+        // 1.0 — which does NOT take the EdgeCount shortcut — must reproduce
+        // the unweighted vector bit for bit.
+        let t = figure6_tree();
+        let unit_costs = DistancePolicy::Directional { up: 1.0, down: 1.0 };
+        for center in t.preorder() {
+            for radius in 1..=3 {
+                let a = xml_context_vector(&t, center, radius);
+                let b = xml_context_vector_weighted(&t, center, radius, unit_costs);
+                assert_eq!(a.len(), b.len(), "center {center:?} r={radius}");
+                for (label, w) in a.iter() {
+                    assert_eq!(w, b.get(label), "{label} at r={radius}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_factors_stay_positive_without_clamping() {
+        // The sphere admits only costs ≤ budget, so every struct factor is
+        // ≥ 1/(budget+1) > 0 by construction — the old `.max(0.0)` clamp was
+        // unreachable and is gone.
+        let t = figure6_tree();
+        let policies = [
+            DistancePolicy::Directional { up: 0.3, down: 1.0 },
+            DistancePolicy::Directional { up: 1.0, down: 0.5 },
+            DistancePolicy::DensityScaled { alpha: 2.0 },
+        ];
+        for policy in policies {
+            for center in t.preorder() {
+                for radius in 1..=3 {
+                    let budget = radius as f64;
+                    for (node, cost) in xml_sphere_weighted(&t, center, radius, policy) {
+                        let f = struct_factor_weighted(cost, budget);
+                        assert!(f > 0.0, "factor {f} for {node:?} cost {cost}");
+                        assert!(f <= 1.0, "factor {f} for {node:?} cost {cost}");
+                    }
+                    let v = xml_context_vector_weighted(&t, center, radius, policy);
+                    for (label, w) in v.iter() {
+                        assert!(w > 0.0, "w({label}) = {w}");
+                    }
                 }
             }
         }
