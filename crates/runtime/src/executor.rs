@@ -109,6 +109,27 @@ pub struct BatchReport {
     pub trace: Option<Trace>,
 }
 
+/// The outcome of one document processed outside a batch
+/// ([`BatchEngine::process_document_observed`]): the result plus the
+/// observability record a resident service needs to keep live metrics.
+#[derive(Debug)]
+pub struct DocOutcome {
+    /// The document's result, exactly as a batch slot would hold it.
+    pub result: Result<DisambiguationResult, XsdfError>,
+    /// The trace span, present when [`BatchEngine::tracing`] is on.
+    pub span: Option<DocSpan>,
+    /// Similarity-cache lookups by this document that hit.
+    pub cache_hits: u64,
+    /// Similarity-cache lookups by this document that missed.
+    pub cache_misses: u64,
+    /// Concept pairs pushed through the extended-gloss-overlap kernel.
+    pub gloss_pairs_scored: u64,
+    /// Context vectors built from scratch.
+    pub vectors_built: u64,
+    /// Context vectors served from the shared vector table.
+    pub vectors_reused: u64,
+}
+
 /// A reusable parallel batch-disambiguation engine with panic isolation,
 /// per-document resource limits, and deadlines.
 ///
@@ -132,6 +153,7 @@ pub struct BatchEngine<'sn> {
     deadline: Option<Duration>,
     fail_fast: bool,
     tracing: bool,
+    cancel: Option<&'sn AtomicBool>,
 }
 
 impl<'sn> BatchEngine<'sn> {
@@ -147,6 +169,7 @@ impl<'sn> BatchEngine<'sn> {
             deadline: None,
             fail_fast: false,
             tracing: false,
+            cancel: None,
         }
     }
 
@@ -182,6 +205,30 @@ impl<'sn> BatchEngine<'sn> {
     /// document is always attempted.
     pub fn fail_fast(mut self, fail_fast: bool) -> Self {
         self.fail_fast = fail_fast;
+        self
+    }
+
+    /// Attaches an external cancellation flag, checked before each
+    /// document is scheduled. Raising the flag (typically from a signal
+    /// handler or another thread) stops the engine from starting new
+    /// documents: already-running documents finish normally, and every
+    /// unscheduled slot reports [`XsdfError::Cancelled`]. Unlike
+    /// [`BatchEngine::fail_fast`], cancellation does not require any
+    /// document to have failed first.
+    pub fn cancel_flag(mut self, flag: &'sn AtomicBool) -> Self {
+        self.cancel = Some(flag);
+        self
+    }
+
+    /// Replaces the engine's similarity/vector cache with an existing
+    /// shared one, so several engines — e.g. one per request
+    /// configuration in a long-lived server — pool their warm state.
+    /// Safe across configurations: pair scores are keyed by a weights
+    /// fingerprint and context vectors by `(concept, radius, relation
+    /// filter)`, so entries computed under one configuration are never
+    /// served to an incompatible one.
+    pub fn shared_cache(mut self, cache: Arc<SharedCache>) -> Self {
+        self.cache = cache;
         self
     }
 
@@ -227,7 +274,7 @@ impl<'sn> BatchEngine<'sn> {
             let sim = self.worker_measure();
             let mut stats = WorkerStats::default();
             for (i, (slot, xml)) in slots.iter_mut().zip(docs).enumerate() {
-                if self.fail_fast && cancelled.load(Ordering::Relaxed) {
+                if self.should_stop(&cancelled) {
                     break;
                 }
                 *slot = Some(self.run_one(i, 0, xml, started, &sim, &mut stats, &cancelled));
@@ -248,7 +295,7 @@ impl<'sn> BatchEngine<'sn> {
                         let sim = self.worker_measure();
                         let mut stats = WorkerStats::default();
                         loop {
-                            if self.fail_fast && cancelled.load(Ordering::Relaxed) {
+                            if self.should_stop(cancelled) {
                                 break;
                             }
                             let i = next.fetch_add(1, Ordering::Relaxed);
@@ -331,10 +378,37 @@ impl<'sn> BatchEngine<'sn> {
     /// deadline, with panic isolation. This is `run(&[xml])` without the
     /// batch scaffolding; the CLI uses it for `xsdf disambiguate`.
     pub fn process_document(&self, xml: &str) -> Result<DisambiguationResult, XsdfError> {
+        self.process_document_observed(xml).result
+    }
+
+    /// Like [`BatchEngine::process_document`], but also returns what the
+    /// runtime observed: the trace span (when [`BatchEngine::tracing`] is
+    /// on) and this document's exact cache/kernel accounting. This is the
+    /// per-request entry point for resident services, which aggregate the
+    /// outcomes into live metrics instead of reading a whole-batch
+    /// [`MetricsSnapshot`].
+    pub fn process_document_observed(&self, xml: &str) -> DocOutcome {
         let sim = self.worker_measure();
         let mut stats = WorkerStats::default();
         let cancelled = AtomicBool::new(false);
-        self.run_one(0, 0, xml, Instant::now(), &sim, &mut stats, &cancelled)
+        let result = self.run_one(0, 0, xml, Instant::now(), &sim, &mut stats, &cancelled);
+        stats.collect_cache(&sim);
+        DocOutcome {
+            result,
+            span: stats.spans.pop(),
+            cache_hits: stats.cache_hits,
+            cache_misses: stats.cache_misses,
+            gloss_pairs_scored: stats.gloss_pairs_scored,
+            vectors_built: stats.vectors_built,
+            vectors_reused: stats.vectors_reused,
+        }
+    }
+
+    /// Whether the engine should stop scheduling further documents:
+    /// fail-fast after an internal failure, or an external cancel.
+    fn should_stop(&self, internal: &AtomicBool) -> bool {
+        (self.fail_fast && internal.load(Ordering::Relaxed))
+            || self.cancel.is_some_and(|c| c.load(Ordering::Relaxed))
     }
 
     fn worker_measure(&self) -> CombinedSimilarity<TallyCache> {
@@ -655,6 +729,61 @@ mod tests {
         assert!(matches!(report.results[3], Err(XsdfError::Cancelled)));
         assert_eq!(report.metrics.failures.cancelled, 2);
         assert_eq!(report.metrics.failed_documents, 3);
+    }
+
+    #[test]
+    fn external_cancel_flag_stops_scheduling() {
+        let flag = AtomicBool::new(true);
+        let engine = BatchEngine::new(mini_wordnet(), XsdfConfig::default())
+            .threads(1)
+            .cancel_flag(&flag);
+        // Raised before the run: nothing is scheduled at all.
+        let report = engine.run(&[DOC, DOC, DOC]);
+        assert!(report
+            .results
+            .iter()
+            .all(|r| matches!(r, Err(XsdfError::Cancelled))));
+        assert_eq!(report.metrics.failures.cancelled, 3);
+        // Lowered again: the same engine processes normally.
+        flag.store(false, Ordering::Relaxed);
+        let report = engine.run(&[DOC]);
+        assert!(report.results[0].is_ok());
+    }
+
+    #[test]
+    fn shared_cache_injection_pools_warm_state_across_engines() {
+        let first = BatchEngine::new(mini_wordnet(), XsdfConfig::default()).threads(1);
+        first.run(&[DOC]);
+        let warm = Arc::clone(first.cache());
+        // A brand-new engine over the same network, given the first
+        // engine's cache, starts fully warm.
+        let second = BatchEngine::new(mini_wordnet(), XsdfConfig::default())
+            .threads(1)
+            .shared_cache(warm);
+        let report = second.run(&[DOC]);
+        assert_eq!(report.metrics.cache_misses, 0);
+        assert!(report.metrics.cache_hits > 0);
+    }
+
+    #[test]
+    fn process_document_observed_returns_span_and_cache_delta() {
+        let engine = BatchEngine::new(mini_wordnet(), XsdfConfig::default()).tracing(true);
+        let outcome = engine.process_document_observed(DOC);
+        assert!(outcome.result.is_ok());
+        let span = outcome.span.expect("tracing produces a span");
+        assert_eq!(span.outcome, "ok");
+        assert!(span.nodes > 0);
+        assert_eq!(span.cache_misses, outcome.cache_misses);
+        assert!(outcome.cache_misses > 0, "cold run must miss");
+        // A second observed run over the same engine is fully warm.
+        let warm = engine.process_document_observed(DOC);
+        assert_eq!(warm.cache_misses, 0);
+        assert!(warm.cache_hits > 0);
+        // Without tracing there is no span, but accounting still works.
+        let untraced = BatchEngine::new(mini_wordnet(), XsdfConfig::default());
+        let outcome = untraced.process_document_observed(DOC);
+        assert!(outcome.result.is_ok());
+        assert!(outcome.span.is_none());
     }
 
     #[test]

@@ -67,7 +67,7 @@ pub mod trace;
 
 pub use cache::{SharedCache, TallyCache};
 pub use error::XsdfError;
-pub use executor::{BatchEngine, BatchReport};
+pub use executor::{BatchEngine, BatchReport, DocOutcome};
 pub use hist::Histogram;
 pub use limits::ResourceLimits;
 pub use metrics::{FailureCounts, MetricsSnapshot, StageLatency, StageTimings};

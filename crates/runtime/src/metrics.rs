@@ -34,7 +34,7 @@ impl FailureCounts {
     }
 
     /// Tallies one failure under its kind.
-    pub(crate) fn record(&mut self, err: &XsdfError) {
+    pub fn record(&mut self, err: &XsdfError) {
         match err {
             XsdfError::Parse(_) => self.parse += 1,
             XsdfError::LimitExceeded { .. } => self.limit += 1,
@@ -44,7 +44,8 @@ impl FailureCounts {
         }
     }
 
-    pub(crate) fn merge(&mut self, other: &FailureCounts) {
+    /// Element-wise sum of another tally into this one.
+    pub fn merge(&mut self, other: &FailureCounts) {
         self.parse += other.parse;
         self.limit += other.limit;
         self.deadline += other.deadline;
@@ -206,6 +207,16 @@ impl MetricsSnapshot {
     /// keys; derived rates are included so downstream dashboards need no
     /// arithmetic.
     pub fn to_json(&self) -> String {
+        self.to_json_extended(&[])
+    }
+
+    /// The snapshot as JSON with caller-supplied fields appended after the
+    /// snapshot's own — how a resident service extends the engine metrics
+    /// with its serving-layer counters (uptime, queue depth, per-endpoint
+    /// latency) while keeping one flat, dashboard-friendly object. Each
+    /// `extra` entry is a `(key, rendered JSON value)` pair; keys should
+    /// not collide with the snapshot's documented keys.
+    pub fn to_json_extended(&self, extra: &[(String, String)]) -> String {
         let mut out = String::from("{\n");
         let mut fields: Vec<(String, String)> = Vec::new();
         let mut field = |key: &str, value: String| fields.push((key.to_string(), value));
@@ -246,6 +257,7 @@ impl MetricsSnapshot {
             field(&format!("{name}_p99_ms"), json_f64(ms(hist.p99())));
             field(&format!("{name}_max_ms"), json_f64(ms(hist.max())));
         }
+        fields.extend(extra.iter().cloned());
         for (i, (key, value)) in fields.iter().enumerate() {
             out.push_str("  \"");
             out.push_str(key);

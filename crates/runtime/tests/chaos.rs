@@ -242,48 +242,3 @@ fn shared_cache_survives_panicking_neighbors() {
         },
     );
 }
-
-mod cli {
-    //! Process-level chaos: the `xsdf` binary with `XSDF_FAILPOINTS` set.
-    use super::*;
-    use std::process::Command;
-
-    fn write_temp(dir: &std::path::Path, name: &str, content: &str) -> String {
-        let path = dir.join(name);
-        std::fs::write(&path, content).expect("write temp doc");
-        path.to_string_lossy().into_owned()
-    }
-
-    #[test]
-    fn batch_exits_2_on_a_mixed_batch_with_injected_panics() {
-        let dir = std::env::temp_dir().join(format!("xsdf-chaos-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).expect("temp dir");
-        let good = write_temp(&dir, "good.xml", HEALTHY);
-        let bad = write_temp(&dir, "bad.xml", "<broken");
-        let chaos = write_temp(
-            &dir,
-            "chaos.xml",
-            &pathological::with_marker(HEALTHY, PANIC_MARKER),
-        );
-
-        let output = Command::new(env!("CARGO_BIN_EXE_xsdf"))
-            .args(["batch", &good, &bad, &chaos])
-            .env("XSDF_FAILPOINTS", format!("parse=panic-if({PANIC_MARKER})"))
-            .output()
-            .expect("run xsdf batch");
-        let stderr = String::from_utf8_lossy(&output.stderr);
-        assert_eq!(
-            output.status.code(),
-            Some(2),
-            "expected partial-failure exit, stderr: {stderr}"
-        );
-        assert!(stderr.contains("[parse]"), "stderr: {stderr}");
-        assert!(stderr.contains("[panic]"), "stderr: {stderr}");
-        assert!(
-            stderr.contains("2 of 3 document(s) failed"),
-            "stderr: {stderr}"
-        );
-
-        let _ = std::fs::remove_dir_all(&dir);
-    }
-}

@@ -1,0 +1,347 @@
+//! `xsdf bench-serve`: a closed-loop load generator against a running
+//! `xsdf serve` instance.
+//!
+//! Closed-loop means each of the N connections keeps exactly one request
+//! in flight: send, wait for the response, record, send the next. That
+//! measures *sustained* service latency under a fixed concurrency level —
+//! there is no open-loop arrival queue hiding server slowness as client
+//! wait time. The run has two phases: an untimed warmup (populating the
+//! server's shared similarity cache — the whole point of a resident
+//! service) and a timed measurement window, reported as sustained
+//! docs/sec plus the latency distribution of the warm steady state.
+//!
+//! The corpus is the same fixed generated set the batch benchmark replays
+//! (`corpus::Corpus::generate_small(sn, 11, 2)`), so `BENCH_serve.json`
+//! is directly comparable to `BENCH_batch.json`'s warm per-document
+//! numbers.
+
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use runtime::Histogram;
+
+use crate::http;
+
+/// Warm per-document p50 of the batch engine (`doc_latency_p50_ms` in
+/// `BENCH_batch.json`): the reference the served latency is compared
+/// against. The acceptance bar for the resident service is staying
+/// within 3× of this.
+pub const BATCH_WARM_DOC_P50_MS: f64 = 0.425983;
+
+/// Load-generator phases, shared with worker threads through an atomic.
+const WARMUP: usize = 0;
+const MEASURE: usize = 1;
+const STOP: usize = 2;
+
+/// Everything tunable about one bench run.
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    /// Address of the running server, e.g. `127.0.0.1:8737`.
+    pub addr: String,
+    /// Concurrent closed-loop connections.
+    pub connections: usize,
+    /// Untimed warmup phase (cache population).
+    pub warmup: Duration,
+    /// Timed measurement window.
+    pub duration: Duration,
+    /// Raw query string appended to `/disambiguate` (empty for server
+    /// defaults), e.g. `radius=2&process=concept`.
+    pub query: String,
+}
+
+/// What one bench run measured.
+#[derive(Debug)]
+pub struct BenchReport {
+    /// Connections that generated load.
+    pub connections: usize,
+    /// Distinct corpus documents replayed round-robin.
+    pub corpus_docs: usize,
+    /// Successful requests during warmup (not in the latency figures).
+    pub warmup_requests: u64,
+    /// Successful requests inside the measurement window.
+    pub requests: u64,
+    /// Failed requests (non-200 or transport errors) inside the window.
+    pub errors: u64,
+    /// Length of the measurement window.
+    pub elapsed: Duration,
+    /// Per-request latency over the measurement window.
+    pub latency: Histogram,
+}
+
+impl BenchReport {
+    /// Sustained successful requests per second over the window.
+    pub fn docs_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.requests as f64 / secs
+        }
+    }
+
+    /// The report as the `BENCH_serve.json` object. `mode` is `"quick"`
+    /// or `"full"` so readers know whether the numbers are a smoke test
+    /// or a committed measurement.
+    pub fn to_json(&self, mode: &str) -> String {
+        let ms = |d: Duration| d.as_secs_f64() * 1e3;
+        let p50_ms = ms(self.latency.p50());
+        let fields: Vec<(&str, String)> = vec![
+            ("bench", "\"serve_closed_loop\"".to_string()),
+            ("mode", format!("\"{mode}\"")),
+            ("connections", self.connections.to_string()),
+            ("corpus_docs", self.corpus_docs.to_string()),
+            ("warmup_requests", self.warmup_requests.to_string()),
+            ("requests", self.requests.to_string()),
+            ("errors", self.errors.to_string()),
+            ("elapsed_ms", json_f64(ms(self.elapsed))),
+            ("docs_per_sec", json_f64(self.docs_per_sec())),
+            ("latency_p50_ms", json_f64(p50_ms)),
+            ("latency_p90_ms", json_f64(ms(self.latency.p90()))),
+            ("latency_p99_ms", json_f64(ms(self.latency.p99()))),
+            ("latency_max_ms", json_f64(ms(self.latency.max()))),
+            ("latency_mean_ms", json_f64(ms(self.latency.mean()))),
+            ("batch_warm_p50_ms", json_f64(BATCH_WARM_DOC_P50_MS)),
+            (
+                "p50_vs_batch_warm",
+                json_f64(if BATCH_WARM_DOC_P50_MS > 0.0 {
+                    p50_ms / BATCH_WARM_DOC_P50_MS
+                } else {
+                    f64::NAN
+                }),
+            ),
+        ];
+        let mut out = String::from("{\n");
+        for (i, (key, value)) in fields.iter().enumerate() {
+            out.push_str("  \"");
+            out.push_str(key);
+            out.push_str("\": ");
+            out.push_str(value);
+            if i + 1 < fields.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// The fixed bench corpus, serialized compact — the same documents (and
+/// serialization) the batch benchmark replays.
+pub fn corpus_documents() -> Vec<String> {
+    let sn = semnet::mini_wordnet();
+    corpus::Corpus::generate_small(sn, 11, 2)
+        .documents()
+        .iter()
+        .map(|d| xmltree::serialize::to_string_compact(&d.doc))
+        .collect()
+}
+
+/// What one worker thread counted.
+#[derive(Default)]
+struct WorkerTally {
+    warmup_requests: u64,
+    requests: u64,
+    errors: u64,
+    latency: Histogram,
+}
+
+/// Runs the closed loop: N connections replay the corpus through a
+/// warmup phase and a measured window against the server at
+/// `config.addr`.
+pub fn run_bench(config: &BenchConfig) -> Result<BenchReport, String> {
+    let docs = corpus_documents();
+    if docs.is_empty() {
+        return Err("empty bench corpus".into());
+    }
+    let target = if config.query.is_empty() {
+        "/disambiguate".to_string()
+    } else {
+        format!("/disambiguate?{}", config.query)
+    };
+    let phase = AtomicUsize::new(WARMUP);
+    let connections = config.connections.max(1);
+
+    let mut tallies: Vec<WorkerTally> = Vec::new();
+    let mut elapsed = Duration::ZERO;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..connections)
+            .map(|worker| {
+                let phase = &phase;
+                let docs = &docs;
+                let target = &target;
+                let addr = config.addr.as_str();
+                scope.spawn(move || worker_loop(addr, target, docs, worker, phase))
+            })
+            .collect();
+        std::thread::sleep(config.warmup);
+        let window = Instant::now();
+        phase.store(MEASURE, Ordering::SeqCst);
+        std::thread::sleep(config.duration);
+        phase.store(STOP, Ordering::SeqCst);
+        elapsed = window.elapsed();
+        for handle in handles {
+            // A worker that panicked still must not sink the run silently.
+            match handle.join() {
+                Ok(tally) => tallies.push(tally),
+                Err(_) => tallies.push(WorkerTally {
+                    errors: 1,
+                    ..WorkerTally::default()
+                }),
+            }
+        }
+    });
+
+    let mut report = BenchReport {
+        connections,
+        corpus_docs: docs.len(),
+        warmup_requests: 0,
+        requests: 0,
+        errors: 0,
+        elapsed,
+        latency: Histogram::new(),
+    };
+    for tally in &tallies {
+        report.warmup_requests += tally.warmup_requests;
+        report.requests += tally.requests;
+        report.errors += tally.errors;
+        report.latency.merge(&tally.latency);
+    }
+    if report.requests == 0 && report.warmup_requests == 0 {
+        return Err(format!(
+            "no request ever succeeded against {} ({} errors) — is the server up?",
+            config.addr, report.errors
+        ));
+    }
+    Ok(report)
+}
+
+/// One closed-loop connection: connect (and reconnect on failure), then
+/// send-one-await-one until the stop phase.
+fn worker_loop(
+    addr: &str,
+    target: &str,
+    docs: &[String],
+    worker: usize,
+    phase: &AtomicUsize,
+) -> WorkerTally {
+    let mut tally = WorkerTally::default();
+    // Stagger the round-robin start so workers don't all hit the same
+    // document in lockstep.
+    let mut next_doc = worker;
+    let mut conn: Option<(TcpStream, Vec<u8>)> = None;
+    while phase.load(Ordering::SeqCst) != STOP {
+        if conn.is_none() {
+            match TcpStream::connect(addr) {
+                Ok(stream) => {
+                    stream.set_nodelay(true).ok();
+                    conn = Some((stream, Vec::new()));
+                }
+                Err(_) => {
+                    if phase.load(Ordering::SeqCst) == MEASURE {
+                        tally.errors += 1;
+                    }
+                    std::thread::sleep(Duration::from_millis(10));
+                    continue;
+                }
+            }
+        }
+        // invariant: just ensured above
+        let (stream, carry) = conn.as_mut().unwrap();
+        let xml = &docs[next_doc % docs.len()];
+        next_doc += 1;
+        let started = Instant::now();
+        match http::client_roundtrip(
+            stream,
+            carry,
+            "POST",
+            target,
+            &[("Content-Type", "application/xml")],
+            xml.as_bytes(),
+        ) {
+            Ok(response) => {
+                match phase.load(Ordering::SeqCst) {
+                    MEASURE if response.status == 200 => {
+                        tally.requests += 1;
+                        tally.latency.record(started.elapsed());
+                    }
+                    MEASURE => tally.errors += 1,
+                    WARMUP if response.status == 200 => tally.warmup_requests += 1,
+                    _ => {}
+                }
+                if response.close {
+                    conn = None;
+                }
+            }
+            Err(_) => {
+                if phase.load(Ordering::SeqCst) == MEASURE {
+                    tally.errors += 1;
+                }
+                conn = None;
+            }
+        }
+    }
+    tally
+}
+
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_nonempty_and_stable() {
+        let docs = corpus_documents();
+        assert!(!docs.is_empty());
+        assert_eq!(docs, corpus_documents(), "generation is deterministic");
+    }
+
+    #[test]
+    fn report_json_has_the_committed_schema() {
+        let mut latency = Histogram::new();
+        for ms in [1u64, 2, 3] {
+            latency.record(Duration::from_millis(ms));
+        }
+        let report = BenchReport {
+            connections: 2,
+            corpus_docs: 8,
+            warmup_requests: 10,
+            requests: 3,
+            errors: 0,
+            elapsed: Duration::from_millis(300),
+            latency,
+        };
+        assert!((report.docs_per_sec() - 10.0).abs() < 1e-9);
+        let json = report.to_json("quick");
+        for key in [
+            "bench",
+            "mode",
+            "connections",
+            "corpus_docs",
+            "warmup_requests",
+            "requests",
+            "errors",
+            "elapsed_ms",
+            "docs_per_sec",
+            "latency_p50_ms",
+            "latency_p90_ms",
+            "latency_p99_ms",
+            "latency_max_ms",
+            "latency_mean_ms",
+            "batch_warm_p50_ms",
+            "p50_vs_batch_warm",
+        ] {
+            assert!(json.contains(&format!("\"{key}\":")), "missing {key}");
+        }
+        assert!(json.contains("\"bench\": \"serve_closed_loop\""));
+        assert!(json.ends_with("}\n"));
+    }
+}

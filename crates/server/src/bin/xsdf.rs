@@ -10,12 +10,16 @@
 //! xsdf ambiguity    doc.xml [--network kb.sn]       # Amb_Deg per node
 //! xsdf network      [--export kb.sn]                # MiniWordNet stats/export
 //! xsdf senses       <word> [--network kb.sn]        # sense inventory of a word
+//! xsdf serve        [--addr 127.0.0.1:8737] [--threads N] [--queue N] ...
+//! xsdf bench-serve  [--addr host:port] [--connections N] [--duration-ms N] ...
 //! ```
 
 use std::process::ExitCode;
 use std::time::Duration;
 
 use runtime::{BatchEngine, ResourceLimits};
+use server::bench::{run_bench, BenchConfig};
+use server::{report, signal, Server, ServerConfig};
 use xsdf::{DisambiguationProcess, ThresholdPolicy, Xsdf, XsdfConfig};
 
 /// Exit code for a batch where some — but not all — documents failed.
@@ -35,6 +39,8 @@ fn main() -> ExitCode {
         "network" => cmd_network(&args[1..]),
         "import-wndb" => cmd_import_wndb(&args[1..]),
         "senses" => cmd_senses(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
+        "bench-serve" => cmd_bench_serve(&args[1..]),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(ExitCode::SUCCESS)
@@ -59,6 +65,8 @@ USAGE:
     xsdf ambiguity    <file.xml> [options]   print each node's ambiguity degree
     xsdf network      [--export <file>]      built-in network stats / text export
     xsdf senses       <word> [options]       list a word's senses
+    xsdf serve        [options]              resident HTTP service (see SERVE OPTIONS)
+    xsdf bench-serve  [options]              closed-loop load bench against a server
 
 OPTIONS:
     --network <file>      load a semantic network (text format) instead of MiniWordNet
@@ -75,7 +83,9 @@ RESOURCE OPTIONS (disambiguate + batch):
     --deadline-ms <N>     per-document wall-clock budget in milliseconds
 
 BATCH OPTIONS:
-    --threads <N>         worker threads (0 = all cores)        [default: 0]
+    --threads <N>         worker threads; 0 = auto, one per available
+                          core (std::thread::available_parallelism)
+                                                                [default: 0]
     --metrics <file>      write run metrics as JSON (incl. per-stage latency percentiles)
     --trace <file>        write per-document spans in Chrome trace-event format
                           (load in Perfetto or chrome://tracing; one track per worker)
@@ -86,9 +96,36 @@ BATCH OPTIONS:
     --keep-going          process every document despite failures [default]
     --fail-fast           stop scheduling documents after the first failure
 
+SERVE OPTIONS (plus the shared pipeline + resource options above):
+    --addr <host:port>    bind address (port 0 = any free port)  [default: 127.0.0.1:8737]
+    --threads <N>         concurrent worker permits; 0 = auto, one per
+                          available core                         [default: 0]
+    --queue <N>           bounded admission queue; requests beyond it
+                          get 429 + Retry-After (0 = 4 x workers) [default: 0]
+    --max-connections <N> connection cap (excess gets 503)       [default: 64]
+    --slow-ms <N>         stream slow-request reports to stderr, batch format
+    --metrics <file>      write the final metrics snapshot on shutdown
+    Endpoints: POST /disambiguate?radius=&process=&measure=&threshold=&structure=
+               GET /metrics | GET /healthz | POST /shutdown
+    Shutdown:  POST /shutdown or Ctrl-C drains (in-flight requests finish);
+               a second Ctrl-C aborts immediately (exit 130).
+
+BENCH-SERVE OPTIONS:
+    --addr <host:port>    bench an already-running server; omit to self-host
+                          an in-process server on a free port
+    --connections <N>     concurrent closed-loop connections     [default: 2]
+    --warmup-ms <N>       untimed cache-warming phase            [default: 3000]
+    --duration-ms <N>     timed measurement window               [default: 10000]
+    --threads <N>         (self-hosted) worker permits; 0 = auto [default: 0]
+    --query <q>           query string for /disambiguate, e.g. radius=2
+    --out <file>          report path                  [default: BENCH_serve.json]
+    XSDF_BENCH_QUICK=1 shrinks warmup/duration to a smoke test.
+
 EXIT CODES (batch):
     0  every document succeeded
-    2  some documents failed (each is reported on stderr with its kind)
+    2  some documents failed (each is reported on stderr with its kind),
+       or a first Ctrl-C drained the batch early (cancelled slots count
+       as failures; metrics/trace files are still written)
     1  all documents failed, or the invocation itself was invalid";
 
 /// Simple flag parser: returns (positional args, flag lookup).
@@ -297,10 +334,15 @@ fn cmd_batch(args: &[String]) -> Result<ExitCode, String> {
     };
     let tracing = flags.has("--trace") || flags.has("--trace-jsonl") || slow_ms.is_some();
 
+    // First Ctrl-C stops scheduling (unstarted documents become
+    // `cancelled` failures) but metrics/trace outputs are still written;
+    // a second Ctrl-C aborts the process immediately.
+    signal::install();
     let mut engine = BatchEngine::new(network.get(), config)
         .threads(threads)
         .limits(limits)
         .fail_fast(flags.has("--fail-fast"))
+        .cancel_flag(signal::cancel_flag())
         .tracing(tracing);
     if let Some(d) = deadline {
         engine = engine.deadline(d);
@@ -362,6 +404,14 @@ fn cmd_batch(args: &[String]) -> Result<ExitCode, String> {
             print_slow_docs(trace, &files, Duration::from_millis(ms));
         }
     }
+    if signal::interrupt_count() > 0 {
+        eprintln!(
+            "interrupted: {} of {} document(s) cancelled before processing",
+            m.failures.cancelled,
+            docs.len()
+        );
+        return Ok(ExitCode::from(EXIT_PARTIAL));
+    }
     if failures == docs.len() {
         return Err(format!("all {failures} document(s) failed"));
     }
@@ -384,38 +434,12 @@ fn print_slow_docs(trace: &runtime::Trace, files: &[&str], threshold: Duration) 
         );
         return;
     }
-    eprintln!(
-        "{} slow document(s) (>= {:.1} ms):",
-        slow.len(),
-        threshold.as_secs_f64() * 1e3
-    );
+    // The formatter is shared with `xsdf serve --slow-ms`, so batch and
+    // server reports stay byte-identical per span.
+    eprintln!("{}", report::slow_header(slow.len(), threshold));
     for span in slow {
         let path = files.get(span.doc).copied().unwrap_or("?");
-        eprintln!(
-            "  {path}: {:.2} ms total ({}, {} bytes, {} nodes, {} sense pairs, \
-             cache {} hits / {} misses)",
-            span.duration().as_secs_f64() * 1e3,
-            span.outcome,
-            span.bytes,
-            span.nodes,
-            span.sense_pairs,
-            span.cache_hits,
-            span.cache_misses,
-        );
-        for (name, stage) in span.stages() {
-            eprintln!(
-                "    {name:13} {:>9.2} ms",
-                stage.duration.as_secs_f64() * 1e3
-            );
-        }
-        if !span.top_miss_concepts.is_empty() {
-            let list: Vec<String> = span
-                .top_miss_concepts
-                .iter()
-                .map(|(key, n)| format!("{key} ({n})"))
-                .collect();
-            eprintln!("    top cache-miss concepts: {}", list.join(", "));
-        }
+        eprint!("{}", report::slow_span_report(path, span));
     }
 }
 
@@ -496,6 +520,164 @@ fn cmd_import_wndb(args: &[String]) -> Result<ExitCode, String> {
     std::fs::write(out_path, semnet::format::to_text(&sn))
         .map_err(|e| format!("cannot write {out_path}: {e}"))?;
     eprintln!("wrote {} concepts to {out_path}", sn.len());
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Parses the serve/bench flags shared with [`ServerConfig`].
+fn build_server_config(flags: &Flags) -> Result<ServerConfig, String> {
+    fn parsed<T: std::str::FromStr>(flags: &Flags, name: &str) -> Result<Option<T>, String> {
+        match flags.value(name) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("bad {name} value {v:?}")),
+        }
+    }
+    let base = build_config(flags)?;
+    let (limits, deadline) = build_limits(flags)?;
+    let mut config = ServerConfig {
+        base,
+        limits,
+        deadline,
+        ..ServerConfig::default()
+    };
+    if let Some(addr) = flags.value("--addr") {
+        config.addr = addr.to_string();
+    }
+    if let Some(workers) = parsed(flags, "--threads")? {
+        config.workers = workers;
+    }
+    if let Some(queue) = parsed(flags, "--queue")? {
+        config.queue = queue;
+    }
+    if let Some(max) = parsed(flags, "--max-connections")? {
+        config.max_connections = max;
+    }
+    // Mirror the engine's byte ceiling to the HTTP layer, so oversized
+    // uploads are refused from the Content-Length alone (413 before the
+    // body is read) instead of after buffering.
+    config.max_body = parsed(flags, "--max-bytes")?;
+    config.slow = parsed(flags, "--slow-ms")?.map(Duration::from_millis);
+    Ok(config)
+}
+
+fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
+    let flags = Flags { args };
+    let network = load_network(&flags)?;
+    let config = build_server_config(&flags)?;
+    let bind_addr = config.addr.clone();
+
+    signal::install();
+    let server =
+        Server::bind(network.get(), config).map_err(|e| format!("cannot bind {bind_addr}: {e}"))?;
+    let handle = server.handle();
+    eprintln!(
+        "listening on {} ({} workers, queue {})",
+        server.local_addr(),
+        server.workers(),
+        server.queue_capacity()
+    );
+
+    let summary = std::thread::scope(|s| {
+        // Ctrl-C watcher: `signal()` installs with SA_RESTART semantics,
+        // so the blocking accept loop won't see an EINTR — a sidecar
+        // thread turns the first SIGINT into an orderly drain instead.
+        s.spawn(|| loop {
+            if signal::interrupt_count() > 0 {
+                handle.shutdown();
+                break;
+            }
+            if handle.is_stopped() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        });
+        server.run()
+    });
+
+    if let Some(path) = flags.value("--metrics") {
+        std::fs::write(path, &summary.metrics_json)
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    eprintln!(
+        "drained: {} document(s) ({} failed), {} response(s) over {} connection(s)",
+        summary.documents, summary.failed, summary.responses, summary.connections
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_bench_serve(args: &[String]) -> Result<ExitCode, String> {
+    let flags = Flags { args };
+    fn parsed<T: std::str::FromStr>(flags: &Flags, name: &str) -> Result<Option<T>, String> {
+        match flags.value(name) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("bad {name} value {v:?}")),
+        }
+    }
+    let quick = std::env::var_os("XSDF_BENCH_QUICK").is_some();
+    let (default_warmup_ms, default_duration_ms) = if quick { (300, 700) } else { (3000, 10_000) };
+    let mut bench = BenchConfig {
+        addr: String::new(),
+        connections: parsed(&flags, "--connections")?.unwrap_or(2),
+        warmup: Duration::from_millis(parsed(&flags, "--warmup-ms")?.unwrap_or(default_warmup_ms)),
+        duration: Duration::from_millis(
+            parsed(&flags, "--duration-ms")?.unwrap_or(default_duration_ms),
+        ),
+        query: flags.value("--query").unwrap_or("").to_string(),
+    };
+    let mode = if quick { "quick" } else { "full" };
+
+    let report = match flags.value("--addr") {
+        Some(addr) => {
+            bench.addr = addr.to_string();
+            run_bench(&bench)?
+        }
+        None => {
+            // Self-hosted: spin up an in-process server on a free port,
+            // bench it, drain it.
+            let network = load_network(&flags)?;
+            let mut server_config = build_server_config(&flags)?;
+            server_config.addr = "127.0.0.1:0".to_string();
+            let server = Server::bind(network.get(), server_config)
+                .map_err(|e| format!("cannot bind self-hosted server: {e}"))?;
+            bench.addr = server.local_addr().to_string();
+            eprintln!(
+                "self-hosted server on {} ({} workers)",
+                bench.addr,
+                server.workers()
+            );
+            let handle = server.handle();
+            let mut outcome = Err("bench did not run".to_string());
+            std::thread::scope(|s| {
+                let serving = s.spawn(|| server.run());
+                outcome = run_bench(&bench);
+                handle.shutdown();
+                let _ = serving.join();
+            });
+            outcome?
+        }
+    };
+
+    eprintln!(
+        "bench-serve: {} connections, {} warmup + {} measured requests, {} errors",
+        report.connections, report.warmup_requests, report.requests, report.errors
+    );
+    eprintln!(
+        "  sustained {:.1} docs/s | p50 {:.3} ms  p99 {:.3} ms  max {:.3} ms",
+        report.docs_per_sec(),
+        report.latency.p50().as_secs_f64() * 1e3,
+        report.latency.p99().as_secs_f64() * 1e3,
+        report.latency.max().as_secs_f64() * 1e3,
+    );
+    let json = report.to_json(mode);
+    let out = flags.value("--out").unwrap_or("BENCH_serve.json");
+    std::fs::write(out, &json).map_err(|e| format!("cannot write {out}: {e}"))?;
+    eprintln!("wrote {out}");
+    print!("{json}");
     Ok(ExitCode::SUCCESS)
 }
 

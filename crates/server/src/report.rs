@@ -1,0 +1,102 @@
+//! The slow-document report: one shared formatter so `xsdf batch
+//! --slow-ms` and `xsdf serve --slow-ms` emit byte-identical breakdowns
+//! and operators can grep one format across both modes.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use runtime::DocSpan;
+
+/// Formats one slow document exactly as the batch CLI reports it: the
+/// label, the end-to-end time with byte/node/cache context, a per-stage
+/// breakdown, and the concepts whose cache misses cost it most. The
+/// result is multi-line and ends with a newline.
+pub fn slow_span_report(label: &str, span: &DocSpan) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "  {label}: {:.2} ms total ({}, {} bytes, {} nodes, {} sense pairs, \
+         cache {} hits / {} misses)",
+        span.duration().as_secs_f64() * 1e3,
+        span.outcome,
+        span.bytes,
+        span.nodes,
+        span.sense_pairs,
+        span.cache_hits,
+        span.cache_misses,
+    );
+    for (name, stage) in span.stages() {
+        let _ = writeln!(
+            out,
+            "    {name:13} {:>9.2} ms",
+            stage.duration.as_secs_f64() * 1e3
+        );
+    }
+    if !span.top_miss_concepts.is_empty() {
+        let list: Vec<String> = span
+            .top_miss_concepts
+            .iter()
+            .map(|(key, n)| format!("{key} ({n})"))
+            .collect();
+        let _ = writeln!(out, "    top cache-miss concepts: {}", list.join(", "));
+    }
+    out
+}
+
+/// The header line above a group of slow-document reports.
+pub fn slow_header(count: usize, threshold: Duration) -> String {
+    format!(
+        "{count} slow document(s) (>= {:.1} ms):",
+        threshold.as_secs_f64() * 1e3
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use runtime::StageSpan;
+
+    #[test]
+    fn report_has_stage_breakdown_and_miss_concepts() {
+        let start = Duration::from_micros(100);
+        let span = DocSpan {
+            doc: 0,
+            worker: 0,
+            start,
+            end: start + Duration::from_millis(7),
+            bytes: 64,
+            outcome: "ok",
+            error: None,
+            nodes: 5,
+            targets: 2,
+            assigned: 2,
+            sense_pairs: 9,
+            cache_hits: 3,
+            cache_misses: 4,
+            stages: [
+                Some(StageSpan {
+                    start,
+                    duration: Duration::from_millis(1),
+                }),
+                None,
+                None,
+                Some(StageSpan {
+                    start: start + Duration::from_millis(1),
+                    duration: Duration::from_millis(6),
+                }),
+            ],
+            top_miss_concepts: vec![("star.performer".into(), 4)],
+        };
+        let report = slow_span_report("req-7", &span);
+        assert!(report.starts_with("  req-7: 7.00 ms total (ok, 64 bytes, 5 nodes"));
+        assert!(report.contains("parse"));
+        assert!(report.contains("disambiguate"));
+        assert!(!report.contains("select"), "skipped stages are absent");
+        assert!(report.contains("top cache-miss concepts: star.performer (4)"));
+        assert!(report.ends_with('\n'));
+        assert_eq!(
+            slow_header(2, Duration::from_millis(25)),
+            "2 slow document(s) (>= 25.0 ms):"
+        );
+    }
+}

@@ -1,0 +1,61 @@
+//! Graceful SIGINT handling for the CLI, and the crate's only `unsafe`
+//! code: two `libc` symbols declared by hand because the build is
+//! std-only (no `libc` crate).
+//!
+//! The protocol is two-stage, the classic server convention:
+//!
+//! 1. the **first** Ctrl-C raises a process-wide cancel flag — `xsdf
+//!    batch` stops scheduling new documents (via
+//!    [`runtime::BatchEngine::cancel_flag`]) and still writes its metrics
+//!    and trace outputs; `xsdf serve` begins its drain;
+//! 2. a **second** Ctrl-C calls `_exit(130)` (128 + SIGINT), the
+//!    immediate abort escape hatch when draining takes too long.
+//!
+//! The handler body touches only atomics and `_exit`, both
+//! async-signal-safe. State is sticky for the process lifetime: install
+//! once from `main`, poll [`interrupt_count`] from ordinary threads.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// POSIX signal number for Ctrl-C.
+const SIGINT: i32 = 2;
+
+/// Exit status for a SIGINT abort (128 + signal number).
+const EXIT_INTERRUPTED: i32 = 130;
+
+static INTERRUPTS: AtomicUsize = AtomicUsize::new(0);
+static CANCEL: AtomicBool = AtomicBool::new(false);
+
+extern "C" {
+    /// `signal(2)`. The returned previous handler is ignored.
+    fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    /// `_exit(2)`: terminate immediately, no atexit handlers, no unwind —
+    /// the only exit that is async-signal-safe.
+    fn _exit(status: i32) -> !;
+}
+
+extern "C" fn on_sigint(_signum: i32) {
+    let previous = INTERRUPTS.fetch_add(1, Ordering::SeqCst);
+    CANCEL.store(true, Ordering::SeqCst);
+    if previous >= 1 {
+        // Second Ctrl-C: the user is done waiting.
+        unsafe { _exit(EXIT_INTERRUPTED) }
+    }
+}
+
+/// Installs the two-stage SIGINT handler. Idempotent; call once from
+/// `main` before starting long-running work.
+pub fn install() {
+    let _ = unsafe { signal(SIGINT, on_sigint) };
+}
+
+/// The process-wide cancel flag the first Ctrl-C raises. `'static`, so it
+/// plugs straight into [`runtime::BatchEngine::cancel_flag`].
+pub fn cancel_flag() -> &'static AtomicBool {
+    &CANCEL
+}
+
+/// How many SIGINTs have arrived so far (0 on an uninterrupted run).
+pub fn interrupt_count() -> usize {
+    INTERRUPTS.load(Ordering::SeqCst)
+}

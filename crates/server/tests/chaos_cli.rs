@@ -1,0 +1,112 @@
+//! Process-level chaos: the `xsdf` binary with `XSDF_FAILPOINTS` set.
+//!
+//! Compiled only with `--features failpoints` (which forwards
+//! `runtime/failpoints` into the binary); CI runs these alongside the
+//! runtime's in-process chaos suite.
+#![cfg(feature = "failpoints")]
+
+use std::process::Command;
+
+use corpus::pathological;
+
+const HEALTHY: &str = "<films><picture><cast><star>Kelly</star></cast></picture></films>";
+const PANIC_MARKER: &str = "CHAOS_PANIC";
+const SLOW_MARKER: &str = "CHAOS_SLOW";
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("xsdf-chaos-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+fn write_temp(dir: &std::path::Path, name: &str, content: &str) -> String {
+    let path = dir.join(name);
+    std::fs::write(&path, content).expect("write temp doc");
+    path.to_string_lossy().into_owned()
+}
+
+#[test]
+fn batch_exits_2_on_a_mixed_batch_with_injected_panics() {
+    let dir = temp_dir("mixed");
+    let good = write_temp(&dir, "good.xml", HEALTHY);
+    let bad = write_temp(&dir, "bad.xml", "<broken");
+    let chaos = write_temp(
+        &dir,
+        "chaos.xml",
+        &pathological::with_marker(HEALTHY, PANIC_MARKER),
+    );
+
+    let output = Command::new(env!("CARGO_BIN_EXE_xsdf"))
+        .args(["batch", &good, &bad, &chaos])
+        .env("XSDF_FAILPOINTS", format!("parse=panic-if({PANIC_MARKER})"))
+        .output()
+        .expect("run xsdf batch");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert_eq!(
+        output.status.code(),
+        Some(2),
+        "expected partial-failure exit, stderr: {stderr}"
+    );
+    assert!(stderr.contains("[parse]"), "stderr: {stderr}");
+    assert!(stderr.contains("[panic]"), "stderr: {stderr}");
+    assert!(
+        stderr.contains("2 of 3 document(s) failed"),
+        "stderr: {stderr}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn first_sigint_drains_batch_writes_metrics_and_exits_2() {
+    let dir = temp_dir("sigint");
+    // A batch long enough to interrupt: every document hits a delay
+    // failpoint, single worker, so the run takes ~docs × delay.
+    let slow_doc = pathological::with_marker(HEALTHY, SLOW_MARKER);
+    let files: Vec<String> = (0..20)
+        .map(|i| write_temp(&dir, &format!("slow-{i}.xml"), &slow_doc))
+        .collect();
+    let metrics_path = dir.join("metrics.json");
+
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_xsdf"));
+    cmd.arg("batch")
+        .args(&files)
+        .args([
+            "--threads",
+            "1",
+            "--metrics",
+            metrics_path.to_str().unwrap(),
+        ])
+        .env(
+            "XSDF_FAILPOINTS",
+            format!("disambiguate=delay-if({SLOW_MARKER}, 150)"),
+        )
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::piped());
+    let child = cmd.spawn().expect("spawn xsdf batch");
+
+    // Give it time to start a document, then deliver the first Ctrl-C.
+    std::thread::sleep(std::time::Duration::from_millis(400));
+    let kill = Command::new("kill")
+        .args(["-INT", &child.id().to_string()])
+        .status()
+        .expect("send SIGINT");
+    assert!(kill.success(), "kill -INT failed");
+
+    let output = child.wait_with_output().expect("wait for xsdf batch");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert_eq!(
+        output.status.code(),
+        Some(2),
+        "interrupted batch must exit with the partial-failure code, stderr: {stderr}"
+    );
+    assert!(
+        stderr.contains("interrupted"),
+        "stderr should report the interrupt: {stderr}"
+    );
+    let metrics = std::fs::read_to_string(&metrics_path)
+        .expect("metrics JSON must be written despite the interrupt");
+    assert!(metrics.contains("\"failed_cancelled\":"), "{metrics}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

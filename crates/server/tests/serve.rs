@@ -1,0 +1,493 @@
+//! End-to-end protocol tests for `xsdf serve`: in-process servers driven
+//! over real loopback sockets, plus process-level tests of the binary.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::process::{Command, Stdio};
+use std::time::Duration;
+
+use server::http::{self, ClientResponse};
+use server::{Server, ServerConfig, ServerSummary};
+
+const HEALTHY: &str = "<films><picture><cast><star>Kelly</star></cast></picture></films>";
+
+/// Binds a server on a free loopback port, runs `f` against it, then
+/// drains and returns the final summary.
+fn with_server<F>(mut config: ServerConfig, f: F) -> ServerSummary
+where
+    F: FnOnce(SocketAddr),
+{
+    let sn = semnet::mini_wordnet();
+    config.addr = "127.0.0.1:0".to_string();
+    let server = Server::bind(sn, config).expect("bind loopback server");
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let mut summary = None;
+    std::thread::scope(|scope| {
+        let run = scope.spawn(|| server.run());
+        // A panicking test body must still drain the server, or the scope
+        // join would hang forever on the accept loop.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(addr)));
+        handle.shutdown();
+        summary = Some(run.join().expect("server thread"));
+        if let Err(panic) = outcome {
+            std::panic::resume_unwind(panic);
+        }
+    });
+    summary.unwrap()
+}
+
+/// One fresh-connection request (convenience for single-shot tests).
+fn request(addr: SocketAddr, method: &str, target: &str, body: &[u8]) -> ClientResponse {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let mut carry = Vec::new();
+    http::client_roundtrip(
+        &mut stream,
+        &mut carry,
+        method,
+        target,
+        &[("Content-Type", "application/xml")],
+        body,
+    )
+    .expect("roundtrip")
+}
+
+fn body_str(response: &ClientResponse) -> String {
+    String::from_utf8_lossy(&response.body).into_owned()
+}
+
+#[test]
+fn healthz_metrics_and_routing() {
+    with_server(ServerConfig::default(), |addr| {
+        let health = request(addr, "GET", "/healthz", b"");
+        assert_eq!(health.status, 200);
+        assert!(body_str(&health).contains("\"status\":\"ok\""));
+
+        let metrics = request(addr, "GET", "/metrics", b"");
+        assert_eq!(metrics.status, 200);
+        let json = body_str(&metrics);
+        for key in [
+            "\"server_state\":",
+            "\"documents\":",
+            "\"queue_capacity\":",
+            "\"uptime_ms\":",
+            "\"endpoint_healthz_requests\":",
+        ] {
+            assert!(json.contains(key), "metrics JSON missing {key}: {json}");
+        }
+
+        let missing = request(addr, "GET", "/nope", b"");
+        assert_eq!(missing.status, 404);
+
+        let wrong_method = request(addr, "DELETE", "/disambiguate", b"");
+        assert_eq!(wrong_method.status, 405);
+        assert_eq!(wrong_method.header("allow"), Some("POST"));
+    });
+}
+
+#[test]
+fn disambiguate_returns_annotated_xml() {
+    let summary = with_server(ServerConfig::default(), |addr| {
+        let response = request(addr, "POST", "/disambiguate", HEALTHY.as_bytes());
+        assert_eq!(response.status, 200, "{}", body_str(&response));
+        assert_eq!(response.header("content-type"), Some("application/xml"));
+        assert!(response.header("x-xsdf-nodes").is_some());
+        assert!(response.header("x-xsdf-targets").is_some());
+        assert!(response.header("x-xsdf-assigned").is_some());
+        let body = body_str(&response);
+        assert!(body.starts_with("<element"), "{body}");
+        assert!(body.contains("concept="), "annotations present: {body}");
+        assert!(body.ends_with('\n'), "annotated XML ends with newline");
+    });
+    assert_eq!(summary.documents, 1);
+    assert_eq!(summary.failed, 0);
+}
+
+#[test]
+fn malformed_http_gets_400_and_close() {
+    with_server(ServerConfig::default(), |addr| {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(b"THIS IS NOT HTTP\r\n\r\n")
+            .expect("write garbage");
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).expect("read until close");
+        assert!(raw.starts_with("HTTP/1.1 400 "), "{raw}");
+        assert!(raw.contains("\"kind\":\"bad_request\""), "{raw}");
+    });
+}
+
+#[test]
+fn malformed_xml_gets_400_parse_kind() {
+    with_server(ServerConfig::default(), |addr| {
+        let response = request(addr, "POST", "/disambiguate", b"<broken");
+        assert_eq!(response.status, 400);
+        assert!(body_str(&response).contains("\"kind\":\"parse\""));
+    });
+}
+
+#[test]
+fn bad_query_parameters_get_400() {
+    with_server(ServerConfig::default(), |addr| {
+        for target in [
+            "/disambiguate?radius=banana",
+            "/disambiguate?process=quantum",
+            "/disambiguate?raduis=2", // typo must not silently pass
+        ] {
+            let response = request(addr, "POST", target, HEALTHY.as_bytes());
+            assert_eq!(response.status, 400, "{target}");
+            assert!(body_str(&response).contains("\"kind\":\"bad_request\""));
+        }
+    });
+}
+
+#[test]
+fn oversized_body_gets_413_limit_kind() {
+    let config = ServerConfig {
+        max_body: Some(64),
+        ..ServerConfig::default()
+    };
+    with_server(config, |addr| {
+        let big = "x".repeat(1024);
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        let mut carry = Vec::new();
+        let response = http::client_roundtrip(
+            &mut stream,
+            &mut carry,
+            "POST",
+            "/disambiguate",
+            &[("Content-Type", "application/xml")],
+            big.as_bytes(),
+        )
+        .expect("roundtrip");
+        assert_eq!(response.status, 413);
+        assert!(body_str(&response).contains("\"kind\":\"limit\""));
+        assert!(response.close, "oversized request closes the connection");
+    });
+}
+
+#[test]
+fn deadline_gets_504_deadline_kind() {
+    let config = ServerConfig {
+        deadline: Some(Duration::from_nanos(1)),
+        ..ServerConfig::default()
+    };
+    with_server(config, |addr| {
+        let response = request(addr, "POST", "/disambiguate", HEALTHY.as_bytes());
+        assert_eq!(response.status, 504, "{}", body_str(&response));
+        assert!(body_str(&response).contains("\"kind\":\"deadline\""));
+    });
+}
+
+/// Saturates a 1-worker, 1-slot-queue server with closed-loop clients:
+/// backpressure must answer 429 + `Retry-After`, and every response must
+/// be either a success or an explicit rejection — nothing hangs, nothing
+/// is silently dropped.
+#[test]
+fn queue_full_gets_429_with_retry_after() {
+    let config = ServerConfig {
+        workers: 1,
+        queue: 1,
+        ..ServerConfig::default()
+    };
+    let docs = server::bench::corpus_documents();
+    let summary = with_server(config, |addr| {
+        let saw_429 = std::sync::atomic::AtomicUsize::new(0);
+        let saw_200 = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for worker in 0..12 {
+                let docs = &docs;
+                let saw_429 = &saw_429;
+                let saw_200 = &saw_200;
+                scope.spawn(move || {
+                    let deadline = std::time::Instant::now() + Duration::from_secs(2);
+                    let mut next = worker;
+                    while std::time::Instant::now() < deadline {
+                        let doc = &docs[next % docs.len()];
+                        next += 1;
+                        let response = request(addr, "POST", "/disambiguate", doc.as_bytes());
+                        match response.status {
+                            200 => {
+                                saw_200.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            }
+                            429 => {
+                                assert_eq!(
+                                    response.header("retry-after"),
+                                    Some("1"),
+                                    "429 must carry Retry-After"
+                                );
+                                assert!(body_str(&response).contains("\"kind\":\"overloaded\""));
+                                saw_429.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            }
+                            other => panic!("unexpected status {other}"),
+                        }
+                        // Enough evidence from this worker.
+                        if saw_429.load(std::sync::atomic::Ordering::Relaxed) > 0
+                            && saw_200.load(std::sync::atomic::Ordering::Relaxed) > 0
+                        {
+                            break;
+                        }
+                    }
+                });
+            }
+        });
+        assert!(
+            saw_200.load(std::sync::atomic::Ordering::Relaxed) > 0,
+            "some requests must be admitted"
+        );
+        assert!(
+            saw_429.load(std::sync::atomic::Ordering::Relaxed) > 0,
+            "a saturated 1-worker server must shed load with 429"
+        );
+    });
+    assert!(summary.metrics_json.contains("\"rejected_queue_full\":"));
+}
+
+/// The same document posted by concurrent clients (cold cache, warm
+/// cache, interleaved) must produce byte-identical annotated XML.
+#[test]
+fn concurrent_clients_get_byte_identical_responses() {
+    with_server(ServerConfig::default(), |addr| {
+        let bodies: Vec<Vec<u8>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    scope.spawn(move || {
+                        let mut out = Vec::new();
+                        for _ in 0..3 {
+                            let response =
+                                request(addr, "POST", "/disambiguate", HEALTHY.as_bytes());
+                            assert_eq!(response.status, 200);
+                            out.push(response.body);
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("client thread"))
+                .collect()
+        });
+        assert_eq!(bodies.len(), 12);
+        for body in &bodies[1..] {
+            assert_eq!(body, &bodies[0], "responses must be byte-identical");
+        }
+    });
+}
+
+/// Shutdown must drain: every request the engine processed corresponds to
+/// a complete response delivered to a client, at 1, 2, and 8 workers.
+#[test]
+fn shutdown_drains_accepted_requests_at_1_2_and_8_workers() {
+    let docs = server::bench::corpus_documents();
+    for workers in [1usize, 2, 8] {
+        let config = ServerConfig {
+            workers,
+            ..ServerConfig::default()
+        };
+        let delivered_200 = std::sync::atomic::AtomicUsize::new(0);
+        let summary = with_server(config, |addr| {
+            std::thread::scope(|scope| {
+                for worker in 0..workers * 2 {
+                    let docs = &docs;
+                    let delivered_200 = &delivered_200;
+                    scope.spawn(move || {
+                        let mut stream = match TcpStream::connect(addr) {
+                            Ok(s) => s,
+                            Err(_) => return, // drain already closed the door
+                        };
+                        let mut carry = Vec::new();
+                        for i in 0..5 {
+                            let doc = &docs[(worker + i) % docs.len()];
+                            match http::client_roundtrip(
+                                &mut stream,
+                                &mut carry,
+                                "POST",
+                                "/disambiguate",
+                                &[("Content-Type", "application/xml")],
+                                doc.as_bytes(),
+                            ) {
+                                Ok(response) if response.status == 200 => {
+                                    delivered_200
+                                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                    if response.close {
+                                        break;
+                                    }
+                                }
+                                // 503 draining / 429, or the drain cut the
+                                // connection: both are clean rejections.
+                                Ok(_) | Err(_) => break,
+                            }
+                        }
+                    });
+                }
+                // Let some requests through, then drain mid-stream.
+                std::thread::sleep(Duration::from_millis(20));
+                let shutdown = request(addr, "POST", "/shutdown", b"");
+                assert_eq!(shutdown.status, 200);
+                assert!(body_str(&shutdown).contains("\"status\":\"draining\""));
+            });
+        });
+        assert_eq!(
+            summary.documents,
+            delivered_200.load(std::sync::atomic::Ordering::Relaxed),
+            "workers={workers}: every processed document must reach a client"
+        );
+        assert!(
+            summary
+                .metrics_json
+                .contains("\"server_state\": \"stopped\"")
+                || summary
+                    .metrics_json
+                    .contains("\"server_state\":\"stopped\""),
+            "workers={workers}: final snapshot taken after the drain barrier"
+        );
+    }
+}
+
+/// A draining server must refuse new work with 503 + `Retry-After`.
+#[test]
+fn requests_during_drain_get_503() {
+    let sn = semnet::mini_wordnet();
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        ..ServerConfig::default()
+    };
+    let server = Server::bind(sn, config).expect("bind");
+    let addr = server.local_addr();
+    let handle = server.handle();
+    std::thread::scope(|scope| {
+        let run = scope.spawn(|| server.run());
+        // Open a keep-alive connection while running, then drain, then try
+        // to use it: the pipelined request must get an explicit 503.
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        let mut carry = Vec::new();
+        let first = http::client_roundtrip(&mut stream, &mut carry, "GET", "/healthz", &[], b"")
+            .expect("healthz while running");
+        assert_eq!(first.status, 200);
+
+        handle.shutdown();
+        // The request may race the drain flag: a connection closed by the
+        // idle reaper is an equally clean drain, but if a response comes,
+        // it must be the structured rejection.
+        if let Ok(response) = http::client_roundtrip(
+            &mut stream,
+            &mut carry,
+            "POST",
+            "/disambiguate",
+            &[("Content-Type", "application/xml")],
+            HEALTHY.as_bytes(),
+        ) {
+            assert_eq!(response.status, 503, "{}", body_str(&response));
+            assert_eq!(response.header("retry-after"), Some("1"));
+            assert!(body_str(&response).contains("\"kind\":\"draining\""));
+        }
+        run.join().expect("server thread");
+    });
+}
+
+// ---------------------------------------------------------------------
+// Process-level: the actual binary.
+// ---------------------------------------------------------------------
+
+/// The server's 200 body must be byte-identical to what `xsdf batch
+/// --annotate` prints for the same document and configuration.
+#[test]
+fn serve_body_matches_batch_annotate_bytes() {
+    let dir = std::env::temp_dir().join(format!("xsdf-serve-eq-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let docs = server::bench::corpus_documents();
+    let mut cases = vec![HEALTHY.to_string()];
+    cases.extend(docs.iter().take(3).cloned());
+
+    for (i, doc) in cases.iter().enumerate() {
+        let path = dir.join(format!("doc-{i}.xml"));
+        std::fs::write(&path, doc).expect("write doc");
+
+        let output = Command::new(env!("CARGO_BIN_EXE_xsdf"))
+            .args(["batch", path.to_str().unwrap(), "--annotate"])
+            .output()
+            .expect("run xsdf batch");
+        assert!(output.status.success(), "batch failed for doc {i}");
+        let stdout = String::from_utf8(output.stdout).expect("utf8 stdout");
+        // Per-document output is one summary line, then the annotated XML.
+        let (_header, annotated) = stdout
+            .split_once('\n')
+            .expect("batch prints a summary line before the XML");
+
+        let served = with_server(ServerConfig::default(), |addr| {
+            let response = request(addr, "POST", "/disambiguate", doc.as_bytes());
+            assert_eq!(response.status, 200, "doc {i}");
+            assert_eq!(
+                body_str(&response),
+                annotated,
+                "doc {i}: served body must be byte-identical to batch --annotate"
+            );
+        });
+        assert_eq!(served.documents, 1);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Spawns the binary, parses the bound address off stderr, and returns
+/// the child plus its address and the buffered stderr reader.
+fn spawn_serve(extra: &[&str]) -> (std::process::Child, SocketAddr) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_xsdf"));
+    cmd.args(["serve", "--addr", "127.0.0.1:0"])
+        .args(extra)
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped());
+    let mut child = cmd.spawn().expect("spawn xsdf serve");
+    let stderr = child.stderr.take().expect("piped stderr");
+    let mut lines = BufReader::new(stderr).lines();
+    let addr = loop {
+        let line = lines
+            .next()
+            .expect("serve must announce its address")
+            .expect("read stderr");
+        if let Some(rest) = line.strip_prefix("listening on ") {
+            let addr = rest.split(' ').next().expect("addr token");
+            break addr.parse().expect("socket addr");
+        }
+    };
+    // Keep draining stderr so the child never blocks on a full pipe.
+    std::thread::spawn(move || for _ in lines {});
+    (child, addr)
+}
+
+#[test]
+fn serve_binary_serves_and_drains_on_shutdown_endpoint() {
+    let dir = std::env::temp_dir().join(format!("xsdf-serve-bin-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let metrics_path = dir.join("serve-metrics.json");
+    let (mut child, addr) = spawn_serve(&["--metrics", metrics_path.to_str().unwrap()]);
+
+    let response = request(addr, "POST", "/disambiguate", HEALTHY.as_bytes());
+    assert_eq!(response.status, 200, "{}", body_str(&response));
+    let health = request(addr, "GET", "/healthz", b"");
+    assert_eq!(health.status, 200);
+
+    let shutdown = request(addr, "POST", "/shutdown", b"");
+    assert_eq!(shutdown.status, 200);
+    let status = child.wait().expect("serve exit");
+    assert_eq!(status.code(), Some(0), "drain exits cleanly");
+
+    let metrics = std::fs::read_to_string(&metrics_path).expect("metrics flushed on drain");
+    assert!(metrics.contains("\"documents\": 1") || metrics.contains("\"documents\":1"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn serve_binary_drains_on_sigint() {
+    let (mut child, addr) = spawn_serve(&[]);
+    let response = request(addr, "POST", "/disambiguate", HEALTHY.as_bytes());
+    assert_eq!(response.status, 200);
+
+    let kill = Command::new("kill")
+        .args(["-INT", &child.id().to_string()])
+        .status()
+        .expect("send SIGINT");
+    assert!(kill.success());
+    let status = child.wait().expect("serve exit");
+    assert_eq!(status.code(), Some(0), "SIGINT drains and exits cleanly");
+}
