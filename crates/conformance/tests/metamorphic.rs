@@ -93,6 +93,55 @@ fn batch_thread_counts_are_bitwise_identical() {
     }
 }
 
+/// Eviction must be score-invisible too: batch runs under tiny entry and
+/// byte budgets — evicting constantly, at 1, 2, and 8 threads — are
+/// bit-identical to the cacheless serial reference. A bounded cache may
+/// change when scores are recomputed, never what they are.
+#[test]
+fn bounded_cache_eviction_is_bitwise_invisible() {
+    let sn = mini_wordnet();
+    let all = cases(sn);
+    let subset = nucleus(&all, 5);
+    // One config for the whole batch (batch runs share a pipeline).
+    let xsdf = Xsdf::new(sn, subset[0].config());
+    let sources: Vec<String> = subset.iter().map(|c| to_string_compact(&c.doc)).collect();
+    let docs: Vec<&str> = sources.iter().map(String::as_str).collect();
+    let reference: Vec<DisambiguationResult> = subset
+        .iter()
+        .map(|c| xsdf.disambiguate_tree(&xsdf.build_tree(&c.doc)))
+        .collect();
+    let budgets = [
+        runtime::CacheBudget {
+            max_entries: 4,
+            max_bytes: 0,
+        },
+        runtime::CacheBudget {
+            max_entries: 0,
+            max_bytes: 8 * 1024,
+        },
+    ];
+    for budget in budgets {
+        for threads in [1usize, 2, 8] {
+            let engine = runtime::BatchEngine::new(sn, subset[0].config())
+                .threads(threads)
+                .cache_budget(budget);
+            let report = engine.run(&docs);
+            assert!(
+                report.metrics.cache_evictions > 0,
+                "budget {budget:?} must actually evict for this test to bite"
+            );
+            for ((case, result), want) in subset.iter().zip(&report.results).zip(&reference) {
+                let got = result.as_ref().expect("conformance case parses");
+                assert_results_identical(
+                    want,
+                    got,
+                    &format!("{} budget {budget:?} threads {threads}", case.context()),
+                );
+            }
+        }
+    }
+}
+
 /// Definition 5: spheres are nested in the radius — `S_r(x) ⊆ S_{r+1}(x)`
 /// with unchanged distances — and the context vector's support can only
 /// grow with them. Checked on both implementations.

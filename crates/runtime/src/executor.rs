@@ -232,6 +232,15 @@ impl<'sn> BatchEngine<'sn> {
         self
     }
 
+    /// Replaces the engine's cache with a fresh one enforcing `budget`
+    /// (see [`crate::CacheBudget`]). Eviction never changes results —
+    /// entries are pure functions of their keys, so a bounded run is
+    /// byte-identical to an unbounded one, only colder.
+    pub fn cache_budget(mut self, budget: crate::CacheBudget) -> Self {
+        self.cache = Arc::new(SharedCache::with_budget(budget));
+        self
+    }
+
     /// Enables per-document span collection: the report's
     /// [`BatchReport::trace`] becomes `Some`, with one [`DocSpan`] per
     /// attempted document (stage timings, cache delta, most-missed
@@ -362,6 +371,9 @@ impl<'sn> BatchEngine<'sn> {
             cache_hits: totals.cache_hits,
             cache_misses: totals.cache_misses,
             cache_entries: self.cache.len(),
+            cache_evictions: self.cache.evictions(),
+            cache_bytes: self.cache.bytes(),
+            cache_bytes_peak: self.cache.bytes_peak(),
             gloss_pairs_scored: totals.gloss_pairs_scored,
             vectors_built: totals.vectors_built,
             vectors_reused: totals.vectors_reused,

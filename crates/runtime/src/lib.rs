@@ -65,7 +65,7 @@ pub mod limits;
 pub mod metrics;
 pub mod trace;
 
-pub use cache::{SharedCache, TallyCache};
+pub use cache::{CacheBudget, SharedCache, TallyCache};
 pub use error::XsdfError;
 pub use executor::{BatchEngine, BatchReport, DocOutcome};
 pub use hist::Histogram;

@@ -158,6 +158,13 @@ pub struct MetricsSnapshot {
     pub cache_misses: u64,
     /// Distinct concept pairs cached at the end of the run.
     pub cache_entries: usize,
+    /// Entries evicted from the shared cache over its lifetime (0 when
+    /// the cache is unbounded and never trimmed).
+    pub cache_evictions: u64,
+    /// Accounted bytes currently held by the shared cache (both tables).
+    pub cache_bytes: u64,
+    /// Lifetime high watermark of `cache_bytes`.
+    pub cache_bytes_peak: u64,
     /// Concept pairs that went through the extended-gloss-overlap kernel
     /// (cache misses only; hits never rescore).
     pub gloss_pairs_scored: u64,
@@ -243,6 +250,9 @@ impl MetricsSnapshot {
             ("cache_misses", self.cache_misses.to_string()),
             ("cache_hit_rate", json_f64(self.cache_hit_rate())),
             ("cache_entries", self.cache_entries.to_string()),
+            ("cache_evictions", self.cache_evictions.to_string()),
+            ("cache_bytes", self.cache_bytes.to_string()),
+            ("cache_bytes_peak", self.cache_bytes_peak.to_string()),
             ("gloss_pairs_scored", self.gloss_pairs_scored.to_string()),
             ("vectors_built", self.vectors_built.to_string()),
             ("vectors_reused", self.vectors_reused.to_string()),
@@ -330,6 +340,9 @@ mod tests {
             cache_hits: 75,
             cache_misses: 25,
             cache_entries: 25,
+            cache_evictions: 3,
+            cache_bytes: 4096,
+            cache_bytes_peak: 8192,
             gloss_pairs_scored: 25,
             vectors_built: 12,
             vectors_reused: 48,
@@ -384,6 +397,9 @@ mod tests {
             "cache_misses",
             "cache_hit_rate",
             "cache_entries",
+            "cache_evictions",
+            "cache_bytes",
+            "cache_bytes_peak",
             "gloss_pairs_scored",
             "vectors_built",
             "vectors_reused",

@@ -12,7 +12,7 @@ use std::time::Duration;
 
 use corpus::pathological;
 use runtime::fault::{self, FaultAction};
-use runtime::{BatchEngine, ResourceLimits, XsdfError};
+use runtime::{BatchEngine, CacheBudget, ResourceLimits, XsdfError};
 use semnet::mini_wordnet;
 use xsdf::XsdfConfig;
 
@@ -209,6 +209,121 @@ fn fail_fast_cancels_after_an_injected_panic() {
             }
         },
     );
+}
+
+/// A corpus batch that scores enough distinct pairs (and, under the
+/// combined process, context vectors) to keep a tiny budget evicting
+/// throughout the run.
+fn eviction_corpus() -> Vec<String> {
+    corpus::Corpus::generate_small(mini_wordnet(), 11, 1)
+        .documents()
+        .iter()
+        .map(|d| xmltree::serialize::to_string_pretty(&d.doc))
+        .collect()
+}
+
+/// Both cache tables in play: pair scores and shared context vectors.
+fn combined_config() -> XsdfConfig {
+    XsdfConfig {
+        process: xsdf::DisambiguationProcess::Combined {
+            concept: 0.5,
+            context: 0.5,
+        },
+        ..XsdfConfig::default()
+    }
+}
+
+#[test]
+fn delayed_evictions_racing_reads_stay_byte_identical() {
+    // Stretch the eviction critical section so concurrent readers and
+    // writers pile up against mid-eviction shards at 8 threads; output
+    // must still match the unbounded (never-evicting) run byte for byte.
+    let sources = eviction_corpus();
+    let docs: Vec<&str> = sources.iter().map(String::as_str).collect();
+    with_failpoints(
+        &[("cache-evict", FaultAction::Delay(Duration::from_millis(1)))],
+        || {
+            let annotated = |report: &runtime::BatchReport| -> Vec<String> {
+                report
+                    .results
+                    .iter()
+                    .map(|r| r.as_ref().unwrap().semantic_tree.to_annotated_xml())
+                    .collect()
+            };
+            // Unbounded never evicts, so the delay failpoint never fires
+            // here — this is the clean reference.
+            let reference = annotated(
+                &BatchEngine::new(mini_wordnet(), combined_config())
+                    .threads(8)
+                    .run(&docs),
+            );
+            let engine = BatchEngine::new(mini_wordnet(), combined_config())
+                .threads(8)
+                .cache_budget(CacheBudget {
+                    max_entries: 64,
+                    max_bytes: 0,
+                });
+            let report = engine.run(&docs);
+            assert!(
+                report.metrics.cache_evictions > 0,
+                "the budget must actually trigger the raced evictions"
+            );
+            assert_eq!(
+                reference,
+                annotated(&report),
+                "eviction races changed output"
+            );
+        },
+    );
+}
+
+#[test]
+fn a_panic_mid_eviction_is_isolated_and_the_cache_recovers() {
+    // `cache-evict` fires (before any mutation) while the shard write
+    // lock is held, so an injected panic poisons the shard at the worst
+    // moment. The document that tripped it fails alone; once the fault is
+    // gone the same engine — same poisoned-then-recovered cache — keeps
+    // serving with byte accounting intact.
+    let sources = eviction_corpus();
+    let docs: Vec<&str> = sources.iter().map(String::as_str).collect();
+    for table in ["pair", "vector"] {
+        with_failpoints(
+            &[("cache-evict", FaultAction::PanicIf(table.into()))],
+            || {
+                let budget = CacheBudget {
+                    max_entries: 32,
+                    max_bytes: 0,
+                };
+                let engine = BatchEngine::new(mini_wordnet(), combined_config())
+                    .threads(2)
+                    .cache_budget(budget);
+                let first = engine.run(&docs);
+                assert_eq!(first.results.len(), docs.len());
+                assert!(
+                    first.metrics.failures.panic > 0,
+                    "table {table}: a tight budget must trip the eviction failpoint"
+                );
+                // Disarm the fault and rerun on the SAME engine: recovered
+                // shards must serve correctly and the budget must hold.
+                fault::set("cache-evict", FaultAction::PanicIf("NEVER".into()));
+                let second = engine.run(&docs);
+                for (i, result) in second.results.iter().enumerate() {
+                    assert!(result.is_ok(), "table {table}, doc {i}: did not recover");
+                }
+                assert_eq!(second.metrics.failed_documents, 0, "table {table}");
+                // Accounting survived the poisoning: entries within the
+                // budget on both tables (each capped at max_entries).
+                assert!(
+                    second.metrics.cache_entries <= budget.max_entries,
+                    "{table}"
+                );
+                assert!(
+                    second.metrics.vector_entries <= budget.max_entries,
+                    "{table}"
+                );
+            },
+        );
+    }
 }
 
 #[test]

@@ -1,0 +1,120 @@
+//! Cache-transparency under eviction: a bounded cache may only change
+//! *when* scores are recomputed, never what they are. Batch output must
+//! stay byte-identical to the unbounded run whatever the budget, the
+//! thread count, or the eviction interleaving — the cache memoizes pure
+//! functions, so losing an entry costs time, not correctness.
+
+use runtime::{BatchEngine, CacheBudget};
+use xsdf::{DisambiguationProcess, DisambiguationResult, XsdfConfig};
+
+/// A byte-exact rendering of everything the engine promises to keep
+/// stable: the annotated tree plus every chosen sense with its full-
+/// precision score.
+fn fingerprint(result: &DisambiguationResult) -> String {
+    let mut out = result.semantic_tree.to_annotated_xml();
+    for report in &result.reports {
+        if let Some((choice, score)) = &report.chosen {
+            out.push_str(&format!("\n{} {:?} {:?}", report.label, choice, score));
+        }
+    }
+    out
+}
+
+fn corpus_xml() -> Vec<String> {
+    let sn = semnet::mini_wordnet();
+    corpus::Corpus::generate_small(sn, 11, 2)
+        .documents()
+        .iter()
+        .map(|d| xmltree::serialize::to_string_pretty(&d.doc))
+        .collect()
+}
+
+/// The combined process exercises BOTH cache tables: pair scores and
+/// shared context vectors.
+fn combined() -> XsdfConfig {
+    XsdfConfig {
+        process: DisambiguationProcess::Combined {
+            concept: 0.5,
+            context: 0.5,
+        },
+        ..XsdfConfig::default()
+    }
+}
+
+fn run(budget: Option<CacheBudget>, threads: usize, docs: &[&str]) -> (Vec<String>, u64, u64) {
+    let sn = semnet::mini_wordnet();
+    let mut engine = BatchEngine::new(sn, combined()).threads(threads);
+    if let Some(budget) = budget {
+        engine = engine.cache_budget(budget);
+    }
+    let report = engine.run(docs);
+    let prints = report
+        .results
+        .iter()
+        .map(|r| fingerprint(r.as_ref().expect("corpus documents parse")))
+        .collect();
+    (
+        prints,
+        report.metrics.cache_evictions,
+        report.metrics.cache_bytes,
+    )
+}
+
+#[test]
+fn bounded_caches_are_byte_transparent_across_thread_counts() {
+    let sources = corpus_xml();
+    let docs: Vec<&str> = sources.iter().map(String::as_str).collect();
+    let (reference, no_evictions, _) = run(None, 1, &docs);
+    assert_eq!(no_evictions, 0, "unbounded cache must never evict");
+
+    // An entry budget small enough that almost every insert evicts, and a
+    // byte budget that forces steady-state turnover in both tables.
+    let budgets = [
+        CacheBudget {
+            max_entries: 4,
+            max_bytes: 0,
+        },
+        CacheBudget {
+            max_entries: 0,
+            max_bytes: 16 * 1024,
+        },
+    ];
+    for budget in budgets {
+        for threads in [1, 2, 8] {
+            let (bounded, evictions, bytes) = run(Some(budget), threads, &docs);
+            assert_eq!(
+                reference, bounded,
+                "bounded run diverged (budget {budget:?}, {threads} threads)"
+            );
+            assert!(
+                evictions > 0,
+                "budget {budget:?} is tight enough that the run must evict"
+            );
+            if budget.max_bytes > 0 {
+                assert!(
+                    bytes <= budget.max_bytes as u64,
+                    "final cache_bytes {bytes} exceeds budget {}",
+                    budget.max_bytes
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn eviction_metrics_surface_in_the_batch_snapshot() {
+    let sources = corpus_xml();
+    let docs: Vec<&str> = sources.iter().map(String::as_str).collect();
+    let sn = semnet::mini_wordnet();
+    let engine = BatchEngine::new(sn, combined())
+        .threads(2)
+        .cache_budget(CacheBudget {
+            max_entries: 0,
+            max_bytes: 8 * 1024,
+        });
+    let m = engine.run(&docs).metrics;
+    assert!(m.cache_evictions > 0);
+    assert!(m.cache_bytes <= 8 * 1024);
+    assert!(m.cache_bytes_peak >= m.cache_bytes);
+    assert!(m.cache_bytes_peak <= 8 * 1024, "budget holds even at peak");
+}

@@ -67,6 +67,23 @@ impl SparseVector {
         self.coords.is_empty()
     }
 
+    /// Estimated heap footprint of this vector in bytes, for byte-budgeted
+    /// caches. Counts each coordinate's label buffer plus a flat
+    /// per-entry allowance for the `String` header, the weight, and the
+    /// amortized B-tree node overhead. An estimate, not an allocator
+    /// query: the point is a stable, monotone measure a cache can budget
+    /// against, not byte-exact RSS attribution.
+    pub fn heap_bytes(&self) -> usize {
+        // String header (ptr/len/cap) + f64 value + ~amortized share of a
+        // BTreeMap node (keys/values arrays, edges, header).
+        const ENTRY_OVERHEAD: usize =
+            std::mem::size_of::<String>() + std::mem::size_of::<f64>() + 24;
+        self.coords
+            .keys()
+            .map(|label| label.capacity() + ENTRY_OVERHEAD)
+            .sum()
+    }
+
     /// Iterates over `(label, weight)` pairs in label order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
         self.coords.iter().map(|(k, &v)| (k.as_str(), v))

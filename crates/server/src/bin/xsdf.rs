@@ -17,8 +17,8 @@
 use std::process::ExitCode;
 use std::time::Duration;
 
-use runtime::{BatchEngine, ResourceLimits};
-use server::bench::{run_bench, BenchConfig};
+use runtime::{BatchEngine, CacheBudget, ResourceLimits};
+use server::bench::{run_bench, run_soak, BenchConfig, SoakConfig};
 use server::{report, signal, Server, ServerConfig};
 use xsdf::{DisambiguationProcess, ThresholdPolicy, Xsdf, XsdfConfig};
 
@@ -96,7 +96,15 @@ BATCH OPTIONS:
     --keep-going          process every document despite failures [default]
     --fail-fast           stop scheduling documents after the first failure
 
-SERVE OPTIONS (plus the shared pipeline + resource options above):
+CACHE OPTIONS (batch + serve + self-hosted bench-serve):
+    --cache-entries <N>   cap EACH similarity-cache table (pair scores,
+                          context vectors) at N entries; coldest evicted
+                          first (0 = unbounded)                  [default: 0]
+    --cache-bytes <N>     cap the cache's total accounted heap bytes at N,
+                          split across both tables (0 = unbounded)
+                                                                 [default: 0]
+
+SERVE OPTIONS (plus the shared pipeline + resource + cache options above):
     --addr <host:port>    bind address (port 0 = any free port)  [default: 127.0.0.1:8737]
     --threads <N>         concurrent worker permits; 0 = auto, one per
                           available core                         [default: 0]
@@ -105,6 +113,12 @@ SERVE OPTIONS (plus the shared pipeline + resource options above):
     --max-connections <N> connection cap (excess gets 503)       [default: 64]
     --slow-ms <N>         stream slow-request reports to stderr, batch format
     --metrics <file>      write the final metrics snapshot on shutdown
+    --mem-soft <N>        soft watermark on accounted cache bytes: trim the
+                          coldest cache segments, report degraded health
+                          (0 = off)                              [default: 0]
+    --mem-hard <N>        hard watermark: shed /disambiguate with 503 +
+                          Retry-After until pressure clears (0 = off)
+                                                                 [default: 0]
     Endpoints: POST /disambiguate?radius=&process=&measure=&threshold=&structure=
                GET /metrics | GET /healthz | POST /shutdown
     Shutdown:  POST /shutdown or Ctrl-C drains (in-flight requests finish);
@@ -119,7 +133,14 @@ BENCH-SERVE OPTIONS:
     --threads <N>         (self-hosted) worker permits; 0 = auto [default: 0]
     --query <q>           query string for /disambiguate, e.g. radius=2
     --out <file>          report path                  [default: BENCH_serve.json]
-    XSDF_BENCH_QUICK=1 shrinks warmup/duration to a smoke test.
+    --soak                soak mode: send a fixed number of requests over a
+                          STREAMING corpus (fresh documents, growing key
+                          space) while sampling /metrics gauges — writes
+                          BENCH_soak.json proving cache_bytes stays under
+                          the byte budget
+    --requests <N>        (soak) total requests        [default: 5000; quick 300]
+    --sample-ms <N>       (soak) gauge sample interval [default: 500; quick 100]
+    XSDF_BENCH_QUICK=1 shrinks warmup/duration/requests to a smoke test.
 
 EXIT CODES (batch):
     0  every document succeeded
@@ -142,7 +163,12 @@ impl<'a> Flags<'a> {
             if a.starts_with("--") {
                 if !matches!(
                     a.as_str(),
-                    "--structure-only" | "--quiet" | "--annotate" | "--keep-going" | "--fail-fast"
+                    "--structure-only"
+                        | "--quiet"
+                        | "--annotate"
+                        | "--keep-going"
+                        | "--fail-fast"
+                        | "--soak"
                 ) {
                     i += 1; // skip the flag's value
                 }
@@ -344,6 +370,10 @@ fn cmd_batch(args: &[String]) -> Result<ExitCode, String> {
         .fail_fast(flags.has("--fail-fast"))
         .cancel_flag(signal::cancel_flag())
         .tracing(tracing);
+    let budget = build_cache_budget(&flags)?;
+    if budget.is_bounded() {
+        engine = engine.cache_budget(budget);
+    }
     if let Some(d) = deadline {
         engine = engine.deadline(d);
     }
@@ -523,6 +553,21 @@ fn cmd_import_wndb(args: &[String]) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// Parses the shared `--cache-entries` / `--cache-bytes` budget flags
+/// (0 = unbounded, the historical behavior).
+fn build_cache_budget(flags: &Flags) -> Result<CacheBudget, String> {
+    fn parsed(flags: &Flags, name: &str) -> Result<usize, String> {
+        match flags.value(name) {
+            None => Ok(0),
+            Some(v) => v.parse().map_err(|_| format!("bad {name} value {v:?}")),
+        }
+    }
+    Ok(CacheBudget {
+        max_entries: parsed(flags, "--cache-entries")?,
+        max_bytes: parsed(flags, "--cache-bytes")?,
+    })
+}
+
 /// Parses the serve/bench flags shared with [`ServerConfig`].
 fn build_server_config(flags: &Flags) -> Result<ServerConfig, String> {
     fn parsed<T: std::str::FromStr>(flags: &Flags, name: &str) -> Result<Option<T>, String> {
@@ -559,6 +604,13 @@ fn build_server_config(flags: &Flags) -> Result<ServerConfig, String> {
     // body is read) instead of after buffering.
     config.max_body = parsed(flags, "--max-bytes")?;
     config.slow = parsed(flags, "--slow-ms")?.map(Duration::from_millis);
+    config.cache_budget = build_cache_budget(flags)?;
+    if let Some(soft) = parsed(flags, "--mem-soft")? {
+        config.mem_soft = soft;
+    }
+    if let Some(hard) = parsed(flags, "--mem-hard")? {
+        config.mem_hard = hard;
+    }
     Ok(config)
 }
 
@@ -619,6 +671,9 @@ fn cmd_bench_serve(args: &[String]) -> Result<ExitCode, String> {
         }
     }
     let quick = std::env::var_os("XSDF_BENCH_QUICK").is_some();
+    if flags.has("--soak") {
+        return cmd_soak(&flags, quick);
+    }
     let (default_warmup_ms, default_duration_ms) = if quick { (300, 700) } else { (3000, 10_000) };
     let mut bench = BenchConfig {
         addr: String::new(),
@@ -675,6 +730,93 @@ fn cmd_bench_serve(args: &[String]) -> Result<ExitCode, String> {
     );
     let json = report.to_json(mode);
     let out = flags.value("--out").unwrap_or("BENCH_serve.json");
+    std::fs::write(out, &json).map_err(|e| format!("cannot write {out}: {e}"))?;
+    eprintln!("wrote {out}");
+    print!("{json}");
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `xsdf bench-serve --soak`: fixed request count over a streaming
+/// corpus with a `/metrics` gauge sampler, written as `BENCH_soak.json`.
+fn cmd_soak(flags: &Flags, quick: bool) -> Result<ExitCode, String> {
+    fn parsed<T: std::str::FromStr>(flags: &Flags, name: &str) -> Result<Option<T>, String> {
+        match flags.value(name) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("bad {name} value {v:?}")),
+        }
+    }
+    let (default_requests, default_sample_ms) = if quick { (300, 100) } else { (5000, 500) };
+    let mut soak = SoakConfig {
+        addr: String::new(),
+        connections: parsed(flags, "--connections")?.unwrap_or(2),
+        requests: parsed(flags, "--requests")?.unwrap_or(default_requests),
+        sample_every: Duration::from_millis(
+            parsed(flags, "--sample-ms")?.unwrap_or(default_sample_ms),
+        ),
+        query: flags.value("--query").unwrap_or("").to_string(),
+        rss_self: false,
+    };
+    let mode = if quick { "quick" } else { "full" };
+    // The budget echoed into the artifact: for a self-hosted run these
+    // same flags configure the server, so the echo is authoritative; for
+    // --addr the caller passes the budget the remote server runs with.
+    let budget = build_cache_budget(flags)?;
+
+    let report = match flags.value("--addr") {
+        Some(addr) => {
+            soak.addr = addr.to_string();
+            run_soak(&soak, budget)?
+        }
+        None => {
+            let network = load_network(flags)?;
+            let mut server_config = build_server_config(flags)?;
+            server_config.addr = "127.0.0.1:0".to_string();
+            let server = Server::bind(network.get(), server_config)
+                .map_err(|e| format!("cannot bind self-hosted server: {e}"))?;
+            soak.addr = server.local_addr().to_string();
+            // The server lives in this process, so VmRSS is its RSS too.
+            soak.rss_self = true;
+            eprintln!(
+                "self-hosted server on {} ({} workers, cache budget: {} entries / {} bytes)",
+                soak.addr,
+                server.workers(),
+                budget.max_entries,
+                budget.max_bytes
+            );
+            let handle = server.handle();
+            let mut outcome = Err("soak did not run".to_string());
+            std::thread::scope(|s| {
+                let serving = s.spawn(|| server.run());
+                outcome = run_soak(&soak, budget);
+                handle.shutdown();
+                let _ = serving.join();
+            });
+            outcome?
+        }
+    };
+
+    eprintln!(
+        "soak: {} connections, {} ok / {} errors ({} sheds, {} retries), {} samples",
+        report.connections,
+        report.requests,
+        report.errors,
+        report.sheds,
+        report.retries,
+        report.samples.len()
+    );
+    eprintln!(
+        "  {:.1} docs/s | p50 {:.3} ms  p99 {:.3} ms | cache_bytes max {} (budget {})",
+        report.docs_per_sec(),
+        report.latency.p50().as_secs_f64() * 1e3,
+        report.latency.p99().as_secs_f64() * 1e3,
+        report.cache_bytes_max(),
+        report.budget.max_bytes,
+    );
+    let json = report.to_json(mode);
+    let out = flags.value("--out").unwrap_or("BENCH_soak.json");
     std::fs::write(out, &json).map_err(|e| format!("cannot write {out}: {e}"))?;
     eprintln!("wrote {out}");
     print!("{json}");

@@ -14,7 +14,10 @@
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
-use runtime::{DocOutcome, FailureCounts, Histogram, MetricsSnapshot, StageLatency, StageTimings};
+use runtime::{
+    DocOutcome, FailureCounts, Histogram, MetricsSnapshot, SharedCache, StageLatency, StageTimings,
+};
+use semsim::SimilarityCache;
 
 /// Everything the serving layer counts. One instance lives behind the
 /// server's mutex; handlers lock, record, and unlock around each request.
@@ -65,6 +68,11 @@ pub struct ServerStats {
     pub rejected_draining: u64,
     /// Connections turned away with 503 at the connection cap.
     pub rejected_over_capacity: u64,
+    /// `/disambiguate` requests shed with 503 at the hard memory
+    /// watermark.
+    pub rejected_pressure: u64,
+    /// Watermark-triggered cache trims (soft or hard).
+    pub cache_trims: u64,
 }
 
 impl ServerStats {
@@ -93,6 +101,8 @@ impl ServerStats {
             rejected_queue_full: 0,
             rejected_draining: 0,
             rejected_over_capacity: 0,
+            rejected_pressure: 0,
+            cache_trims: 0,
         }
     }
 
@@ -151,12 +161,7 @@ impl ServerStats {
     /// The engine-shaped part of `/metrics`: a [`MetricsSnapshot`] whose
     /// `wall_clock` is the server's uptime, so `docs_per_sec` reads as
     /// sustained lifetime throughput.
-    pub fn snapshot(
-        &self,
-        workers: usize,
-        cache_entries: usize,
-        vector_entries: usize,
-    ) -> MetricsSnapshot {
+    pub fn snapshot(&self, workers: usize, cache: &SharedCache) -> MetricsSnapshot {
         MetricsSnapshot {
             threads: workers,
             documents: self.documents,
@@ -170,11 +175,14 @@ impl ServerStats {
             wall_clock: self.started.elapsed(),
             cache_hits: self.cache_hits,
             cache_misses: self.cache_misses,
-            cache_entries,
+            cache_entries: cache.len(),
+            cache_evictions: cache.evictions(),
+            cache_bytes: cache.bytes(),
+            cache_bytes_peak: cache.bytes_peak(),
             gloss_pairs_scored: self.gloss_pairs_scored,
             vectors_built: self.vectors_built,
             vectors_reused: self.vectors_reused,
-            vector_entries,
+            vector_entries: cache.vectors_len(),
         }
     }
 
@@ -201,6 +209,11 @@ impl ServerStats {
             "rejected_over_capacity".into(),
             self.rejected_over_capacity.to_string(),
         ));
+        extras.push((
+            "rejected_pressure".into(),
+            self.rejected_pressure.to_string(),
+        ));
+        extras.push(("cache_trims".into(), self.cache_trims.to_string()));
         for (name, hist) in [
             ("endpoint_disambiguate", &self.ep_disambiguate),
             ("endpoint_metrics", &self.ep_metrics),
@@ -251,14 +264,26 @@ mod tests {
         assert!(bad.result.is_err());
         stats.record_outcome(&bad, Duration::from_millis(1), Duration::ZERO);
 
-        let snap = stats.snapshot(2, 7, 3);
+        let cache = SharedCache::new();
+        cache.store(
+            (
+                semsim::WeightsFingerprint(7),
+                semnet::ConceptId(0),
+                semnet::ConceptId(0),
+            ),
+            0.5,
+        );
+        let snap = stats.snapshot(2, &cache);
         assert_eq!(snap.documents, 2);
         assert_eq!(snap.failed_documents, 1);
         assert_eq!(snap.failures.parse, 1);
         assert!(snap.nodes > 0, "ok doc contributes nodes");
         assert_eq!(snap.threads, 2);
-        assert_eq!(snap.cache_entries, 7);
-        assert_eq!(snap.vector_entries, 3);
+        assert_eq!(snap.cache_entries, 1);
+        assert_eq!(snap.vector_entries, 0);
+        assert!(snap.cache_bytes > 0, "accounted bytes must be visible");
+        assert_eq!(snap.cache_bytes_peak, snap.cache_bytes);
+        assert_eq!(snap.cache_evictions, 0);
         assert_eq!(snap.latency.doc.count(), 2);
         assert!(snap.stages.total() > Duration::ZERO);
         assert_eq!(stats.ep_disambiguate.count(), 2);
@@ -274,7 +299,7 @@ mod tests {
         stats.rejected_queue_full = 1;
         let gauges = [("server_state".to_string(), "\"running\"".to_string())];
         let json = stats
-            .snapshot(1, 0, 0)
+            .snapshot(1, &SharedCache::new())
             .to_json_extended(&stats.extras(&gauges));
         for key in [
             "server_state",
@@ -283,6 +308,11 @@ mod tests {
             "rejected_queue_full",
             "rejected_draining",
             "rejected_over_capacity",
+            "rejected_pressure",
+            "cache_trims",
+            "cache_evictions",
+            "cache_bytes",
+            "cache_bytes_peak",
             "endpoint_disambiguate_p99_ms",
             "endpoint_metrics_requests",
             "endpoint_healthz_p50_ms",

@@ -86,6 +86,98 @@ fn healthz_metrics_and_routing() {
 }
 
 #[test]
+fn healthz_reports_readiness_and_memory_state() {
+    with_server(ServerConfig::default(), |addr| {
+        let health = request(addr, "GET", "/healthz", b"");
+        assert_eq!(health.status, 200);
+        let body = body_str(&health);
+        assert!(body.contains("\"status\":\"ok\""), "{body}");
+        assert!(body.contains("\"ready\":true"), "{body}");
+        assert!(body.contains("\"degraded\":false"), "{body}");
+        assert!(body.contains("\"uptime_ms\":"), "{body}");
+        assert!(body.contains("\"cache_bytes\":"), "{body}");
+    });
+}
+
+#[test]
+fn hard_watermark_sheds_with_503_then_recovers_after_the_trim() {
+    // A 1-byte hard watermark: the first document populates the cache
+    // past it, so the next request is shed (503 + Retry-After) and the
+    // shed itself trims the cache back under pressure — after which
+    // admissions resume. No restart, no janitor thread.
+    let config = ServerConfig {
+        mem_hard: 1,
+        ..ServerConfig::default()
+    };
+    with_server(config, |addr| {
+        let first = request(addr, "POST", "/disambiguate", HEALTHY.as_bytes());
+        assert_eq!(first.status, 200, "empty cache is under any watermark");
+
+        let health = request(addr, "GET", "/healthz", b"");
+        let body = body_str(&health);
+        assert!(body.contains("\"status\":\"degraded\""), "{body}");
+        assert!(body.contains("\"ready\":false"), "{body}");
+
+        let shed = request(addr, "POST", "/disambiguate", HEALTHY.as_bytes());
+        assert_eq!(shed.status, 503, "{}", body_str(&shed));
+        assert!(
+            shed.header("retry-after").is_some(),
+            "shed sets Retry-After"
+        );
+        assert!(body_str(&shed).contains("pressure"));
+
+        // The shed trimmed the cache to the target (hard/2 = 0 bytes), so
+        // the server is ready again and the next request is admitted.
+        let recovered = request(addr, "POST", "/disambiguate", HEALTHY.as_bytes());
+        assert_eq!(recovered.status, 200, "{}", body_str(&recovered));
+
+        let metrics = body_str(&request(addr, "GET", "/metrics", b""));
+        for key in [
+            "\"rejected_pressure\": 1",
+            "\"cache_trims\": 1",
+            "\"mem_hard_bytes\": 1",
+            "\"cache_evictions\":",
+            "\"cache_bytes\":",
+            "\"cache_bytes_peak\":",
+            "\"degraded\":",
+        ] {
+            assert!(metrics.contains(key), "metrics missing {key}: {metrics}");
+        }
+    });
+}
+
+#[test]
+fn soft_watermark_degrades_health_but_keeps_admitting() {
+    let config = ServerConfig {
+        mem_soft: 1,
+        ..ServerConfig::default()
+    };
+    with_server(config, |addr| {
+        let first = request(addr, "POST", "/disambiguate", HEALTHY.as_bytes());
+        assert_eq!(first.status, 200);
+
+        // Over the soft watermark: degraded, but still ready and serving.
+        let second = request(addr, "POST", "/disambiguate", HEALTHY.as_bytes());
+        assert_eq!(second.status, 200, "soft pressure never sheds");
+
+        let health = body_str(&request(addr, "GET", "/healthz", b""));
+        assert!(health.contains("\"status\":\"degraded\""), "{health}");
+        assert!(health.contains("\"ready\":true"), "{health}");
+        assert!(health.contains("\"degraded\":true"), "{health}");
+
+        let metrics = body_str(&request(addr, "GET", "/metrics", b""));
+        assert!(
+            metrics.contains("\"rejected_pressure\": 0"),
+            "soft watermark sheds nothing: {metrics}"
+        );
+        assert!(
+            !metrics.contains("\"cache_trims\": 0"),
+            "admissions over the soft watermark must have trimmed: {metrics}"
+        );
+    });
+}
+
+#[test]
 fn disambiguate_returns_annotated_xml() {
     let summary = with_server(ServerConfig::default(), |addr| {
         let response = request(addr, "POST", "/disambiguate", HEALTHY.as_bytes());
