@@ -158,7 +158,10 @@ pub fn context_score_pair(
 /// pipeline's determinism contract exactly:
 ///
 /// * `Single` candidates keep the **first** maximum;
-/// * the compound one-token-unknown fallback keeps the **last** tie;
+/// * the compound one-token-unknown fallback keeps the **first** maximum
+///   (it routes through the same single-sense loop as plain candidates —
+///   a historical keep-last divergence here was a pipeline bug, fixed
+///   together with this reference);
 /// * compound pair loops keep the **first** maximum;
 /// * the annotation gate admits the winner only when its score is
 ///   strictly above `min_score`, or the label has exactly one reading.
@@ -213,7 +216,7 @@ pub fn score_target(
                 let mut best: Option<(SenseChoice, f64)> = None;
                 for &s in senses {
                     let score = combined_single(s, sim);
-                    if best.is_none() || score >= best.as_ref().unwrap().1 {
+                    if best.is_none() || score > best.as_ref().unwrap().1 {
                         best = Some((SenseChoice::Single(s), score));
                     }
                 }

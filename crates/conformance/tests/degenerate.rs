@@ -163,7 +163,7 @@ fn unknown_labels_agree_through_both_implementations() {
 }
 
 /// Compound labels where exactly one token is known exercise the
-/// one-sided fallback (and its keep-last tie-break) in both orders:
+/// one-sided fallback (and its keep-first tie-break) in both orders:
 /// known-first (`star_zorble`) and known-second (`zorble_star`).
 #[test]
 fn compound_with_one_unknown_token_agrees_through_both_implementations() {

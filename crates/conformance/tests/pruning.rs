@@ -1,0 +1,165 @@
+//! Candidate-pruning conformance: level (a) — the exact early exit — is
+//! proven *result-identical* (bit-for-bit) against the unpruned pipeline
+//! across the corpus sweep, serially and through 1/2/8-thread batches;
+//! level (b) — the density pre-score — is proven *deterministic* with
+//! bounded divergence (a divergence table per K, collapsing to zero once
+//! K covers every candidate list).
+//!
+//! Setting `XSDF_CONFORMANCE_PRUNE=exact` additionally runs the whole
+//! differential suite (`tests/differential.rs`) with the optimized side
+//! pruned, turning every oracle check into an exactness proof too; this
+//! file covers the pruned-vs-unpruned comparison directly so the proof
+//! does not depend on that environment variable being set.
+
+use semnet::mini_wordnet;
+use xmltree::serialize::to_string_compact;
+use xsdf::{DisambiguationResult, PruningConfig, SenseChoice, Xsdf, XsdfConfig};
+
+use conformance::harness::{cases, nucleus};
+
+/// Bitwise equality of two disambiguation results (same contract as the
+/// metamorphic suite): node order, labels, ambiguity bits, selection,
+/// candidate counts, and chosen (sense, score-bits) pairs.
+fn assert_results_identical(a: &DisambiguationResult, b: &DisambiguationResult, ctx: &str) {
+    assert_eq!(a.reports.len(), b.reports.len(), "{ctx}: report count");
+    for (ra, rb) in a.reports.iter().zip(&b.reports) {
+        assert_eq!(ra.node, rb.node, "{ctx}: node order");
+        assert_eq!(ra.label, rb.label, "{ctx}: label of {:?}", ra.node);
+        assert_eq!(
+            ra.ambiguity.to_bits(),
+            rb.ambiguity.to_bits(),
+            "{ctx}: ambiguity of {:?}",
+            ra.node
+        );
+        assert_eq!(
+            ra.selected, rb.selected,
+            "{ctx}: selection of {:?}",
+            ra.node
+        );
+        assert_eq!(
+            ra.candidates, rb.candidates,
+            "{ctx}: candidate count of {:?}",
+            ra.node
+        );
+        let key = |c: &Option<(SenseChoice, f64)>| c.map(|(s, f)| (s, f.to_bits()));
+        assert_eq!(
+            key(&ra.chosen),
+            key(&rb.chosen),
+            "{ctx}: chosen sense of {:?}",
+            ra.node
+        );
+    }
+}
+
+fn with_prune(base: XsdfConfig, prune: PruningConfig) -> XsdfConfig {
+    XsdfConfig { prune, ..base }
+}
+
+/// Level (a): the exact early exit changes *nothing* — every sweep case
+/// produces bit-identical reports with pruning off and on. The slack
+/// derivation in `xsdf::prune` is the argument; this is the proof run.
+#[test]
+fn exact_pruning_is_bitwise_identical_across_the_sweep() {
+    let sn = mini_wordnet();
+    let all = cases(sn);
+    for case in nucleus(&all, 3) {
+        let ctx = case.context();
+        let plain = Xsdf::new(sn, case.config());
+        let pruned = Xsdf::new(sn, with_prune(case.config(), PruningConfig::exact()));
+        let tree = plain.build_tree(&case.doc);
+        let want = plain.disambiguate_tree(&tree);
+        let got = pruned.disambiguate_tree(&tree);
+        assert_results_identical(&want, &got, &format!("{ctx} exact-pruned"));
+    }
+}
+
+/// Level (a) through the batch runtime: pruned batches at 1, 2 and 8
+/// threads are bit-identical to the unpruned serial reference, and the
+/// pruner demonstrably fires (`candidates_pruned > 0`) over the sweep.
+#[test]
+fn exact_pruned_batches_are_bitwise_identical_at_1_2_8_threads() {
+    let sn = mini_wordnet();
+    let all = cases(sn);
+    let subset = nucleus(&all, 5);
+    // One config for the whole batch (batch runs share a pipeline).
+    let base = subset[0].config();
+    let plain = Xsdf::new(sn, base.clone());
+    let sources: Vec<String> = subset.iter().map(|c| to_string_compact(&c.doc)).collect();
+    let docs: Vec<&str> = sources.iter().map(String::as_str).collect();
+    let reference: Vec<DisambiguationResult> = subset
+        .iter()
+        .map(|c| plain.disambiguate_tree(&plain.build_tree(&c.doc)))
+        .collect();
+    for threads in [1usize, 2, 8] {
+        let engine =
+            runtime::BatchEngine::new(sn, with_prune(base.clone(), PruningConfig::exact()))
+                .threads(threads);
+        let report = engine.run(&docs);
+        assert!(
+            report.metrics.candidates_pruned > 0,
+            "threads {threads}: the sweep must exercise the pruner for this proof to bite"
+        );
+        for ((case, result), want) in subset.iter().zip(&report.results).zip(&reference) {
+            let got = result.as_ref().expect("conformance case parses");
+            assert_results_identical(
+                want,
+                got,
+                &format!("{} pruned threads {threads}", case.context()),
+            );
+        }
+    }
+}
+
+/// Level (b): the density pre-score is an *approximation*, so it may
+/// change choices — but deterministically (two runs agree bit-for-bit),
+/// with bit-identical scores wherever it picks the same sense (survivors
+/// reuse the unpruned arithmetic), and with divergence collapsing to
+/// zero once K covers every candidate list. Prints the divergence table
+/// the sweep measured.
+#[test]
+fn density_pruning_divergence_is_bounded_and_deterministic() {
+    let sn = mini_wordnet();
+    let all = cases(sn);
+    let subset = nucleus(&all, 7);
+    let mut table: Vec<(usize, usize, usize)> = Vec::new(); // (K, diverged, targets)
+    for k in [1usize, 2, 8, 1 << 20] {
+        let mut diverged = 0usize;
+        let mut targets = 0usize;
+        for case in subset.iter() {
+            let ctx = case.context();
+            let plain = Xsdf::new(sn, case.config());
+            let pruned = Xsdf::new(sn, with_prune(case.config(), PruningConfig::density(k)));
+            let tree = plain.build_tree(&case.doc);
+            let want = plain.disambiguate_tree(&tree);
+            let once = pruned.disambiguate_tree(&tree);
+            let twice = pruned.disambiguate_tree(&tree);
+            assert_results_identical(&once, &twice, &format!("{ctx} density K={k} rerun"));
+            for (rw, rp) in want.reports.iter().zip(&once.reports) {
+                if !rw.selected {
+                    continue;
+                }
+                targets += 1;
+                match (&rw.chosen, &rp.chosen) {
+                    (Some((ws, wf)), Some((ps, pf))) if ws == ps => {
+                        assert_eq!(
+                            wf.to_bits(),
+                            pf.to_bits(),
+                            "{ctx} K={k}: same sense at {:?} must keep the unpruned score",
+                            rw.label
+                        );
+                    }
+                    (None, None) => {}
+                    _ => diverged += 1,
+                }
+            }
+        }
+        table.push((k, diverged, targets));
+    }
+    eprintln!("density divergence table (K, diverged, targets): {table:?}");
+    let (_, diverged_at_huge_k, targets) = *table.last().unwrap();
+    assert!(targets > 0, "the sweep must select targets");
+    assert_eq!(
+        diverged_at_huge_k, 0,
+        "K beyond every candidate count must reproduce the unpruned choices exactly"
+    );
+}

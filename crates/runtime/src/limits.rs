@@ -21,7 +21,7 @@ use xsdf::guard::{Deadline, Guard};
 ///     .max_nodes(50_000)         // tree nodes after building
 ///     .max_depth(128)            // element nesting while parsing
 ///     .max_targets(5_000)        // selected disambiguation targets
-///     .max_sense_pairs(200_000); // candidate evaluations while scoring
+///     .max_sense_pairs(200_000); // single-sense evaluations while scoring
 /// assert_eq!(limits.max_bytes, Some(1 << 20));
 /// ```
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -36,8 +36,12 @@ pub struct ResourceLimits {
     pub max_depth: Option<u32>,
     /// Maximum number of selected disambiguation targets.
     pub max_targets: Option<usize>,
-    /// Maximum sense pairs scored per document (candidate evaluations in
-    /// the scoring loop — the dimension that explodes with polysemy).
+    /// Maximum sense-pair budget units per document — the dimension that
+    /// explodes with polysemy. One unit is one single-sense combined
+    /// similarity evaluation in the scoring loop; a compound sense *pair*
+    /// (Equation 10 averages two single-token senses) draws two units, so
+    /// the budget measures work, not loop iterations. See
+    /// [`xsdf::Guard::tick_sense_pair`] for the canonical definition.
     pub max_sense_pairs: Option<u64>,
 }
 
@@ -71,7 +75,8 @@ impl ResourceLimits {
         self
     }
 
-    /// Sets the scored-sense-pair ceiling.
+    /// Sets the sense-pair budget ceiling (in single-sense evaluation
+    /// units — see [`ResourceLimits::max_sense_pairs`]).
     pub fn max_sense_pairs(mut self, max: u64) -> Self {
         self.max_sense_pairs = Some(max);
         self
@@ -126,5 +131,34 @@ mod tests {
         let guard = limits.guard(None);
         assert!(guard.check_nodes(3).is_err());
         assert!(guard.check_targets(5).is_err());
+    }
+
+    #[test]
+    fn sense_pair_budget_is_denominated_in_evaluation_units() {
+        use crate::BatchEngine;
+        // One document with a compound target (pairs draw two units each)
+        // and one with only single-sense targets (one unit each). The
+        // exact unit count comes from an unlimited traced run; the budget
+        // must then be exact-to-the-unit: equal passes, one less trips.
+        for doc in [
+            "<films><star_picture/><cast/></films>",
+            "<cd><artist/><track/></cd>",
+        ] {
+            let probe =
+                BatchEngine::new(semnet::mini_wordnet(), xsdf::XsdfConfig::default()).tracing(true);
+            let outcome = probe.process_document_observed(doc);
+            assert!(outcome.result.is_ok());
+            let units = outcome.span.expect("traced").sense_pairs;
+            assert!(units > 0, "{doc}: no scoring work observed");
+
+            let at_budget = BatchEngine::new(semnet::mini_wordnet(), xsdf::XsdfConfig::default())
+                .limits(ResourceLimits::unlimited().max_sense_pairs(units));
+            assert!(at_budget.process_document(doc).is_ok(), "{doc}: at budget");
+
+            let under = BatchEngine::new(semnet::mini_wordnet(), xsdf::XsdfConfig::default())
+                .limits(ResourceLimits::unlimited().max_sense_pairs(units - 1));
+            let err = under.process_document(doc).unwrap_err();
+            assert_eq!(err.kind(), "limit", "{doc}: one unit under must trip");
+        }
     }
 }

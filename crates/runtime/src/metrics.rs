@@ -174,6 +174,14 @@ pub struct MetricsSnapshot {
     pub vectors_reused: u64,
     /// Distinct concept context vectors cached at the end of the run.
     pub vector_entries: usize,
+    /// Candidate senses (or compound sense pairs) skipped by pruning —
+    /// density-screened, abandoned mid-scoring by the exact bound, or
+    /// skipped by a loop early exit (`xsdf::prune`). 0 when pruning is
+    /// off.
+    pub candidates_pruned: u64,
+    /// Scoring loops stopped early because the leader was mathematically
+    /// uncatchable (`xsdf::prune` level (a)). 0 when pruning is off.
+    pub early_exits: u64,
 }
 
 impl MetricsSnapshot {
@@ -257,6 +265,8 @@ impl MetricsSnapshot {
             ("vectors_built", self.vectors_built.to_string()),
             ("vectors_reused", self.vectors_reused.to_string()),
             ("vector_entries", self.vector_entries.to_string()),
+            ("candidates_pruned", self.candidates_pruned.to_string()),
+            ("early_exits", self.early_exits.to_string()),
         ] {
             field(key, value);
         }
@@ -347,6 +357,8 @@ mod tests {
             vectors_built: 12,
             vectors_reused: 48,
             vector_entries: 12,
+            candidates_pruned: 7,
+            early_exits: 2,
         }
     }
 
@@ -404,6 +416,8 @@ mod tests {
             "vectors_built",
             "vectors_reused",
             "vector_entries",
+            "candidates_pruned",
+            "early_exits",
         ] {
             assert!(
                 json.contains(&format!("\"{key}\":")),

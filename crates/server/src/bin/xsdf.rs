@@ -74,6 +74,9 @@ OPTIONS:
     --process <p>         concept | context | combined          [default: concept]
     --threshold <t>       auto | a float in [0,1]               [default: 0]
     --structure-only      ignore element/attribute text values
+    --prune <spec>        candidate pruning: off | exact | topk:<K> |
+                          budget | slack:<x> (comma-separated; topk/
+                          budget/slack imply exact)              [default: off]
     --quiet               suppress the per-node report
 
 RESOURCE OPTIONS (disambiguate + batch):
@@ -119,7 +122,7 @@ SERVE OPTIONS (plus the shared pipeline + resource + cache options above):
     --mem-hard <N>        hard watermark: shed /disambiguate with 503 +
                           Retry-After until pressure clears (0 = off)
                                                                  [default: 0]
-    Endpoints: POST /disambiguate?radius=&process=&measure=&threshold=&structure=
+    Endpoints: POST /disambiguate?radius=&process=&measure=&threshold=&structure=&prune=
                GET /metrics | GET /healthz | POST /shutdown
     Shutdown:  POST /shutdown or Ctrl-C drains (in-flight requests finish);
                a second Ctrl-C aborts immediately (exit 130).
@@ -250,6 +253,10 @@ fn build_config(flags: &Flags) -> Result<XsdfConfig, String> {
     }
     if flags.has("--structure-only") {
         config.structure_and_content = false;
+    }
+    if let Some(spec) = flags.value("--prune") {
+        config.prune = xsdf::PruningConfig::parse(spec)
+            .map_err(|e| format!("bad --prune value {spec:?}: {e}"))?;
     }
     Ok(config)
 }

@@ -52,6 +52,11 @@ pub struct ServerStats {
     pub vectors_built: u64,
     /// Context vectors reused from the shared table, summed.
     pub vectors_reused: u64,
+    /// Candidate evaluations skipped by the pruner, summed (zero unless
+    /// requests enable `prune=`).
+    pub candidates_pruned: u64,
+    /// Candidate loops the pruner stopped early, summed.
+    pub early_exits: u64,
     /// End-to-end `/disambiguate` latency (queue wait + engine).
     pub ep_disambiguate: Histogram,
     /// `GET /metrics` latency.
@@ -93,6 +98,8 @@ impl ServerStats {
             gloss_pairs_scored: 0,
             vectors_built: 0,
             vectors_reused: 0,
+            candidates_pruned: 0,
+            early_exits: 0,
             ep_disambiguate: Histogram::new(),
             ep_metrics: Histogram::new(),
             ep_healthz: Histogram::new(),
@@ -123,6 +130,8 @@ impl ServerStats {
         self.gloss_pairs_scored += outcome.gloss_pairs_scored;
         self.vectors_built += outcome.vectors_built;
         self.vectors_reused += outcome.vectors_reused;
+        self.candidates_pruned += outcome.candidates_pruned;
+        self.early_exits += outcome.early_exits;
         if let Err(e) = &outcome.result {
             self.failures.record(e);
         }
@@ -183,6 +192,8 @@ impl ServerStats {
             vectors_built: self.vectors_built,
             vectors_reused: self.vectors_reused,
             vector_entries: cache.vectors_len(),
+            candidates_pruned: self.candidates_pruned,
+            early_exits: self.early_exits,
         }
     }
 
@@ -288,6 +299,30 @@ mod tests {
         assert!(snap.stages.total() > Duration::ZERO);
         assert_eq!(stats.ep_disambiguate.count(), 2);
         assert_eq!(stats.queue_wait.count(), 2);
+        // Pruning was off for both requests, so the summed counters are 0.
+        assert_eq!(snap.candidates_pruned, 0);
+        assert_eq!(snap.early_exits, 0);
+    }
+
+    #[test]
+    fn pruned_outcomes_surface_in_snapshot() {
+        let cfg = XsdfConfig {
+            prune: xsdf::PruningConfig::exact(),
+            ..XsdfConfig::default()
+        };
+        let pruned = BatchEngine::new(semnet::mini_wordnet(), cfg)
+            .threads(1)
+            .tracing(true)
+            .process_document_observed(
+                "<films><picture><cast><star>Stewart</star><star>Kelly</star></cast></picture></films>",
+            );
+        assert!(pruned.result.is_ok());
+        let mut stats = ServerStats::new(Instant::now());
+        stats.record_outcome(&pruned, Duration::from_millis(2), Duration::ZERO);
+        let snap = stats.snapshot(1, &SharedCache::new());
+        assert!(snap.candidates_pruned > 0, "pruned request must be counted");
+        assert_eq!(snap.candidates_pruned, pruned.candidates_pruned);
+        assert_eq!(snap.early_exits, pruned.early_exits);
     }
 
     #[test]
@@ -317,6 +352,8 @@ mod tests {
             "endpoint_metrics_requests",
             "endpoint_healthz_p50_ms",
             "queue_wait_max_ms",
+            "candidates_pruned",
+            "early_exits",
             "http_200",
             "http_429",
         ] {

@@ -115,6 +115,54 @@ impl ConceptContext {
         self.entries.len()
     }
 
+    /// `|S_d(x)|` of Definition 8: context nodes plus the center, always
+    /// ≥ 1 (the denominator of every concept score in this context).
+    pub fn cardinality(&self) -> usize {
+        self.cardinality
+    }
+
+    /// Right-to-left running weight sums for bounded scoring: element `i`
+    /// is the total context-vector weight of entries `i..`, so
+    /// `suffix[i + 1]` bounds what entries after `i` can still contribute
+    /// (every per-entry max similarity is ≤ 1). Length
+    /// `informative_nodes() + 1`; the last element is 0. Computed once per
+    /// target and shared across all its candidates.
+    pub fn suffix_weight_sums(&self) -> Vec<f64> {
+        let mut suffix = vec![0.0; self.entries.len() + 1];
+        for i in (0..self.entries.len()).rev() {
+            suffix[i] = suffix[i + 1] + self.entries[i].weight;
+        }
+        suffix
+    }
+
+    /// The largest concept score *any* candidate can reach in this
+    /// context: `min(1, Σ_i w_i / |S_d(x)|)`, since each entry's max
+    /// similarity is at most 1. Drives the global early exit of
+    /// [`crate::prune`] level (a).
+    pub fn max_concept_score(&self) -> f64 {
+        let total: f64 = self.entries.iter().map(|e| e.weight).sum();
+        (total / self.cardinality as f64).min(1.0)
+    }
+
+    /// All candidate senses of all context labels (compound sides
+    /// included), sorted and deduplicated — the evidence set the density
+    /// pre-score of [`crate::prune`] screens candidates against.
+    pub fn context_senses(&self) -> Vec<ConceptId> {
+        let mut senses: Vec<ConceptId> = self
+            .entries
+            .iter()
+            .flat_map(|e| {
+                e.senses
+                    .iter()
+                    .chain(e.second_senses.iter().flatten())
+                    .copied()
+            })
+            .collect();
+        senses.sort_unstable();
+        senses.dedup();
+        senses
+    }
+
     fn max_sim_with<C: SimilarityCache>(
         &self,
         sn: &SemanticNetwork,
@@ -188,6 +236,81 @@ impl ConceptContext {
             })
             .sum();
         (total / self.cardinality as f64).clamp(0.0, 1.0)
+    }
+
+    /// Shared core of the bounded scorers. After each entry the running
+    /// upper bound `min(1, (partial + suffix[i + 1]) / |S_d(x)|)` on the
+    /// final concept score is offered to `abandon`; a `true` return stops
+    /// the candidate with `None`. The bound is never offered after the
+    /// last entry (at that point the score is already fully computed, so
+    /// abandoning would save nothing and miscount pruning work).
+    ///
+    /// Survivors are **bit-identical** to the unbounded scorers: the
+    /// running `total += best · w_i` accumulates in the same left-to-right
+    /// order as `Iterator::sum` (a fold from 0.0), and the final
+    /// `clamp(total / |S_d(x)|)` is the same expression.
+    fn score_bounded_with<C: SimilarityCache>(
+        &self,
+        sn: &SemanticNetwork,
+        sim: &CombinedSimilarity<C>,
+        score_of: &dyn Fn(&SemanticNetwork, &CombinedSimilarity<C>, ConceptId) -> f64,
+        suffix: &[f64],
+        abandon: &mut dyn FnMut(f64) -> bool,
+    ) -> Option<f64> {
+        debug_assert_eq!(suffix.len(), self.entries.len() + 1);
+        let mut total = 0.0f64;
+        for (i, e) in self.entries.iter().enumerate() {
+            let best = self.max_sim_with(sn, sim, e, score_of);
+            total += best * e.weight;
+            if i + 1 < self.entries.len() {
+                let bound = ((total + suffix[i + 1]) / self.cardinality as f64).min(1.0);
+                if abandon(bound) {
+                    return None;
+                }
+            }
+        }
+        Some((total / self.cardinality as f64).clamp(0.0, 1.0))
+    }
+
+    /// [`ConceptContext::score_single`] with branch-and-bound abandonment
+    /// ([`crate::prune`] level (a)): returns `None` if `abandon` accepted
+    /// a running upper bound, the exact Definition 8 score otherwise.
+    pub fn score_single_bounded<C: SimilarityCache>(
+        &self,
+        sn: &SemanticNetwork,
+        sim: &CombinedSimilarity<C>,
+        candidate: ConceptId,
+        suffix: &[f64],
+        abandon: &mut dyn FnMut(f64) -> bool,
+    ) -> Option<f64> {
+        self.score_bounded_with(
+            sn,
+            sim,
+            &|sn, sim, s| sim.similarity(sn, candidate, s),
+            suffix,
+            abandon,
+        )
+    }
+
+    /// [`ConceptContext::score_pair`] with branch-and-bound abandonment —
+    /// the Equation 10 compound-target analogue of
+    /// [`ConceptContext::score_single_bounded`].
+    pub fn score_pair_bounded<C: SimilarityCache>(
+        &self,
+        sn: &SemanticNetwork,
+        sim: &CombinedSimilarity<C>,
+        first: ConceptId,
+        second: ConceptId,
+        suffix: &[f64],
+        abandon: &mut dyn FnMut(f64) -> bool,
+    ) -> Option<f64> {
+        self.score_bounded_with(
+            sn,
+            sim,
+            &|sn, sim, s| (sim.similarity(sn, first, s) + sim.similarity(sn, second, s)) / 2.0,
+            suffix,
+            abandon,
+        )
     }
 }
 
@@ -324,6 +447,100 @@ mod tests {
             (got - expected).abs() < 1e-12,
             "Definition 8 denominator must be |S_1(cast)| = 2: got {got}, expected {expected}"
         );
+    }
+
+    #[test]
+    fn bounded_scoring_matches_unbounded_when_never_abandoning() {
+        let t = tree(
+            "<films><picture><cast><star>Stewart</star><star>Kelly</star></cast><plot/></picture></films>",
+        );
+        let sn = mini_wordnet();
+        let cast = find(&t, "cast");
+        let ctx = ConceptContext::build(sn, &t, cast, 2);
+        let sim = CombinedSimilarity::default();
+        let suffix = ctx.suffix_weight_sums();
+        assert_eq!(suffix.len(), ctx.informative_nodes() + 1);
+        assert_eq!(*suffix.last().unwrap(), 0.0);
+        for key in ["cast.actors", "cast.mold", "cast.throw"] {
+            let plain = ctx.score_single(sn, &sim, id(key));
+            let bounded = ctx
+                .score_single_bounded(sn, &sim, id(key), &suffix, &mut |_| false)
+                .unwrap();
+            // Bit-identical, not just approximately equal: the pruned
+            // path must reuse the exact summation of the unpruned one.
+            assert_eq!(plain.to_bits(), bounded.to_bits(), "{key}");
+        }
+    }
+
+    #[test]
+    fn bounded_pair_scoring_matches_unbounded() {
+        let t = tree("<films><star_picture/><cast/><actor/></films>");
+        let sn = mini_wordnet();
+        let target = find(&t, "star picture");
+        let ctx = ConceptContext::build(sn, &t, target, 2);
+        let sim = CombinedSimilarity::default();
+        let suffix = ctx.suffix_weight_sums();
+        let plain = ctx.score_pair(sn, &sim, id("star.performer"), id("film.movie"));
+        let bounded = ctx
+            .score_pair_bounded(
+                sn,
+                &sim,
+                id("star.performer"),
+                id("film.movie"),
+                &suffix,
+                &mut |_| false,
+            )
+            .unwrap();
+        assert_eq!(plain.to_bits(), bounded.to_bits());
+    }
+
+    #[test]
+    fn bounds_are_sound_and_abandonment_fires() {
+        let t = tree(
+            "<films><picture><cast><star>Stewart</star><star>Kelly</star></cast><plot/></picture></films>",
+        );
+        let sn = mini_wordnet();
+        let cast = find(&t, "cast");
+        let ctx = ConceptContext::build(sn, &t, cast, 2);
+        let sim = CombinedSimilarity::default();
+        let suffix = ctx.suffix_weight_sums();
+        let candidate = id("cast.actors");
+        let score = ctx.score_single(sn, &sim, candidate);
+        // Every running bound offered to the closure must dominate the
+        // final score (soundness of the branch-and-bound invariant).
+        let mut bounds = Vec::new();
+        let result = ctx.score_single_bounded(sn, &sim, candidate, &suffix, &mut |b| {
+            bounds.push(b);
+            false
+        });
+        assert_eq!(result.unwrap().to_bits(), score.to_bits());
+        assert!(!bounds.is_empty());
+        for b in &bounds {
+            assert!(*b >= score, "bound {b} < final score {score}");
+            assert!(*b <= ctx.max_concept_score() + 1e-12);
+        }
+        // An always-abandon closure stops on the first bound.
+        let mut calls = 0;
+        let pruned = ctx.score_single_bounded(sn, &sim, candidate, &suffix, &mut |_| {
+            calls += 1;
+            true
+        });
+        assert_eq!(pruned, None);
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn context_senses_cover_both_compound_sides() {
+        let t = tree("<films><star_picture/><cast/></films>");
+        let sn = mini_wordnet();
+        let target = find(&t, "cast");
+        let ctx = ConceptContext::build(sn, &t, target, 2);
+        let senses = ctx.context_senses();
+        // Sorted, deduplicated, and containing senses of both "star" and
+        // "picture" (the compound sides) plus "films".
+        assert!(senses.windows(2).all(|w| w[0] < w[1]));
+        assert!(senses.contains(&id("star.performer")));
+        assert!(senses.contains(&id("picture.image")));
     }
 
     #[test]

@@ -145,6 +145,16 @@ const DEADLINE_CHECK_MASK: u64 = 31;
 /// One `Guard` governs one document; the sense-pair counter is interior
 /// (the scoring loop holds `&Guard`), so guards are neither `Sync` nor
 /// meant to be shared across documents.
+///
+/// The sense-pair budget is denominated in *single-sense combined-similarity
+/// evaluations*: scoring one candidate sense of a single-token label costs
+/// one unit, while one candidate pair of a compound label costs two (it
+/// evaluates both token senses against the context, per Equation 10), so
+/// `max_sense_pairs` bounds the same amount of similarity work regardless
+/// of label shape. Candidate pruning ([`crate::prune::PruningConfig`])
+/// skips evaluations entirely, so a pruned run draws fewer units from the
+/// same budget; the guard also tallies what pruning skipped
+/// ([`Guard::candidates_pruned`], [`Guard::early_exits`]).
 #[derive(Debug, Default)]
 pub struct Guard {
     max_nodes: Option<usize>,
@@ -152,6 +162,8 @@ pub struct Guard {
     max_sense_pairs: Option<u64>,
     deadline: Option<Deadline>,
     pairs: Cell<u64>,
+    pruned: Cell<u64>,
+    early_exits: Cell<u64>,
 }
 
 impl Guard {
@@ -198,6 +210,36 @@ impl Guard {
         self.pairs.get()
     }
 
+    /// Budget units still available, or `None` when the pair budget is
+    /// unlimited. Budgeted pruning uses this to shrink the candidate set
+    /// *before* scoring instead of tripping the limit mid-loop.
+    pub fn remaining_sense_pairs(&self) -> Option<u64> {
+        self.max_sense_pairs
+            .map(|max| max.saturating_sub(self.pairs.get()))
+    }
+
+    /// Candidate evaluations skipped by pruning under this guard (density
+    /// screen drops, mid-scan abandonments, and early-exit skips).
+    pub fn candidates_pruned(&self) -> u64 {
+        self.pruned.get()
+    }
+
+    /// Times the scoring loop stopped early because the leader was
+    /// mathematically uncatchable.
+    pub fn early_exits(&self) -> u64 {
+        self.early_exits.get()
+    }
+
+    /// Tallies `n` candidate evaluations skipped by pruning.
+    pub fn note_pruned(&self, n: u64) {
+        self.pruned.set(self.pruned.get() + n);
+    }
+
+    /// Tallies one uncatchable-leader loop exit.
+    pub fn note_early_exit(&self) {
+        self.early_exits.set(self.early_exits.get() + 1);
+    }
+
     /// Checks the wall-clock deadline, if one is set.
     pub fn check_deadline(&self) -> Result<(), GuardError> {
         match &self.deadline {
@@ -216,10 +258,10 @@ impl Guard {
         check_limit(LimitKind::Targets, self.max_targets, targets)
     }
 
-    /// Accounts one scored sense pair (a candidate evaluation in the
-    /// scoring loop). Fails once the pair budget is exhausted; every 32nd
-    /// tick also re-checks the deadline so a slow similarity computation
-    /// cannot hide an overrun for long.
+    /// Accounts one budget unit — a single-sense combined-similarity
+    /// evaluation in the scoring loop. Fails once the pair budget is
+    /// exhausted; every 32nd tick also re-checks the deadline so a slow
+    /// similarity computation cannot hide an overrun for long.
     pub fn tick_sense_pair(&self) -> Result<(), GuardError> {
         let scored = self.pairs.get() + 1;
         self.pairs.set(scored);
@@ -234,6 +276,18 @@ impl Guard {
         }
         if scored & DEADLINE_CHECK_MASK == 0 {
             self.check_deadline()?;
+        }
+        Ok(())
+    }
+
+    /// Accounts `n` budget units at once — how the compound pair loop
+    /// charges each candidate pair its true cost of two single-sense
+    /// evaluations (Equation 10 scores both token senses against every
+    /// context sense). Equivalent to `n` consecutive
+    /// [`Guard::tick_sense_pair`] calls.
+    pub fn tick_sense_pairs(&self, n: u64) -> Result<(), GuardError> {
+        for _ in 0..n {
+            self.tick_sense_pair()?;
         }
         Ok(())
     }
@@ -299,6 +353,50 @@ mod tests {
                 actual: 4
             }
         ));
+    }
+
+    #[test]
+    fn weighted_ticks_draw_the_same_budget_as_single_ticks() {
+        // A pair evaluation (2 units) and two single evaluations must be
+        // indistinguishable to the budget.
+        let g = Guard::unlimited().with_max_sense_pairs(4);
+        g.tick_sense_pairs(2).unwrap();
+        g.tick_sense_pairs(2).unwrap();
+        assert_eq!(g.pairs_scored(), 4);
+        let err = g.tick_sense_pairs(2).unwrap_err();
+        assert!(matches!(
+            err,
+            GuardError::LimitExceeded {
+                which: LimitKind::SensePairs,
+                limit: 4,
+                actual: 5
+            }
+        ));
+    }
+
+    #[test]
+    fn remaining_budget_counts_down() {
+        let g = Guard::unlimited();
+        assert_eq!(g.remaining_sense_pairs(), None);
+        let g = Guard::unlimited().with_max_sense_pairs(5);
+        assert_eq!(g.remaining_sense_pairs(), Some(5));
+        g.tick_sense_pairs(3).unwrap();
+        assert_eq!(g.remaining_sense_pairs(), Some(2));
+        g.tick_sense_pair().unwrap();
+        g.tick_sense_pair().unwrap();
+        assert_eq!(g.remaining_sense_pairs(), Some(0));
+    }
+
+    #[test]
+    fn pruning_tallies_accumulate() {
+        let g = Guard::unlimited();
+        assert_eq!(g.candidates_pruned(), 0);
+        assert_eq!(g.early_exits(), 0);
+        g.note_pruned(3);
+        g.note_pruned(2);
+        g.note_early_exit();
+        assert_eq!(g.candidates_pruned(), 5);
+        assert_eq!(g.early_exits(), 1);
     }
 
     #[test]

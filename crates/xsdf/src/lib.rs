@@ -47,6 +47,7 @@ pub mod config;
 pub mod context_based;
 pub mod guard;
 pub mod pipeline;
+pub mod prune;
 pub mod senses;
 pub mod sphere;
 
@@ -56,5 +57,6 @@ pub use config::{
 };
 pub use guard::{Deadline, Guard, GuardError, LimitKind};
 pub use pipeline::{DisambiguationResult, NodeReport, SenseChoice, Xsdf};
+pub use prune::PruningConfig;
 pub use senses::{LingTokenizer, SenseCandidates};
 pub use xmltree::distance::DistancePolicy;

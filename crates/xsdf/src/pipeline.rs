@@ -220,10 +220,11 @@ impl<'sn> Xsdf<'sn> {
 
     /// [`Xsdf::disambiguate_selected`] under a resource [`Guard`]: the
     /// deadline is re-checked per target and every 32 scored sense pairs,
-    /// and each candidate evaluation draws on the sense-pair budget, so a
-    /// runaway document returns a partial-result error instead of stalling
-    /// its worker. The partial work is discarded — callers get `Err`, never
-    /// a half-annotated tree.
+    /// and each candidate evaluation draws on the sense-pair budget (one
+    /// unit per single-sense evaluation, two per compound pair — see
+    /// [`Guard`]), so a runaway document returns a partial-result error
+    /// instead of stalling its worker. The partial work is discarded —
+    /// callers get `Err`, never a half-annotated tree.
     pub fn disambiguate_selected_guarded<C: SimilarityCache>(
         &self,
         tree: &XmlTree,
@@ -261,6 +262,12 @@ impl<'sn> Xsdf<'sn> {
                     w_context,
                     guard,
                 )? {
+                    // Annotation gate (accepted deviation, see DESIGN.md):
+                    // a multi-candidate winner must score *strictly* above
+                    // `min_score` — a score exactly at the threshold
+                    // abstains — while a monosemous label annotates
+                    // unconditionally, evidence or not, because its sense
+                    // is certain a priori.
                     if score > cfg.min_score || candidate_count == 1 {
                         self.annotate(&mut semantic_tree, node, choice, score);
                         report.chosen = Some((choice, score));
@@ -275,8 +282,29 @@ impl<'sn> Xsdf<'sn> {
         })
     }
 
-    /// Scores every candidate sense of a target and returns the best. Each
-    /// candidate evaluation ticks the guard's sense-pair budget.
+    /// Scores every candidate sense of a target and returns the best.
+    ///
+    /// Budget: each single-sense evaluation ticks the guard's sense-pair
+    /// budget once; a compound candidate pair ticks twice (it evaluates
+    /// both token senses against the context, per Equation 10).
+    ///
+    /// Tie-breaking is part of the determinism contract: **every** path
+    /// keeps the *first* maximum — a challenger must score strictly
+    /// higher. (The compound one-token-unknown fallback historically kept
+    /// the *last* tie, an `Iterator::max_by` artifact, while the `Single`
+    /// branch and the pair loop kept the first; the contract is now
+    /// keep-first everywhere, mirrored by the conformance reference.)
+    /// Exact pruning leans on this: abandoning a candidate whose upper
+    /// bound merely *equals* the leader is safe only because an equal
+    /// score never wins.
+    ///
+    /// Candidate pruning ([`crate::prune`], `config.prune`, off by
+    /// default) is applied here: a density pre-screen may drop candidates
+    /// before scoring (levels (b)/(c)), and the exact early exit (level
+    /// (a)) abandons candidates whose running upper bound cannot strictly
+    /// beat the leader, stopping the whole loop once the leader is
+    /// uncatchable. Level (a) is provably result-identical: survivors
+    /// reuse the bit-exact arithmetic of the unpruned scorers.
     #[allow(clippy::too_many_arguments)]
     fn score_candidates<C: SimilarityCache>(
         &self,
@@ -289,6 +317,7 @@ impl<'sn> Xsdf<'sn> {
         guard: &Guard,
     ) -> Result<Option<(SenseChoice, f64)>, GuardError> {
         let radius = self.config.radius;
+        let prune = self.config.prune;
         // Build each scorer lazily: pure processes need only one of them.
         let concept_ctx = (w_concept > 0.0).then(|| {
             ConceptContext::build_with_policy(self.sn, tree, node, radius, self.config.distance)
@@ -298,40 +327,136 @@ impl<'sn> Xsdf<'sn> {
                 .with_measure(self.config.vector_similarity)
         });
 
-        let combined_single = |s: ConceptId| -> f64 {
-            let c = concept_ctx
+        // Level (a) machinery: per-target suffix weight sums feed the
+        // running concept-score bound; `global_bound` is the combined
+        // score a *perfect* candidate would reach in this context, and
+        // `slack` absorbs floating-point drift (plus any requested
+        // level-(c) margin) so a prune can never flip a comparison.
+        let prune_on = prune.early_exit;
+        let suffix = prune_on
+            .then(|| concept_ctx.as_ref().map(ConceptContext::suffix_weight_sums))
+            .flatten();
+        let slack = prune.slack();
+        let global_bound = w_concept
+            * concept_ctx
                 .as_ref()
-                .map_or(0.0, |ctx| ctx.score_single(self.sn, sim, s));
+                .map_or(0.0, ConceptContext::max_concept_score)
+            + w_context
+                * context_scorer
+                    .as_ref()
+                    .map_or(0.0, ContextVectorScorer::score_bound);
+
+        // Levels (b)/(c): the density screen's K for single-sense lists
+        // and for compound pair counts. The budgeted K is re-derived per
+        // target from the guard's remaining budget, so later targets of a
+        // budgeted document screen harder instead of tripping the limit;
+        // a compound pair costs two budget units, hence the halving.
+        let density_k = (prune.density_top_k > 0).then_some(prune.density_top_k);
+        let budget_k = prune
+            .budgeted
+            .then(|| guard.remaining_sense_pairs())
+            .flatten()
+            .map(|r| (r as usize).max(1));
+        let single_k = min_opt(density_k, budget_k);
+        let pair_k = min_opt(density_k, budget_k.map(|b| (b / 2).max(1)));
+        let density_senses = (single_k.is_some() || pair_k.is_some()).then(|| {
+            concept_ctx
+                .as_ref()
+                .map(ConceptContext::context_senses)
+                .unwrap_or_else(|| {
+                    // Pure context-based process: build a screen-only
+                    // concept context for its sense inventory.
+                    ConceptContext::build_with_policy(
+                        self.sn,
+                        tree,
+                        node,
+                        radius,
+                        self.config.distance,
+                    )
+                    .context_senses()
+                })
+        });
+        let screen = |senses: &[ConceptId], k: usize, ctx_senses: &[ConceptId]| -> Vec<ConceptId> {
+            let mask = crate::prune::density_keep_mask(self.sn, senses, ctx_senses, k);
+            senses
+                .iter()
+                .zip(&mask)
+                .filter(|&(_, &kept)| kept)
+                .map(|(&s, _)| s)
+                .collect()
+        };
+
+        // Combined Equation 13 scorers. The context score is computed
+        // first (it is a single whole-vector comparison — nothing to
+        // abandon incrementally), then the concept score entry by entry
+        // under the running bound. `None` means the candidate was
+        // abandoned: its true score provably cannot strictly beat
+        // `leader`. Survivor arithmetic is identical to the unpruned path.
+        let score_single = |s: ConceptId, leader: Option<f64>| -> Option<f64> {
             let x = context_scorer
                 .as_ref()
                 .map_or(0.0, |cs| cs.score_single_cached(self.sn, s, sim.cache()));
-            w_concept * c + w_context * x
+            let c = match (concept_ctx.as_ref(), suffix.as_deref()) {
+                (Some(ctx), Some(sfx)) => {
+                    let mut abandon = |ub: f64| {
+                        leader.is_some_and(|l| w_concept * ub + w_context * x + slack <= l)
+                    };
+                    ctx.score_single_bounded(self.sn, sim, s, sfx, &mut abandon)?
+                }
+                (Some(ctx), None) => ctx.score_single(self.sn, sim, s),
+                (None, _) => 0.0,
+            };
+            Some(w_concept * c + w_context * x)
         };
-        let combined_pair = |a: ConceptId, b: ConceptId| -> f64 {
-            let c = concept_ctx
-                .as_ref()
-                .map_or(0.0, |ctx| ctx.score_pair(self.sn, sim, a, b));
+        let score_pair = |a: ConceptId, b: ConceptId, leader: Option<f64>| -> Option<f64> {
             let x = context_scorer
                 .as_ref()
                 .map_or(0.0, |cs| cs.score_pair(self.sn, a, b));
-            w_concept * c + w_context * x
+            let c = match (concept_ctx.as_ref(), suffix.as_deref()) {
+                (Some(ctx), Some(sfx)) => {
+                    let mut abandon = |ub: f64| {
+                        leader.is_some_and(|l| w_concept * ub + w_context * x + slack <= l)
+                    };
+                    ctx.score_pair_bounded(self.sn, sim, a, b, sfx, &mut abandon)?
+                }
+                (Some(ctx), None) => ctx.score_pair(self.sn, sim, a, b),
+                (None, _) => 0.0,
+            };
+            Some(w_concept * c + w_context * x)
         };
-        // Tie-breaking is part of the determinism contract: the `Single`
-        // branch historically keeps the *first* maximum, the compound
-        // fallback (built on `Iterator::max_by`) kept the *last*.
-        let best_single = |senses: &[ConceptId],
-                           keep_last_tie: bool|
-         -> Result<Option<(SenseChoice, f64)>, GuardError> {
+
+        let best_single = |senses: &[ConceptId]| -> Result<Option<(SenseChoice, f64)>, GuardError> {
+            let screened;
+            let senses: &[ConceptId] = match (single_k, &density_senses) {
+                (Some(k), Some(ctx_senses)) if senses.len() > k => {
+                    screened = screen(senses, k, ctx_senses);
+                    guard.note_pruned((senses.len() - screened.len()) as u64);
+                    &screened
+                }
+                _ => senses,
+            };
             let mut best: Option<(SenseChoice, f64)> = None;
-            for &s in senses {
+            for (i, &s) in senses.iter().enumerate() {
+                if prune_on {
+                    if let Some((_, leader)) = best {
+                        if global_bound + slack <= leader {
+                            // Not even a perfect candidate could strictly
+                            // beat the leader: the rest of the list is
+                            // mathematically out of the race.
+                            guard.note_pruned((senses.len() - i) as u64);
+                            guard.note_early_exit();
+                            break;
+                        }
+                    }
+                }
                 guard.tick_sense_pair()?;
-                let score = combined_single(s);
-                let better = match best {
-                    None => true,
-                    Some((_, b)) => score > b || (keep_last_tie && score == b),
-                };
-                if better {
-                    best = Some((SenseChoice::Single(s), score));
+                match score_single(s, best.map(|(_, b)| b)) {
+                    Some(score) => {
+                        if best.is_none_or(|(_, b)| score > b) {
+                            best = Some((SenseChoice::Single(s), score));
+                        }
+                    }
+                    None => guard.note_pruned(1),
                 }
             }
             Ok(best)
@@ -339,23 +464,55 @@ impl<'sn> Xsdf<'sn> {
 
         match candidates {
             SenseCandidates::Unknown => Ok(None),
-            SenseCandidates::Single(senses) => best_single(senses, false),
+            SenseCandidates::Single(senses) => best_single(senses),
             SenseCandidates::Compound { first, second } => {
                 // One of the token lists may be empty (token unknown to the
                 // lexicon): fall back to single-token choice.
                 if first.is_empty() {
-                    return best_single(second, true);
+                    return best_single(second);
                 }
                 if second.is_empty() {
-                    return best_single(first, true);
+                    return best_single(first);
                 }
+                // Screening pair-by-pair would cost as much as scoring, so
+                // each side is screened independently to ⌈√K⌉ senses,
+                // bounding the kept pair count near K.
+                let (screened_first, screened_second);
+                let (first, second): (&[ConceptId], &[ConceptId]) = match (pair_k, &density_senses)
+                {
+                    (Some(k), Some(ctx_senses)) if first.len() * second.len() > k => {
+                        let cap = crate::prune::compound_side_cap(k);
+                        screened_first = screen(first, cap, ctx_senses);
+                        screened_second = screen(second, cap, ctx_senses);
+                        let kept = screened_first.len() * screened_second.len();
+                        guard.note_pruned((first.len() * second.len() - kept) as u64);
+                        (&screened_first, &screened_second)
+                    }
+                    _ => (first, second),
+                };
                 let mut best: Option<(SenseChoice, f64)> = None;
-                for &a in first {
-                    for &b in second {
-                        guard.tick_sense_pair()?;
-                        let score = combined_pair(a, b);
-                        if best.as_ref().is_none_or(|&(_, bst)| score > bst) {
-                            best = Some((SenseChoice::Pair(a, b), score));
+                'pairs: for (i, &a) in first.iter().enumerate() {
+                    for (j, &b) in second.iter().enumerate() {
+                        if prune_on {
+                            if let Some((_, leader)) = best {
+                                if global_bound + slack <= leader {
+                                    let remaining = (first.len() - i) * second.len() - j;
+                                    guard.note_pruned(remaining as u64);
+                                    guard.note_early_exit();
+                                    break 'pairs;
+                                }
+                            }
+                        }
+                        // A compound pair evaluates both token senses
+                        // against the context: two budget units.
+                        guard.tick_sense_pairs(2)?;
+                        match score_pair(a, b, best.map(|(_, bst)| bst)) {
+                            Some(score) => {
+                                if best.is_none_or(|(_, bst)| score > bst) {
+                                    best = Some((SenseChoice::Pair(a, b), score));
+                                }
+                            }
+                            None => guard.note_pruned(1),
                         }
                     }
                 }
@@ -448,6 +605,15 @@ impl<'sn> Xsdf<'sn> {
                 score,
             },
         );
+    }
+}
+
+/// Minimum of two optional caps, where `None` means "uncapped".
+fn min_opt(a: Option<usize>, b: Option<usize>) -> Option<usize> {
+    match (a, b) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (a, None) => a,
+        (None, b) => b,
     }
 }
 
@@ -693,6 +859,293 @@ mod tests {
         .disambiguate_str(xml)
         .unwrap();
         assert_eq!(without.semantic_tree.tree().link_count(), 0);
+    }
+
+    #[test]
+    fn compound_fallback_tie_keeps_first_sense() {
+        // Regression for the tie-break contract divergence: the compound
+        // one-token-unknown fallback was built on keep-last (`max_by`)
+        // semantics while every other path kept the first maximum. Two
+        // hand-built twin concepts — identical lemmas, glosses, frequency,
+        // and taxonomy — force an exact positive tie; the keep-first
+        // contract must pick the earlier sense (the pre-fix fallback
+        // picked the later one).
+        use semnet::{NetworkBuilder, PartOfSpeech};
+        let mut b = NetworkBuilder::new();
+        b.concept(
+            "anchor.n",
+            &["anchor"],
+            "the shared anchor concept of the twins",
+            10,
+            PartOfSpeech::Noun,
+        );
+        b.noun(
+            "twin.a",
+            &["twin"],
+            "one of two identical concepts",
+            5,
+            "anchor.n",
+        );
+        b.noun(
+            "twin.b",
+            &["twin"],
+            "one of two identical concepts",
+            5,
+            "anchor.n",
+        );
+        let sn = b.build().unwrap();
+        let senses = sn.senses("twin");
+        assert_eq!(senses.len(), 2);
+        // "blank" is unknown to this lexicon, so the compound label
+        // "blank twin" takes the one-sided fallback over "twin"'s senses.
+        let result = Xsdf::new(&sn, XsdfConfig::default())
+            .disambiguate_str("<anchor><blank_twin/></anchor>")
+            .unwrap();
+        let report = result
+            .reports
+            .iter()
+            .find(|r| r.label == "blank twin")
+            .expect("compound label report");
+        let (choice, score) = report.chosen.expect("tied positive score must annotate");
+        assert!(score > 0.0, "twins must gather real evidence: {score}");
+        let first_key = &sn.concept(senses[0]).key;
+        match choice {
+            SenseChoice::Single(c) => assert_eq!(&sn.concept(c).key, first_key),
+            SenseChoice::Pair(..) => panic!("one-sided fallback must yield a single sense"),
+        }
+    }
+
+    #[test]
+    fn sense_pair_budget_counts_single_evaluations() {
+        // Regression for the budget unit mismatch: a compound candidate
+        // pair evaluates both token senses against the context
+        // (Equation 10), so it must draw two budget units where a
+        // single-sense candidate draws one. Pre-fix, the pair loop ticked
+        // once per pair, making --max-sense-pairs mean different work
+        // depending on label shape.
+        let sn = mini_wordnet();
+        let xsdf = Xsdf::new(sn, XsdfConfig::default());
+        let doc = xmltree::parse("<films><star_picture/><cast/><actor/></films>").unwrap();
+        let tree = xsdf.build_tree(&doc);
+        let sim = CombinedSimilarity::default();
+
+        for (label, units_per_candidate) in [("star picture", 2), ("cast", 1)] {
+            let mut ambiguities = xsdf.select(&tree);
+            ambiguities.retain(|na| tree.label(na.node) == label);
+            assert_eq!(ambiguities.len(), 1, "{label}");
+            let candidates =
+                disambiguation_candidates(sn, label, tree.node(ambiguities[0].node).kind);
+            let units = units_per_candidate * candidates.candidate_count() as u64;
+
+            let exact = Guard::unlimited().with_max_sense_pairs(units);
+            xsdf.disambiguate_selected_guarded(&tree, &ambiguities, &sim, &exact)
+                .unwrap_or_else(|e| panic!("{label}: budget {units} must suffice: {e}"));
+            assert_eq!(exact.pairs_scored(), units, "{label}");
+
+            let short = Guard::unlimited().with_max_sense_pairs(units - 1);
+            let err = xsdf
+                .disambiguate_selected_guarded(&tree, &ambiguities, &sim, &short)
+                .expect_err("one unit short must trip the budget");
+            match err {
+                GuardError::LimitExceeded { which, .. } => {
+                    assert_eq!(which, crate::guard::LimitKind::SensePairs, "{label}")
+                }
+                other => panic!("{label}: unexpected error {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn gate_boundary_score_at_threshold_abstains_monosemous_passes() {
+        // Boundary pins for the annotation gate: at radius 0 every sphere
+        // is empty and every concept score is exactly 0.0 == min_score, so
+        // polysemous targets sit precisely on the threshold — they must
+        // abstain (strict >) — while monosemous targets annotate even with
+        // zero evidence (their sense is certain a priori).
+        let cfg = XsdfConfig {
+            radius: 0,
+            ..XsdfConfig::default()
+        };
+        let result = run(FIGURE1_DOC1, cfg);
+        let mut saw_polysemous = false;
+        let mut saw_monosemous = false;
+        for r in result.reports.iter().filter(|r| r.selected) {
+            if r.candidates > 1 {
+                saw_polysemous = true;
+                assert!(
+                    r.chosen.is_none(),
+                    "{} scored exactly min_score and must abstain",
+                    r.label
+                );
+            } else if r.candidates == 1 {
+                saw_monosemous = true;
+                let (_, score) = r.chosen.expect("monosemous targets bypass the gate");
+                assert_eq!(score, 0.0, "{}", r.label);
+            }
+        }
+        assert!(
+            saw_polysemous && saw_monosemous,
+            "{saw_polysemous} {saw_monosemous}"
+        );
+    }
+
+    fn assert_reports_bit_identical(a: &DisambiguationResult, b: &DisambiguationResult) {
+        assert_eq!(a.reports.len(), b.reports.len());
+        for (ra, rb) in a.reports.iter().zip(&b.reports) {
+            match (ra.chosen, rb.chosen) {
+                (None, None) => {}
+                (Some((ca, sa)), Some((cb, sb))) => {
+                    assert_eq!(ca, cb, "{}", ra.label);
+                    assert_eq!(sa.to_bits(), sb.to_bits(), "{}: {sa} vs {sb}", ra.label);
+                }
+                other => panic!("{}: {:?}", ra.label, other),
+            }
+        }
+    }
+
+    #[test]
+    fn exact_pruning_is_bit_identical_across_processes_and_radii() {
+        let compound_doc = "<films><star_picture/><cast/><actor/></films>";
+        for process in [
+            DisambiguationProcess::ConceptBased,
+            DisambiguationProcess::ContextBased,
+            DisambiguationProcess::Combined {
+                concept: 0.6,
+                context: 0.4,
+            },
+        ] {
+            for radius in [1, 2, 3] {
+                for xml in [FIGURE1_DOC1, FIGURE1_DOC2, compound_doc] {
+                    let base = XsdfConfig {
+                        radius,
+                        process,
+                        ..XsdfConfig::default()
+                    };
+                    let pruned_cfg = XsdfConfig {
+                        prune: crate::prune::PruningConfig::exact(),
+                        ..base.clone()
+                    };
+                    assert_reports_bit_identical(&run(xml, base), &run(xml, pruned_cfg));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exact_pruning_actually_prunes_polysemous_targets() {
+        let cfg = XsdfConfig {
+            prune: crate::prune::PruningConfig::exact(),
+            ..XsdfConfig::default()
+        };
+        let xsdf = Xsdf::new(mini_wordnet(), cfg);
+        let doc = xmltree::parse(FIGURE1_DOC1).unwrap();
+        let tree = xsdf.build_tree(&doc);
+        let ambiguities = xsdf.select(&tree);
+        let sim = CombinedSimilarity::default();
+        let guard = Guard::unlimited();
+        xsdf.disambiguate_selected_guarded(&tree, &ambiguities, &sim, &guard)
+            .unwrap();
+        assert!(
+            guard.candidates_pruned() > 0,
+            "the polysemous Figure 1 document must see abandoned candidates"
+        );
+    }
+
+    #[test]
+    fn density_pruning_is_deterministic_and_bounded() {
+        let cfg = XsdfConfig {
+            prune: crate::prune::PruningConfig::density(2),
+            ..XsdfConfig::default()
+        };
+        let a = run(FIGURE1_DOC1, cfg.clone());
+        let b = run(FIGURE1_DOC1, cfg);
+        // Deterministic: two runs agree bit-for-bit.
+        assert_reports_bit_identical(&a, &b);
+        assert!(a.assigned_count() > 0);
+        // Bounded divergence: when the screened run picks the same sense
+        // as the unpruned run, the score is bit-identical (survivors keep
+        // the exact arithmetic); Figure 1's strong winners must survive a
+        // K=2 screen.
+        let unpruned = run(FIGURE1_DOC1, XsdfConfig::default());
+        assert_eq!(a.assignment_for_label("cast"), Some("cast.actors"));
+        assert_eq!(a.assignment_for_label("kelly"), Some("kelly.grace"));
+        for (ra, ru) in a.reports.iter().zip(&unpruned.reports) {
+            if let (Some((ca, sa)), Some((cu, su))) = (ra.chosen, ru.chosen) {
+                if ca == cu {
+                    assert_eq!(sa.to_bits(), su.to_bits(), "{}", ra.label);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn budgeted_pruning_degrades_instead_of_tripping() {
+        // A budget smaller than the candidate list: the unbudgeted run
+        // trips the sense-pair limit mid-target, the budgeted run screens
+        // the list down to what the budget affords and completes.
+        let sn = mini_wordnet();
+        let doc = xmltree::parse(FIGURE1_DOC1).unwrap();
+        let sim = CombinedSimilarity::default();
+
+        let plain = Xsdf::new(sn, XsdfConfig::default());
+        let tree = plain.build_tree(&doc);
+        let mut ambiguities = plain.select(&tree);
+        ambiguities.retain(|na| tree.label(na.node) == "cast");
+        assert_eq!(ambiguities.len(), 1);
+        let senses = disambiguation_candidates(sn, "cast", tree.node(ambiguities[0].node).kind);
+        let budget = senses.candidate_count() as u64 - 2;
+
+        let guard = Guard::unlimited().with_max_sense_pairs(budget);
+        plain
+            .disambiguate_selected_guarded(&tree, &ambiguities, &sim, &guard)
+            .expect_err("unbudgeted run must trip the limit");
+
+        let budgeted = Xsdf::new(
+            sn,
+            XsdfConfig {
+                prune: crate::prune::PruningConfig {
+                    early_exit: true,
+                    budgeted: true,
+                    ..crate::prune::PruningConfig::default()
+                },
+                ..XsdfConfig::default()
+            },
+        );
+        let guard = Guard::unlimited().with_max_sense_pairs(budget);
+        let result = budgeted
+            .disambiguate_selected_guarded(&tree, &ambiguities, &sim, &guard)
+            .expect("budgeted run must degrade gracefully");
+        assert!(guard.pairs_scored() <= budget);
+        assert!(guard.candidates_pruned() > 0);
+        // The densest candidate survives the screen and still wins.
+        assert_eq!(result.assignment_for_label("cast"), Some("cast.actors"));
+    }
+
+    #[test]
+    fn pruned_batch_matches_unpruned_batch_across_threads() {
+        let sn = mini_wordnet();
+        let docs: Vec<xmltree::Document> = [FIGURE1_DOC1, FIGURE1_DOC2, FIGURE1_DOC1]
+            .iter()
+            .map(|xml| xmltree::parse(xml).unwrap())
+            .collect();
+        let plain = Xsdf::new(sn, XsdfConfig::default());
+        let pruned = Xsdf::new(
+            sn,
+            XsdfConfig {
+                prune: crate::prune::PruningConfig::exact(),
+                ..XsdfConfig::default()
+            },
+        );
+        let trees: Vec<XmlTree> = docs.iter().map(|d| plain.build_tree(d)).collect();
+        let refs: Vec<&XmlTree> = trees.iter().collect();
+        let baseline = plain.disambiguate_batch(&refs, 1);
+        for threads in [1, 2, 3] {
+            let got = pruned.disambiguate_batch(&refs, threads);
+            assert_eq!(baseline.len(), got.len());
+            for (a, b) in baseline.iter().zip(&got) {
+                assert_reports_bit_identical(a, b);
+            }
+        }
     }
 
     #[test]
