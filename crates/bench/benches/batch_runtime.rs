@@ -128,6 +128,51 @@ fn hyper_polysemous() -> (semnet::SemanticNetwork, &'static str) {
     )
 }
 
+/// A WordNet-scale synthetic network: `n` noun concepts under one root in
+/// an 8-ary hypernym tree (WordNet's noun taxonomy averages branching in
+/// the single digits), each with one unique lemma, one lemma shared with
+/// ~3 siblings (so the word index has real multi-sense entries), and a
+/// ~15-word gloss that gives the gloss-artifact build genuine
+/// tokenization and extended-gloss work. Everything is a pure function of
+/// `i`, so the network — and its snapshot — is bit-reproducible across
+/// runs and machines.
+fn synthetic_wordnet(n: usize) -> semnet::SemanticNetwork {
+    use semnet::{NetworkBuilder, PartOfSpeech};
+    let mut b = NetworkBuilder::new();
+    b.concept(
+        "entity.n",
+        &["entity"],
+        "the root of the synthetic wordnet scale taxonomy used by the cold start benchmark",
+        1000,
+        PartOfSpeech::Noun,
+    );
+    let shared = (n / 3).max(1);
+    for i in 0..n {
+        let key = format!("syn{i}.n");
+        let parent = if i < 8 {
+            "entity.n".to_string()
+        } else {
+            format!("syn{}.n", i / 8 - 1)
+        };
+        let unique = format!("term{i}");
+        let common = format!("word{}", i % shared);
+        let gloss = format!(
+            "a synthetic concept number {i} of the scale benchmark whose gloss mentions \
+             word{} and term{} so the artifact build tokenizes realistic sentences",
+            (i + 7) % shared,
+            (i + 13) % n,
+        );
+        b.noun(
+            &key,
+            &[&unique, &common],
+            &gloss,
+            (i % 1000) as u32 + 1,
+            &parent,
+        );
+    }
+    b.build().expect("synthetic wordnet is well-formed")
+}
+
 /// Median wall-clock of `iters` timed runs (after `warmup` untimed ones).
 fn median_ms(warmup: usize, iters: usize, mut f: impl FnMut()) -> f64 {
     for _ in 0..warmup {
@@ -337,6 +382,44 @@ fn main() {
     eprintln!("  per-doc cold p50        {doc_p50_ms:10.3} ms");
     eprintln!("  per-doc cold p99        {doc_p99_ms:10.3} ms");
 
+    // Cold start: rebuilding the network from its text export (parse +
+    // validation + the full gloss-artifact build — what every process
+    // paid before compiled snapshots) vs. decoding the snapshot (one
+    // validated read, artifacts arriving pre-built). Measured on the
+    // builtin MiniWordNet and on a WordNet-scale synthetic network; the
+    // loaded network is spot-checked against the rebuild each iteration
+    // so the speedup never comes from skipped work.
+    let cs_iters = if quick { 1 } else { 5 };
+    let coldstart = |sn: &semnet::SemanticNetwork| -> (f64, f64, usize) {
+        let text = semnet::format::to_text(sn);
+        let snap = semnet::snapshot::encode(sn);
+        let rebuild_ms = median_ms(warmup.min(1), cs_iters, || {
+            let rebuilt = semnet::format::from_text(&text).expect("text export parses");
+            black_box(rebuilt.gloss_artifacts());
+            black_box(&rebuilt);
+        });
+        let load_ms = median_ms(warmup.min(1), cs_iters, || {
+            let loaded = semnet::snapshot::decode(&snap).expect("snapshot decodes");
+            black_box(loaded.gloss_artifacts());
+            assert_eq!(loaded.len(), sn.len());
+            assert_eq!(loaded.total_frequency(), sn.total_frequency());
+            black_box(&loaded);
+        });
+        (rebuild_ms, load_ms, snap.len())
+    };
+    let (cs_mini_rebuild_ms, cs_mini_load_ms, _) = coldstart(sn);
+    eprintln!("  coldstart mini  rebuild {cs_mini_rebuild_ms:10.3} ms");
+    eprintln!("  coldstart mini  load    {cs_mini_load_ms:10.3} ms");
+    let synth_concepts = if quick { 8_000 } else { 117_000 };
+    let synth = synthetic_wordnet(synth_concepts);
+    let (cs_synth_rebuild_ms, cs_synth_load_ms, cs_synth_bytes) = coldstart(&synth);
+    eprintln!("  coldstart synth({synth_concepts}) rebuild {cs_synth_rebuild_ms:10.3} ms");
+    eprintln!("  coldstart synth({synth_concepts}) load    {cs_synth_load_ms:10.3} ms");
+    eprintln!(
+        "  coldstart synth speedup {:10.1}x ({cs_synth_bytes} snapshot bytes)",
+        cs_synth_rebuild_ms / cs_synth_load_ms
+    );
+
     let fields: Vec<(&str, String)> = vec![
         ("bench", "\"batch_32_docs\"".to_string()),
         (
@@ -383,6 +466,20 @@ fn main() {
             "hyper_candidates_pruned",
             hyper_candidates_pruned.to_string(),
         ),
+        ("coldstart_mini_rebuild_ms", json_f64(cs_mini_rebuild_ms)),
+        ("coldstart_mini_load_ms", json_f64(cs_mini_load_ms)),
+        (
+            "coldstart_mini_speedup",
+            json_f64(cs_mini_rebuild_ms / cs_mini_load_ms),
+        ),
+        ("coldstart_synth_concepts", synth_concepts.to_string()),
+        ("coldstart_synth_rebuild_ms", json_f64(cs_synth_rebuild_ms)),
+        ("coldstart_synth_load_ms", json_f64(cs_synth_load_ms)),
+        (
+            "coldstart_synth_speedup",
+            json_f64(cs_synth_rebuild_ms / cs_synth_load_ms),
+        ),
+        ("coldstart_synth_snapshot_bytes", cs_synth_bytes.to_string()),
     ];
     let mut out = String::from("{\n");
     for (i, (key, value)) in fields.iter().enumerate() {

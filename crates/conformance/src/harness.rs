@@ -27,6 +27,41 @@ pub fn seeds() -> Vec<u64> {
     }
 }
 
+/// The semantic network the conformance suites run against: the builtin
+/// MiniWordNet by default, or — when `XSDF_CONFORMANCE_NETWORK` names a
+/// file — a network loaded from a compiled snapshot or text export. CI
+/// uses this to rerun the whole sweep over a snapshot-loaded network,
+/// proving the load path score-identical to the in-process rebuild. A
+/// bad path or corrupt file panics: a typo'd CI variable must not
+/// silently fall back to the builtin network and vacuously pass.
+pub fn network() -> &'static SemanticNetwork {
+    use std::sync::OnceLock;
+    static NETWORK: OnceLock<&'static SemanticNetwork> = OnceLock::new();
+    NETWORK.get_or_init(|| match std::env::var("XSDF_CONFORMANCE_NETWORK") {
+        Err(_) => semnet::mini_wordnet(),
+        Ok(path) if path.is_empty() => semnet::mini_wordnet(),
+        Ok(path) => {
+            let bytes = std::fs::read(&path)
+                .unwrap_or_else(|e| panic!("XSDF_CONFORMANCE_NETWORK={path:?}: {e}"));
+            let sn = if semnet::snapshot::sniff(&bytes) {
+                semnet::snapshot::decode(&bytes)
+                    .unwrap_or_else(|e| panic!("XSDF_CONFORMANCE_NETWORK={path:?}: {e}"))
+            } else {
+                let text = String::from_utf8(bytes).unwrap_or_else(|e| {
+                    panic!("XSDF_CONFORMANCE_NETWORK={path:?}: not UTF-8: {e}")
+                });
+                semnet::format::from_text(&text)
+                    .unwrap_or_else(|e| panic!("XSDF_CONFORMANCE_NETWORK={path:?}: {e}"))
+            };
+            eprintln!(
+                "conformance network: {} concepts loaded from {path}",
+                sn.len()
+            );
+            Box::leak(Box::new(sn))
+        }
+    })
+}
+
 /// The pruning configuration the sweep's *optimized* side runs under,
 /// from `XSDF_CONFORMANCE_PRUNE` (a [`xsdf::PruningConfig::parse`]
 /// spec; unset or empty means off). The reference side never prunes, so

@@ -4,7 +4,7 @@
 //! unknown token. Each input runs through **both** implementations and
 //! must agree exactly like the main sweep does.
 
-use semnet::mini_wordnet;
+use conformance::harness::network;
 use semsim::SimilarityWeights;
 use xsdf::ambiguity::select_targets;
 use xsdf::config::{AmbiguityWeights, ThresholdPolicy, VectorSimilarity, XsdfConfig};
@@ -22,7 +22,7 @@ const TOL: f64 = 1e-12;
 /// Runs one document through the full pipeline and the full reference,
 /// asserting per-node agreement on degrees, vectors, and final choices.
 fn assert_full_agreement(xml: &str, cfg: XsdfConfig, ctx: &str) {
-    let sn = mini_wordnet();
+    let sn = network();
     let doc = xmltree::parse(xml).unwrap_or_else(|e| panic!("{ctx}: must parse: {e:?}"));
     let xsdf = Xsdf::new(sn, cfg.clone());
     let tree = xsdf.build_tree(&doc);
@@ -73,7 +73,7 @@ fn assert_full_agreement(xml: &str, cfg: XsdfConfig, ctx: &str) {
 /// and a context vector holding only the center.
 #[test]
 fn single_node_tree_agrees_through_both_implementations() {
-    let sn = mini_wordnet();
+    let sn = network();
     let doc = xmltree::parse("<star/>").unwrap();
     let xsdf = Xsdf::new(sn, XsdfConfig::default());
     let tree = xsdf.build_tree(&doc);
@@ -125,7 +125,7 @@ fn radius_zero_spheres_agree_through_both_implementations() {
 /// polysemy component of zero, and no chosen sense — on both sides.
 #[test]
 fn unknown_labels_agree_through_both_implementations() {
-    let sn = mini_wordnet();
+    let sn = network();
     assert!(matches!(
         candidates_for_label(sn, "zorbleflux"),
         SenseCandidates::Unknown
@@ -167,7 +167,7 @@ fn unknown_labels_agree_through_both_implementations() {
 /// known-first (`star_zorble`) and known-second (`zorble_star`).
 #[test]
 fn compound_with_one_unknown_token_agrees_through_both_implementations() {
-    let sn = mini_wordnet();
+    let sn = network();
     for tag in ["star_zorble", "zorble_star"] {
         // Pre-processing splits the tag into tokens and stores the
         // space-joined compound label in the tree.
@@ -204,7 +204,7 @@ fn compound_with_one_unknown_token_agrees_through_both_implementations() {
 /// reference and optimized alike.
 #[test]
 fn identity_and_bounds_hold_on_degenerate_similarity_inputs() {
-    let sn = mini_wordnet();
+    let sn = network();
     let senses = sn.senses("star");
     assert!(!senses.is_empty(), "mini_wordnet must know star");
     let weights = SimilarityWeights::equal();

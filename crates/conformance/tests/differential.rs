@@ -19,10 +19,11 @@
 
 use std::collections::HashMap;
 
+use conformance::harness::network;
 use conformance::harness::{cases, nucleus};
 use conformance::reference::{ambiguity as ref_amb, preprocess as ref_pre};
 use conformance::reference::{scoring as ref_score, similarity as ref_sim, sphere as ref_sph};
-use semnet::{mini_wordnet, ConceptId, SemanticNetwork};
+use semnet::{ConceptId, SemanticNetwork};
 use semsim::{CombinedSimilarity, SimilarityWeights, SparseVector};
 use xmltree::tree::ValueTokenizer;
 use xmltree::{DocNode, XmlTree};
@@ -72,7 +73,7 @@ fn ref_candidates_match(opt: &SenseCandidates, reference: &ref_pre::RefCandidate
 /// sense-candidate lists.
 #[test]
 fn preprocessing_and_candidates_agree_across_sweep() {
-    let sn = mini_wordnet();
+    let sn = network();
     let tokenizer = LingTokenizer::new(sn);
     for case in &cases(sn) {
         let ctx = case.context();
@@ -131,7 +132,7 @@ fn preprocessing_and_candidates_agree_across_sweep() {
 /// both threshold policies agree on every node of every document.
 #[test]
 fn ambiguity_degrees_and_selection_agree_across_sweep() {
-    let sn = mini_wordnet();
+    let sn = network();
     let w = AmbiguityWeights::equal();
     assert_eq!(
         ref_amb::max_polysemy(sn),
@@ -199,7 +200,7 @@ fn ambiguity_degrees_and_selection_agree_across_sweep() {
 /// on real vector pairs.
 #[test]
 fn xml_context_vectors_and_measures_agree_across_sweep() {
-    let sn = mini_wordnet();
+    let sn = network();
     for case in &cases(sn) {
         let ctx = case.context();
         let xsdf = Xsdf::new(sn, case.config());
@@ -252,7 +253,7 @@ fn sample_pairs(
 /// a deterministic sample of concept pairs.
 #[test]
 fn similarity_measures_agree_on_sampled_pairs() {
-    let sn = mini_wordnet();
+    let sn = network();
     // Edge and node measures are cheap enough for a dense sample.
     for (a, b) in sample_pairs(sn, 2, 3) {
         let o = semsim::wu_palmer(sn, a, b);
@@ -324,7 +325,7 @@ fn memo_sim<'a>(
 /// targets of the sweep nucleus.
 #[test]
 fn full_scoring_and_choices_agree_on_nucleus() {
-    let sn = mini_wordnet();
+    let sn = network();
     let all = cases(sn);
     let stride = if conformance::harness::quick() { 7 } else { 11 };
     for case in nucleus(&all, stride) {

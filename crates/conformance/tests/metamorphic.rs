@@ -3,7 +3,7 @@
 //! caching, threading, sphere growth, label renaming, and the
 //! serialize→reparse round trip must all be behavior-preserving.
 
-use semnet::mini_wordnet;
+use conformance::harness::network;
 use semsim::{CombinedSimilarity, LocalCache};
 use xmltree::serialize::to_string_compact;
 use xmltree::XmlTree;
@@ -56,7 +56,7 @@ fn assert_results_identical(a: &DisambiguationResult, b: &DisambiguationResult, 
 /// reports.
 #[test]
 fn cache_on_off_and_warm_runs_are_bitwise_identical() {
-    let sn = mini_wordnet();
+    let sn = network();
     let all = cases(sn);
     for case in nucleus(&all, 5) {
         let ctx = case.context();
@@ -75,7 +75,7 @@ fn cache_on_off_and_warm_runs_are_bitwise_identical() {
 /// threads produce bit-identical reports in the submission order.
 #[test]
 fn batch_thread_counts_are_bitwise_identical() {
-    let sn = mini_wordnet();
+    let sn = network();
     let all = cases(sn);
     let subset = nucleus(&all, 5);
     // One config for the whole batch (batch runs share a pipeline).
@@ -99,7 +99,7 @@ fn batch_thread_counts_are_bitwise_identical() {
 /// change when scores are recomputed, never what they are.
 #[test]
 fn bounded_cache_eviction_is_bitwise_invisible() {
-    let sn = mini_wordnet();
+    let sn = network();
     let all = cases(sn);
     let subset = nucleus(&all, 5);
     // One config for the whole batch (batch runs share a pipeline).
@@ -147,7 +147,7 @@ fn bounded_cache_eviction_is_bitwise_invisible() {
 /// grow with them. Checked on both implementations.
 #[test]
 fn spheres_grow_monotonically_with_radius() {
-    let sn = mini_wordnet();
+    let sn = network();
     let all = cases(sn);
     for case in nucleus(&all, 7) {
         let ctx = case.context();
@@ -193,7 +193,7 @@ fn spheres_grow_monotonically_with_radius() {
 /// may depend on what the labels *say*, only on where they sit.
 #[test]
 fn injective_relabeling_preserves_structural_quantities() {
-    let sn = mini_wordnet();
+    let sn = network();
     let all = cases(sn);
     for case in nucleus(&all, 7) {
         let ctx = case.context();
@@ -238,7 +238,7 @@ fn injective_relabeling_preserves_structural_quantities() {
 /// disambiguates to bit-identical reports.
 #[test]
 fn serialize_reparse_is_a_fixpoint() {
-    let sn = mini_wordnet();
+    let sn = network();
     let all = cases(sn);
     for (i, case) in all.iter().enumerate() {
         let ctx = case.context();
@@ -279,7 +279,7 @@ fn serialize_reparse_is_a_fixpoint() {
 /// combined score (Equation 13) relies on.
 #[test]
 fn vector_measures_are_symmetric_and_bounded() {
-    let sn = mini_wordnet();
+    let sn = network();
     let all = cases(sn);
     for case in nucleus(&all, 7) {
         let ctx = case.context();

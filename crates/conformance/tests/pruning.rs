@@ -11,7 +11,7 @@
 //! file covers the pruned-vs-unpruned comparison directly so the proof
 //! does not depend on that environment variable being set.
 
-use semnet::mini_wordnet;
+use conformance::harness::network;
 use xmltree::serialize::to_string_compact;
 use xsdf::{DisambiguationResult, PruningConfig, SenseChoice, Xsdf, XsdfConfig};
 
@@ -60,7 +60,7 @@ fn with_prune(base: XsdfConfig, prune: PruningConfig) -> XsdfConfig {
 /// derivation in `xsdf::prune` is the argument; this is the proof run.
 #[test]
 fn exact_pruning_is_bitwise_identical_across_the_sweep() {
-    let sn = mini_wordnet();
+    let sn = network();
     let all = cases(sn);
     for case in nucleus(&all, 3) {
         let ctx = case.context();
@@ -78,7 +78,7 @@ fn exact_pruning_is_bitwise_identical_across_the_sweep() {
 /// pruner demonstrably fires (`candidates_pruned > 0`) over the sweep.
 #[test]
 fn exact_pruned_batches_are_bitwise_identical_at_1_2_8_threads() {
-    let sn = mini_wordnet();
+    let sn = network();
     let all = cases(sn);
     let subset = nucleus(&all, 5);
     // One config for the whole batch (batch runs share a pipeline).
@@ -118,7 +118,7 @@ fn exact_pruned_batches_are_bitwise_identical_at_1_2_8_threads() {
 /// the sweep measured.
 #[test]
 fn density_pruning_divergence_is_bounded_and_deterministic() {
-    let sn = mini_wordnet();
+    let sn = network();
     let all = cases(sn);
     let subset = nucleus(&all, 7);
     let mut table: Vec<(usize, usize, usize)> = Vec::new(); // (K, diverged, targets)

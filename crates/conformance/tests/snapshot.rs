@@ -1,0 +1,110 @@
+//! Snapshot-vs-rebuild differential: a network decoded from its compiled
+//! snapshot must drive the whole pipeline to *bit-identical* results —
+//! same reports, same chosen-score bits, same annotated XML — at every
+//! thread count. This is the load path's license to skip the rebuild:
+//! anything the rebuild computes that the snapshot fails to carry
+//! (artifact tables, sense ordering, cumulative frequencies) diverges
+//! here first.
+
+use conformance::harness::{cases, network, nucleus};
+use semnet::snapshot;
+use xmltree::serialize::to_string_compact;
+use xsdf::{DisambiguationResult, Xsdf};
+
+/// Bitwise equality of two disambiguation results (same contract as the
+/// metamorphic suite): the snapshot claims full fidelity, so no float
+/// tolerance is applied anywhere.
+fn assert_results_identical(a: &DisambiguationResult, b: &DisambiguationResult, ctx: &str) {
+    assert_eq!(a.reports.len(), b.reports.len(), "{ctx}: report count");
+    for (ra, rb) in a.reports.iter().zip(&b.reports) {
+        assert_eq!(ra.node, rb.node, "{ctx}: node order");
+        assert_eq!(ra.label, rb.label, "{ctx}: label of {:?}", ra.node);
+        assert_eq!(
+            ra.ambiguity.to_bits(),
+            rb.ambiguity.to_bits(),
+            "{ctx}: ambiguity of {:?}: {} vs {}",
+            ra.node,
+            ra.ambiguity,
+            rb.ambiguity
+        );
+        assert_eq!(
+            ra.selected, rb.selected,
+            "{ctx}: selection of {:?}",
+            ra.node
+        );
+        assert_eq!(
+            ra.candidates, rb.candidates,
+            "{ctx}: candidate count of {:?}",
+            ra.node
+        );
+        let key = |c: &Option<(xsdf::SenseChoice, f64)>| c.map(|(s, f)| (s, f.to_bits()));
+        assert_eq!(
+            key(&ra.chosen),
+            key(&rb.chosen),
+            "{ctx}: chosen sense of {:?}",
+            ra.node
+        );
+    }
+}
+
+/// The sweep's nucleus, disambiguated once on the rebuilt network and
+/// once on a snapshot round-trip of it: reports and annotated XML must
+/// match bit for bit.
+#[test]
+fn snapshot_loaded_network_disambiguates_bitwise_identically() {
+    let rebuilt = network();
+    let loaded = snapshot::decode(&snapshot::encode(rebuilt))
+        .expect("snapshot of the conformance network must decode");
+    let all = cases(rebuilt);
+    for case in nucleus(&all, 3) {
+        let ctx = format!("{} snapshot", case.context());
+        let a = Xsdf::new(rebuilt, case.config());
+        let b = Xsdf::new(&loaded, case.config());
+        let ra = a.disambiguate_tree(&a.build_tree(&case.doc));
+        let rb = b.disambiguate_tree(&b.build_tree(&case.doc));
+        assert_results_identical(&ra, &rb, &ctx);
+        assert_eq!(
+            ra.semantic_tree.to_annotated_xml(),
+            rb.semantic_tree.to_annotated_xml(),
+            "{ctx}: annotated XML"
+        );
+    }
+}
+
+/// Batch runs over the snapshot-loaded network at 1, 2, and 8 threads
+/// all match the rebuilt network's single-threaded reference — the
+/// combination the CLI's `--network file.snap` batch mode relies on.
+#[test]
+fn snapshot_loaded_batch_matches_rebuild_at_every_thread_count() {
+    let rebuilt = network();
+    let loaded = snapshot::decode(&snapshot::encode(rebuilt))
+        .expect("snapshot of the conformance network must decode");
+    let all = cases(rebuilt);
+    let subset = nucleus(&all, 5);
+    let sources: Vec<String> = subset.iter().map(|c| to_string_compact(&c.doc)).collect();
+    let docs: Vec<&str> = sources.iter().map(String::as_str).collect();
+    // One config for the whole batch (batch runs share a pipeline).
+    let reference = runtime::BatchEngine::new(rebuilt, subset[0].config())
+        .threads(1)
+        .run(&docs);
+    for threads in [1usize, 2, 8] {
+        let engine = runtime::BatchEngine::new(&loaded, subset[0].config()).threads(threads);
+        let report = engine.run(&docs);
+        assert_eq!(report.results.len(), reference.results.len());
+        for ((case, got), want) in subset.iter().zip(&report.results).zip(&reference.results) {
+            let got = got.as_ref().expect("conformance case parses");
+            let want = want.as_ref().expect("conformance case parses");
+            assert_results_identical(
+                want,
+                got,
+                &format!("{} snapshot batch threads {threads}", case.context()),
+            );
+            assert_eq!(
+                want.semantic_tree.to_annotated_xml(),
+                got.semantic_tree.to_annotated_xml(),
+                "{} snapshot batch threads {threads}: annotated XML",
+                case.context()
+            );
+        }
+    }
+}

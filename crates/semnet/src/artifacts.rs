@@ -30,7 +30,7 @@ use crate::network::SemanticNetwork;
 ///
 /// All per-concept accessors index by [`ConceptId`]; ids come from the same
 /// network the artifacts were built for.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct GlossArtifacts {
     /// Token id → token string (diagnostics; kernels never need the text).
     vocab: Vec<String>,
@@ -110,6 +110,28 @@ impl GlossArtifacts {
             neighbors.push(around);
         }
 
+        Self {
+            vocab,
+            lemma_tokens,
+            gloss_tokens,
+            extended,
+            token_sets,
+            neighbors,
+        }
+    }
+
+    /// Reassembles a table from its stored parts (the snapshot loader).
+    /// The caller guarantees the parts came from [`GlossArtifacts::build`]
+    /// on the same network, so loaded tables are bit-identical to rebuilt
+    /// ones by construction.
+    pub(crate) fn from_parts(
+        vocab: Vec<String>,
+        lemma_tokens: Vec<Vec<u32>>,
+        gloss_tokens: Vec<Vec<u32>>,
+        extended: Vec<Vec<u32>>,
+        token_sets: Vec<Vec<u32>>,
+        neighbors: Vec<Vec<ConceptId>>,
+    ) -> Self {
         Self {
             vocab,
             lemma_tokens,

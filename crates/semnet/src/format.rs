@@ -10,6 +10,21 @@
 //!
 //! Relations use the names of [`RelationKind::name`]; inverse edges must
 //! not be listed (they are inserted automatically on load).
+//!
+//! ## Escaping
+//!
+//! Field separators and whitespace that the parser would otherwise eat are
+//! backslash-escaped, making `to_text → from_text` lossless: `\\` `\|` `\,`
+//! plus `\n` `\r` `\t` for literal newline/CR/tab, and `\s` for a space.
+//! Keys escape *every* space (`rel` lines are whitespace-split); lemma and
+//! gloss fields escape only boundary spaces, so interior spaces stay
+//! readable while the parser's field trim can no longer mutate content.
+//! Unescaped `|` after the fourth separator is tolerated and kept verbatim
+//! in the gloss (old exports relied on this). Unknown escapes and trailing
+//! backslashes are syntax errors. One documented gap: non-space Unicode
+//! whitespace at a field boundary is trimmed on read.
+
+use std::collections::{HashMap, HashSet};
 
 use crate::builder::{BuildError, NetworkBuilder};
 use crate::model::{PartOfSpeech, RelationKind};
@@ -25,6 +40,21 @@ pub enum FormatError {
         /// Explanation.
         message: String,
     },
+    /// A `concept` line redefines a key an earlier line already defined.
+    DuplicateConcept {
+        /// Line number of the *second* definition.
+        line: usize,
+        /// The redefined key.
+        key: String,
+    },
+    /// A `rel` line repeats an earlier relation — either verbatim or as
+    /// the inverse direction (which the loader inserts automatically).
+    DuplicateRelation {
+        /// Line number of the repeated relation.
+        line: usize,
+        /// The repeated relation, as written.
+        relation: String,
+    },
     /// The parsed network failed validation.
     Build(BuildError),
 }
@@ -33,6 +63,13 @@ impl std::fmt::Display for FormatError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Self::Syntax { line, message } => write!(f, "line {line}: {message}"),
+            Self::DuplicateConcept { line, key } => {
+                write!(f, "line {line}: duplicate concept key {key:?}")
+            }
+            Self::DuplicateRelation { line, relation } => write!(
+                f,
+                "line {line}: duplicate relation `{relation}` (inverse directions count)"
+            ),
             Self::Build(e) => write!(f, "invalid network: {e}"),
         }
     }
@@ -40,23 +77,120 @@ impl std::fmt::Display for FormatError {
 
 impl std::error::Error for FormatError {}
 
+/// Escapes one character if it is a format metacharacter; pushes it
+/// verbatim otherwise. `escape_space` additionally rewrites `' '` → `\s`.
+fn push_escaped(out: &mut String, c: char, escape_space: bool) {
+    match c {
+        '\\' => out.push_str("\\\\"),
+        '|' => out.push_str("\\|"),
+        ',' => out.push_str("\\,"),
+        '\n' => out.push_str("\\n"),
+        '\r' => out.push_str("\\r"),
+        '\t' => out.push_str("\\t"),
+        ' ' if escape_space => out.push_str("\\s"),
+        _ => out.push(c),
+    }
+}
+
+/// Escapes a concept key. Keys appear in whitespace-split `rel` lines, so
+/// every space is escaped, not just boundary ones.
+fn escape_key(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        push_escaped(&mut out, c, true);
+    }
+    out
+}
+
+/// Escapes a lemma or gloss field: metacharacters everywhere, spaces only
+/// at the boundaries (interior spaces survive the parser's trim as-is).
+fn escape_field(s: &str) -> String {
+    let chars: Vec<char> = s.chars().collect();
+    let leading = chars.iter().take_while(|&&c| c == ' ').count();
+    let trailing = chars.iter().rev().take_while(|&&c| c == ' ').count();
+    let mut out = String::with_capacity(s.len());
+    for (i, &c) in chars.iter().enumerate() {
+        let boundary = i < leading || i >= chars.len() - trailing;
+        push_escaped(&mut out, c, boundary);
+    }
+    out
+}
+
+/// Reverses [`escape_key`]/[`escape_field`].
+fn unescape(s: &str, line: usize) -> Result<String, FormatError> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('|') => out.push('|'),
+            Some(',') => out.push(','),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('t') => out.push('\t'),
+            Some('s') => out.push(' '),
+            Some(other) => {
+                return Err(FormatError::Syntax {
+                    line,
+                    message: format!("unknown escape `\\{other}`"),
+                })
+            }
+            None => {
+                return Err(FormatError::Syntax {
+                    line,
+                    message: "trailing backslash".into(),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Splits on unescaped occurrences of `sep`, producing at most `max`
+/// parts (the final part keeps any further separators verbatim — glosses
+/// may contain free-text `|`). Parts are still escaped.
+fn split_unescaped(s: &str, sep: char, max: usize) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut start = 0;
+    let mut escaped = false;
+    for (i, c) in s.char_indices() {
+        if escaped {
+            escaped = false;
+        } else if c == '\\' {
+            escaped = true;
+        } else if c == sep && parts.len() + 1 < max {
+            parts.push(&s[start..i]);
+            start = i + sep.len_utf8();
+        }
+    }
+    parts.push(&s[start..]);
+    parts
+}
+
 /// Serializes a network to the text format. Only the canonical direction of
 /// each symmetric pair is written (the one with the smaller source id, and
-/// for is-a/part-of/member-of the upward/outward direction).
+/// for is-a/part-of/member-of the upward/outward direction). The output
+/// reloads losslessly via [`from_text`]: metacharacters in keys, lemmas,
+/// and glosses are escaped rather than mutated.
 pub fn to_text(sn: &SemanticNetwork) -> String {
     use std::fmt::Write;
     let mut out = String::new();
     writeln!(out, "# xsdf semantic network: {} concepts", sn.len()).unwrap();
     for id in sn.all_concepts() {
         let c = sn.concept(id);
+        let lemmas: Vec<String> = c.lemmas.iter().map(|l| escape_field(l)).collect();
         writeln!(
             out,
             "concept {} | {} | {} | {} | {}",
-            c.key,
+            escape_key(&c.key),
             c.pos.code(),
             c.frequency,
-            c.lemmas.join(", "),
-            c.gloss.replace('\n', " "),
+            lemmas.join(", "),
+            escape_field(&c.gloss),
         )
         .unwrap();
     }
@@ -66,9 +200,9 @@ pub fn to_text(sn: &SemanticNetwork) -> String {
                 writeln!(
                     out,
                     "rel {} {} {}",
-                    sn.concept(id).key,
+                    escape_key(&sn.concept(id).key),
                     kind.name(),
-                    sn.concept(to).key
+                    escape_key(&sn.concept(to).key)
                 )
                 .unwrap();
             }
@@ -84,21 +218,37 @@ fn is_canonical(kind: RelationKind, from: u32, to: u32) -> bool {
         RelationKind::Hypernym
         | RelationKind::InstanceHypernym
         | RelationKind::PartOf
-        | RelationKind::MemberOf
-        | RelationKind::Attribute
-        | RelationKind::DerivedFrom => true,
+        | RelationKind::MemberOf => true,
         RelationKind::Hyponym
         | RelationKind::InstanceHyponym
         | RelationKind::HasPart
         | RelationKind::HasMember => false,
-        // Symmetric kinds: write the smaller-id direction.
-        RelationKind::Antonym | RelationKind::SimilarTo => from < to,
+        // Self-inverse kinds are stored in both directions; write the
+        // smaller-id one only (`<=` keeps self-loops serializable).
+        RelationKind::Antonym
+        | RelationKind::SimilarTo
+        | RelationKind::Attribute
+        | RelationKind::DerivedFrom => from <= to,
     }
 }
 
-/// Parses the text format into a semantic network.
+/// One direction-independent identity per relation: a relation and its
+/// automatic inverse describe the same edge pair, so both normalize to the
+/// lexicographically smaller rendering before duplicate detection.
+fn canonical_relation(from: &str, kind: RelationKind, to: &str) -> String {
+    let forward = format!("{from}\u{0}{}\u{0}{to}", kind.name());
+    let backward = format!("{to}\u{0}{}\u{0}{from}", kind.inverse().name());
+    forward.min(backward)
+}
+
+/// Parses the text format into a semantic network. Duplicate `concept`
+/// keys and duplicate `rel` lines (including a relation restated as its
+/// inverse) are reported with their line number instead of being silently
+/// last-write-wins'd or double-inserted.
 pub fn from_text(text: &str) -> Result<SemanticNetwork, FormatError> {
     let mut builder = NetworkBuilder::new();
+    let mut seen_keys: HashMap<String, usize> = HashMap::new();
+    let mut seen_rels: HashSet<String> = HashSet::new();
     for (i, raw) in text.lines().enumerate() {
         let line_no = i + 1;
         let line = raw.trim();
@@ -106,12 +256,19 @@ pub fn from_text(text: &str) -> Result<SemanticNetwork, FormatError> {
             continue;
         }
         if let Some(rest) = line.strip_prefix("concept ") {
-            let parts: Vec<&str> = rest.splitn(5, '|').map(str::trim).collect();
+            let parts: Vec<&str> = split_unescaped(rest, '|', 5)
+                .into_iter()
+                .map(str::trim)
+                .collect();
             if parts.len() != 5 {
                 return Err(FormatError::Syntax {
                     line: line_no,
                     message: "expected `concept key | pos | freq | lemmas | gloss`".into(),
                 });
+            }
+            let key = unescape(parts[0], line_no)?;
+            if seen_keys.insert(key.clone(), line_no).is_some() {
+                return Err(FormatError::DuplicateConcept { line: line_no, key });
             }
             let pos = parts[1]
                 .chars()
@@ -125,12 +282,16 @@ pub fn from_text(text: &str) -> Result<SemanticNetwork, FormatError> {
                 line: line_no,
                 message: format!("bad frequency {:?}", parts[2]),
             })?;
-            let lemmas: Vec<&str> = parts[3]
-                .split(',')
-                .map(str::trim)
-                .filter(|s| !s.is_empty())
-                .collect();
-            builder.concept(parts[0], &lemmas, parts[4], freq, pos);
+            let mut lemmas = Vec::new();
+            for lemma in split_unescaped(parts[3], ',', usize::MAX) {
+                let lemma = unescape(lemma.trim(), line_no)?;
+                if !lemma.is_empty() {
+                    lemmas.push(lemma);
+                }
+            }
+            let lemma_refs: Vec<&str> = lemmas.iter().map(String::as_str).collect();
+            let gloss = unescape(parts[4], line_no)?;
+            builder.concept(&key, &lemma_refs, &gloss, freq, pos);
         } else if let Some(rest) = line.strip_prefix("rel ") {
             let parts: Vec<&str> = rest.split_whitespace().collect();
             if parts.len() != 3 {
@@ -143,7 +304,15 @@ pub fn from_text(text: &str) -> Result<SemanticNetwork, FormatError> {
                 line: line_no,
                 message: format!("unknown relation {:?}", parts[1]),
             })?;
-            builder.relate(parts[0], kind, parts[2]);
+            let from = unescape(parts[0], line_no)?;
+            let to = unescape(parts[2], line_no)?;
+            if !seen_rels.insert(canonical_relation(&from, kind, &to)) {
+                return Err(FormatError::DuplicateRelation {
+                    line: line_no,
+                    relation: format!("{from} {} {to}", kind.name()),
+                });
+            }
+            builder.relate(&from, kind, &to);
         } else {
             return Err(FormatError::Syntax {
                 line: line_no,
@@ -196,6 +365,103 @@ rel actor.n isa person.n
         }
     }
 
+    /// Round-trips a single-concept network and returns the reloaded copy.
+    fn roundtrip_one(key: &str, lemmas: &[&str], gloss: &str) -> SemanticNetwork {
+        let mut b = NetworkBuilder::new();
+        b.concept(key, lemmas, gloss, 1, PartOfSpeech::Noun);
+        let sn = b.build().unwrap();
+        from_text(&to_text(&sn)).unwrap()
+    }
+
+    #[test]
+    fn lemma_with_comma_does_not_split() {
+        let sn = roundtrip_one("a.n", &["earth, the planet", "world"], "g");
+        let c = sn.concept(sn.by_key("a.n").unwrap());
+        assert_eq!(c.lemmas, vec!["earth, the planet", "world"]);
+    }
+
+    #[test]
+    fn pipes_in_fields_do_not_shift() {
+        let sn = roundtrip_one("odd|key", &["pipe|lemma"], "a|b");
+        let c = sn.concept(sn.by_key("odd|key").unwrap());
+        assert_eq!(c.lemmas, vec!["pipe|lemma"]);
+        assert_eq!(c.gloss, "a|b");
+        assert_eq!(c.frequency, 1);
+    }
+
+    #[test]
+    fn gloss_newlines_and_boundary_spaces_survive() {
+        let sn = roundtrip_one("a.n", &["a"], "  two\nlines\twith tab  ");
+        let c = sn.concept(sn.by_key("a.n").unwrap());
+        assert_eq!(c.gloss, "  two\nlines\twith tab  ");
+    }
+
+    #[test]
+    fn keys_with_spaces_survive_rel_lines() {
+        let mut b = NetworkBuilder::new();
+        b.concept("new york.n", &["new york"], "a city", 2, PartOfSpeech::Noun);
+        b.concept("city.n", &["city"], "a settlement", 5, PartOfSpeech::Noun);
+        b.relate("new york.n", RelationKind::InstanceHypernym, "city.n");
+        let sn = b.build().unwrap();
+        let sn2 = from_text(&to_text(&sn)).unwrap();
+        let ny = sn2.by_key("new york.n").unwrap();
+        assert_eq!(sn2.edges(ny).len(), 1);
+    }
+
+    #[test]
+    fn duplicate_concept_key_rejected_with_line() {
+        let err = from_text("concept a | n | 1 | a | g\nconcept a | n | 2 | a | g").unwrap_err();
+        match err {
+            FormatError::DuplicateConcept { line, key } => {
+                assert_eq!(line, 2);
+                assert_eq!(key, "a");
+            }
+            other => panic!("expected duplicate-concept error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_rel_rejected_with_line() {
+        let text = "concept a | n | 1 | a | g\nconcept b | n | 1 | b | g\n\
+                    rel a isa b\nrel a isa b";
+        let err = from_text(text).unwrap_err();
+        assert!(matches!(
+            err,
+            FormatError::DuplicateRelation { line: 4, .. }
+        ));
+    }
+
+    #[test]
+    fn inverse_restatement_rejected_as_duplicate() {
+        // `b has-kind a` restates `a isa b` (the loader inserts inverses).
+        let text = "concept a | n | 1 | a | g\nconcept b | n | 1 | b | g\n\
+                    rel a isa b\nrel b has-kind a";
+        let err = from_text(text).unwrap_err();
+        assert!(matches!(
+            err,
+            FormatError::DuplicateRelation { line: 4, .. }
+        ));
+    }
+
+    #[test]
+    fn symmetric_duplicate_rejected_both_directions() {
+        let text = "concept a | n | 1 | a | g\nconcept b | n | 1 | b | g\n\
+                    rel a antonym b\nrel b antonym a";
+        let err = from_text(text).unwrap_err();
+        assert!(matches!(
+            err,
+            FormatError::DuplicateRelation { line: 4, .. }
+        ));
+    }
+
+    #[test]
+    fn unknown_escape_rejected() {
+        let err = from_text("concept a | n | 1 | a | bad \\x escape").unwrap_err();
+        assert!(matches!(err, FormatError::Syntax { line: 1, .. }));
+        let err = from_text("concept a | n | 1 | a | trailing\\").unwrap_err();
+        assert!(matches!(err, FormatError::Syntax { line: 1, .. }));
+    }
+
     #[test]
     fn bad_pos_rejected() {
         let err = from_text("concept a | z | 1 | a | gloss").unwrap_err();
@@ -236,7 +502,8 @@ rel actor.n isa person.n
 
     #[test]
     fn gloss_may_contain_pipes_free_text() {
-        // splitn(5) means the gloss keeps everything after the 4th pipe.
+        // Only the first four unescaped pipes separate fields; the gloss
+        // keeps everything after them (old exports relied on this).
         let sn = from_text("concept a | n | 1 | a | gloss with | pipe").unwrap();
         assert_eq!(sn.concept(ConceptId(0)).gloss, "gloss with | pipe");
     }

@@ -30,6 +30,7 @@ pub mod format;
 pub mod graph;
 pub mod model;
 pub mod network;
+pub mod snapshot;
 pub mod wndb;
 
 pub use artifacts::GlossArtifacts;
@@ -37,3 +38,4 @@ pub use builder::NetworkBuilder;
 pub use builtin::mini_wordnet;
 pub use model::{Concept, ConceptId, PartOfSpeech, RelationKind};
 pub use network::SemanticNetwork;
+pub use snapshot::SnapshotError;

@@ -40,12 +40,16 @@ impl PartOfSpeech {
         }
     }
 
-    /// Parses a one-letter code.
+    /// Parses a one-letter code. WordNet's satellite-adjective code `s`
+    /// folds to [`PartOfSpeech::Adjective`], matching how WNDB pointers
+    /// (and the importer's synset keys) treat satellites as `a`; without
+    /// the fold, frequencies or lookups keyed by a satellite sense's `s`
+    /// code would silently miss their synset.
     pub fn from_code(c: char) -> Option<Self> {
         match c {
             'n' => Some(Self::Noun),
             'v' => Some(Self::Verb),
-            'a' => Some(Self::Adjective),
+            'a' | 's' => Some(Self::Adjective),
             'r' => Some(Self::Adverb),
             _ => None,
         }

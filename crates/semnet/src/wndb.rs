@@ -131,10 +131,12 @@ fn parse_data(text: &str, pos: PartOfSpeech, out: &mut Vec<RawSynset>) -> Result
                 .ok_or_else(|| err("missing pointer offset".into()))?
                 .parse()
                 .map_err(|_| err("bad pointer offset".into()))?;
+            // `from_code` folds the satellite code `s` to Adjective, so
+            // pointers into satellite synsets land on the `a`-keyed entry.
             let target_pos = fields
                 .get(idx + 2)
                 .and_then(|c| c.chars().next())
-                .and_then(|c| PartOfSpeech::from_code(if c == 's' { 'a' } else { c }))
+                .and_then(PartOfSpeech::from_code)
                 .ok_or_else(|| err("bad pointer pos".into()))?;
             if let Some(kind) = relation_of(symbol) {
                 pointers.push((kind, target, target_pos));
@@ -311,6 +313,33 @@ mod tests {
             WndbError::Syntax { line, .. } => assert_eq!(line, 1),
             other => panic!("{other}"),
         }
+    }
+
+    /// A head adjective plus a satellite (`ss_type s`). Satellite synsets
+    /// key under `a` everywhere: the similar-to pointer carries pos `s`,
+    /// and `cntlist`-style frequencies are often listed under `s` too —
+    /// both must fold to the `a`-keyed synset instead of silently missing.
+    const ADJ_SATELLITE_FIXTURE: &str = "\
+00004000 00 a 01 fast 0 001 & 00004100 s 0000 | acting or moving quickly
+00004100 00 s 01 speedy 0 001 & 00004000 a 0000 | marked by swiftness
+";
+
+    #[test]
+    fn satellite_frequency_under_s_code_applies() {
+        let mut importer = WndbImporter::new();
+        importer
+            .add_data(ADJ_SATELLITE_FIXTURE, PartOfSpeech::Adjective)
+            .unwrap();
+        // A cntlist-driven caller parses the sense's `s` code verbatim.
+        let satellite_pos = PartOfSpeech::from_code('s').expect("satellite code folds");
+        importer.set_frequency(4100, satellite_pos, 42);
+        let sn = importer.build().unwrap();
+        let speedy = sn.by_key("a-00004100").unwrap();
+        assert_eq!(sn.frequency(speedy), 42);
+        // The similar-to pointer with target pos `s` resolved.
+        let fast = sn.by_key("a-00004000").unwrap();
+        let similar: Vec<_> = sn.related(fast, RelationKind::SimilarTo).collect();
+        assert_eq!(similar, vec![speedy]);
     }
 
     #[test]

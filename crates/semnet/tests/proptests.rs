@@ -32,6 +32,52 @@ fn arb_taxonomy() -> impl Strategy<Value = xsdf_semnet::SemanticNetwork> {
     })
 }
 
+/// Separator-heavy fragments of the kinds that historically corrupted the
+/// text format: lemma commas split lemmas, field pipes shifted columns,
+/// newlines/tabs/boundary spaces were trimmed or rewritten, and literal
+/// backslashes collided with the escape syntax.
+const NASTY: &[&str] = &[
+    "", " ", "  ", ",", "|", "\\", "\n", "\t", "\r", " | ", ",,", "a, b", "\\s", "||",
+];
+
+/// A string mixing random printable text with [`NASTY`] fragments at the
+/// start, middle, and end.
+fn arb_nasty_text() -> impl Strategy<Value = String> {
+    (
+        0usize..NASTY.len(),
+        "\\PC{0,10}",
+        0usize..NASTY.len(),
+        "\\PC{0,10}",
+        0usize..NASTY.len(),
+    )
+        .prop_map(|(p, a, m, b, s)| format!("{}{a}{}{b}{}", NASTY[p], NASTY[m], NASTY[s]))
+}
+
+/// Strategy: a small chain taxonomy whose keys, lemmas, and glosses are all
+/// adversarial.
+fn arb_adversarial_network() -> impl Strategy<Value = xsdf_semnet::SemanticNetwork> {
+    proptest::collection::vec((arb_nasty_text(), arb_nasty_text(), arb_nasty_text()), 1..8)
+        .prop_map(|rows| {
+            let mut b = NetworkBuilder::new();
+            for (i, (key_part, lemma_part, gloss)) in rows.iter().enumerate() {
+                let key = format!("k{i}.{key_part}");
+                let lemma = format!("w{i}{lemma_part}");
+                b.concept(
+                    &key,
+                    &[&lemma, &format!("shared{}", i % 3)],
+                    gloss,
+                    i as u32 + 1,
+                    PartOfSpeech::Noun,
+                );
+                if i > 0 {
+                    let parent = format!("k{}.{}", i - 1, rows[i - 1].0);
+                    b.relate(&key, RelationKind::Hypernym, &parent);
+                }
+            }
+            b.build().expect("unique keys, acyclic chain")
+        })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -46,6 +92,27 @@ proptest! {
             let key = &sn.concept(id).key;
             let id2 = sn2.by_key(key).unwrap();
             prop_assert_eq!(sn.depth(id), sn2.depth(id2));
+            prop_assert_eq!(sn.edges(id).len(), sn2.edges(id2).len());
+        }
+    }
+
+    /// Round-trip through the text format is lossless even when keys,
+    /// lemmas, and glosses are stuffed with separators, escapes, and
+    /// whitespace (the bugs this pins: comma-split lemmas, pipe-shifted
+    /// fields, trimmed/rewritten glosses).
+    #[test]
+    fn adversarial_roundtrip_lossless(sn in arb_adversarial_network()) {
+        let text = xsdf_semnet::format::to_text(&sn);
+        let sn2 = xsdf_semnet::format::from_text(&text).unwrap();
+        prop_assert_eq!(sn.len(), sn2.len());
+        for id in sn.all_concepts() {
+            let c1 = sn.concept(id);
+            let id2 = sn2.by_key(&c1.key).unwrap();
+            let c2 = sn2.concept(id2);
+            prop_assert_eq!(&c1.lemmas, &c2.lemmas);
+            prop_assert_eq!(&c1.gloss, &c2.gloss);
+            prop_assert_eq!(c1.frequency, c2.frequency);
+            prop_assert_eq!(c1.pos, c2.pos);
             prop_assert_eq!(sn.edges(id).len(), sn2.edges(id2).len());
         }
     }

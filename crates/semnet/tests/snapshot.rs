@@ -1,0 +1,265 @@
+//! Robustness suite for the compiled network snapshot: a valid snapshot
+//! round-trips bit-identically, and *every* corruption — truncation at
+//! each section boundary and in between, checksum damage, hostile length
+//! prefixes — yields a typed [`SnapshotError`], never a panic and never
+//! an allocation sized by unvalidated input.
+
+use xsdf_semnet::snapshot::{self, SnapshotError};
+use xsdf_semnet::{mini_wordnet, NetworkBuilder, PartOfSpeech, RelationKind};
+
+/// Fully validated decode used by the corruption helpers: decoding must
+/// return an error (any typed variant), not a network and not a panic.
+fn expect_error(bytes: &[u8], what: &str) -> SnapshotError {
+    match snapshot::decode(bytes) {
+        Ok(_) => panic!("{what}: corrupt snapshot decoded successfully"),
+        Err(e) => e,
+    }
+}
+
+#[test]
+fn roundtrip_is_field_identical() {
+    let sn = mini_wordnet();
+    let loaded = snapshot::decode(&snapshot::encode(sn)).unwrap();
+    assert_eq!(sn.len(), loaded.len());
+    assert_eq!(sn.total_frequency(), loaded.total_frequency());
+    assert_eq!(sn.max_polysemy(), loaded.max_polysemy());
+    assert_eq!(sn.max_depth(), loaded.max_depth());
+    assert_eq!(sn.vocabulary_size(), loaded.vocabulary_size());
+    for id in sn.all_concepts() {
+        assert_eq!(sn.concept(id), loaded.concept(id));
+        assert_eq!(sn.edges(id), loaded.edges(id));
+        assert_eq!(sn.depth(id), loaded.depth(id));
+        assert_eq!(sn.cumulative_frequency(id), loaded.cumulative_frequency(id));
+        assert_eq!(sn.by_key(&sn.concept(id).key), Some(id));
+    }
+    // Word-index sense ordering (first-sense tie-breaks) is preserved.
+    for word in ["head", "state", "star", "cast", "play", "kelly"] {
+        assert_eq!(sn.senses(word), loaded.senses(word), "senses({word})");
+    }
+    // The artifacts arrive pre-built and equal to the rebuild's.
+    assert_eq!(sn.gloss_artifacts(), loaded.gloss_artifacts());
+}
+
+#[test]
+fn snapshot_of_loaded_network_is_byte_identical() {
+    // encode → decode → encode is a fixed point: nothing in the loaded
+    // representation depends on iteration order or rebuild state.
+    let original = snapshot::encode(mini_wordnet());
+    let loaded = snapshot::decode(&original).unwrap();
+    assert_eq!(original, snapshot::encode(&loaded));
+}
+
+#[test]
+fn truncation_at_every_section_boundary_is_typed() {
+    let (bytes, layout) = snapshot::encode_with_layout(mini_wordnet());
+    for &(name, offset) in &layout {
+        if offset == bytes.len() {
+            continue; // the END marker — full length decodes fine
+        }
+        // Cutting exactly at the boundary: the length prefix in the
+        // header no longer matches, or a section is missing outright.
+        expect_error(&bytes[..offset], &format!("cut at {name} ({offset})"));
+        // A few bytes into the section too.
+        for extra in [1usize, 5, 12] {
+            let end = (offset + extra).min(bytes.len() - 1);
+            expect_error(&bytes[..end], &format!("cut inside {name} ({end})"));
+        }
+    }
+}
+
+#[test]
+fn truncation_at_sampled_offsets_never_panics() {
+    let bytes = snapshot::encode(mini_wordnet());
+    // Every prefix in the header region, then a coarse sweep of the rest.
+    for end in 0..bytes.len().min(64) {
+        expect_error(&bytes[..end], &format!("prefix {end}"));
+    }
+    let step = (bytes.len() / 97).max(1);
+    for end in (64..bytes.len() - 1).step_by(step) {
+        expect_error(&bytes[..end], &format!("prefix {end}"));
+    }
+}
+
+#[test]
+fn checksum_region_bit_flips_are_checksum_errors() {
+    let bytes = snapshot::encode(mini_wordnet());
+    // Header bytes 20..28 hold the FNV checksum; flip each bit.
+    for byte in 20..28 {
+        for bit in 0..8 {
+            let mut copy = bytes.clone();
+            copy[byte] ^= 1 << bit;
+            match expect_error(&copy, &format!("checksum byte {byte} bit {bit}")) {
+                SnapshotError::Checksum { stored, computed } => assert_ne!(stored, computed),
+                other => panic!("expected checksum error, got {other}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn payload_bit_flips_are_caught_by_the_checksum() {
+    let bytes = snapshot::encode(mini_wordnet());
+    let step = (bytes.len() / 61).max(1);
+    for offset in (28..bytes.len()).step_by(step) {
+        let mut copy = bytes.clone();
+        copy[offset] ^= 0x40;
+        match expect_error(&copy, &format!("payload flip at {offset}")) {
+            SnapshotError::Checksum { .. } => {}
+            other => panic!("payload flip at {offset}: expected checksum error, got {other}"),
+        }
+    }
+}
+
+/// Recomputes the header checksum/length over a tampered payload so the
+/// *structural* validators (not the checksum) face the hostile value.
+fn reseal(bytes: &mut [u8]) {
+    // Mirrors the format's checksum: FNV-1a folded over 8-byte LE words,
+    // trailing partial word zero-padded.
+    fn fnv1a64(bytes: &[u8]) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut chunks = bytes.chunks_exact(8);
+        for w in &mut chunks {
+            hash ^= u64::from_le_bytes([w[0], w[1], w[2], w[3], w[4], w[5], w[6], w[7]]);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            hash ^= u64::from_le_bytes(tail);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
+    }
+    let payload_len = (bytes.len() - 28) as u64;
+    let checksum = fnv1a64(&bytes[28..]);
+    bytes[12..20].copy_from_slice(&payload_len.to_le_bytes());
+    bytes[20..28].copy_from_slice(&checksum.to_le_bytes());
+}
+
+#[test]
+fn hostile_length_prefixes_do_not_allocate() {
+    let (bytes, layout) = snapshot::encode_with_layout(mini_wordnet());
+    // Overwrite the leading count/offset field of each section body with
+    // 0xFFFF_FFFF and reseal. A naive loader would allocate gigabytes;
+    // ours must bounds-check against the remaining bytes first. DPTH and
+    // CUMF lead with plain data (any value is a legal depth/frequency),
+    // so they are exempt.
+    for &(name, offset) in &layout {
+        if offset == bytes.len() || matches!(name, "DPTH" | "CUMF") {
+            continue;
+        }
+        let mut copy = bytes.clone();
+        // Section = tag u32 + len u64 + body; clobber the first 4 body
+        // bytes (a count in every section that starts with one).
+        let body = offset + 12;
+        if body + 4 > copy.len() {
+            continue;
+        }
+        copy[body..body + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        reseal(&mut copy);
+        let err = expect_error(&copy, &format!("hostile count in {name}"));
+        assert!(
+            matches!(
+                err,
+                SnapshotError::Truncated { .. }
+                    | SnapshotError::Bounds { .. }
+                    | SnapshotError::Corrupt { .. }
+            ),
+            "hostile count in {name}: unexpected {err}"
+        );
+    }
+}
+
+#[test]
+fn hostile_section_length_is_truncation() {
+    let (bytes, layout) = snapshot::encode_with_layout(mini_wordnet());
+    for &(name, offset) in &layout {
+        if offset == bytes.len() {
+            continue;
+        }
+        let mut copy = bytes.clone();
+        // The section's own u64 length prefix, right after its tag.
+        copy[offset + 4..offset + 12].copy_from_slice(&u64::MAX.to_le_bytes());
+        reseal(&mut copy);
+        let err = expect_error(&copy, &format!("hostile length of {name}"));
+        assert!(
+            matches!(err, SnapshotError::Truncated { .. }),
+            "hostile length of {name}: expected truncation, got {err}"
+        );
+    }
+}
+
+#[test]
+fn wrong_magic_version_and_tiny_inputs() {
+    assert!(matches!(
+        snapshot::decode(b"not a snapshot at all"),
+        Err(SnapshotError::Magic)
+    ));
+    assert!(matches!(snapshot::decode(b""), Err(SnapshotError::Magic)));
+    assert!(matches!(
+        snapshot::decode(b"XSDFSNA"),
+        Err(SnapshotError::Magic)
+    ));
+    // Magic alone, no header.
+    assert!(matches!(
+        snapshot::decode(b"XSDFSNAP"),
+        Err(SnapshotError::Truncated { .. })
+    ));
+    let mut versioned = snapshot::encode(mini_wordnet());
+    versioned[8..12].copy_from_slice(&99u32.to_le_bytes());
+    assert!(matches!(
+        snapshot::decode(&versioned),
+        Err(SnapshotError::Version {
+            found: 99,
+            expected: snapshot::VERSION
+        })
+    ));
+}
+
+#[test]
+fn trailing_garbage_is_rejected() {
+    let mut bytes = snapshot::encode(mini_wordnet());
+    bytes.extend_from_slice(b"garbage");
+    // Appended bytes break the header length check.
+    assert!(matches!(
+        snapshot::decode(&bytes),
+        Err(SnapshotError::Truncated { .. })
+    ));
+}
+
+#[test]
+fn file_roundtrip_and_missing_file() {
+    let sn = {
+        let mut b = NetworkBuilder::new();
+        b.concept("x.n", &["x"], "a letter", 3, PartOfSpeech::Noun);
+        b.concept("y.n", &["y"], "another letter", 1, PartOfSpeech::Noun);
+        b.relate("y.n", RelationKind::Hypernym, "x.n");
+        b.build().unwrap()
+    };
+    let path = std::env::temp_dir().join(format!("xsdf-snapshot-test-{}.snap", std::process::id()));
+    snapshot::write_file(&sn, &path).unwrap();
+    let loaded = snapshot::load_file(&path).unwrap();
+    assert_eq!(loaded.len(), 2);
+    assert_eq!(loaded.senses("y").len(), 1);
+    std::fs::remove_file(&path).unwrap();
+    assert!(matches!(
+        snapshot::load_file(&path),
+        Err(SnapshotError::Io(_))
+    ));
+}
+
+#[test]
+fn error_display_is_informative() {
+    let bytes = snapshot::encode(mini_wordnet());
+    let mut corrupt = bytes.clone();
+    corrupt[21] ^= 1;
+    let messages = [
+        snapshot::decode(b"nope").unwrap_err().to_string(),
+        snapshot::decode(&bytes[..40]).unwrap_err().to_string(),
+        snapshot::decode(&corrupt).unwrap_err().to_string(),
+    ];
+    assert!(messages[0].contains("magic"), "{messages:?}");
+    assert!(messages[1].contains("truncated"), "{messages:?}");
+    assert!(messages[2].contains("checksum"), "{messages:?}");
+}

@@ -37,6 +37,7 @@ fn main() -> ExitCode {
         "batch" => cmd_batch(&args[1..]),
         "ambiguity" => cmd_ambiguity(&args[1..]),
         "network" => cmd_network(&args[1..]),
+        "compile-network" => cmd_compile_network(&args[1..]),
         "import-wndb" => cmd_import_wndb(&args[1..]),
         "senses" => cmd_senses(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
@@ -64,12 +65,19 @@ USAGE:
     xsdf batch        <files...> [options]   disambiguate many files in parallel
     xsdf ambiguity    <file.xml> [options]   print each node's ambiguity degree
     xsdf network      [--export <file>]      built-in network stats / text export
+    xsdf compile-network [<network>] --out <file.snap>
+                                             compile a network (text file, --wndb <dir>,
+                                             or builtin MiniWordNet) + its scoring
+                                             artifacts into a binary snapshot that
+                                             cold-starts as one read instead of a rebuild
     xsdf senses       <word> [options]       list a word's senses
     xsdf serve        [options]              resident HTTP service (see SERVE OPTIONS)
     xsdf bench-serve  [options]              closed-loop load bench against a server
 
 OPTIONS:
-    --network <file>      load a semantic network (text format) instead of MiniWordNet
+    --network <file>      load a semantic network instead of MiniWordNet; the
+                          format is sniffed: compiled snapshot (from
+                          compile-network) or text export
     --radius <1|2|3|..>   sphere neighborhood radius d          [default: 2]
     --process <p>         concept | context | combined          [default: concept]
     --threshold <t>       auto | a float in [0,1]               [default: 0]
@@ -213,14 +221,22 @@ impl Network {
 fn load_network(flags: &Flags) -> Result<Network, String> {
     match flags.value("--network") {
         None => Ok(Network::Builtin),
-        Some(path) => {
-            let text = std::fs::read_to_string(path)
-                .map_err(|e| format!("cannot read network {path}: {e}"))?;
-            let sn = semnet::format::from_text(&text)
-                .map_err(|e| format!("cannot parse network {path}: {e}"))?;
-            Ok(Network::Loaded(Box::new(sn)))
-        }
+        Some(path) => Ok(Network::Loaded(Box::new(load_network_path(path)?))),
     }
+}
+
+/// Loads a semantic network from a path, sniffing the format: a compiled
+/// snapshot (magic bytes) decodes in one pass with its artifacts already
+/// built; anything else parses as the text format.
+fn load_network_path(path: &str) -> Result<semnet::SemanticNetwork, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read network {path}: {e}"))?;
+    if semnet::snapshot::sniff(&bytes) {
+        return semnet::snapshot::decode(&bytes)
+            .map_err(|e| format!("cannot load snapshot {path}: {e}"));
+    }
+    let text =
+        String::from_utf8(bytes).map_err(|e| format!("network {path} is not UTF-8 text: {e}"))?;
+    semnet::format::from_text(&text).map_err(|e| format!("cannot parse network {path}: {e}"))
 }
 
 fn build_config(flags: &Flags) -> Result<XsdfConfig, String> {
@@ -523,6 +539,62 @@ fn cmd_network(args: &[String]) -> Result<ExitCode, String> {
     println!("max depth:      {}", sn.max_depth());
     println!("max polysemy:   {}", sn.max_polysemy());
     println!("total frequency:{}", sn.total_frequency());
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `xsdf compile-network [<network>] [--wndb <dir>] --out <file>`:
+/// builds a network from a text export, a WNDB directory, or the builtin
+/// MiniWordNet, forces its scoring artifacts, and writes the compiled
+/// snapshot the `--network` flag can then cold-start from.
+fn cmd_compile_network(args: &[String]) -> Result<ExitCode, String> {
+    let flags = Flags { args };
+    let out_path = flags.value("--out").ok_or("missing --out <file>")?;
+    let inputs = flags.positional();
+    let sn = match (flags.value("--wndb"), inputs.first()) {
+        (Some(_), Some(_)) => {
+            return Err("pass either a network file or --wndb <dir>, not both".into())
+        }
+        (Some(dir), None) => {
+            let mut importer = semnet::wndb::WndbImporter::new();
+            for (name, pos) in [
+                ("data.noun", semnet::PartOfSpeech::Noun),
+                ("data.verb", semnet::PartOfSpeech::Verb),
+                ("data.adj", semnet::PartOfSpeech::Adjective),
+                ("data.adv", semnet::PartOfSpeech::Adverb),
+            ] {
+                let path = std::path::Path::new(dir).join(name);
+                if !path.exists() {
+                    continue;
+                }
+                let text = std::fs::read_to_string(&path)
+                    .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+                importer
+                    .add_data(&text, pos)
+                    .map_err(|e| format!("{}: {e}", path.display()))?;
+                eprintln!("{}: {} synsets so far", path.display(), importer.len());
+            }
+            if importer.is_empty() {
+                return Err(format!("no data.{{noun,verb,adj,adv}} files under {dir:?}"));
+            }
+            importer.build().map_err(|e| e.to_string())?
+        }
+        (None, Some(path)) => load_network_path(path)?,
+        (None, None) => semnet::mini_wordnet().clone(),
+    };
+    // Force the artifact build now so the snapshot carries it and loads
+    // never recompute it.
+    let art = sn.gloss_artifacts();
+    let vocab = art.vocab_len();
+    let (bytes, layout) = semnet::snapshot::encode_with_layout(&sn);
+    std::fs::write(out_path, &bytes).map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    eprintln!(
+        "compiled {} concepts, {} edges, {} interned tokens into {out_path} ({} bytes, {} sections)",
+        sn.len(),
+        sn.all_edges().count(),
+        vocab,
+        bytes.len(),
+        layout.len() - 1, // the final entry marks the end, not a section
+    );
     Ok(ExitCode::SUCCESS)
 }
 

@@ -109,6 +109,157 @@ fn network_stats_and_export_roundtrip() {
 }
 
 #[test]
+fn compile_network_snapshot_drives_batch_identically() {
+    let pid = std::process::id();
+    let snap = std::env::temp_dir().join(format!("xsdf-cli-snap-{pid}.snap"));
+    // Compile the builtin MiniWordNet (no positional input).
+    let output = xsdf()
+        .args(["compile-network", "--out"])
+        .arg(&snap)
+        .output()
+        .unwrap();
+    assert!(
+        output.status.success(),
+        "{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("compiled"), "{stderr}");
+    // Snapshot files start with the magic, not text.
+    let bytes = std::fs::read(&snap).unwrap();
+    assert_eq!(&bytes[..8], b"XSDFSNAP");
+
+    // Batch output against the snapshot is byte-identical to the builtin
+    // rebuild, across thread counts.
+    let doc1 = write_temp(
+        "snap1.xml",
+        "<films><picture><cast><star>Kelly</star><star>Stewart</star></cast></picture></films>",
+    );
+    let doc2 = write_temp("snap2.xml", "<person><address><state/></address></person>");
+    let run = |network: Option<&std::path::PathBuf>, threads: &str| {
+        let mut cmd = xsdf();
+        cmd.arg("batch").arg(&doc1).arg(&doc2).args([
+            "--annotate",
+            "--quiet",
+            "--threads",
+            threads,
+        ]);
+        if let Some(n) = network {
+            cmd.arg("--network").arg(n);
+        }
+        let output = cmd.output().unwrap();
+        assert!(
+            output.status.success(),
+            "{}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        String::from_utf8(output.stdout).unwrap()
+    };
+    let rebuilt = run(None, "1");
+    for threads in ["1", "2", "8"] {
+        assert_eq!(rebuilt, run(Some(&snap), threads), "threads={threads}");
+    }
+    let _ = std::fs::remove_file(snap);
+}
+
+#[test]
+fn compile_network_accepts_text_input_and_wndb_dir() {
+    let pid = std::process::id();
+    // From a text export.
+    let text = write_temp(
+        "compile-input.sn",
+        "concept a.n | n | 2 | alpha | first letter\n\
+         concept b.n | n | 1 | beta | second letter\n\
+         rel b.n isa a.n\n",
+    );
+    let snap = std::env::temp_dir().join(format!("xsdf-cli-snap-text-{pid}.snap"));
+    let output = xsdf()
+        .arg("compile-network")
+        .arg(&text)
+        .arg("--out")
+        .arg(&snap)
+        .output()
+        .unwrap();
+    assert!(
+        output.status.success(),
+        "{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    assert!(String::from_utf8_lossy(&output.stderr).contains("compiled 2 concepts"));
+    // The snapshot answers sense queries.
+    let output = xsdf()
+        .args(["senses", "beta", "--network"])
+        .arg(&snap)
+        .output()
+        .unwrap();
+    assert!(output.status.success());
+    assert!(String::from_utf8_lossy(&output.stdout).contains("b.n"));
+
+    // From a WNDB directory.
+    let dir = std::env::temp_dir().join(format!("xsdf-cli-wndb-dir-{pid}"));
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(
+        dir.join("data.noun"),
+        "00001740 03 n 01 entity 0 001 ~ 00001930 n 0000 | that which exists\n\
+         00001930 03 n 01 thing 0 001 @ 00001740 n 0000 | a distinct entity\n",
+    )
+    .unwrap();
+    let snap2 = std::env::temp_dir().join(format!("xsdf-cli-snap-wndb-{pid}.snap"));
+    let output = xsdf()
+        .args(["compile-network", "--wndb"])
+        .arg(&dir)
+        .arg("--out")
+        .arg(&snap2)
+        .output()
+        .unwrap();
+    assert!(
+        output.status.success(),
+        "{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let output = xsdf()
+        .args(["senses", "thing", "--network"])
+        .arg(&snap2)
+        .output()
+        .unwrap();
+    assert!(output.status.success());
+    assert!(String::from_utf8_lossy(&output.stdout).contains("n-00001930"));
+    let _ = std::fs::remove_file(snap);
+    let _ = std::fs::remove_file(snap2);
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn corrupt_snapshot_is_a_clean_cli_error() {
+    let pid = std::process::id();
+    let snap = std::env::temp_dir().join(format!("xsdf-cli-snap-corrupt-{pid}.snap"));
+    let output = xsdf()
+        .args(["compile-network", "--out"])
+        .arg(&snap)
+        .output()
+        .unwrap();
+    assert!(output.status.success());
+    // Flip a byte inside the payload: checksum must catch it, as an
+    // error message, not a panic.
+    let mut bytes = std::fs::read(&snap).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(&snap, &bytes).unwrap();
+    let doc = write_temp("corrupt-net.xml", "<cast><star>Kelly</star></cast>");
+    let output = xsdf()
+        .arg("disambiguate")
+        .arg(&doc)
+        .arg("--network")
+        .arg(&snap)
+        .output()
+        .unwrap();
+    assert_eq!(output.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("checksum"), "{stderr}");
+    let _ = std::fs::remove_file(snap);
+}
+
+#[test]
 fn import_wndb_converts_fixture() {
     let data = write_temp(
         "data.noun",
