@@ -30,8 +30,10 @@ pub mod docgen;
 pub mod gen;
 pub mod pathological;
 pub mod spec;
+pub mod stream;
 pub mod suite;
 
 pub use docgen::{AnnotatedDocument, DocGen, GoldSense};
 pub use spec::{DatasetId, DatasetSpec, Group};
+pub use stream::DocumentStream;
 pub use suite::Corpus;

@@ -1,0 +1,168 @@
+//! Unbounded streaming corpus generation: documents by *position*, not
+//! by materialized list.
+//!
+//! [`Corpus::generate`](crate::Corpus::generate) builds the paper's full
+//! 60-document evaluation suite in memory — the right shape for
+//! accuracy experiments, the wrong one for scale-out runs that push
+//! 10⁵–10⁶ documents through the batch engine. This module provides the
+//! same deterministic generators as a *stream*: position `p` of a
+//! seeded stream is always the same document ([`document_at`]), datasets
+//! rotate round-robin so every prefix is mixed, and [`DocumentStream`]
+//! yields documents lazily so a million-document run holds exactly one
+//! generated document at a time (O(1) memory in the corpus size).
+//!
+//! Because `(seed, position) → document` is a pure function, a sharded
+//! driver can partition positions across worker processes and each
+//! worker regenerates exactly its slice — no corpus files need to exist
+//! on disk at all.
+
+use semnet::SemanticNetwork;
+
+use crate::docgen::AnnotatedDocument;
+use crate::gen::generate_document;
+use crate::spec::DatasetId;
+
+/// The document at position `pos` of the seeded stream.
+///
+/// Datasets rotate round-robin ([`DatasetId::ALL`] order): position `p`
+/// is document `p / 10` of dataset `ALL[p % 10]`, generated with the
+/// same pure seeded generator the materialized corpus uses. Any prefix
+/// of the stream therefore covers all four ambiguity groups, and the
+/// position space is unbounded — indices never repeat.
+pub fn document_at(sn: &SemanticNetwork, seed: u64, pos: u64) -> AnnotatedDocument {
+    let n = DocumentStream::DATASETS as u64;
+    let dataset = DatasetId::ALL[(pos % n) as usize];
+    generate_document(sn, dataset, (pos / n) as usize, seed)
+}
+
+/// A lazy, unbounded iterator over the seeded document stream.
+///
+/// The iterator is infinite; bound it with [`Iterator::take`]. Use
+/// [`DocumentStream::starting_at`] to begin mid-stream (a shard's
+/// slice), and [`DocumentStream::position`] to observe how far it has
+/// advanced.
+///
+/// ```
+/// use xsdf_corpus::stream::DocumentStream;
+/// let sn = semnet::mini_wordnet();
+/// let nodes: usize = DocumentStream::new(sn, 42)
+///     .take(20)
+///     .map(|doc| doc.tree.len())
+///     .sum();
+/// assert!(nodes > 0);
+/// ```
+pub struct DocumentStream<'sn> {
+    sn: &'sn SemanticNetwork,
+    seed: u64,
+    pos: u64,
+}
+
+impl<'sn> DocumentStream<'sn> {
+    /// Datasets per round-robin cycle.
+    pub const DATASETS: usize = DatasetId::ALL.len();
+
+    /// A stream over `seed`, starting at position 0.
+    pub fn new(sn: &'sn SemanticNetwork, seed: u64) -> Self {
+        Self::starting_at(sn, seed, 0)
+    }
+
+    /// A stream over `seed`, starting at position `pos` — the same
+    /// suffix [`DocumentStream::new`] would reach after `pos` steps,
+    /// without generating the skipped prefix.
+    pub fn starting_at(sn: &'sn SemanticNetwork, seed: u64, pos: u64) -> Self {
+        Self { sn, seed, pos }
+    }
+
+    /// The generation seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The position the next [`Iterator::next`] call will generate.
+    pub fn position(&self) -> u64 {
+        self.pos
+    }
+}
+
+impl Iterator for DocumentStream<'_> {
+    type Item = AnnotatedDocument;
+
+    fn next(&mut self) -> Option<AnnotatedDocument> {
+        let doc = document_at(self.sn, self.seed, self.pos);
+        self.pos += 1;
+        Some(doc)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (usize::MAX, None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semnet::mini_wordnet;
+
+    fn labels(doc: &AnnotatedDocument) -> Vec<String> {
+        doc.tree
+            .preorder()
+            .map(|id| doc.tree.label(id).to_owned())
+            .collect()
+    }
+
+    #[test]
+    fn stream_positions_are_pure_functions() {
+        let sn = mini_wordnet();
+        for pos in [0u64, 7, 23, 1009] {
+            let a = document_at(sn, 5, pos);
+            let b = document_at(sn, 5, pos);
+            assert_eq!(a.dataset, b.dataset);
+            assert_eq!(labels(&a), labels(&b), "position {pos} not deterministic");
+        }
+        // And seed-sensitive.
+        let a = document_at(sn, 5, 3);
+        let c = document_at(sn, 6, 3);
+        assert_ne!(labels(&a), labels(&c), "seed should change the document");
+    }
+
+    #[test]
+    fn datasets_rotate_round_robin() {
+        let sn = mini_wordnet();
+        let first: Vec<DatasetId> = DocumentStream::new(sn, 1)
+            .take(DocumentStream::DATASETS)
+            .map(|d| d.dataset)
+            .collect();
+        assert_eq!(first, DatasetId::ALL.to_vec());
+        // The second cycle repeats the rotation with fresh indices.
+        assert_eq!(
+            document_at(sn, 1, DocumentStream::DATASETS as u64).dataset,
+            DatasetId::ALL[0]
+        );
+    }
+
+    #[test]
+    fn starting_mid_stream_matches_the_skipped_prefix_path() {
+        let sn = mini_wordnet();
+        let from_start: Vec<Vec<String>> = DocumentStream::new(sn, 9)
+            .take(8)
+            .map(|d| labels(&d))
+            .collect();
+        let resumed: Vec<Vec<String>> = DocumentStream::starting_at(sn, 9, 5)
+            .take(3)
+            .map(|d| labels(&d))
+            .collect();
+        assert_eq!(&from_start[5..], &resumed[..]);
+    }
+
+    #[test]
+    fn stream_agrees_with_the_materialized_generators() {
+        // Position p is document p/10 of dataset ALL[p%10] — the exact
+        // documents Corpus::generate would build, reindexed.
+        let sn = mini_wordnet();
+        let pos = 13u64; // document 1 of dataset ALL[3]
+        let streamed = document_at(sn, 4, pos);
+        let direct = generate_document(sn, DatasetId::ALL[3], 1, 4);
+        assert_eq!(streamed.dataset, direct.dataset);
+        assert_eq!(labels(&streamed), labels(&direct));
+    }
+}

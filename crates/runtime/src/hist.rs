@@ -107,6 +107,70 @@ impl Histogram {
         self.count
     }
 
+    /// Serializes the histogram losslessly into a compact single-line
+    /// text form: `count,max_ns,sum_ns` followed by `;index:counter`
+    /// for every non-empty bucket. This is the wire format the sharded
+    /// batch driver uses to ship per-shard histograms from worker
+    /// processes to the parent, where [`Histogram::decode`] +
+    /// [`Histogram::merge`] reconstruct the exact single-process result.
+    pub fn encode(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = format!("{},{},{}", self.count, self.max_ns, self.sum_ns);
+        for (index, &n) in self.buckets.iter().enumerate() {
+            if n != 0 {
+                let _ = write!(out, ";{index}:{n}");
+            }
+        }
+        out
+    }
+
+    /// Parses a histogram from its [`Histogram::encode`] form. Returns
+    /// `None` on any malformation: bad syntax, a bucket index outside
+    /// the layout's range, duplicate indices, or bucket counters that do
+    /// not sum to the sample count. Decoding an encoded histogram always
+    /// yields a structurally equal histogram.
+    pub fn decode(text: &str) -> Option<Self> {
+        // The layout caps bucket indices: the topmost octave of a u64
+        // nanosecond value lands below (64 - SUB_SHIFT + 1) * SUBBUCKETS.
+        const MAX_INDEX: usize = ((64 - SUB_SHIFT as usize) + 1) << SUB_SHIFT;
+        let mut parts = text.split(';');
+        let head = parts.next()?;
+        let mut nums = head.split(',');
+        let count: u64 = nums.next()?.parse().ok()?;
+        let max_ns: u64 = nums.next()?.parse().ok()?;
+        let sum_ns: u128 = nums.next()?.parse().ok()?;
+        if nums.next().is_some() {
+            return None;
+        }
+        let mut buckets: Vec<u64> = Vec::new();
+        let mut total: u64 = 0;
+        for part in parts {
+            let (index, n) = part.split_once(':')?;
+            let index: usize = index.parse().ok()?;
+            let n: u64 = n.parse().ok()?;
+            if n == 0 || index > MAX_INDEX {
+                return None;
+            }
+            if buckets.len() <= index {
+                buckets.resize(index + 1, 0);
+            }
+            if buckets[index] != 0 {
+                return None;
+            }
+            buckets[index] = n;
+            total = total.checked_add(n)?;
+        }
+        if total != count {
+            return None;
+        }
+        Some(Self {
+            buckets,
+            count,
+            max_ns,
+            sum_ns,
+        })
+    }
+
     /// The exact largest recorded sample ([`Duration::ZERO`] when empty).
     pub fn max(&self) -> Duration {
         Duration::from_nanos(self.max_ns)
@@ -259,6 +323,58 @@ mod tests {
         let mut all = a.clone();
         all.extend(&b);
         assert_eq!(merged, h(&all));
+    }
+
+    #[test]
+    fn encode_decode_roundtrips_structurally() {
+        let samples: Vec<u64> = (0..800).map(|i| i * 104729 % 90_000_000).collect();
+        let hist = h(&samples);
+        let decoded = Histogram::decode(&hist.encode()).expect("decodes");
+        assert_eq!(decoded, hist);
+        // Quantiles and the exact max survive the trip bit-for-bit.
+        assert_eq!(decoded.p99(), hist.p99());
+        assert_eq!(decoded.max(), hist.max());
+        // Empty histogram too.
+        let empty = Histogram::new();
+        assert_eq!(Histogram::decode(&empty.encode()), Some(empty));
+        // And the saturating extreme.
+        let mut extreme = Histogram::new();
+        extreme.record(Duration::MAX);
+        assert_eq!(Histogram::decode(&extreme.encode()), Some(extreme));
+    }
+
+    #[test]
+    fn decode_merge_equals_in_process_merge() {
+        // The shard transport invariant: decoding per-shard encodings and
+        // merging them gives the same histogram as one process recording
+        // everything.
+        let a: Vec<u64> = (0..500).map(|i| i * 7919 % 1_000_000).collect();
+        let b: Vec<u64> = (0..300).map(|i| i * 104729 % 50_000_000).collect();
+        let mut merged = Histogram::decode(&h(&a).encode()).unwrap();
+        merged.merge(&Histogram::decode(&h(&b).encode()).unwrap());
+        let mut all = a.clone();
+        all.extend(&b);
+        assert_eq!(merged, h(&all));
+    }
+
+    #[test]
+    fn decode_rejects_malformed_text() {
+        for bad in [
+            "",
+            "1,2",
+            "1,2,3,4",
+            "x,0,0",
+            "1,0,0;", // empty bucket entry
+            "1,0,0;0",
+            "1,0,0;0:x",
+            "2,0,0;0:1",     // counters don't sum to count
+            "1,0,0;0:0",     // explicit zero counter
+            "2,0,0;0:1;0:1", // duplicate index
+            "1,0,0;99999:1", // index outside the layout
+            "1,0,0,extra;0:1",
+        ] {
+            assert_eq!(Histogram::decode(bad), None, "accepted {bad:?}");
+        }
     }
 
     #[test]

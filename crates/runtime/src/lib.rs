@@ -29,6 +29,9 @@
 //! * [`hist`] — the log-bucketed latency [`Histogram`] behind those
 //!   percentiles: HdrHistogram-style buckets, lock-free per-worker
 //!   recording, deterministic element-wise merge;
+//! * [`shard`] — the [`ShardReport`] wire format the multi-process
+//!   sharded batch driver uses to ship each worker process's metrics
+//!   (histograms included, losslessly) to the merging parent;
 //! * [`trace`] — per-document observability ([`Trace`], [`DocSpan`]):
 //!   stage spans against the batch epoch, cache deltas, most-missed
 //!   concepts, exported as JSON Lines or the Chrome trace-event format
@@ -63,6 +66,7 @@ pub mod fault;
 pub mod hist;
 pub mod limits;
 pub mod metrics;
+pub mod shard;
 pub mod trace;
 
 pub use cache::{CacheBudget, SharedCache, TallyCache};
@@ -71,4 +75,5 @@ pub use executor::{BatchEngine, BatchReport, DocOutcome};
 pub use hist::Histogram;
 pub use limits::ResourceLimits;
 pub use metrics::{FailureCounts, MetricsSnapshot, StageLatency, StageTimings};
+pub use shard::ShardReport;
 pub use trace::{DocSpan, StageSpan, Trace};

@@ -76,7 +76,8 @@ impl StageTimings {
         self.parse + self.preprocess + self.select + self.disambiguate
     }
 
-    pub(crate) fn merge(&mut self, other: &StageTimings) {
+    /// Element-wise sum of another timing set into this one.
+    pub fn merge(&mut self, other: &StageTimings) {
         self.parse += other.parse;
         self.preprocess += other.preprocess;
         self.select += other.select;
@@ -118,7 +119,8 @@ impl StageLatency {
         ]
     }
 
-    pub(crate) fn merge(&mut self, other: &StageLatency) {
+    /// Element-wise merge of every distribution in `other` into this one.
+    pub fn merge(&mut self, other: &StageLatency) {
         self.parse.merge(&other.parse);
         self.preprocess.merge(&other.preprocess);
         self.select.merge(&other.select);
@@ -185,6 +187,44 @@ pub struct MetricsSnapshot {
 }
 
 impl MetricsSnapshot {
+    /// Merges another run's snapshot into this one — the aggregation the
+    /// sharded batch driver performs over its worker processes' reports.
+    ///
+    /// All counters sum; stage timings, failure tallies, and latency
+    /// histograms merge element-wise (the same commutative, associative
+    /// merge the in-process executor uses across worker threads, so the
+    /// result is independent of shard count and arrival order). Two
+    /// fields are not sums: `threads` takes the maximum (shards run
+    /// concurrently, each with its own pool), and `wall_clock` takes the
+    /// maximum (concurrent shards overlap; a caller measuring the true
+    /// end-to-end elapsed time should overwrite it afterwards). The
+    /// cache gauges (`cache_entries`, `cache_bytes`, `cache_bytes_peak`,
+    /// `vector_entries`) sum because each process owns a disjoint cache.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        self.threads = self.threads.max(other.threads);
+        self.documents += other.documents;
+        self.failed_documents += other.failed_documents;
+        self.failures.merge(&other.failures);
+        self.nodes += other.nodes;
+        self.targets += other.targets;
+        self.assigned += other.assigned;
+        self.stages.merge(&other.stages);
+        self.latency.merge(&other.latency);
+        self.wall_clock = self.wall_clock.max(other.wall_clock);
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.cache_entries += other.cache_entries;
+        self.cache_evictions += other.cache_evictions;
+        self.cache_bytes += other.cache_bytes;
+        self.cache_bytes_peak += other.cache_bytes_peak;
+        self.gloss_pairs_scored += other.gloss_pairs_scored;
+        self.vectors_built += other.vectors_built;
+        self.vectors_reused += other.vectors_reused;
+        self.vector_entries += other.vector_entries;
+        self.candidates_pruned += other.candidates_pruned;
+        self.early_exits += other.early_exits;
+    }
+
     /// *Successful* documents processed per wall-clock second — failed
     /// documents are excluded from the numerator. The subtraction
     /// saturates: `MetricsSnapshot` is a plain public struct, so an
@@ -450,6 +490,43 @@ mod tests {
             ..sample()
         };
         assert_eq!(m.docs_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn snapshot_merge_sums_counters_and_maxes_wall_clock() {
+        let mut a = sample();
+        let b = MetricsSnapshot {
+            threads: 2,
+            documents: 7,
+            failed_documents: 2,
+            failures: FailureCounts {
+                parse: 1,
+                limit: 1,
+                ..FailureCounts::default()
+            },
+            wall_clock: Duration::from_millis(50),
+            ..sample()
+        };
+        let a0 = a.clone();
+        a.merge(&b);
+        assert_eq!(a.documents, a0.documents + 7);
+        assert_eq!(a.failed_documents, a0.failed_documents + 2);
+        assert_eq!(a.failures.total(), a.failed_documents);
+        assert_eq!(a.nodes, a0.nodes * 2);
+        assert_eq!(a.threads, 4, "threads is a max, not a sum");
+        assert_eq!(
+            a.wall_clock,
+            Duration::from_millis(50),
+            "wall clock is a max"
+        );
+        assert_eq!(a.stages.parse, a0.stages.parse * 2);
+        assert_eq!(a.latency.doc.count(), a0.latency.doc.count() * 2);
+        assert_eq!(a.cache_bytes, a0.cache_bytes * 2);
+
+        // Merge order does not matter (commutativity at the field level).
+        let mut ba = b.clone();
+        ba.merge(&a0);
+        assert_eq!(ba, a);
     }
 
     #[test]

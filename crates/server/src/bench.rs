@@ -27,8 +27,9 @@
 //! # Soak mode
 //!
 //! [`run_soak`] sends a fixed number of requests over a *streaming*
-//! corpus — each worker generates fresh documents from an advancing seed
-//! sequence instead of replaying a fixed set — while a sampler thread
+//! corpus (`corpus::stream`) — each worker generates fresh documents
+//! from its strided slice of one seeded document stream instead of
+//! replaying a fixed set — while a sampler thread
 //! polls `GET /metrics` (and, when self-hosted, `/proc/self/status` RSS)
 //! on an interval. The sample series goes into `BENCH_soak.json`, which
 //! is how the repo proves a budgeted cache holds `cache_bytes ≤ budget`
@@ -667,11 +668,18 @@ pub fn run_soak(config: &SoakConfig, budget: CacheBudget) -> Result<SoakReport, 
     Ok(report)
 }
 
+/// The stream seed every soak worker draws from: one shared streaming
+/// corpus, partitioned by stride.
+const SOAK_STREAM_SEED: u64 = 0x50AC;
+
 /// One soak connection: claims requests from the shared counter and
-/// feeds each a *fresh* document. Each worker walks its own arithmetic
-/// seed sequence (start `1000 + worker`, step `connections`), so no two
-/// workers — and no two batches — replay the same documents; that keeps
-/// the cache key space growing, which is what exercises eviction.
+/// feeds each a *fresh* document from the streaming corpus
+/// (`corpus::stream`). Worker `w` walks positions `w, w + connections,
+/// w + 2·connections, …` — a strided partition of one seeded stream —
+/// so no two workers, and no two requests, ever replay the same
+/// document; that keeps the cache key space growing, which is what
+/// exercises eviction. Exactly one generated document is alive per
+/// worker at any instant.
 fn soak_worker(
     addr: &str,
     target: &str,
@@ -684,26 +692,14 @@ fn soak_worker(
     let mut tally = WorkerTally::default();
     let mut jitter = Jitter::new(0x50AC + worker as u64);
     let mut conn: Option<(TcpStream, Vec<u8>)> = None;
-    let mut seed = 1000 + worker as u64;
-    let mut buffer: Vec<String> = Vec::new();
+    let mut pos = worker as u64;
     // The request count bounds the loop, so workers never need a stop
     // signal — every claimed request resolves to exactly one outcome.
     let stop = || false;
     while issued.fetch_add(1, Ordering::SeqCst) < total {
-        if buffer.is_empty() {
-            buffer = corpus::Corpus::generate_small(sn, seed, 1)
-                .documents()
-                .iter()
-                .map(|d| xmltree::serialize::to_string_compact(&d.doc))
-                .collect();
-            seed += connections as u64;
-            if buffer.is_empty() {
-                tally.errors += 1;
-                break;
-            }
-        }
-        // invariant: refilled (and checked non-empty) above
-        let xml = buffer.pop().unwrap();
+        let doc = corpus::stream::document_at(sn, SOAK_STREAM_SEED, pos);
+        let xml = xmltree::serialize::to_string_compact(&doc.doc);
+        pos += connections as u64;
         match send_with_retries(
             &mut conn,
             addr,
@@ -811,11 +807,23 @@ fn json_u64(json: &str, key: &str) -> Option<u64> {
 
 /// Resident set size of this process, from `/proc/self/status` `VmRSS`
 /// (kB → bytes). `None` off Linux or if the field is missing.
-fn rss_self_bytes() -> Option<u64> {
+pub fn rss_self_bytes() -> Option<u64> {
+    proc_status_kb("VmRSS:").map(|kb| kb * 1024)
+}
+
+/// Lifetime peak resident set size of this process, from
+/// `/proc/self/status` `VmHWM` (kB → bytes) — the kernel's own high
+/// watermark, so it catches spikes between point samples. `None` off
+/// Linux or if the field is missing.
+pub fn rss_peak_bytes() -> Option<u64> {
+    proc_status_kb("VmHWM:").map(|kb| kb * 1024)
+}
+
+/// One kB-denominated field out of `/proc/self/status`.
+fn proc_status_kb(field: &str) -> Option<u64> {
     let status = std::fs::read_to_string("/proc/self/status").ok()?;
-    let line = status.lines().find(|l| l.starts_with("VmRSS:"))?;
-    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
-    Some(kb * 1024)
+    let line = status.lines().find(|l| l.starts_with(field))?;
+    line.split_whitespace().nth(1)?.parse().ok()
 }
 
 fn json_f64(x: f64) -> String {
@@ -980,5 +988,7 @@ mod tests {
     fn rss_is_observable_on_linux() {
         let rss = rss_self_bytes().expect("VmRSS readable");
         assert!(rss > 0);
+        let peak = rss_peak_bytes().expect("VmHWM readable");
+        assert!(peak >= rss / 2, "peak {peak} implausibly below rss {rss}");
     }
 }

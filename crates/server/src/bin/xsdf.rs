@@ -5,8 +5,9 @@
 //! xsdf disambiguate doc.xml [--radius N] [--process concept|context|combined]
 //!                           [--threshold auto|<float>] [--network kb.sn]
 //!                           [--structure-only] [--quiet]
-//! xsdf batch        a.xml b.xml ... [--threads N] [--metrics out.json]
+//! xsdf batch        a.xml b.xml ... [--threads N] [--shards N] [--metrics out.json]
 //!                   [--trace out.json] [--trace-jsonl out.jsonl] [--slow-ms N]
+//! xsdf gen-corpus   --out dir [--count N] [--seed S] [--start P]
 //! xsdf ambiguity    doc.xml [--network kb.sn]       # Amb_Deg per node
 //! xsdf network      [--export kb.sn]                # MiniWordNet stats/export
 //! xsdf senses       <word> [--network kb.sn]        # sense inventory of a word
@@ -15,11 +16,12 @@
 //! ```
 
 use std::process::ExitCode;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use runtime::{BatchEngine, CacheBudget, ResourceLimits};
+use runtime::{BatchEngine, CacheBudget, MetricsSnapshot, ResourceLimits, ShardReport, XsdfError};
 use server::bench::{run_bench, run_soak, BenchConfig, SoakConfig};
 use server::{report, signal, Server, ServerConfig};
+use xsdf::guard::LimitKind;
 use xsdf::{DisambiguationProcess, ThresholdPolicy, Xsdf, XsdfConfig};
 
 /// Exit code for a batch where some — but not all — documents failed.
@@ -35,6 +37,7 @@ fn main() -> ExitCode {
     let result = match command.as_str() {
         "disambiguate" => cmd_disambiguate(&args[1..]),
         "batch" => cmd_batch(&args[1..]),
+        "gen-corpus" => cmd_gen_corpus(&args[1..]),
         "ambiguity" => cmd_ambiguity(&args[1..]),
         "network" => cmd_network(&args[1..]),
         "compile-network" => cmd_compile_network(&args[1..]),
@@ -63,6 +66,10 @@ xsdf — XML Semantic Disambiguation Framework (EDBT 2015)
 USAGE:
     xsdf disambiguate <file.xml> [options]   resolve node senses, print annotated XML
     xsdf batch        <files...> [options]   disambiguate many files in parallel
+                                             (add --shards N to fan out over N
+                                             worker processes with merged metrics)
+    xsdf gen-corpus   --out <dir> [options]  materialize streaming-corpus documents
+                                             as XML files (constant memory)
     xsdf ambiguity    <file.xml> [options]   print each node's ambiguity degree
     xsdf network      [--export <file>]      built-in network stats / text export
     xsdf compile-network [<network>] --out <file.snap>
@@ -87,8 +94,16 @@ OPTIONS:
                           budget/slack imply exact)              [default: off]
     --quiet               suppress the per-node report
 
+GEN-CORPUS OPTIONS:
+    --out <dir>           output directory (created if missing; required)
+    --count <N>           documents to write                    [default: 100]
+    --seed <S>            stream seed                           [default: 42]
+    --start <P>           first stream position                 [default: 0]
+
 RESOURCE OPTIONS (disambiguate + batch):
     --max-bytes <N>       reject documents larger than N bytes
+                          (checked against the on-disk size before the
+                          file is ever buffered)
     --max-nodes <N>       reject documents with more than N tree nodes
     --max-depth <N>       reject element nesting deeper than N
     --deadline-ms <N>     per-document wall-clock budget in milliseconds
@@ -97,6 +112,12 @@ BATCH OPTIONS:
     --threads <N>         worker threads; 0 = auto, one per available
                           core (std::thread::available_parallelism)
                                                                 [default: 0]
+    --shards <N>          fan the batch out over N worker PROCESSES
+                          (contiguous balanced slices of the input list);
+                          per-document output replays in input order and
+                          the merged metrics/histograms are independent
+                          of N. Incompatible with --fail-fast, --trace,
+                          --trace-jsonl, --slow-ms.
     --metrics <file>      write run metrics as JSON (incl. per-stage latency percentiles)
     --trace <file>        write per-document spans in Chrome trace-event format
                           (load in Perfetto or chrome://tracing; one track per worker)
@@ -302,21 +323,68 @@ fn build_limits(flags: &Flags) -> Result<(ResourceLimits, Option<Duration>), Str
     Ok((limits, deadline))
 }
 
-fn read_doc(flags: &Flags) -> Result<(String, String), String> {
+/// Why one input file could not be ingested.
+enum IngestError {
+    /// A typed per-document failure in the engine's taxonomy (too big,
+    /// not UTF-8): reported like any other document failure, so it is
+    /// counted and kind-tagged instead of sinking the whole run.
+    Doc(XsdfError),
+    /// A filesystem failure (missing file, permissions): an invocation
+    /// problem, reported as a whole-run error.
+    Io(String),
+}
+
+/// Reads one XML input with the `--max-bytes` ceiling enforced *before*
+/// buffering: the on-disk length is checked against the limit first, so
+/// an oversized input is rejected as a typed `LimitExceeded` without
+/// `read` ever materializing it. Invalid UTF-8 maps to a typed parse
+/// failure (with the line/column of the first bad byte) rather than an
+/// opaque io error.
+fn ingest_doc(path: &str, limits: &ResourceLimits) -> Result<String, IngestError> {
+    if let Some(max) = limits.max_bytes {
+        let len = std::fs::metadata(path)
+            .map_err(|e| IngestError::Io(format!("cannot read {path}: {e}")))?
+            .len();
+        if len > max as u64 {
+            return Err(IngestError::Doc(XsdfError::LimitExceeded {
+                which: LimitKind::Bytes,
+                limit: max as u64,
+                actual: len,
+            }));
+        }
+    }
+    let bytes =
+        std::fs::read(path).map_err(|e| IngestError::Io(format!("cannot read {path}: {e}")))?;
+    String::from_utf8(bytes).map_err(|e| {
+        let valid = &e.as_bytes()[..e.utf8_error().valid_up_to()];
+        let line = valid.iter().filter(|&&b| b == b'\n').count() as u32 + 1;
+        let column = valid.iter().rev().take_while(|&&b| b != b'\n').count() as u32 + 1;
+        IngestError::Doc(XsdfError::Parse(xmltree::ParseError::new(
+            xmltree::ParseErrorKind::Malformed("input is not valid UTF-8".into()),
+            line,
+            column,
+        )))
+    })
+}
+
+fn read_doc(flags: &Flags, limits: &ResourceLimits) -> Result<(String, String), String> {
     let positional = flags.positional();
     let path = positional
         .first()
         .ok_or_else(|| "missing input file (see `xsdf help`)".to_string())?;
-    let xml = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    Ok((path.to_string(), xml))
+    match ingest_doc(path, limits) {
+        Ok(xml) => Ok((path.to_string(), xml)),
+        Err(IngestError::Doc(e)) => Err(format!("{path}: [{}] {e}", e.kind())),
+        Err(IngestError::Io(message)) => Err(message),
+    }
 }
 
 fn cmd_disambiguate(args: &[String]) -> Result<ExitCode, String> {
     let flags = Flags { args };
-    let (path, xml) = read_doc(&flags)?;
+    let (limits, deadline) = build_limits(&flags)?;
+    let (path, xml) = read_doc(&flags, &limits)?;
     let network = load_network(&flags)?;
     let config = build_config(&flags)?;
-    let (limits, deadline) = build_limits(&flags)?;
     // A one-document engine rather than `Xsdf::disambiguate_str`: the
     // engine path applies the resource limits, the deadline, and panic
     // isolation to interactive runs too.
@@ -351,6 +419,13 @@ fn cmd_disambiguate(args: &[String]) -> Result<ExitCode, String> {
 
 fn cmd_batch(args: &[String]) -> Result<ExitCode, String> {
     let flags = Flags { args };
+    if let Some(n) = flags.value("--shards") {
+        let shards: usize = n.parse().map_err(|_| format!("bad --shards value {n:?}"))?;
+        if shards == 0 {
+            return Err("--shards must be at least 1".into());
+        }
+        return cmd_batch_sharded(&flags, shards);
+    }
     let files = flags.positional();
     if files.is_empty() {
         return Err("missing input files (see `xsdf help`)".into());
@@ -368,11 +443,19 @@ fn cmd_batch(args: &[String]) -> Result<ExitCode, String> {
             .map_err(|_| format!("bad --threads value {n:?}"))?,
     };
 
-    let sources: Vec<String> = files
-        .iter()
-        .map(|path| std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}")))
-        .collect::<Result<_, _>>()?;
-    let docs: Vec<&str> = sources.iter().map(String::as_str).collect();
+    // Ingest with the byte ceiling enforced up front: an oversized or
+    // non-UTF-8 file becomes a typed per-document failure in its input
+    // slot (never buffered when oversized); a filesystem error is still
+    // a whole-run failure.
+    let mut slots: Vec<Result<String, XsdfError>> = Vec::with_capacity(files.len());
+    for path in &files {
+        match ingest_doc(path, &limits) {
+            Ok(xml) => slots.push(Ok(xml)),
+            Err(IngestError::Doc(e)) => slots.push(Err(e)),
+            Err(IngestError::Io(message)) => return Err(message),
+        }
+    }
+    let docs: Vec<&str> = slots.iter().filter_map(|s| s.as_deref().ok()).collect();
 
     let slow_ms: Option<u64> = match flags.value("--slow-ms") {
         None => None,
@@ -402,8 +485,27 @@ fn cmd_batch(args: &[String]) -> Result<ExitCode, String> {
     }
     let report = engine.run(&docs);
 
+    // Stitch engine results back into input order around the ingest
+    // failures, counting the latter into the metrics so the summary,
+    // `--metrics` JSON, and shard reports all see them.
+    let mut metrics = report.metrics.clone();
+    let mut engine_results = report.results.iter();
     let mut failures = 0usize;
-    for (path, outcome) in files.iter().zip(&report.results) {
+    for (path, slot) in files.iter().zip(&slots) {
+        let outcome = match slot {
+            // invariant: the engine got exactly the Ok slots, in order
+            Ok(_) => engine_results
+                .next()
+                .unwrap()
+                .as_ref()
+                .map_err(|e| e.clone()),
+            Err(e) => {
+                metrics.documents += 1;
+                metrics.failed_documents += 1;
+                metrics.failures.record(e);
+                Err(e.clone())
+            }
+        };
         match outcome {
             Ok(result) => {
                 println!(
@@ -423,23 +525,19 @@ fn cmd_batch(args: &[String]) -> Result<ExitCode, String> {
         }
     }
 
-    let m = &report.metrics;
+    // Shard-child mode (internal, set by the `--shards` parent): ship
+    // the metrics to the parent and let *it* classify the run — a child
+    // whose whole slice failed must not turn into a whole-run error, or
+    // shard count would change the outcome.
+    if let Some(path) = flags.value("--shard-out") {
+        std::fs::write(path, ShardReport::new(metrics).to_text())
+            .map_err(|e| format!("cannot write shard report {path}: {e}"))?;
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let m = &metrics;
     if !flags.has("--quiet") {
-        eprintln!(
-            "{} docs ({} failed), {} nodes, {} assigned | {} threads, {:.1} ms wall | \
-             {:.1} docs/s, {:.0} nodes/s | cache: {} hits / {} misses ({:.1}% hit rate)",
-            m.documents,
-            m.failed_documents,
-            m.nodes,
-            m.assigned,
-            m.threads,
-            m.wall_clock.as_secs_f64() * 1e3,
-            m.docs_per_sec(),
-            m.nodes_per_sec(),
-            m.cache_hits,
-            m.cache_misses,
-            m.cache_hit_rate() * 100.0
-        );
+        print_batch_summary(m);
     }
     if let Some(path) = flags.value("--metrics") {
         std::fs::write(path, m.to_json()).map_err(|e| format!("cannot write {path}: {e}"))?;
@@ -454,24 +552,247 @@ fn cmd_batch(args: &[String]) -> Result<ExitCode, String> {
                 .map_err(|e| format!("cannot write {path}: {e}"))?;
         }
         if let Some(ms) = slow_ms {
-            print_slow_docs(trace, &files, Duration::from_millis(ms));
+            // Trace spans index the engine's input (the readable slots).
+            let engine_paths: Vec<&str> = files
+                .iter()
+                .zip(&slots)
+                .filter(|(_, slot)| slot.is_ok())
+                .map(|(path, _)| *path)
+                .collect();
+            print_slow_docs(trace, &engine_paths, Duration::from_millis(ms));
         }
     }
     if signal::interrupt_count() > 0 {
         eprintln!(
             "interrupted: {} of {} document(s) cancelled before processing",
             m.failures.cancelled,
-            docs.len()
+            files.len()
         );
         return Ok(ExitCode::from(EXIT_PARTIAL));
     }
-    if failures == docs.len() {
+    if failures == files.len() {
         return Err(format!("all {failures} document(s) failed"));
     }
     if failures > 0 {
-        eprintln!("{failures} of {} document(s) failed", docs.len());
+        eprintln!("{failures} of {} document(s) failed", files.len());
         return Ok(ExitCode::from(EXIT_PARTIAL));
     }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// The one-line batch summary on stderr, shared between the in-process
+/// batch and the sharded driver so both render merged metrics the same
+/// way.
+fn print_batch_summary(m: &MetricsSnapshot) {
+    eprintln!(
+        "{} docs ({} failed), {} nodes, {} assigned | {} threads, {:.1} ms wall | \
+         {:.1} docs/s, {:.0} nodes/s | cache: {} hits / {} misses ({:.1}% hit rate)",
+        m.documents,
+        m.failed_documents,
+        m.nodes,
+        m.assigned,
+        m.threads,
+        m.wall_clock.as_secs_f64() * 1e3,
+        m.docs_per_sec(),
+        m.nodes_per_sec(),
+        m.cache_hits,
+        m.cache_misses,
+        m.cache_hit_rate() * 100.0
+    );
+}
+
+/// The batch flags a shard child inherits: every flag (with its value)
+/// except the file positionals, `--shards` itself, and the outputs the
+/// parent owns (`--metrics`); `--quiet` is dropped here and re-added
+/// unconditionally so children never print their own summaries.
+fn shard_passthrough(args: &[String]) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if a.starts_with("--") {
+            // Keep in sync with the boolean-flag list in
+            // `Flags::positional`.
+            let boolean = matches!(
+                a.as_str(),
+                "--structure-only"
+                    | "--quiet"
+                    | "--annotate"
+                    | "--keep-going"
+                    | "--fail-fast"
+                    | "--soak"
+            );
+            let drop = matches!(a.as_str(), "--shards" | "--metrics" | "--quiet");
+            if !drop {
+                out.push(a.clone());
+            }
+            if !boolean {
+                if let Some(value) = args.get(i + 1) {
+                    if !drop {
+                        out.push(value.clone());
+                    }
+                }
+                i += 1;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// `xsdf batch --shards N`: the multi-process scale-out driver.
+///
+/// The inputs are split into N contiguous, balanced slices in input
+/// order; one child `xsdf batch` process runs per slice with the same
+/// flags (plus `--quiet --shard-out <tmp>`), and the parent replays each
+/// child's captured stdout/stderr in shard order — so the concatenated
+/// per-document output is byte-identical for every shard count. Child
+/// metrics travel back as [`ShardReport`]s and merge element-wise
+/// (histograms included) via the same deterministic merge the in-process
+/// executor uses across threads; the parent then overwrites the merged
+/// wall clock with its own end-to-end measurement and classifies the
+/// run exactly like a single process would.
+fn cmd_batch_sharded(flags: &Flags, shards: usize) -> Result<ExitCode, String> {
+    let files = flags.positional();
+    if files.is_empty() {
+        return Err("missing input files (see `xsdf help`)".into());
+    }
+    for banned in ["--trace", "--trace-jsonl", "--slow-ms"] {
+        if flags.has(banned) {
+            return Err(format!(
+                "{banned} cannot be combined with --shards \
+                 (per-document traces do not merge across processes)"
+            ));
+        }
+    }
+    if flags.has("--fail-fast") {
+        return Err("--fail-fast cannot be combined with --shards \
+                    (cross-process cancellation would make the outcome depend on shard count)"
+            .into());
+    }
+    if flags.has("--shard-out") {
+        return Err("--shard-out is internal to the shard driver".into());
+    }
+    let shards = shards.min(files.len());
+    let exe = std::env::current_exe().map_err(|e| format!("cannot locate the xsdf binary: {e}"))?;
+    let passthrough = shard_passthrough(flags.args);
+    let started = Instant::now();
+
+    // Contiguous balanced partition, earlier slices one longer when the
+    // division is uneven: input order is preserved end to end.
+    let base = files.len() / shards;
+    let extra = files.len() % shards;
+    let mut children = Vec::new();
+    let mut next = 0usize;
+    for shard in 0..shards {
+        let take = base + usize::from(shard < extra);
+        let slice = &files[next..next + take];
+        next += take;
+        let report_path =
+            std::env::temp_dir().join(format!("xsdf-shard-{}-{shard}.report", std::process::id()));
+        let child = std::process::Command::new(&exe)
+            .arg("batch")
+            .args(&passthrough)
+            .arg("--quiet")
+            .arg("--shard-out")
+            .arg(&report_path)
+            .args(slice.iter())
+            .stdout(std::process::Stdio::piped())
+            .stderr(std::process::Stdio::piped())
+            .spawn()
+            .map_err(|e| format!("cannot spawn shard {shard}: {e}"))?;
+        children.push((report_path, child));
+    }
+
+    // Collect in shard order: each child's streams replay whole and in
+    // input order, so the interleaving matches a single-process run.
+    let mut reports: Vec<ShardReport> = Vec::new();
+    let mut shard_errors: Vec<String> = Vec::new();
+    for (shard, (report_path, child)) in children.into_iter().enumerate() {
+        let output = child
+            .wait_with_output()
+            .map_err(|e| format!("cannot wait for shard {shard}: {e}"))?;
+        {
+            use std::io::Write as _;
+            std::io::stdout().write_all(&output.stdout).ok();
+            std::io::stderr().write_all(&output.stderr).ok();
+        }
+        let text = std::fs::read_to_string(&report_path);
+        std::fs::remove_file(&report_path).ok();
+        if !output.status.success() {
+            shard_errors.push(format!("shard {shard} failed ({})", output.status));
+            continue;
+        }
+        match text {
+            Ok(text) => match ShardReport::from_text(&text) {
+                Ok(report) => reports.push(report),
+                Err(e) => shard_errors.push(format!("shard {shard}: {e}")),
+            },
+            Err(e) => shard_errors.push(format!("shard {shard} wrote no report: {e}")),
+        }
+    }
+    if !shard_errors.is_empty() {
+        return Err(shard_errors.join("; "));
+    }
+    // invariant: shards >= 1 and every shard either reported or errored
+    let mut merged = ShardReport::merge_all(&reports).unwrap();
+    // The merged wall clock is the max over shards (they overlap); the
+    // parent's own measurement is the true end-to-end elapsed time.
+    merged.wall_clock = started.elapsed();
+
+    if !flags.has("--quiet") {
+        print_batch_summary(&merged);
+    }
+    if let Some(path) = flags.value("--metrics") {
+        std::fs::write(path, merged.to_json()).map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    let failures = merged.failed_documents;
+    if failures == files.len() {
+        return Err(format!("all {failures} document(s) failed"));
+    }
+    if failures > 0 {
+        eprintln!("{failures} of {} document(s) failed", files.len());
+        return Ok(ExitCode::from(EXIT_PARTIAL));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `xsdf gen-corpus --out <dir>`: materializes a slice of the streaming
+/// evaluation corpus as XML files — one file per stream position, named
+/// `doc-<position>.xml` so shell glob order equals stream order. The
+/// stream is generated lazily (one document in memory at a time), so
+/// `--count 1000000` works in constant memory; `--start` resumes
+/// mid-stream for incremental or sharded materialization.
+fn cmd_gen_corpus(args: &[String]) -> Result<ExitCode, String> {
+    let flags = Flags { args };
+    fn parsed<T: std::str::FromStr>(flags: &Flags, name: &str) -> Result<Option<T>, String> {
+        match flags.value(name) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("bad {name} value {v:?}")),
+        }
+    }
+    let out = flags.value("--out").ok_or("missing --out <dir>")?;
+    let count: u64 = parsed(&flags, "--count")?.unwrap_or(100);
+    let seed: u64 = parsed(&flags, "--seed")?.unwrap_or(42);
+    let start: u64 = parsed(&flags, "--start")?.unwrap_or(0);
+    std::fs::create_dir_all(out).map_err(|e| format!("cannot create {out}: {e}"))?;
+    let sn = semnet::mini_wordnet();
+    let mut bytes_total = 0u64;
+    for pos in start..start.saturating_add(count) {
+        let doc = corpus::stream::document_at(sn, seed, pos);
+        let xml = xmltree::serialize::to_string_compact(&doc.doc);
+        let path = std::path::Path::new(out).join(format!("doc-{pos:08}.xml"));
+        std::fs::write(&path, &xml).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        bytes_total += xml.len() as u64;
+    }
+    eprintln!(
+        "wrote {count} document(s) ({bytes_total} bytes) to {out} \
+         (seed {seed}, positions {start}..{})",
+        start.saturating_add(count)
+    );
     Ok(ExitCode::SUCCESS)
 }
 
@@ -498,7 +819,7 @@ fn print_slow_docs(trace: &runtime::Trace, files: &[&str], threshold: Duration) 
 
 fn cmd_ambiguity(args: &[String]) -> Result<ExitCode, String> {
     let flags = Flags { args };
-    let (path, xml) = read_doc(&flags)?;
+    let (path, xml) = read_doc(&flags, &ResourceLimits::unlimited())?;
     let network = load_network(&flags)?;
     let sn = network.get();
     let doc = xmltree::parse(&xml).map_err(|e| format!("{path}: {e}"))?;

@@ -510,3 +510,197 @@ fn missing_file_is_a_clean_error() {
     assert!(!output.status.success());
     assert!(String::from_utf8_lossy(&output.stderr).contains("cannot read"));
 }
+
+fn write_temp_bytes(name: &str, contents: &[u8]) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("xsdf-cli-test-{}-{name}", std::process::id()));
+    std::fs::write(&path, contents).unwrap();
+    path
+}
+
+/// Extracts an integer field from the `--metrics` JSON.
+fn json_u64(json: &str, key: &str) -> u64 {
+    let needle = format!("\"{key}\": ");
+    let at = json
+        .find(&needle)
+        .unwrap_or_else(|| panic!("no {key} in {json}"));
+    json[at + needle.len()..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .unwrap()
+}
+
+#[test]
+fn batch_max_bytes_rejects_from_file_metadata() {
+    let good = write_temp("meta-ok.xml", "<a/>");
+    let big = write_temp("meta-big.xml", "<cast><star>Kelly</star></cast>");
+    let size = std::fs::metadata(&big).unwrap().len();
+    let output = xsdf()
+        .arg("batch")
+        .arg(&good)
+        .arg(&big)
+        .args(["--max-bytes", "10", "--threads", "1"])
+        .output()
+        .unwrap();
+    assert_eq!(output.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("[limit]"), "{stderr}");
+    // The reported actual is the on-disk size from fs::metadata — the
+    // streaming parser would only ever have seen limit+1 bytes, so this
+    // proves the file was rejected before any of it was buffered.
+    assert!(stderr.contains(&format!("exceeded ({size})")), "{stderr}");
+    assert!(stderr.contains("1 of 2 document(s) failed"), "{stderr}");
+}
+
+#[test]
+fn non_utf8_input_is_a_typed_parse_error() {
+    let good = write_temp("utf8-ok.xml", "<a/>");
+    let bad = write_temp_bytes("utf8-bad.xml", b"<a>\xff\xfe</a>");
+    let output = xsdf().arg("batch").arg(&good).arg(&bad).output().unwrap();
+    assert_eq!(output.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("[parse]"), "{stderr}");
+    assert!(stderr.contains("not valid UTF-8"), "{stderr}");
+    // The error pinpoints where the bytes stop being UTF-8.
+    assert!(stderr.contains("line 1, column 4"), "{stderr}");
+    // Single-document mode fails the whole run with the same typed error.
+    let output = xsdf().args(["disambiguate"]).arg(&bad).output().unwrap();
+    assert_eq!(output.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("not valid UTF-8"), "{stderr}");
+}
+
+#[test]
+fn gen_corpus_is_deterministic_and_resumable() {
+    let pid = std::process::id();
+    let dir_a = std::env::temp_dir().join(format!("xsdf-cli-gen-a-{pid}"));
+    let dir_b = std::env::temp_dir().join(format!("xsdf-cli-gen-b-{pid}"));
+    let gen = |dir: &std::path::Path, count: &str, start: &str| {
+        let output = xsdf()
+            .args([
+                "gen-corpus",
+                "--count",
+                count,
+                "--seed",
+                "7",
+                "--start",
+                start,
+                "--out",
+            ])
+            .arg(dir)
+            .output()
+            .unwrap();
+        assert!(
+            output.status.success(),
+            "{}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+    };
+    gen(&dir_a, "12", "0");
+    // Same slice regenerated elsewhere, in two resumed halves.
+    gen(&dir_b, "6", "0");
+    gen(&dir_b, "6", "6");
+    let mut names: Vec<String> = std::fs::read_dir(&dir_a)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().into_string().unwrap())
+        .collect();
+    names.sort();
+    assert_eq!(names.len(), 12);
+    assert_eq!(names[0], "doc-00000000.xml");
+    assert_eq!(names[11], "doc-00000011.xml");
+    for name in &names {
+        let a = std::fs::read(dir_a.join(name)).unwrap();
+        let b = std::fs::read(dir_b.join(name)).unwrap();
+        assert_eq!(a, b, "{name} differs between full and resumed generation");
+    }
+    let _ = std::fs::remove_dir_all(dir_a);
+    let _ = std::fs::remove_dir_all(dir_b);
+}
+
+#[test]
+fn sharded_batch_is_shard_count_invariant() {
+    let pid = std::process::id();
+    let dir = std::env::temp_dir().join(format!("xsdf-cli-shardinv-{pid}"));
+    let status = xsdf()
+        .args(["gen-corpus", "--count", "7", "--seed", "3", "--out"])
+        .arg(&dir)
+        .status()
+        .unwrap();
+    assert!(status.success());
+    let mut docs: Vec<std::path::PathBuf> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    docs.sort();
+    // One unparseable document exercises failure accounting across the
+    // process boundary.
+    let bad = dir.join("doc-zz-bad.xml");
+    std::fs::write(&bad, "<unclosed").unwrap();
+    docs.push(bad);
+
+    let run = |shards: &str| {
+        let metrics = std::env::temp_dir().join(format!("xsdf-cli-shardinv-{pid}-{shards}.json"));
+        let output = xsdf()
+            .arg("batch")
+            .args(&docs)
+            .args(["--threads", "1", "--shards", shards, "--metrics"])
+            .arg(&metrics)
+            .output()
+            .unwrap();
+        // Partial failure classifies identically at every shard count.
+        assert_eq!(output.status.code(), Some(2), "shards={shards}");
+        let json = std::fs::read_to_string(&metrics).unwrap();
+        let _ = std::fs::remove_file(metrics);
+        (String::from_utf8(output.stdout).unwrap(), json)
+    };
+    let (stdout1, json1) = run("1");
+    let (stdout2, json2) = run("2");
+    let (stdout4, json4) = run("4");
+    // Per-document output is byte-identical regardless of shard count.
+    assert_eq!(stdout1, stdout2);
+    assert_eq!(stdout1, stdout4);
+    assert!(stdout1.contains("doc-00000000.xml"), "{stdout1}");
+    // Work-accounting metrics are invariant too (cache and throughput
+    // figures legitimately vary: each process has its own cold cache).
+    for key in [
+        "documents",
+        "failed_documents",
+        "failed_parse",
+        "failed_limit",
+        "failed_deadline",
+        "failed_panic",
+        "failed_cancelled",
+        "nodes",
+        "targets",
+        "assigned",
+    ] {
+        let v1 = json_u64(&json1, key);
+        assert_eq!(v1, json_u64(&json2, key), "{key} differs at --shards 2");
+        assert_eq!(v1, json_u64(&json4, key), "{key} differs at --shards 4");
+    }
+    assert_eq!(json_u64(&json1, "documents"), 8);
+    assert_eq!(json_u64(&json1, "failed_documents"), 1);
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn sharded_batch_rejects_unmergeable_flags() {
+    let doc = write_temp("shard-flags.xml", "<a/>");
+    for banned in [
+        ["--shards", "2", "--fail-fast", ""],
+        ["--shards", "2", "--slow-ms", "5"],
+    ] {
+        let output = xsdf()
+            .arg("batch")
+            .arg(&doc)
+            .args(banned.iter().filter(|a| !a.is_empty()))
+            .output()
+            .unwrap();
+        assert_eq!(output.status.code(), Some(1));
+        assert!(
+            String::from_utf8_lossy(&output.stderr).contains("cannot be combined with --shards"),
+            "banned={banned:?}"
+        );
+    }
+}

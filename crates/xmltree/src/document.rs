@@ -64,7 +64,7 @@ impl DocNode {
     }
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 struct NodeLinks {
     parent: Option<DocNodeId>,
     children: Vec<DocNodeId>,
@@ -74,7 +74,12 @@ struct NodeLinks {
 ///
 /// The document-level children (`roots`) may contain comments and processing
 /// instructions besides the single root element.
-#[derive(Debug, Clone, Default)]
+///
+/// Equality compares arenas structurally (same nodes in the same arena
+/// order with the same links) — two documents built by the same sequence
+/// of `add_*` calls are equal, which is what the buffered-vs-streaming
+/// parser equivalence proofs rely on.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Document {
     nodes: Vec<DocNode>,
     links: Vec<NodeLinks>,

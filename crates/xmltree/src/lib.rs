@@ -36,11 +36,13 @@ pub mod navigate;
 pub mod parser;
 pub mod semantic;
 pub mod serialize;
+pub mod stream;
 pub mod tree;
 
 pub use document::{DocNode, DocNodeId, Document};
 pub use error::{ParseError, ParseErrorKind};
 pub use semantic::{SemanticNode, SemanticTree};
+pub use stream::{Pulled, StreamLimits, StreamParser, XmlEvent};
 pub use tree::{NodeId, NodeKind, TreeBuilder, XmlTree};
 
 /// Parses an XML string into a [`Document`].

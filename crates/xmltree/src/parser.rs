@@ -12,6 +12,56 @@
 use crate::document::{DocNodeId, Document};
 use crate::error::{ParseError, ParseErrorKind};
 
+/// Is `c` a character the XML 1.0 `Char` production permits?
+///
+/// `Char ::= #x9 | #xA | #xD | [#x20-#xD7FF] | [#xE000-#xFFFD] |
+/// [#x10000-#x10FFFF]` — surrogates are already unrepresentable as
+/// `char`, so the checks left are the C0 controls (other than tab, LF,
+/// CR) and the two non-characters `#xFFFE`/`#xFFFF`.
+pub(crate) fn is_xml_char(c: char) -> bool {
+    matches!(c,
+        '\u{9}' | '\u{A}' | '\u{D}'
+        | '\u{20}'..='\u{D7FF}'
+        | '\u{E000}'..='\u{FFFD}'
+        | '\u{10000}'..='\u{10FFFF}')
+}
+
+/// Resolves an entity name (the part between `&` and `;`) to its
+/// character: the five predefined entities plus decimal/hex character
+/// references. Numeric references are validated against the XML 1.0
+/// `Char` production, so `&#0;` and the other forbidden control
+/// characters are rejected rather than smuggled into content. Shared by
+/// the buffered and streaming parsers so both resolve identically.
+pub(crate) fn resolve_entity(name: &str) -> Option<char> {
+    match name {
+        "lt" => Some('<'),
+        "gt" => Some('>'),
+        "amp" => Some('&'),
+        "apos" => Some('\''),
+        "quot" => Some('"'),
+        _ if name.starts_with("#x") || name.starts_with("#X") => {
+            let code = u32::from_str_radix(&name[2..], 16).ok()?;
+            char::from_u32(code).filter(|&c| is_xml_char(c))
+        }
+        _ if name.starts_with('#') => {
+            let code = name[1..].parse::<u32>().ok()?;
+            char::from_u32(code).filter(|&c| is_xml_char(c))
+        }
+        _ => None,
+    }
+}
+
+/// May `b` start an XML name? (ASCII letters, `_`, `:`, and any
+/// multi-byte UTF-8 lead/continuation byte.)
+pub(crate) fn is_name_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b == b':' || b >= 0x80
+}
+
+/// May `b` continue an XML name?
+pub(crate) fn is_name_char(b: u8) -> bool {
+    is_name_start(b) || b.is_ascii_digit() || b == b'-' || b == b'.'
+}
+
 /// A recursive-descent XML parser over a string slice.
 pub struct Parser<'a> {
     input: &'a [u8],
@@ -119,24 +169,16 @@ impl<'a> Parser<'a> {
         Err(self.err(ParseErrorKind::UnexpectedEof))
     }
 
-    fn is_name_start(b: u8) -> bool {
-        b.is_ascii_alphabetic() || b == b'_' || b == b':' || b >= 0x80
-    }
-
-    fn is_name_char(b: u8) -> bool {
-        Self::is_name_start(b) || b.is_ascii_digit() || b == b'-' || b == b'.'
-    }
-
     fn parse_name(&mut self) -> Result<String, ParseError> {
         let start = self.pos;
         match self.peek() {
-            Some(b) if Self::is_name_start(b) => {
+            Some(b) if is_name_start(b) => {
                 self.bump();
             }
             Some(b) => return Err(self.err(ParseErrorKind::InvalidName((b as char).to_string()))),
             None => return Err(self.err(ParseErrorKind::UnexpectedEof)),
         }
-        while matches!(self.peek(), Some(b) if Self::is_name_char(b)) {
+        while matches!(self.peek(), Some(b) if is_name_char(b)) {
             self.bump();
         }
         Ok(std::str::from_utf8(&self.input[start..self.pos])
@@ -160,28 +202,7 @@ impl<'a> Parser<'a> {
             return Err(self.err(ParseErrorKind::InvalidEntity(name)));
         }
         self.bump(); // ';'
-        let resolved = match name.as_str() {
-            "lt" => '<',
-            "gt" => '>',
-            "amp" => '&',
-            "apos" => '\'',
-            "quot" => '"',
-            _ if name.starts_with("#x") || name.starts_with("#X") => {
-                let code = u32::from_str_radix(&name[2..], 16)
-                    .map_err(|_| self.err(ParseErrorKind::InvalidEntity(name.clone())))?;
-                char::from_u32(code)
-                    .ok_or_else(|| self.err(ParseErrorKind::InvalidEntity(name.clone())))?
-            }
-            _ if name.starts_with('#') => {
-                let code = name[1..]
-                    .parse::<u32>()
-                    .map_err(|_| self.err(ParseErrorKind::InvalidEntity(name.clone())))?;
-                char::from_u32(code)
-                    .ok_or_else(|| self.err(ParseErrorKind::InvalidEntity(name.clone())))?
-            }
-            _ => return Err(self.err(ParseErrorKind::InvalidEntity(name))),
-        };
-        Ok(resolved)
+        resolve_entity(&name).ok_or_else(|| self.err(ParseErrorKind::InvalidEntity(name)))
     }
 
     fn parse_attr_value(&mut self) -> Result<String, ParseError> {
@@ -248,10 +269,16 @@ impl<'a> Parser<'a> {
 
     fn skip_doctype(&mut self) -> Result<(), ParseError> {
         // Caller consumed "<!DOCTYPE". Skip until the matching '>', allowing
-        // one level of internal subset brackets.
+        // internal subset brackets. A '>' (or bracket) inside a quoted
+        // SYSTEM/PUBLIC literal is literal text and must not terminate the
+        // declaration.
         let mut depth = 0usize;
+        let mut quote: Option<u8> = None;
         loop {
             match self.bump() {
+                Some(b) if quote == Some(b) => quote = None,
+                Some(_) if quote.is_some() => {}
+                Some(q @ (b'"' | b'\'')) => quote = Some(q),
                 Some(b'[') => depth += 1,
                 Some(b']') => depth = depth.saturating_sub(1),
                 Some(b'>') if depth == 0 => return Ok(()),
@@ -289,7 +316,7 @@ impl<'a> Parser<'a> {
                     self.bump();
                     break;
                 }
-                Some(b) if Self::is_name_start(b) => {
+                Some(b) if is_name_start(b) => {
                     let attr_name = self.parse_name()?;
                     self.skip_ws();
                     self.expect("=")?;
@@ -536,6 +563,64 @@ mod tests {
     fn unknown_entity_rejected() {
         let err = Parser::new("<a>&nope;</a>").parse_document().unwrap_err();
         assert!(matches!(err.kind, ParseErrorKind::InvalidEntity(_)));
+    }
+
+    #[test]
+    fn forbidden_character_references_rejected() {
+        // NUL, backspace, and unit separator are outside the XML 1.0
+        // `Char` production; a reference to them must not resolve.
+        for bad in ["&#0;", "&#8;", "&#x1F;", "&#x0;", "&#xFFFE;", "&#xFFFF;"] {
+            let err = Parser::new(&format!("<t>{bad}</t>"))
+                .parse_document()
+                .unwrap_err();
+            assert!(
+                matches!(err.kind, ParseErrorKind::InvalidEntity(_)),
+                "{bad}: expected InvalidEntity, got {:?}",
+                err.kind
+            );
+        }
+    }
+
+    #[test]
+    fn forbidden_character_reference_rejected_in_attribute() {
+        let err = Parser::new(r#"<t v="&#0;"/>"#)
+            .parse_document()
+            .unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::InvalidEntity(_)));
+    }
+
+    #[test]
+    fn boundary_character_references_accepted() {
+        // Tab, LF, and CR are the only sub-0x20 characters XML permits.
+        let doc = parse("<t>a&#x9;b&#xA;c&#xD;d&#x20;e</t>");
+        let root = doc.root_element().unwrap();
+        assert_eq!(doc.text_content(root), "a\tb\nc\rd e");
+    }
+
+    #[test]
+    fn doctype_system_literal_containing_gt() {
+        let doc = parse("<!DOCTYPE x SYSTEM \"a>b\"><x/>");
+        assert_eq!(doc.name(doc.root_element().unwrap()), Some("x"));
+    }
+
+    #[test]
+    fn doctype_public_literal_containing_brackets() {
+        let doc = parse("<!DOCTYPE x PUBLIC '-//a>b//[c]//EN' \"u>r[l]\"><x/>");
+        assert_eq!(doc.name(doc.root_element().unwrap()), Some("x"));
+    }
+
+    #[test]
+    fn doctype_internal_subset_with_quoted_literals() {
+        let doc = parse("<!DOCTYPE x [<!ENTITY e \"]>\">]><x/>");
+        assert_eq!(doc.name(doc.root_element().unwrap()), Some("x"));
+    }
+
+    #[test]
+    fn unterminated_doctype_literal_is_eof() {
+        let err = Parser::new("<!DOCTYPE x SYSTEM \"a>b><x/>")
+            .parse_document()
+            .unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::UnexpectedEof);
     }
 
     #[test]

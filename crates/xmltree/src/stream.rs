@@ -1,0 +1,1050 @@
+//! Streaming (pull) XML parsing over byte chunks.
+//!
+//! [`StreamParser`] accepts input incrementally via [`StreamParser::feed`]
+//! and hands back [`XmlEvent`]s via [`StreamParser::next_event`] — the
+//! same grammar as the buffered [`crate::parser::Parser`], implemented as
+//! a non-recursive state machine so only the *unconsumed tail* of the
+//! input is ever held in memory. That makes three things possible that the
+//! buffered parser cannot do:
+//!
+//! * **bounded ingest** — [`StreamLimits::max_bytes`] is enforced as bytes
+//!   arrive, so an oversized input is rejected *before* it is buffered
+//!   (peak memory stays near the limit, not near the input size);
+//! * **in-scan node/depth limits** — [`StreamLimits::max_nodes`] and
+//!   [`StreamLimits::max_depth`] fail as soon as one node or nesting level
+//!   too many is scanned, instead of after the whole tree is built;
+//! * **incremental sources** — sockets, pipes, and files parse through
+//!   [`parse_reader`] without a `read_to_string` staging buffer.
+//!
+//! ## Result identity
+//!
+//! The event stream is defined as *exactly* the sequence of
+//! [`Document`] mutations the buffered parser would perform: building a
+//! document from the events ([`parse_chunks`], [`parse_reader`]) yields a
+//! `Document` equal to `Parser::new(input).parse_document()`, and invalid
+//! inputs fail with the same [`ParseError`] (kind, line, and column) —
+//! property-tested across chunk splits at every byte offset in
+//! `tests/stream_equiv.rs`. The two stream-only limits are the exception:
+//! `max_bytes`/`max_nodes` violations raise
+//! [`ParseErrorKind::BytesExceeded`]/[`ParseErrorKind::NodesExceeded`],
+//! which the buffered parser (whose callers bound bytes and nodes outside
+//! the parse) never produces.
+//!
+//! ## Memory bounds
+//!
+//! The internal window holds one in-flight construct (a tag, a comment, a
+//! text run, …): it is drained every time a construct completes. A
+//! document with pathologically large single constructs (one giant text
+//! node) therefore still buffers that construct — bounded by `max_bytes`
+//! when set. [`StreamParser::buffered_high_watermark`] reports the largest
+//! window ever held, which the bounded-ingest tests assert stays far below
+//! the total input size.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::io::Read;
+
+use crate::document::{Attribute, DocNodeId, Document};
+use crate::error::{ParseError, ParseErrorKind};
+use crate::parser::{is_name_char, is_name_start, resolve_entity};
+
+/// Resource bounds enforced *while* scanning. `None` means unbounded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamLimits {
+    /// Maximum total input size in bytes. Exceeding bytes are rejected at
+    /// [`StreamParser::feed`] time, before they are buffered.
+    pub max_bytes: Option<usize>,
+    /// Maximum element nesting depth (same default and semantics as
+    /// [`crate::parser::Parser::max_depth`]).
+    pub max_depth: u32,
+    /// Maximum number of document nodes (elements, text runs, CDATA
+    /// sections, comments, processing instructions — the nodes a built
+    /// [`Document`] would hold). Checked as each node is scanned.
+    pub max_nodes: Option<usize>,
+    /// When `true` (default), whitespace-only text between elements is
+    /// dropped, matching [`crate::parser::Parser::skip_whitespace_text`].
+    pub skip_whitespace_text: bool,
+}
+
+impl Default for StreamLimits {
+    fn default() -> Self {
+        Self {
+            max_bytes: None,
+            max_depth: 256,
+            max_nodes: None,
+            skip_whitespace_text: true,
+        }
+    }
+}
+
+impl StreamLimits {
+    /// Sets the total input-size ceiling.
+    pub fn max_bytes(mut self, max: usize) -> Self {
+        self.max_bytes = Some(max);
+        self
+    }
+
+    /// Sets the nesting-depth ceiling.
+    pub fn max_depth(mut self, max: u32) -> Self {
+        self.max_depth = max;
+        self
+    }
+
+    /// Sets the document-node ceiling.
+    pub fn max_nodes(mut self, max: usize) -> Self {
+        self.max_nodes = Some(max);
+        self
+    }
+}
+
+/// One parse event — one [`Document`] mutation the buffered parser would
+/// perform at the same point of the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlEvent {
+    /// An element open tag (or the open half of a self-closing tag),
+    /// with its attributes fully parsed and duplicate-checked.
+    StartElement {
+        /// Tag name.
+        name: String,
+        /// Attributes in document order, entities resolved.
+        attributes: Vec<Attribute>,
+    },
+    /// An element close tag (emitted immediately after `StartElement`
+    /// for self-closing tags).
+    EndElement {
+        /// Tag name (always matches the open tag).
+        name: String,
+    },
+    /// A run of character data, entities resolved. Whitespace-only runs
+    /// are suppressed unless [`StreamLimits::skip_whitespace_text`] is
+    /// disabled.
+    Text(String),
+    /// A CDATA section's literal content.
+    CData(String),
+    /// A comment (document-level when no element is open).
+    Comment(String),
+    /// A processing instruction (document-level when no element is open).
+    ProcessingInstruction {
+        /// The PI target.
+        target: String,
+        /// The PI data, trailing whitespace trimmed.
+        data: String,
+    },
+}
+
+/// What [`StreamParser::next_event`] produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Pulled {
+    /// A parse event.
+    Event(XmlEvent),
+    /// The window is exhausted mid-construct: [`StreamParser::feed`] more
+    /// bytes (or [`StreamParser::finish`]) and pull again. Never returned
+    /// after `finish`.
+    NeedInput,
+    /// The document is complete and well-formed.
+    Done,
+}
+
+/// Internal control flow: a primitive either needs more input (retry the
+/// whole construct once more bytes arrive) or failed terminally.
+enum Interrupt {
+    Need,
+    Fail(ParseError),
+}
+
+type PResult<T> = Result<T, Interrupt>;
+
+/// A saved scan position for rolling back an incomplete construct.
+#[derive(Clone, Copy)]
+struct Mark {
+    pos: usize,
+    line: u32,
+    column: u32,
+}
+
+/// An incremental pull parser over fed byte chunks.
+///
+/// ```
+/// use xsdf_xmltree::stream::{Pulled, StreamLimits, StreamParser, XmlEvent};
+///
+/// let mut p = StreamParser::new(StreamLimits::default());
+/// p.feed(b"<r><a x='1'/>").unwrap();
+/// assert!(matches!(p.next_event().unwrap(), Pulled::Event(XmlEvent::StartElement { .. })));
+/// p.feed(b"</r>").unwrap();
+/// p.finish();
+/// let mut events = 0;
+/// while let Pulled::Event(_) = p.next_event().unwrap() {
+///     events += 1;
+/// }
+/// assert_eq!(events, 3); // a-start, a-end, r-end
+/// ```
+pub struct StreamParser {
+    /// Unconsumed window: bytes `base..base + buf.len()` of the input.
+    buf: Vec<u8>,
+    /// Absolute input offset of `buf[0]`.
+    base: usize,
+    /// Absolute scan cursor (`>= base`).
+    pos: usize,
+    line: u32,
+    column: u32,
+    finished: bool,
+    limits: StreamLimits,
+    bytes_fed: usize,
+    nodes: usize,
+    high_watermark: usize,
+    /// Names of currently open elements.
+    stack: Vec<String>,
+    saw_root: bool,
+    did_preamble: bool,
+    pending: VecDeque<XmlEvent>,
+    done: bool,
+    failed: Option<ParseError>,
+}
+
+impl StreamParser {
+    /// Creates a parser with the given limits.
+    pub fn new(limits: StreamLimits) -> Self {
+        Self {
+            buf: Vec::new(),
+            base: 0,
+            pos: 0,
+            line: 1,
+            column: 1,
+            finished: false,
+            limits,
+            bytes_fed: 0,
+            nodes: 0,
+            high_watermark: 0,
+            stack: Vec::new(),
+            saw_root: false,
+            did_preamble: false,
+            pending: VecDeque::new(),
+            done: false,
+            failed: None,
+        }
+    }
+
+    /// Appends a chunk of input. Fails (without buffering the chunk) when
+    /// the total fed size would exceed [`StreamLimits::max_bytes`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after [`StreamParser::finish`].
+    pub fn feed(&mut self, chunk: &[u8]) -> Result<(), ParseError> {
+        assert!(!self.finished, "feed after finish");
+        if let Some(e) = &self.failed {
+            return Err(e.clone());
+        }
+        if let Some(max) = self.limits.max_bytes {
+            if self.bytes_fed.saturating_add(chunk.len()) > max {
+                let e = ParseError::new(
+                    ParseErrorKind::BytesExceeded { limit: max },
+                    self.line,
+                    self.column,
+                );
+                self.failed = Some(e.clone());
+                return Err(e);
+            }
+        }
+        self.bytes_fed += chunk.len();
+        self.buf.extend_from_slice(chunk);
+        self.high_watermark = self.high_watermark.max(self.buf.len());
+        Ok(())
+    }
+
+    /// Declares the input complete: no more chunks will be fed, so an
+    /// exhausted window now means end of input instead of `NeedInput`.
+    pub fn finish(&mut self) {
+        self.finished = true;
+    }
+
+    /// Total bytes fed so far.
+    pub fn bytes_fed(&self) -> usize {
+        self.bytes_fed
+    }
+
+    /// Bytes currently buffered (the unconsumed window).
+    pub fn buffered_bytes(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// The largest window ever buffered — the parser's peak memory
+    /// footprint for input bytes. Stays near the largest single construct
+    /// of the document, not near the document size.
+    pub fn buffered_high_watermark(&self) -> usize {
+        self.high_watermark
+    }
+
+    /// Pulls the next event. Errors are terminal and repeat on re-pull.
+    pub fn next_event(&mut self) -> Result<Pulled, ParseError> {
+        if let Some(e) = &self.failed {
+            return Err(e.clone());
+        }
+        if let Some(ev) = self.pending.pop_front() {
+            return Ok(Pulled::Event(ev));
+        }
+        if self.done {
+            return Ok(Pulled::Done);
+        }
+        loop {
+            let mark = self.mark();
+            let step = if self.stack.is_empty() {
+                self.top_level_step()
+            } else {
+                self.content_step()
+            };
+            match step {
+                Ok(Some(ev)) => {
+                    self.drain();
+                    return Ok(Pulled::Event(ev));
+                }
+                Ok(None) => {
+                    self.drain();
+                    if self.done {
+                        return Ok(Pulled::Done);
+                    }
+                    // No event produced (preamble, DOCTYPE, dropped
+                    // whitespace text): keep stepping.
+                }
+                Err(Interrupt::Need) => {
+                    self.restore(mark);
+                    return Ok(Pulled::NeedInput);
+                }
+                Err(Interrupt::Fail(e)) => {
+                    self.failed = Some(e.clone());
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    // ---- window primitives -------------------------------------------
+
+    fn mark(&self) -> Mark {
+        Mark {
+            pos: self.pos,
+            line: self.line,
+            column: self.column,
+        }
+    }
+
+    fn restore(&mut self, mark: Mark) {
+        self.pos = mark.pos;
+        self.line = mark.line;
+        self.column = mark.column;
+    }
+
+    /// Drops the consumed window prefix after a construct completed.
+    fn drain(&mut self) {
+        let consumed = self.pos - self.base;
+        if consumed > 0 {
+            self.buf.drain(..consumed);
+            self.base = self.pos;
+        }
+    }
+
+    fn err(&self, kind: ParseErrorKind) -> Interrupt {
+        Interrupt::Fail(ParseError::new(kind, self.line, self.column))
+    }
+
+    fn end_abs(&self) -> usize {
+        self.base + self.buf.len()
+    }
+
+    fn window(&self, from: usize) -> &[u8] {
+        &self.buf[from - self.base..self.pos - self.base]
+    }
+
+    fn peek(&self) -> PResult<Option<u8>> {
+        if self.pos < self.end_abs() {
+            Ok(Some(self.buf[self.pos - self.base]))
+        } else if self.finished {
+            Ok(None)
+        } else {
+            Err(Interrupt::Need)
+        }
+    }
+
+    fn peek_at(&self, offset: usize) -> PResult<Option<u8>> {
+        if self.pos + offset < self.end_abs() {
+            Ok(Some(self.buf[self.pos + offset - self.base]))
+        } else if self.finished {
+            Ok(None)
+        } else {
+            Err(Interrupt::Need)
+        }
+    }
+
+    fn bump(&mut self) -> PResult<Option<u8>> {
+        match self.peek()? {
+            Some(b) => {
+                self.pos += 1;
+                if b == b'\n' {
+                    self.line += 1;
+                    self.column = 1;
+                } else {
+                    self.column += 1;
+                }
+                Ok(Some(b))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn starts_with(&self, s: &str) -> PResult<bool> {
+        let pattern = s.as_bytes();
+        let window = &self.buf[self.pos - self.base..];
+        if window.len() >= pattern.len() {
+            Ok(&window[..pattern.len()] == pattern)
+        } else if pattern.starts_with(window) && !self.finished {
+            // The window is a strict prefix of the pattern: more input
+            // could still complete the match.
+            Err(Interrupt::Need)
+        } else {
+            Ok(false)
+        }
+    }
+
+    fn consume(&mut self, s: &str) -> PResult<bool> {
+        if self.starts_with(s)? {
+            for _ in 0..s.len() {
+                self.bump()?;
+            }
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    fn expect(&mut self, s: &str) -> PResult<()> {
+        if self.consume(s)? {
+            Ok(())
+        } else {
+            match self.peek()? {
+                Some(b) => Err(self.err(ParseErrorKind::UnexpectedChar(b as char))),
+                None => Err(self.err(ParseErrorKind::UnexpectedEof)),
+            }
+        }
+    }
+
+    fn skip_ws(&mut self) -> PResult<()> {
+        while matches!(self.peek()?, Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.bump()?;
+        }
+        Ok(())
+    }
+
+    fn take_until(&mut self, delim: &str, what: &str) -> PResult<String> {
+        let start = self.pos;
+        loop {
+            if self.starts_with(delim)? {
+                let content = std::str::from_utf8(self.window(start))
+                    .map_err(|_| {
+                        self.err(ParseErrorKind::Malformed(format!(
+                            "invalid UTF-8 in {what}"
+                        )))
+                    })?
+                    .to_string();
+                self.consume(delim)?;
+                return Ok(content);
+            }
+            match self.bump()? {
+                Some(_) => {}
+                None => return Err(self.err(ParseErrorKind::UnexpectedEof)),
+            }
+        }
+    }
+
+    fn parse_name(&mut self) -> PResult<String> {
+        let start = self.pos;
+        match self.peek()? {
+            Some(b) if is_name_start(b) => {
+                self.bump()?;
+            }
+            Some(b) => return Err(self.err(ParseErrorKind::InvalidName((b as char).to_string()))),
+            None => return Err(self.err(ParseErrorKind::UnexpectedEof)),
+        }
+        while matches!(self.peek()?, Some(b) if is_name_char(b)) {
+            self.bump()?;
+        }
+        Ok(std::str::from_utf8(self.window(start))
+            .map_err(|_| self.err(ParseErrorKind::InvalidName("<non-utf8>".into())))?
+            .to_string())
+    }
+
+    fn parse_entity(&mut self) -> PResult<char> {
+        // Caller consumed '&'. Mirrors the buffered scanner: at most ~10
+        // name bytes before giving up.
+        let start = self.pos;
+        loop {
+            match self.peek()? {
+                Some(b';') | None => break,
+                Some(_) => {
+                    if self.pos - start > 10 {
+                        break;
+                    }
+                    self.bump()?;
+                }
+            }
+        }
+        let name = std::str::from_utf8(self.window(start))
+            .unwrap_or("")
+            .to_string();
+        if self.peek()? != Some(b';') {
+            return Err(self.err(ParseErrorKind::InvalidEntity(name)));
+        }
+        self.bump()?; // ';'
+        match resolve_entity(&name) {
+            Some(c) => Ok(c),
+            None => Err(self.err(ParseErrorKind::InvalidEntity(name))),
+        }
+    }
+
+    fn parse_attr_value(&mut self) -> PResult<String> {
+        let quote = match self.peek()? {
+            Some(q @ (b'"' | b'\'')) => {
+                self.bump()?;
+                q
+            }
+            Some(b) => return Err(self.err(ParseErrorKind::UnexpectedChar(b as char))),
+            None => return Err(self.err(ParseErrorKind::UnexpectedEof)),
+        };
+        let mut value = String::new();
+        loop {
+            match self.peek()? {
+                Some(b) if b == quote => {
+                    self.bump()?;
+                    return Ok(value);
+                }
+                Some(b'&') => {
+                    self.bump()?;
+                    value.push(self.parse_entity()?);
+                }
+                Some(b'<') => return Err(self.err(ParseErrorKind::UnexpectedChar('<'))),
+                Some(_) => {
+                    // Collect a full UTF-8 codepoint (continuation bytes
+                    // may still be in flight: `peek` interrupts for them).
+                    let start = self.pos;
+                    self.bump()?;
+                    while matches!(self.peek()?, Some(b) if (b & 0xC0) == 0x80) {
+                        self.bump()?;
+                    }
+                    value.push_str(std::str::from_utf8(self.window(start)).map_err(|_| {
+                        self.err(ParseErrorKind::Malformed("invalid UTF-8".into()))
+                    })?);
+                }
+                None => return Err(self.err(ParseErrorKind::UnexpectedEof)),
+            }
+        }
+    }
+
+    fn parse_text(&mut self) -> PResult<String> {
+        let mut text = String::new();
+        loop {
+            match self.peek()? {
+                Some(b'<') | None => return Ok(text),
+                Some(b'&') => {
+                    self.bump()?;
+                    text.push(self.parse_entity()?);
+                }
+                Some(_) => {
+                    let start = self.pos;
+                    loop {
+                        match self.peek()? {
+                            Some(b'<' | b'&') | None => break,
+                            Some(_) => {
+                                self.bump()?;
+                            }
+                        }
+                    }
+                    text.push_str(std::str::from_utf8(self.window(start)).map_err(|_| {
+                        self.err(ParseErrorKind::Malformed("invalid UTF-8".into()))
+                    })?);
+                }
+            }
+        }
+    }
+
+    fn skip_doctype(&mut self) -> PResult<()> {
+        // Caller consumed "<!DOCTYPE". Same quote- and bracket-aware skip
+        // as the buffered parser.
+        let mut depth = 0usize;
+        let mut quote: Option<u8> = None;
+        loop {
+            match self.bump()? {
+                Some(b) if quote == Some(b) => quote = None,
+                Some(_) if quote.is_some() => {}
+                Some(q @ (b'"' | b'\'')) => quote = Some(q),
+                Some(b'[') => depth += 1,
+                Some(b']') => depth = depth.saturating_sub(1),
+                Some(b'>') if depth == 0 => return Ok(()),
+                Some(_) => {}
+                None => return Err(self.err(ParseErrorKind::UnexpectedEof)),
+            }
+        }
+    }
+
+    // ---- state-machine steps -----------------------------------------
+
+    /// Accounts one scanned document node against the node ceiling. Only
+    /// called once a construct has fully parsed, so an interrupted
+    /// construct never double-counts.
+    fn count_node(&mut self) -> PResult<()> {
+        self.nodes += 1;
+        if let Some(max) = self.limits.max_nodes {
+            if self.nodes > max {
+                return Err(self.err(ParseErrorKind::NodesExceeded { limit: max }));
+            }
+        }
+        Ok(())
+    }
+
+    /// One prolog/epilog construct (mirrors the buffered
+    /// `parse_document` loop body).
+    fn top_level_step(&mut self) -> PResult<Option<XmlEvent>> {
+        if !self.did_preamble {
+            self.consume("\u{FEFF}")?;
+            self.skip_ws()?;
+            let is_decl = self.starts_with("<?xml")?
+                && matches!(self.peek_at(5)?, Some(b' ' | b'\t' | b'\r' | b'\n' | b'?'));
+            if is_decl {
+                self.consume("<?xml")?;
+                self.take_until("?>", "XML declaration")?;
+            }
+            self.did_preamble = true;
+            return Ok(None);
+        }
+        self.skip_ws()?;
+        if self.peek()?.is_none() {
+            if !self.saw_root {
+                return Err(self.err(ParseErrorKind::InvalidStructure("no root element".into())));
+            }
+            self.done = true;
+            return Ok(None);
+        }
+        if self.starts_with("<!--")? {
+            self.consume("<!--")?;
+            let comment = self.take_until("-->", "comment")?;
+            self.count_node()?;
+            return Ok(Some(XmlEvent::Comment(comment)));
+        }
+        if self.starts_with("<!DOCTYPE")? {
+            self.consume("<!DOCTYPE")?;
+            self.skip_doctype()?;
+            return Ok(None);
+        }
+        if self.starts_with("<?")? {
+            self.consume("<?")?;
+            let target = self.parse_name()?;
+            self.skip_ws()?;
+            let data = self.take_until("?>", "processing instruction")?;
+            self.count_node()?;
+            return Ok(Some(XmlEvent::ProcessingInstruction {
+                target,
+                data: data.trim_end().to_string(),
+            }));
+        }
+        if self.starts_with("<")? {
+            if self.saw_root {
+                return Err(self.err(ParseErrorKind::InvalidStructure(
+                    "multiple root elements".into(),
+                )));
+            }
+            self.bump()?;
+            let ev = self.open_tag()?;
+            self.saw_root = true;
+            return Ok(Some(ev));
+        }
+        Err(self.err(ParseErrorKind::InvalidStructure(
+            "text content outside the root element".into(),
+        )))
+    }
+
+    /// An element open tag, `<` already consumed (mirrors the buffered
+    /// `parse_element` up to the end of the tag).
+    fn open_tag(&mut self) -> PResult<XmlEvent> {
+        if (self.stack.len() as u32).saturating_add(1) > self.limits.max_depth {
+            return Err(self.err(ParseErrorKind::DepthExceeded {
+                limit: self.limits.max_depth,
+            }));
+        }
+        let name = self.parse_name()?;
+        let mut attributes: Vec<Attribute> = Vec::new();
+        loop {
+            self.skip_ws()?;
+            match self.peek()? {
+                Some(b'/') => {
+                    self.bump()?;
+                    self.expect(">")?;
+                    self.count_node()?;
+                    self.pending
+                        .push_back(XmlEvent::EndElement { name: name.clone() });
+                    return Ok(XmlEvent::StartElement { name, attributes });
+                }
+                Some(b'>') => {
+                    self.bump()?;
+                    self.count_node()?;
+                    self.stack.push(name.clone());
+                    return Ok(XmlEvent::StartElement { name, attributes });
+                }
+                Some(b) if is_name_start(b) => {
+                    let attr_name = self.parse_name()?;
+                    self.skip_ws()?;
+                    self.expect("=")?;
+                    self.skip_ws()?;
+                    let value = self.parse_attr_value()?;
+                    if attributes.iter().any(|a| a.name == attr_name) {
+                        return Err(self.err(ParseErrorKind::DuplicateAttribute(attr_name)));
+                    }
+                    attributes.push(Attribute {
+                        name: attr_name,
+                        value,
+                    });
+                }
+                Some(b) => return Err(self.err(ParseErrorKind::UnexpectedChar(b as char))),
+                None => return Err(self.err(ParseErrorKind::UnexpectedEof)),
+            }
+        }
+    }
+
+    /// One element-content construct (mirrors the buffered
+    /// `parse_element` content loop body).
+    fn content_step(&mut self) -> PResult<Option<XmlEvent>> {
+        if self.starts_with("</")? {
+            self.consume("</")?;
+            let close = self.parse_name()?;
+            let open = self.stack.last().expect("content implies an open element");
+            if close != *open {
+                return Err(self.err(ParseErrorKind::MismatchedTag {
+                    expected: open.clone(),
+                    found: close,
+                }));
+            }
+            self.skip_ws()?;
+            self.expect(">")?;
+            self.stack.pop();
+            return Ok(Some(XmlEvent::EndElement { name: close }));
+        }
+        if self.starts_with("<!--")? {
+            self.consume("<!--")?;
+            let comment = self.take_until("-->", "comment")?;
+            self.count_node()?;
+            return Ok(Some(XmlEvent::Comment(comment)));
+        }
+        if self.starts_with("<![CDATA[")? {
+            self.consume("<![CDATA[")?;
+            let cdata = self.take_until("]]>", "CDATA section")?;
+            self.count_node()?;
+            return Ok(Some(XmlEvent::CData(cdata)));
+        }
+        if self.starts_with("<?")? {
+            self.consume("<?")?;
+            let target = self.parse_name()?;
+            self.skip_ws()?;
+            let data = self.take_until("?>", "processing instruction")?;
+            self.count_node()?;
+            return Ok(Some(XmlEvent::ProcessingInstruction {
+                target,
+                data: data.trim_end().to_string(),
+            }));
+        }
+        if self.starts_with("<")? {
+            self.bump()?;
+            return self.open_tag().map(Some);
+        }
+        if self.peek()?.is_none() {
+            return Err(self.err(ParseErrorKind::UnexpectedEof));
+        }
+        let text = self.parse_text()?;
+        let keep = !self.limits.skip_whitespace_text || !text.chars().all(char::is_whitespace);
+        if keep && !text.is_empty() {
+            self.count_node()?;
+            return Ok(Some(XmlEvent::Text(text)));
+        }
+        Ok(None)
+    }
+}
+
+/// Builds a [`Document`] by replaying parse events — the same `add_*`
+/// calls the buffered parser performs, in the same order.
+#[derive(Default)]
+struct DocBuilder {
+    doc: Document,
+    stack: Vec<DocNodeId>,
+}
+
+impl DocBuilder {
+    fn apply(&mut self, event: XmlEvent) -> Result<(), ParseError> {
+        match event {
+            XmlEvent::StartElement { name, attributes } => {
+                let id = self.doc.add_element(self.stack.last().copied(), name);
+                for a in attributes {
+                    // The parser already rejected duplicates.
+                    self.doc.add_attribute(id, a.name, a.value)?;
+                }
+                self.stack.push(id);
+            }
+            XmlEvent::EndElement { .. } => {
+                self.stack.pop();
+            }
+            XmlEvent::Text(t) => {
+                let parent = *self.stack.last().expect("text only inside an element");
+                self.doc.add_text(parent, t);
+            }
+            XmlEvent::CData(t) => {
+                let parent = *self.stack.last().expect("CDATA only inside an element");
+                self.doc.add_cdata(parent, t);
+            }
+            XmlEvent::Comment(c) => {
+                self.doc.add_comment(self.stack.last().copied(), c);
+            }
+            XmlEvent::ProcessingInstruction { target, data } => {
+                self.doc.add_pi(self.stack.last().copied(), target, data);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Pulls events until the parser needs input or completes.
+fn pump(parser: &mut StreamParser, builder: &mut DocBuilder) -> Result<bool, ParseError> {
+    loop {
+        match parser.next_event()? {
+            Pulled::Event(ev) => builder.apply(ev)?,
+            Pulled::NeedInput => return Ok(false),
+            Pulled::Done => return Ok(true),
+        }
+    }
+}
+
+/// Parses a complete document from an iterator of byte chunks, holding
+/// only the in-flight construct in memory. Produces the same
+/// [`Document`] (or the same [`ParseError`]) as the buffered parser over
+/// the concatenated input.
+pub fn parse_chunks<I, C>(chunks: I, limits: StreamLimits) -> Result<Document, ParseError>
+where
+    I: IntoIterator<Item = C>,
+    C: AsRef<[u8]>,
+{
+    let mut parser = StreamParser::new(limits);
+    let mut builder = DocBuilder::default();
+    for chunk in chunks {
+        parser.feed(chunk.as_ref())?;
+        pump(&mut parser, &mut builder)?;
+    }
+    parser.finish();
+    pump(&mut parser, &mut builder)?;
+    Ok(builder.doc)
+}
+
+/// Error from [`parse_reader`]: the source failed, or the document did.
+#[derive(Debug)]
+pub enum ReaderError {
+    /// The underlying reader returned an I/O error.
+    Io(std::io::Error),
+    /// The document failed to parse or violated a streaming limit.
+    Parse(ParseError),
+}
+
+impl fmt::Display for ReaderError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "read error: {e}"),
+            Self::Parse(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReaderError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            Self::Parse(e) => Some(e),
+        }
+    }
+}
+
+/// Parses a complete document from a [`Read`] source in 64 KiB chunks,
+/// without staging the whole input in memory first.
+pub fn parse_reader<R: Read>(mut reader: R, limits: StreamLimits) -> Result<Document, ReaderError> {
+    let mut parser = StreamParser::new(limits);
+    let mut builder = DocBuilder::default();
+    let mut chunk = vec![0u8; 64 * 1024];
+    loop {
+        let n = reader.read(&mut chunk).map_err(ReaderError::Io)?;
+        if n == 0 {
+            break;
+        }
+        parser.feed(&chunk[..n]).map_err(ReaderError::Parse)?;
+        pump(&mut parser, &mut builder).map_err(ReaderError::Parse)?;
+    }
+    parser.finish();
+    pump(&mut parser, &mut builder).map_err(ReaderError::Parse)?;
+    Ok(builder.doc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream_one(input: &str, limits: StreamLimits) -> Result<Document, ParseError> {
+        parse_chunks([input.as_bytes()], limits)
+    }
+
+    #[test]
+    fn minimal_document_matches_buffered() {
+        let doc = stream_one("<a/>", StreamLimits::default()).unwrap();
+        assert_eq!(doc, crate::parse("<a/>").unwrap());
+    }
+
+    #[test]
+    fn full_feature_document_matches_buffered() {
+        let xml = "<?xml version=\"1.0\"?>\n<!DOCTYPE films [<!ELEMENT films ANY>]>\n\
+                   <!-- prolog --><films year='1954'>\n  <picture title=\"Rear&#x20;Window\">\
+                   Tom &amp; Jerry<![CDATA[<raw>]]><?pi data ?></picture>\n</films>";
+        let doc = stream_one(xml, StreamLimits::default()).unwrap();
+        assert_eq!(doc, crate::parse(xml).unwrap());
+    }
+
+    #[test]
+    fn event_stream_shape() {
+        let mut p = StreamParser::new(StreamLimits::default());
+        p.feed(b"<r a='1'><b/>hi</r>").unwrap();
+        p.finish();
+        let mut kinds = Vec::new();
+        loop {
+            match p.next_event().unwrap() {
+                Pulled::Event(XmlEvent::StartElement { name, .. }) => {
+                    kinds.push(format!("+{name}"))
+                }
+                Pulled::Event(XmlEvent::EndElement { name }) => kinds.push(format!("-{name}")),
+                Pulled::Event(XmlEvent::Text(t)) => kinds.push(format!("t:{t}")),
+                Pulled::Event(_) => kinds.push("other".into()),
+                Pulled::NeedInput => panic!("finished input never needs more"),
+                Pulled::Done => break,
+            }
+        }
+        assert_eq!(kinds, ["+r", "+b", "-b", "t:hi", "-r"]);
+    }
+
+    #[test]
+    fn needs_input_mid_tag() {
+        let mut p = StreamParser::new(StreamLimits::default());
+        p.feed(b"<roo").unwrap();
+        assert_eq!(p.next_event().unwrap(), Pulled::NeedInput);
+        p.feed(b"t><").unwrap();
+        match p.next_event().unwrap() {
+            Pulled::Event(XmlEvent::StartElement { name, .. }) => assert_eq!(name, "root"),
+            other => panic!("expected start, got {other:?}"),
+        }
+        assert_eq!(p.next_event().unwrap(), Pulled::NeedInput);
+        p.feed(b"/root>").unwrap();
+        p.finish();
+        assert_eq!(
+            p.next_event().unwrap(),
+            Pulled::Event(XmlEvent::EndElement {
+                name: "root".into()
+            })
+        );
+        assert_eq!(p.next_event().unwrap(), Pulled::Done);
+    }
+
+    #[test]
+    fn byte_limit_rejects_at_feed_time_without_buffering() {
+        let mut p = StreamParser::new(StreamLimits::default().max_bytes(8));
+        p.feed(b"<r>12345").unwrap();
+        let err = p.feed(b"6789</r>").unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::BytesExceeded { limit: 8 });
+        // The offending chunk was never buffered.
+        assert!(p.buffered_high_watermark() <= 8);
+        // The error is terminal.
+        assert_eq!(
+            p.next_event().unwrap_err().kind,
+            ParseErrorKind::BytesExceeded { limit: 8 }
+        );
+    }
+
+    #[test]
+    fn exactly_max_bytes_is_accepted() {
+        let xml = b"<r>x</r>";
+        let doc = parse_chunks([xml], StreamLimits::default().max_bytes(xml.len())).unwrap();
+        assert_eq!(doc.element_count(), 1);
+    }
+
+    #[test]
+    fn node_limit_fails_during_scan() {
+        // <r> + three children = 4 nodes; a 3-node ceiling trips on the
+        // third child without scanning the rest.
+        let err = stream_one(
+            "<r><a/><b/><c/><d/></r>",
+            StreamLimits::default().max_nodes(3),
+        )
+        .unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::NodesExceeded { limit: 3 });
+        let ok = stream_one("<r><a/><b/></r>", StreamLimits::default().max_nodes(3));
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn depth_limit_matches_buffered_error() {
+        let deep = "<a>".repeat(300) + &"</a>".repeat(300);
+        let stream_err = stream_one(&deep, StreamLimits::default()).unwrap_err();
+        let buffered_err = crate::parse(&deep).unwrap_err();
+        assert_eq!(stream_err, buffered_err);
+        assert_eq!(
+            stream_err.kind,
+            ParseErrorKind::DepthExceeded { limit: 256 }
+        );
+    }
+
+    #[test]
+    fn window_stays_small_across_large_flat_document() {
+        // 4000 small elements fed in small chunks: the window never holds
+        // more than a few constructs even though the input is ~60 KiB.
+        let mut xml = String::from("<r>");
+        for i in 0..4000 {
+            xml.push_str(&format!("<item n='{i}'/>"));
+        }
+        xml.push_str("</r>");
+        let mut p = StreamParser::new(StreamLimits::default());
+        let mut builder = DocBuilder::default();
+        for chunk in xml.as_bytes().chunks(512) {
+            p.feed(chunk).unwrap();
+            pump(&mut p, &mut builder).unwrap();
+        }
+        p.finish();
+        assert!(pump(&mut p, &mut builder).unwrap());
+        assert!(
+            p.buffered_high_watermark() < 2048,
+            "watermark {} for a {}-byte input",
+            p.buffered_high_watermark(),
+            xml.len()
+        );
+        assert_eq!(builder.doc, crate::parse(&xml).unwrap());
+    }
+
+    #[test]
+    fn parse_reader_matches_buffered() {
+        let xml = "<r><a x='1'>hi</a><!--c--></r>";
+        let doc = parse_reader(xml.as_bytes(), StreamLimits::default()).unwrap();
+        assert_eq!(doc, crate::parse(xml).unwrap());
+    }
+
+    #[test]
+    fn invalid_document_matches_buffered_error_and_position() {
+        for xml in [
+            "<a></b>",
+            "<a><b>",
+            "<a/><b/>",
+            "   ",
+            "<a>&nope;</a>",
+            "<a>\n\n</b>",
+            "<a x='1' x='2'/>",
+            "<t>&#0;</t>",
+        ] {
+            let buffered = crate::parse(xml).unwrap_err();
+            let streamed = stream_one(xml, StreamLimits::default()).unwrap_err();
+            assert_eq!(streamed, buffered, "input {xml:?}");
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Streaming-vs-buffered parser equivalence.
+//!
+//! The streaming pull parser must be *indistinguishable* from the
+//! buffered recursive-descent parser on every input: the same
+//! [`Document`] on valid documents, the same typed [`ParseError`] (kind,
+//! line, column) on invalid ones — no matter how the input is split into
+//! chunks. Split-independence is checked exhaustively (every byte offset
+//! of a fixture set) and probabilistically (random documents, random
+//! junk, random chunkings).
+
+use proptest::prelude::*;
+use xsdf_xmltree::stream::{parse_chunks, StreamLimits};
+use xsdf_xmltree::{parse, Document, ParseError};
+
+/// Buffered reference result.
+fn buffered(input: &str) -> Result<Document, ParseError> {
+    parse(input)
+}
+
+/// Streaming result over the given chunking of `input`.
+fn streamed(chunks: &[&[u8]]) -> Result<Document, ParseError> {
+    parse_chunks(chunks.iter().copied(), StreamLimits::default())
+}
+
+/// Small documents exercising every grammar production, valid and
+/// invalid, ASCII and multi-byte.
+const FIXTURES: &[&str] = &[
+    // Valid.
+    "<a/>",
+    "<r><a/><b/><c/></r>",
+    "<m year=\"1954\" title='Rear Window'/>",
+    "<t>Tom &amp; Jerry &lt;3 &#65;&#x42;</t>",
+    "<t v=\"a&amp;b\"/>",
+    "<t><![CDATA[<not-a-tag> & raw]]></t>",
+    "<t><!-- hello --></t>",
+    "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<!DOCTYPE films [<!ELEMENT films (p*)>]>\n<films/>",
+    "<!DOCTYPE x SYSTEM \"a>b\"><x/>",
+    "<!DOCTYPE x PUBLIC '-//a>b//[c]//EN' \"u>r[l]\"><x/>",
+    "<?xml-stylesheet href=\"s.css\"?><r/>",
+    "<r>\n  <a/>\n  <b/>\n</r>",
+    "<t attr=\"héllo\">çafé ☕</t>",
+    "\u{FEFF}<bom/>",
+    "<r><inner><deep attr='v'>text</deep></inner><?pi data ?></r>",
+    "<r><a/>tail<!--c-->more<b/></r>",
+    "<e a1='x' a2=\"y\" a3='&#x20;'/>",
+    // Invalid: structure.
+    "<a></b>",
+    "<a><b>",
+    "<a/><b/>",
+    "   ",
+    "",
+    "text<a/>",
+    "<a/>junk",
+    // Invalid: names, entities, attributes.
+    "<1bad/>",
+    "<a>&nope;</a>",
+    "<a>&unterminated",
+    "<a x='1' x='2'/>",
+    "<a x=1/>",
+    "<a x/>",
+    // Invalid: forbidden character references (and valid boundaries).
+    "<t>&#0;</t>",
+    "<t>&#8;</t>",
+    "<t>&#x1F;</t>",
+    "<t>&#x9;&#xA;&#xD;</t>",
+    // Invalid: unterminated constructs.
+    "<t><!-- unterminated",
+    "<t><![CDATA[ unterminated",
+    "<?xml version='1.0'",
+    "<!DOCTYPE x SYSTEM \"a>b><x/>",
+    // Error positions on later lines.
+    "<a>\n\n</b>",
+    "<a>\n  <b x='1'\n     x='2'/>\n</a>",
+];
+
+/// Every 2-way split of every fixture produces the buffered result.
+#[test]
+fn exhaustive_two_way_splits_match_buffered() {
+    for input in FIXTURES {
+        let want = buffered(input);
+        let bytes = input.as_bytes();
+        for i in 0..=bytes.len() {
+            let got = streamed(&[&bytes[..i], &bytes[i..]]);
+            assert_eq!(got, want, "input {input:?} split at {i}");
+        }
+    }
+}
+
+/// Every 3-way split of a few feature-dense fixtures.
+#[test]
+fn exhaustive_three_way_splits_match_buffered() {
+    for input in [
+        "<t>Tom &amp; J &#x42;</t>",
+        "<!DOCTYPE x SYSTEM \"a>b\"><x y='&lt;'/>",
+        "<t attr=\"hé\">☕</t>",
+        "<a>\n</b>",
+    ] {
+        let want = buffered(input);
+        let bytes = input.as_bytes();
+        for i in 0..=bytes.len() {
+            for j in i..=bytes.len() {
+                let got = streamed(&[&bytes[..i], &bytes[i..j], &bytes[j..]]);
+                assert_eq!(got, want, "input {input:?} split at {i},{j}");
+            }
+        }
+    }
+}
+
+/// Byte-at-a-time feeding (the worst-case chunking) matches buffered.
+#[test]
+fn byte_at_a_time_matches_buffered() {
+    for input in FIXTURES {
+        let want = buffered(input);
+        let chunks: Vec<&[u8]> = input.as_bytes().chunks(1).collect();
+        assert_eq!(streamed(&chunks), want, "input {input:?} fed byte-wise");
+    }
+}
+
+/// Depth-bounded documents fail identically in both parsers.
+#[test]
+fn deep_nesting_matches_buffered() {
+    let deep = "<n>".repeat(300) + &"</n>".repeat(300);
+    let want = buffered(&deep);
+    assert!(want.is_err());
+    for size in [1usize, 7, 64, 1000] {
+        let chunks: Vec<&[u8]> = deep.as_bytes().chunks(size).collect();
+        assert_eq!(streamed(&chunks), want, "chunk size {size}");
+    }
+}
+
+/// Splits a byte string into chunks at the given (sorted) cut offsets.
+fn cut<'a>(bytes: &'a [u8], cuts: &[usize]) -> Vec<&'a [u8]> {
+    let mut chunks = Vec::new();
+    let mut prev = 0;
+    for &c in cuts {
+        let c = c.min(bytes.len());
+        if c > prev {
+            chunks.push(&bytes[prev..c]);
+            prev = c;
+        }
+    }
+    chunks.push(&bytes[prev..]);
+    chunks
+}
+
+/// A generator of random well-formed-ish XML text: serialized random
+/// documents (always valid), so the Document-equality path is exercised,
+/// not just error equality.
+fn arb_xml() -> impl Strategy<Value = String> {
+    proptest::collection::vec((0usize..40, 0u8..3, 0usize..8), 0..30).prop_map(|ops| {
+        let mut doc = Document::new();
+        let root = doc.add_element(None, "root");
+        let mut elems = vec![root];
+        let names = [
+            "movie", "title", "actor", "cast", "year", "genre", "price", "track",
+        ];
+        let mut attr_counter = 0usize;
+        for (p, kind, seed) in ops {
+            let parent = elems[p % elems.len()];
+            match kind {
+                0 => elems.push(doc.add_element(Some(parent), names[seed])),
+                1 => {
+                    doc.add_text(parent, format!("value {seed} & <escaped> é☕"));
+                }
+                _ => {
+                    attr_counter += 1;
+                    let _ = doc.add_attribute(
+                        parent,
+                        format!("a{attr_counter}"),
+                        format!("v&{seed}<'\">"),
+                    );
+                }
+            }
+        }
+        xsdf_xmltree::serialize::to_string_pretty(&doc)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random valid documents parse to identical `Document`s under random
+    /// chunkings.
+    #[test]
+    fn random_documents_random_chunks(xml in arb_xml(), cuts in proptest::collection::vec(0usize..4096, 0..6)) {
+        let want = buffered(&xml);
+        prop_assert!(want.is_ok());
+        let mut cuts = cuts;
+        cuts.sort_unstable();
+        let chunks = cut(xml.as_bytes(), &cuts);
+        prop_assert_eq!(streamed(&chunks), want);
+    }
+
+    /// Arbitrary junk produces identical results (valid or typed error)
+    /// under random chunkings — and neither parser panics.
+    #[test]
+    fn random_junk_random_chunks(input in "[<>a-z0-9&;#x/\"'= \\n!\\[\\]?-]{0,120}", cuts in proptest::collection::vec(0usize..120, 0..4)) {
+        let want = buffered(&input);
+        let mut cuts = cuts;
+        cuts.sort_unstable();
+        let chunks = cut(input.as_bytes(), &cuts);
+        prop_assert_eq!(streamed(&chunks), want);
+    }
+
+    /// Arbitrary unicode text (multi-byte codepoints split across chunk
+    /// boundaries) produces identical results.
+    #[test]
+    fn random_unicode_random_chunks(input in "\\PC{0,80}", cuts in proptest::collection::vec(0usize..300, 0..4)) {
+        let want = buffered(&input);
+        let mut cuts = cuts;
+        cuts.sort_unstable();
+        // Byte-level cuts may split codepoints: exactly the point.
+        let chunks = cut(input.as_bytes(), &cuts);
+        prop_assert_eq!(streamed(&chunks), want);
+    }
+}
